@@ -1,0 +1,129 @@
+// E10 — substrate microbenchmarks (google-benchmark).
+//
+// Not a paper artifact: these measure the reproduction's own machinery so
+// regressions in the simulator don't silently distort E1–E9 (whose wall
+// times appear in E9). Covers the event queue, RNG, network stamping,
+// checker throughput, and a full end-to-end scenario per iteration.
+#include <benchmark/benchmark.h>
+
+#include "dining/checkers.hpp"
+#include "graph/coloring.hpp"
+#include "graph/topology.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::sim::MsgLayer;
+using ekbd::sim::Simulator;
+
+void BM_RngU64(benchmark::State& state) {
+  ekbd::sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.u64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(1);
+    ekbd::sim::Rng order(7);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule(order.uniform_int(0, 1'000'000), [] {});
+    }
+    sim.run_until(1'000'001);
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+struct Echo : ekbd::sim::Actor {
+  void on_message(const ekbd::sim::Message& m) override {
+    if (count-- > 0) send(m.from, int{0}, MsgLayer::kOther);
+  }
+  using Actor::send;
+  int count = 0;
+};
+
+void BM_MessageRoundTrips(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+    auto* a = sim.make_actor<Echo>();
+    auto* b = sim.make_actor<Echo>();
+    a->count = rounds;
+    b->count = rounds;
+    sim.start();
+    a->send(b->id(), int{0}, MsgLayer::kOther);
+    sim.run_until(4 * rounds + 10);
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * rounds);
+}
+BENCHMARK(BM_MessageRoundTrips)->Arg(1'000)->Arg(10'000);
+
+void BM_GraphColoring(benchmark::State& state) {
+  ekbd::sim::Rng rng(3);
+  auto g = ekbd::graph::random_connected(static_cast<std::size_t>(state.range(0)), 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ekbd::graph::welsh_powell_coloring(g));
+  }
+}
+BENCHMARK(BM_GraphColoring)->Arg(64)->Arg(512);
+
+void BM_EndToEndDiningRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ekbd::scenario::Config cfg;
+    cfg.seed = ++seed;
+    cfg.topology = "ring";
+    cfg.n = n;
+    cfg.algorithm = ekbd::scenario::Algorithm::kWaitFree;
+    cfg.detector = ekbd::scenario::DetectorKind::kScripted;
+    cfg.partial_synchrony = false;
+    cfg.run_for = 10'000;
+    ekbd::scenario::Scenario s(cfg);
+    s.run();
+    benchmark::DoNotOptimize(s.trace().size());
+  }
+}
+BENCHMARK(BM_EndToEndDiningRun)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ExclusionChecker(benchmark::State& state) {
+  // One fixed big trace, checked repeatedly.
+  ekbd::scenario::Config cfg;
+  cfg.topology = "clique";
+  cfg.n = 16;
+  cfg.run_for = 40'000;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 10;
+  ekbd::scenario::Scenario s(cfg);
+  s.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ekbd::dining::check_exclusion(s.trace(), s.graph()));
+  }
+  state.counters["trace_events"] = static_cast<double>(s.trace().size());
+}
+BENCHMARK(BM_ExclusionChecker);
+
+void BM_OvertakeCensus(benchmark::State& state) {
+  ekbd::scenario::Config cfg;
+  cfg.topology = "clique";
+  cfg.n = 16;
+  cfg.run_for = 40'000;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 10;
+  ekbd::scenario::Scenario s(cfg);
+  s.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ekbd::dining::overtake_census(s.trace(), s.graph()));
+  }
+}
+BENCHMARK(BM_OvertakeCensus);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// E12 — necessity probes: what breaks when half of ◇P₁ is removed.
+//
+// The paper's companion result [21] proves ◇P is the *weakest* failure
+// detector for wait-free eventually-fair daemons. This experiment shows
+// each property is load-bearing in Algorithm 1 by surgically deleting it:
+//
+//  * remove Local Strong Completeness on one edge (an owner never suspects
+//    a crashed neighbor) → the blinded process starves, and because a
+//    continuously hungry process grants only one ack per session, the
+//    starvation cascades around the conflict graph;
+//
+//  * remove Local Eventual Strong Accuracy on one edge (permanent mutual
+//    false positive) → the pair keeps eating simultaneously forever: ◇WX
+//    never stabilizes;
+//
+//  * remove accuracy on ALL edges of one process → it needs no acks or
+//    forks: eats ~3x as often and permanently violates the 2-bound.
+#include <cstdio>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+Config base(std::uint64_t seed) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 120;
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.harness.think_lo = 5;
+  cfg.harness.think_hi = 40;
+  cfg.run_for = 160'000;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E12 — necessity probes: delete one ◇P₁ property, watch the matching\n"
+      "guarantee die (ring(8), p2 crashes at t=8000 where applicable).\n\n");
+
+  util::Table t({"detector sabotage", "starving", "violations", "last violation",
+                 "overtakes (2nd half)", "wait-free", "3WX settles", "3 2-BW settles"});
+
+  struct Case {
+    const char* label;
+    std::vector<std::pair<sim::ProcessId, sim::Time>> crashes;
+    std::vector<std::pair<sim::ProcessId, sim::ProcessId>> blind;
+    std::vector<std::pair<sim::ProcessId, sim::ProcessId>> poison;
+  };
+  const Case cases[] = {
+      {"none (control)", {{2, 8'000}}, {}, {}},
+      {"p1 blind to crashed p2 (completeness hole)", {{2, 8'000}}, {{1, 2}}, {}},
+      {"p0<->p1 permanent mutual FP (accuracy hole)", {}, {}, {{0, 1}, {1, 0}}},
+      {"p0 permanently suspects ALL neighbors", {}, {}, {{0, 1}, {0, 7}}},
+  };
+
+  for (const Case& c : cases) {
+    Config cfg = base(1200);
+    cfg.crashes = c.crashes;
+    cfg.blind_pairs = c.blind;
+    cfg.poison_pairs = c.poison;
+    if (!c.poison.empty()) {  // saturate to expose the fairness break
+      cfg.harness.think_lo = 1;
+      cfg.harness.think_hi = 8;
+      cfg.harness.eat_lo = 40;
+      cfg.harness.eat_hi = 100;
+    }
+    Scenario s(cfg);
+    s.run();
+    auto wf = s.wait_freedom(40'000);
+    auto ex = s.exclusion();
+    auto census = s.census();
+    const int late_overtakes = dining::max_overtakes(census, cfg.run_for / 2);
+    const bool wx_settles = ex.violations_after(cfg.run_for * 9 / 10) == 0;
+    const bool bw_settles =
+        dining::k_bound_establishment(census, 2) <= cfg.run_for * 9 / 10;
+    t.row()
+        .cell(c.label)
+        .cell(static_cast<std::uint64_t>(wf.starving.size()))
+        .cell(static_cast<std::uint64_t>(ex.violations.size()))
+        .cell(static_cast<std::int64_t>(ex.last_violation()))
+        .cell(late_overtakes)
+        .cell(wf.wait_free())
+        .cell(wx_settles)
+        .cell(bw_settles);
+  }
+  t.print();
+  std::printf(
+      "Reading: the control keeps all three guarantees. Each deleted property\n"
+      "kills exactly the guarantee it supports — completeness -> wait-freedom\n"
+      "(with cascading starvation), accuracy -> eventual weak exclusion, and\n"
+      "accuracy on a full neighborhood -> eventual 2-bounded waiting. This is\n"
+      "the empirical face of [21]'s weakest-failure-detector theorem.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E14 — statistical robustness: the headline properties across many seeds.
+//
+// E1–E13 use representative runs; this experiment sweeps 40 seeds per
+// configuration and reports the *distributions*: how many pre-convergence
+// violations occur, when the last one falls relative to the oracle's
+// convergence, the worst post-convergence overtaking (must be <= 2 in
+// every single run), and hungry→eat latency histograms per topology.
+#include <cstdio>
+#include <vector>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+int main() {
+  constexpr int kSeeds = 40;
+
+  std::printf(
+      "E14 — property robustness across %d seeds per configuration\n"
+      "(Algorithm 1, scripted oracle lying until t=12000, two crashes, run 80000)\n\n",
+      kSeeds);
+
+  util::Table t({"topology", "violations mean/max", "last violation p95",
+                 "conv. estimate", "post-conv. violations (all runs)",
+                 "post-conv. overtakes max (all runs)", "runs wait-free"});
+  for (const char* topo : {"ring", "clique", "star", "grid", "random"}) {
+    std::vector<double> violations, last_violation;
+    double conv_estimate = 0;
+    std::uint64_t post_conv_violations = 0;
+    int post_conv_overtakes = 0;
+    int wait_free_runs = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Config cfg;
+      cfg.seed = 14'000 + static_cast<std::uint64_t>(seed);
+      cfg.topology = topo;
+      cfg.n = 10;
+      cfg.algorithm = Algorithm::kWaitFree;
+      cfg.detector = DetectorKind::kScripted;
+      cfg.partial_synchrony = false;
+      cfg.detection_delay = 120;
+      cfg.fp_count = 40;
+      cfg.fp_until = 12'000;
+      cfg.harness.think_lo = 10;
+      cfg.harness.think_hi = 60;
+      cfg.crashes = {{3, 20'000}, {7, 40'000}};
+      cfg.run_for = 80'000;
+      Scenario s(cfg);
+      s.run();
+      auto ex = s.exclusion();
+      const auto conv = s.fd_convergence_estimate();
+      violations.push_back(static_cast<double>(ex.violations.size()));
+      if (ex.last_violation() >= 0) {
+        last_violation.push_back(static_cast<double>(ex.last_violation()));
+      }
+      conv_estimate = static_cast<double>(conv);
+      post_conv_violations += ex.violations_after(conv);
+      post_conv_overtakes =
+          std::max(post_conv_overtakes, dining::max_overtakes(s.census(), conv));
+      if (s.wait_freedom(18'000).wait_free()) ++wait_free_runs;
+    }
+    auto vsum = util::summarize(violations);
+    t.row()
+        .cell(topo)
+        .cell(std::to_string(static_cast<int>(vsum.mean)) + "/" +
+              std::to_string(static_cast<int>(vsum.max)))
+        .cell(util::percentile(last_violation, 0.95), 0)
+        .cell(conv_estimate, 0)
+        .cell(post_conv_violations)
+        .cell(post_conv_overtakes)
+        .cell(std::to_string(wait_free_runs) + "/" + std::to_string(kSeeds));
+  }
+  t.print();
+  std::printf(
+      "Expectation: post-convergence violations identically 0 and post-convergence\n"
+      "overtaking <= 2 over ALL %d x 5 runs; every run wait-free.\n\n",
+      kSeeds);
+
+  std::printf("hungry->eat latency distributions (crash-free, same environment):\n");
+  util::Table h({"topology", "n", "mean", "p95", "p99", "histogram 0..1000 ticks"});
+  for (const char* topo : {"ring", "star", "grid", "clique"}) {
+    util::Histogram hist(0, 1'000, 40);
+    std::vector<double> all;
+    for (int seed = 0; seed < 10; ++seed) {
+      Config cfg;
+      cfg.seed = 14'500 + static_cast<std::uint64_t>(seed);
+      cfg.topology = topo;
+      cfg.n = 12;
+      cfg.algorithm = Algorithm::kWaitFree;
+      cfg.detector = DetectorKind::kScripted;
+      cfg.partial_synchrony = false;
+      cfg.run_for = 40'000;
+      Scenario s(cfg);
+      s.run();
+      for (const auto& sess : hungry_sessions(s.trace())) {
+        if (sess.completed()) {
+          hist.add(static_cast<double>(sess.response_time()));
+          all.push_back(static_cast<double>(sess.response_time()));
+        }
+      }
+    }
+    auto sum = util::summarize(all);
+    h.row()
+        .cell(topo)
+        .cell(12)
+        .cell(sum.mean, 0)
+        .cell(sum.p95, 0)
+        .cell(sum.p99, 0)
+        .cell(hist.sparkline());
+  }
+  h.print();
+  std::printf(
+      "Reading: latency concentrates near the message round-trip cost on sparse\n"
+      "topologies and spreads with contention (clique): the locality claim of E9,\n"
+      "seen as a distribution.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E16 — cross-layer ablation: daemon fairness vs stabilization speed.
+//
+// The paper motivates eventual k-bounded waiting as the right fairness
+// level for scheduling stabilizing protocols. This experiment quantifies
+// that coupling: the same protocol (Dijkstra's token ring / stabilizing
+// coloring), same faults, scheduled by daemons of different fairness —
+// Algorithm 1 with ack budgets m ∈ {1, 4, 16}, Chandy–Misra (very fair),
+// and the hierarchical daemon (unfair). Reported: protocol steps needed
+// and virtual time until legitimacy.
+//
+// Expected shape: convergence TIME tracks the daemon's fairness (an
+// unfair daemon starves exactly the processes whose moves are needed),
+// while step COUNTS stay similar — fairness buys latency, not work.
+#include <cstdio>
+#include <memory>
+
+#include "daemon/scheduler.hpp"
+#include "scenario/scenario.hpp"
+#include "stab/coloring.hpp"
+#include "stab/token_ring.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+struct DaemonSpec {
+  const char* label;
+  Algorithm algorithm;
+  int acks = 1;
+};
+
+struct Outcome {
+  double mean_time = 0;   // virtual time to final legitimacy
+  double mean_steps = 0;  // protocol steps executed by then
+  int converged = 0;      // out of kRuns
+};
+
+constexpr int kRuns = 15;
+
+Outcome measure(const DaemonSpec& spec, const stab::Protocol& proto, const char* topo,
+                std::size_t n) {
+  Outcome out;
+  std::vector<double> times, steps;
+  for (int run = 0; run < kRuns; ++run) {
+    Config cfg;
+    cfg.seed = 1'700 + static_cast<std::uint64_t>(run);
+    cfg.topology = topo;
+    cfg.n = n;
+    cfg.algorithm = spec.algorithm;
+    cfg.acks_per_session = spec.acks;
+    cfg.detector = DetectorKind::kNever;  // crash-free: isolate fairness
+    cfg.partial_synchrony = false;
+    cfg.harness.think_lo = 1;  // saturation: fairness differences bite
+    cfg.harness.think_hi = 10;
+    cfg.harness.eat_lo = 10;
+    cfg.harness.eat_hi = 25;
+    cfg.run_for = 250'000;
+    Scenario s(cfg);
+    stab::StateTable regs(n, proto.regs_per_process());
+    sim::Rng rng(cfg.seed ^ 0xE16);
+    regs.randomize(rng, 0, proto.corruption_hi(s.graph()));
+    daemon::DaemonScheduler d(s.harness(), proto, regs);
+    s.run();
+    if (d.converged()) {
+      ++out.converged;
+      times.push_back(static_cast<double>(d.last_illegitimate()));
+      steps.push_back(static_cast<double>(d.steps_executed()));
+    }
+  }
+  out.mean_time = util::mean(times);
+  out.mean_steps = util::mean(steps);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E16 — daemon fairness vs stabilization latency (crash-free saturation,\n"
+      "%d runs per cell, horizon 250000; 'time' = last illegitimate instant).\n\n",
+      kRuns);
+
+  const DaemonSpec daemons[] = {
+      {"Alg.1 m=1 (k=2)", Algorithm::kWaitFree, 1},
+      {"Alg.1 m=4 (k=5)", Algorithm::kWaitFree, 4},
+      {"Alg.1 m=16 (k=17)", Algorithm::kWaitFree, 16},
+      {"Chandy-Misra", Algorithm::kChandyMisra, 1},
+      {"hierarchical (unfair)", Algorithm::kHierarchical, 1},
+  };
+
+  {
+    std::printf("Dijkstra token ring on ring(8):\n");
+    stab::DijkstraTokenRing proto(8);
+    util::Table t({"daemon", "converged", "mean time to legit", "mean steps"});
+    for (const auto& spec : daemons) {
+      Outcome o = measure(spec, proto, "ring", 8);
+      t.row()
+          .cell(spec.label)
+          .cell(std::to_string(o.converged) + "/" + std::to_string(kRuns))
+          .cell(o.mean_time, 0)
+          .cell(o.mean_steps, 0);
+    }
+    t.print();
+  }
+  {
+    std::printf("stabilizing coloring on random(10):\n");
+    stab::StabilizingColoring proto;
+    util::Table t({"daemon", "converged", "mean time to legit", "mean steps"});
+    for (const auto& spec : daemons) {
+      Outcome o = measure(spec, proto, "random", 10);
+      t.row()
+          .cell(spec.label)
+          .cell(std::to_string(o.converged) + "/" + std::to_string(kRuns))
+          .cell(o.mean_time, 0)
+          .cell(o.mean_steps, 0);
+    }
+    t.print();
+  }
+  std::printf(
+      "Reading: every fair daemon stabilizes everything, at similar step counts.\n"
+      "The unfair hierarchical daemon fails most coloring runs outright: a\n"
+      "conflicted process it starves can never recolor. (It *appears* to pass the\n"
+      "token ring because the single-token predicate is a safety condition — the\n"
+      "token can legally sit parked at a starved process. The ring's liveness,\n"
+      "every process holding the token infinitely often, is exactly what the\n"
+      "starved process loses; tests/stab_test's circulation checks cover that.)\n");
+  return 0;
+}

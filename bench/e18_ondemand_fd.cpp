@@ -1,0 +1,97 @@
+// E18 — demand-driven monitoring (extension of the paper's quiescence
+// discussion, §7).
+//
+// The paper proves the *dining layer* quiescent toward crashed processes,
+// and notes ◇P itself must monitor forever — an always-on detector keeps
+// the composite system chatty even when nobody is hungry. But suspicion is
+// only ever consulted while hungry (Actions 5 and 9), so monitoring can be
+// demand-driven: probe neighbors only during one's own hungry sessions.
+//
+// This experiment measures the composite system's traffic under varying
+// hunger duty cycles, always-on vs on-demand ping-pong ◇P₁, and shows
+// the end state the paper couldn't have: after hunger stops, the WHOLE
+// stack — dining and detector — goes silent. The cost: detection latency
+// moves into the hungry path (a crash is discovered during a session, not
+// before it), slightly raising post-crash response times.
+#include <cstdio>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+struct Load {
+  const char* label;
+  sim::Time think_lo;
+  sim::Time think_hi;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E18 — always-on vs on-demand <>P1 (ping-pong), ring(8), one crash at\n"
+      "t=30000, run 100000, hunger stops at t=80000 (tail idle: 20000 ticks).\n\n");
+
+  util::Table t({"hunger load", "mode", "detector msgs", "dining msgs", "wait-free",
+                 "violations after conv.", "mean rt", "last detector msg"});
+  const Load loads[] = {
+      {"saturated (think 1-10)", 1, 10},
+      {"moderate (think 50-300)", 50, 300},
+      {"sparse (think 500-2000)", 500, 2'000},
+  };
+  for (const Load& load : loads) {
+    for (bool on_demand : {false, true}) {
+      Config cfg;
+      cfg.seed = 1'800 + static_cast<std::uint64_t>(load.think_lo);
+      cfg.topology = "ring";
+      cfg.n = 8;
+      cfg.algorithm = Algorithm::kWaitFree;
+      cfg.detector = DetectorKind::kPingPong;
+      cfg.pingpong = {.period = 20, .initial_rtt = 15, .initial_slack = 20,
+                      .on_demand = on_demand};
+      cfg.partial_synchrony = false;  // isolate the duty-cycle effect
+      cfg.harness.think_lo = load.think_lo;
+      cfg.harness.think_hi = load.think_hi;
+      cfg.crashes = {{3, 30'000}};
+      cfg.run_for = 100'000;
+      Scenario s(cfg);
+      s.harness().stop_hunger_after(80'000);
+      s.run();
+
+      sim::Time last_fd_msg = -1;
+      for (std::size_t p = 0; p < cfg.n; ++p) {
+        last_fd_msg = std::max(last_fd_msg, s.sim().network().last_send_to(
+                                                static_cast<int>(p),
+                                                sim::MsgLayer::kDetector));
+      }
+      auto wf = s.wait_freedom(20'000);
+      auto ex = s.exclusion();
+      const auto conv = s.fd_convergence_estimate();
+      t.row()
+          .cell(load.label)
+          .cell(on_demand ? "on-demand" : "always-on")
+          .cell(s.sim().network().total_sent(sim::MsgLayer::kDetector))
+          .cell(s.sim().network().total_sent(sim::MsgLayer::kDining))
+          .cell(wf.wait_free())
+          .cell(static_cast<std::uint64_t>(ex.violations_after(conv)))
+          .cell(wf.response.mean, 0)
+          .cell(static_cast<std::int64_t>(last_fd_msg));
+    }
+  }
+  t.print();
+  std::printf(
+      "Reading: on-demand monitoring preserves every guarantee (wait-free, clean\n"
+      "after convergence) while its traffic scales with the hunger duty cycle —\n"
+      "near parity when saturated, a fraction when sparse — and the 'last\n"
+      "detector msg' column shows the composite stack going fully quiescent\n"
+      "after hunger stops (~80000), which an always-on <>P1 never does.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E19 — wait-free drinking philosophers on Algorithm 1 (extension).
+//
+// Drinking philosophers (Chandy–Misra 1984) is the standard "next problem
+// up" from dining: sessions need dynamic SUBSETS of the incident
+// resources, so neighbors with disjoint needs may proceed concurrently.
+// The classic modular construction uses a dining layer as a priority
+// catalyst — and composing it with this repository's Algorithm 1 + ◇P₁
+// yields, to our knowledge of the paper's scope, the natural corollary:
+// *wait-free, eventually-exclusive drinking*.
+//
+// Table 1 sweeps the need density: at need_prob = 1 drinking degenerates
+// to dining (adjacent drinks never overlap); as needs thin out, adjacent
+// concurrency rises while shared-bottle exclusion stays intact.
+//
+// Table 2 is the fault story: crashes + a lying oracle; shared-bottle
+// violations happen only before convergence, and the victims' neighbors
+// keep drinking (wait-freedom carries through the composition).
+#include <cstdio>
+#include <vector>
+
+#include "dining/checkers.hpp"
+#include "drinking/drinking_harness.hpp"
+#include "fd/scripted.hpp"
+#include "graph/coloring.hpp"
+#include "graph/topology.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using drinking::DrinkingDiner;
+using drinking::DrinkingHarness;
+using drinking::DrinkingOptions;
+using sim::ProcessId;
+using sim::Time;
+
+namespace {
+
+struct World {
+  World(std::uint64_t seed, DrinkingOptions opt, Time fp_until,
+        std::vector<std::pair<ProcessId, Time>> crashes)
+      : graph(graph::ring(8)),
+        sim(seed, sim::make_uniform_delay(1, 8)),
+        det(sim, 120),
+        harness(sim, graph, opt) {
+    if (fp_until > 0) {
+      for (const auto& [a, b] : graph.edges()) {
+        det.add_mutual_false_positive(a, b, 500, fp_until);
+      }
+    }
+    auto colors = graph::welsh_powell_coloring(graph);
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+      const auto p = static_cast<ProcessId>(v);
+      std::vector<ProcessId> neighbors = graph.neighbors(p);
+      std::vector<int> ncolors;
+      for (ProcessId j : neighbors) ncolors.push_back(colors[static_cast<std::size_t>(j)]);
+      drinkers.push_back(sim.make_actor<DrinkingDiner>(std::move(neighbors), colors[v],
+                                                       std::move(ncolors), det));
+      harness.manage(drinkers.back());
+    }
+    for (const auto& [p, at] : crashes) harness.schedule_crash(p, at);
+  }
+  graph::ConflictGraph graph;
+  sim::Simulator sim;
+  fd::ScriptedDetector det;
+  DrinkingHarness harness;
+  std::vector<DrinkingDiner*> drinkers;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E19 — wait-free drinking philosophers via Algorithm 1 (ring(8), run 80000)\n\n"
+      "Table 1: need density vs concurrency (no crashes, truthful oracle).\n"
+      "'adjacent overlaps' = simultaneous drinks by neighbors (dining forbids\n"
+      "these outright); 'shared-bottle violations' = overlaps where both needed\n"
+      "the same bottle (must be 0).\n");
+  util::Table t1({"need prob", "drinks", "mean concurrent drinkers", "adjacent overlaps",
+                  "shared-bottle violations", "conservation hits"});
+  for (double need : {1.0, 0.6, 0.3, 0.1}) {
+    DrinkingOptions opt;
+    opt.need_prob = need;
+    opt.dry_lo = 5;
+    opt.dry_hi = 40;
+    opt.drink_lo = 50;
+    opt.drink_hi = 100;
+    World w(1'919 + static_cast<std::uint64_t>(need * 10), opt, 0, {});
+    w.harness.run_until(80'000);
+    auto overlaps = dining::check_exclusion(w.harness.drink_trace(), w.graph);
+    std::uint64_t conservation = 0;
+    for (auto* d : w.drinkers) conservation += d->bottle_conservation_violations();
+    t1.row()
+        .cell(need, 1)
+        .cell(w.harness.drinks_completed())
+        .cell(w.harness.mean_concurrent_drinkers(), 2)
+        .cell(static_cast<std::uint64_t>(overlaps.violations.size()))
+        .cell(w.harness.shared_bottle_violations())
+        .cell(conservation);
+  }
+  t1.print();
+
+  std::printf(
+      "Table 2: faults — mutual oracle lies until t=4000, p2 crashes at t=20000,\n"
+      "p6 at t=40000 (full needs: every crash matters to both neighbors).\n");
+  util::Table t2({"seed", "drinks", "shared-bottle violations", "last violation",
+                  "survivor drinks after t=45000", "starving survivors"});
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    DrinkingOptions opt;
+    opt.need_prob = 1.0;
+    opt.dry_lo = 5;
+    opt.dry_hi = 40;
+    World w(seed, opt, 4'000, {{2, 20'000}, {6, 40'000}});
+    w.harness.run_until(80'000);
+    std::size_t late = 0;
+    for (const auto& e : w.harness.drink_trace().events()) {
+      if (e.kind == dining::TraceEventKind::kStartEating && e.at > 45'000) ++late;
+    }
+    auto wf = dining::check_wait_freedom(w.harness.drink_trace(), w.harness.crash_times(),
+                                         20'000);
+    t2.row()
+        .cell(seed)
+        .cell(w.harness.drinks_completed())
+        .cell(w.harness.shared_bottle_violations())
+        .cell(static_cast<std::int64_t>(w.harness.last_violation()))
+        .cell(static_cast<std::uint64_t>(late))
+        .cell(static_cast<std::uint64_t>(wf.starving.size()));
+  }
+  t2.print();
+  std::printf(
+      "Expectation: Table 1 — overlaps grow as needs thin while shared-bottle\n"
+      "violations and conservation hits stay 0; need=1.0 recovers dining (0\n"
+      "overlaps). Table 2 — violations only during the lie window (< 8000), all\n"
+      "survivors keep drinking after both crashes, nobody starves.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E2 — Theorem 2 (wait-freedom), head-to-head against the baselines.
+//
+// Sweep the number of crash faults f from 0 to n-1 on a ring and a clique.
+// Algorithm 1 (with ◇P₁) must keep every correct process fed at every f;
+// the crash-oblivious baselines starve as soon as f >= 1. Also reports the
+// latency cost: hungry→eat response times of correct processes.
+#include <cstdio>
+#include <string>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+struct Row {
+  std::size_t starving = 0;
+  std::size_t correct = 0;
+  double mean_rt = 0;
+  double p95_rt = 0;
+  std::uint64_t meals = 0;
+};
+
+Row run_one(Algorithm algo, DetectorKind det, const char* topo, std::size_t n,
+            std::size_t f, std::uint64_t seed) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.algorithm = algo;
+  cfg.detector = det;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 120;
+  cfg.topology = topo;
+  cfg.n = n;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 60;
+  cfg.run_for = 80'000;
+  for (std::size_t i = 0; i < f; ++i) {
+    cfg.crashes.emplace_back(static_cast<sim::ProcessId>(i),
+                             8'000 + static_cast<sim::Time>(i) * 4'000);
+  }
+  Scenario s(cfg);
+  s.run();
+  auto wf = s.wait_freedom(/*starvation_horizon=*/18'000);
+  Row r;
+  r.starving = wf.starving.size();
+  r.correct = n - f;
+  r.mean_rt = wf.response.mean;
+  r.p95_rt = wf.response.p95;
+  r.meals = s.trace().count(dining::TraceEventKind::kStartEating);
+  return r;
+}
+
+void sweep(const char* topo, std::size_t n) {
+  std::printf("--- %s(%zu), crashes staggered from t=8000 ---\n", topo, n);
+  util::Table t({"f", "algorithm", "oracle", "starving/correct", "meals",
+                 "mean rt", "p95 rt", "wait-free"});
+  struct Algo {
+    Algorithm a;
+    DetectorKind d;
+  };
+  const Algo algos[] = {{Algorithm::kWaitFree, DetectorKind::kScripted},
+                        {Algorithm::kChoySingh, DetectorKind::kNever},
+                        {Algorithm::kChandyMisra, DetectorKind::kNever},
+                        {Algorithm::kHierarchical, DetectorKind::kNever}};
+  for (std::size_t f : {std::size_t{0}, std::size_t{1}, std::size_t{2}, n / 2, n - 1}) {
+    for (const Algo& algo : algos) {
+      Row r = run_one(algo.a, algo.d, topo, n, f, 1000 + f);
+      t.row()
+          .cell(static_cast<std::uint64_t>(f))
+          .cell(scenario::to_string(algo.a))
+          .cell(scenario::to_string(algo.d))
+          .cell(std::to_string(r.starving) + "/" + std::to_string(r.correct))
+          .cell(r.meals)
+          .cell(r.mean_rt, 0)
+          .cell(r.p95_rt, 0)
+          .cell(r.starving == 0);
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2 — wait-freedom (Theorem 2) vs crash count f\n"
+      "Expectation: Algorithm 1 has 0 starving at every f (wait-free for\n"
+      "arbitrarily many crashes); every crash-oblivious baseline starves for f >= 1.\n"
+      "A process is 'starving' if still hungry after 18000 ticks at the horizon.\n\n");
+  sweep("ring", 8);
+  sweep("clique", 8);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E3 — Theorem 3 (eventual 2-bounded waiting) and the fairness ablation.
+//
+// Table 1: worst-case consecutive overtaking vs run length under hunger
+// saturation, for Algorithm 1 and every baseline. Expectation: Algorithm 1
+// pinned at <= 2; the original doorway finite but > 2; hierarchical grows.
+//
+// Table 2: the "eventual" part — with an adversarial oracle lying until
+// t=12000, the 2-bound is violated early but established after the oracle
+// converges; reports the measured establishment time of the k-bound.
+#include <cstdio>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+Config saturated(Algorithm algo, std::uint64_t seed, sim::Time horizon) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.algorithm = algo;
+  cfg.detector = algo == Algorithm::kWaitFree || algo == Algorithm::kChoySinghSingleAck
+                     ? DetectorKind::kScripted
+                     : DetectorKind::kNever;
+  cfg.partial_synchrony = false;
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 8;
+  cfg.harness.eat_lo = 40;
+  cfg.harness.eat_hi = 100;
+  cfg.run_for = horizon;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3 — eventual 2-bounded waiting (Theorem 3)\n"
+      "Saturated ring(8): everyone re-hungers within 1-8 ticks; meals 40-100 ticks.\n\n");
+
+  std::printf("Table 1: max consecutive overtakes (whole run) vs run length\n");
+  util::Table t1({"run length", "Alg.1", "CS+1ack (ablation)", "Choy-Singh", "Chandy-Misra",
+                  "hierarchical"});
+  for (sim::Time horizon : {30'000, 60'000, 120'000, 240'000, 480'000}) {
+    auto overtakes = [&](Algorithm a) {
+      Scenario s(saturated(a, 42, horizon));
+      s.run();
+      return dining::max_overtakes(s.census(), 0);
+    };
+    t1.row()
+        .cell(static_cast<std::int64_t>(horizon))
+        .cell(overtakes(Algorithm::kWaitFree))
+        .cell(overtakes(Algorithm::kChoySinghSingleAck))
+        .cell(overtakes(Algorithm::kChoySingh))
+        .cell(overtakes(Algorithm::kChandyMisra))
+        .cell(overtakes(Algorithm::kHierarchical));
+  }
+  t1.print();
+
+  std::printf(
+      "Table 2: the 'eventually' in <>2-BW — adversarial oracle until t=12000\n"
+      "(mutual false suspicions let neighbors jump the doorway early on).\n");
+  util::Table t2({"seed", "max overtakes (whole run)", "max overtakes after FD conv.",
+                  "2-bound established at t", "FD converged t"});
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    Config cfg = saturated(Algorithm::kWaitFree, seed, 150'000);
+    cfg.fp_count = 50;
+    cfg.fp_until = 12'000;
+    cfg.fp_len_lo = 100;
+    cfg.fp_len_hi = 500;
+    Scenario s(cfg);
+    s.run();
+    auto census = s.census();
+    t2.row()
+        .cell(seed)
+        .cell(dining::max_overtakes(census, 0))
+        .cell(dining::max_overtakes(census, s.fd_convergence_estimate()))
+        .cell(static_cast<std::int64_t>(dining::k_bound_establishment(census, 2)))
+        .cell(static_cast<std::int64_t>(s.fd_convergence_estimate()));
+  }
+  t2.print();
+  std::printf(
+      "Expectation: column 3 is always <= 2, and the measured establishment time\n"
+      "(col 4) never exceeds the detector convergence time (col 5) by much.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E7 — the motivating application (paper §1): wait-free daemons preserve
+// self-stabilization under crash faults; non-wait-free daemons do not.
+//
+// Grid of (protocol × fault scenario × daemon). Every protocol starts from
+// an adversarial or randomized configuration; scenarios add transient
+// bursts and crash faults. Expectation: the Algorithm-1 daemon converges
+// on every row; the Choy–Singh daemon fails exactly on the rows with
+// crashes.
+#include <cstdio>
+#include <memory>
+
+#include "daemon/fault_injector.hpp"
+#include "daemon/scheduler.hpp"
+#include "scenario/scenario.hpp"
+#include "stab/bfs_tree.hpp"
+#include "stab/coloring.hpp"
+#include "stab/matching.hpp"
+#include "stab/mis.hpp"
+#include "stab/token_ring.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+struct Result {
+  bool converged = false;
+  std::uint64_t steps = 0;
+  std::uint64_t mistakes = 0;
+  std::uint64_t corruptions = 0;
+  sim::Time last_illegitimate = 0;
+};
+
+Result run_case(Algorithm algo, const stab::Protocol& proto, const char* topo, std::size_t n,
+                bool with_crashes, bool with_transients, std::uint64_t seed) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.algorithm = algo;
+  cfg.detector = algo == Algorithm::kWaitFree ? DetectorKind::kScripted : DetectorKind::kNever;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 150;
+  cfg.topology = topo;
+  cfg.n = n;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 50;
+  cfg.run_for = 200'000;
+  if (algo == Algorithm::kWaitFree) {
+    cfg.fp_count = 2 * n;  // pre-convergence oracle chaos
+    cfg.fp_until = 8'000;
+  }
+  if (with_crashes) {
+    cfg.crashes = {{static_cast<sim::ProcessId>(n / 2), 1},
+                   {static_cast<sim::ProcessId>(n - 2), 40'000}};
+  }
+  Scenario s(cfg);
+  stab::StateTable regs(n, proto.regs_per_process());
+  sim::Rng rng(seed ^ 0xBEEF);
+  regs.randomize(rng, 0, proto.corruption_hi(s.graph()));
+  daemon::DaemonScheduler d(s.harness(), proto, regs);
+  std::unique_ptr<daemon::FaultInjector> inj;
+  if (with_transients) {
+    inj = std::make_unique<daemon::FaultInjector>(s.sim(), regs, proto, s.graph());
+    inj->schedule_train(60'000, 25'000, 3, 3);  // last burst at t=110000
+  }
+  s.run();
+  Result r;
+  r.converged = d.converged();
+  r.steps = d.steps_executed();
+  r.mistakes = d.sharing_violations();
+  r.corruptions = d.violation_corruptions() + (inj ? inj->corruptions_applied() : 0);
+  r.last_illegitimate = d.last_illegitimate();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7 — wait-free daemons for self-stabilization (paper §1)\n"
+      "Every row: protocol started from a random configuration; 'transients' adds\n"
+      "3 corruption bursts (last at t=110000); 'crashes' kills 2 of n processes.\n"
+      "Daemon 'Alg.1' = wait-free with scripted <>P1 (incl. pre-convergence lies);\n"
+      "daemon 'Choy-Singh' = crash-oblivious doorway. Convergence = live-restricted\n"
+      "legitimacy at t=200000.\n\n");
+
+  const std::size_t n = 8;
+  stab::DijkstraTokenRing token_ring(n);
+  stab::StabilizingColoring coloring;
+  stab::StabilizingMis mis;
+  stab::StabilizingBfsTree bfs;
+  stab::StabilizingMatching matching;
+
+  struct Case {
+    const stab::Protocol* proto;
+    const char* topo;
+    bool crashes;
+    bool transients;
+  };
+  // Dijkstra's ring protocol semantically requires all ring members live,
+  // so its crash rows are omitted (the daemon guarantee is about
+  // scheduling correct processes, not about protocols whose spec needs
+  // the dead one).
+  const Case cases[] = {
+      {&token_ring, "ring", false, false}, {&token_ring, "ring", false, true},
+      {&coloring, "ring", false, true},    {&coloring, "random", true, false},
+      {&coloring, "random", true, true},   {&mis, "grid", false, true},
+      {&mis, "grid", true, true},          {&bfs, "tree", false, true},
+      {&bfs, "tree", false, false},        {&coloring, "clique", true, true},
+      {&matching, "grid", false, true},    {&matching, "random", true, true},
+  };
+
+  util::Table t({"protocol", "topology", "transients", "crashes", "daemon", "steps",
+                 "sched. mistakes", "corruptions", "last illegit. t", "converged"});
+  std::uint64_t seed = 700;
+  for (const Case& c : cases) {
+    for (Algorithm algo : {Algorithm::kWaitFree, Algorithm::kChoySingh}) {
+      Result r = run_case(algo, *c.proto, c.topo, n, c.crashes, c.transients, ++seed);
+      t.row()
+          .cell(c.proto->name())
+          .cell(c.topo)
+          .cell(c.transients)
+          .cell(c.crashes)
+          .cell(algo == Algorithm::kWaitFree ? "Alg.1" : "Choy-Singh")
+          .cell(r.steps)
+          .cell(r.mistakes)
+          .cell(r.corruptions)
+          .cell(static_cast<std::int64_t>(r.last_illegitimate))
+          .cell(r.converged);
+    }
+  }
+  t.print();
+  std::printf(
+      "Expectation: Alg.1 converges on every row; Choy-Singh converges on the\n"
+      "crash-free rows (it is a fine daemon without faults) and fails on every\n"
+      "row with crashes.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// E8 — oracle-quality sensitivity.
+//
+// The paper's guarantees are "eventual": everything settles once ◇P₁
+// stops lying. This experiment quantifies the coupling:
+//
+// Table 1 (heartbeat): sweep GST and the initial timeout; report detector
+// mistakes, observed convergence, and the downstream effect on the dining
+// layer (exclusion violations, when the last one happened).
+//
+// Table 2 (scripted): sweep the number of scripted false positives;
+// violations scale with oracle mistakes, but always stop at convergence.
+#include <cstdio>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+int main() {
+  std::printf("E8 — sensitivity to oracle quality\n\n");
+
+  std::printf("Table 1: heartbeat <>P1 on ring(8), one crash at t=40000; run 120000\n");
+  util::Table t1({"GST", "initial timeout", "false suspicions", "last retraction",
+                  "violations", "last violation", "violations after conv."});
+  for (sim::Time gst : {2'000, 10'000, 30'000}) {
+    for (sim::Time timeout : {25, 60, 150}) {
+      Config cfg;
+      cfg.seed = 800 + static_cast<std::uint64_t>(gst / 1000 + timeout);
+      cfg.topology = "ring";
+      cfg.n = 8;
+      cfg.algorithm = Algorithm::kWaitFree;
+      cfg.detector = DetectorKind::kHeartbeat;
+      cfg.partial_synchrony = true;
+      cfg.delay = {.gst = gst, .pre_lo = 1, .pre_hi = 120,
+                   .spike_prob = 0.12, .spike_factor = 25,
+                   .post_lo = 1, .post_hi = 6};
+      cfg.heartbeat = {.period = 20, .initial_timeout = timeout, .timeout_increment = 25};
+      cfg.harness.think_lo = 5;
+      cfg.harness.think_hi = 40;
+      cfg.crashes = {{4, 40'000}};
+      cfg.run_for = 120'000;
+      Scenario s(cfg);
+      s.run();
+      auto ex = s.exclusion();
+      const auto conv = s.fd_convergence_estimate();
+      t1.row()
+          .cell(static_cast<std::int64_t>(gst))
+          .cell(static_cast<std::int64_t>(timeout))
+          .cell(s.heartbeat_detector()->total_false_suspicions())
+          .cell(static_cast<std::int64_t>(s.heartbeat_detector()->last_retraction()))
+          .cell(static_cast<std::uint64_t>(ex.violations.size()))
+          .cell(static_cast<std::int64_t>(ex.last_violation()))
+          .cell(static_cast<std::uint64_t>(ex.violations_after(conv)));
+    }
+  }
+  t1.print();
+  std::printf(
+      "Reading: mistakes grow with how long asynchrony lasts (GST) and shrink with\n"
+      "a more conservative initial timeout — but in every cell the violations stop\n"
+      "once the detector settles.\n\n");
+
+  std::printf(
+      "Table 1b: heartbeat (push, additive adaptation) vs ping-pong (pull,\n"
+      "Jacobson RTT estimation + doubling slack) — same network, same GST sweep.\n");
+  util::Table t1b({"GST", "detector", "false suspicions", "last retraction",
+                   "violations", "violations after conv."});
+  for (sim::Time gst : {2'000, 10'000, 30'000}) {
+    for (DetectorKind kind : {DetectorKind::kHeartbeat, DetectorKind::kPingPong}) {
+      Config cfg;
+      cfg.seed = 850 + static_cast<std::uint64_t>(gst / 1000);
+      cfg.topology = "ring";
+      cfg.n = 8;
+      cfg.algorithm = Algorithm::kWaitFree;
+      cfg.detector = kind;
+      cfg.partial_synchrony = true;
+      cfg.delay = {.gst = gst, .pre_lo = 1, .pre_hi = 120,
+                   .spike_prob = 0.12, .spike_factor = 25,
+                   .post_lo = 1, .post_hi = 6};
+      cfg.heartbeat = {.period = 20, .initial_timeout = 30, .timeout_increment = 25};
+      cfg.pingpong = {.period = 20, .initial_rtt = 15, .initial_slack = 15};
+      cfg.harness.think_lo = 5;
+      cfg.harness.think_hi = 40;
+      cfg.crashes = {{4, 40'000}};
+      cfg.run_for = 120'000;
+      Scenario s(cfg);
+      s.run();
+      auto ex = s.exclusion();
+      const auto conv = s.fd_convergence_estimate();
+      const std::uint64_t mistakes = kind == DetectorKind::kHeartbeat
+                                         ? s.heartbeat_detector()->total_false_suspicions()
+                                         : s.pingpong_detector()->total_false_suspicions();
+      const sim::Time retraction = kind == DetectorKind::kHeartbeat
+                                       ? s.heartbeat_detector()->last_retraction()
+                                       : s.pingpong_detector()->last_retraction();
+      t1b.row()
+          .cell(static_cast<std::int64_t>(gst))
+          .cell(scenario::to_string(kind))
+          .cell(mistakes)
+          .cell(static_cast<std::int64_t>(retraction))
+          .cell(static_cast<std::uint64_t>(ex.violations.size()))
+          .cell(static_cast<std::uint64_t>(ex.violations_after(conv)));
+    }
+  }
+  t1b.print();
+  std::printf(
+      "Reading: the RTT-tracking pull detector typically makes fewer mistakes on\n"
+      "jittery links than the fixed-increment push detector, at the cost of 2x the\n"
+      "monitoring traffic; both satisfy <>P1 (final column 0).\n\n");
+
+  std::printf("Table 2: scripted oracle on ring(8), mistakes until t=15000; run 100000\n");
+  util::Table t2({"scripted FPs", "violations", "last violation", "FD conv.",
+                  "violations after conv.", "2-bound after conv."});
+  for (std::size_t fps : {0u, 10u, 40u, 120u, 300u}) {
+    Config cfg;
+    cfg.seed = 900 + fps;
+    cfg.topology = "ring";
+    cfg.n = 8;
+    cfg.algorithm = Algorithm::kWaitFree;
+    cfg.detector = DetectorKind::kScripted;
+    cfg.partial_synchrony = false;
+    cfg.fp_count = fps;
+    cfg.fp_until = 15'000;
+    cfg.fp_len_lo = 100;
+    cfg.fp_len_hi = 400;
+    cfg.harness.think_lo = 5;
+    cfg.harness.think_hi = 40;
+    cfg.run_for = 100'000;
+    Scenario s(cfg);
+    s.run();
+    auto ex = s.exclusion();
+    const auto conv = s.fd_convergence_estimate();
+    t2.row()
+        .cell(static_cast<std::uint64_t>(fps))
+        .cell(static_cast<std::uint64_t>(ex.violations.size()))
+        .cell(static_cast<std::int64_t>(ex.last_violation()))
+        .cell(static_cast<std::int64_t>(conv))
+        .cell(static_cast<std::uint64_t>(ex.violations_after(conv)))
+        .cell(dining::max_overtakes(s.census(), conv));
+  }
+  t2.print();
+  std::printf(
+      "Reading: scheduling mistakes scale with oracle mistakes (rows), but the\n"
+      "post-convergence columns are flat: 0 violations, overtaking <= 2 — the\n"
+      "paper's 'finitely many mistakes, then clean forever'.\n");
+  return 0;
+}

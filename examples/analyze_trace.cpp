@@ -1,0 +1,119 @@
+// analyze_trace — offline property checking of archived executions.
+//
+// Loads a JSONL trace (as written by `run_scenario --dump`), rebuilds the
+// conflict graph from flags, and runs the full checker suite: the checkers
+// are pure functions of (trace, graph), so a trace dumped yesterday — or
+// produced by some other implementation of the algorithm — is analyzable
+// without re-running anything.
+//
+//   ./run_scenario --topology ring --n 8 --crash 2@20000 --dump run.jsonl
+//   ./analyze_trace --trace run.jsonl --topology ring --n 8 --k 2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dining/checkers.hpp"
+#include "dining/trace_io.hpp"
+#include "graph/topology.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --trace FILE --topology NAME --n N [options]\n"
+      "  --k K          fairness bound to check (default 2)\n"
+      "  --after T      evaluate 'eventual' properties from time T (default 0)\n"
+      "  --seed S       seed for the 'random' topology (must match the run)\n"
+      "  --horizon-frac F  starvation horizon as a fraction of the trace\n"
+      "                    length, in percent (default 25)\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string topology = "ring";
+  std::size_t n = 0;
+  int k = 2;
+  sim::Time after = 0;
+  std::uint64_t seed = 1;
+  long horizon_frac = 25;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--trace") trace_path = next();
+    else if (arg == "--topology") topology = next();
+    else if (arg == "--n") n = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--k") k = static_cast<int>(std::strtol(next(), nullptr, 10));
+    else if (arg == "--after") after = std::strtoll(next(), nullptr, 10);
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--horizon-frac") horizon_frac = std::strtol(next(), nullptr, 10);
+    else usage(argv[0]);
+  }
+  if (trace_path.empty() || n == 0) usage(argv[0]);
+
+  dining::Trace trace;
+  try {
+    trace = dining::read_jsonl_file(trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  sim::Rng rng(seed ^ 0x70110ULL);  // matches scenario::build_graph derivation
+  auto graph = graph::by_name(topology, n, rng);
+
+  // Crash times come from the trace itself.
+  std::vector<sim::Time> crash_times(n, -1);
+  for (const auto& e : trace.events()) {
+    if (e.kind == dining::TraceEventKind::kCrashed &&
+        static_cast<std::size_t>(e.process) < n) {
+      crash_times[static_cast<std::size_t>(e.process)] = e.at;
+    }
+  }
+
+  const sim::Time horizon = trace.end_time() * horizon_frac / 100;
+  auto ex = dining::check_exclusion(trace, graph);
+  auto wf = dining::check_wait_freedom(trace, crash_times, horizon);
+  auto census = dining::overtake_census(trace, graph);
+  auto cp = dining::concurrency_profile(trace, graph);
+
+  std::printf("trace: %s — %zu events over %lld ticks, %s(%zu)\n\n", trace_path.c_str(),
+              trace.size(), static_cast<long long>(trace.end_time()), topology.c_str(), n);
+
+  util::Table t({"property", "measured", "verdict"});
+  t.row()
+      .cell("weak exclusion after t=" + std::to_string(after))
+      .cell(std::to_string(ex.violations.size()) + " violations total, " +
+            std::to_string(ex.violations_after(after)) + " after")
+      .cell(ex.violations_after(after) == 0 ? "HOLDS" : "VIOLATED");
+  t.row()
+      .cell("wait-freedom (horizon " + std::to_string(horizon) + ")")
+      .cell(std::to_string(wf.starving.size()) + " starving of " +
+            std::to_string(wf.sessions_total) + " sessions")
+      .cell(wf.wait_free() ? "HOLDS" : "VIOLATED");
+  const int max_ot = dining::max_overtakes(census, after);
+  t.row()
+      .cell(std::to_string(k) + "-bounded waiting after t=" + std::to_string(after))
+      .cell("max overtakes = " + std::to_string(max_ot) + ", bound established at t=" +
+            std::to_string(dining::k_bound_establishment(census, k)))
+      .cell(max_ot <= k ? "HOLDS" : "VIOLATED");
+  t.row()
+      .cell("concurrency")
+      .cell("max " + std::to_string(cp.max_concurrent_eaters) + " simultaneous eaters, " +
+            std::to_string(cp.nonneighbor_overlaps) + " harmless overlaps")
+      .cell("-");
+  t.print();
+
+  std::printf("response times: %s\n", wf.response.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fairness duel: the doorway's value, measured.
+//
+// Saturates a ring (everyone re-hungers almost instantly, long meals) and
+// compares the worst-case overtaking of four dining algorithms as the run
+// grows. Algorithm 1 settles at <= 2 (Theorem 3); static hierarchical
+// priorities grow without bound; Chandy–Misra sits in between.
+//
+//   ./examples/fairness_duel [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+
+namespace {
+
+int worst_overtaking(scenario::Algorithm algo, std::uint64_t seed, sim::Time horizon) {
+  scenario::Config cfg;
+  cfg.seed = seed;
+  cfg.algorithm = algo;
+  cfg.detector = algo == scenario::Algorithm::kWaitFree ? scenario::DetectorKind::kScripted
+                                                        : scenario::DetectorKind::kNever;
+  cfg.partial_synchrony = false;
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 8;
+  cfg.harness.eat_lo = 40;
+  cfg.harness.eat_hi = 100;
+  cfg.run_for = horizon;
+  scenario::Scenario s(cfg);
+  s.run();
+  return dining::max_overtakes(s.census(), 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  std::printf("=== fairness duel: max consecutive overtakes vs run length ===\n");
+  std::printf("ring(8), saturated hunger (think 1-8, eat 40-100 ticks)\n\n");
+
+  util::Table t({"run length", "Alg.1 (doorway+1ack)", "Choy-Singh doorway",
+                 "Chandy-Misra", "hierarchical"});
+  for (sim::Time horizon : {30'000, 60'000, 120'000, 240'000}) {
+    t.row()
+        .cell(static_cast<std::int64_t>(horizon))
+        .cell(worst_overtaking(scenario::Algorithm::kWaitFree, seed, horizon))
+        .cell(worst_overtaking(scenario::Algorithm::kChoySingh, seed, horizon))
+        .cell(worst_overtaking(scenario::Algorithm::kChandyMisra, seed, horizon))
+        .cell(worst_overtaking(scenario::Algorithm::kHierarchical, seed, horizon));
+  }
+  t.print();
+
+  std::printf(
+      "Reading: each cell is the maximum number of times any process started eating\n"
+      "while one of its neighbors stayed continuously hungry. Algorithm 1's modified\n"
+      "doorway (one ack per neighbor per hungry session) pins this at 2 regardless of\n"
+      "run length; the hierarchical baseline's worst case keeps growing with the\n"
+      "horizon because a high-priority neighbor can keep winning the shared fork.\n");
+  return 0;
+}

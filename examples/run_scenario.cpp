@@ -1,0 +1,272 @@
+// run_scenario — command-line front end to the whole library.
+//
+// Builds any experiment from flags, runs it, prints the property reports
+// for the paper's theorems, and (optionally) an ASCII Gantt chart of the
+// schedule: one row per philosopher, time left to right,
+//   '#' eating, '-' hungry, ' ' thinking, 'X' crashed.
+//
+// Examples:
+//   ./run_scenario --topology clique --n 6 --crash 2@10000
+//   ./run_scenario --algorithm chandy-misra --detector none --gantt
+//   ./run_scenario --topology star --n 9 --detector heartbeat --gantt
+//   ./run_scenario --algorithm hierarchical --think 1:8 --eat 40:100 --gantt
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dining/checkers.hpp"
+#include "dining/trace_io.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::Scenario;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --topology NAME      ring|path|clique|star|grid|tree|random (default ring)\n"
+      "  --n N                number of processes (default 8)\n"
+      "  --algorithm A        waitfree|choy-singh|choy-singh-1ack|hierarchical|\n"
+      "                       chandy-misra (default waitfree)\n"
+      "  --detector D         scripted|heartbeat|pingpong|pingpong-ondemand|\n"
+      "                       accrual|perfect|none (default scripted)\n"
+      "  --seed S             RNG seed (default 1)\n"
+      "  --run-for T          virtual-time horizon (default 60000)\n"
+      "  --crash P@T          crash process P at time T (repeatable)\n"
+      "  --think LO:HI        think-time range (default 50:300)\n"
+      "  --eat LO:HI          eat-duration range (default 20:60)\n"
+      "  --fp COUNT:UNTIL     scripted false positives (default 0:0)\n"
+      "  --acks M             ack budget per session (default 1; k = M+1)\n"
+      "  --gantt              print the schedule as an ASCII Gantt chart\n"
+      "  --gantt-width W      chart width in columns (default 100)\n"
+      "  --dump FILE          write the execution trace as JSON lines\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_pair(const char* s, long long& a, long long& b, char sep) {
+  char* end = nullptr;
+  a = std::strtoll(s, &end, 10);
+  if (end == nullptr || *end != sep) return false;
+  b = std::strtoll(end + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+Algorithm parse_algorithm(const std::string& s) {
+  if (s == "waitfree") return Algorithm::kWaitFree;
+  if (s == "choy-singh") return Algorithm::kChoySingh;
+  if (s == "choy-singh-1ack") return Algorithm::kChoySinghSingleAck;
+  if (s == "hierarchical") return Algorithm::kHierarchical;
+  if (s == "chandy-misra") return Algorithm::kChandyMisra;
+  std::fprintf(stderr, "unknown algorithm: %s\n", s.c_str());
+  std::exit(2);
+}
+
+DetectorKind parse_detector(const std::string& s) {
+  if (s == "scripted") return DetectorKind::kScripted;
+  if (s == "heartbeat") return DetectorKind::kHeartbeat;
+  if (s == "pingpong") return DetectorKind::kPingPong;
+  if (s == "pingpong-ondemand") return DetectorKind::kPingPong;  // + on_demand below
+  if (s == "accrual") return DetectorKind::kAccrual;
+  if (s == "perfect") return DetectorKind::kPerfect;
+  if (s == "none") return DetectorKind::kNever;
+  std::fprintf(stderr, "unknown detector: %s\n", s.c_str());
+  std::exit(2);
+}
+
+void print_gantt(Scenario& s, int width) {
+  const auto n = s.config().n;
+  const sim::Time horizon = s.config().run_for;
+  const auto w = static_cast<std::size_t>(width);
+  const double bucket = static_cast<double>(horizon) / static_cast<double>(width);
+
+  // Time spent per (process, bucket, state): 0 think, 1 hungry, 2 eat, 3 dead.
+  std::vector<std::array<std::vector<double>, 4>> spent(n);
+  for (auto& a : spent) {
+    for (auto& v : a) v.assign(w, 0.0);
+  }
+  std::vector<int> state(n, 0);
+  std::vector<sim::Time> since(n, 0);
+
+  auto credit = [&](std::size_t p, sim::Time from, sim::Time to, int st) {
+    if (to <= from) return;
+    auto b0 = static_cast<std::size_t>(static_cast<double>(from) / bucket);
+    auto b1 = static_cast<std::size_t>(static_cast<double>(to - 1) / bucket);
+    b0 = std::min(b0, w - 1);
+    b1 = std::min(b1, w - 1);
+    for (std::size_t b = b0; b <= b1; ++b) {
+      const double lo = std::max(static_cast<double>(from), static_cast<double>(b) * bucket);
+      const double hi =
+          std::min(static_cast<double>(to), static_cast<double>(b + 1) * bucket);
+      if (hi > lo) spent[p][static_cast<std::size_t>(st)][b] += hi - lo;
+    }
+  };
+
+  for (const auto& e : s.trace().events()) {
+    const auto p = static_cast<std::size_t>(e.process);
+    int next = state[p];
+    switch (e.kind) {
+      case dining::TraceEventKind::kBecameHungry: next = 1; break;
+      case dining::TraceEventKind::kStartEating: next = 2; break;
+      case dining::TraceEventKind::kStopEating: next = 0; break;
+      case dining::TraceEventKind::kCrashed: next = 3; break;
+      default: continue;
+    }
+    credit(p, since[p], e.at, state[p]);
+    state[p] = next;
+    since[p] = e.at;
+  }
+  for (std::size_t p = 0; p < n; ++p) credit(p, since[p], horizon, state[p]);
+
+  // Glyph: dominant state in the bucket; eating shown proportionally
+  // ('#' majority, '+' some eating) so short meals stay visible.
+  static const char kGlyph[4] = {' ', '-', '#', 'X'};
+  std::printf(
+      "\nschedule (one column = %.0f ticks; '#' mostly eating, '+' some eating,\n"
+      "'-' hungry, ' ' thinking, 'X' crashed):\n",
+      bucket);
+  for (std::size_t p = 0; p < n; ++p) {
+    std::string row(w, ' ');
+    for (std::size_t b = 0; b < w; ++b) {
+      int best = 0;
+      for (int st = 1; st < 4; ++st) {
+        if (spent[p][static_cast<std::size_t>(st)][b] >
+            spent[p][static_cast<std::size_t>(best)][b]) {
+          best = st;
+        }
+      }
+      char g = kGlyph[best];
+      if (best != 2 && best != 3 && spent[p][2][b] > 0.0) g = '+';
+      row[b] = g;
+    }
+    std::printf("p%-3zu |%s|\n", p, row.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.run_for = 60'000;
+  bool gantt = false;
+  int gantt_width = 100;
+  std::string dump_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      cfg.topology = next();
+    } else if (arg == "--n") {
+      cfg.n = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--algorithm") {
+      cfg.algorithm = parse_algorithm(next());
+    } else if (arg == "--detector") {
+      const std::string d = next();
+      cfg.detector = parse_detector(d);
+      if (d == "pingpong-ondemand") cfg.pingpong.on_demand = true;
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--run-for") {
+      cfg.run_for = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--crash") {
+      long long p = 0, t = 0;
+      if (!parse_pair(next(), p, t, '@')) usage(argv[0]);
+      cfg.crashes.emplace_back(static_cast<sim::ProcessId>(p), t);
+    } else if (arg == "--think") {
+      long long lo = 0, hi = 0;
+      if (!parse_pair(next(), lo, hi, ':')) usage(argv[0]);
+      cfg.harness.think_lo = lo;
+      cfg.harness.think_hi = hi;
+    } else if (arg == "--eat") {
+      long long lo = 0, hi = 0;
+      if (!parse_pair(next(), lo, hi, ':')) usage(argv[0]);
+      cfg.harness.eat_lo = lo;
+      cfg.harness.eat_hi = hi;
+    } else if (arg == "--fp") {
+      long long count = 0, until = 0;
+      if (!parse_pair(next(), count, until, ':')) usage(argv[0]);
+      cfg.fp_count = static_cast<std::size_t>(count);
+      cfg.fp_until = until;
+    } else if (arg == "--acks") {
+      cfg.acks_per_session = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--gantt-width") {
+      gantt_width = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--dump") {
+      dump_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (cfg.detector == DetectorKind::kHeartbeat || cfg.detector == DetectorKind::kPingPong) {
+    cfg.partial_synchrony = true;
+  } else {
+    cfg.partial_synchrony = false;
+  }
+
+  std::printf("scenario: %s(%zu), algorithm=%s, detector=%s, seed=%llu, horizon=%lld\n",
+              cfg.topology.c_str(), cfg.n, scenario::to_string(cfg.algorithm).c_str(),
+              scenario::to_string(cfg.detector).c_str(),
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<long long>(cfg.run_for));
+
+  Scenario s(cfg);
+  s.run();
+
+  auto wf = s.wait_freedom(cfg.run_for / 4);
+  auto ex = s.exclusion();
+  auto census = s.census();
+  auto conv = s.fd_convergence_estimate();
+  auto cp = dining::concurrency_profile(s.trace(), s.graph());
+
+  util::Table t({"metric", "value"});
+  t.row().cell("meals").cell(static_cast<std::uint64_t>(
+      s.trace().count(dining::TraceEventKind::kStartEating)));
+  t.row().cell("hungry sessions (total/completed)").cell(
+      std::to_string(wf.sessions_total) + "/" + std::to_string(wf.sessions_completed));
+  t.row().cell("starving processes").cell(static_cast<std::uint64_t>(wf.starving.size()));
+  t.row().cell("response time mean/p95").cell(
+      std::to_string(static_cast<long long>(wf.response.mean)) + "/" +
+      std::to_string(static_cast<long long>(wf.response.p95)));
+  t.row().cell("exclusion violations (total)").cell(
+      static_cast<std::uint64_t>(ex.violations.size()));
+  t.row().cell("violations after FD convergence").cell(
+      static_cast<std::uint64_t>(ex.violations_after(conv)));
+  t.row().cell("max overtakes (after convergence)").cell(
+      dining::max_overtakes(census, conv));
+  t.row().cell("max dining msgs in transit per edge").cell(
+      s.sim().network().max_in_transit_any(sim::MsgLayer::kDining));
+  t.row().cell("mean concurrent eaters").cell(cp.mean_concurrent_eaters, 2);
+  t.row().cell("dining / detector messages").cell(
+      std::to_string(s.sim().network().total_sent(sim::MsgLayer::kDining)) + " / " +
+      std::to_string(s.sim().network().total_sent(sim::MsgLayer::kDetector)));
+  t.print();
+
+  if (gantt) print_gantt(s, gantt_width);
+  if (!dump_path.empty()) {
+    if (ekbd::dining::write_jsonl_file(s.trace(), dump_path)) {
+      std::printf("trace written to %s (%zu events)\n", dump_path.c_str(),
+                  s.trace().size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", dump_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// The paper's motivating application: a wait-free distributed daemon
+// scheduling a self-stabilizing protocol through crash faults, transient
+// faults, and pre-convergence scheduling mistakes.
+//
+// Runs Dijkstra's K-state token ring (crash-free, with transient bursts)
+// and the stabilizing graph coloring (with two crashes) under Algorithm 1,
+// then re-runs the coloring under the crash-oblivious Choy–Singh daemon to
+// show convergence is lost.
+//
+//   ./examples/stabilizing_daemon [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "daemon/fault_injector.hpp"
+#include "daemon/scheduler.hpp"
+#include "scenario/scenario.hpp"
+#include "stab/coloring.hpp"
+#include "stab/token_ring.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+
+namespace {
+
+scenario::Config daemon_cfg(scenario::Algorithm algo, std::uint64_t seed) {
+  scenario::Config cfg;
+  cfg.seed = seed;
+  cfg.algorithm = algo;
+  cfg.detector = algo == scenario::Algorithm::kWaitFree ? scenario::DetectorKind::kScripted
+                                                        : scenario::DetectorKind::kNever;
+  cfg.partial_synchrony = false;
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.detection_delay = 150;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 50;
+  cfg.run_for = 150'000;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  std::printf("=== wait-free distributed daemon scheduling stabilizing protocols ===\n\n");
+
+  util::Table table({"protocol", "daemon", "faults injected", "crashes", "steps",
+                     "sched. mistakes", "converged", "last illegitimate t"});
+
+  // --- 1. Dijkstra token ring + transient bursts, wait-free daemon ------
+  {
+    auto cfg = daemon_cfg(scenario::Algorithm::kWaitFree, seed);
+    scenario::Scenario s(cfg);
+    stab::DijkstraTokenRing proto(cfg.n);
+    stab::StateTable regs(cfg.n, 1);
+    sim::Rng rng(seed);
+    regs.randomize(rng, 0, proto.k() - 1);  // arbitrary initial configuration
+    daemon::DaemonScheduler d(s.harness(), proto, regs);
+    daemon::FaultInjector inj(s.sim(), regs, proto, s.graph());
+    inj.schedule_train(30'000, 20'000, 4, 3);
+    s.run();
+    table.row()
+        .cell(proto.name())
+        .cell("Alg.1 (wait-free)")
+        .cell(inj.corruptions_applied())
+        .cell("0")
+        .cell(d.steps_executed())
+        .cell(d.sharing_violations())
+        .cell(d.converged())
+        .cell(d.last_illegitimate());
+  }
+
+  // --- 2. Stabilizing coloring + two crashes, wait-free daemon ----------
+  {
+    auto cfg = daemon_cfg(scenario::Algorithm::kWaitFree, seed);
+    cfg.fp_count = 25;  // some pre-convergence oracle mistakes too
+    cfg.fp_until = 10'000;
+    cfg.crashes = {{2, 20'000}, {6, 40'000}};
+    scenario::Scenario s(cfg);
+    stab::StabilizingColoring proto;
+    stab::StateTable regs(cfg.n, 1);  // all zeros: maximally conflicting
+    daemon::DaemonScheduler d(s.harness(), proto, regs);
+    s.run();
+    table.row()
+        .cell(proto.name())
+        .cell("Alg.1 (wait-free)")
+        .cell("0")
+        .cell("2")
+        .cell(d.steps_executed())
+        .cell(d.sharing_violations())
+        .cell(d.converged())
+        .cell(d.last_illegitimate());
+  }
+
+  // --- 3. Same coloring + crash, crash-oblivious Choy–Singh daemon ------
+  {
+    auto cfg = daemon_cfg(scenario::Algorithm::kChoySingh, seed);
+    cfg.crashes = {{2, 1}};
+    scenario::Scenario s(cfg);
+    stab::StabilizingColoring proto;
+    stab::StateTable regs(cfg.n, 1);
+    daemon::DaemonScheduler d(s.harness(), proto, regs);
+    s.run();
+    table.row()
+        .cell(proto.name())
+        .cell("Choy-Singh (no oracle)")
+        .cell("0")
+        .cell("1")
+        .cell(d.steps_executed())
+        .cell(d.sharing_violations())
+        .cell(d.converged())
+        .cell(d.last_illegitimate());
+  }
+
+  table.print();
+  std::printf(
+      "Reading: the wait-free daemon keeps every correct process executing, so the\n"
+      "stabilizing layer converges after the last fault — even with crashes and with\n"
+      "scheduling mistakes before <>P1 settles (each mistake is just one more transient\n"
+      "fault). The crash-oblivious daemon starves the victim's neighbors; a conflict\n"
+      "parked next to a starved process is never repaired, so convergence is lost.\n");
+  return 0;
+}

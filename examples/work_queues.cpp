@@ -1,0 +1,85 @@
+// work_queues — the library as a downstream user would consume it.
+//
+// A replicated counter service: every process applies increments to its
+// own replica inside a critical section, then "gossips" the value into
+// its neighbors' queues — all through CriticalSectionScheduler::submit,
+// with the wait-free dining layer guaranteeing that adjacent replicas
+// never apply concurrently, even while one replica host crashes mid-run.
+//
+//   ./examples/work_queues [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "daemon/critical_section.hpp"
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using daemon::CriticalSectionScheduler;
+using sim::ProcessId;
+
+int main(int argc, char** argv) {
+  scenario::Config cfg;
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 33;
+  cfg.topology = "grid";
+  cfg.n = 9;
+  cfg.algorithm = scenario::Algorithm::kWaitFree;
+  cfg.detector = scenario::DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 120;
+  cfg.crashes = {{4, 25'000}};  // the center replica dies
+  cfg.run_for = 80'000;
+
+  scenario::Scenario s(cfg);
+  CriticalSectionScheduler sched(s.harness());
+
+  std::vector<long> replica(cfg.n, 0);
+
+  // Gossip step: bump own replica, then enqueue a merge at each neighbor.
+  std::function<void(ProcessId, int)> gossip = [&](ProcessId self, int hops) {
+    replica[static_cast<std::size_t>(self)] += 1;
+    if (hops == 0) return;
+    for (ProcessId j : s.graph().neighbors(self)) {
+      sched.submit(j, [&gossip, hops](ProcessId me) { gossip(me, hops - 1); });
+    }
+  };
+
+  // Clients inject work at random processes throughout the run.
+  sim::Rng clients(cfg.seed ^ 0xC11E47);
+  for (int i = 0; i < 60; ++i) {
+    const auto at = clients.uniform_int(100, 60'000);
+    const auto origin = static_cast<ProcessId>(clients.index(cfg.n));
+    s.sim().schedule(at, [&, origin] {
+      sched.submit(origin, [&gossip](ProcessId me) { gossip(me, 2); });
+    });
+  }
+
+  s.run();
+
+  std::printf("work_queues — replicated counters over grid(9), p4 crashes at t=25000\n\n");
+  util::Table t({"replica", "value", "queued left", "state"});
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    t.row()
+        .cell(std::string("p") + std::to_string(p) + (p == 4 ? " (crashed)" : ""))
+        .cell(static_cast<std::int64_t>(replica[p]))
+        .cell(static_cast<std::uint64_t>(sched.pending(static_cast<ProcessId>(p))))
+        .cell(s.sim().crashed(static_cast<ProcessId>(p))
+                  ? "dead"
+                  : dining::to_string(s.diner(static_cast<ProcessId>(p))->state()));
+  }
+  t.print();
+
+  auto ex = s.exclusion();
+  std::printf("critical sections executed: %llu   work items run: %llu\n",
+              static_cast<unsigned long long>(sched.sections_acquired()),
+              static_cast<unsigned long long>(sched.executed()));
+  std::printf("exclusion violations: %zu   survivors' queues drained: %s\n",
+              ex.violations.size(), sched.drained() ? "yes" : "NO");
+  std::printf(
+      "\nReading: work submitted to live replicas always ran (wait-freedom);\n"
+      "work stranded at the corpse stayed queued; no two adjacent replicas ever\n"
+      "applied concurrently. The caller never touched forks, acks, or suspicion.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "baseline/chandy_misra_diner.hpp"
+
+#include <cassert>
+
+#include "core/messages.hpp"
+
+namespace ekbd::baseline {
+
+using ekbd::core::Fork;
+using ekbd::core::ForkRequest;
+using ekbd::dining::DinerState;
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+
+ChandyMisraDiner::ChandyMisraDiner(std::vector<ProcessId> neighbors, int color,
+                                   std::vector<int> neighbor_colors,
+                                   const ekbd::fd::FailureDetector& detector)
+    : Diner(std::move(neighbors)),
+      color_(color),
+      neighbor_colors_(std::move(neighbor_colors)),
+      detector_(detector),
+      per_(diner_neighbors().size()) {
+  assert(neighbor_colors_.size() == diner_neighbors().size());
+}
+
+std::size_t ChandyMisraDiner::idx(ProcessId j) const {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (ns[k] == j) return k;
+  }
+  assert(false && "message from a non-neighbor");
+  return 0;
+}
+
+bool ChandyMisraDiner::suspects(ProcessId j) const { return detector_.suspects(id(), j); }
+
+void ChandyMisraDiner::diner_start() {
+  // All forks start dirty, placed to make the precedence graph acyclic
+  // (the coloring provides a global order); tokens start opposite.
+  for (std::size_t k = 0; k < per_.size(); ++k) {
+    if (color_ > neighbor_colors_[k]) {
+      per_[k].fork = true;
+      per_[k].dirty = true;
+    } else {
+      per_[k].token = true;
+    }
+  }
+}
+
+void ChandyMisraDiner::become_hungry() {
+  assert(thinking());
+  set_state(DinerState::kHungry);
+  pump();
+}
+
+void ChandyMisraDiner::pump() {
+  if (!hungry()) return;
+  pump_fork_requests();
+  try_eat();
+}
+
+void ChandyMisraDiner::pump_fork_requests() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && !s.fork) {
+      send(ns[k], ForkRequest{color_}, MsgLayer::kDining);
+      s.token = false;
+    }
+  }
+}
+
+void ChandyMisraDiner::handle_fork_request(ProcessId j) {
+  PerNeighbor& s = per_[idx(j)];
+  s.token = true;
+  if (!s.fork) {
+    assert(false && "fork request received while not holding the fork");
+    return;
+  }
+  // CM rule: yield a dirty fork unless eating; a clean fork certifies that
+  // this process has priority — keep it until soiled by the next meal.
+  if (!eating() && s.dirty) {
+    s.dirty = false;  // wiped clean before handing over
+    send(j, Fork{}, MsgLayer::kDining);
+    s.fork = false;
+  }
+}
+
+void ChandyMisraDiner::try_eat() {
+  if (!hungry()) return;
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (!per_[k].fork && !suspects(ns[k])) return;
+  }
+  // Eating soils every held fork.
+  for (PerNeighbor& s : per_) {
+    if (s.fork) s.dirty = true;
+  }
+  set_state(DinerState::kEating);
+}
+
+void ChandyMisraDiner::finish_eating() {
+  assert(eating());
+  set_state(DinerState::kThinking);
+  // Grant deferred requests (token ∧ fork): forks are dirty now, so they
+  // must go.
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && s.fork) {
+      s.dirty = false;
+      send(ns[k], Fork{}, MsgLayer::kDining);
+      s.fork = false;
+    }
+  }
+}
+
+void ChandyMisraDiner::diner_message(const Message& m) {
+  if (m.as<ForkRequest>() != nullptr) {
+    handle_fork_request(m.from);
+  } else if (m.as<Fork>() != nullptr) {
+    PerNeighbor& s = per_[idx(m.from)];
+    s.fork = true;
+    // Forks arrive clean — unless this process already stopped being
+    // hungry (possible only with an injected detector: it ate on
+    // suspicion while its request was in flight). A stale fork is soiled
+    // immediately so the neighbor's next request can still pry it away.
+    s.dirty = !hungry();
+  } else {
+    assert(false && "unknown dining message");
+    return;
+  }
+  pump();
+}
+
+std::size_t ChandyMisraDiner::state_bits() const {
+  const auto color_bits = static_cast<std::size_t>(
+      std::bit_width(static_cast<unsigned>(color_ < 0 ? 0 : color_) + 1u));
+  return color_bits + 3 * per_.size() + 2;
+}
+
+}  // namespace ekbd::baseline

@@ -1,0 +1,73 @@
+/// \file chandy_misra_diner.hpp
+/// Baseline: Chandy–Misra dining philosophers ("The drinking philosophers
+/// problem", ACM TOPLAS 1984) — dynamic priorities via dirty/clean forks.
+///
+/// The classic crash-free solution to the fairness problem the static
+/// hierarchy has: forks are *soiled* by eating; a holder must yield a
+/// dirty fork on request (unless eating) but may keep a clean one, so
+/// priority flows to whoever has waited through a neighbor's meal. This
+/// gives starvation-freedom (even bounded waiting) without any doorway —
+/// in fault-free runs.
+///
+/// Under crash faults it shares the fate of every asynchronous algorithm
+/// (paper §1): a neighbor that crashes holding a needed fork starves the
+/// waiter forever. An injected ◇P₁ restores progress (suspicion stands in
+/// for the missing fork) — but unlike Algorithm 1 this was never designed
+/// for it: post-crash, fork/token conservation still holds, yet fairness
+/// degrades (no doorway bounds how often a suspicious pair overtakes).
+/// E2/E3 quantify both effects.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "fd/detector.hpp"
+
+namespace ekbd::baseline {
+
+class ChandyMisraDiner final : public ekbd::dining::Diner {
+ public:
+  using ProcessId = ekbd::sim::ProcessId;
+
+  /// Colors are only used for the initial acyclic orientation (fork starts
+  /// dirty at the higher-colored endpoint); priorities afterwards are fully
+  /// dynamic.
+  ChandyMisraDiner(std::vector<ProcessId> neighbors, int color,
+                   std::vector<int> neighbor_colors,
+                   const ekbd::fd::FailureDetector& detector);
+
+  void become_hungry() override;
+  void finish_eating() override;
+  [[nodiscard]] std::size_t state_bits() const override;
+
+  [[nodiscard]] bool holds_fork(ProcessId j) const { return per_[idx(j)].fork; }
+  [[nodiscard]] bool fork_dirty(ProcessId j) const { return per_[idx(j)].dirty; }
+
+ protected:
+  void pump() override;
+  void diner_start() override;
+  void diner_message(const ekbd::sim::Message& m) override;
+
+ private:
+  struct PerNeighbor {
+    bool fork = false;
+    bool dirty = false;  ///< meaningful while fork == true
+    bool token = false;  ///< request token
+  };
+
+  [[nodiscard]] std::size_t idx(ProcessId j) const;
+  [[nodiscard]] bool suspects(ProcessId j) const;
+
+  void pump_fork_requests();
+  void handle_fork_request(ProcessId j);
+  void try_eat();
+
+  const int color_;
+  const std::vector<int> neighbor_colors_;
+  const ekbd::fd::FailureDetector& detector_;
+  std::vector<PerNeighbor> per_;
+};
+
+}  // namespace ekbd::baseline

@@ -1,0 +1,186 @@
+#include "baseline/doorway_diner.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "core/messages.hpp"
+
+namespace ekbd::baseline {
+
+using ekbd::core::Ack;
+using ekbd::core::Fork;
+using ekbd::core::ForkRequest;
+using ekbd::core::Ping;
+using ekbd::dining::DinerState;
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+
+DoorwayDiner::DoorwayDiner(std::vector<ProcessId> neighbors, int color,
+                           std::vector<int> neighbor_colors,
+                           const ekbd::fd::FailureDetector& detector, Options options)
+    : Diner(std::move(neighbors)),
+      color_(color),
+      neighbor_colors_(std::move(neighbor_colors)),
+      detector_(detector),
+      options_(options),
+      per_(diner_neighbors().size()) {
+  assert(neighbor_colors_.size() == diner_neighbors().size());
+}
+
+std::size_t DoorwayDiner::idx(ProcessId j) const {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (ns[k] == j) return k;
+  }
+  assert(false && "message from a non-neighbor");
+  return 0;
+}
+
+bool DoorwayDiner::suspects(ProcessId j) const { return detector_.suspects(id(), j); }
+
+void DoorwayDiner::diner_start() {
+  for (std::size_t k = 0; k < per_.size(); ++k) {
+    if (color_ > neighbor_colors_[k]) {
+      per_[k].fork = true;
+    } else {
+      per_[k].token = true;
+    }
+  }
+}
+
+void DoorwayDiner::become_hungry() {
+  assert(thinking());
+  set_state(DinerState::kHungry);
+  pump();
+}
+
+void DoorwayDiner::pump() {
+  if (!hungry()) return;
+  if (!inside_) {
+    pump_pings();
+    try_enter_doorway();
+  }
+  if (hungry() && inside_) {
+    pump_fork_requests();
+    try_eat();
+  }
+}
+
+void DoorwayDiner::pump_pings() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (!s.pinged && !s.ack) {
+      send(ns[k], Ping{}, MsgLayer::kDining);
+      s.pinged = true;
+    }
+  }
+}
+
+void DoorwayDiner::handle_ping(ProcessId j) {
+  PerNeighbor& s = slot(j);
+  const bool refuse = inside_ || (options_.single_ack_per_session && s.replied);
+  if (refuse) {
+    s.deferred = true;
+  } else {
+    send(j, Ack{}, MsgLayer::kDining);
+    if (options_.single_ack_per_session) s.replied = hungry();
+  }
+}
+
+void DoorwayDiner::handle_ack(ProcessId j) {
+  PerNeighbor& s = slot(j);
+  s.ack = hungry() && !inside_;
+  s.pinged = false;
+}
+
+void DoorwayDiner::try_enter_doorway() {
+  if (!hungry() || inside_) return;
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (!per_[k].ack && !suspects(ns[k])) return;
+  }
+  inside_ = true;
+  for (PerNeighbor& s : per_) {
+    s.ack = false;
+    s.replied = false;
+  }
+  note_enter_doorway();
+}
+
+void DoorwayDiner::pump_fork_requests() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && !s.fork) {
+      send(ns[k], ForkRequest{color_}, MsgLayer::kDining);
+      s.token = false;
+    }
+  }
+}
+
+void DoorwayDiner::handle_fork_request(ProcessId j, int req_color) {
+  PerNeighbor& s = slot(j);
+  s.token = true;
+  if (!s.fork) {
+    assert(false && "fork request received while not holding the fork");
+    return;
+  }
+  if (!inside_ || (hungry() && color_ < req_color)) {
+    send(j, Fork{}, MsgLayer::kDining);
+    s.fork = false;
+  }
+}
+
+void DoorwayDiner::handle_fork(ProcessId j) { slot(j).fork = true; }
+
+void DoorwayDiner::try_eat() {
+  if (!hungry() || !inside_) return;
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (!per_[k].fork && !suspects(ns[k])) return;
+  }
+  set_state(DinerState::kEating);
+}
+
+void DoorwayDiner::finish_eating() {
+  assert(eating());
+  inside_ = false;
+  set_state(DinerState::kThinking);
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && s.fork) {
+      send(ns[k], Fork{}, MsgLayer::kDining);
+      s.fork = false;
+    }
+    if (s.deferred) {
+      send(ns[k], Ack{}, MsgLayer::kDining);
+      s.deferred = false;
+    }
+  }
+}
+
+void DoorwayDiner::diner_message(const Message& m) {
+  if (m.as<Ping>() != nullptr) {
+    handle_ping(m.from);
+  } else if (m.as<Ack>() != nullptr) {
+    handle_ack(m.from);
+  } else if (const auto* req = m.as<ForkRequest>()) {
+    handle_fork_request(m.from, req->color);
+  } else if (m.as<Fork>() != nullptr) {
+    handle_fork(m.from);
+  } else {
+    assert(false && "unknown dining message");
+    return;
+  }
+  pump();
+}
+
+std::size_t DoorwayDiner::state_bits() const {
+  const auto color_bits = static_cast<std::size_t>(
+      std::bit_width(static_cast<unsigned>(color_ < 0 ? 0 : color_) + 1u));
+  return color_bits + 6 * per_.size() + 3;
+}
+
+}  // namespace ekbd::baseline

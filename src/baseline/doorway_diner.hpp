@@ -1,0 +1,102 @@
+/// \file doorway_diner.hpp
+/// Baseline: the Choy–Singh asynchronous-doorway dining algorithm
+/// (ACM TOPLAS 17(3), 1995) — the algorithm the paper's Algorithm 1 is
+/// derived from.
+///
+/// Identical two-phase structure (doorway for fairness, color-prioritized
+/// forks for safety) with the two differences the paper calls out in §3:
+///
+///  1. **No oracle.** There is no suspicion clause in the doorway or the
+///     eating guard, so a single crashed neighbor blocks this algorithm
+///     forever: the victim's neighbors starve (the paper's motivation —
+///     wait-free scheduling is unsolvable asynchronously [8]).
+///     A detector can optionally be injected to isolate the effect of the
+///     paper's *other* change (the ack rule), giving the "wait-free but
+///     only finitely fair" intermediate design point.
+///
+///  2. **Original ack rule.** An ack is granted whenever the process is
+///     outside the doorway (no `replied` bookkeeping), so while a process
+///     waits outside, a neighbor may re-enter the doorway arbitrarily many
+///     (though finitely many) times — *finite* overtaking, not the paper's
+///     eventual 2-bounded waiting. `single_ack_per_session = true` enables
+///     the paper's rule, turning this class into Algorithm 1 (used by the
+///     equivalence tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "fd/detector.hpp"
+
+namespace ekbd::baseline {
+
+class DoorwayDiner final : public ekbd::dining::Diner {
+ public:
+  using ProcessId = ekbd::sim::ProcessId;
+
+  struct Options {
+    /// Grant at most one ack per neighbor per own hungry session (the
+    /// paper's modification). Off = original Choy–Singh behaviour.
+    bool single_ack_per_session = false;
+  };
+
+  /// Pass a NeverSuspect detector for the crash-oblivious original.
+  DoorwayDiner(std::vector<ProcessId> neighbors, int color,
+               std::vector<int> neighbor_colors,
+               const ekbd::fd::FailureDetector& detector, Options options);
+
+  /// Original Choy–Singh configuration (default Options).
+  DoorwayDiner(std::vector<ProcessId> neighbors, int color,
+               std::vector<int> neighbor_colors,
+               const ekbd::fd::FailureDetector& detector)
+      : DoorwayDiner(std::move(neighbors), color, std::move(neighbor_colors), detector,
+                     Options{}) {}
+
+  void become_hungry() override;
+  void finish_eating() override;
+  [[nodiscard]] bool inside_doorway() const override { return inside_; }
+  [[nodiscard]] std::size_t state_bits() const override;
+
+  [[nodiscard]] int color() const { return color_; }
+  [[nodiscard]] bool holds_fork(ProcessId j) const { return slot(j).fork; }
+  [[nodiscard]] bool holds_token(ProcessId j) const { return slot(j).token; }
+
+ protected:
+  void pump() override;
+  void diner_start() override;
+  void diner_message(const ekbd::sim::Message& m) override;
+
+ private:
+  struct PerNeighbor {
+    bool fork = false;
+    bool token = false;
+    bool pinged = false;
+    bool ack = false;
+    bool deferred = false;
+    bool replied = false;  // used only when single_ack_per_session
+  };
+
+  [[nodiscard]] std::size_t idx(ProcessId j) const;
+  [[nodiscard]] const PerNeighbor& slot(ProcessId j) const { return per_[idx(j)]; }
+  [[nodiscard]] PerNeighbor& slot(ProcessId j) { return per_[idx(j)]; }
+  [[nodiscard]] bool suspects(ProcessId j) const;
+
+  void pump_pings();
+  void handle_ping(ProcessId j);
+  void handle_ack(ProcessId j);
+  void try_enter_doorway();
+  void pump_fork_requests();
+  void handle_fork_request(ProcessId j, int req_color);
+  void handle_fork(ProcessId j);
+  void try_eat();
+
+  const int color_;
+  const std::vector<int> neighbor_colors_;
+  const ekbd::fd::FailureDetector& detector_;
+  const Options options_;
+  std::vector<PerNeighbor> per_;
+  bool inside_ = false;
+};
+
+}  // namespace ekbd::baseline

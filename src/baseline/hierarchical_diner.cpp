@@ -1,0 +1,126 @@
+#include "baseline/hierarchical_diner.hpp"
+
+#include <cassert>
+
+#include "core/messages.hpp"
+
+namespace ekbd::baseline {
+
+using ekbd::core::Fork;
+using ekbd::core::ForkRequest;
+using ekbd::dining::DinerState;
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+
+HierarchicalDiner::HierarchicalDiner(std::vector<ProcessId> neighbors, int color,
+                                     std::vector<int> neighbor_colors,
+                                     const ekbd::fd::FailureDetector& detector)
+    : Diner(std::move(neighbors)),
+      color_(color),
+      neighbor_colors_(std::move(neighbor_colors)),
+      detector_(detector),
+      per_(diner_neighbors().size()) {
+  assert(neighbor_colors_.size() == diner_neighbors().size());
+}
+
+std::size_t HierarchicalDiner::idx(ProcessId j) const {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (ns[k] == j) return k;
+  }
+  assert(false && "message from a non-neighbor");
+  return 0;
+}
+
+bool HierarchicalDiner::suspects(ProcessId j) const { return detector_.suspects(id(), j); }
+
+void HierarchicalDiner::diner_start() {
+  for (std::size_t k = 0; k < per_.size(); ++k) {
+    if (color_ > neighbor_colors_[k]) {
+      per_[k].fork = true;
+    } else {
+      per_[k].token = true;
+    }
+  }
+}
+
+void HierarchicalDiner::become_hungry() {
+  assert(thinking());
+  set_state(DinerState::kHungry);
+  pump();
+}
+
+void HierarchicalDiner::pump() {
+  if (!hungry()) return;
+  pump_fork_requests();
+  try_eat();
+}
+
+void HierarchicalDiner::pump_fork_requests() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && !s.fork) {
+      send(ns[k], ForkRequest{color_}, MsgLayer::kDining);
+      s.token = false;
+    }
+  }
+}
+
+void HierarchicalDiner::handle_fork_request(ProcessId j, int req_color) {
+  PerNeighbor& s = per_[idx(j)];
+  s.token = true;
+  if (!s.fork) {
+    assert(false && "fork request received while not holding the fork");
+    return;
+  }
+  // Static priority, no doorway: yield unless this process is eating, or
+  // hungry with the higher color.
+  const bool keep = eating() || (hungry() && color_ > req_color);
+  if (!keep) {
+    send(j, Fork{}, MsgLayer::kDining);
+    s.fork = false;
+  }
+}
+
+void HierarchicalDiner::try_eat() {
+  if (!hungry()) return;
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (!per_[k].fork && !suspects(ns[k])) return;
+  }
+  set_state(DinerState::kEating);
+}
+
+void HierarchicalDiner::finish_eating() {
+  assert(eating());
+  set_state(DinerState::kThinking);
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && s.fork) {
+      send(ns[k], Fork{}, MsgLayer::kDining);
+      s.fork = false;
+    }
+  }
+}
+
+void HierarchicalDiner::diner_message(const Message& m) {
+  if (const auto* req = m.as<ForkRequest>()) {
+    handle_fork_request(m.from, req->color);
+  } else if (m.as<Fork>() != nullptr) {
+    per_[idx(m.from)].fork = true;
+  } else {
+    assert(false && "unknown dining message");
+    return;
+  }
+  pump();
+}
+
+std::size_t HierarchicalDiner::state_bits() const {
+  const auto color_bits = static_cast<std::size_t>(
+      std::bit_width(static_cast<unsigned>(color_ < 0 ? 0 : color_) + 1u));
+  return color_bits + 2 * per_.size() + 2;
+}
+
+}  // namespace ekbd::baseline

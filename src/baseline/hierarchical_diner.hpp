@@ -1,0 +1,67 @@
+/// \file hierarchical_diner.hpp
+/// Baseline: hierarchical resource allocation — color-prioritized forks
+/// with *no doorway* (Lynch 1980, "fast allocation of nearby resources").
+///
+/// Phase 2 of Algorithm 1 taken alone: a hungry process requests missing
+/// forks via the shared token; a conflict is always resolved in favor of
+/// the statically higher-colored neighbor (the holder yields iff it is not
+/// hungry/eating, or it is hungry with the lower color). Eating requires
+/// all forks (or, with an injected detector, suspicion of the missing
+/// neighbors).
+///
+/// Safety is identical to Algorithm 1's phase 2 (unique forks). Fairness
+/// is not: without the doorway, a higher-colored neighbor under continuous
+/// contention overtakes — and can outright starve — a lower-colored one.
+/// Experiment E3 measures exactly this gap: Algorithm 1's overtaking
+/// settles at <= 2, this baseline's grows with the run length.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "fd/detector.hpp"
+
+namespace ekbd::baseline {
+
+class HierarchicalDiner final : public ekbd::dining::Diner {
+ public:
+  using ProcessId = ekbd::sim::ProcessId;
+
+  HierarchicalDiner(std::vector<ProcessId> neighbors, int color,
+                    std::vector<int> neighbor_colors,
+                    const ekbd::fd::FailureDetector& detector);
+
+  void become_hungry() override;
+  void finish_eating() override;
+  [[nodiscard]] std::size_t state_bits() const override;
+
+  [[nodiscard]] int color() const { return color_; }
+  [[nodiscard]] bool holds_fork(ProcessId j) const { return per_[idx(j)].fork; }
+
+ protected:
+  void pump() override;
+  void diner_start() override;
+  void diner_message(const ekbd::sim::Message& m) override;
+
+ private:
+  struct PerNeighbor {
+    bool fork = false;
+    bool token = false;
+  };
+
+  [[nodiscard]] std::size_t idx(ProcessId j) const;
+  [[nodiscard]] bool suspects(ProcessId j) const;
+
+  void pump_fork_requests();
+  void handle_fork_request(ProcessId j, int req_color);
+  void try_eat();
+
+  const int color_;
+  const std::vector<int> neighbor_colors_;
+  const ekbd::fd::FailureDetector& detector_;
+  std::vector<PerNeighbor> per_;
+};
+
+}  // namespace ekbd::baseline

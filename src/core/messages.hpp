@@ -1,0 +1,30 @@
+/// \file messages.hpp
+/// Wire format of Algorithm 1 (paper §3 / §7).
+///
+/// Four message types, matching the paper's channel-capacity analysis:
+/// between any pair of neighbors at most one fork, one token (the fork
+/// request carries the token), and two ping/acks are ever in transit.
+/// Sender identity comes from the simulator's message envelope; the only
+/// payload data is the requester's color inside a fork request — hence the
+/// O(log n) message size of §7.
+#pragma once
+
+namespace ekbd::core {
+
+/// Doorway ack solicitation (Action 2 → Action 3).
+struct Ping {};
+
+/// Doorway permission (Action 3/10 → Action 4).
+struct Ack {};
+
+/// Fork request; sending it passes the shared token to the fork holder
+/// (Action 6 → Action 7). Carries the requester's static color, which the
+/// holder compares against its own (higher color wins).
+struct ForkRequest {
+  int color = 0;
+};
+
+/// The shared fork itself (Action 7/10 → Action 8).
+struct Fork {};
+
+}  // namespace ekbd::core

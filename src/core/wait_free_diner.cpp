@@ -1,0 +1,248 @@
+#include "core/wait_free_diner.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "core/messages.hpp"
+
+namespace ekbd::core {
+
+using ekbd::dining::DinerState;
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+
+WaitFreeDiner::WaitFreeDiner(std::vector<ProcessId> neighbors, int color,
+                             std::vector<int> neighbor_colors,
+                             const ekbd::fd::FailureDetector& detector)
+    : WaitFreeDiner(std::move(neighbors), color, std::move(neighbor_colors), detector,
+                    Options{}) {}
+
+WaitFreeDiner::WaitFreeDiner(std::vector<ProcessId> neighbors, int color,
+                             std::vector<int> neighbor_colors,
+                             const ekbd::fd::FailureDetector& detector, Options options)
+    : Diner(std::move(neighbors)),
+      color_(color),
+      neighbor_colors_(std::move(neighbor_colors)),
+      detector_(detector),
+      options_(options),
+      per_(diner_neighbors().size()) {
+  assert(neighbor_colors_.size() == diner_neighbors().size());
+  assert(options_.acks_per_session >= 1);
+#ifndef NDEBUG
+  for (int nc : neighbor_colors_) assert(nc != color_ && "neighbors must differ in color");
+#endif
+}
+
+std::size_t WaitFreeDiner::idx(ProcessId j) const {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (ns[k] == j) return k;
+  }
+  assert(false && "message from a non-neighbor");
+  return 0;
+}
+
+bool WaitFreeDiner::suspects(ProcessId j) const { return detector_.suspects(id(), j); }
+
+void WaitFreeDiner::diner_start() {
+  // §3.1: initially the fork is at the higher-colored endpoint of each
+  // edge and the token at the lower-colored endpoint.
+  for (std::size_t k = 0; k < per_.size(); ++k) {
+    if (color_ > neighbor_colors_[k]) {
+      per_[k].fork = true;
+    } else {
+      per_[k].token = true;
+    }
+  }
+}
+
+// ------------------------------------------------------------- Action 1 --
+
+void WaitFreeDiner::become_hungry() {
+  assert(thinking());
+  set_state(DinerState::kHungry);
+  pump();
+}
+
+// ---------------------------------------------------- guard re-evaluation --
+
+void WaitFreeDiner::pump() {
+  if (!hungry()) return;
+  if (!inside_) {
+    pump_pings();         // Action 2
+    try_enter_doorway();  // Action 5
+  }
+  if (hungry() && inside_) {
+    pump_fork_requests();  // Action 6
+    try_eat();             // Action 9
+  }
+}
+
+// ------------------------------------------------------------- Action 2 --
+// While hungry and outside the doorway: request an ack from every neighbor
+// from which none is held and no ping is pending.
+
+void WaitFreeDiner::pump_pings() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (!s.pinged && !s.ack) {
+      send(ns[k], Ping{}, MsgLayer::kDining);
+      ++counts_.pings;
+      s.pinged = true;
+    }
+  }
+}
+
+// ------------------------------------------------------------- Action 3 --
+// Grant the ping unless inside the doorway or the per-session ack budget
+// (paper: one) is exhausted; a granted ack while hungry spends the budget.
+
+void WaitFreeDiner::handle_ping(ProcessId j) {
+  PerNeighbor& s = slot(j);
+  if (inside_ || s.replied >= options_.acks_per_session) {
+    s.deferred = true;
+  } else {
+    send(j, Ack{}, MsgLayer::kDining);
+    ++counts_.acks;
+    if (hungry()) ++s.replied;
+  }
+}
+
+// ------------------------------------------------------------- Action 4 --
+// An ack only counts if we are still hungry and outside the doorway (stale
+// acks from a previous session are discarded, but clear the pending ping).
+
+void WaitFreeDiner::handle_ack(ProcessId j) {
+  PerNeighbor& s = slot(j);
+  s.ack = hungry() && !inside_;
+  s.pinged = false;
+}
+
+// ------------------------------------------------------------- Action 5 --
+// Enter the doorway once every neighbor has acked or is suspected.
+
+void WaitFreeDiner::try_enter_doorway() {
+  if (!hungry() || inside_) return;
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (!per_[k].ack && !suspects(ns[k])) return;
+  }
+  inside_ = true;
+  for (PerNeighbor& s : per_) {
+    s.ack = false;
+    s.replied = 0;
+  }
+  note_enter_doorway();
+}
+
+// ------------------------------------------------------------- Action 6 --
+// While hungry and inside: spend the token to request each missing fork,
+// carrying our color.
+
+void WaitFreeDiner::pump_fork_requests() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && !s.fork) {
+      send(ns[k], ForkRequest{color_}, MsgLayer::kDining);
+      ++counts_.fork_requests;
+      s.token = false;
+    }
+  }
+}
+
+// ------------------------------------------------------------- Action 7 --
+// Receive the token; yield the fork immediately iff outside the doorway,
+// or hungry-inside with the lower color. Otherwise keep fork+token (the
+// deferred request) until Action 10.
+
+void WaitFreeDiner::handle_fork_request(ProcessId j, int req_color) {
+  PerNeighbor& s = slot(j);
+  s.token = true;
+  if (!s.fork) {
+    // Lemma 1.1: a request can only reach the current fork holder — under
+    // reliable FIFO channels. The counter is the runtime check of that
+    // argument: it stays 0 in every test and experiment under the paper's
+    // model, and fires under the deliberate channel-fault experiments
+    // (bench/e17_model_assumptions), which is exactly the point.
+    ++lemma11_violations_;
+    return;
+  }
+  if (!inside_ || (hungry() && color_ < req_color)) {
+    send(j, Fork{}, MsgLayer::kDining);
+    ++counts_.forks;
+    s.fork = false;
+  }
+}
+
+// ------------------------------------------------------------- Action 8 --
+
+void WaitFreeDiner::handle_fork(ProcessId j) { slot(j).fork = true; }
+
+// ------------------------------------------------------------- Action 9 --
+// Eat once, for every neighbor, we hold the shared fork or suspect it.
+
+void WaitFreeDiner::try_eat() {
+  if (!hungry() || !inside_) return;
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (!per_[k].fork && !suspects(ns[k])) return;
+  }
+  set_state(DinerState::kEating);
+}
+
+// ------------------------------------------------------------ Action 10 --
+// Exit: back to thinking, leave the doorway, grant every deferred fork
+// request (token ∧ fork) and every deferred ping.
+
+void WaitFreeDiner::finish_eating() {
+  assert(eating());
+  inside_ = false;
+  set_state(DinerState::kThinking);
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerNeighbor& s = per_[k];
+    if (s.token && s.fork) {
+      send(ns[k], Fork{}, MsgLayer::kDining);
+      ++counts_.forks;
+      s.fork = false;
+    }
+    if (s.deferred) {
+      send(ns[k], Ack{}, MsgLayer::kDining);
+      ++counts_.acks;
+      s.deferred = false;
+    }
+  }
+}
+
+// -------------------------------------------------------------- plumbing --
+
+void WaitFreeDiner::diner_message(const Message& m) {
+  if (m.as<Ping>() != nullptr) {
+    handle_ping(m.from);
+  } else if (m.as<Ack>() != nullptr) {
+    handle_ack(m.from);
+  } else if (const auto* req = m.as<ForkRequest>()) {
+    handle_fork_request(m.from, req->color);
+  } else if (m.as<Fork>() != nullptr) {
+    handle_fork(m.from);
+  } else {
+    assert(false && "unknown dining message");
+    return;
+  }
+  pump();
+}
+
+std::size_t WaitFreeDiner::state_bits() const {
+  // §7: log2(#colors) + 6δ + c, with c covering state (2 bits) and the
+  // doorway flag (1 bit). With the generalized ack budget m the replied
+  // flag widens from 1 to ceil(log2(m+1)) bits per neighbor.
+  const auto color_bits = static_cast<std::size_t>(
+      std::bit_width(static_cast<unsigned>(color_ < 0 ? 0 : color_) + 1u));
+  const auto replied_bits = static_cast<std::size_t>(
+      std::bit_width(static_cast<unsigned>(options_.acks_per_session)));
+  return color_bits + (5 + replied_bits) * per_.size() + 3;
+}
+
+}  // namespace ekbd::core

@@ -1,0 +1,142 @@
+/// \file wait_free_diner.hpp
+/// The paper's contribution: Algorithm 1 — wait-free dining with eventual
+/// 2-bounded waiting under eventual weak exclusion, using ◇P₁.
+///
+/// Structure (paper §3):
+///
+///  * Phase 1, *outside the doorway*: a hungry process pings every neighbor
+///    and may enter the doorway once, for each neighbor, it either received
+///    an ack during this hungry session or currently suspects the neighbor.
+///    A process grants at most one ack per neighbor per own hungry session
+///    (the `replied` flag) — that restriction is what sharpens the
+///    doorway's "finite overtaking" into *eventual 2-bounded waiting*.
+///
+///  * Phase 2, *inside the doorway*: the process requests every missing
+///    fork by sending the shared token; the holder yields immediately iff
+///    it is outside the doorway or is hungry with a lower static color,
+///    otherwise it defers until it exits (Action 10). The process eats
+///    once, for each neighbor, it either holds the shared fork or suspects
+///    the neighbor.
+///
+/// Suspicion (◇P₁) substitutes for acks and forks of crashed neighbors —
+/// that is the entire wait-freedom mechanism; before the detector
+/// converges, false suspicions can cause (finitely many) exclusion
+/// violations, which ◇WX tolerates.
+///
+/// The per-neighbor state is exactly the paper's nine variable families;
+/// `state_bits()` reports the §7 space formula's measured value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "fd/detector.hpp"
+
+namespace ekbd::core {
+
+class WaitFreeDiner : public ekbd::dining::Diner {
+ public:
+  using ProcessId = ekbd::sim::ProcessId;
+
+  /// Per-neighbor message counters (instrumentation for E9).
+  struct MessageCounts {
+    std::uint64_t pings = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t fork_requests = 0;
+    std::uint64_t forks = 0;
+    [[nodiscard]] std::uint64_t total() const {
+      return pings + acks + fork_requests + forks;
+    }
+  };
+
+  struct Options {
+    /// Maximum acks granted per neighbor per own hungry session. The paper
+    /// fixes this to 1, which yields eventual 2-bounded waiting (Theorem
+    /// 3: m granted entries + 1 stale in-flight ack = m+1). Generalizing
+    /// the budget to m gives eventual (m+1)-bounded waiting — the "k" of
+    /// the paper's title, measured by bench/e11_kbound.
+    int acks_per_session = 1;
+  };
+
+  /// \param neighbors        conflict-graph neighbors of this process
+  /// \param color            this process's static priority (locally unique)
+  /// \param neighbor_colors  colors aligned with `neighbors` (for the
+  ///                         initial fork/token placement: fork starts at
+  ///                         the higher-colored endpoint)
+  /// \param detector         the ◇P₁ oracle (shared by all diners)
+  WaitFreeDiner(std::vector<ProcessId> neighbors, int color,
+                std::vector<int> neighbor_colors,
+                const ekbd::fd::FailureDetector& detector);
+
+  /// As above with a non-default ack budget (fairness generalization).
+  WaitFreeDiner(std::vector<ProcessId> neighbors, int color,
+                std::vector<int> neighbor_colors,
+                const ekbd::fd::FailureDetector& detector, Options options);
+
+  // -- dining::Diner ------------------------------------------------------
+
+  void become_hungry() override;            // Action 1
+  void finish_eating() override;            // Action 10
+  [[nodiscard]] bool inside_doorway() const override { return inside_; }
+  [[nodiscard]] std::size_t state_bits() const override;
+
+  // -- introspection (tests / invariant checks) ----------------------------
+
+  [[nodiscard]] int color() const { return color_; }
+  [[nodiscard]] bool holds_fork(ProcessId j) const { return slot(j).fork; }
+  [[nodiscard]] bool holds_token(ProcessId j) const { return slot(j).token; }
+  [[nodiscard]] bool has_pending_ping(ProcessId j) const { return slot(j).pinged; }
+  [[nodiscard]] bool has_ack_from(ProcessId j) const { return slot(j).ack; }
+  [[nodiscard]] bool has_replied_to(ProcessId j) const { return slot(j).replied > 0; }
+  [[nodiscard]] bool has_deferred_ping_from(ProcessId j) const { return slot(j).deferred; }
+  [[nodiscard]] const MessageCounts& message_counts() const { return counts_; }
+
+  /// Times a fork request arrived while this process did not hold the
+  /// fork. Lemma 1.1 proves this never happens; the counter must stay 0.
+  [[nodiscard]] std::uint64_t lemma11_violations() const { return lemma11_violations_; }
+
+ protected:
+  void pump() override;
+  void diner_start() override;
+  void diner_message(const ekbd::sim::Message& m) override;
+
+ private:
+  /// The six per-neighbor variables of §3.1. `replied` is a counter
+  /// instead of the paper's boolean to support the generalized ack budget
+  /// (Options::acks_per_session); with the default budget of 1 it only
+  /// ever takes the values 0/1 and is exactly the paper's flag.
+  struct PerNeighbor {
+    bool fork = false;      ///< I hold the fork shared with j
+    bool token = false;     ///< I hold the token (right to request the fork)
+    bool pinged = false;    ///< a ping I initiated is pending with j
+    bool ack = false;       ///< received j's ack this hungry session, while outside
+    bool deferred = false;  ///< I am deferring a ping from j
+    int replied = 0;        ///< acks granted to j during my current hungry session
+  };
+
+  [[nodiscard]] std::size_t idx(ProcessId j) const;
+  [[nodiscard]] const PerNeighbor& slot(ProcessId j) const { return per_[idx(j)]; }
+  [[nodiscard]] PerNeighbor& slot(ProcessId j) { return per_[idx(j)]; }
+  [[nodiscard]] bool suspects(ProcessId j) const;
+
+  void pump_pings();                                     // Action 2
+  void handle_ping(ProcessId j);                         // Action 3
+  void handle_ack(ProcessId j);                          // Action 4
+  void try_enter_doorway();                              // Action 5
+  void pump_fork_requests();                             // Action 6
+  void handle_fork_request(ProcessId j, int req_color);  // Action 7
+  void handle_fork(ProcessId j);                         // Action 8
+  void try_eat();                                        // Action 9
+
+  const int color_;
+  const std::vector<int> neighbor_colors_;
+  const ekbd::fd::FailureDetector& detector_;
+  const Options options_;
+  std::vector<PerNeighbor> per_;
+  bool inside_ = false;
+  MessageCounts counts_;
+  std::uint64_t lemma11_violations_ = 0;
+};
+
+}  // namespace ekbd::core

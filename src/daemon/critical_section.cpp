@@ -1,0 +1,65 @@
+#include "daemon/critical_section.hpp"
+
+namespace ekbd::daemon {
+
+using ekbd::sim::ProcessId;
+
+CriticalSectionScheduler::CriticalSectionScheduler(ekbd::dining::Harness& harness,
+                                                   Options options)
+    : harness_(harness),
+      options_(options),
+      queues_(harness.simulator().num_processes()) {
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    harness_.set_think_forever(static_cast<ProcessId>(p), true);
+  }
+  harness_.set_eat_hook([this](ProcessId p) { on_eat(p); });
+  harness_.set_exit_hook([this](ProcessId p) { on_exit(p); });
+}
+
+bool CriticalSectionScheduler::submit(ProcessId p, Work work) {
+  auto& sim = harness_.simulator();
+  if (sim.crashed(p)) return false;
+  queues_[static_cast<std::size_t>(p)].push_back(std::move(work));
+  wake(p);
+  return true;
+}
+
+void CriticalSectionScheduler::wake(ProcessId p) {
+  // Request the critical section if the process is idle. Deferred by one
+  // tick so a submit() from inside a dining callback never re-enters the
+  // diner's state machine mid-action.
+  auto& sim = harness_.simulator();
+  sim.schedule_in(1, [this, p] {
+    auto& s = harness_.simulator();
+    if (s.crashed(p)) return;
+    ekbd::dining::Diner* d = harness_.diner(p);
+    if (d != nullptr && d->thinking() && !queues_[static_cast<std::size_t>(p)].empty()) {
+      d->become_hungry();
+    }
+  });
+}
+
+void CriticalSectionScheduler::on_eat(ProcessId p) {
+  ++sections_;
+  auto& queue = queues_[static_cast<std::size_t>(p)];
+  for (std::size_t i = 0; i < options_.max_per_section && !queue.empty(); ++i) {
+    Work work = std::move(queue.front());
+    queue.pop_front();
+    work(p);
+    ++executed_;
+  }
+}
+
+void CriticalSectionScheduler::on_exit(ProcessId p) {
+  if (!queues_[static_cast<std::size_t>(p)].empty()) wake(p);
+}
+
+bool CriticalSectionScheduler::drained() const {
+  const auto& sim = harness_.simulator();
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    if (!queues_[p].empty() && !sim.crashed(static_cast<ProcessId>(p))) return false;
+  }
+  return true;
+}
+
+}  // namespace ekbd::daemon

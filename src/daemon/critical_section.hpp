@@ -1,0 +1,71 @@
+/// \file critical_section.hpp
+/// Work-queue facade: the daemon as a library API.
+///
+/// `DaemonScheduler` (scheduler.hpp) is specialized to shared-variable
+/// stabilizing protocols; this facade exposes the scheduling core the way
+/// a downstream user would want it: *submit arbitrary work for process p;
+/// it runs inside p's next critical section*, with the dining layer
+/// guaranteeing that no conflicting (conflict-graph-adjacent) work runs
+/// concurrently — eventually (◇WX), and wait-free under crashes when the
+/// underlying diners use ◇P₁.
+///
+/// Hunger becomes demand-driven: processes stay thinking until work is
+/// queued, go hungry to acquire their section, execute up to
+/// `max_per_section` items, and re-enter the queue if work remains. With
+/// no work anywhere, the dining layer is silent (and with an on-demand
+/// detector, the whole stack is).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dining/harness.hpp"
+
+namespace ekbd::daemon {
+
+class CriticalSectionScheduler {
+ public:
+  /// Work item; runs at the moment `p` starts eating (inside the section).
+  using Work = std::function<void(ekbd::sim::ProcessId p)>;
+
+  struct Options {
+    /// Work items executed per acquired section (daemons schedule
+    /// processes, not unbounded batches; 1 mirrors the daemon model).
+    std::size_t max_per_section = 1;
+  };
+
+  /// Takes over the harness's eat/exit hooks and suppresses its automatic
+  /// hunger cycle (every process is set think-forever; the facade makes
+  /// processes hungry exactly when they have work).
+  CriticalSectionScheduler(ekbd::dining::Harness& harness, Options options);
+  explicit CriticalSectionScheduler(ekbd::dining::Harness& harness)
+      : CriticalSectionScheduler(harness, Options{}) {}
+
+  /// Enqueue work for `p`. Ignored (returns false) if `p` has crashed.
+  bool submit(ekbd::sim::ProcessId p, Work work);
+
+  [[nodiscard]] std::size_t pending(ekbd::sim::ProcessId p) const {
+    return queues_[static_cast<std::size_t>(p)].size();
+  }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t sections_acquired() const { return sections_; }
+
+  /// True when no work is queued anywhere (dead processes' leftovers are
+  /// ignored — they will never run).
+  [[nodiscard]] bool drained() const;
+
+ private:
+  void on_eat(ekbd::sim::ProcessId p);
+  void on_exit(ekbd::sim::ProcessId p);
+  void wake(ekbd::sim::ProcessId p);
+
+  ekbd::dining::Harness& harness_;
+  Options options_;
+  std::vector<std::deque<Work>> queues_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t sections_ = 0;
+};
+
+}  // namespace ekbd::daemon

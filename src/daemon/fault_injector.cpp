@@ -1,0 +1,41 @@
+#include "daemon/fault_injector.hpp"
+
+namespace ekbd::daemon {
+
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+FaultInjector::FaultInjector(ekbd::sim::Simulator& sim, ekbd::stab::StateTable& table,
+                             const ekbd::stab::Protocol& protocol,
+                             const ekbd::graph::ConflictGraph& graph)
+    : sim_(sim),
+      table_(table),
+      protocol_(protocol),
+      graph_(graph),
+      rng_(sim.rng().fork(0xFA17)) {}
+
+void FaultInjector::schedule_burst(Time at, std::size_t registers) {
+  sim_.schedule(at, [this, registers] { burst(registers); });
+}
+
+void FaultInjector::schedule_train(Time first, Time gap, std::size_t count,
+                                   std::size_t registers_per_burst) {
+  for (std::size_t i = 0; i < count; ++i) {
+    schedule_burst(first + gap * static_cast<Time>(i), registers_per_burst);
+  }
+}
+
+void FaultInjector::burst(std::size_t registers) {
+  const auto live = sim_.live_processes();
+  if (live.empty()) return;
+  const std::int64_t hi = protocol_.corruption_hi(graph_);
+  for (std::size_t i = 0; i < registers; ++i) {
+    const ProcessId p = live[rng_.index(live.size())];
+    const auto r = rng_.index(table_.regs_per_process());
+    table_.corrupt(p, r, rng_.uniform_int(0, hi));
+    ++applied_;
+  }
+  last_burst_ = sim_.now();
+}
+
+}  // namespace ekbd::daemon

@@ -1,0 +1,47 @@
+/// \file fault_injector.hpp
+/// Transient-fault injection for the stabilization experiments.
+///
+/// Self-stabilization's promise is recovery from *any* configuration;
+/// the injector exercises it by overwriting randomly chosen registers with
+/// random values at scheduled times — one-off bursts, or a finite train of
+/// bursts (stabilization only requires convergence after the faults stop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "stab/protocol.hpp"
+
+namespace ekbd::daemon {
+
+class FaultInjector {
+ public:
+  FaultInjector(ekbd::sim::Simulator& sim, ekbd::stab::StateTable& table,
+                const ekbd::stab::Protocol& protocol,
+                const ekbd::graph::ConflictGraph& graph);
+
+  /// At time `at`, corrupt `registers` randomly chosen (process, register)
+  /// slots of live processes with random in-domain values.
+  void schedule_burst(ekbd::sim::Time at, std::size_t registers);
+
+  /// Schedule `count` bursts, `gap` apart, starting at `first`.
+  void schedule_train(ekbd::sim::Time first, ekbd::sim::Time gap, std::size_t count,
+                      std::size_t registers_per_burst);
+
+  [[nodiscard]] std::uint64_t corruptions_applied() const { return applied_; }
+  [[nodiscard]] ekbd::sim::Time last_burst_time() const { return last_burst_; }
+
+ private:
+  void burst(std::size_t registers);
+
+  ekbd::sim::Simulator& sim_;
+  ekbd::stab::StateTable& table_;
+  const ekbd::stab::Protocol& protocol_;
+  const ekbd::graph::ConflictGraph& graph_;
+  ekbd::sim::Rng rng_;
+  std::uint64_t applied_ = 0;
+  ekbd::sim::Time last_burst_ = 0;
+};
+
+}  // namespace ekbd::daemon

@@ -1,0 +1,70 @@
+#include "daemon/scheduler.hpp"
+
+namespace ekbd::daemon {
+
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+DaemonScheduler::DaemonScheduler(ekbd::dining::Harness& harness,
+                                 const ekbd::stab::Protocol& protocol,
+                                 ekbd::stab::StateTable& table, Options options)
+    : harness_(harness),
+      protocol_(protocol),
+      table_(table),
+      options_(options),
+      rng_(harness.simulator().rng().fork(0xDAE4)) {
+  harness_.set_eat_hook([this](ProcessId p) { on_eat(p); });
+}
+
+std::vector<bool> DaemonScheduler::live_mask() const {
+  const auto& sim = harness_.simulator();
+  std::vector<bool> live(sim.num_processes(), true);
+  for (std::size_t p = 0; p < live.size(); ++p) {
+    live[p] = !sim.crashed(static_cast<ProcessId>(p));
+  }
+  return live;
+}
+
+void DaemonScheduler::on_eat(ProcessId p) {
+  const auto& g = harness_.graph();
+
+  // A ◇WX scheduling mistake: a neighbor is eating at the same instant.
+  bool violation = false;
+  for (ProcessId q : g.neighbors(p)) {
+    const ekbd::dining::Diner* dq = harness_.diner(q);
+    if (dq != nullptr && dq->eating() && !harness_.simulator().crashed(q)) {
+      violation = true;
+      break;
+    }
+  }
+
+  if (protocol_.enabled(p, table_, g)) {
+    protocol_.step(p, table_, g);
+    ++steps_;
+  } else {
+    ++idle_;
+  }
+
+  if (violation) {
+    ++violations_;
+    // Sharing violation: the overlapping critical sections may have read
+    // torn state — model the worst case as a transient fault on p.
+    if (rng_.chance(options_.violation_corruption_prob)) {
+      const std::int64_t hi = protocol_.corruption_hi(g);
+      for (std::size_t r = 0; r < table_.regs_per_process(); ++r) {
+        table_.corrupt(p, r, rng_.uniform_int(0, hi));
+      }
+      ++corruptions_;
+    }
+  }
+
+  if (!protocol_.legitimate_restricted(table_, g, live_mask())) {
+    last_illegitimate_ = harness_.simulator().now();
+  }
+}
+
+bool DaemonScheduler::converged() const {
+  return protocol_.legitimate_restricted(table_, harness_.graph(), live_mask());
+}
+
+}  // namespace ekbd::daemon

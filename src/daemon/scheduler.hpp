@@ -1,0 +1,86 @@
+/// \file scheduler.hpp
+/// The distributed daemon: a dining algorithm scheduling a self-stabilizing
+/// protocol (the paper's motivating application, §1).
+///
+/// Every diner represents one protocol process. Whenever a diner starts
+/// eating, the daemon executes one enabled action of the protocol on that
+/// process's registers — the mutual exclusion of dining guarantees no
+/// conflicting (neighboring) action runs concurrently... *except* during a
+/// ◇WX scheduling mistake. Mistakes are modeled the way the paper argues
+/// they should be: a step that overlaps with an eating neighbor is a
+/// sharing violation and may corrupt the stepping process's registers —
+/// "at worst a transient fault on the stabilization layer". A wait-free
+/// daemon makes finitely many such mistakes and keeps scheduling every
+/// correct process forever, so the protocol still converges; a non-wait-
+/// free daemon starves processes after a crash and convergence is lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dining/harness.hpp"
+#include "stab/protocol.hpp"
+
+namespace ekbd::daemon {
+
+class DaemonScheduler {
+ public:
+  struct Options {
+    /// Probability that a step overlapping an eating neighbor corrupts
+    /// this process's registers (the transient-fault model for mistakes).
+    double violation_corruption_prob = 1.0;
+  };
+
+  /// Wires itself into `harness`'s eat hook. The protocol and table must
+  /// outlive the scheduler. Registers are randomized by the caller (or a
+  /// FaultInjector) to model the arbitrary initial configuration.
+  DaemonScheduler(ekbd::dining::Harness& harness, const ekbd::stab::Protocol& protocol,
+                  ekbd::stab::StateTable& table, Options options);
+
+  DaemonScheduler(ekbd::dining::Harness& harness, const ekbd::stab::Protocol& protocol,
+                  ekbd::stab::StateTable& table)
+      : DaemonScheduler(harness, protocol, table, Options{}) {}
+
+  // -- results ----------------------------------------------------------
+
+  /// Protocol steps executed (eating sessions with an enabled guard).
+  [[nodiscard]] std::uint64_t steps_executed() const { return steps_; }
+
+  /// Eating sessions where no guard was enabled (still counted as
+  /// scheduled — daemons select processes, not actions).
+  [[nodiscard]] std::uint64_t idle_schedules() const { return idle_; }
+
+  /// Scheduling mistakes observed: steps taken while a neighbor was
+  /// eating simultaneously.
+  [[nodiscard]] std::uint64_t sharing_violations() const { return violations_; }
+
+  /// Register corruptions caused by sharing violations.
+  [[nodiscard]] std::uint64_t violation_corruptions() const { return corruptions_; }
+
+  /// Is the protocol state legitimate *for the live processes* right now?
+  [[nodiscard]] bool converged() const;
+
+  /// Latest time the live-restricted legitimacy predicate was observed
+  /// false->anything (i.e., the last time the system was seen illegitimate
+  /// after a step); 0 if never illegitimate. The convergence time reported
+  /// by E7.
+  [[nodiscard]] ekbd::sim::Time last_illegitimate() const { return last_illegitimate_; }
+
+ private:
+  void on_eat(ekbd::sim::ProcessId p);
+  [[nodiscard]] std::vector<bool> live_mask() const;
+
+  ekbd::dining::Harness& harness_;
+  const ekbd::stab::Protocol& protocol_;
+  ekbd::stab::StateTable& table_;
+  Options options_;
+  ekbd::sim::Rng rng_;
+  std::vector<bool> eating_now_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t idle_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t corruptions_ = 0;
+  ekbd::sim::Time last_illegitimate_ = 0;
+};
+
+}  // namespace ekbd::daemon

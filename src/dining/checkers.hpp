@@ -1,0 +1,121 @@
+/// \file checkers.hpp
+/// Property checkers for the paper's theorems.
+///
+/// Each checker is a pure function of (Trace, ConflictGraph [, crash
+/// info]) and returns a report struct; the test suite asserts on reports
+/// from real executions, and also feeds hand-crafted good *and bad* traces
+/// to prove the checkers themselves can detect violations.
+///
+///  * `check_exclusion`       — Theorem 1 (◇WX): overlapping-eating pairs
+///    of live neighbors, and when the last one happened.
+///  * `check_wait_freedom`    — Theorem 2: every correct hungry process
+///    eventually eats; reports starving processes and response times.
+///  * `overtake_census` etc.  — Theorem 3 (◇2-BW): for every hungry
+///    session of i and every neighbor j, how many times j started eating
+///    while i stayed continuously hungry.
+///
+/// Quiescence (§7) and the channel bound (§7) are checked directly against
+/// `sim::Network` statistics (see harness/bench code) since they are
+/// properties of message traffic, not of the scheduling trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dining/trace.hpp"
+#include "graph/graph.hpp"
+#include "util/stats.hpp"
+
+namespace ekbd::dining {
+
+// ------------------------------------------------------------- exclusion
+
+/// One scheduling mistake: `a` started eating at `at` while its live
+/// neighbor `b` was already eating.
+struct ExclusionViolation {
+  Time at = 0;
+  ProcessId a = ekbd::sim::kNoProcess;
+  ProcessId b = ekbd::sim::kNoProcess;
+};
+
+struct ExclusionReport {
+  std::vector<ExclusionViolation> violations;
+  /// Time of the last violation, or -1 if the run is violation-free.
+  [[nodiscard]] Time last_violation() const {
+    return violations.empty() ? -1 : violations.back().at;
+  }
+  /// Number of violations occurring strictly after `t`.
+  [[nodiscard]] std::size_t violations_after(Time t) const;
+};
+
+/// Scan the trace for pairs of adjacent processes eating simultaneously.
+/// Each violation is counted once, at the moment the overlap begins.
+ExclusionReport check_exclusion(const Trace& trace, const ekbd::graph::ConflictGraph& g);
+
+// ---------------------------------------------------------- wait-freedom
+
+struct WaitFreedomReport {
+  std::size_t sessions_total = 0;      ///< hungry sessions observed
+  std::size_t sessions_completed = 0;  ///< ended in eating
+  std::size_t sessions_crashed = 0;    ///< owner crashed while hungry
+  /// Correct processes still hungry at the horizon whose wait exceeded
+  /// `starvation_horizon` — the empirical starvation signal.
+  std::vector<ProcessId> starving;
+  /// Response times (hungry → eat) of completed sessions of processes that
+  /// never crashed.
+  ekbd::util::Summary response;
+
+  [[nodiscard]] bool wait_free() const { return starving.empty(); }
+};
+
+/// \param crash_times      per-process crash time, -1 if correct
+/// \param starvation_horizon a process still hungry at the end, waiting
+///        longer than this, is declared starving. Pick ≫ the typical
+///        response time (benches use ~20% of the run length).
+WaitFreedomReport check_wait_freedom(const Trace& trace,
+                                     const std::vector<Time>& crash_times,
+                                     Time starvation_horizon);
+
+// ------------------------------------------------------ bounded waiting
+
+/// One fairness observation: during the hungry session of `waiter` that
+/// began at `session_start`, neighbor `eater` started eating `count`
+/// times before the waiter did (or before the session was cut short).
+struct OvertakeObservation {
+  ProcessId waiter = ekbd::sim::kNoProcess;
+  ProcessId eater = ekbd::sim::kNoProcess;
+  Time session_start = 0;
+  int count = 0;
+};
+
+/// All (session, neighbor) overtake counts in the trace.
+std::vector<OvertakeObservation> overtake_census(const Trace& trace,
+                                                 const ekbd::graph::ConflictGraph& g);
+
+/// Largest overtake count among observations whose session starts at or
+/// after `after` (0 = whole run).
+int max_overtakes(const std::vector<OvertakeObservation>& census, Time after = 0);
+
+/// Earliest time T such that every observation with session_start >= T has
+/// count <= k: the empirically observed establishment point of ◇k-BW
+/// (last violating session start + 1). Returns 0 if the whole run is
+/// k-bounded.
+Time k_bound_establishment(const std::vector<OvertakeObservation>& census, int k);
+
+// ------------------------------------------------------------ concurrency
+
+/// How *distributed* the daemon actually is: a correct but useless daemon
+/// could schedule one process at a time globally. A dining-based daemon
+/// must let non-conflicting (non-adjacent) processes eat concurrently.
+struct ConcurrencyReport {
+  int max_concurrent_eaters = 0;
+  /// Time-weighted average number of simultaneous eaters over the run.
+  double mean_concurrent_eaters = 0.0;
+  /// Overlap-begin events between NON-adjacent processes (harmless
+  /// concurrency the daemon granted).
+  std::uint64_t nonneighbor_overlaps = 0;
+};
+
+ConcurrencyReport concurrency_profile(const Trace& trace, const ekbd::graph::ConflictGraph& g);
+
+}  // namespace ekbd::dining

@@ -1,0 +1,190 @@
+/// \file diner.hpp
+/// Common surface of every dining algorithm in the repository.
+///
+/// `Diner` extends `sim::Actor` with:
+///  * the thinking/hungry/eating state machine and doorway flag, with an
+///    event callback the harness uses to record the Trace and to drive
+///    eat durations / next hunger;
+///  * weak-fairness pumping: while hungry, a periodic timer re-evaluates
+///    the algorithm's internal guards (`pump()`), so guards that become
+///    true without a message arriving — e.g. a ◇P₁ suspicion of a crashed
+///    neighbor — are eventually acted on, as the paper's model requires;
+///  * optional hosting of an embedded heartbeat ◇P₁ module (fd/heartbeat):
+///    the module shares this process's identity and crashes with it.
+///
+/// Concrete algorithms (core::WaitFreeDiner and the baselines) implement
+/// `become_hungry`, `finish_eating`, `pump` and `diner_message`.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dining/types.hpp"
+#include "fd/heartbeat.hpp"
+#include "sim/actor.hpp"
+
+namespace ekbd::dining {
+
+class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
+ public:
+  /// Invoked on every observable transition of this diner.
+  using EventCallback = std::function<void(Diner&, TraceEventKind)>;
+
+  [[nodiscard]] DinerState state() const { return state_; }
+  [[nodiscard]] bool thinking() const { return state_ == DinerState::kThinking; }
+  [[nodiscard]] bool hungry() const { return state_ == DinerState::kHungry; }
+  [[nodiscard]] bool eating() const { return state_ == DinerState::kEating; }
+
+  /// Is the process inside the asynchronous doorway? Algorithms without a
+  /// doorway report false.
+  [[nodiscard]] virtual bool inside_doorway() const { return false; }
+
+  [[nodiscard]] const std::vector<ProcessId>& diner_neighbors() const { return neighbors_; }
+
+  /// Transition thinking → hungry (Action 1). Called by the harness; the
+  /// implementation starts resource acquisition.
+  virtual void become_hungry() = 0;
+
+  /// Transition eating → thinking (Action 10). Called by the harness when
+  /// the eat duration elapses; the implementation releases deferred
+  /// resources.
+  virtual void finish_eating() = 0;
+
+  /// Persistent local dining state in bits — the quantity bounded by the
+  /// paper's §7 space analysis. Excludes transient message buffers and the
+  /// failure-detector module.
+  [[nodiscard]] virtual std::size_t state_bits() const { return 0; }
+
+  void set_event_callback(EventCallback cb) { callback_ = std::move(cb); }
+
+  /// How often internal guards are re-evaluated while hungry (weak
+  /// fairness granularity).
+  void set_recheck_period(Time p) { recheck_period_ = p; }
+  [[nodiscard]] Time recheck_period() const { return recheck_period_; }
+
+  // -- embedded failure-detector module hosting --------------------------
+
+  /// Embed a failure-detector module (heartbeat, ping-pong, ...) in this
+  /// process. It shares the process identity and crashes with it. Must be
+  /// called before the simulation starts.
+  void host_fd_module(std::unique_ptr<ekbd::fd::FdModule> module) {
+    fd_module_ = std::move(module);
+  }
+  [[nodiscard]] ekbd::fd::FdModule* fd_module() { return fd_module_.get(); }
+  [[nodiscard]] const ekbd::fd::FdModule* fd_module() const { return fd_module_.get(); }
+
+  /// Typed view of the hosted module when it is a heartbeat module
+  /// (nullptr otherwise) — instrumentation convenience.
+  [[nodiscard]] const ekbd::fd::HeartbeatModule* heartbeat_module() const {
+    return dynamic_cast<const ekbd::fd::HeartbeatModule*>(fd_module_.get());
+  }
+
+  // -- fd::ModuleHost ----------------------------------------------------
+
+  void module_send(ProcessId to, std::any payload, ekbd::sim::MsgLayer layer) override {
+    send(to, std::move(payload), layer);
+  }
+  ekbd::sim::TimerId module_set_timer(Time delay) override { return set_timer(delay); }
+  [[nodiscard]] Time module_now() const override { return now(); }
+  [[nodiscard]] ProcessId module_id() const override { return id(); }
+
+ protected:
+  explicit Diner(std::vector<ProcessId> neighbors) : neighbors_(std::move(neighbors)) {}
+
+  /// Re-evaluate internal guards (Actions 5, 9 and their analogues). The
+  /// base class calls this periodically while the diner is hungry.
+  virtual void pump() = 0;
+
+  /// Algorithm-specific message handling (after heartbeat filtering).
+  virtual void diner_message(const ekbd::sim::Message& m) = 0;
+
+  /// Algorithm-specific timers (after pump/heartbeat filtering).
+  virtual void diner_timer(ekbd::sim::TimerId id) { (void)id; }
+
+  /// Algorithm-specific startup (fork placement etc.).
+  virtual void diner_start() {}
+
+  /// State transitions; fire the harness callback and keep the embedded
+  /// detector's demand hint in sync (suspicion is only consulted while
+  /// hungry — Actions 5 and 9).
+  void set_state(DinerState next) {
+    if (state_ == next) return;
+    const DinerState prev = state_;
+    state_ = next;
+    if (fd_module_) {
+      if (next == DinerState::kHungry) {
+        fd_module_->set_watching(*this, true);
+      } else if (prev == DinerState::kHungry) {
+        fd_module_->set_watching(*this, false);
+      }
+    }
+    if (next == DinerState::kHungry) {
+      emit(TraceEventKind::kBecameHungry);
+      arm_pump();
+    } else if (next == DinerState::kEating) {
+      emit(TraceEventKind::kStartEating);
+      on_enter_eating();
+    } else if (prev == DinerState::kEating) {
+      emit(TraceEventKind::kStopEating);
+      on_exit_eating();
+    }
+  }
+
+  /// Subclass hooks around the critical section (e.g. the drinking layer
+  /// releases its dining session the moment it can drink). Called after
+  /// the transition is visible and the harness callback has fired.
+  virtual void on_enter_eating() {}
+  virtual void on_exit_eating() {}
+
+  /// Record passage through the doorway (Action 5).
+  void note_enter_doorway() { emit(TraceEventKind::kEnteredDoorway); }
+
+  // -- sim::Actor -------------------------------------------------------
+
+  void on_start() final {
+    if (fd_module_) fd_module_->start(*this);
+    diner_start();
+  }
+
+  void on_message(const ekbd::sim::Message& m) final {
+    if (fd_module_ && fd_module_->handle_message(*this, m)) return;
+    diner_message(m);
+  }
+
+  void on_timer(ekbd::sim::TimerId id) final {
+    if (id == pump_timer_) {
+      pump_timer_ = 0;
+      if (hungry()) {
+        pump();
+        arm_pump();
+      }
+      return;
+    }
+    if (fd_module_ && fd_module_->handle_timer(*this, id)) return;
+    diner_timer(id);
+  }
+
+  void on_crash() final { emit(TraceEventKind::kCrashed); }
+
+ private:
+  void emit(TraceEventKind kind) {
+    if (callback_) callback_(*this, kind);
+  }
+
+  void arm_pump() {
+    if (pump_timer_ == 0 && hungry()) pump_timer_ = set_timer(recheck_period_);
+  }
+
+  std::vector<ProcessId> neighbors_;
+  EventCallback callback_;
+  std::unique_ptr<ekbd::fd::FdModule> fd_module_;
+  DinerState state_ = DinerState::kThinking;
+  ekbd::sim::TimerId pump_timer_ = 0;
+  Time recheck_period_ = 25;
+};
+
+}  // namespace ekbd::dining

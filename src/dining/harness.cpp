@@ -1,0 +1,112 @@
+#include "dining/harness.hpp"
+
+#include <cassert>
+
+namespace ekbd::dining {
+
+using sim::ProcessId;
+using sim::Time;
+
+Harness::Harness(sim::Simulator& sim, const graph::ConflictGraph& graph, HarnessOptions opt)
+    : sim_(sim), graph_(graph), opt_(opt), rng_(sim.rng().fork(0x4a52)) {}
+
+void Harness::manage(Diner* d) {
+  assert(d != nullptr);
+  assert(static_cast<std::size_t>(d->id()) < graph_.size());
+  d->set_recheck_period(opt_.recheck_period);
+  d->set_event_callback([this](Diner& diner, TraceEventKind kind) {
+    on_diner_event(diner, kind);
+  });
+  diners_.push_back(d);
+  if (by_id_.size() <= static_cast<std::size_t>(d->id())) {
+    by_id_.resize(static_cast<std::size_t>(d->id()) + 1, nullptr);
+  }
+  by_id_[static_cast<std::size_t>(d->id())] = d;
+  schedule_next_hunger(d, rng_.uniform_int(0, opt_.first_hunger_hi));
+}
+
+void Harness::set_think_forever(ProcessId p, bool v) {
+  if (v) {
+    think_forever_.insert(p);
+  } else {
+    think_forever_.erase(p);
+  }
+}
+
+void Harness::schedule_next_hunger(Diner* d, Time delay) {
+  const Time at = sim_.now() + delay;
+  if (hunger_deadline_ >= 0 && at >= hunger_deadline_) return;
+  sim_.schedule(at, [this, d] {
+    if (sim_.crashed(d->id())) return;
+    if (!d->thinking()) return;
+    if (think_forever_.count(d->id()) != 0) return;
+    if (hunger_deadline_ >= 0 && sim_.now() >= hunger_deadline_) return;
+    d->become_hungry();
+  });
+}
+
+void Harness::on_diner_event(Diner& d, TraceEventKind kind) {
+  trace_.record(sim_.now(), d.id(), kind);
+  switch (kind) {
+    case TraceEventKind::kStartEating: {
+      if (eat_hook_) eat_hook_(d.id());
+      // Correct processes eat for a finite (but not necessarily bounded)
+      // period (§2); the harness ends the session.
+      const Time duration = rng_.uniform_int(opt_.eat_lo, opt_.eat_hi);
+      Diner* dp = &d;
+      sim_.schedule(sim_.now() + duration, [this, dp] {
+        if (sim_.crashed(dp->id())) return;
+        if (dp->eating()) dp->finish_eating();
+      });
+      break;
+    }
+    case TraceEventKind::kStopEating:
+      if (exit_hook_) exit_hook_(d.id());
+      schedule_next_hunger(&d, rng_.uniform_int(opt_.think_lo, opt_.think_hi));
+      break;
+    default:
+      break;
+  }
+}
+
+void Harness::run_until(Time t) {
+  sim_.run_until(t);
+  trace_.set_end_time(t);
+}
+
+std::vector<Time> Harness::crash_times() const {
+  std::vector<Time> out(sim_.num_processes(), -1);
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    out[p] = sim_.crash_time(static_cast<ProcessId>(p));
+  }
+  return out;
+}
+
+void Harness::install_heartbeats(fd::HeartbeatDetector& detector,
+                                 fd::HeartbeatModule::Params params) {
+  for (Diner* d : diners_) {
+    auto module = std::make_unique<fd::HeartbeatModule>(graph_.neighbors(d->id()), params);
+    detector.attach(d->id(), module.get());
+    d->host_fd_module(std::move(module));
+  }
+}
+
+void Harness::install_pingpongs(fd::PingPongDetector& detector,
+                                fd::PingPongModule::Params params) {
+  for (Diner* d : diners_) {
+    auto module = std::make_unique<fd::PingPongModule>(graph_.neighbors(d->id()), params);
+    detector.attach(d->id(), module.get());
+    d->host_fd_module(std::move(module));
+  }
+}
+
+void Harness::install_accruals(fd::AccrualDetector& detector,
+                               fd::AccrualModule::Params params) {
+  for (Diner* d : diners_) {
+    auto module = std::make_unique<fd::AccrualModule>(graph_.neighbors(d->id()), params);
+    detector.attach(d->id(), module.get());
+    d->host_fd_module(std::move(module));
+  }
+}
+
+}  // namespace ekbd::dining

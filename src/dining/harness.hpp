@@ -1,0 +1,113 @@
+/// \file harness.hpp
+/// Drives dining executions and records the Trace.
+///
+/// The harness plays the paper's "environment": it decides when thinking
+/// processes become hungry (processes may think forever, but eat only for
+/// finite durations — §2), terminates eating sessions after a finite random
+/// duration, injects crash faults from a crash plan, and logs every
+/// scheduling event. It is algorithm-agnostic: anything implementing
+/// `dining::Diner` can be managed.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "dining/trace.hpp"
+#include "fd/accrual.hpp"
+#include "fd/heartbeat.hpp"
+#include "fd/pingpong.hpp"
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace ekbd::dining {
+
+struct HarnessOptions {
+  sim::Time think_lo = 50;         ///< post-eating think duration, uniform
+  sim::Time think_hi = 300;
+  sim::Time eat_lo = 20;           ///< eating duration, uniform (finite! §2)
+  sim::Time eat_hi = 60;
+  sim::Time first_hunger_hi = 100; ///< initial hunger offsets in [0, this]
+  sim::Time recheck_period = 25;   ///< diner guard re-evaluation period
+};
+
+class Harness {
+ public:
+  Harness(sim::Simulator& sim, const graph::ConflictGraph& graph, HarnessOptions opt = {});
+
+  /// Take over hunger/eat-duration driving and trace recording for `d`.
+  /// `d` must already be registered with the simulator and correspond to a
+  /// vertex of the conflict graph.
+  void manage(Diner* d);
+
+  /// Mark a process as never becoming hungry (paper: "processes may think
+  /// forever"). Takes effect for hunger decisions after the current one.
+  void set_think_forever(sim::ProcessId p, bool v);
+
+  /// Stop generating *new* hungry sessions at/after time `t` (drain mode —
+  /// used by tests that want a quiescent tail).
+  void stop_hunger_after(sim::Time t) { hunger_deadline_ = t; }
+
+  /// Crash `p` at absolute time `at` (forwarded to the simulator).
+  void schedule_crash(sim::ProcessId p, sim::Time at) { sim_.schedule_crash(p, at); }
+
+  /// Hook invoked whenever a diner starts eating — the daemon layer uses
+  /// this to execute one step of the scheduled protocol inside the
+  /// critical section.
+  void set_eat_hook(std::function<void(sim::ProcessId)> hook) { eat_hook_ = std::move(hook); }
+
+  /// Hook invoked whenever a diner stops eating (exits the critical
+  /// section) — used by the work-queue facade to decide whether to go
+  /// hungry again.
+  void set_exit_hook(std::function<void(sim::ProcessId)> hook) { exit_hook_ = std::move(hook); }
+
+  /// Run the simulation to absolute time `t` and clip the trace there.
+  void run_until(sim::Time t);
+
+  /// The managed diner for process `p` (nullptr if unmanaged).
+  [[nodiscard]] Diner* diner(sim::ProcessId p) const {
+    auto i = static_cast<std::size_t>(p);
+    return i < by_id_.size() ? by_id_[i] : nullptr;
+  }
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const graph::ConflictGraph& graph() const { return graph_; }
+
+  /// Per-process crash times from the simulator (-1 = correct), indexed by
+  /// ProcessId; suitable for `check_wait_freedom`.
+  [[nodiscard]] std::vector<sim::Time> crash_times() const;
+
+  /// Convenience: create and host one heartbeat module per managed diner
+  /// (neighbors from the conflict graph) and attach them to `detector`.
+  /// Call after all diners are managed, before the simulation starts.
+  void install_heartbeats(fd::HeartbeatDetector& detector,
+                          fd::HeartbeatModule::Params params);
+
+  /// Same for the RTT-adaptive ping-pong modules.
+  void install_pingpongs(fd::PingPongDetector& detector,
+                         fd::PingPongModule::Params params);
+
+  /// Same for the φ-accrual modules.
+  void install_accruals(fd::AccrualDetector& detector, fd::AccrualModule::Params params);
+
+ private:
+  void on_diner_event(Diner& d, TraceEventKind kind);
+  void schedule_next_hunger(Diner* d, sim::Time delay);
+
+  sim::Simulator& sim_;
+  const graph::ConflictGraph& graph_;
+  HarnessOptions opt_;
+  sim::Rng rng_;
+  Trace trace_;
+  std::vector<Diner*> diners_;  // in managed order
+  std::vector<Diner*> by_id_;   // indexed by ProcessId
+  std::function<void(sim::ProcessId)> eat_hook_;
+  std::function<void(sim::ProcessId)> exit_hook_;
+  std::unordered_set<sim::ProcessId> think_forever_;
+  sim::Time hunger_deadline_ = -1;  ///< -1 = unlimited
+};
+
+}  // namespace ekbd::dining

@@ -1,0 +1,117 @@
+#include "dining/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ekbd::dining {
+
+std::string to_string(DinerState s) {
+  switch (s) {
+    case DinerState::kThinking: return "thinking";
+    case DinerState::kHungry: return "hungry";
+    case DinerState::kEating: return "eating";
+  }
+  return "?";
+}
+
+std::string to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kBecameHungry: return "hungry";
+    case TraceEventKind::kEnteredDoorway: return "doorway";
+    case TraceEventKind::kStartEating: return "eat";
+    case TraceEventKind::kStopEating: return "exit";
+    case TraceEventKind::kCrashed: return "crash";
+  }
+  return "?";
+}
+
+void Trace::record(Time at, ProcessId p, TraceEventKind kind) {
+  assert(events_.empty() || at >= events_.back().at);
+  events_.push_back(TraceEvent{at, p, kind});
+}
+
+Time Trace::end_time() const {
+  if (end_time_ >= 0) return end_time_;
+  return events_.empty() ? 0 : events_.back().at;
+}
+
+std::size_t Trace::count(TraceEventKind kind, ProcessId p) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind && (p == ekbd::sim::kNoProcess || e.process == p)) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_string(std::size_t max_events) const {
+  std::string out;
+  std::size_t shown = 0;
+  for (const TraceEvent& e : events_) {
+    if (shown++ >= max_events) {
+      out += "... (" + std::to_string(events_.size() - max_events) + " more)\n";
+      break;
+    }
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "t=%-8lld p%-3d %s\n",
+                  static_cast<long long>(e.at), e.process,
+                  dining::to_string(e.kind).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<HungrySession> hungry_sessions(const Trace& trace) {
+  std::vector<HungrySession> out;
+  // Open session index per process (index into `out`), -1 if none.
+  std::unordered_map<ProcessId, std::size_t> open;
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEventKind::kBecameHungry: {
+        HungrySession s;
+        s.process = e.process;
+        s.became_hungry = e.at;
+        open[e.process] = out.size();
+        out.push_back(s);
+        break;
+      }
+      case TraceEventKind::kEnteredDoorway: {
+        auto it = open.find(e.process);
+        if (it != open.end()) out[it->second].entered_doorway = e.at;
+        break;
+      }
+      case TraceEventKind::kStartEating: {
+        auto it = open.find(e.process);
+        if (it != open.end()) {
+          out[it->second].started_eating = e.at;
+          out[it->second].ended = e.at;
+          open.erase(it);
+        }
+        break;
+      }
+      case TraceEventKind::kCrashed: {
+        auto it = open.find(e.process);
+        if (it != open.end()) {
+          out[it->second].ended = e.at;
+          out[it->second].crashed_during = true;
+          open.erase(it);
+        }
+        break;
+      }
+      case TraceEventKind::kStopEating:
+        break;
+    }
+  }
+  // Clip sessions still hungry at the horizon.
+  const Time horizon = trace.end_time();
+  for (auto& [p, idx] : open) out[idx].ended = horizon;
+
+  std::stable_sort(out.begin(), out.end(), [](const HungrySession& a, const HungrySession& b) {
+    return a.became_hungry < b.became_hungry;
+  });
+  return out;
+}
+
+}  // namespace ekbd::dining

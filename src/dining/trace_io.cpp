@@ -1,0 +1,124 @@
+#include "dining/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ekbd::dining {
+
+namespace {
+
+const char* kind_token(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kBecameHungry: return "hungry";
+    case TraceEventKind::kEnteredDoorway: return "doorway";
+    case TraceEventKind::kStartEating: return "eat";
+    case TraceEventKind::kStopEating: return "exit";
+    case TraceEventKind::kCrashed: return "crash";
+  }
+  return "?";
+}
+
+bool parse_kind(const std::string& s, TraceEventKind& out) {
+  if (s == "hungry") out = TraceEventKind::kBecameHungry;
+  else if (s == "doorway") out = TraceEventKind::kEnteredDoorway;
+  else if (s == "eat") out = TraceEventKind::kStartEating;
+  else if (s == "exit") out = TraceEventKind::kStopEating;
+  else if (s == "crash") out = TraceEventKind::kCrashed;
+  else return false;
+  return true;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::invalid_argument("trace_io: line " + std::to_string(line_no) + ": " + why);
+}
+
+/// Extract `"key":<integer>` from a JSON-ish line; false if absent.
+bool find_int(const std::string& line, const std::string& key, long long& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtoll(start, &end, 10);
+  return end != start;
+}
+
+/// Extract `"key":"<token>"`; false if absent.
+bool find_string(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto stop = line.find('"', start);
+  if (stop == std::string::npos) return false;
+  out = line.substr(start, stop - start);
+  return true;
+}
+
+}  // namespace
+
+std::string to_jsonl(const Trace& trace) {
+  std::string out;
+  out.reserve(trace.size() * 32 + 32);
+  char buf[96];
+  for (const TraceEvent& e : trace.events()) {
+    std::snprintf(buf, sizeof(buf), "{\"t\":%lld,\"p\":%d,\"e\":\"%s\"}\n",
+                  static_cast<long long>(e.at), e.process, kind_token(e.kind));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "{\"end_time\":%lld}\n",
+                static_cast<long long>(trace.end_time()));
+  out += buf;
+  return out;
+}
+
+Trace from_jsonl(const std::string& text) {
+  Trace trace;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    long long end_time = 0;
+    if (find_int(line, "end_time", end_time)) {
+      trace.set_end_time(end_time);
+      saw_end = true;
+      continue;
+    }
+    long long t = 0;
+    long long p = 0;
+    std::string kind_str;
+    if (!find_int(line, "t", t)) fail(line_no, "missing \"t\"");
+    if (!find_int(line, "p", p)) fail(line_no, "missing \"p\"");
+    if (!find_string(line, "e", kind_str)) fail(line_no, "missing \"e\"");
+    TraceEventKind kind;
+    if (!parse_kind(kind_str, kind)) fail(line_no, "unknown event kind '" + kind_str + "'");
+    if (!trace.empty() && t < trace.events().back().at) {
+      fail(line_no, "events out of chronological order");
+    }
+    trace.record(t, static_cast<ProcessId>(p), kind);
+  }
+  (void)saw_end;  // optional: traces without a horizon line clip at the last event
+  return trace;
+}
+
+bool write_jsonl_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_jsonl(trace);
+  return static_cast<bool>(out);
+}
+
+Trace read_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("trace_io: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_jsonl(buf.str());
+}
+
+}  // namespace ekbd::dining

@@ -1,0 +1,31 @@
+/// \file trace_io.hpp
+/// Trace persistence: JSON-lines export/import.
+///
+/// One event per line — `{"t":1234,"p":3,"e":"eat"}` — so traces stream
+/// through standard tooling (jq, grep, awk) and runs can be archived and
+/// re-checked later: every property checker is a pure function of a Trace,
+/// so an imported trace supports exactly the same analysis as a live one.
+/// `run_scenario --dump FILE` writes this format.
+#pragma once
+
+#include <string>
+
+#include "dining/trace.hpp"
+
+namespace ekbd::dining {
+
+/// Serialize to JSON lines (final line carries the trace horizon:
+/// `{"end_time":N}`).
+[[nodiscard]] std::string to_jsonl(const Trace& trace);
+
+/// Parse traces produced by `to_jsonl`. Throws std::invalid_argument on
+/// malformed input (with the offending line number).
+[[nodiscard]] Trace from_jsonl(const std::string& text);
+
+/// Write to a file; returns false on I/O failure.
+bool write_jsonl_file(const Trace& trace, const std::string& path);
+
+/// Read from a file; throws std::invalid_argument on parse or I/O errors.
+[[nodiscard]] Trace read_jsonl_file(const std::string& path);
+
+}  // namespace ekbd::dining

@@ -1,0 +1,38 @@
+/// \file types.hpp
+/// Shared vocabulary of the dining-philosophers layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ekbd::dining {
+
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+/// The three abstract phases of a diner (paper §2): executing
+/// independently, requesting the shared resources, and inside the critical
+/// section.
+enum class DinerState : std::uint8_t {
+  kThinking,
+  kHungry,
+  kEating,
+};
+
+[[nodiscard]] std::string to_string(DinerState s);
+
+/// Kinds of observable scheduling events; the property checkers for
+/// Theorems 1–3 are pure functions of streams of these.
+enum class TraceEventKind : std::uint8_t {
+  kBecameHungry,
+  kEnteredDoorway,
+  kStartEating,
+  kStopEating,
+  kCrashed,
+};
+
+[[nodiscard]] std::string to_string(TraceEventKind k);
+
+}  // namespace ekbd::dining

@@ -1,0 +1,212 @@
+#include "drinking/drinking_diner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ekbd::drinking {
+
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+
+DrinkingDiner::DrinkingDiner(std::vector<ProcessId> neighbors, int color,
+                             std::vector<int> neighbor_colors,
+                             const ekbd::fd::FailureDetector& detector)
+    : WaitFreeDiner(std::move(neighbors), color, std::vector<int>(neighbor_colors), detector),
+      bottle_detector_(detector),
+      bottle_neighbor_colors_(std::move(neighbor_colors)),
+      bottles_(diner_neighbors().size()) {}
+
+std::size_t DrinkingDiner::bidx(ProcessId j) const {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (ns[k] == j) return k;
+  }
+  assert(false && "bottle message from a non-neighbor");
+  return 0;
+}
+
+bool DrinkingDiner::needs(ProcessId j) const {
+  return std::find(needed_.begin(), needed_.end(), j) != needed_.end();
+}
+
+void DrinkingDiner::diner_start() {
+  WaitFreeDiner::diner_start();  // fork/token placement
+  // Bottles mirror the fork placement: bottle at the higher-colored
+  // endpoint of each edge, request token at the lower.
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (holds_fork(ns[k])) {
+      bottles_[k].bottle = true;
+    } else {
+      bottles_[k].token = true;
+    }
+  }
+}
+
+void DrinkingDiner::become_thirsty(std::vector<ProcessId> needed) {
+  assert(!thirsty_ && !drinking_ && thinking());
+#ifndef NDEBUG
+  for (ProcessId j : needed) assert(bidx(j) < bottles_.size());
+#endif
+  thirsty_ = true;
+  needed_ = std::move(needed);
+  emit_drink(DrinkEvent::kBecameThirsty);
+  // The dining session is the priority catalyst: while we eat, our needed
+  // bottles are deferred to us and nobody adjacent eats simultaneously.
+  become_hungry();
+  pump_bottle_requests();
+  try_drink();
+  // Weak fairness for try_drink's suspicion clause: the dining pump only
+  // runs while hungry, but a thirsty process may be *eating* (catalyst
+  // session) when the detector finally convicts a dead bottle holder —
+  // an own recheck timer covers the whole thirsty phase.
+  arm_thirst_pump();
+}
+
+void DrinkingDiner::arm_thirst_pump() {
+  if (thirst_timer_ == 0 && thirsty_ && !drinking_) {
+    thirst_timer_ = set_timer(recheck_period());
+  }
+}
+
+void DrinkingDiner::diner_timer(ekbd::sim::TimerId id) {
+  if (id == thirst_timer_) {
+    thirst_timer_ = 0;
+    if (thirsty_ && !drinking_) {
+      pump_bottle_requests();
+      try_drink();
+      arm_thirst_pump();
+    }
+    return;
+  }
+  WaitFreeDiner::diner_timer(id);
+}
+
+void DrinkingDiner::pump_bottle_requests() {
+  if (!thirsty_ || drinking_) return;
+  for (ProcessId j : needed_) {
+    PerBottle& b = bslot(j);
+    if (b.token && !b.bottle) {
+      send(j, BottleRequest{eating()}, MsgLayer::kOther);
+      b.token = false;
+    }
+  }
+}
+
+bool DrinkingDiner::should_defer(ProcessId j, bool requester_eating) const {
+  // Defer iff the bottle is in active use (drinking with it) or reserved
+  // by our dining priority (eating and needing it). A merely hungry
+  // process yields — that is what makes the eating neighbor's collection
+  // drain, and dining exclusion ensures neighbors are not (eventually)
+  // both deferring at each other. The one place exclusion can fail —
+  // pre-convergence co-eating — is broken by color: a lower-colored
+  // eater yields to a co-eating higher-colored requester.
+  bool in_use = (drinking_ || eating()) && needs(j);
+  if (in_use && eating() && !drinking_ && requester_eating &&
+      color() < bottle_neighbor_colors_[bidx(j)]) {
+    in_use = false;  // co-eating tie-break
+  }
+  return in_use;
+}
+
+void DrinkingDiner::handle_bottle_request(ProcessId j, bool requester_eating) {
+  PerBottle& b = bslot(j);
+  b.token = true;
+  if (!b.bottle) {
+    ++conservation_violations_;
+    return;
+  }
+  if (!should_defer(j, requester_eating)) {
+    send(j, Bottle{}, MsgLayer::kOther);
+    b.bottle = false;
+  }
+}
+
+void DrinkingDiner::handle_escalate(ProcessId j) {
+  // Re-evaluate a request we may be deferring (token ∧ bottle), now
+  // knowing the requester is eating.
+  PerBottle& b = bslot(j);
+  if (b.token && b.bottle && !should_defer(j, /*requester_eating=*/true)) {
+    send(j, Bottle{}, MsgLayer::kOther);
+    b.bottle = false;
+  }
+}
+
+void DrinkingDiner::handle_bottle(ProcessId j) {
+  bslot(j).bottle = true;
+  try_drink();
+}
+
+void DrinkingDiner::try_drink() {
+  if (!thirsty_ || drinking_) return;
+  for (ProcessId j : needed_) {
+    if (!bslot(j).bottle && !suspects_neighbor(j)) return;
+  }
+  drinking_ = true;
+  emit_drink(DrinkEvent::kStartDrinking);
+  // Drinking proceeds outside the dining critical section: release it.
+  if (eating()) finish_eating();
+}
+
+void DrinkingDiner::on_enter_eating() {
+  if (drinking_ || !thirsty_) {
+    // The session outlived its purpose (we drank early, or finished
+    // drinking before the dining grant arrived): return it immediately.
+    finish_eating();
+    return;
+  }
+  // Eating = priority: re-request anything we yielded while waiting,
+  // escalate requests already parked at (possibly co-eating) holders, and
+  // re-check (suspicions may have accumulated).
+  pump_bottle_requests();
+  for (ProcessId j : needed_) {
+    const PerBottle& b = bslot(j);
+    if (!b.bottle && !b.token) send(j, BottleEscalate{}, MsgLayer::kOther);
+  }
+  try_drink();
+}
+
+void DrinkingDiner::finish_drinking() {
+  assert(drinking_);
+  drinking_ = false;
+  thirsty_ = false;
+  needed_.clear();
+  emit_drink(DrinkEvent::kStopDrinking);
+  // Grant deferred bottle requests (token ∧ bottle, exactly like forks).
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    PerBottle& b = bottles_[k];
+    if (b.token && b.bottle) {
+      send(ns[k], Bottle{}, MsgLayer::kOther);
+      b.bottle = false;
+    }
+  }
+}
+
+void DrinkingDiner::pump() {
+  WaitFreeDiner::pump();
+  pump_bottle_requests();
+  try_drink();
+}
+
+void DrinkingDiner::diner_message(const Message& m) {
+  if (const auto* req = m.as<BottleRequest>()) {
+    handle_bottle_request(m.from, req->requester_eating);
+    // A yielded bottle may have unblocked nothing locally, but requests
+    // can also arrive while we are mid-collection: re-evaluate.
+    pump_bottle_requests();
+    try_drink();
+    return;
+  }
+  if (m.as<BottleEscalate>() != nullptr) {
+    handle_escalate(m.from);
+    return;
+  }
+  if (m.as<Bottle>() != nullptr) {
+    handle_bottle(m.from);
+    return;
+  }
+  WaitFreeDiner::diner_message(m);
+}
+
+}  // namespace ekbd::drinking

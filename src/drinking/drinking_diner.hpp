@@ -1,0 +1,135 @@
+/// \file drinking_diner.hpp
+/// Wait-free drinking philosophers, built modularly on Algorithm 1.
+///
+/// Drinking philosophers (Chandy & Misra 1984) generalizes dining: each
+/// edge carries a *bottle*, and every thirst session needs only a dynamic
+/// SUBSET of the incident bottles — so neighbors whose current needs are
+/// disjoint may drink concurrently. The classic modular construction
+/// (à la Welch & Lynch) uses a dining layer as a priority catalyst:
+///
+///  * a thirsty process enters the dining layer (becomes hungry) and
+///    requests its missing needed bottles;
+///  * a holder yields a requested bottle unless it is drinking with it or
+///    *eating* and needing it — dining's exclusion guarantees neighbors
+///    are never simultaneously deferring at each other, so the eating
+///    process drains its needs and drinks;
+///  * the moment it can drink, it abandons the dining session (exits
+///    eating instantly, or exits as soon as eating is granted), freeing
+///    the dining layer for neighbors — drinking itself proceeds OUTSIDE
+///    the dining critical section, which is where the concurrency gain
+///    over plain dining comes from (E19 measures it).
+///
+/// Composed with this repository's Algorithm 1 and ◇P₁, the construction
+/// inherits wait-freedom: a thirsty process also drinks past a crashed
+/// bottle-holder on suspicion, with the same eventual-weak-exclusion
+/// caveat (finitely many shared-bottle violations before the detector
+/// converges). Bottles mirror the fork/token mechanics exactly, so
+/// uniqueness and conservation arguments (Lemmas 1.1/1.2) carry over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/wait_free_diner.hpp"
+
+namespace ekbd::drinking {
+
+/// Bottle wire format (mirrors core::ForkRequest / core::Fork). The
+/// request carries whether the requester was eating when it asked: under
+/// ◇WX two neighbors may *co-eat* before the detector converges, and both
+/// deferring the shared bottle would deadlock — the tie-break (lower
+/// color yields to a co-eating higher color) breaks exactly that case and
+/// never fires once exclusion holds.
+struct BottleRequest {
+  bool requester_eating = false;
+};
+struct Bottle {};
+/// Sent when a requester with an outstanding (possibly deferred) request
+/// *starts eating*: its earlier request may carry a stale
+/// `requester_eating = false`, and the co-eating tie-break must still see
+/// the escalated priority. FIFO guarantees the escalation arrives after
+/// the request it upgrades.
+struct BottleEscalate {};
+
+class DrinkingDiner final : public ekbd::core::WaitFreeDiner {
+ public:
+  using ProcessId = ekbd::sim::ProcessId;
+
+  /// Observable drinking-session transitions (the drinking analogue of
+  /// the dining trace callback).
+  enum class DrinkEvent { kBecameThirsty, kStartDrinking, kStopDrinking };
+  using DrinkCallback = std::function<void(DrinkingDiner&, DrinkEvent)>;
+
+  DrinkingDiner(std::vector<ProcessId> neighbors, int color, std::vector<int> neighbor_colors,
+                const ekbd::fd::FailureDetector& detector);
+
+  /// Start a thirst session needing the bottles shared with `needed`
+  /// (each must be a neighbor; empty = drink immediately). Precondition:
+  /// not already thirsty or drinking, dining state thinking.
+  void become_thirsty(std::vector<ProcessId> needed);
+
+  /// End the current drink (the harness calls this after the drink
+  /// duration). Grants deferred bottle requests.
+  void finish_drinking();
+
+  [[nodiscard]] bool thirsty() const { return thirsty_; }
+  [[nodiscard]] bool drinking() const { return drinking_; }
+  [[nodiscard]] const std::vector<ProcessId>& needed() const { return needed_; }
+  [[nodiscard]] bool holds_bottle(ProcessId j) const { return bslot(j).bottle; }
+  [[nodiscard]] bool holds_bottle_token(ProcessId j) const { return bslot(j).token; }
+
+  /// Bottle requests that arrived while the bottle was absent — the
+  /// drinking analogue of Lemma 1.1's counter; must stay 0 under the
+  /// model.
+  [[nodiscard]] std::uint64_t bottle_conservation_violations() const {
+    return conservation_violations_;
+  }
+
+  void set_drink_callback(DrinkCallback cb) { drink_callback_ = std::move(cb); }
+
+ protected:
+  void pump() override;
+  void diner_start() override;
+  void diner_message(const ekbd::sim::Message& m) override;
+  void diner_timer(ekbd::sim::TimerId id) override;
+  void on_enter_eating() override;
+
+ private:
+  struct PerBottle {
+    bool bottle = false;
+    bool token = false;
+  };
+
+  [[nodiscard]] std::size_t bidx(ProcessId j) const;
+  [[nodiscard]] const PerBottle& bslot(ProcessId j) const { return bottles_[bidx(j)]; }
+  [[nodiscard]] PerBottle& bslot(ProcessId j) { return bottles_[bidx(j)]; }
+  [[nodiscard]] bool needs(ProcessId j) const;
+  [[nodiscard]] bool suspects_neighbor(ProcessId j) const {
+    return bottle_detector_.suspects(id(), j);
+  }
+
+  void arm_thirst_pump();
+  void pump_bottle_requests();
+  void handle_bottle_request(ProcessId j, bool requester_eating);
+  void handle_escalate(ProcessId j);
+  void handle_bottle(ProcessId j);
+  /// Shared yield decision for fresh and escalated requests.
+  [[nodiscard]] bool should_defer(ProcessId j, bool requester_eating) const;
+  void try_drink();
+  void emit_drink(DrinkEvent ev) {
+    if (drink_callback_) drink_callback_(*this, ev);
+  }
+
+  const ekbd::fd::FailureDetector& bottle_detector_;
+  std::vector<int> bottle_neighbor_colors_;  // aligned with diner_neighbors()
+  std::vector<PerBottle> bottles_;
+  std::vector<ProcessId> needed_;
+  bool thirsty_ = false;
+  bool drinking_ = false;
+  ekbd::sim::TimerId thirst_timer_ = 0;
+  std::uint64_t conservation_violations_ = 0;
+  DrinkCallback drink_callback_;
+};
+
+}  // namespace ekbd::drinking

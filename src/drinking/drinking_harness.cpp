@@ -1,0 +1,135 @@
+#include "drinking/drinking_harness.hpp"
+
+#include <cassert>
+
+namespace ekbd::drinking {
+
+using dining::TraceEventKind;
+using sim::ProcessId;
+using sim::Time;
+
+DrinkingHarness::DrinkingHarness(sim::Simulator& sim, const graph::ConflictGraph& graph,
+                                 DrinkingOptions opt)
+    : sim_(sim), graph_(graph), opt_(opt), rng_(sim.rng().fork(0xD214)) {}
+
+void DrinkingHarness::manage(DrinkingDiner* d) {
+  assert(d != nullptr);
+  d->set_recheck_period(opt_.recheck_period);
+  d->set_drink_callback([this](DrinkingDiner& diner, DrinkingDiner::DrinkEvent ev) {
+    on_drink_event(diner, ev);
+  });
+  d->set_event_callback([this](dining::Diner& diner, TraceEventKind kind) {
+    dining_trace_.record(sim_.now(), diner.id(), kind);
+    if (kind == TraceEventKind::kCrashed) {
+      drink_trace_.record(sim_.now(), diner.id(), TraceEventKind::kCrashed);
+      auto* drd = static_cast<DrinkingDiner*>(&diner);
+      if (drd->drinking()) {
+        weighted_drinkers_ += static_cast<double>(drinkers_now_) *
+                              static_cast<double>(sim_.now() - last_change_);
+        last_change_ = sim_.now();
+        --drinkers_now_;
+      }
+    }
+  });
+  if (by_id_.size() <= static_cast<std::size_t>(d->id())) {
+    by_id_.resize(static_cast<std::size_t>(d->id()) + 1, nullptr);
+  }
+  by_id_[static_cast<std::size_t>(d->id())] = d;
+  schedule_next_thirst(d, rng_.uniform_int(0, opt_.first_thirst_hi));
+}
+
+std::vector<ProcessId> DrinkingHarness::pick_needs(DrinkingDiner* d) {
+  std::vector<ProcessId> needs;
+  for (ProcessId j : graph_.neighbors(d->id())) {
+    if (rng_.chance(opt_.need_prob)) needs.push_back(j);
+  }
+  return needs;  // possibly empty: a session needing nothing is legal
+}
+
+void DrinkingHarness::schedule_next_thirst(DrinkingDiner* d, Time delay) {
+  sim_.schedule(sim_.now() + delay, [this, d] {
+    if (sim_.crashed(d->id())) return;
+    if (d->thirsty() || d->drinking()) return;  // a session is already live
+    if (!d->thinking()) {
+      // The previous dining session (started for a drink that completed
+      // early) has not drained back to thinking yet — retry shortly
+      // rather than dropping this thirst forever.
+      schedule_next_thirst(d, opt_.recheck_period);
+      return;
+    }
+    d->become_thirsty(pick_needs(d));
+  });
+}
+
+void DrinkingHarness::on_drink_event(DrinkingDiner& d, DrinkingDiner::DrinkEvent ev) {
+  const Time now = sim_.now();
+  switch (ev) {
+    case DrinkingDiner::DrinkEvent::kBecameThirsty:
+      drink_trace_.record(now, d.id(), TraceEventKind::kBecameHungry);
+      break;
+    case DrinkingDiner::DrinkEvent::kStartDrinking: {
+      drink_trace_.record(now, d.id(), TraceEventKind::kStartEating);
+      // Shared-bottle exclusion check: a live neighbor drinking now whose
+      // session needs OUR shared bottle, while we need it too.
+      for (ProcessId j : graph_.neighbors(d.id())) {
+        if (sim_.crashed(j)) continue;
+        DrinkingDiner* q = static_cast<std::size_t>(j) < by_id_.size()
+                               ? by_id_[static_cast<std::size_t>(j)]
+                               : nullptr;
+        if (q == nullptr || !q->drinking()) continue;
+        bool p_needs = false;
+        for (ProcessId x : d.needed()) p_needs |= (x == j);
+        bool q_needs = false;
+        for (ProcessId x : q->needed()) q_needs |= (x == d.id());
+        if (p_needs && q_needs) {
+          ++violations_;
+          last_violation_ = now;
+        }
+      }
+      weighted_drinkers_ += static_cast<double>(drinkers_now_) *
+                            static_cast<double>(now - last_change_);
+      last_change_ = now;
+      ++drinkers_now_;
+      // End the drink after a finite duration.
+      DrinkingDiner* dp = &d;
+      sim_.schedule(now + rng_.uniform_int(opt_.drink_lo, opt_.drink_hi), [this, dp] {
+        if (!sim_.crashed(dp->id()) && dp->drinking()) dp->finish_drinking();
+      });
+      break;
+    }
+    case DrinkingDiner::DrinkEvent::kStopDrinking:
+      drink_trace_.record(now, d.id(), TraceEventKind::kStopEating);
+      weighted_drinkers_ += static_cast<double>(drinkers_now_) *
+                            static_cast<double>(now - last_change_);
+      last_change_ = now;
+      --drinkers_now_;
+      ++drinks_;
+      schedule_next_thirst(&d, rng_.uniform_int(opt_.dry_lo, opt_.dry_hi));
+      break;
+  }
+}
+
+void DrinkingHarness::run_until(Time t) {
+  sim_.run_until(t);
+  drink_trace_.set_end_time(t);
+  dining_trace_.set_end_time(t);
+  horizon_ = t;
+}
+
+double DrinkingHarness::mean_concurrent_drinkers() const {
+  if (horizon_ <= 0) return 0.0;
+  double weighted = weighted_drinkers_ +
+                    static_cast<double>(drinkers_now_) *
+                        static_cast<double>(horizon_ - last_change_);
+  return weighted / static_cast<double>(horizon_);
+}
+
+std::vector<Time> DrinkingHarness::crash_times() const {
+  std::vector<Time> out(sim_.num_processes(), -1);
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    out[p] = sim_.crash_time(static_cast<ProcessId>(p));
+  }
+  return out;
+}
+
+}  // namespace ekbd::drinking

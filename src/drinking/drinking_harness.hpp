@@ -1,0 +1,95 @@
+/// \file drinking_harness.hpp
+/// Environment and instrumentation for drinking philosophers.
+///
+/// Differs from the dining harness in two essential ways: thirst sessions
+/// carry a random *subset* of incident bottles, and dining meals are NOT
+/// force-ended — a DrinkingDiner holds its dining session exactly until it
+/// can drink (the construction's invariant), so only drink durations are
+/// environment-controlled here.
+///
+/// Records a drinking trace (as a dining::Trace, mapping thirsty→hungry,
+/// drinking→eating events) so the existing checkers work unchanged on the
+/// drinking layer: `check_exclusion` on the drink trace reports
+/// shared-bottle violations when fed the *conflict subgraph of overlapping
+/// needs*; the harness instead checks the precise condition online — two
+/// live neighbors drinking simultaneously while BOTH need their shared
+/// bottle — and counts violations with timestamps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dining/trace.hpp"
+#include "drinking/drinking_diner.hpp"
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace ekbd::drinking {
+
+struct DrinkingOptions {
+  sim::Time dry_lo = 50;           ///< time between drinks (thinking dry)
+  sim::Time dry_hi = 300;
+  sim::Time drink_lo = 20;         ///< drink durations
+  sim::Time drink_hi = 60;
+  sim::Time first_thirst_hi = 100;
+  double need_prob = 0.6;          ///< each incident bottle needed w.p. this
+  sim::Time recheck_period = 25;
+};
+
+class DrinkingHarness {
+ public:
+  DrinkingHarness(sim::Simulator& sim, const graph::ConflictGraph& graph,
+                  DrinkingOptions opt);
+  DrinkingHarness(sim::Simulator& sim, const graph::ConflictGraph& graph)
+      : DrinkingHarness(sim, graph, DrinkingOptions{}) {}
+
+  /// Take over thirst/drink-duration driving for `d`.
+  void manage(DrinkingDiner* d);
+
+  void schedule_crash(sim::ProcessId p, sim::Time at) { sim_.schedule_crash(p, at); }
+  void run_until(sim::Time t);
+
+  /// Drinking-layer trace: kBecameHungry = became thirsty, kStartEating =
+  /// started drinking, kStopEating = finished drinking.
+  [[nodiscard]] const dining::Trace& drink_trace() const { return drink_trace_; }
+
+  /// Underlying dining-layer trace (the catalyst sessions) — shows how
+  /// briefly the dining critical section is actually held.
+  [[nodiscard]] const dining::Trace& dining_trace() const { return dining_trace_; }
+
+  /// Shared-bottle exclusion violations observed: both endpoints of an
+  /// edge drinking simultaneously while both sessions needed that edge's
+  /// bottle. ◇WX-style: finitely many, all before detector convergence.
+  [[nodiscard]] std::uint64_t shared_bottle_violations() const { return violations_; }
+  [[nodiscard]] sim::Time last_violation() const { return last_violation_; }
+
+  /// Time-weighted mean number of simultaneous drinkers (concurrency —
+  /// the quantity dining cannot exceed 1-per-neighborhood on).
+  [[nodiscard]] double mean_concurrent_drinkers() const;
+
+  [[nodiscard]] std::uint64_t drinks_completed() const { return drinks_; }
+  [[nodiscard]] std::vector<sim::Time> crash_times() const;
+
+ private:
+  void on_drink_event(DrinkingDiner& d, DrinkingDiner::DrinkEvent ev);
+  void schedule_next_thirst(DrinkingDiner* d, sim::Time delay);
+  [[nodiscard]] std::vector<sim::ProcessId> pick_needs(DrinkingDiner* d);
+
+  sim::Simulator& sim_;
+  const graph::ConflictGraph& graph_;
+  DrinkingOptions opt_;
+  sim::Rng rng_;
+  dining::Trace drink_trace_;
+  dining::Trace dining_trace_;
+  std::vector<DrinkingDiner*> by_id_;
+  std::uint64_t violations_ = 0;
+  sim::Time last_violation_ = -1;
+  std::uint64_t drinks_ = 0;
+  // concurrency accounting
+  int drinkers_now_ = 0;
+  double weighted_drinkers_ = 0.0;
+  sim::Time last_change_ = 0;
+  sim::Time horizon_ = 0;
+};
+
+}  // namespace ekbd::drinking

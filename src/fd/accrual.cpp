@@ -1,0 +1,110 @@
+#include "fd/accrual.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ekbd::fd {
+
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+using ekbd::sim::TimerId;
+
+AccrualModule::AccrualModule(std::vector<ProcessId> neighbors, Params params)
+    : neighbors_(std::move(neighbors)), params_(params) {
+  for (ProcessId n : neighbors_) {
+    NeighborState st;
+    st.threshold = params_.threshold;
+    state_.emplace(n, st);
+  }
+}
+
+void AccrualModule::start(ModuleHost& host) {
+  assert(tick_timer_ == 0 && "started twice");
+  const Time now = host.module_now();
+  for (auto& [n, st] : state_) st.last_heard = now;
+  tick(host);
+}
+
+void AccrualModule::recompute_phi(NeighborState& st, Time now) const {
+  if (st.intervals.empty()) {
+    // No samples yet: fall back to a timeout-like rule around the period.
+    const auto elapsed = static_cast<double>(now - st.last_heard);
+    st.phi = elapsed / static_cast<double>(params_.period);
+    return;
+  }
+  double mean = 0.0;
+  for (Time x : st.intervals) mean += static_cast<double>(x);
+  mean /= static_cast<double>(st.intervals.size());
+  double var = 0.0;
+  for (Time x : st.intervals) {
+    const double d = static_cast<double>(x) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(st.intervals.size());
+  const double stddev = std::max(std::sqrt(var), static_cast<double>(params_.min_stddev));
+
+  // P(heartbeat still coming) under a normal model of inter-arrivals,
+  // via the standard logistic approximation of the normal CDF tail
+  // (as in the reference implementation used by Akka):
+  //   P ≈ 1 / (1 + e^{y(1.5976 + 0.070566 y²)}),  y = (t − mean)/stddev.
+  const double t = static_cast<double>(now - st.last_heard);
+  const double y = (t - mean) / stddev;
+  const double e = std::exp(-y * (1.5976 + 0.070566 * y * y));
+  const double p_later = e / (1.0 + e);
+  st.phi = p_later <= 0.0 ? 40.0 : -std::log10(p_later);
+  if (st.phi > 40.0) st.phi = 40.0;  // clamp: past ~1e-40 everything is "dead"
+}
+
+void AccrualModule::tick(ModuleHost& host) {
+  const Time now = host.module_now();
+  for (ProcessId n : neighbors_) {
+    host.module_send(n, Heartbeat{}, MsgLayer::kDetector);
+    NeighborState& st = state_[n];
+    recompute_phi(st, now);
+    if (!st.suspected && st.phi >= st.threshold) st.suspected = true;
+  }
+  tick_timer_ = host.module_set_timer(params_.period);
+}
+
+bool AccrualModule::handle_message(ModuleHost& host, const Message& m) {
+  if (m.as<Heartbeat>() == nullptr) return false;
+  auto it = state_.find(m.from);
+  if (it == state_.end()) return true;  // not a monitored neighbor
+  NeighborState& st = it->second;
+  const Time now = host.module_now();
+  st.intervals.push_back(now - st.last_heard);
+  if (st.intervals.size() > params_.window) st.intervals.pop_front();
+  st.last_heard = now;
+  recompute_phi(st, now);
+  if (st.suspected) {
+    st.suspected = false;
+    st.threshold += params_.threshold_bump;  // finiteness backstop
+    ++false_suspicions_;
+    last_retraction_ = now;
+  }
+  return true;
+}
+
+bool AccrualModule::handle_timer(ModuleHost& host, TimerId id) {
+  if (id != tick_timer_) return false;
+  tick(host);
+  return true;
+}
+
+bool AccrualModule::suspects(ProcessId target) const {
+  auto it = state_.find(target);
+  return it != state_.end() && it->second.suspected;
+}
+
+double AccrualModule::phi_of(ProcessId target) const {
+  auto it = state_.find(target);
+  return it == state_.end() ? 0.0 : it->second.phi;
+}
+
+double AccrualModule::threshold_of(ProcessId target) const {
+  auto it = state_.find(target);
+  return it == state_.end() ? 0.0 : it->second.threshold;
+}
+
+}  // namespace ekbd::fd

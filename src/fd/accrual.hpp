@@ -1,0 +1,113 @@
+/// \file accrual.hpp
+/// A third real ◇P₁: the φ-accrual failure detector (Hayashibara, Défago,
+/// Yared & Katayama, SRDS 2004 — the design behind Cassandra's and Akka's
+/// detectors).
+///
+/// Instead of a binary timeout, the module keeps a sliding window of
+/// heartbeat inter-arrival times and outputs a *suspicion level*
+///
+///     φ(t) = −log₁₀ P(another heartbeat arrives after elapsed time t)
+///
+/// under a normal model of inter-arrivals; the boolean ◇P₁ answer is
+/// φ ≥ threshold. Doubling the threshold squares the allowed false-
+/// positive probability, so accuracy is tuned in orders of magnitude
+/// rather than ticks — and the window adapts to whatever the network is
+/// doing without an explicit "increase timeout" rule:
+///
+///  * Local Strong Completeness: a crashed neighbor stops heartbeating,
+///    elapsed time grows without bound, φ → ∞ past any threshold, forever.
+///  * Local Eventual Strong Accuracy: after GST inter-arrivals are bounded,
+///    the window converges to them; with mean/σ of the post-GST regime, φ
+///    at the next expected heartbeat stays far below the threshold.
+///    Mistakes can still occur right after GST while pre-GST samples
+///    dominate the window — finitely many, as ◇P₁ permits. As an extra
+///    safety net (and to guarantee finiteness against adversarial pre-GST
+///    sample patterns), a mistaken suspicion also bumps the threshold.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/detector.hpp"
+#include "fd/heartbeat.hpp"  // Heartbeat payload (same wire format)
+#include "fd/module.hpp"
+
+namespace ekbd::fd {
+
+class AccrualModule final : public FdModule {
+ public:
+  struct Params {
+    Time period = 25;            ///< heartbeat send interval
+    std::size_t window = 64;     ///< inter-arrival samples kept per neighbor
+    double threshold = 8.0;      ///< suspect when φ ≥ this
+    double threshold_bump = 2.0; ///< added to the threshold on each mistake
+    Time min_stddev = 4;         ///< variance floor (avoids φ spikes on
+                                 ///< perfectly regular networks)
+  };
+
+  AccrualModule(std::vector<ProcessId> neighbors, Params params);
+
+  void start(ModuleHost& host) override;
+  bool handle_message(ModuleHost& host, const ekbd::sim::Message& m) override;
+  bool handle_timer(ModuleHost& host, ekbd::sim::TimerId id) override;
+  [[nodiscard]] bool suspects(ProcessId target) const override;
+
+  /// Current suspicion level for a neighbor at this module's local time
+  /// (recomputed on ticks; between ticks returns the last computed value).
+  [[nodiscard]] double phi_of(ProcessId target) const;
+  [[nodiscard]] double threshold_of(ProcessId target) const;
+
+  [[nodiscard]] std::uint64_t false_suspicions() const { return false_suspicions_; }
+  [[nodiscard]] Time last_retraction() const { return last_retraction_; }
+
+ private:
+  struct NeighborState {
+    std::deque<Time> intervals;  ///< recent inter-arrival samples
+    Time last_heard = 0;
+    double phi = 0.0;
+    double threshold = 0.0;
+    bool suspected = false;
+  };
+
+  void tick(ModuleHost& host);
+  void recompute_phi(NeighborState& st, Time now) const;
+
+  std::vector<ProcessId> neighbors_;
+  Params params_;
+  std::unordered_map<ProcessId, NeighborState> state_;
+  ekbd::sim::TimerId tick_timer_ = 0;
+  std::uint64_t false_suspicions_ = 0;
+  Time last_retraction_ = 0;
+};
+
+/// FailureDetector facade over per-process accrual modules.
+class AccrualDetector final : public FailureDetector {
+ public:
+  void attach(ProcessId owner, const AccrualModule* module) { modules_[owner] = module; }
+
+  bool suspects(ProcessId owner, ProcessId target) const override {
+    auto it = modules_.find(owner);
+    return it != modules_.end() && it->second->suspects(target);
+  }
+
+  [[nodiscard]] std::uint64_t total_false_suspicions() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, m] : modules_) total += m->false_suspicions();
+    return total;
+  }
+
+  [[nodiscard]] Time last_retraction() const {
+    Time latest = 0;
+    for (const auto& [id, m] : modules_) {
+      latest = latest > m->last_retraction() ? latest : m->last_retraction();
+    }
+    return latest;
+  }
+
+ private:
+  std::unordered_map<ProcessId, const AccrualModule*> modules_;
+};
+
+}  // namespace ekbd::fd

@@ -1,0 +1,57 @@
+/// \file detector.hpp
+/// Failure-detector interface and trivial detectors.
+///
+/// The paper's oracle is ◇P₁ — the *locally scope-restricted* eventually
+/// perfect detector [Beauquier–Kekkonen, Hutle–Widder]:
+///
+///  * Local Strong Completeness: every crashed process is eventually and
+///    permanently suspected by all correct neighbors;
+///  * Local Eventual Strong Accuracy: for every run there is a time after
+///    which no correct process is suspected by any correct neighbor.
+///
+/// A detector here is a queryable object: `suspects(owner, target)` is the
+/// membership test "target ∈ ◇P₁ at owner's module right now", exactly the
+/// guard used by Actions 5 and 9 of Algorithm 1. Diners re-evaluate guards
+/// periodically while hungry (weak fairness), so detectors need not push
+/// notifications.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::fd {
+
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// Does `owner`'s local module currently suspect `target`?
+  /// Only queried for graph neighbors (◇P₁'s scope restriction).
+  [[nodiscard]] virtual bool suspects(ProcessId owner, ProcessId target) const = 0;
+};
+
+/// Suspects nobody, ever. Plugging this into Algorithm 1 recovers the
+/// crash-oblivious asynchronous-doorway algorithm: safe and fair, but any
+/// crash starves the victims' neighbors (used as a negative control).
+class NeverSuspect final : public FailureDetector {
+ public:
+  bool suspects(ProcessId, ProcessId) const override { return false; }
+};
+
+/// Magic perfect oracle: suspects exactly the crashed processes, with zero
+/// detection latency and zero mistakes. Strictly stronger than anything
+/// implementable; used for ablation (with it, Algorithm 1 never makes a
+/// single scheduling mistake — perpetual weak exclusion).
+class PerfectDetector final : public FailureDetector {
+ public:
+  explicit PerfectDetector(const ekbd::sim::Simulator& sim) : sim_(sim) {}
+  bool suspects(ProcessId, ProcessId target) const override { return sim_.crashed(target); }
+
+ private:
+  const ekbd::sim::Simulator& sim_;
+};
+
+}  // namespace ekbd::fd

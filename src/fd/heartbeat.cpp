@@ -1,0 +1,95 @@
+#include "fd/heartbeat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ekbd::fd {
+
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+using ekbd::sim::TimerId;
+
+HeartbeatModule::HeartbeatModule(std::vector<ProcessId> neighbors, Params params)
+    : neighbors_(std::move(neighbors)), params_(params) {
+  for (ProcessId n : neighbors_) {
+    NeighborState st;
+    st.timeout = params_.initial_timeout;
+    state_.emplace(n, st);
+  }
+}
+
+void HeartbeatModule::start(ModuleHost& host) {
+  assert(!started_);
+  started_ = true;
+  const Time now = host.module_now();
+  for (auto& [n, st] : state_) st.last_heard = now;
+  tick(host);
+}
+
+void HeartbeatModule::tick(ModuleHost& host) {
+  const Time now = host.module_now();
+  for (ProcessId n : neighbors_) {
+    host.module_send(n, Heartbeat{}, MsgLayer::kDetector);
+    NeighborState& st = state_[n];
+    if (!st.suspected && now - st.last_heard > st.timeout) {
+      st.suspected = true;
+    }
+  }
+  tick_timer_ = host.module_set_timer(params_.period);
+}
+
+bool HeartbeatModule::handle_message(ModuleHost& host, const Message& m) {
+  if (m.as<Heartbeat>() == nullptr) return false;
+  auto it = state_.find(m.from);
+  if (it == state_.end()) return true;  // heartbeat from a non-neighbor: ignore
+  NeighborState& st = it->second;
+  st.last_heard = host.module_now();
+  if (st.suspected) {
+    // The suspicion was a mistake (the "dead" neighbor spoke): retract and
+    // become more conservative about this neighbor.
+    st.suspected = false;
+    st.timeout += params_.timeout_increment;
+    ++false_suspicions_;
+    last_retraction_ = host.module_now();
+  }
+  return true;
+}
+
+bool HeartbeatModule::handle_timer(ModuleHost& host, TimerId id) {
+  if (id != tick_timer_) return false;
+  tick(host);
+  return true;
+}
+
+bool HeartbeatModule::suspects(ProcessId target) const {
+  auto it = state_.find(target);
+  return it != state_.end() && it->second.suspected;
+}
+
+Time HeartbeatModule::timeout_of(ProcessId target) const {
+  auto it = state_.find(target);
+  return it == state_.end() ? 0 : it->second.timeout;
+}
+
+void HeartbeatDetector::attach(ProcessId owner, const HeartbeatModule* module) {
+  modules_[owner] = module;
+}
+
+bool HeartbeatDetector::suspects(ProcessId owner, ProcessId target) const {
+  auto it = modules_.find(owner);
+  return it != modules_.end() && it->second->suspects(target);
+}
+
+std::uint64_t HeartbeatDetector::total_false_suspicions() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, m] : modules_) total += m->false_suspicions();
+  return total;
+}
+
+Time HeartbeatDetector::last_retraction() const {
+  Time latest = 0;
+  for (const auto& [id, m] : modules_) latest = std::max(latest, m->last_retraction());
+  return latest;
+}
+
+}  // namespace ekbd::fd

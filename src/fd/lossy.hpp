@@ -1,0 +1,80 @@
+/// \file lossy.hpp
+/// Deliberately broken detectors — probes for the *necessity* of ◇P₁'s
+/// two properties.
+///
+/// The companion result the paper cites ([21]: Song, Pike & Sastry) proves
+/// ◇P is the weakest detector for wait-free, eventually fair daemons.
+/// Necessity can't be demonstrated by running one algorithm, but the
+/// load-bearing role of each property can:
+///
+///  * `IncompleteDetector` breaks Local Strong Completeness for selected
+///    (owner, target) pairs — the owner never suspects that target even
+///    after it crashes. Expectation (bench/e12_necessity): the blinded
+///    neighbors of a crashed process starve — exactly the failure mode
+///    suspicion exists to prevent.
+///
+///  * `InaccurateDetector` breaks Local Eventual Strong Accuracy for
+///    selected pairs — the owner suspects the (live) target *forever*.
+///    Expectation: safety never stabilizes — exclusion violations between
+///    the pair recur forever, so ◇WX fails; with mutual permanent
+///    suspicion, the 2-bound can also be violated arbitrarily late.
+///
+/// Both wrap an underlying detector and perturb only the listed pairs.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "fd/detector.hpp"
+
+namespace ekbd::fd {
+
+/// Never suspects `target` at `owner` for the registered pairs — a
+/// permanent false *negative* (completeness hole).
+class IncompleteDetector final : public FailureDetector {
+ public:
+  explicit IncompleteDetector(const FailureDetector& inner) : inner_(inner) {}
+
+  /// `owner` is blind to `target` forever.
+  void blind(ProcessId owner, ProcessId target) { holes_.emplace_back(owner, target); }
+
+  bool suspects(ProcessId owner, ProcessId target) const override {
+    for (const auto& [o, t] : holes_) {
+      if (o == owner && t == target) return false;
+    }
+    return inner_.suspects(owner, target);
+  }
+
+ private:
+  const FailureDetector& inner_;
+  std::vector<std::pair<ProcessId, ProcessId>> holes_;
+};
+
+/// Suspects `target` at `owner` forever for the registered pairs — a
+/// permanent false *positive* (accuracy hole).
+class InaccurateDetector final : public FailureDetector {
+ public:
+  explicit InaccurateDetector(const FailureDetector& inner) : inner_(inner) {}
+
+  /// `owner` permanently (wrongfully) suspects `target`.
+  void poison(ProcessId owner, ProcessId target) { lies_.emplace_back(owner, target); }
+
+  /// Both directions.
+  void poison_mutual(ProcessId a, ProcessId b) {
+    poison(a, b);
+    poison(b, a);
+  }
+
+  bool suspects(ProcessId owner, ProcessId target) const override {
+    for (const auto& [o, t] : lies_) {
+      if (o == owner && t == target) return true;
+    }
+    return inner_.suspects(owner, target);
+  }
+
+ private:
+  const FailureDetector& inner_;
+  std::vector<std::pair<ProcessId, ProcessId>> lies_;
+};
+
+}  // namespace ekbd::fd

@@ -1,0 +1,62 @@
+/// \file module.hpp
+/// Embedded failure-detector modules.
+///
+/// A real ◇P₁ is *part of the process it serves*: it shares the process's
+/// identity, network channels and fate (it crashes with it). `FdModule` is
+/// the contract between a detector implementation and its host actor: the
+/// host starts the module and forwards it messages/timers; the module asks
+/// the host to send and to arm timers via `ModuleHost` (so modules are
+/// testable with any host, not just diners).
+///
+/// Implementations: HeartbeatModule (push, heartbeat.hpp) and
+/// PingPongModule (pull/RTT-adaptive, pingpong.hpp).
+#pragma once
+
+#include <any>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::fd {
+
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+/// Services a host actor lends to an embedded protocol module.
+class ModuleHost {
+ public:
+  virtual ~ModuleHost() = default;
+  virtual void module_send(ProcessId to, std::any payload, ekbd::sim::MsgLayer layer) = 0;
+  virtual ekbd::sim::TimerId module_set_timer(Time delay) = 0;
+  [[nodiscard]] virtual Time module_now() const = 0;
+  [[nodiscard]] virtual ProcessId module_id() const = 0;
+};
+
+/// An in-process failure-detector module.
+class FdModule {
+ public:
+  virtual ~FdModule() = default;
+
+  /// Call from the host's on_start (arms timers, sends the first round).
+  virtual void start(ModuleHost& host) = 0;
+
+  /// Offer a delivered message; true if the module consumed it.
+  virtual bool handle_message(ModuleHost& host, const ekbd::sim::Message& m) = 0;
+
+  /// Offer an expired timer; true if the module owns it.
+  virtual bool handle_timer(ModuleHost& host, ekbd::sim::TimerId id) = 0;
+
+  /// Current local suspicion of `target`.
+  [[nodiscard]] virtual bool suspects(ProcessId target) const = 0;
+
+  /// Demand hint from the host: `true` while the host actually consults
+  /// suspicion (for a diner: while hungry — Actions 5 and 9 are the only
+  /// readers). On-demand modules may pause monitoring while unwatched;
+  /// always-on modules ignore this. Default: ignore.
+  virtual void set_watching(ModuleHost& host, bool watching) {
+    (void)host;
+    (void)watching;
+  }
+};
+
+}  // namespace ekbd::fd

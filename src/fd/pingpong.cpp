@@ -1,0 +1,114 @@
+#include "fd/pingpong.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace ekbd::fd {
+
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+using ekbd::sim::TimerId;
+
+PingPongModule::PingPongModule(std::vector<ProcessId> neighbors, Params params)
+    : neighbors_(std::move(neighbors)), params_(params) {
+  for (ProcessId n : neighbors_) {
+    NeighborState st;
+    st.srtt8 = params_.initial_rtt * 8;
+    st.rttvar4 = params_.initial_rtt * 2;  // (initial_rtt / 2) * 4
+    st.slack = params_.initial_slack;
+    state_.emplace(n, st);
+  }
+}
+
+void PingPongModule::start(ModuleHost& host) {
+  assert(tick_timer_ == 0 && "started twice");
+  tick(host);
+}
+
+void PingPongModule::tick(ModuleHost& host) {
+  const Time now = host.module_now();
+  if (watching()) {
+    for (ProcessId n : neighbors_) {
+      NeighborState& st = state_[n];
+      if (st.pending_seq != 0) {
+        // Probe outstanding: check its age against the adaptive threshold.
+        if (!st.suspected && now - st.pending_since > threshold(st)) {
+          st.suspected = true;
+        }
+      } else {
+        st.pending_seq = st.next_seq++;
+        st.pending_since = now;
+        host.module_send(n, Probe{st.pending_seq}, MsgLayer::kDetector);
+      }
+    }
+  }
+  tick_timer_ = host.module_set_timer(params_.period);
+}
+
+void PingPongModule::set_watching(ModuleHost& host, bool watching) {
+  (void)host;
+  if (!params_.on_demand) return;
+  active_ = watching;
+  if (watching) {
+    // Restart probe aging: a probe from a previous watch phase (or the
+    // idle gap itself) must not instantly convict the neighbor.
+    for (auto& [n, st] : state_) st.pending_seq = 0;
+  }
+}
+
+bool PingPongModule::handle_message(ModuleHost& host, const Message& m) {
+  if (const auto* probe = m.as<Probe>()) {
+    // Answer probes unconditionally — even from non-neighbors (scope
+    // restriction applies to whom we monitor, not whom we help).
+    host.module_send(m.from, ProbeEcho{probe->seq}, MsgLayer::kDetector);
+    return true;
+  }
+  const auto* echo = m.as<ProbeEcho>();
+  if (echo == nullptr) return false;
+  auto it = state_.find(m.from);
+  if (it == state_.end()) return true;  // echo from a non-monitored process
+  NeighborState& st = it->second;
+  if (echo->seq != st.pending_seq) return true;  // stale echo: ignore
+
+  const Time rtt = host.module_now() - st.pending_since;
+  st.pending_seq = 0;
+  // Jacobson/Karels estimators in RFC 6298 fixed-point form.
+  const Time err = rtt - (st.srtt8 >> 3);
+  st.rttvar4 += std::llabs(err) - (st.rttvar4 >> 2);
+  st.srtt8 += err;  // == srtt8 - srtt8/8 + rtt
+  if (st.srtt8 < 8) st.srtt8 = 8;
+  if (st.rttvar4 < 0) st.rttvar4 = 0;
+
+  if (st.suspected) {
+    // Mistake: the neighbor answered after all. Retract and back off.
+    st.suspected = false;
+    st.slack = std::min<Time>(params_.max_slack, st.slack * 2);
+    ++false_suspicions_;
+    last_retraction_ = host.module_now();
+  }
+  return true;
+}
+
+bool PingPongModule::handle_timer(ModuleHost& host, TimerId id) {
+  if (id != tick_timer_) return false;
+  tick(host);
+  return true;
+}
+
+bool PingPongModule::suspects(ProcessId target) const {
+  auto it = state_.find(target);
+  return it != state_.end() && it->second.suspected;
+}
+
+Time PingPongModule::srtt_of(ProcessId target) const {
+  auto it = state_.find(target);
+  return it == state_.end() ? 0 : it->second.srtt8 >> 3;
+}
+
+Time PingPongModule::threshold_of(ProcessId target) const {
+  auto it = state_.find(target);
+  return it == state_.end() ? 0 : threshold(it->second);
+}
+
+}  // namespace ekbd::fd

@@ -1,0 +1,130 @@
+/// \file pingpong.hpp
+/// A second real ◇P₁: query/response probing with RTT-adaptive timeouts.
+///
+/// Where the heartbeat module (heartbeat.hpp) *pushes* liveness and
+/// tolerates silence up to an additively-grown timeout, this module
+/// *pulls*: it sends a probe, measures the round-trip time, and keeps a
+/// Jacobson-style smoothed RTT estimate (EWMA of mean and deviation, as in
+/// TCP); a neighbor is suspected when a probe ages past
+/// `srtt + 4·rttvar + slack`. On a mistaken suspicion the estimator learns
+/// the new sample *and* the slack doubles — so under partial synchrony the
+/// module converges like the heartbeat one, but typically with far fewer
+/// pre-GST mistakes on jittery links (E8 measures the difference).
+///
+///  * Local Strong Completeness: a crashed neighbor never answers, the
+///    pending probe ages past any finite bound, suspicion is permanent.
+///  * Local Eventual Strong Accuracy: post GST every RTT ≤ period + 2Δ;
+///    finitely many doublings push the threshold above that forever.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/detector.hpp"
+#include "fd/module.hpp"
+#include "sim/message.hpp"
+
+namespace ekbd::fd {
+
+/// Probe and its echo. `seq` matches responses to requests (stale echoes
+/// from a previous probe round are ignored, not misread as fresh).
+struct Probe {
+  std::uint64_t seq = 0;
+};
+struct ProbeEcho {
+  std::uint64_t seq = 0;
+};
+
+class PingPongModule final : public FdModule {
+ public:
+  struct Params {
+    Time period = 25;          ///< probe interval
+    Time initial_rtt = 20;     ///< seed for the RTT estimate
+    Time initial_slack = 20;   ///< additive safety margin; doubles on mistakes
+    Time max_slack = 1 << 20;  ///< cap (keeps arithmetic safe)
+    /// Demand-driven monitoring: probe only while the host is watching
+    /// (for a diner: while hungry). RTT estimators and suspicion state
+    /// persist across idle phases; pending-probe aging restarts on each
+    /// watch so idle time is never misread as silence. With every process
+    /// idle, the detector layer goes fully quiescent (E18).
+    bool on_demand = false;
+  };
+
+  PingPongModule(std::vector<ProcessId> neighbors, Params params);
+
+  void start(ModuleHost& host) override;
+  bool handle_message(ModuleHost& host, const ekbd::sim::Message& m) override;
+  bool handle_timer(ModuleHost& host, ekbd::sim::TimerId id) override;
+  void set_watching(ModuleHost& host, bool watching) override;
+
+  [[nodiscard]] bool suspects(ProcessId target) const override;
+
+  [[nodiscard]] bool watching() const { return !params_.on_demand || active_; }
+
+  // instrumentation
+  [[nodiscard]] std::uint64_t false_suspicions() const { return false_suspicions_; }
+  [[nodiscard]] Time last_retraction() const { return last_retraction_; }
+  [[nodiscard]] Time srtt_of(ProcessId target) const;
+  [[nodiscard]] Time threshold_of(ProcessId target) const;
+
+ private:
+  /// Estimators kept in TCP's fixed-point form (RFC 6298): srtt scaled by
+  /// 8 and rttvar by 4, so the 1/8 and 1/4 gains stay exact in integer
+  /// arithmetic (a plain `err / 8` truncates small corrections to zero and
+  /// the estimate never converges downward).
+  struct NeighborState {
+    std::uint64_t next_seq = 1;
+    std::uint64_t pending_seq = 0;  ///< 0 = no probe outstanding
+    Time pending_since = 0;
+    Time srtt8 = 0;    ///< smoothed RTT * 8
+    Time rttvar4 = 0;  ///< RTT deviation * 4
+    Time slack = 0;
+    bool suspected = false;
+  };
+
+  void tick(ModuleHost& host);
+  [[nodiscard]] static Time threshold(const NeighborState& st) {
+    // srtt + 4*rttvar + slack, in unscaled ticks.
+    return (st.srtt8 >> 3) + st.rttvar4 + st.slack;
+  }
+
+  std::vector<ProcessId> neighbors_;
+  Params params_;
+  std::unordered_map<ProcessId, NeighborState> state_;
+  ekbd::sim::TimerId tick_timer_ = 0;
+  std::uint64_t false_suspicions_ = 0;
+  Time last_retraction_ = 0;
+  bool active_ = false;  ///< on-demand mode: host currently watching
+};
+
+/// FailureDetector facade over per-process ping-pong modules (mirror of
+/// HeartbeatDetector).
+class PingPongDetector final : public FailureDetector {
+ public:
+  void attach(ProcessId owner, const PingPongModule* module) { modules_[owner] = module; }
+
+  bool suspects(ProcessId owner, ProcessId target) const override {
+    auto it = modules_.find(owner);
+    return it != modules_.end() && it->second->suspects(target);
+  }
+
+  [[nodiscard]] std::uint64_t total_false_suspicions() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, m] : modules_) total += m->false_suspicions();
+    return total;
+  }
+
+  [[nodiscard]] Time last_retraction() const {
+    Time latest = 0;
+    for (const auto& [id, m] : modules_) {
+      latest = latest > m->last_retraction() ? latest : m->last_retraction();
+    }
+    return latest;
+  }
+
+ private:
+  std::unordered_map<ProcessId, const PingPongModule*> modules_;
+};
+
+}  // namespace ekbd::fd

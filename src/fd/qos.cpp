@@ -1,0 +1,67 @@
+#include "fd/qos.hpp"
+
+namespace ekbd::fd {
+
+QosMonitor::QosMonitor(ekbd::sim::Simulator& sim, const FailureDetector& detector,
+                       ProcessId owner, ProcessId target, Time poll_period)
+    : sim_(sim), detector_(detector), owner_(owner), target_(target), period_(poll_period) {
+  sim_.schedule_in(period_, [this] { poll(); });
+}
+
+void QosMonitor::poll() {
+  const Time now = sim_.now();
+  const bool crashed = sim_.crashed(target_);
+  const bool suspected = detector_.suspects(owner_, target_);
+  ++polls_;
+  if (!crashed) {
+    ++polls_pre_crash_;
+    if (!suspected) ++trusted_polls_pre_crash_;
+  }
+
+  // First poll that sees the crashed target suspected — whether the
+  // suspicion was just raised or was already standing from before the
+  // crash — marks the detection point.
+  if (crashed && suspected && post_crash_suspicion_ < 0) post_crash_suspicion_ = now;
+
+  if (suspected && !prev_suspected_) {
+    // Suspicion raised.
+    if (!crashed) {
+      mistake_starts_.push_back(now);
+      current_suspicion_start_ = now;
+    }
+  } else if (!suspected && prev_suspected_) {
+    // Retraction: by definition only possible for a live target (a dead
+    // one never speaks again), so this closes a mistake.
+    if (current_suspicion_start_ >= 0) {
+      mistake_durations_.push_back(static_cast<double>(now - current_suspicion_start_));
+      current_suspicion_start_ = -1;
+    }
+    last_retraction_ = now;
+    post_crash_suspicion_ = -1;  // it wasn't the final (crash) suspicion
+  }
+  prev_suspected_ = suspected;
+
+  sim_.schedule_in(period_, [this] { poll(); });
+}
+
+QosMonitor::Report QosMonitor::report() const {
+  Report r;
+  r.mistakes = mistake_starts_.size();
+  r.mistake_duration = ekbd::util::summarize(mistake_durations_);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < mistake_starts_.size(); ++i) {
+    gaps.push_back(static_cast<double>(mistake_starts_[i] - mistake_starts_[i - 1]));
+  }
+  r.mistake_recurrence = ekbd::util::summarize(gaps);
+  r.query_accuracy = polls_pre_crash_ == 0
+                         ? 1.0
+                         : static_cast<double>(trusted_polls_pre_crash_) /
+                               static_cast<double>(polls_pre_crash_);
+  if (sim_.crashed(target_) && post_crash_suspicion_ >= 0) {
+    r.detection_time = post_crash_suspicion_ - sim_.crash_time(target_);
+  }
+  r.last_retraction = last_retraction_;
+  return r;
+}
+
+}  // namespace ekbd::fd

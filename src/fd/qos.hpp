@@ -1,0 +1,84 @@
+/// \file qos.hpp
+/// Failure-detector quality-of-service metrics.
+///
+/// Chen, Toueg & Aguilera ("On the Quality of Service of Failure
+/// Detectors", IEEE ToC 2002) standardized how to measure an unreliable
+/// detector. The monitor samples one (owner → target) suspicion output at
+/// a fixed poll period and derives:
+///
+///  * **detection time** T_D — crash to the (final) suspicion;
+///  * **mistake count** — false suspicions of the live target;
+///  * **mistake duration** T_M — how long a false suspicion lasts;
+///  * **mistake recurrence** T_MR — time between consecutive mistakes;
+///  * **query accuracy probability** P_A — share of pre-crash polls that
+///    answered "trusted".
+///
+/// ◇P₁ puts no *bound* on any of these — it only promises finitely many
+/// mistakes — so QoS is exactly the lens that separates one valid ◇P₁
+/// implementation from another (bench/e15_fd_qos compares the heartbeat
+/// and ping-pong modules and the effect of their tuning knobs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/detector.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace ekbd::fd {
+
+class QosMonitor {
+ public:
+  /// Start polling `detector.suspects(owner, target)` every `poll_period`
+  /// ticks, beginning one period from now. The monitor must outlive the
+  /// simulation (it schedules callbacks into `sim`).
+  QosMonitor(ekbd::sim::Simulator& sim, const FailureDetector& detector, ProcessId owner,
+             ProcessId target, Time poll_period = 5);
+
+  QosMonitor(const QosMonitor&) = delete;
+  QosMonitor& operator=(const QosMonitor&) = delete;
+
+  struct Report {
+    /// Crash → first suspicion afterwards; -1 if the target never crashed
+    /// or was never suspected post-crash (completeness failure!).
+    Time detection_time = -1;
+    /// Suspicions raised while the target was alive.
+    std::uint64_t mistakes = 0;
+    /// Durations of *completed* false suspicions (suspicion → retraction).
+    ekbd::util::Summary mistake_duration;
+    /// Gaps between consecutive mistake starts.
+    ekbd::util::Summary mistake_recurrence;
+    /// Pre-crash polls answering "trusted" / all pre-crash polls.
+    double query_accuracy = 1.0;
+    /// Time of the last retraction of a false suspicion (0 if none) —
+    /// the observed convergence point of this edge.
+    Time last_retraction = 0;
+  };
+
+  /// Compute the report from everything observed so far.
+  [[nodiscard]] Report report() const;
+
+  [[nodiscard]] std::uint64_t polls() const { return polls_; }
+
+ private:
+  void poll();
+
+  ekbd::sim::Simulator& sim_;
+  const FailureDetector& detector_;
+  const ProcessId owner_;
+  const ProcessId target_;
+  const Time period_;
+
+  bool prev_suspected_ = false;
+  std::uint64_t polls_ = 0;
+  std::uint64_t trusted_polls_pre_crash_ = 0;
+  std::uint64_t polls_pre_crash_ = 0;
+  Time current_suspicion_start_ = -1;
+  std::vector<Time> mistake_starts_;
+  std::vector<double> mistake_durations_;
+  Time post_crash_suspicion_ = -1;
+  Time last_retraction_ = 0;
+};
+
+}  // namespace ekbd::fd

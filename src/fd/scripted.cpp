@@ -1,0 +1,33 @@
+#include "fd/scripted.hpp"
+
+#include <algorithm>
+
+namespace ekbd::fd {
+
+ScriptedDetector::ScriptedDetector(const ekbd::sim::Simulator& sim, Time detection_delay)
+    : sim_(sim), detection_delay_(detection_delay) {}
+
+void ScriptedDetector::add_false_positive(ProcessId owner, ProcessId target, Time from, Time to) {
+  intervals_.push_back(Interval{owner, target, from, to});
+  last_fp_end_ = std::max(last_fp_end_, to);
+}
+
+void ScriptedDetector::add_mutual_false_positive(ProcessId a, ProcessId b, Time from, Time to) {
+  add_false_positive(a, b, from, to);
+  add_false_positive(b, a, from, to);
+}
+
+bool ScriptedDetector::suspects(ProcessId owner, ProcessId target) const {
+  const Time now = sim_.now();
+  if (sim_.crashed(target) && now >= sim_.crash_time(target) + detection_delay_) {
+    return true;
+  }
+  for (const Interval& iv : intervals_) {
+    if (iv.owner == owner && iv.target == target && now >= iv.from && now < iv.to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ekbd::fd

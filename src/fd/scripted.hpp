@@ -1,0 +1,61 @@
+/// \file scripted.hpp
+/// Adversarially scripted ◇P₁.
+///
+/// Tests and experiments need precise control over the oracle's behaviour:
+/// exactly which false positives occur, and exactly when the detector
+/// converges. `ScriptedDetector` provides that:
+///
+///  * completeness: a crashed target is suspected by every owner starting
+///    `detection_delay` ticks after the crash, permanently;
+///  * scripted mistakes: arbitrary (owner, target, [from, to)) false-
+///    positive suspicion intervals, including *mutual* suspicion — the
+///    scenario the paper highlights where two neighbors enter the doorway
+///    together before convergence.
+///
+/// As long as every scripted interval ends, this object is a legitimate
+/// ◇P₁ instance; `last_false_positive_end()` exposes the earliest provable
+/// convergence time for checking "eventual" properties.
+#pragma once
+
+#include <vector>
+
+#include "fd/detector.hpp"
+
+namespace ekbd::fd {
+
+class ScriptedDetector final : public FailureDetector {
+ public:
+  /// \param sim             consulted for actual crash times (completeness)
+  /// \param detection_delay latency between a crash and its permanent
+  ///                        suspicion by every neighbor
+  explicit ScriptedDetector(const ekbd::sim::Simulator& sim, Time detection_delay = 0);
+
+  /// `owner` wrongfully suspects `target` during [from, to).
+  void add_false_positive(ProcessId owner, ProcessId target, Time from, Time to);
+
+  /// Symmetric mistake: both wrongfully suspect each other during [from, to).
+  void add_mutual_false_positive(ProcessId a, ProcessId b, Time from, Time to);
+
+  bool suspects(ProcessId owner, ProcessId target) const override;
+
+  /// Latest end of any scripted false-positive interval (0 if none): after
+  /// this time the detector output is accurate for live processes.
+  [[nodiscard]] Time last_false_positive_end() const { return last_fp_end_; }
+
+  [[nodiscard]] Time detection_delay() const { return detection_delay_; }
+
+ private:
+  struct Interval {
+    ProcessId owner;
+    ProcessId target;
+    Time from;
+    Time to;
+  };
+
+  const ekbd::sim::Simulator& sim_;
+  Time detection_delay_;
+  Time last_fp_end_ = 0;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace ekbd::fd

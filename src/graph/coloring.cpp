@@ -1,0 +1,59 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace ekbd::graph {
+
+namespace {
+Coloring greedy_in_order(const ConflictGraph& g, const std::vector<ProcessId>& order) {
+  Coloring colors(g.size(), -1);
+  std::vector<bool> taken;
+  for (ProcessId v : order) {
+    taken.assign(g.degree(v) + 1, false);
+    for (ProcessId w : g.neighbors(v)) {
+      int cw = colors[static_cast<std::size_t>(w)];
+      if (cw >= 0 && static_cast<std::size_t>(cw) < taken.size()) {
+        taken[static_cast<std::size_t>(cw)] = true;
+      }
+    }
+    int c = 0;
+    while (taken[static_cast<std::size_t>(c)]) ++c;
+    colors[static_cast<std::size_t>(v)] = c;
+  }
+  return colors;
+}
+}  // namespace
+
+Coloring greedy_coloring(const ConflictGraph& g) {
+  std::vector<ProcessId> order(g.size());
+  std::iota(order.begin(), order.end(), 0);
+  return greedy_in_order(g, order);
+}
+
+Coloring welsh_powell_coloring(const ConflictGraph& g) {
+  std::vector<ProcessId> order(g.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ProcessId a, ProcessId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return greedy_in_order(g, order);
+}
+
+bool is_proper(const ConflictGraph& g, const Coloring& c) {
+  if (c.size() != g.size()) return false;
+  for (const auto& [a, b] : g.edges()) {
+    if (c[static_cast<std::size_t>(a)] == c[static_cast<std::size_t>(b)]) return false;
+    if (c[static_cast<std::size_t>(a)] < 0 || c[static_cast<std::size_t>(b)] < 0) return false;
+  }
+  return true;
+}
+
+std::size_t num_colors(const Coloring& c) {
+  std::unordered_set<int> distinct(c.begin(), c.end());
+  distinct.erase(-1);
+  return distinct.size();
+}
+
+}  // namespace ekbd::graph

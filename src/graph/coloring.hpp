@@ -1,0 +1,33 @@
+/// \file coloring.hpp
+/// Proper node colorings — the static priority scheme of the paper (§3.1).
+///
+/// Algorithm 1 assigns each process a locally unique integer color at
+/// initialization; between neighbors, the higher color wins fork conflicts.
+/// The paper notes standard approximation algorithms produce colorings with
+/// O(δ) distinct values in polynomial time; we provide sequential greedy
+/// coloring under two orderings, both guaranteed to use at most δ+1 colors.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ekbd::graph {
+
+/// A proper coloring: color[v] differs from color[w] for every edge {v,w}.
+using Coloring = std::vector<int>;
+
+/// Greedy coloring in vertex-id order. Uses <= δ+1 colors.
+Coloring greedy_coloring(const ConflictGraph& g);
+
+/// Welsh–Powell: greedy in non-increasing degree order. Uses <= δ+1 colors
+/// and often fewer than id-order greedy on irregular graphs.
+Coloring welsh_powell_coloring(const ConflictGraph& g);
+
+/// True iff `c` assigns distinct colors to every pair of neighbors.
+bool is_proper(const ConflictGraph& g, const Coloring& c);
+
+/// Number of distinct colors used (0 for an empty coloring).
+std::size_t num_colors(const Coloring& c);
+
+}  // namespace ekbd::graph

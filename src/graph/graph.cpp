@@ -1,0 +1,64 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ekbd::graph {
+
+ConflictGraph::ConflictGraph(std::size_t n) : adj_(n) {}
+
+void ConflictGraph::add_edge(ProcessId a, ProcessId b) {
+  assert(a >= 0 && static_cast<std::size_t>(a) < adj_.size());
+  assert(b >= 0 && static_cast<std::size_t>(b) < adj_.size());
+  assert(a != b && "self-loops are not conflicts");
+  if (adjacent(a, b)) return;
+  auto& na = adj_[static_cast<std::size_t>(a)];
+  auto& nb = adj_[static_cast<std::size_t>(b)];
+  na.insert(std::lower_bound(na.begin(), na.end(), b), b);
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+  ++num_edges_;
+}
+
+bool ConflictGraph::adjacent(ProcessId a, ProcessId b) const {
+  const auto& na = adj_[static_cast<std::size_t>(a)];
+  return std::binary_search(na.begin(), na.end(), b);
+}
+
+std::size_t ConflictGraph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& n : adj_) d = std::max(d, n.size());
+  return d;
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> ConflictGraph::edges() const {
+  std::vector<std::pair<ProcessId, ProcessId>> out;
+  out.reserve(num_edges_);
+  for (std::size_t a = 0; a < adj_.size(); ++a) {
+    for (ProcessId b : adj_[a]) {
+      if (static_cast<ProcessId>(a) < b) out.emplace_back(static_cast<ProcessId>(a), b);
+    }
+  }
+  return out;
+}
+
+bool ConflictGraph::connected() const {
+  if (adj_.size() <= 1) return true;
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<ProcessId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    ProcessId v = stack.back();
+    stack.pop_back();
+    for (ProcessId w : adj_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == adj_.size();
+}
+
+}  // namespace ekbd::graph

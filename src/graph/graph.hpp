@@ -1,0 +1,57 @@
+/// \file graph.hpp
+/// Conflict graphs.
+///
+/// A dining instance is an undirected graph C = (Π, E): vertices are
+/// processes, an edge {i, j} means i and j have conflicting actions and
+/// must never (eventually never, under ◇WX) be scheduled simultaneously.
+/// Every edge also names one shared fork and one shared token.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ekbd::graph {
+
+using ekbd::sim::ProcessId;
+
+class ConflictGraph {
+ public:
+  /// Graph on vertices 0..n-1, initially edgeless.
+  explicit ConflictGraph(std::size_t n);
+
+  /// Add undirected edge {a, b}. Self-loops are rejected; duplicate edges
+  /// are ignored.
+  void add_edge(ProcessId a, ProcessId b);
+
+  [[nodiscard]] std::size_t size() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  [[nodiscard]] bool adjacent(ProcessId a, ProcessId b) const;
+
+  /// Sorted neighbor list of `p`.
+  [[nodiscard]] const std::vector<ProcessId>& neighbors(ProcessId p) const {
+    return adj_[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] std::size_t degree(ProcessId p) const {
+    return adj_[static_cast<std::size_t>(p)].size();
+  }
+
+  /// Maximum degree δ of the graph (0 for an edgeless graph).
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// All edges as (a, b) pairs with a < b, lexicographically sorted.
+  [[nodiscard]] std::vector<std::pair<ProcessId, ProcessId>> edges() const;
+
+  /// True if the graph is connected (vacuously true for n <= 1).
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<std::vector<ProcessId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ekbd::graph

@@ -1,0 +1,150 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ekbd::graph {
+
+using ekbd::sim::Rng;
+
+ConflictGraph ring(std::size_t n) {
+  ConflictGraph g(n);
+  if (n < 2) return g;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(i + 1));
+  }
+  if (n >= 3) g.add_edge(static_cast<ProcessId>(n - 1), 0);
+  return g;
+}
+
+ConflictGraph path(std::size_t n) {
+  ConflictGraph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(i + 1));
+  }
+  return g;
+}
+
+ConflictGraph clique(std::size_t n) {
+  ConflictGraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j));
+    }
+  }
+  return g;
+}
+
+ConflictGraph star(std::size_t n) {
+  ConflictGraph g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(0, static_cast<ProcessId>(i));
+  return g;
+}
+
+ConflictGraph grid(std::size_t rows, std::size_t cols) {
+  ConflictGraph g(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<ProcessId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+ConflictGraph binary_tree(std::size_t n) {
+  ConflictGraph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>((i - 1) / 2));
+  }
+  return g;
+}
+
+ConflictGraph random_connected(std::size_t n, double p, Rng& rng) {
+  ConflictGraph g(n);
+  // Random spanning tree: attach each new vertex to a uniformly chosen
+  // earlier vertex (random recursive tree) — guarantees connectivity.
+  for (std::size_t i = 1; i < n; ++i) {
+    auto parent = static_cast<ProcessId>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    g.add_edge(static_cast<ProcessId>(i), parent);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!g.adjacent(static_cast<ProcessId>(i), static_cast<ProcessId>(j)) && rng.chance(p)) {
+        g.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+ConflictGraph hypercube(std::size_t dims) {
+  const std::size_t n = std::size_t{1} << dims;
+  ConflictGraph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const std::size_t w = v ^ (std::size_t{1} << d);
+      if (v < w) g.add_edge(static_cast<ProcessId>(v), static_cast<ProcessId>(w));
+    }
+  }
+  return g;
+}
+
+ConflictGraph torus(std::size_t rows, std::size_t cols) {
+  ConflictGraph g(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<ProcessId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(at(r, c), at(r, (c + 1) % cols));
+      g.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+ConflictGraph complete_bipartite(std::size_t a, std::size_t b) {
+  ConflictGraph g(a + b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      g.add_edge(static_cast<ProcessId>(i), static_cast<ProcessId>(a + j));
+    }
+  }
+  return g;
+}
+
+ConflictGraph by_name(const std::string& name, std::size_t n, Rng& rng) {
+  if (name == "ring") return ring(n);
+  if (name == "path") return path(n);
+  if (name == "clique") return clique(n);
+  if (name == "star") return star(n);
+  if (name == "tree") return binary_tree(n);
+  if (name == "random") return random_connected(n, 0.2, rng);
+  if (name == "grid") {
+    auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+    std::size_t rows = side;
+    std::size_t cols = (n + side - 1) / side;
+    return grid(rows, cols);
+  }
+  if (name == "torus") {
+    auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+    side = std::max<std::size_t>(side, 3);
+    std::size_t cols = std::max<std::size_t>((n + side - 1) / side, 3);
+    return torus(side, cols);
+  }
+  if (name == "hypercube") {
+    std::size_t dims = 0;
+    while ((std::size_t{1} << dims) < n) ++dims;
+    return hypercube(dims);
+  }
+  if (name == "bipartite") return complete_bipartite(n / 2, n - n / 2);
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+}  // namespace ekbd::graph

@@ -1,0 +1,64 @@
+/// \file topology.hpp
+/// Standard conflict-graph families used by tests, examples and benches.
+///
+/// Dijkstra's original dining problem is `ring(5)`; Lynch's generalization
+/// covers arbitrary graphs, so the experiments sweep over several shapes
+/// with very different degree/contention profiles:
+///   ring/path  — δ = 2, long dependency chains;
+///   clique     — δ = n-1, global contention (worst case for space bound);
+///   star       — one hub contending with everyone (worst single-process δ);
+///   grid       — moderate δ = 4, planar locality;
+///   tree       — hierarchical, δ varies;
+///   random     — connected G(n, p), irregular contention.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace ekbd::graph {
+
+/// Cycle 0-1-...-(n-1)-0. Requires n >= 3 (n <= 2 degenerates to a path).
+ConflictGraph ring(std::size_t n);
+
+/// Path 0-1-...-(n-1).
+ConflictGraph path(std::size_t n);
+
+/// Complete graph K_n.
+ConflictGraph clique(std::size_t n);
+
+/// Star: vertex 0 adjacent to all others.
+ConflictGraph star(std::size_t n);
+
+/// rows x cols grid, 4-neighborhood.
+ConflictGraph grid(std::size_t rows, std::size_t cols);
+
+/// Complete binary tree on n vertices (vertex 0 the root, heap layout).
+ConflictGraph binary_tree(std::size_t n);
+
+/// Connected Erdős–Rényi-style graph: a uniform random spanning tree plus
+/// each remaining pair independently with probability `p`.
+ConflictGraph random_connected(std::size_t n, double p, ekbd::sim::Rng& rng);
+
+/// d-dimensional hypercube (2^d vertices; neighbors differ in one bit).
+/// Regular with δ = d = log₂ n: logarithmic-degree contention.
+ConflictGraph hypercube(std::size_t dims);
+
+/// rows x cols torus (grid with wraparound): 4-regular, no boundary
+/// effects. Requires rows, cols >= 3 to avoid parallel edges.
+ConflictGraph torus(std::size_t rows, std::size_t cols);
+
+/// Complete bipartite K_{a,b}: two thinking camps where every conflict
+/// crosses sides — the worst case for two-coloring-based priorities.
+ConflictGraph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Named lookup used by benches ("ring", "path", "clique", "star", "grid",
+/// "tree", "random", "hypercube", "torus", "bipartite"); grid/torus use
+/// the most square shape covering n, hypercube rounds n up to a power of
+/// two, bipartite splits n in half, random uses p = 0.2. Throws
+/// std::invalid_argument for unknown names.
+ConflictGraph by_name(const std::string& name, std::size_t n, ekbd::sim::Rng& rng);
+
+}  // namespace ekbd::graph

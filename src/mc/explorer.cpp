@@ -1,0 +1,145 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
+namespace ekbd::mc {
+
+using ekbd::sim::PendingEvent;
+
+namespace {
+
+/// The choice set at a node: eligible event ids, optionally sans timers.
+std::vector<std::uint64_t> choices(World& world, const Options& opt) {
+  std::vector<std::uint64_t> ids;
+  for (const PendingEvent& ev : world.simulator().eligible_events()) {
+    if (!opt.include_timers && ev.kind == PendingEvent::Kind::kTimer) continue;
+    ids.push_back(ev.id);
+  }
+  return ids;
+}
+
+/// Rebuild a world and replay a prefix of event ids. Returns nullptr if
+/// replay diverged (should not happen with a deterministic factory).
+std::unique_ptr<World> replay(const WorldFactory& factory, const std::vector<std::uint64_t>& path,
+                              Result& result) {
+  auto world = factory();
+  world->simulator().start();
+  for (std::uint64_t id : path) {
+    if (!world->simulator().execute_event(id)) return nullptr;
+    ++result.nodes_executed;
+  }
+  return world;
+}
+
+void dfs(const WorldFactory& factory, const Options& opt, std::vector<std::uint64_t>& path,
+         Result& result) {
+  if (result.violation_found || result.budget_exhausted) return;
+  if (result.nodes_executed >= opt.max_nodes) {
+    result.budget_exhausted = true;
+    return;
+  }
+
+  auto world = replay(factory, path, result);
+  if (!world) {
+    result.violation_found = true;
+    result.violation = "non-deterministic factory: replay diverged";
+    result.counterexample = path;
+    return;
+  }
+  result.max_depth_seen = std::max(result.max_depth_seen, path.size());
+
+  const auto ids = choices(*world, opt);
+  if (ids.empty()) {
+    if (world->done()) {
+      ++result.paths_completed;
+    } else {
+      result.violation_found = true;
+      result.violation = "deadlock: no eligible events but goal not reached";
+      result.counterexample = path;
+    }
+    return;
+  }
+  if (path.size() >= opt.max_depth) {
+    ++result.paths_truncated;
+    return;
+  }
+
+  for (std::uint64_t id : ids) {
+    if (result.violation_found || result.budget_exhausted) return;
+    // Execute this child on the already-replayed world the first time;
+    // for simplicity and strict statelessness we re-replay per child.
+    auto child = replay(factory, path, result);
+    if (!child) continue;
+    if (!child->simulator().execute_event(id)) continue;
+    ++result.nodes_executed;
+    const std::string err = child->check();
+    if (!err.empty()) {
+      result.violation_found = true;
+      result.violation = err;
+      result.counterexample = path;
+      result.counterexample.push_back(id);
+      return;
+    }
+    path.push_back(id);
+    dfs(factory, opt, path, result);
+    path.pop_back();
+  }
+}
+
+void random_walks(const WorldFactory& factory, const Options& opt, Result& result) {
+  ekbd::sim::Rng rng(opt.seed);
+  for (std::uint64_t walk = 0; walk < opt.random_walks; ++walk) {
+    if (result.violation_found || result.nodes_executed >= opt.max_nodes) {
+      result.budget_exhausted = result.nodes_executed >= opt.max_nodes;
+      return;
+    }
+    auto world = factory();
+    world->simulator().start();
+    std::vector<std::uint64_t> path;
+    while (path.size() < opt.max_depth) {
+      const auto ids = choices(*world, opt);
+      if (ids.empty()) break;
+      const std::uint64_t id = ids[rng.index(ids.size())];
+      if (!world->simulator().execute_event(id)) break;
+      ++result.nodes_executed;
+      path.push_back(id);
+      result.max_depth_seen = std::max(result.max_depth_seen, path.size());
+      const std::string err = world->check();
+      if (!err.empty()) {
+        result.violation_found = true;
+        result.violation = err;
+        result.counterexample = path;
+        return;
+      }
+    }
+    if (choices(*world, opt).empty()) {
+      if (world->done()) {
+        ++result.paths_completed;
+      } else {
+        result.violation_found = true;
+        result.violation = "deadlock: no eligible events but goal not reached";
+        result.counterexample = path;
+        return;
+      }
+    } else {
+      ++result.paths_truncated;
+    }
+  }
+}
+
+}  // namespace
+
+Result explore(const WorldFactory& factory, const Options& options) {
+  Result result;
+  if (options.random_walks > 0) {
+    random_walks(factory, options, result);
+  } else {
+    std::vector<std::uint64_t> path;
+    dfs(factory, options, path, result);
+  }
+  return result;
+}
+
+}  // namespace ekbd::mc

@@ -1,0 +1,84 @@
+/// \file explorer.hpp
+/// Systematic interleaving exploration (stateless model checking).
+///
+/// The paper's proofs quantify over *all* asynchronous executions; timed
+/// simulation samples only a few schedules per seed. The explorer closes
+/// the gap for small configurations: running the simulator in
+/// `ExecMode::kControlled`, it enumerates every legal order of pending
+/// events (respecting per-channel FIFO — the only ordering constraint the
+/// model imposes) and checks a user invariant after every step.
+///
+/// Exploration is *stateless* (à la dCDPW/Shuttle): a path is a sequence of
+/// choice indices, and each node is reached by rebuilding the world from
+/// its factory and replaying the prefix — actors need no snapshot support.
+/// Costs O(depth) per node; fine for the 2–3 process worlds where
+/// exhaustive exploration is meaningful. For larger worlds, the random-
+/// walk mode samples many schedules uniformly instead.
+///
+/// Used by tests/mc_test.cpp to verify, over *every* schedule of a
+/// two-diner instance of Algorithm 1: fork/token uniqueness, exclusion
+/// (with a truthful oracle), absence of deadlock, and termination of both
+/// meals; and by bench/e13_modelcheck to report state counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ekbd::mc {
+
+/// One self-contained execution universe. The factory must produce
+/// identical worlds on every call (same seeds, same wiring): statelessness
+/// depends on replay determinism.
+class World {
+ public:
+  virtual ~World() = default;
+
+  /// The controlled-mode simulator driving this world.
+  virtual ekbd::sim::Simulator& simulator() = 0;
+
+  /// Check safety invariants; return "" if fine, else a description.
+  /// Called after every executed event.
+  [[nodiscard]] virtual std::string check() = 0;
+
+  /// Has the execution reached its goal (e.g. everyone has eaten)?
+  /// A world with no eligible events that is not done is a deadlock.
+  [[nodiscard]] virtual bool done() = 0;
+};
+
+using WorldFactory = std::function<std::unique_ptr<World>()>;
+
+struct Options {
+  std::size_t max_depth = 60;        ///< truncate paths longer than this
+  std::uint64_t max_nodes = 500'000; ///< exploration budget (events executed)
+  bool include_timers = true;        ///< offer timer events as choices
+  /// When > 0: instead of exhaustive DFS, run this many uniformly random
+  /// schedules to completion (or max_depth).
+  std::uint64_t random_walks = 0;
+  std::uint64_t seed = 1;            ///< randomness for random walks
+};
+
+struct Result {
+  std::uint64_t nodes_executed = 0;   ///< events fired across all replays
+  std::uint64_t paths_completed = 0;  ///< schedules that reached done()
+  std::uint64_t paths_truncated = 0;  ///< schedules cut at max_depth
+  std::size_t max_depth_seen = 0;
+  bool budget_exhausted = false;
+
+  // First failure found (if any):
+  bool violation_found = false;
+  std::string violation;              ///< invariant message or "deadlock"
+  std::vector<std::uint64_t> counterexample;  ///< event ids along the path
+
+  [[nodiscard]] bool ok() const { return !violation_found; }
+};
+
+/// Explore schedules of worlds made by `factory` under `options`.
+/// Exhaustive DFS by default; random walks if options.random_walks > 0.
+Result explore(const WorldFactory& factory, const Options& options);
+
+}  // namespace ekbd::mc

@@ -1,0 +1,250 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/topology.hpp"
+
+namespace ekbd::scenario {
+
+using ekbd::graph::ConflictGraph;
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kWaitFree: return "waitfree(Alg.1)";
+    case Algorithm::kChoySingh: return "choy-singh";
+    case Algorithm::kChoySinghSingleAck: return "choy-singh+1ack";
+    case Algorithm::kHierarchical: return "hierarchical";
+    case Algorithm::kChandyMisra: return "chandy-misra";
+  }
+  return "?";
+}
+
+std::string to_string(DetectorKind d) {
+  switch (d) {
+    case DetectorKind::kNever: return "none";
+    case DetectorKind::kPerfect: return "perfect";
+    case DetectorKind::kScripted: return "scripted-<>P1";
+    case DetectorKind::kHeartbeat: return "heartbeat-<>P1";
+    case DetectorKind::kPingPong: return "pingpong-<>P1";
+    case DetectorKind::kAccrual: return "phi-accrual-<>P1";
+  }
+  return "?";
+}
+
+namespace {
+
+ConflictGraph build_graph(const Config& cfg) {
+  ekbd::sim::Rng rng(cfg.seed ^ 0x70110ULL);
+  return ekbd::graph::by_name(cfg.topology, cfg.n, rng);
+}
+
+std::unique_ptr<ekbd::sim::DelayModel> build_delays(const Config& cfg) {
+  if (cfg.partial_synchrony) return ekbd::sim::make_partial_synchrony(cfg.delay);
+  return ekbd::sim::make_uniform_delay(cfg.uniform_delay_lo, cfg.uniform_delay_hi);
+}
+
+}  // namespace
+
+Scenario::Scenario(Config cfg)
+    : cfg_(std::move(cfg)),
+      graph_(build_graph(cfg_)),
+      colors_(ekbd::graph::welsh_powell_coloring(graph_)),
+      sim_(std::make_unique<ekbd::sim::Simulator>(cfg_.seed, build_delays(cfg_))) {
+  if (cfg_.channel_dup_prob > 0.0 || cfg_.channel_reorder_prob > 0.0) {
+    sim_->set_channel_faults(cfg_.channel_dup_prob, cfg_.channel_reorder_prob);
+  }
+
+  // -- detector ---------------------------------------------------------
+  switch (cfg_.detector) {
+    case DetectorKind::kNever: {
+      owned_detector_ = std::make_unique<ekbd::fd::NeverSuspect>();
+      break;
+    }
+    case DetectorKind::kPerfect: {
+      owned_detector_ = std::make_unique<ekbd::fd::PerfectDetector>(*sim_);
+      break;
+    }
+    case DetectorKind::kScripted: {
+      auto det = std::make_unique<ekbd::fd::ScriptedDetector>(*sim_, cfg_.detection_delay);
+      scripted_ = det.get();
+      if (cfg_.fp_count > 0 && cfg_.fp_until > 0 && graph_.num_edges() > 0) {
+        // Adversarial pre-convergence mistakes on random edges.
+        ekbd::sim::Rng rng(cfg_.seed ^ 0xF41511ULL);
+        const auto edges = graph_.edges();
+        for (std::size_t i = 0; i < cfg_.fp_count; ++i) {
+          const auto [a, b] = edges[rng.index(edges.size())];
+          const Time len = rng.uniform_int(cfg_.fp_len_lo, cfg_.fp_len_hi);
+          const Time from = rng.uniform_int(0, std::max<Time>(0, cfg_.fp_until - len));
+          const bool mutual = rng.chance(0.25);
+          if (mutual) {
+            det->add_mutual_false_positive(a, b, from, from + len);
+          } else if (rng.chance(0.5)) {
+            det->add_false_positive(a, b, from, from + len);
+          } else {
+            det->add_false_positive(b, a, from, from + len);
+          }
+        }
+      }
+      owned_detector_ = std::move(det);
+      break;
+    }
+    case DetectorKind::kHeartbeat: {
+      auto det = std::make_unique<ekbd::fd::HeartbeatDetector>();
+      heartbeat_ = det.get();
+      owned_detector_ = std::move(det);
+      break;
+    }
+    case DetectorKind::kPingPong: {
+      auto det = std::make_unique<ekbd::fd::PingPongDetector>();
+      pingpong_ = det.get();
+      owned_detector_ = std::move(det);
+      break;
+    }
+    case DetectorKind::kAccrual: {
+      auto det = std::make_unique<ekbd::fd::AccrualDetector>();
+      accrual_ = det.get();
+      owned_detector_ = std::move(det);
+      break;
+    }
+  }
+  detector_ = owned_detector_.get();
+
+  // Sabotage wrappers for the necessity probes (applied outermost-first:
+  // poison over blind over the base detector).
+  if (!cfg_.blind_pairs.empty()) {
+    auto wrap = std::make_unique<ekbd::fd::IncompleteDetector>(*detector_);
+    for (const auto& [o, t] : cfg_.blind_pairs) wrap->blind(o, t);
+    sabotage_wrapper_ = std::move(wrap);
+    detector_ = sabotage_wrapper_.get();
+  }
+  if (!cfg_.poison_pairs.empty()) {
+    auto wrap = std::make_unique<ekbd::fd::InaccurateDetector>(*detector_);
+    for (const auto& [o, t] : cfg_.poison_pairs) wrap->poison(o, t);
+    // Chain: keep the previous wrapper (if any) alive by moving it into
+    // owned storage before replacing the pointer.
+    if (sabotage_wrapper_) {
+      chained_wrappers_.push_back(std::move(sabotage_wrapper_));
+    }
+    sabotage_wrapper_ = std::move(wrap);
+    detector_ = sabotage_wrapper_.get();
+  }
+
+  // -- harness + diners ---------------------------------------------------
+  harness_ = std::make_unique<ekbd::dining::Harness>(*sim_, graph_, cfg_.harness);
+  diners_.reserve(graph_.size());
+  for (std::size_t v = 0; v < graph_.size(); ++v) {
+    const auto p = static_cast<ProcessId>(v);
+    std::vector<ProcessId> neighbors = graph_.neighbors(p);
+    std::vector<int> ncolors;
+    ncolors.reserve(neighbors.size());
+    for (ProcessId j : neighbors) ncolors.push_back(colors_[static_cast<std::size_t>(j)]);
+    const int color = colors_[v];
+
+    ekbd::dining::Diner* d = nullptr;
+    switch (cfg_.algorithm) {
+      case Algorithm::kWaitFree:
+        d = sim_->make_actor<ekbd::core::WaitFreeDiner>(
+            std::move(neighbors), color, std::move(ncolors), *detector_,
+            ekbd::core::WaitFreeDiner::Options{.acks_per_session = cfg_.acks_per_session});
+        break;
+      case Algorithm::kChoySingh:
+        d = sim_->make_actor<ekbd::baseline::DoorwayDiner>(
+            std::move(neighbors), color, std::move(ncolors), *detector_,
+            ekbd::baseline::DoorwayDiner::Options{.single_ack_per_session = false});
+        break;
+      case Algorithm::kChoySinghSingleAck:
+        d = sim_->make_actor<ekbd::baseline::DoorwayDiner>(
+            std::move(neighbors), color, std::move(ncolors), *detector_,
+            ekbd::baseline::DoorwayDiner::Options{.single_ack_per_session = true});
+        break;
+      case Algorithm::kHierarchical:
+        d = sim_->make_actor<ekbd::baseline::HierarchicalDiner>(std::move(neighbors), color,
+                                                                std::move(ncolors), *detector_);
+        break;
+      case Algorithm::kChandyMisra:
+        d = sim_->make_actor<ekbd::baseline::ChandyMisraDiner>(std::move(neighbors), color,
+                                                               std::move(ncolors), *detector_);
+        break;
+    }
+    diners_.push_back(d);
+    harness_->manage(d);
+  }
+
+  if (heartbeat_ != nullptr) {
+    harness_->install_heartbeats(*heartbeat_, cfg_.heartbeat);
+  }
+  if (pingpong_ != nullptr) {
+    harness_->install_pingpongs(*pingpong_, cfg_.pingpong);
+  }
+  if (accrual_ != nullptr) {
+    harness_->install_accruals(*accrual_, cfg_.accrual);
+  }
+
+  for (const auto& [p, at] : cfg_.crashes) {
+    harness_->schedule_crash(p, at);
+  }
+}
+
+void Scenario::run() {
+  assert(!ran_);
+  ran_ = true;
+  harness_->run_until(cfg_.run_for);
+}
+
+void Scenario::run_until(Time t) { harness_->run_until(t); }
+
+ekbd::dining::ExclusionReport Scenario::exclusion() const {
+  return ekbd::dining::check_exclusion(harness_->trace(), graph_);
+}
+
+ekbd::dining::WaitFreedomReport Scenario::wait_freedom(Time starvation_horizon) const {
+  return ekbd::dining::check_wait_freedom(harness_->trace(), harness_->crash_times(),
+                                          starvation_horizon);
+}
+
+std::vector<ekbd::dining::OvertakeObservation> Scenario::census() const {
+  return ekbd::dining::overtake_census(harness_->trace(), graph_);
+}
+
+Time Scenario::fd_convergence_estimate() const {
+  Time latest_crash = 0;
+  for (const auto& [p, at] : cfg_.crashes) latest_crash = std::max(latest_crash, at);
+  switch (cfg_.detector) {
+    case DetectorKind::kNever:
+    case DetectorKind::kPerfect:
+      return 0;
+    case DetectorKind::kScripted:
+      return std::max(scripted_->last_false_positive_end(),
+                      cfg_.crashes.empty() ? 0 : latest_crash + cfg_.detection_delay);
+    case DetectorKind::kHeartbeat: {
+      // Last observed retraction, plus detection latency for late crashes.
+      const Time detect = cfg_.heartbeat.period + cfg_.heartbeat.initial_timeout;
+      return std::max(heartbeat_->last_retraction(),
+                      cfg_.crashes.empty() ? 0 : latest_crash + detect);
+    }
+    case DetectorKind::kPingPong: {
+      // Threshold can have grown; period + a generous multiple of the
+      // initial RTT estimate bounds typical detection latency.
+      const Time detect = cfg_.pingpong.period + 8 * cfg_.pingpong.initial_rtt +
+                          2 * cfg_.pingpong.initial_slack;
+      return std::max(pingpong_->last_retraction(),
+                      cfg_.crashes.empty() ? 0 : latest_crash + detect);
+    }
+    case DetectorKind::kAccrual: {
+      // φ grows roughly linearly in elapsed/period past the window mean;
+      // a generous multiple of the period per unit threshold bounds it.
+      const Time detect = cfg_.accrual.period *
+                          (4 + static_cast<Time>(cfg_.accrual.threshold));
+      return std::max(accrual_->last_retraction(),
+                      cfg_.crashes.empty() ? 0 : latest_crash + detect);
+    }
+  }
+  return 0;
+}
+
+ekbd::core::WaitFreeDiner* Scenario::wait_free_diner(ProcessId p) {
+  return dynamic_cast<ekbd::core::WaitFreeDiner*>(diners_[static_cast<std::size_t>(p)]);
+}
+
+}  // namespace ekbd::scenario

@@ -1,0 +1,177 @@
+/// \file scenario.hpp
+/// One-stop experiment builder.
+///
+/// Wires a full execution from a declarative `Config`: conflict graph +
+/// coloring, simulator + delay model, failure detector, one diner per
+/// vertex, harness, crash plan. Used by the integration tests, every bench
+/// binary and the examples, so that an experiment is (Config → run →
+/// reports) and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/chandy_misra_diner.hpp"
+#include "baseline/doorway_diner.hpp"
+#include "baseline/hierarchical_diner.hpp"
+#include "core/wait_free_diner.hpp"
+#include "dining/checkers.hpp"
+#include "dining/harness.hpp"
+#include "fd/detector.hpp"
+#include "fd/heartbeat.hpp"
+#include "fd/accrual.hpp"
+#include "fd/lossy.hpp"
+#include "fd/pingpong.hpp"
+#include "fd/scripted.hpp"
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace ekbd::scenario {
+
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+/// Which dining algorithm to instantiate at every vertex.
+enum class Algorithm {
+  kWaitFree,         ///< the paper's Algorithm 1 (core::WaitFreeDiner)
+  kChoySingh,        ///< baseline::DoorwayDiner, original ack rule
+  kChoySinghSingleAck,  ///< DoorwayDiner with the paper's ack rule (ablation)
+  kHierarchical,     ///< baseline::HierarchicalDiner (no doorway)
+  kChandyMisra,      ///< baseline::ChandyMisraDiner (dirty/clean forks)
+};
+
+[[nodiscard]] std::string to_string(Algorithm a);
+
+/// Which oracle backs the suspicion guards.
+enum class DetectorKind {
+  kNever,      ///< suspect nobody (crash-oblivious algorithms)
+  kPerfect,    ///< magic oracle: exactly the crashed, instantly
+  kScripted,   ///< ScriptedDetector: delayed completeness + scripted lies
+  kHeartbeat,  ///< real heartbeat ◇P₁ over the simulated network
+  kPingPong,   ///< real query/response ◇P₁ with RTT-adaptive timeouts
+  kAccrual,    ///< real φ-accrual ◇P₁ (Hayashibara et al.)
+};
+
+[[nodiscard]] std::string to_string(DetectorKind d);
+
+struct Config {
+  std::uint64_t seed = 1;
+
+  // topology
+  std::string topology = "ring";
+  std::size_t n = 8;
+
+  Algorithm algorithm = Algorithm::kWaitFree;
+
+  /// Ack budget per neighbor per hungry session for kWaitFree (paper: 1 →
+  /// eventual 2-bounded waiting; m → eventual (m+1)-bounded waiting).
+  int acks_per_session = 1;
+
+  // delays: partial synchrony by default (what ◇P needs)
+  bool partial_synchrony = true;
+  ekbd::sim::PartialSynchronyDelay::Params delay{
+      .gst = 5'000, .pre_lo = 1, .pre_hi = 60,
+      .spike_prob = 0.05, .spike_factor = 20,
+      .post_lo = 1, .post_hi = 8};
+  Time uniform_delay_lo = 1;  ///< used when !partial_synchrony
+  Time uniform_delay_hi = 10;
+
+  // detector
+  DetectorKind detector = DetectorKind::kScripted;
+  Time detection_delay = 100;  ///< scripted completeness latency
+  /// Scripted false positives: random per-edge one-directional suspicion
+  /// intervals, all contained in [0, fp_until).
+  std::size_t fp_count = 0;
+  Time fp_until = 0;
+  Time fp_len_lo = 20;
+  Time fp_len_hi = 150;
+  ekbd::fd::HeartbeatModule::Params heartbeat{};
+  ekbd::fd::PingPongModule::Params pingpong{};
+  ekbd::fd::AccrualModule::Params accrual{};
+
+  /// Detector sabotage (necessity probes, bench/e12): `blind_pairs` are
+  /// (owner, target) pairs where the owner NEVER suspects the target
+  /// (permanent completeness hole); `poison_pairs` are pairs where the
+  /// owner suspects the live target FOREVER (permanent accuracy hole).
+  /// Applied on top of whichever base detector is configured.
+  std::vector<std::pair<ProcessId, ProcessId>> blind_pairs;
+  std::vector<std::pair<ProcessId, ProcessId>> poison_pairs;
+
+  /// Channel-fault injection (model-violation experiments, E17): the
+  /// paper assumes reliable FIFO channels; these knobs break that on
+  /// purpose. Keep 0 for every reproduction experiment.
+  double channel_dup_prob = 0.0;
+  double channel_reorder_prob = 0.0;
+
+  // environment
+  ekbd::dining::HarnessOptions harness{};
+
+  // crash plan: (process, absolute time)
+  std::vector<std::pair<ProcessId, Time>> crashes;
+
+  // run horizon
+  Time run_for = 50'000;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(Config cfg);
+
+  /// Run to the configured horizon (may be called once).
+  void run();
+
+  /// Run to an arbitrary absolute time (incremental driving).
+  void run_until(Time t);
+
+  // -- access ------------------------------------------------------------
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] ekbd::sim::Simulator& sim() { return *sim_; }
+  [[nodiscard]] const ekbd::graph::ConflictGraph& graph() const { return graph_; }
+  [[nodiscard]] const ekbd::graph::Coloring& colors() const { return colors_; }
+  [[nodiscard]] ekbd::dining::Harness& harness() { return *harness_; }
+  [[nodiscard]] const ekbd::dining::Trace& trace() const { return harness_->trace(); }
+  [[nodiscard]] ekbd::dining::Diner* diner(ProcessId p) { return diners_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] const ekbd::fd::FailureDetector& detector() const { return *detector_; }
+  [[nodiscard]] ekbd::fd::ScriptedDetector* scripted_detector() { return scripted_; }
+  [[nodiscard]] ekbd::fd::HeartbeatDetector* heartbeat_detector() { return heartbeat_; }
+  [[nodiscard]] ekbd::fd::PingPongDetector* pingpong_detector() { return pingpong_; }
+  [[nodiscard]] ekbd::fd::AccrualDetector* accrual_detector() { return accrual_; }
+
+  // -- canned reports ------------------------------------------------------
+
+  [[nodiscard]] ekbd::dining::ExclusionReport exclusion() const;
+  [[nodiscard]] ekbd::dining::WaitFreedomReport wait_freedom(Time starvation_horizon) const;
+  [[nodiscard]] std::vector<ekbd::dining::OvertakeObservation> census() const;
+
+  /// Best-effort bound on when the detector (if any) had converged:
+  /// scripted → max(last scripted lie end, last crash + detection delay);
+  /// heartbeat → last observed retraction (and crash detection latency);
+  /// never/perfect → 0.
+  [[nodiscard]] Time fd_convergence_estimate() const;
+
+  /// The typed core diner (only when algorithm == kWaitFree).
+  [[nodiscard]] ekbd::core::WaitFreeDiner* wait_free_diner(ProcessId p);
+
+ private:
+  Config cfg_;
+  ekbd::graph::ConflictGraph graph_;
+  ekbd::graph::Coloring colors_;
+  std::unique_ptr<ekbd::sim::Simulator> sim_;
+  std::unique_ptr<ekbd::fd::FailureDetector> owned_detector_;
+  std::unique_ptr<ekbd::fd::FailureDetector> sabotage_wrapper_;
+  std::vector<std::unique_ptr<ekbd::fd::FailureDetector>> chained_wrappers_;
+  ekbd::fd::FailureDetector* detector_ = nullptr;
+  ekbd::fd::ScriptedDetector* scripted_ = nullptr;
+  ekbd::fd::HeartbeatDetector* heartbeat_ = nullptr;
+  ekbd::fd::PingPongDetector* pingpong_ = nullptr;
+  ekbd::fd::AccrualDetector* accrual_ = nullptr;
+  std::unique_ptr<ekbd::dining::Harness> harness_;
+  std::vector<ekbd::dining::Diner*> diners_;
+  bool ran_ = false;
+};
+
+}  // namespace ekbd::scenario

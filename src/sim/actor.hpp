@@ -1,0 +1,72 @@
+/// \file actor.hpp
+/// Base class for simulated processes.
+///
+/// An Actor is one process of the distributed system: it owns local state,
+/// reacts to message deliveries and timer expirations, and interacts with
+/// the world only through `send` / `set_timer`. The simulator guarantees:
+///
+///  * handlers run atomically (one event at a time, globally);
+///  * a crashed actor's handlers are never invoked again and its
+///    outstanding sends/timers are discarded at their scheduled time;
+///  * handlers of one actor always run in nondecreasing virtual time.
+///
+/// This matches the paper's model: asynchronous processes executing guarded
+/// actions with weak fairness, communicating over reliable FIFO channels,
+/// subject to crash (not Byzantine, not recovering) faults.
+#pragma once
+
+#include <any>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+class Simulator;
+class Rng;
+
+class Actor {
+ public:
+  Actor() = default;
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  virtual ~Actor() = default;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+
+  /// Invoked once, after all actors are registered, before any event.
+  virtual void on_start() {}
+
+  /// A message addressed to this actor reached its delivery time.
+  virtual void on_message(const Message& m) = 0;
+
+  /// A timer created with `set_timer` expired (and was not cancelled).
+  virtual void on_timer(TimerId id) { (void)id; }
+
+  /// The actor just crashed. For instrumentation only — the "process" is
+  /// dead and must not send or schedule anything here.
+  virtual void on_crash() {}
+
+ protected:
+  /// Send `payload` to `to` over the reliable FIFO channel.
+  void send(ProcessId to, std::any payload, MsgLayer layer = MsgLayer::kOther);
+
+  /// Arm a one-shot timer `delay` ticks from now; returns its id.
+  TimerId set_timer(Time delay);
+
+  /// Cancel a pending timer (no-op if it already fired or was cancelled).
+  void cancel_timer(TimerId id);
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const;
+
+  /// This actor's private random stream.
+  Rng& rng();
+
+ private:
+  friend class Simulator;
+  Simulator* sim_ = nullptr;
+  ProcessId id_ = kNoProcess;
+};
+
+}  // namespace ekbd::sim

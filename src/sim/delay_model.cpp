@@ -1,0 +1,34 @@
+#include "sim/delay_model.hpp"
+
+#include <algorithm>
+
+namespace ekbd::sim {
+
+Time UniformDelay::sample(ProcessId, ProcessId, Time, Rng& rng) {
+  return rng.uniform_int(lo_, hi_);
+}
+
+Time PartialSynchronyDelay::sample(ProcessId, ProcessId, Time now, Rng& rng) {
+  if (now >= p_.gst) {
+    return rng.uniform_int(p_.post_lo, p_.post_hi);
+  }
+  Time d = rng.uniform_int(p_.pre_lo, p_.pre_hi);
+  if (p_.spike_prob > 0.0 && rng.chance(p_.spike_prob)) {
+    d *= std::max<Time>(1, p_.spike_factor);
+  }
+  return d;
+}
+
+std::unique_ptr<DelayModel> make_fixed_delay(Time delay) {
+  return std::make_unique<FixedDelay>(delay);
+}
+
+std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi) {
+  return std::make_unique<UniformDelay>(lo, hi);
+}
+
+std::unique_ptr<DelayModel> make_partial_synchrony(PartialSynchronyDelay::Params p) {
+  return std::make_unique<PartialSynchronyDelay>(p);
+}
+
+}  // namespace ekbd::sim

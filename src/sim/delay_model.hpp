@@ -1,0 +1,91 @@
+/// \file delay_model.hpp
+/// Message-delay models: the adversary's half of the execution.
+///
+/// The paper's system model is asynchronous message passing (unbounded
+/// delays), while its oracle ◇P₁ is implementable only under partial
+/// synchrony. We therefore provide:
+///
+///  * `FixedDelay` / `UniformDelay` — simple models for unit tests;
+///  * `PartialSynchronyDelay` — the Dwork–Lynch–Stockmeyer / Chandra–Toueg
+///    model: before an (unknown to the algorithms) Global Stabilization
+///    Time delays are arbitrary (heavy-tailed with spikes), after GST every
+///    message is delivered within a bound Δ. Heartbeat-based ◇P₁ provably
+///    converges in this model.
+///
+/// Models only *sample* a delay; FIFO ordering per channel is enforced by
+/// the Network regardless of the sampled values.
+#pragma once
+
+#include <memory>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+/// Strategy interface: sample the in-flight latency for one message.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Latency (>= 1 tick enforced by the network) for a message from
+  /// `from` to `to` sent at virtual time `now`.
+  virtual Time sample(ProcessId from, ProcessId to, Time now, Rng& rng) = 0;
+};
+
+/// Every message takes exactly `delay` ticks. Deterministic unit tests.
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Time delay) : delay_(delay) {}
+  Time sample(ProcessId, ProcessId, Time, Rng&) override { return delay_; }
+
+ private:
+  Time delay_;
+};
+
+/// Uniform latency in [lo, hi].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {}
+  Time sample(ProcessId, ProcessId, Time, Rng& rng) override;
+
+ private:
+  Time lo_;
+  Time hi_;
+};
+
+/// Partial synchrony with an explicit GST.
+///
+/// Before `gst`: latency is uniform in [pre_lo, pre_hi], and additionally
+/// with probability `spike_prob` a spike multiplies it by `spike_factor` —
+/// this is what forces false positives out of timeout-based detectors.
+/// From `gst` on: latency is uniform in [post_lo, post_hi]; `post_hi` plays
+/// the role of the unknown bound Δ.
+class PartialSynchronyDelay final : public DelayModel {
+ public:
+  struct Params {
+    Time gst = 0;
+    Time pre_lo = 1;
+    Time pre_hi = 50;
+    double spike_prob = 0.0;
+    Time spike_factor = 10;
+    Time post_lo = 1;
+    Time post_hi = 10;
+  };
+
+  explicit PartialSynchronyDelay(Params p) : p_(p) {}
+
+  Time sample(ProcessId from, ProcessId to, Time now, Rng& rng) override;
+
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Convenience factories.
+std::unique_ptr<DelayModel> make_fixed_delay(Time delay);
+std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi);
+std::unique_ptr<DelayModel> make_partial_synchrony(PartialSynchronyDelay::Params p);
+
+}  // namespace ekbd::sim

@@ -1,0 +1,60 @@
+#include "sim/event_log.hpp"
+
+#include <cstdio>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+
+#include <cstdlib>
+#include <memory>
+#endif
+
+namespace ekbd::sim {
+
+namespace {
+
+std::string demangle(const char* name) {
+#if defined(__GNUG__)
+  int status = 0;
+  std::unique_ptr<char, void (*)(void*)> demangled(
+      abi::__cxa_demangle(name, nullptr, nullptr, &status), std::free);
+  if (status == 0 && demangled) return demangled.get();
+#endif
+  return name;
+}
+
+}  // namespace
+
+std::string LoggedEvent::payload_name() const {
+  if (payload == std::type_index(typeid(void))) return "";
+  std::string full = demangle(payload.name());
+  const auto pos = full.rfind("::");
+  return pos == std::string::npos ? full : full.substr(pos + 2);
+}
+
+std::string LoggedEvent::describe() const {
+  char buf[128];
+  switch (kind) {
+    case Kind::kSend:
+      std::snprintf(buf, sizeof(buf), "t=%lld send    p%d -> p%d  %s",
+                    static_cast<long long>(at), from, to, payload_name().c_str());
+      break;
+    case Kind::kDeliver:
+      std::snprintf(buf, sizeof(buf), "t=%lld deliver p%d -> p%d  %s",
+                    static_cast<long long>(at), from, to, payload_name().c_str());
+      break;
+    case Kind::kDrop:
+      std::snprintf(buf, sizeof(buf), "t=%lld drop    p%d -> p%d  %s (recipient dead)",
+                    static_cast<long long>(at), from, to, payload_name().c_str());
+      break;
+    case Kind::kTimer:
+      std::snprintf(buf, sizeof(buf), "t=%lld timer   p%d", static_cast<long long>(at), from);
+      break;
+    case Kind::kCrash:
+      std::snprintf(buf, sizeof(buf), "t=%lld CRASH   p%d", static_cast<long long>(at), from);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace ekbd::sim

@@ -1,0 +1,86 @@
+/// \file event_log.hpp
+/// Optional low-level event tracing.
+///
+/// The dining Trace (dining/trace.hpp) records *scheduling* events; this
+/// log records the transport itself — every send, delivery, drop, timer
+/// firing and crash — for debugging protocols and for rendering message
+/// sequence charts (examples/msc_demo). Install with
+/// `Simulator::set_event_log`; when none is installed the simulator pays
+/// a null-pointer check per event and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+struct LoggedEvent {
+  enum class Kind : std::uint8_t {
+    kSend,     ///< message handed to the network
+    kDeliver,  ///< message handed to the recipient
+    kDrop,     ///< message reached a crashed recipient
+    kTimer,    ///< a timer fired at `from`
+    kCrash,    ///< process `from` crashed
+  };
+
+  Time at = 0;
+  Kind kind = Kind::kSend;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  MsgLayer layer = MsgLayer::kOther;
+  std::uint64_t seq = 0;               ///< message seq (send/deliver/drop)
+  std::type_index payload = typeid(void);  ///< payload type (messages only)
+
+  /// Human-readable payload type ("Ping", "Fork", ...): the unqualified
+  /// class name extracted from the (demangled, where available) type name.
+  [[nodiscard]] std::string payload_name() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Ring-buffer-less append log. For long runs prefer installing only
+/// around the window of interest (set_event_log(nullptr) detaches).
+class EventLog {
+ public:
+  /// Keep at most `cap` events (0 = unbounded). When full, appends are
+  /// dropped and `truncated()` reports it — debugging windows should be
+  /// sized explicitly rather than silently eating memory.
+  explicit EventLog(std::size_t cap = 0) : cap_(cap) {}
+
+  void append(LoggedEvent ev) {
+    if (cap_ != 0 && events_.size() >= cap_) {
+      truncated_ = true;
+      return;
+    }
+    events_.push_back(ev);
+  }
+
+  [[nodiscard]] const std::vector<LoggedEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  void clear() {
+    events_.clear();
+    truncated_ = false;
+  }
+
+  /// Count of events of one kind (convenience for tests/assertions).
+  [[nodiscard]] std::size_t count(LoggedEvent::Kind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::size_t cap_;
+  bool truncated_ = false;
+  std::vector<LoggedEvent> events_;
+};
+
+}  // namespace ekbd::sim

@@ -1,0 +1,42 @@
+/// \file message.hpp
+/// Network message envelope.
+///
+/// The transport is payload-agnostic: each protocol defines its own payload
+/// structs and retrieves them with `Message::as<T>()`. The `layer` tag lets
+/// the network keep separate books for dining-protocol traffic and failure-
+/// detector traffic — the paper's quiescence claim (§7) is about the dining
+/// layer only (a ◇P implementation must keep monitoring forever).
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+/// Which subsystem a message belongs to, for per-layer accounting.
+enum class MsgLayer : std::uint8_t {
+  kDining,    ///< ping/ack/fork/token traffic of a dining algorithm
+  kDetector,  ///< failure-detector heartbeats
+  kOther,     ///< anything else (tests, examples)
+};
+
+struct Message {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Time sent_at = 0;
+  Time deliver_at = 0;
+  MsgLayer layer = MsgLayer::kOther;
+  std::uint64_t seq = 0;  ///< global send sequence number (FIFO tie-break)
+  std::any payload;
+
+  /// Typed payload access. Returns nullptr if the payload is not a T —
+  /// receiving code dispatches by probing the message kinds it knows.
+  template <typename T>
+  const T* as() const {
+    return std::any_cast<T>(&payload);
+  }
+};
+
+}  // namespace ekbd::sim

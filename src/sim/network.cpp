@@ -1,0 +1,72 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace ekbd::sim {
+
+namespace {
+int layer_index(MsgLayer layer) { return static_cast<int>(layer); }
+}  // namespace
+
+void Network::stamp(Message& m, Time now, Time latency, bool target_crashed, bool fifo) {
+  latency = std::max<Time>(1, latency);
+  Time deliver_at = now + latency;
+  if (fifo) {
+    Time& horizon = fifo_horizon_[dir_key(m.from, m.to)];
+    deliver_at = std::max(deliver_at, horizon);  // FIFO: never undercut
+    horizon = deliver_at;
+  }
+
+  m.sent_at = now;
+  m.deliver_at = deliver_at;
+  m.seq = next_seq_++;
+
+  const int li = layer_index(m.layer);
+  ++totals_[li];
+  ChannelStats& cs = pair_stats_[li][pair_key(m.from, m.to)];
+  ++cs.total;
+  ++cs.in_transit;
+  cs.max_in_transit = std::max(cs.max_in_transit, cs.in_transit);
+
+  PerTarget& pt = per_target_[li][m.to];
+  pt.last_send = now;
+  if (target_crashed) ++pt.after_crash;
+}
+
+void Network::delivered(const Message& m) {
+  const int li = layer_index(m.layer);
+  auto it = pair_stats_[li].find(pair_key(m.from, m.to));
+  if (it != pair_stats_[li].end()) --it->second.in_transit;
+}
+
+ChannelStats Network::channel(ProcessId a, ProcessId b, MsgLayer layer) const {
+  const auto& map = pair_stats_[layer_index(layer)];
+  auto it = map.find(pair_key(a, b));
+  return it == map.end() ? ChannelStats{} : it->second;
+}
+
+int Network::max_in_transit_any(MsgLayer layer) const {
+  int best = 0;
+  for (const auto& [k, cs] : pair_stats_[layer_index(layer)]) {
+    best = std::max(best, cs.max_in_transit);
+  }
+  return best;
+}
+
+std::uint64_t Network::total_sent(MsgLayer layer) const {
+  return totals_[layer_index(layer)];
+}
+
+Time Network::last_send_to(ProcessId target, MsgLayer layer) const {
+  const auto& map = per_target_[layer_index(layer)];
+  auto it = map.find(target);
+  return it == map.end() ? -1 : it->second.last_send;
+}
+
+std::uint64_t Network::sends_to_crashed(ProcessId target, MsgLayer layer) const {
+  const auto& map = per_target_[layer_index(layer)];
+  auto it = map.find(target);
+  return it == map.end() ? 0 : it->second.after_crash;
+}
+
+}  // namespace ekbd::sim

@@ -1,0 +1,108 @@
+/// \file network.hpp
+/// Channel bookkeeping: FIFO order, per-edge occupancy, per-layer traffic
+/// accounting.
+///
+/// The Network does not schedule anything itself — the Simulator samples a
+/// delay, asks the Network to stamp the message (which enforces per-channel
+/// FIFO by never letting a later send undercut an earlier delivery), and
+/// schedules the delivery event. Keeping the books here lets the property
+/// checkers read off exactly the quantities the paper bounds in §7:
+///
+///  * at most 4 dining messages in transit per undirected neighbor pair;
+///  * quiescence — dining traffic towards a crashed process stops.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+/// Running statistics for one undirected process pair and one layer.
+struct ChannelStats {
+  int in_transit = 0;       ///< messages currently in flight (both directions)
+  int max_in_transit = 0;   ///< high-water mark over the whole run
+  std::uint64_t total = 0;  ///< messages ever sent on this pair
+};
+
+class Network {
+ public:
+  /// Stamp an outgoing message: assigns `deliver_at` respecting FIFO order
+  /// on the (from, to) channel given the sampled `latency`, assigns the
+  /// global sequence number, and updates occupancy/traffic books.
+  /// `target_crashed` marks sends addressed to an already-crashed process
+  /// (they still occupy the channel until their delivery time, when the
+  /// simulator drops them). With `fifo` false (model-violation
+  /// experiments only) the delivery time ignores the channel's FIFO
+  /// horizon and may undercut earlier messages.
+  void stamp(Message& m, Time now, Time latency, bool target_crashed, bool fifo = true);
+
+  /// Record that a message reached its delivery time (whether the target
+  /// was live or the message was dropped on arrival at a crashed target).
+  void delivered(const Message& m);
+
+  /// Stats for the undirected pair {a, b} on `layer` (zeroes if no traffic).
+  [[nodiscard]] ChannelStats channel(ProcessId a, ProcessId b, MsgLayer layer) const;
+
+  /// Largest `max_in_transit` over all pairs for `layer`.
+  /// For MsgLayer::kDining the paper proves this is at most 4.
+  [[nodiscard]] int max_in_transit_any(MsgLayer layer) const;
+
+  /// Total messages ever sent on `layer`.
+  [[nodiscard]] std::uint64_t total_sent(MsgLayer layer) const;
+
+  /// Time of the most recent send addressed to `target` on `layer`
+  /// (-1 if none).
+  [[nodiscard]] Time last_send_to(ProcessId target, MsgLayer layer) const;
+
+  /// Number of messages addressed to `target` on `layer` *after* the
+  /// target had crashed. Bounded for the dining layer (quiescence, §7);
+  /// unbounded for heartbeats (◇P must monitor forever).
+  [[nodiscard]] std::uint64_t sends_to_crashed(ProcessId target, MsgLayer layer) const;
+
+  /// How many distinct undirected pairs ever communicated on `layer`.
+  [[nodiscard]] std::size_t active_pairs(MsgLayer layer) const {
+    return pair_stats_[static_cast<int>(layer)].size();
+  }
+
+ private:
+  static constexpr int kLayers = 3;
+
+  struct PairKey {
+    std::uint64_t key;
+    bool operator==(const PairKey& o) const { return key == o.key; }
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      return std::hash<std::uint64_t>{}(k.key);
+    }
+  };
+  static PairKey pair_key(ProcessId a, ProcessId b) {
+    auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return PairKey{(lo << 32) | hi};
+  }
+  static PairKey dir_key(ProcessId from, ProcessId to) {
+    return PairKey{(static_cast<std::uint64_t>(from) << 32) |
+                   static_cast<std::uint64_t>(to)};
+  }
+
+  struct PerTarget {
+    Time last_send = -1;
+    std::uint64_t after_crash = 0;
+  };
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t totals_[kLayers] = {0, 0, 0};
+  // FIFO horizon per *directed* channel: latest deliver_at handed out.
+  std::unordered_map<PairKey, Time, PairKeyHash> fifo_horizon_;
+  // Occupancy per undirected pair and layer.
+  std::unordered_map<PairKey, ChannelStats, PairKeyHash> pair_stats_[kLayers];
+  // Quiescence books per target process and layer.
+  std::unordered_map<ProcessId, PerTarget> per_target_[kLayers];
+};
+
+}  // namespace ekbd::sim

@@ -1,0 +1,260 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ekbd::sim {
+
+// ---------------------------------------------------------------- Actor --
+
+void Actor::send(ProcessId to, std::any payload, MsgLayer layer) {
+  assert(sim_ != nullptr && "actor not registered with a simulator");
+  sim_->send(id_, to, std::move(payload), layer);
+}
+
+TimerId Actor::set_timer(Time delay) { return sim_->set_timer(id_, delay); }
+
+void Actor::cancel_timer(TimerId id) { sim_->cancel_timer(id); }
+
+Time Actor::now() const { return sim_->now(); }
+
+Rng& Actor::rng() { return sim_->actor_rng(id_); }
+
+// ------------------------------------------------------------ Simulator --
+
+std::string PendingEvent::describe() const {
+  switch (kind) {
+    case Kind::kMessage:
+      return "msg p" + std::to_string(from) + "->p" + std::to_string(to);
+    case Kind::kTimer:
+      return "timer@p" + std::to_string(owner);
+    case Kind::kScheduled:
+      return "scheduled";
+  }
+  return "?";
+}
+
+Simulator::Simulator(std::uint64_t seed, std::unique_ptr<DelayModel> delays, ExecMode mode)
+    : rng_(seed),
+      delays_(delays ? std::move(delays) : make_uniform_delay(1, 10)),
+      mode_(mode) {}
+
+ProcessId Simulator::add_actor(std::unique_ptr<Actor> actor) {
+  assert(!started_ && "register all actors before start()");
+  auto id = static_cast<ProcessId>(actors_.size());
+  actor->sim_ = this;
+  actor->id_ = id;
+  actors_.push_back(std::move(actor));
+  actor_rngs_.push_back(nullptr);
+  crash_times_.push_back(-1);
+  return id;
+}
+
+void Simulator::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& a : actors_) {
+    if (!crashed(a->id())) a->on_start();
+  }
+}
+
+Rng& Simulator::actor_rng(ProcessId p) {
+  auto idx = static_cast<std::size_t>(p);
+  if (!actor_rngs_[idx]) {
+    // Stable derivation: depends only on the master seed and the id, not on
+    // how many draws other components made before first use.
+    actor_rngs_[idx] = std::make_unique<Rng>(
+        Rng(0xA5A5A5A5ULL ^ static_cast<std::uint64_t>(p)).fork(0).u64() ^ rng_.u64());
+  }
+  return *actor_rngs_[idx];
+}
+
+void Simulator::push_event(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Event{at, next_event_seq_++, std::move(fn)});
+}
+
+void Simulator::push_controlled(PendingEvent::Kind kind, ProcessId from, ProcessId to,
+                                ProcessId owner, std::uint64_t channel_rank,
+                                std::function<void()> fn) {
+  ControlledEvent ev;
+  ev.info.id = next_event_seq_++;
+  ev.info.kind = kind;
+  ev.info.from = from;
+  ev.info.to = to;
+  ev.info.owner = owner;
+  ev.channel_rank = channel_rank;
+  ev.fn = std::move(fn);
+  controlled_.emplace(ev.info.id, std::move(ev));
+}
+
+void Simulator::schedule(Time at, std::function<void()> fn) {
+  if (mode_ == ExecMode::kControlled) {
+    push_controlled(PendingEvent::Kind::kScheduled, kNoProcess, kNoProcess, kNoProcess, 0,
+                    std::move(fn));
+    return;
+  }
+  push_event(at, std::move(fn));
+}
+
+void Simulator::send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) {
+  assert(to >= 0 && static_cast<std::size_t>(to) < actors_.size());
+  if (crashed(from)) return;  // a dead process sends nothing
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.layer = layer;
+  m.payload = std::move(payload);
+  if (mode_ == ExecMode::kControlled) {
+    // Delay is nondeterministic — the driver chooses the arrival order.
+    network_.stamp(m, now_, 1, crashed(to));
+    if (event_log_ != nullptr) {
+      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
+                                     std::type_index(m.payload.type())});
+    }
+    const auto channel = (static_cast<std::uint64_t>(from) << 32) |
+                         static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
+    const std::uint64_t rank = channel_send_rank_[channel]++;
+    push_controlled(PendingEvent::Kind::kMessage, from, to, kNoProcess, rank,
+                    [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
+    return;
+  }
+  const bool duplicate = dup_prob_ > 0.0 && rng_.chance(dup_prob_);
+  const bool reorder = reorder_prob_ > 0.0 && rng_.chance(reorder_prob_);
+  Time latency = delays_->sample(from, to, now_, rng_);
+  if (duplicate) {
+    Message copy = m;  // independent delay for the ghost
+    network_.stamp(copy, now_, delays_->sample(from, to, now_, rng_), crashed(to),
+                   /*fifo=*/false);
+    push_event(copy.deliver_at, [this, copy = std::move(copy)]() mutable {
+      deliver(std::move(copy));
+    });
+  }
+  network_.stamp(m, now_, latency, crashed(to), /*fifo=*/!reorder);
+  if (event_log_ != nullptr) {
+    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
+                                   std::type_index(m.payload.type())});
+  }
+  Time at = m.deliver_at;
+  push_event(at, [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
+}
+
+void Simulator::deliver(Message m) {
+  network_.delivered(m);
+  if (crashed(m.to)) {
+    if (event_log_ != nullptr) {
+      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDrop, m.from, m.to, m.layer,
+                                     m.seq, std::type_index(m.payload.type())});
+    }
+    return;  // dropped on the floor of a dead process
+  }
+  if (event_log_ != nullptr) {
+    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, m.from, m.to, m.layer,
+                                   m.seq, std::type_index(m.payload.type())});
+  }
+  actors_[static_cast<std::size_t>(m.to)]->on_message(m);
+}
+
+TimerId Simulator::set_timer(ProcessId owner, Time delay) {
+  TimerId id = next_timer_id_++;
+  active_timers_.insert(id);
+  auto fire = [this, owner, id] {
+    if (active_timers_.erase(id) == 0) return;  // cancelled
+    if (crashed(owner)) return;
+    if (event_log_ != nullptr) {
+      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kTimer, owner, kNoProcess,
+                                     MsgLayer::kOther, 0, std::type_index(typeid(void))});
+    }
+    actors_[static_cast<std::size_t>(owner)]->on_timer(id);
+  };
+  if (mode_ == ExecMode::kControlled) {
+    push_controlled(PendingEvent::Kind::kTimer, kNoProcess, kNoProcess, owner, 0,
+                    std::move(fire));
+  } else {
+    push_event(now_ + delay, std::move(fire));
+  }
+  return id;
+}
+
+void Simulator::cancel_timer(TimerId id) { active_timers_.erase(id); }
+
+void Simulator::crash(ProcessId p) {
+  auto idx = static_cast<std::size_t>(p);
+  if (crash_times_[idx] >= 0) return;
+  crash_times_[idx] = now_;
+  if (event_log_ != nullptr) {
+    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kCrash, p, kNoProcess,
+                                   MsgLayer::kOther, 0, std::type_index(typeid(void))});
+  }
+  actors_[idx]->on_crash();
+}
+
+void Simulator::schedule_crash(ProcessId p, Time at) {
+  push_event(at, [this, p] { crash(p); });
+}
+
+std::vector<ProcessId> Simulator::live_processes() const {
+  std::vector<ProcessId> out;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (crash_times_[i] < 0) out.push_back(static_cast<ProcessId>(i));
+  }
+  return out;
+}
+
+bool Simulator::is_eligible(const ControlledEvent& ev) const {
+  if (ev.info.kind != PendingEvent::Kind::kMessage) return true;
+  // FIFO: only the oldest pending message per directed channel may arrive.
+  for (const auto& [id, other] : controlled_) {
+    if (other.info.kind == PendingEvent::Kind::kMessage && other.info.from == ev.info.from &&
+        other.info.to == ev.info.to && other.channel_rank < ev.channel_rank) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<PendingEvent> Simulator::eligible_events() const {
+  assert(mode_ == ExecMode::kControlled);
+  std::vector<PendingEvent> out;
+  for (const auto& [id, ev] : controlled_) {
+    if (is_eligible(ev)) out.push_back(ev.info);
+  }
+  return out;  // std::map iteration: sorted by id already
+}
+
+bool Simulator::execute_event(std::uint64_t id) {
+  assert(mode_ == ExecMode::kControlled);
+  start();
+  auto it = controlled_.find(id);
+  if (it == controlled_.end() || !is_eligible(it->second)) return false;
+  auto fn = std::move(it->second.fn);
+  controlled_.erase(it);
+  now_ += 1;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+bool Simulator::step() {
+  assert(mode_ == ExecMode::kTimed && "use execute_event in controlled mode");
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out, then popped.
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(Time t) {
+  assert(mode_ == ExecMode::kTimed && "drive controlled mode via execute_event");
+  start();
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace ekbd::sim

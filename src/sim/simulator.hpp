@@ -1,0 +1,241 @@
+/// \file simulator.hpp
+/// Deterministic discrete-event simulator.
+///
+/// Executes a set of Actors over virtual time: a single priority queue of
+/// events (message deliveries, timers, externally scheduled callbacks)
+/// ordered by (time, sequence number). Given the same seed and the same
+/// sequence of API calls, two runs are bit-identical — every experiment in
+/// this repository is replayable from its parameters.
+///
+/// Crash faults follow the paper's model (Cristian-style crash): a crashed
+/// process ceases execution without warning and never recovers. Concretely,
+/// once `crash(p)` takes effect no handler of `p` runs again; messages
+/// in flight *to* p are silently dropped at delivery time; messages already
+/// sent *by* p are still delivered (they left the process before the
+/// crash).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/actor.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/event_log.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+/// How the simulator orders events.
+///
+///  * kTimed: the normal mode — events fire in virtual-time order given by
+///    the delay model; used by every experiment.
+///  * kControlled: model-checking mode — pending events are exposed as an
+///    explicit choice set and an external driver (mc::Explorer) picks which
+///    fires next, subject only to per-channel FIFO. This is the literal
+///    asynchronous model of the paper: any in-flight message may be the
+///    next to arrive. Virtual time advances one tick per executed event.
+enum class ExecMode { kTimed, kControlled };
+
+/// Descriptor of one pending event in controlled mode.
+struct PendingEvent {
+  enum class Kind { kMessage, kTimer, kScheduled };
+  std::uint64_t id = 0;
+  Kind kind = Kind::kScheduled;
+  ProcessId from = kNoProcess;  ///< messages: sender
+  ProcessId to = kNoProcess;    ///< messages: recipient
+  ProcessId owner = kNoProcess; ///< timers: owning process
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class Simulator {
+ public:
+  /// \param seed   master seed for every random stream in the run
+  /// \param delays model for message latencies (defaults to Uniform[1,10])
+  /// \param mode   kTimed for experiments, kControlled for model checking
+  explicit Simulator(std::uint64_t seed,
+                     std::unique_ptr<DelayModel> delays = nullptr,
+                     ExecMode mode = ExecMode::kTimed);
+
+  // -- topology -------------------------------------------------------
+
+  /// Register an actor; returns its ProcessId (0, 1, 2, ... in order).
+  /// All actors must be registered before `start()`.
+  ProcessId add_actor(std::unique_ptr<Actor> actor);
+
+  /// Construct and register an actor in place; returns a non-owning typed
+  /// pointer (valid for the simulator's lifetime).
+  template <typename T, typename... Args>
+  T* make_actor(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    add_actor(std::move(owned));
+    return raw;
+  }
+
+  [[nodiscard]] std::size_t num_processes() const { return actors_.size(); }
+  [[nodiscard]] Actor* actor(ProcessId p) { return actors_[static_cast<std::size_t>(p)].get(); }
+  [[nodiscard]] const Actor* actor(ProcessId p) const {
+    return actors_[static_cast<std::size_t>(p)].get();
+  }
+
+  // -- lifecycle ------------------------------------------------------
+
+  /// Deliver `on_start` to every (non-crashed) actor. Idempotent.
+  void start();
+
+  /// Run all events with timestamp <= t; afterwards now() == t.
+  void run_until(Time t);
+
+  /// Run for `d` more ticks of virtual time.
+  void run_for(Time d) { run_until(now_ + d); }
+
+  /// Execute the single earliest pending event. Returns false if idle.
+  /// (kTimed mode only.)
+  bool step();
+
+  /// True if no events are pending.
+  [[nodiscard]] bool idle() const {
+    return mode_ == ExecMode::kTimed ? queue_.empty() : controlled_.empty();
+  }
+
+  // -- controlled (model-checking) mode ---------------------------------
+
+  [[nodiscard]] ExecMode mode() const { return mode_; }
+
+  /// Pending events that may legally fire next: every timer and scheduled
+  /// callback, plus — per directed channel — only the oldest in-flight
+  /// message (reliable FIFO channels). Stable order (by event id).
+  [[nodiscard]] std::vector<PendingEvent> eligible_events() const;
+
+  /// Fire the pending event with this id (must be eligible). Advances
+  /// virtual time by one tick. Returns false if the id is unknown or not
+  /// currently eligible.
+  bool execute_event(std::uint64_t id);
+
+  // -- actor services (used via Actor's protected helpers) -------------
+
+  void send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer);
+  TimerId set_timer(ProcessId owner, Time delay);
+  void cancel_timer(TimerId id);
+
+  // -- external scheduling (harness / tests) ---------------------------
+
+  /// Run `fn` at absolute virtual time `at` (>= now).
+  void schedule(Time at, std::function<void()> fn);
+
+  /// Run `fn` `delay` ticks from now.
+  void schedule_in(Time delay, std::function<void()> fn) { schedule(now_ + delay, std::move(fn)); }
+
+  // -- event tracing ------------------------------------------------------
+
+  /// Attach (or detach with nullptr) a low-level event log: every send,
+  /// delivery, drop, timer firing and crash is appended. The log is not
+  /// owned and must outlive its attachment.
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
+  // -- channel faults (model-violation experiments) ----------------------
+
+  /// Break the reliable-FIFO channel assumptions on purpose (kTimed only):
+  /// with probability `dup_prob` a sent message is delivered twice (the
+  /// duplicate takes an independent delay), and with probability
+  /// `reorder_prob` a message ignores the per-channel FIFO order (it may
+  /// undercut earlier messages). The paper's Lemmas 1.1/1.2 *assume* these
+  /// never happen; bench/e17_model_assumptions shows what breaks when they
+  /// do. Default: 0/0 — the paper's model.
+  void set_channel_faults(double dup_prob, double reorder_prob) {
+    dup_prob_ = dup_prob;
+    reorder_prob_ = reorder_prob;
+  }
+
+  // -- crash faults -----------------------------------------------------
+
+  /// Crash `p` immediately (idempotent).
+  void crash(ProcessId p);
+
+  /// Crash `p` at absolute time `at`.
+  void schedule_crash(ProcessId p, Time at);
+
+  [[nodiscard]] bool crashed(ProcessId p) const {
+    return crash_times_[static_cast<std::size_t>(p)] >= 0;
+  }
+
+  /// Time at which `p` crashed, or -1 if live.
+  [[nodiscard]] Time crash_time(ProcessId p) const {
+    return crash_times_[static_cast<std::size_t>(p)];
+  }
+
+  /// Processes that have not crashed (so far).
+  [[nodiscard]] std::vector<ProcessId> live_processes() const;
+
+  // -- introspection ----------------------------------------------------
+
+  [[nodiscard]] Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+  Network& network() { return network_; }
+  [[nodiscard]] const Network& network() const { return network_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Per-actor independent random stream (created lazily, stable per id).
+  Rng& actor_rng(ProcessId p);
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// A pending event in controlled mode: descriptor + payload closure +
+  /// per-channel FIFO rank for messages.
+  struct ControlledEvent {
+    PendingEvent info;
+    std::uint64_t channel_rank = 0;  // messages: send order on (from,to)
+    std::function<void()> fn;
+  };
+
+  void push_event(Time at, std::function<void()> fn);
+  void push_controlled(PendingEvent::Kind kind, ProcessId from, ProcessId to,
+                       ProcessId owner, std::uint64_t channel_rank,
+                       std::function<void()> fn);
+  [[nodiscard]] bool is_eligible(const ControlledEvent& ev) const;
+  void deliver(Message m);
+
+  Rng rng_;
+  std::unique_ptr<DelayModel> delays_;
+  ExecMode mode_;
+  Network network_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<std::unique_ptr<Rng>> actor_rngs_;
+  std::vector<Time> crash_times_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::map<std::uint64_t, ControlledEvent> controlled_;  // by event id
+  std::unordered_map<std::uint64_t, std::uint64_t> channel_send_rank_;
+  std::unordered_set<TimerId> active_timers_;
+  std::uint64_t next_event_seq_ = 0;
+  std::uint64_t next_timer_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  double dup_prob_ = 0.0;
+  double reorder_prob_ = 0.0;
+  EventLog* event_log_ = nullptr;
+  Time now_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ekbd::sim

@@ -1,0 +1,31 @@
+/// \file time.hpp
+/// Virtual-time primitives for the discrete-event simulator.
+///
+/// The simulator runs on an abstract integer clock. One tick is nominally a
+/// microsecond, but nothing depends on the unit: the paper's model is fully
+/// asynchronous, so only the *order* of events (and, for the partial-
+/// synchrony delay models, ratios of delays) matters.
+#pragma once
+
+#include <cstdint>
+
+namespace ekbd::sim {
+
+/// Virtual timestamp / duration, in abstract ticks.
+using Time = std::int64_t;
+
+/// Identifier of a process (vertex of the conflict graph). Processes are
+/// numbered 0..n-1 by the simulator in registration order.
+using ProcessId = std::int32_t;
+
+/// Identifier of a pending timer, unique per simulator instance.
+using TimerId = std::uint64_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Convenience literals for readable test/bench parameters.
+inline constexpr Time kMillisecond = 1'000;
+inline constexpr Time kSecond = 1'000'000;
+
+}  // namespace ekbd::sim

@@ -1,0 +1,50 @@
+#include "stab/bfs_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ekbd::stab {
+
+std::int64_t StabilizingBfsTree::target(ProcessId p, const StateTable& s,
+                                        const ConflictGraph& g) {
+  if (p == 0) return 0;
+  const auto cap = static_cast<std::int64_t>(g.size());
+  std::int64_t best = cap;
+  for (ProcessId j : g.neighbors(p)) {
+    best = std::min(best, std::clamp<std::int64_t>(s.get(j), 0, cap));
+  }
+  return std::min(best + 1, cap);
+}
+
+bool StabilizingBfsTree::enabled(ProcessId p, const StateTable& s,
+                                 const ConflictGraph& g) const {
+  return s.get(p) != target(p, s, g);
+}
+
+void StabilizingBfsTree::step(ProcessId p, StateTable& s, const ConflictGraph& g) const {
+  if (enabled(p, s, g)) s.set(p, target(p, s, g));
+}
+
+bool StabilizingBfsTree::legitimate(const StateTable& s, const ConflictGraph& g) const {
+  // True BFS distances from process 0.
+  const auto n = g.size();
+  std::vector<std::int64_t> dist(n, static_cast<std::int64_t>(n));
+  std::deque<ProcessId> queue{0};
+  dist[0] = 0;
+  while (!queue.empty()) {
+    ProcessId v = queue.front();
+    queue.pop_front();
+    for (ProcessId w : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] > dist[static_cast<std::size_t>(v)] + 1) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    if (s.get(static_cast<ProcessId>(p)) != dist[p]) return false;
+  }
+  return true;
+}
+
+}  // namespace ekbd::stab

@@ -1,0 +1,38 @@
+/// \file bfs_tree.hpp
+/// Self-stabilizing BFS distance tree (root = process 0).
+///
+/// Register d_i:
+///
+///   root:   d_0 != 0                         → d_0 := 0
+///   other:  d_i != 1 + min{d_j : j ∈ N(i)}   → d_i := 1 + min d_j
+///
+/// Silent; converges to d_i = dist(0, i) on a connected graph (distances
+/// are clamped to [0, n] so arbitrary corrupted values repair in one step
+/// per process along each shortest path).
+#pragma once
+
+#include "stab/protocol.hpp"
+
+namespace ekbd::stab {
+
+class StabilizingBfsTree final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "stabilizing-bfs-tree"; }
+
+  [[nodiscard]] bool enabled(ProcessId p, const StateTable& s,
+                             const ConflictGraph& g) const override;
+  void step(ProcessId p, StateTable& s, const ConflictGraph& g) const override;
+
+  /// Legitimate = d equals the true BFS distance from process 0.
+  [[nodiscard]] bool legitimate(const StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate_restricted(const StateTable& s, const ConflictGraph& g,
+                                           const std::vector<bool>& live) const override {
+    return no_live_enabled(s, g, live);
+  }
+
+ private:
+  [[nodiscard]] static std::int64_t target(ProcessId p, const StateTable& s,
+                                           const ConflictGraph& g);
+};
+
+}  // namespace ekbd::stab

@@ -1,0 +1,43 @@
+#include "stab/coloring.hpp"
+
+#include <vector>
+
+namespace ekbd::stab {
+
+std::int64_t StabilizingColoring::mex(ProcessId p, const StateTable& s, const ConflictGraph& g) {
+  const auto& ns = g.neighbors(p);
+  std::vector<bool> taken(ns.size() + 1, false);
+  for (ProcessId j : ns) {
+    std::int64_t c = s.get(j);
+    if (c >= 0 && c < static_cast<std::int64_t>(taken.size())) {
+      taken[static_cast<std::size_t>(c)] = true;
+    }
+  }
+  std::int64_t m = 0;
+  while (taken[static_cast<std::size_t>(m)]) ++m;
+  return m;
+}
+
+bool StabilizingColoring::enabled(ProcessId p, const StateTable& s, const ConflictGraph& g) const {
+  return s.get(p) != mex(p, s, g);
+}
+
+void StabilizingColoring::step(ProcessId p, StateTable& s, const ConflictGraph& g) const {
+  if (enabled(p, s, g)) s.set(p, mex(p, s, g));
+}
+
+bool StabilizingColoring::legitimate(const StateTable& s, const ConflictGraph& g) const {
+  for (const auto& [a, b] : g.edges()) {
+    if (s.get(a) == s.get(b)) return false;
+  }
+  return true;
+}
+
+bool StabilizingColoring::silent(const StateTable& s, const ConflictGraph& g) const {
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    if (enabled(static_cast<ProcessId>(p), s, g)) return false;
+  }
+  return true;
+}
+
+}  // namespace ekbd::stab

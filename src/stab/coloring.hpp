@@ -1,0 +1,44 @@
+/// \file coloring.hpp
+/// Self-stabilizing greedy (Grundy) graph coloring.
+///
+/// Register c_i; action: if c_i collides with a neighbor or is not the
+/// minimal excludant of the neighborhood, set c_i := mex{c_j : j ∈ N(i)}.
+/// Under local mutual exclusion (no two neighbors move together) the
+/// protocol is silent: it converges to a proper Grundy coloring with at
+/// most δ+1 colors and no guard stays enabled.
+///
+/// Legitimacy here is the *proper coloring* predicate (the classic safety
+/// property); the stricter "silent" predicate (every guard disabled) is
+/// exposed separately for the closure tests.
+#pragma once
+
+#include "stab/protocol.hpp"
+
+namespace ekbd::stab {
+
+class StabilizingColoring final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "stabilizing-coloring"; }
+
+  [[nodiscard]] bool enabled(ProcessId p, const StateTable& s,
+                             const ConflictGraph& g) const override;
+  void step(ProcessId p, StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate(const StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate_restricted(const StateTable& s, const ConflictGraph& g,
+                                           const std::vector<bool>& live) const override {
+    return no_live_enabled(s, g, live);
+  }
+
+  /// Strictly silent: no process has an enabled guard.
+  [[nodiscard]] bool silent(const StateTable& s, const ConflictGraph& g) const;
+
+  [[nodiscard]] std::int64_t corruption_hi(const ConflictGraph& g) const override {
+    return static_cast<std::int64_t>(g.max_degree()) + 2;
+  }
+
+ private:
+  [[nodiscard]] static std::int64_t mex(ProcessId p, const StateTable& s,
+                                        const ConflictGraph& g);
+};
+
+}  // namespace ekbd::stab

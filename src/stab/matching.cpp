@@ -1,0 +1,56 @@
+#include "stab/matching.hpp"
+
+namespace ekbd::stab {
+
+bool StabilizingMatching::valid_neighbor(ProcessId p, std::int64_t v, const ConflictGraph& g) {
+  if (v < 0 || v >= static_cast<std::int64_t>(g.size())) return false;
+  return g.adjacent(p, static_cast<ProcessId>(v));
+}
+
+std::int64_t StabilizingMatching::target(ProcessId p, const StateTable& s,
+                                         const ConflictGraph& g) {
+  const std::int64_t v = s.get(p);
+  if (v == kNull) {
+    // accept: a neighbor proposes to me.
+    for (ProcessId j : g.neighbors(p)) {
+      if (s.get(j) == p) return j;  // neighbors are sorted: min proposer
+    }
+    // propose: to the lowest unmatched neighbor.
+    for (ProcessId j : g.neighbors(p)) {
+      if (s.get(j) == kNull) return j;
+    }
+    return kNull;  // nothing to do
+  }
+  if (!valid_neighbor(p, v, g)) return kNull;  // corrupt pointer: clear
+  const std::int64_t pv = s.get(static_cast<ProcessId>(v));
+  if (pv != p && pv != kNull) return kNull;  // withdraw: j is taken
+  return v;                                  // matched or waiting: hold
+}
+
+bool StabilizingMatching::enabled(ProcessId p, const StateTable& s,
+                                  const ConflictGraph& g) const {
+  return target(p, s, g) != s.get(p);
+}
+
+void StabilizingMatching::step(ProcessId p, StateTable& s, const ConflictGraph& g) const {
+  const std::int64_t t = target(p, s, g);
+  if (t != s.get(p)) s.set(p, t);
+}
+
+bool StabilizingMatching::legitimate(const StateTable& s, const ConflictGraph& g) const {
+  // Symmetric pointers...
+  for (std::size_t pi = 0; pi < g.size(); ++pi) {
+    const auto p = static_cast<ProcessId>(pi);
+    const std::int64_t v = s.get(p);
+    if (v == kNull) continue;
+    if (!valid_neighbor(p, v, g)) return false;
+    if (s.get(static_cast<ProcessId>(v)) != p) return false;
+  }
+  // ...and maximality: no two adjacent nulls.
+  for (const auto& [a, b] : g.edges()) {
+    if (s.get(a) == kNull && s.get(b) == kNull) return false;
+  }
+  return true;
+}
+
+}  // namespace ekbd::stab

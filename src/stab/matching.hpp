@@ -1,0 +1,58 @@
+/// \file matching.hpp
+/// Self-stabilizing maximal matching (Hsu–Huang, IPL 1992).
+///
+/// Register p_i is a pointer: −1 (null) or a neighbor's id. Rules, for
+/// process i (reading only its neighborhood):
+///
+///   accept:   p_i = null ∧ ∃j ∈ N(i): p_j = i          → p_i := min such j
+///   propose:  p_i = null ∧ ∄j: p_j = i ∧ ∃j: p_j = null → p_i := min such j
+///   withdraw: p_i = j ∧ p_j ∉ {i, null}                 → p_i := null
+///             (also fires when p_i is corrupt: not a neighbor id)
+///
+/// Legitimate states are symmetric maximal matchings: pointers are
+/// mutual (p_i = j ⟺ p_j = i) and no two adjacent processes are both
+/// unmatched. Convergence needs every process to keep executing and no
+/// two *neighbors* to move at once — both exactly what the wait-free
+/// ◇WX daemon provides (moves of non-neighbors commute: each writes only
+/// its own pointer and reads only its own neighborhood).
+#pragma once
+
+#include "stab/protocol.hpp"
+
+namespace ekbd::stab {
+
+class StabilizingMatching final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "stabilizing-matching"; }
+
+  [[nodiscard]] bool enabled(ProcessId p, const StateTable& s,
+                             const ConflictGraph& g) const override;
+  void step(ProcessId p, StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate(const StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate_restricted(const StateTable& s, const ConflictGraph& g,
+                                           const std::vector<bool>& live) const override {
+    return no_live_enabled(s, g, live);
+  }
+
+  [[nodiscard]] std::int64_t corruption_hi(const ConflictGraph& g) const override {
+    return static_cast<std::int64_t>(g.size());  // includes out-of-range junk
+  }
+
+  static constexpr std::int64_t kNull = -1;
+
+  /// The pointer of `p`, normalized: anything that is not a neighbor id
+  /// reads as an (invalid) raw value the withdraw rule will clear.
+  [[nodiscard]] static std::int64_t pointer(const StateTable& s, ProcessId p) {
+    return s.get(p);
+  }
+
+ private:
+  /// The value an enabled process would write, or the current value if no
+  /// rule is enabled.
+  [[nodiscard]] static std::int64_t target(ProcessId p, const StateTable& s,
+                                           const ConflictGraph& g);
+  [[nodiscard]] static bool valid_neighbor(ProcessId p, std::int64_t v,
+                                           const ConflictGraph& g);
+};
+
+}  // namespace ekbd::stab

@@ -1,0 +1,35 @@
+#include "stab/mis.hpp"
+
+namespace ekbd::stab {
+
+bool StabilizingMis::any_neighbor_in(ProcessId p, const StateTable& s, const ConflictGraph& g) {
+  for (ProcessId j : g.neighbors(p)) {
+    if (is_in(s, j)) return true;
+  }
+  return false;
+}
+
+bool StabilizingMis::enabled(ProcessId p, const StateTable& s, const ConflictGraph& g) const {
+  const bool in = is_in(s, p);
+  const bool neighbor_in = any_neighbor_in(p, s, g);
+  return (in && neighbor_in) || (!in && !neighbor_in);
+}
+
+void StabilizingMis::step(ProcessId p, StateTable& s, const ConflictGraph& g) const {
+  const bool in = is_in(s, p);
+  const bool neighbor_in = any_neighbor_in(p, s, g);
+  if (in && neighbor_in) {
+    s.set(p, 0);  // leave
+  } else if (!in && !neighbor_in) {
+    s.set(p, 1);  // join
+  }
+}
+
+bool StabilizingMis::legitimate(const StateTable& s, const ConflictGraph& g) const {
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    if (enabled(static_cast<ProcessId>(p), s, g)) return false;
+  }
+  return true;
+}
+
+}  // namespace ekbd::stab

@@ -1,0 +1,43 @@
+/// \file mis.hpp
+/// Self-stabilizing maximal independent set.
+///
+/// Register in_i ∈ {0, 1} (any other value reads as "in"):
+///
+///   leave: in_i ∧ ∃j ∈ N(i): in_j        → in_i := 0
+///   join:  ¬in_i ∧ ∀j ∈ N(i): ¬in_j      → in_i := 1
+///
+/// Under local mutual exclusion the protocol is silent and converges to an
+/// independent dominating set (= maximal independent set). This is the
+/// standard daemon-refinement example [Shukla et al.]; it *requires* the
+/// daemon — two adjacent out-processes joining simultaneously violate
+/// independence, which is exactly the kind of scheduling mistake a ◇WX
+/// daemon may make finitely often (and the protocol then repairs).
+#pragma once
+
+#include "stab/protocol.hpp"
+
+namespace ekbd::stab {
+
+class StabilizingMis final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "stabilizing-mis"; }
+
+  [[nodiscard]] bool enabled(ProcessId p, const StateTable& s,
+                             const ConflictGraph& g) const override;
+  void step(ProcessId p, StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate(const StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate_restricted(const StateTable& s, const ConflictGraph& g,
+                                           const std::vector<bool>& live) const override {
+    return no_live_enabled(s, g, live);
+  }
+
+  [[nodiscard]] std::int64_t corruption_hi(const ConflictGraph&) const override { return 1; }
+
+  [[nodiscard]] static bool is_in(const StateTable& s, ProcessId p) { return s.get(p) != 0; }
+
+ private:
+  [[nodiscard]] static bool any_neighbor_in(ProcessId p, const StateTable& s,
+                                            const ConflictGraph& g);
+};
+
+}  // namespace ekbd::stab

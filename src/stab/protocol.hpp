@@ -1,0 +1,105 @@
+/// \file protocol.hpp
+/// Shared-variable self-stabilizing protocols — the *clients* of the
+/// distributed daemon (paper §1).
+///
+/// Model: each process owns a few integer registers; a protocol action
+/// reads the process's own registers and its conflict-graph neighbors'
+/// registers, then writes its own. The daemon (daemon/scheduler.hpp)
+/// schedules a process's action only while that process "eats", so under
+/// weak exclusion no two neighbors execute concurrently — the local-mutual-
+/// exclusion guarantee stabilizing protocols are usually proved under.
+///
+/// Self-stabilization requires every correct process to execute infinitely
+/// many steps from *any* initial state; protocols must therefore tolerate
+/// arbitrary register contents (transient faults write anything).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace ekbd::stab {
+
+using ekbd::graph::ConflictGraph;
+using ekbd::graph::ProcessId;
+
+/// The global shared-register state: `regs` registers per process.
+class StateTable {
+ public:
+  StateTable(std::size_t processes, std::size_t regs_per_process)
+      : regs_(regs_per_process), data_(processes * regs_per_process, 0) {}
+
+  [[nodiscard]] std::int64_t get(ProcessId p, std::size_t r = 0) const {
+    return data_[static_cast<std::size_t>(p) * regs_ + r];
+  }
+  void set(ProcessId p, std::int64_t v, std::size_t r = 0) {
+    data_[static_cast<std::size_t>(p) * regs_ + r] = v;
+  }
+
+  [[nodiscard]] std::size_t processes() const { return regs_ == 0 ? 0 : data_.size() / regs_; }
+  [[nodiscard]] std::size_t regs_per_process() const { return regs_; }
+
+  /// Transient-fault injection: overwrite every register with a uniform
+  /// value in [lo, hi] (arbitrary initial configuration).
+  void randomize(ekbd::sim::Rng& rng, std::int64_t lo, std::int64_t hi) {
+    for (auto& v : data_) v = rng.uniform_int(lo, hi);
+  }
+
+  /// Corrupt one specific register.
+  void corrupt(ProcessId p, std::size_t r, std::int64_t v) { set(p, v, r); }
+
+ private:
+  std::size_t regs_;
+  std::vector<std::int64_t> data_;
+};
+
+/// A self-stabilizing protocol in the shared-variable model.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::size_t regs_per_process() const { return 1; }
+
+  /// Is any action of `p` enabled in state `s`? (guard evaluation)
+  [[nodiscard]] virtual bool enabled(ProcessId p, const StateTable& s,
+                                     const ConflictGraph& g) const = 0;
+
+  /// Execute one enabled action of `p` (no-op expected if none enabled).
+  virtual void step(ProcessId p, StateTable& s, const ConflictGraph& g) const = 0;
+
+  /// Is the global state legitimate (inside the closed safe set)?
+  [[nodiscard]] virtual bool legitimate(const StateTable& s,
+                                        const ConflictGraph& g) const = 0;
+
+  /// Sensible range for random initialization / corruption values.
+  [[nodiscard]] virtual std::int64_t corruption_hi(const ConflictGraph& g) const {
+    return static_cast<std::int64_t>(g.size()) * 4;
+  }
+
+  /// Legitimacy restricted to the live processes (`live[p]` false = p has
+  /// crashed and its registers are frozen environment). Crashed processes
+  /// execute no steps, so only predicates correct processes can establish
+  /// count. Silent protocols override this with "no live process enabled";
+  /// the default ignores liveness (suitable for crash-free experiments).
+  [[nodiscard]] virtual bool legitimate_restricted(const StateTable& s, const ConflictGraph& g,
+                                                   const std::vector<bool>& live) const {
+    (void)live;
+    return legitimate(s, g);
+  }
+
+ protected:
+  /// Helper for silent protocols: no live process has an enabled guard.
+  [[nodiscard]] bool no_live_enabled(const StateTable& s, const ConflictGraph& g,
+                                     const std::vector<bool>& live) const {
+    for (std::size_t p = 0; p < g.size(); ++p) {
+      if (live[p] && enabled(static_cast<ProcessId>(p), s, g)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace ekbd::stab

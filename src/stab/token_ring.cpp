@@ -1,0 +1,32 @@
+#include "stab/token_ring.hpp"
+
+namespace ekbd::stab {
+
+bool DijkstraTokenRing::enabled(ProcessId p, const StateTable& s, const ConflictGraph&) const {
+  const std::int64_t own = norm(s.get(p));
+  const std::int64_t before = norm(s.get(pred(p)));
+  return p == 0 ? own == before : own != before;
+}
+
+void DijkstraTokenRing::step(ProcessId p, StateTable& s, const ConflictGraph& g) const {
+  if (!enabled(p, s, g)) return;
+  if (p == 0) {
+    s.set(p, norm(s.get(p) + 1));
+  } else {
+    s.set(p, norm(s.get(pred(p))));
+  }
+}
+
+std::size_t DijkstraTokenRing::tokens(const StateTable& s, const ConflictGraph& g) const {
+  std::size_t count = 0;
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (enabled(static_cast<ProcessId>(p), s, g)) ++count;
+  }
+  return count;
+}
+
+bool DijkstraTokenRing::legitimate(const StateTable& s, const ConflictGraph& g) const {
+  return tokens(s, g) == 1;
+}
+
+}  // namespace ekbd::stab

@@ -1,0 +1,58 @@
+/// \file token_ring.hpp
+/// Dijkstra's K-state self-stabilizing token ring (CACM 1974) — the
+/// original self-stabilizing protocol, and the canonical daemon client.
+///
+/// Topology: the processes form a unidirectional ring in id order (use
+/// graph::ring). Register x_i ∈ Z_K with K > n:
+///
+///   bottom (id 0):  x_0 == x_{n-1}        → x_0 := x_0 + 1 (mod K)
+///   other  (id i):  x_i != x_{i-1}        → x_i := x_{i-1}
+///
+/// A process is said to *hold a token* when its guard is enabled; in a
+/// legitimate state exactly one token exists and it circulates forever.
+/// From any configuration the ring converges to a single token — provided
+/// every process keeps executing, which is precisely what a wait-free
+/// daemon guarantees under crash faults (the paper's point).
+#pragma once
+
+#include "stab/protocol.hpp"
+
+namespace ekbd::stab {
+
+class DijkstraTokenRing final : public Protocol {
+ public:
+  /// \param n ring size; \param k state modulus, must be > n for
+  /// convergence from arbitrary states (defaults to n + 1).
+  explicit DijkstraTokenRing(std::size_t n, std::int64_t k = 0)
+      : n_(n), k_(k > 0 ? k : static_cast<std::int64_t>(n) + 1) {}
+
+  [[nodiscard]] std::string name() const override { return "dijkstra-token-ring"; }
+
+  [[nodiscard]] bool enabled(ProcessId p, const StateTable& s,
+                             const ConflictGraph& g) const override;
+  void step(ProcessId p, StateTable& s, const ConflictGraph& g) const override;
+  [[nodiscard]] bool legitimate(const StateTable& s, const ConflictGraph& g) const override;
+
+  [[nodiscard]] std::int64_t corruption_hi(const ConflictGraph&) const override {
+    return k_ - 1;
+  }
+
+  /// Number of enabled guards == number of tokens in the ring.
+  [[nodiscard]] std::size_t tokens(const StateTable& s, const ConflictGraph& g) const;
+
+  [[nodiscard]] std::int64_t k() const { return k_; }
+
+ private:
+  [[nodiscard]] std::int64_t norm(std::int64_t v) const {
+    std::int64_t m = v % k_;
+    return m < 0 ? m + k_ : m;
+  }
+  [[nodiscard]] ProcessId pred(ProcessId p) const {
+    return p == 0 ? static_cast<ProcessId>(n_ - 1) : p - 1;
+  }
+
+  std::size_t n_;
+  std::int64_t k_;
+};
+
+}  // namespace ekbd::stab

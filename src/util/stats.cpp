@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ekbd::util {
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f",
+                count, mean, stddev, min, p50, p95, max);
+  return buf;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double x : sorted) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  auto rank = [&](double q) {
+    auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(s.count)));
+    if (idx > 0) --idx;
+    return sorted[std::min(idx, s.count - 1)];
+  };
+  s.p50 = rank(0.50);
+  s.p95 = rank(0.95);
+  s.p99 = rank(0.99);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(xs.size())));
+  if (idx > 0) --idx;
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), buckets_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const auto n = buckets_.size();
+  double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(t * static_cast<double>(n));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(n)) idx = static_cast<long>(n) - 1;
+  ++buckets_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string Histogram::sparkline() const {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::uint64_t peak = 0;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  std::string out;
+  for (auto b : buckets_) {
+    std::size_t lvl = peak == 0 ? 0 : static_cast<std::size_t>((b * 8 + peak - 1) / peak);
+    out += kLevels[std::min<std::size_t>(lvl, 8)];
+  }
+  return out;
+}
+
+}  // namespace ekbd::util

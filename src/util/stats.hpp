@@ -1,0 +1,64 @@
+/// \file stats.hpp
+/// Small summary-statistics helpers used by checkers, benches and tests.
+///
+/// All functions are pure; `Summary` is a value type. Percentiles use the
+/// nearest-rank method on a sorted copy, which is exact for the small-to-
+/// medium sample sizes produced by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ekbd::util {
+
+/// Five-number-style summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// Render as a short human-readable string, e.g. for table cells.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Summarise `xs`. Returns a zeroed Summary for an empty sample.
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+/// Nearest-rank percentile of `xs` for `q` in [0, 1]. `xs` need not be
+/// sorted; an empty sample yields 0.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(const std::vector<double>& xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket. Used by benches to
+/// print latency distributions.
+struct Histogram {
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// One-line ASCII sparkline ("▁▂▃▅▇") of bucket densities.
+  [[nodiscard]] std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ekbd::util

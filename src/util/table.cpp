@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace ekbd::util {
+
+namespace {
+/// Display width in terminal columns. Cells only ever contain ASCII plus the
+/// histogram block glyphs (U+2581..2588), each of which is one column wide,
+/// so counting UTF-8 lead bytes is sufficient.
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s)
+    if ((c & 0xC0) != 0x80) ++w;
+  return w;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string v) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(v));
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(bool v) { return cell(std::string(v ? "yes" : "no")); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = display_width(headers_[c]);
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], display_width(r[c]));
+
+  auto pad = [&](const std::string& s, std::size_t w) {
+    std::string out = s;
+    std::size_t dw = display_width(s);
+    if (dw < w) out.append(w - dw, ' ');
+    return out;
+  };
+
+  std::string out = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += " " + pad(headers_[c], widths[c]) + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += std::string(widths[c] + 2, '-') + "|";
+  out += "\n";
+  for (const auto& r : rows_) {
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      out += " " + pad(c < r.size() ? r[c] : "", widths[c]) + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+void Table::print() const { std::cout << to_string() << "\n"; }
+
+}  // namespace ekbd::util

@@ -1,0 +1,43 @@
+/// \file table.hpp
+/// Minimal ASCII table renderer for experiment output.
+///
+/// Every benchmark binary in bench/ prints its results through `Table`, so
+/// all experiment tables share one format (github-style pipes, right-aligned
+/// numerics) and stay easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ekbd::util {
+
+/// Column-aligned text table. Cells are strings; convenience overloads of
+/// `cell` format numbers. Rows are flushed with `print`/`to_string`.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row. Subsequent `cell` calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string v);
+  Table& cell(const char* v);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v);
+  /// Doubles are rendered with `digits` decimal places.
+  Table& cell(double v, int digits = 2);
+  Table& cell(bool v);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;  ///< write to stdout, followed by a blank line
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ekbd::util

@@ -1,0 +1,259 @@
+// Action-level tests for the baseline algorithms: Chandy–Misra's
+// dirty/clean fork discipline and the hierarchical diner's static-priority
+// yield rules, on hand-driven two/three-process worlds.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/chandy_misra_diner.hpp"
+#include "baseline/doorway_diner.hpp"
+#include "baseline/hierarchical_diner.hpp"
+#include "fd/detector.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::baseline::ChandyMisraDiner;
+using ekbd::baseline::DoorwayDiner;
+using ekbd::baseline::HierarchicalDiner;
+using ekbd::fd::NeverSuspect;
+using ekbd::sim::ProcessId;
+using ekbd::sim::Simulator;
+
+// ------------------------------------------------------- Chandy–Misra --
+
+struct CmEdge {
+  CmEdge() : sim(1, ekbd::sim::make_fixed_delay(1)) {
+    hi = sim.make_actor<ChandyMisraDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{0},
+                                          det);
+    lo = sim.make_actor<ChandyMisraDiner>(std::vector<ProcessId>{0}, 0, std::vector<int>{1},
+                                          det);
+    sim.start();
+  }
+  Simulator sim;
+  NeverSuspect det;
+  ChandyMisraDiner* hi;
+  ChandyMisraDiner* lo;
+};
+
+TEST(ChandyMisraActions, InitialForksDirtyAtHigherColor) {
+  CmEdge e;
+  EXPECT_TRUE(e.hi->holds_fork(1));
+  EXPECT_TRUE(e.hi->fork_dirty(1));
+  EXPECT_FALSE(e.lo->holds_fork(0));
+}
+
+TEST(ChandyMisraActions, DirtyForkYieldedOnRequestEvenWhileHungry) {
+  // CM rule: a dirty fork must be yielded on request unless the holder is
+  // EATING — mere hunger does not let it keep the fork (the opposite of
+  // the hierarchical rule, which is the point of dirty/clean).
+  // Needs a holder that is hungry but not eating: mid on a path, holding
+  // the lo-side fork (dirty, initial placement: color 1 > 0) but blocked
+  // on c's fork (c eats forever).
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  NeverSuspect det;
+  auto* lo = sim.make_actor<ChandyMisraDiner>(std::vector<ProcessId>{1}, 0,
+                                              std::vector<int>{1}, det);
+  auto* mid = sim.make_actor<ChandyMisraDiner>(std::vector<ProcessId>{0, 2}, 1,
+                                               std::vector<int>{0, 2}, det);
+  auto* c = sim.make_actor<ChandyMisraDiner>(std::vector<ProcessId>{1}, 2,
+                                             std::vector<int>{1}, det);
+  sim.start();
+  c->become_hungry();  // c holds its only fork (dirty): eats forever
+  ASSERT_TRUE(c->eating());
+  mid->become_hungry();  // requests c's fork; c eating -> deferred
+  sim.run_until(4);
+  ASSERT_TRUE(mid->hungry());
+  ASSERT_TRUE(mid->holds_fork(0));
+  ASSERT_TRUE(mid->fork_dirty(0));
+
+  lo->become_hungry();  // requests mid's dirty fork
+  sim.run_until(sim.now() + 3);
+  EXPECT_FALSE(mid->holds_fork(0)) << "hungry holder must yield a dirty fork";
+  EXPECT_TRUE(lo->eating());
+  EXPECT_TRUE(lo->fork_dirty(1));  // arrived clean, soiled by the meal
+}
+
+TEST(ChandyMisraActions, CleanForkKeptWhileHungry) {
+  CmEdge e;
+  // lo acquires the fork (arrives clean) but cannot eat yet... on an edge
+  // lo eats immediately; so test the "clean keeps" rule via the request
+  // arriving AFTER lo received the fork but before lo's pump... On a
+  // 2-process world the clean interval is zero, so instead verify the
+  // equivalent observable: alternation. After lo eats (fork dirty at lo),
+  // hi's request pries it away; after hi eats, lo's request pries it
+  // back — nobody can eat twice in a row under contention.
+  std::vector<int> eats;  // 0 = hi, 1 = lo
+  auto run_round = [&] {
+    if (!e.hi->hungry() && !e.hi->eating()) e.hi->become_hungry();
+    if (!e.lo->hungry() && !e.lo->eating()) e.lo->become_hungry();
+    e.sim.run_until(e.sim.now() + 12);
+    if (e.hi->eating()) {
+      eats.push_back(0);
+      e.hi->finish_eating();
+    } else if (e.lo->eating()) {
+      eats.push_back(1);
+      e.lo->finish_eating();
+    }
+  };
+  for (int i = 0; i < 8; ++i) run_round();
+  ASSERT_GE(eats.size(), 6u);
+  for (std::size_t i = 1; i < eats.size(); ++i) {
+    EXPECT_NE(eats[i], eats[i - 1]) << "CM must alternate under contention (round " << i
+                                    << ")";
+  }
+}
+
+TEST(ChandyMisraActions, EatingDefersRequests) {
+  CmEdge e;
+  e.hi->become_hungry();
+  ASSERT_TRUE(e.hi->eating());
+  e.lo->become_hungry();  // request arrives while hi eats
+  e.sim.run_until(3);
+  EXPECT_TRUE(e.hi->holds_fork(1)) << "eating holder defers";
+  EXPECT_FALSE(e.lo->eating());
+  e.hi->finish_eating();  // deferred request honored on exit
+  e.sim.run_until(e.sim.now() + 2);
+  EXPECT_TRUE(e.lo->eating());
+}
+
+// ------------------------------------------------------- hierarchical --
+
+struct HierEdge {
+  HierEdge() : sim(1, ekbd::sim::make_fixed_delay(1)) {
+    hi = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{0},
+                                           det);
+    lo = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{0}, 0, std::vector<int>{1},
+                                           det);
+    sim.start();
+  }
+  Simulator sim;
+  NeverSuspect det;
+  HierarchicalDiner* hi;
+  HierarchicalDiner* lo;
+};
+
+TEST(HierarchicalActions, HungryHigherColorKeepsFork) {
+  HierEdge e;
+  e.hi->become_hungry();  // eats instantly (holds the fork)
+  ASSERT_TRUE(e.hi->eating());
+  e.hi->finish_eating();
+
+  e.hi->become_hungry();
+  e.lo->become_hungry();  // lo requests; hi hungry with higher color: keeps
+  e.sim.run_until(4);
+  EXPECT_TRUE(e.hi->eating());
+  EXPECT_FALSE(e.lo->eating());
+}
+
+TEST(HierarchicalActions, HungryLowerColorYieldsImmediately) {
+  // The yield-while-hungry branch needs a holder that is hungry but not
+  // eating: mid (color 1) on a path a(2)-mid(1)-c(3). mid acquires
+  // fork_a-mid, then blocks on c's fork (c eats forever); a's request
+  // arrives and mid — hungry with the lower color — must give it up.
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  NeverSuspect det;
+  auto* a = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{1}, 2,
+                                              std::vector<int>{1}, det);
+  auto* mid = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{0, 2}, 1,
+                                                std::vector<int>{2, 3}, det);
+  auto* c = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{1}, 3,
+                                              std::vector<int>{1}, det);
+  sim.start();
+  // Phase 1: mid eats once, acquiring both forks (a and c thinking yield).
+  mid->become_hungry();
+  sim.run_until(6);
+  ASSERT_TRUE(mid->eating());
+  mid->finish_eating();
+  // Phase 2: c takes its fork back and eats forever.
+  c->become_hungry();
+  sim.run_until(sim.now() + 6);
+  ASSERT_TRUE(c->eating());
+  ASSERT_TRUE(mid->holds_fork(0));
+  // Phase 3: mid hungry (blocked on c); a requests fork_a-mid.
+  mid->become_hungry();
+  a->become_hungry();
+  sim.run_until(sim.now() + 4);
+  EXPECT_TRUE(a->eating()) << "higher color must win the contested fork";
+  EXPECT_FALSE(mid->holds_fork(0));
+  EXPECT_TRUE(mid->hungry());
+}
+
+TEST(HierarchicalActions, MiddleProcessStarvesUnderTwoSidedPressure) {
+  // The distinctive hierarchical pathology (why E3 shows unbounded
+  // overtaking): a low-color process needing TWO forks loses whichever
+  // one it holds to a hungry higher-color neighbor before it can collect
+  // the other. a(2)-mid(1)-c(3) with a and c cycling: mid starves.
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  NeverSuspect det;
+  auto* a = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{1}, 2,
+                                              std::vector<int>{1}, det);
+  auto* mid = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{0, 2}, 1,
+                                                std::vector<int>{2, 3}, det);
+  auto* c = sim.make_actor<HierarchicalDiner>(std::vector<ProcessId>{1}, 3,
+                                              std::vector<int>{1}, det);
+  sim.start();
+  mid->become_hungry();
+  // Interleave the neighbors so one of them is always eating (and thus
+  // holding its fork) whenever the other releases — mid can never hold
+  // both forks at once and starves forever.
+  c->become_hungry();
+  sim.run_until(8);
+  ASSERT_TRUE(c->eating());
+  int neighbor_meals = 0;
+  for (int round = 0; round < 10; ++round) {
+    a->become_hungry();  // reclaims fork_a-mid (mid hungry, lower color)
+    sim.run_until(sim.now() + 8);
+    ASSERT_TRUE(a->eating()) << "round " << round;
+    c->finish_eating();  // grants mid fork_mid-c, but a holds the other
+    sim.run_until(sim.now() + 4);
+    ASSERT_FALSE(mid->eating()) << "round " << round;
+    c->become_hungry();  // reclaims fork_mid-c
+    sim.run_until(sim.now() + 8);
+    ASSERT_TRUE(c->eating()) << "round " << round;
+    a->finish_eating();  // grants mid fork_a-mid, but c holds the other
+    sim.run_until(sim.now() + 4);
+    ASSERT_FALSE(mid->eating()) << "round " << round;
+    neighbor_meals += 2;
+  }
+  EXPECT_GE(neighbor_meals, 20);
+  EXPECT_TRUE(mid->hungry()) << "mid starved while both neighbors feasted";
+}
+
+// ---------------------------------------------------------- doorway ----
+
+TEST(DoorwayActions, OriginalRuleGrantsEveryPingWhileOutside) {
+  // Original Choy–Singh (single_ack_per_session = false): a hungry process
+  // outside the doorway acks every ping, enabling >2 overtaking.
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  NeverSuspect det;
+  // Path a(0)-b(1)-c(2): b pinned outside by c (eating forever).
+  auto* a = sim.make_actor<DoorwayDiner>(std::vector<ProcessId>{1}, 0, std::vector<int>{2},
+                                         det);
+  auto* b = sim.make_actor<DoorwayDiner>(std::vector<ProcessId>{0, 2}, 2,
+                                         std::vector<int>{0, 1}, det);
+  auto* c = sim.make_actor<DoorwayDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{2},
+                                         det);
+  sim.start();
+  c->become_hungry();
+  sim.run_until(6);
+  ASSERT_TRUE(c->eating());
+  b->become_hungry();
+  sim.run_until(12);
+  ASSERT_FALSE(b->inside_doorway());
+
+  int meals_of_a = 0;
+  for (int i = 0; i < 7; ++i) {
+    a->become_hungry();
+    sim.run_until(sim.now() + 10);
+    if (!a->eating()) break;
+    ++meals_of_a;
+    a->finish_eating();
+    sim.run_until(sim.now() + 4);
+  }
+  // Unbounded overtaking: all 7 attempts succeed (vs exactly 1 for the
+  // single-ack rule — see core_actions_test GeneralizedAckBudget...).
+  EXPECT_EQ(meals_of_a, 7);
+}
+
+}  // namespace

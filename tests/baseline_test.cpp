@@ -1,0 +1,263 @@
+// Baseline algorithm tests: each baseline's positive guarantees in its
+// home setting, and the negative results the paper motivates Algorithm 1
+// with (starvation under crashes; unbounded overtaking without a doorway).
+#include <gtest/gtest.h>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::dining::TraceEventKind;
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::sim::Time;
+
+Config base_config(Algorithm a) {
+  Config cfg;
+  cfg.algorithm = a;
+  cfg.detector = DetectorKind::kNever;
+  cfg.partial_synchrony = false;
+  cfg.run_for = 40'000;
+  return cfg;
+}
+
+// ---------------------------------------------------------- Choy–Singh --
+
+TEST(ChoySingh, CrashFreeSafeAndLive) {
+  for (const char* topo : {"ring", "clique", "star"}) {
+    Config cfg = base_config(Algorithm::kChoySingh);
+    cfg.topology = topo;
+    cfg.n = 7;
+    Scenario s(cfg);
+    s.run();
+    EXPECT_TRUE(s.exclusion().violations.empty()) << topo;
+    EXPECT_TRUE(s.wait_freedom(8'000).wait_free()) << topo;
+    EXPECT_GT(s.trace().count(TraceEventKind::kStartEating), 20u) << topo;
+  }
+}
+
+TEST(ChoySingh, SingleCrashStarvesNeighbors) {
+  // The paper's negative result [8]: without an oracle, one crash blocks
+  // every neighbor of the victim forever.
+  Config cfg = base_config(Algorithm::kChoySingh);
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 60;
+  cfg.crashes = {{2, 4'000}};
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  auto wf = s.wait_freedom(20'000);
+  EXPECT_FALSE(wf.wait_free());
+  // The victims are (at least) the crashed process's ring neighbors.
+  bool n1 = false, n3 = false;
+  for (auto p : wf.starving) {
+    if (p == 1) n1 = true;
+    if (p == 3) n3 = true;
+  }
+  EXPECT_TRUE(n1 || n3) << "at least one neighbor of the victim starves";
+}
+
+TEST(ChoySingh, StarvationSpreadsThroughDoorway) {
+  // In a clique, everyone neighbors the victim: after the crash every
+  // correct process eventually blocks.
+  Config cfg = base_config(Algorithm::kChoySingh);
+  cfg.topology = "clique";
+  cfg.n = 5;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 40;
+  cfg.crashes = {{0, 3'000}};
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  auto wf = s.wait_freedom(20'000);
+  EXPECT_GE(wf.starving.size(), 4u);
+}
+
+TEST(ChoySingh, WithOracleRegainsWaitFreedom) {
+  // Ablation: the original doorway + ◇P₁ is wait-free (phase guards use
+  // suspicion) — the paper's fairness refinement is a separate concern.
+  Config cfg = base_config(Algorithm::kChoySingh);
+  cfg.detector = DetectorKind::kScripted;
+  cfg.detection_delay = 150;
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.crashes = {{2, 4'000}};
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.wait_freedom(20'000).wait_free());
+}
+
+TEST(ChoySingh, SingleAckVariantMatchesAlgorithm1Fairness) {
+  // DoorwayDiner with the paper's ack rule behaves like Algorithm 1:
+  // post-convergence overtaking <= 2.
+  Config cfg = base_config(Algorithm::kChoySinghSingleAck);
+  cfg.detector = DetectorKind::kScripted;
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.harness.think_lo = 5;
+  cfg.harness.think_hi = 30;
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_LE(ekbd::dining::max_overtakes(s.census(), 0), 2);
+  EXPECT_TRUE(s.exclusion().violations.empty());
+}
+
+// --------------------------------------------------------- hierarchical --
+
+TEST(Hierarchical, CrashFreeSafety) {
+  Config cfg = base_config(Algorithm::kHierarchical);
+  cfg.topology = "clique";
+  cfg.n = 6;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.exclusion().violations.empty());
+  EXPECT_GT(s.trace().count(TraceEventKind::kStartEating), 20u);
+}
+
+TEST(Hierarchical, UnfairUnderContention) {
+  // Static priorities, no doorway: under continuous contention the
+  // higher-colored neighbor overtakes far beyond 2.
+  Config cfg = base_config(Algorithm::kHierarchical);
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 10;  // near-continuous hunger
+  cfg.harness.eat_lo = 30;
+  cfg.harness.eat_hi = 80;
+  cfg.run_for = 120'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_GT(ekbd::dining::max_overtakes(s.census(), 0), 2)
+      << "expected unbounded overtaking without a doorway";
+}
+
+TEST(Hierarchical, CrashStarvesNeighborsWithoutOracle) {
+  Config cfg = base_config(Algorithm::kHierarchical);
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.crashes = {{2, 4'000}};
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 60;
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  // Whoever needs the corpse's fork starves. (The process holding both
+  // forks relative to the victim may survive, so require >= 1 victim.)
+  EXPECT_FALSE(s.wait_freedom(20'000).wait_free());
+}
+
+TEST(Hierarchical, OracleRestoresProgressButNotFairness) {
+  Config cfg = base_config(Algorithm::kHierarchical);
+  cfg.detector = DetectorKind::kScripted;
+  cfg.detection_delay = 150;
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.crashes = {{3, 5'000}};
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 10;
+  cfg.harness.eat_lo = 30;
+  cfg.harness.eat_hi = 80;
+  cfg.run_for = 120'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.wait_freedom(25'000).wait_free());
+  EXPECT_GT(ekbd::dining::max_overtakes(s.census(), s.fd_convergence_estimate()), 2);
+}
+
+// --------------------------------------------------------- Chandy–Misra --
+
+TEST(ChandyMisra, CrashFreeSafeAndStarvationFree) {
+  for (const char* topo : {"ring", "clique", "grid"}) {
+    Config cfg = base_config(Algorithm::kChandyMisra);
+    cfg.topology = topo;
+    cfg.n = 8;
+    cfg.harness.think_lo = 1;
+    cfg.harness.think_hi = 20;  // heavy contention: the hard case
+    Scenario s(cfg);
+    s.run();
+    EXPECT_TRUE(s.exclusion().violations.empty()) << topo;
+    EXPECT_TRUE(s.wait_freedom(10'000).wait_free()) << topo;
+    // Everyone eats (dynamic priorities prevent starvation).
+    for (std::size_t p = 0; p < cfg.n; ++p) {
+      EXPECT_GT(s.trace().count(TraceEventKind::kStartEating, static_cast<int>(p)), 0u)
+          << topo << " p" << p;
+    }
+  }
+}
+
+TEST(ChandyMisra, FairerThanHierarchyUnderContention) {
+  auto overtakes = [](Algorithm a) {
+    Config cfg = base_config(a);
+    cfg.topology = "ring";
+    cfg.n = 8;
+    cfg.harness.think_lo = 1;
+    cfg.harness.think_hi = 10;
+    cfg.harness.eat_lo = 30;
+    cfg.harness.eat_hi = 80;
+    cfg.run_for = 120'000;
+    Scenario s(cfg);
+    s.run();
+    return ekbd::dining::max_overtakes(s.census(), 0);
+  };
+  EXPECT_LT(overtakes(Algorithm::kChandyMisra), overtakes(Algorithm::kHierarchical));
+}
+
+TEST(ChandyMisra, CrashStarvesWithoutOracle) {
+  Config cfg = base_config(Algorithm::kChandyMisra);
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.crashes = {{2, 4'000}};
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 60;
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_FALSE(s.wait_freedom(20'000).wait_free());
+}
+
+TEST(ChandyMisra, OracleRestoresProgress) {
+  Config cfg = base_config(Algorithm::kChandyMisra);
+  cfg.detector = DetectorKind::kScripted;
+  cfg.detection_delay = 150;
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.crashes = {{2, 4'000}};
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.wait_freedom(20'000).wait_free());
+}
+
+// ----------------------------------------------------- head-to-head E2 --
+
+TEST(HeadToHead, OnlyAlgorithm1IsWaitFreeUnderCrashes) {
+  auto starves = [](Algorithm a, DetectorKind det) {
+    Config cfg;
+    cfg.algorithm = a;
+    cfg.detector = det;
+    cfg.partial_synchrony = false;
+    cfg.topology = "ring";
+    cfg.n = 8;
+    cfg.detection_delay = 150;
+    cfg.crashes = {{1, 4'000}, {5, 6'000}};
+    cfg.harness.think_lo = 10;
+    cfg.harness.think_hi = 60;
+    cfg.run_for = 80'000;
+    Scenario s(cfg);
+    s.run();
+    return !s.wait_freedom(20'000).wait_free();
+  };
+  EXPECT_FALSE(starves(Algorithm::kWaitFree, DetectorKind::kScripted));
+  EXPECT_TRUE(starves(Algorithm::kChoySingh, DetectorKind::kNever));
+  EXPECT_TRUE(starves(Algorithm::kChandyMisra, DetectorKind::kNever));
+  EXPECT_TRUE(starves(Algorithm::kHierarchical, DetectorKind::kNever));
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+// Property-checker tests on hand-crafted traces — including traces that
+// *violate* each property, proving the checkers can detect violations.
+#include <gtest/gtest.h>
+
+#include "dining/checkers.hpp"
+#include "graph/topology.hpp"
+
+namespace {
+
+using ekbd::dining::check_exclusion;
+using ekbd::dining::check_wait_freedom;
+using ekbd::dining::k_bound_establishment;
+using ekbd::dining::max_overtakes;
+using ekbd::dining::overtake_census;
+using ekbd::dining::Trace;
+using ekbd::dining::TraceEventKind;
+using ekbd::sim::Time;
+
+constexpr auto kHungry = TraceEventKind::kBecameHungry;
+constexpr auto kEat = TraceEventKind::kStartEating;
+constexpr auto kExit = TraceEventKind::kStopEating;
+constexpr auto kCrash = TraceEventKind::kCrashed;
+
+TEST(Exclusion, CleanTraceHasNoViolations) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(1, 0, kHungry);
+  t.record(2, 0, kEat);
+  t.record(3, 0, kExit);
+  t.record(4, 1, kHungry);
+  t.record(5, 1, kEat);
+  t.record(6, 1, kExit);
+  auto r = check_exclusion(t, g);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.last_violation(), -1);
+}
+
+TEST(Exclusion, DetectsOverlappingNeighbors) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(1, 0, kEat);
+  t.record(2, 1, kEat);  // neighbor of 0 in the ring: violation
+  t.record(3, 0, kExit);
+  t.record(4, 1, kExit);
+  auto r = check_exclusion(t, g);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].at, 2);
+  EXPECT_EQ(r.violations[0].a, 1);
+  EXPECT_EQ(r.violations[0].b, 0);
+  EXPECT_EQ(r.last_violation(), 2);
+}
+
+TEST(Exclusion, NonNeighborsMayOverlap) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(1, 0, kEat);
+  t.record(2, 2, kEat);  // 0 and 2 are not adjacent in ring(4)
+  auto r = check_exclusion(t, g);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Exclusion, CrashEndsEatingForOverlapPurposes) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(1, 0, kEat);
+  t.record(2, 0, kCrash);  // 0 dies at the table
+  t.record(3, 1, kEat);    // no live overlap
+  auto r = check_exclusion(t, g);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Exclusion, ViolationsAfterFiltersByTime) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(1, 0, kEat);
+  t.record(2, 1, kEat);
+  t.record(3, 0, kExit);
+  t.record(4, 1, kExit);
+  t.record(10, 2, kEat);
+  t.record(11, 3, kEat);
+  auto r = check_exclusion(t, g);
+  EXPECT_EQ(r.violations.size(), 2u);
+  EXPECT_EQ(r.violations_after(5), 1u);
+  EXPECT_EQ(r.violations_after(11), 0u);
+}
+
+TEST(WaitFreedom, AllSessionsCompleteIsWaitFree) {
+  Trace t;
+  t.record(1, 0, kHungry);
+  t.record(5, 0, kEat);
+  t.set_end_time(1000);
+  auto r = check_wait_freedom(t, {-1, -1}, 100);
+  EXPECT_TRUE(r.wait_free());
+  EXPECT_EQ(r.sessions_total, 1u);
+  EXPECT_EQ(r.sessions_completed, 1u);
+  EXPECT_EQ(r.response.count, 1u);
+  EXPECT_DOUBLE_EQ(r.response.mean, 4.0);
+}
+
+TEST(WaitFreedom, DetectsStarvation) {
+  Trace t;
+  t.record(1, 0, kHungry);  // never eats
+  t.set_end_time(1000);
+  auto r = check_wait_freedom(t, {-1}, 100);
+  EXPECT_FALSE(r.wait_free());
+  ASSERT_EQ(r.starving.size(), 1u);
+  EXPECT_EQ(r.starving[0], 0);
+}
+
+TEST(WaitFreedom, RecentHungerIsNotStarvation) {
+  Trace t;
+  t.record(950, 0, kHungry);  // hungry only 50 ticks before the horizon
+  t.set_end_time(1000);
+  auto r = check_wait_freedom(t, {-1}, 100);
+  EXPECT_TRUE(r.wait_free());
+}
+
+TEST(WaitFreedom, CrashedProcessIsNotStarving) {
+  Trace t;
+  t.record(1, 0, kHungry);
+  t.record(500, 0, kCrash);
+  t.set_end_time(10'000);
+  auto r = check_wait_freedom(t, {500}, 100);
+  EXPECT_TRUE(r.wait_free());
+  EXPECT_EQ(r.sessions_crashed, 1u);
+}
+
+TEST(WaitFreedom, CrashedProcessResponsesExcludedFromStats) {
+  Trace t;
+  t.record(1, 0, kHungry);
+  t.record(11, 0, kEat);   // completes, but 0 crashes later
+  t.record(20, 0, kExit);
+  t.record(30, 0, kCrash);
+  t.record(40, 1, kHungry);
+  t.record(45, 1, kEat);
+  t.set_end_time(1000);
+  auto r = check_wait_freedom(t, {30, -1}, 100);
+  EXPECT_EQ(r.sessions_completed, 2u);
+  EXPECT_EQ(r.response.count, 1u);  // only the correct process's session
+  EXPECT_DOUBLE_EQ(r.response.mean, 5.0);
+}
+
+TEST(Overtakes, CountsEatsDuringNeighborHunger) {
+  auto g = ekbd::graph::ring(4);  // 0-1-2-3-0
+  Trace t;
+  t.record(1, 0, kHungry);
+  // Neighbor 1 eats three times while 0 stays hungry.
+  for (Time b = 10; b <= 50; b += 20) {
+    t.record(b, 1, kHungry);
+    t.record(b + 2, 1, kEat);
+    t.record(b + 4, 1, kExit);
+  }
+  t.record(100, 0, kEat);
+  auto census = overtake_census(t, g);
+  int count_1_over_0 = -1;
+  for (const auto& obs : census) {
+    if (obs.waiter == 0 && obs.eater == 1) count_1_over_0 = obs.count;
+  }
+  EXPECT_EQ(count_1_over_0, 3);
+  EXPECT_EQ(max_overtakes(census), 3);
+}
+
+TEST(Overtakes, SessionBoundariesResetCounts) {
+  auto g = ekbd::graph::path(2);
+  Trace t;
+  // Session A of 0: one overtake by 1.
+  t.record(1, 0, kHungry);
+  t.record(2, 1, kHungry);
+  t.record(3, 1, kEat);
+  t.record(4, 1, kExit);
+  t.record(5, 0, kEat);
+  t.record(6, 0, kExit);
+  // Session B of 0: two overtakes by 1.
+  t.record(10, 0, kHungry);
+  t.record(11, 1, kHungry);
+  t.record(12, 1, kEat);
+  t.record(13, 1, kExit);
+  t.record(14, 1, kHungry);
+  t.record(15, 1, kEat);
+  t.record(16, 1, kExit);
+  t.record(20, 0, kEat);
+  auto census = overtake_census(t, g);
+  std::vector<int> counts;
+  for (const auto& obs : census) {
+    if (obs.waiter == 0) counts.push_back(obs.count);
+  }
+  EXPECT_EQ(counts, (std::vector<int>{1, 2}));
+}
+
+TEST(Overtakes, OpenSessionAtHorizonStillCounts) {
+  auto g = ekbd::graph::path(2);
+  Trace t;
+  t.record(1, 0, kHungry);  // 0 never eats
+  for (Time b = 10; b <= 90; b += 20) {
+    t.record(b, 1, kHungry);
+    t.record(b + 1, 1, kEat);
+    t.record(b + 2, 1, kExit);
+  }
+  t.set_end_time(200);
+  auto census = overtake_census(t, g);
+  EXPECT_EQ(max_overtakes(census), 5);
+}
+
+TEST(Overtakes, MaxAfterFiltersBySessionStart) {
+  auto g = ekbd::graph::path(2);
+  Trace t;
+  // Early bad session: 3 overtakes.
+  t.record(1, 0, kHungry);
+  for (Time b = 2; b <= 10; b += 4) {
+    t.record(b, 1, kHungry);
+    t.record(b + 1, 1, kEat);
+    t.record(b + 2, 1, kExit);
+  }
+  t.record(20, 0, kEat);
+  t.record(21, 0, kExit);
+  // Late good session: 1 overtake.
+  t.record(100, 0, kHungry);
+  t.record(101, 1, kHungry);
+  t.record(102, 1, kEat);
+  t.record(103, 1, kExit);
+  t.record(110, 0, kEat);
+  auto census = overtake_census(t, g);
+  EXPECT_EQ(max_overtakes(census), 3);
+  EXPECT_EQ(max_overtakes(census, 50), 1);
+  EXPECT_EQ(k_bound_establishment(census, 2), 2);  // last violating start + 1
+  EXPECT_EQ(k_bound_establishment(census, 3), 0);  // whole run 3-bounded
+}
+
+TEST(Overtakes, CrashClosesWaiterSession) {
+  auto g = ekbd::graph::path(2);
+  Trace t;
+  t.record(1, 0, kHungry);
+  t.record(5, 1, kHungry);
+  t.record(6, 1, kEat);
+  t.record(7, 1, kExit);
+  t.record(8, 0, kCrash);
+  // Eats after the waiter crashed do not count.
+  t.record(10, 1, kHungry);
+  t.record(11, 1, kEat);
+  t.set_end_time(100);
+  auto census = overtake_census(t, g);
+  int count = -1;
+  for (const auto& obs : census) {
+    if (obs.waiter == 0 && obs.eater == 1) count = obs.count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Concurrency, ProfilesOverlaps) {
+  auto g = ekbd::graph::ring(4);  // 0-1-2-3-0; 0 and 2 not adjacent
+  Trace t;
+  t.record(0, 0, kEat);
+  t.record(5, 2, kEat);   // non-neighbor overlap
+  t.record(10, 0, kExit);
+  t.record(10, 2, kExit);
+  t.set_end_time(20);
+  auto r = ekbd::dining::concurrency_profile(t, g);
+  EXPECT_EQ(r.max_concurrent_eaters, 2);
+  EXPECT_EQ(r.nonneighbor_overlaps, 1u);
+  // Time-weighted mean: 1 eater over [0,5), 2 over [5,10), 0 over [10,20)
+  // = (5*1 + 5*2) / 20 = 0.75.
+  EXPECT_DOUBLE_EQ(r.mean_concurrent_eaters, 0.75);
+}
+
+TEST(Concurrency, NeighborOverlapNotCountedAsHarmless) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(0, 0, kEat);
+  t.record(5, 1, kEat);  // neighbors: a violation, not harmless concurrency
+  t.set_end_time(10);
+  auto r = ekbd::dining::concurrency_profile(t, g);
+  EXPECT_EQ(r.nonneighbor_overlaps, 0u);
+  EXPECT_EQ(r.max_concurrent_eaters, 2);
+}
+
+TEST(Concurrency, EmptyTrace) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  auto r = ekbd::dining::concurrency_profile(t, g);
+  EXPECT_EQ(r.max_concurrent_eaters, 0);
+  EXPECT_DOUBLE_EQ(r.mean_concurrent_eaters, 0.0);
+}
+
+TEST(Concurrency, CrashEndsOverlap) {
+  auto g = ekbd::graph::ring(6);
+  Trace t;
+  t.record(0, 0, kEat);
+  t.record(2, 0, kCrash);
+  t.record(3, 2, kEat);
+  t.record(4, 4, kEat);
+  t.set_end_time(10);
+  auto r = ekbd::dining::concurrency_profile(t, g);
+  EXPECT_EQ(r.max_concurrent_eaters, 2);  // 2 and 4 (0 died before)
+  EXPECT_EQ(r.nonneighbor_overlaps, 1u);  // {2,4} only
+}
+
+TEST(Overtakes, ZeroCountObservationsPresent) {
+  auto g = ekbd::graph::ring(4);
+  Trace t;
+  t.record(1, 0, kHungry);
+  t.record(2, 0, kEat);
+  auto census = overtake_census(t, g);
+  // 0 has two ring neighbors; both observations exist with count 0.
+  std::size_t zero_obs = 0;
+  for (const auto& obs : census) {
+    if (obs.waiter == 0) {
+      EXPECT_EQ(obs.count, 0);
+      ++zero_obs;
+    }
+  }
+  EXPECT_EQ(zero_obs, 2u);
+  EXPECT_EQ(k_bound_establishment(census, 0), 0);
+}
+
+}  // namespace

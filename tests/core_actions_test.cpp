@@ -1,0 +1,315 @@
+// Action-level tests of Algorithm 1: two or three hand-driven diners on a
+// fixed-delay network, stepping through exact message interleavings and
+// asserting the per-action state transitions the paper specifies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/wait_free_diner.hpp"
+#include "fd/scripted.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::core::WaitFreeDiner;
+using ekbd::fd::ScriptedDetector;
+using ekbd::sim::ProcessId;
+using ekbd::sim::Simulator;
+using ekbd::sim::Time;
+
+/// Two neighbors on an edge, fixed delay 1, scripted detector.
+/// Process 0 ("hi") has color 1 and therefore starts with the fork;
+/// process 1 ("lo") has color 0 and starts with the token.
+struct Edge {
+  Edge() : sim(1, ekbd::sim::make_fixed_delay(1)), det(sim, 0) {
+    hi = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{0}, det);
+    lo = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{0}, 0, std::vector<int>{1}, det);
+    sim.start();
+  }
+  Simulator sim;
+  ScriptedDetector det;
+  WaitFreeDiner* hi;
+  WaitFreeDiner* lo;
+};
+
+TEST(Actions, InitialForkAtHigherColorTokenAtLower) {
+  Edge e;
+  EXPECT_TRUE(e.hi->holds_fork(1));
+  EXPECT_FALSE(e.hi->holds_token(1));
+  EXPECT_FALSE(e.lo->holds_fork(0));
+  EXPECT_TRUE(e.lo->holds_token(0));
+}
+
+TEST(Actions, Action2SendsOnePingAndSetsPinged) {
+  Edge e;
+  e.hi->become_hungry();
+  EXPECT_TRUE(e.hi->has_pending_ping(1));
+  // Exactly one ping in flight on the dining layer.
+  auto cs = e.sim.network().channel(0, 1, ekbd::sim::MsgLayer::kDining);
+  EXPECT_EQ(cs.in_transit, 1);
+  EXPECT_EQ(e.hi->message_counts().pings, 1u);
+  // Re-running the guard (pump via timer) must NOT duplicate the ping.
+  e.sim.run_until(e.sim.now());  // no time: nothing changes
+  EXPECT_EQ(e.hi->message_counts().pings, 1u);
+}
+
+TEST(Actions, Action3ThinkingNeighborAcksWithoutReplied) {
+  Edge e;
+  e.hi->become_hungry();
+  e.sim.run_until(1);  // lo receives the ping while thinking
+  // Thinking grantor does not set replied (line 10: replied := hungry).
+  EXPECT_FALSE(e.lo->has_replied_to(0));
+  e.sim.run_until(2);  // hi receives the ack
+  EXPECT_FALSE(e.hi->has_pending_ping(1));
+  // hi had every ack: it entered the doorway (Action 5) and, holding the
+  // fork already, went straight to eating (Action 9).
+  EXPECT_TRUE(e.hi->inside_doorway());
+  EXPECT_TRUE(e.hi->eating());
+}
+
+TEST(Actions, Action3HungryGrantorSetsRepliedAndDefersSecondPing) {
+  Edge e;
+  e.lo->become_hungry();    // lo pings hi at t=0
+  e.sim.run_until(4);       // ping(1), ack(2) -> lo inside, requests fork(3), hi gets req(4)
+  // hi stayed thinking; lo is inside the doorway now.
+  EXPECT_TRUE(e.lo->inside_doorway());
+
+  // Now hi becomes hungry and pings lo; lo is INSIDE -> defer (Action 3).
+  e.hi->become_hungry();
+  const Time t = e.sim.now();
+  e.sim.run_until(t + 1);
+  EXPECT_TRUE(e.lo->has_deferred_ping_from(0));
+  EXPECT_TRUE(e.hi->has_pending_ping(1));  // still pending (Lemma 2.2)
+  EXPECT_FALSE(e.hi->has_ack_from(1));
+}
+
+TEST(Actions, Action4StaleAckDiscardedWhenInside) {
+  // hi becomes hungry, pings lo; before the ack returns, hi is already
+  // inside via a scripted suspicion — the ack must NOT set the ack flag
+  // (Action 4 guard: hungry AND outside), but must clear `pinged`.
+  Edge e;
+  e.det.add_false_positive(0, 1, 0, 5);  // hi suspects lo during [0,5)
+  e.hi->become_hungry();                 // enters doorway instantly (suspects lo)
+  EXPECT_TRUE(e.hi->inside_doorway());
+  EXPECT_TRUE(e.hi->eating());           // holds the fork: eats immediately
+  // The ping was never sent because Action 2 ran while... actually the
+  // ping IS sent first (pump order), so let the ack flow back.
+  e.sim.run_until(3);
+  EXPECT_FALSE(e.hi->has_ack_from(1));       // stale ack discarded
+  EXPECT_FALSE(e.hi->has_pending_ping(1));   // but pinged was cleared
+}
+
+TEST(Actions, Action5EntryResetsAckAndReplied) {
+  Edge e;
+  e.hi->become_hungry();
+  e.lo->become_hungry();
+  e.sim.run_until(2);  // both acked each other (each replied once), both inside
+  EXPECT_TRUE(e.hi->inside_doorway());
+  EXPECT_TRUE(e.lo->inside_doorway());
+  // Entry reset both ack and replied (Action 5, lines 16-17).
+  EXPECT_FALSE(e.hi->has_ack_from(1));
+  EXPECT_FALSE(e.hi->has_replied_to(1));
+  EXPECT_FALSE(e.lo->has_ack_from(0));
+  EXPECT_FALSE(e.lo->has_replied_to(0));
+}
+
+TEST(Actions, Action6SpendsTokenOnRequest) {
+  Edge e;
+  e.lo->become_hungry();
+  e.sim.run_until(2);  // lo inside
+  EXPECT_TRUE(e.lo->inside_doorway());
+  EXPECT_FALSE(e.lo->holds_token(0));  // token spent on the fork request
+  EXPECT_EQ(e.lo->message_counts().fork_requests, 1u);
+}
+
+TEST(Actions, Action7OutsideHolderYieldsImmediately) {
+  Edge e;
+  e.lo->become_hungry();
+  e.sim.run_until(3);  // hi (thinking = outside) received the request
+  EXPECT_FALSE(e.hi->holds_fork(1));  // yielded
+  EXPECT_TRUE(e.hi->holds_token(1));  // and kept the token (right to re-request)
+  e.sim.run_until(4);
+  EXPECT_TRUE(e.lo->holds_fork(0));
+  EXPECT_TRUE(e.lo->eating());
+}
+
+TEST(Actions, Action7HungryHigherColorDefers) {
+  Edge e;
+  // Both hungry; both enter the doorway; lo requests hi's fork; hi is
+  // hungry-inside with the higher color -> defers until after eating.
+  e.hi->become_hungry();
+  e.lo->become_hungry();
+  e.sim.run_until(4);
+  EXPECT_TRUE(e.hi->eating());
+  EXPECT_TRUE(e.hi->holds_fork(1));
+  EXPECT_TRUE(e.hi->holds_token(1));  // fork ∧ token = deferred request
+  EXPECT_FALSE(e.lo->eating());
+
+  // Action 10: on exit, the deferred fork goes out; lo then eats.
+  e.hi->finish_eating();
+  e.sim.run_until(e.sim.now() + 2);
+  EXPECT_FALSE(e.hi->holds_fork(1));
+  EXPECT_TRUE(e.lo->holds_fork(0));
+  EXPECT_TRUE(e.lo->eating());
+}
+
+TEST(Actions, Action7LowerColorYieldsWhileHungryInside) {
+  // The "hungry ∧ inside ∧ lower color → yield" branch needs a holder
+  // that is inside the doorway but not yet eating (blocked on a third
+  // fork). Path a(0)-b(1)-c(2), colors a=2, b=1, c=3: b acquires fork_ab,
+  // then all three enter the doorway together; b blocks on c's fork while
+  // a's request for fork_ab arrives — b must yield to the higher color.
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  ScriptedDetector det(sim, 0);
+  auto* a = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 2,
+                                          std::vector<int>{1}, det);
+  auto* b = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{0, 2}, 1,
+                                          std::vector<int>{2, 3}, det);
+  auto* c = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 3,
+                                          std::vector<int>{1}, det);
+  sim.start();
+
+  // Phase 1: b eats alone, acquiring both of its forks.
+  b->become_hungry();
+  sim.run_until(8);
+  ASSERT_TRUE(b->eating());
+  b->finish_eating();
+  ASSERT_TRUE(b->holds_fork(0));
+  ASSERT_TRUE(b->holds_fork(2));
+
+  // Phase 1.5: c eats alone, taking fork_bc back.
+  c->become_hungry();
+  sim.run_until(sim.now() + 8);
+  ASSERT_TRUE(c->eating());
+  c->finish_eating();
+  ASSERT_TRUE(c->holds_fork(1));
+  ASSERT_TRUE(b->holds_fork(0));  // b still holds fork_ab
+
+  // Phase 2: everyone hungry at once.
+  const Time t0 = sim.now();
+  a->become_hungry();
+  b->become_hungry();
+  c->become_hungry();
+  sim.run_until(t0 + 2);
+  ASSERT_TRUE(a->inside_doorway());
+  ASSERT_TRUE(b->inside_doorway());
+  ASSERT_TRUE(c->eating());  // c held its only fork: eats on entry
+
+  sim.run_until(t0 + 4);
+  // b was hungry-inside (blocked on c's deferred fork) when a's request
+  // for fork_ab arrived: lower color yields immediately.
+  EXPECT_FALSE(b->holds_fork(0));
+  EXPECT_TRUE(a->eating());
+  EXPECT_TRUE(b->hungry());
+
+  // And the chain unwinds: both meals end, b finally gets both forks.
+  a->finish_eating();
+  c->finish_eating();
+  sim.run_until(sim.now() + 4);
+  EXPECT_TRUE(b->eating());
+}
+
+TEST(Actions, Action9EatsOnSuspicionWithoutFork) {
+  Edge e;
+  e.sim.schedule_crash(0, 1);  // hi (the fork holder) dies at t=1;
+                               // scripted completeness suspects from t=1
+  e.lo->become_hungry();
+  e.sim.run_until(50);
+  // lo never got an ack or the fork, but suspicion let it pass both
+  // guards: wait-freedom at the action level.
+  EXPECT_TRUE(e.lo->eating());
+  EXPECT_FALSE(e.lo->holds_fork(0));
+}
+
+TEST(Actions, Action10GrantsDeferredAcksOnExit) {
+  Edge e;
+  e.lo->become_hungry();
+  e.sim.run_until(4);
+  ASSERT_TRUE(e.lo->eating());
+  // hi pings while lo eats (inside) -> deferred.
+  e.hi->become_hungry();
+  e.sim.run_until(e.sim.now() + 1);
+  ASSERT_TRUE(e.lo->has_deferred_ping_from(0));
+  // Exit grants the deferred ack; hi then enters, re-requests the fork
+  // (which lo took during its meal) and eats.
+  e.lo->finish_eating();
+  EXPECT_FALSE(e.lo->has_deferred_ping_from(0));
+  e.sim.run_until(e.sim.now() + 5);
+  EXPECT_TRUE(e.hi->eating());
+}
+
+
+TEST(Actions, TokenConservationAcrossManyMeals) {
+  Edge e;
+  for (int round = 0; round < 20; ++round) {
+    e.lo->become_hungry();
+    e.hi->become_hungry();
+    e.sim.run_until(e.sim.now() + 10);
+    if (e.hi->eating()) e.hi->finish_eating();
+    e.sim.run_until(e.sim.now() + 10);
+    if (e.lo->eating()) e.lo->finish_eating();
+    e.sim.run_until(e.sim.now() + 10);
+    if (e.hi->eating()) e.hi->finish_eating();
+    if (e.lo->eating()) e.lo->finish_eating();
+    // Exactly one fork and one token exist (held or in transit, never
+    // duplicated).
+    EXPECT_FALSE(e.hi->holds_fork(1) && e.lo->holds_fork(0)) << round;
+    EXPECT_FALSE(e.hi->holds_token(1) && e.lo->holds_token(0)) << round;
+    EXPECT_EQ(e.hi->lemma11_violations(), 0u);
+    EXPECT_EQ(e.lo->lemma11_violations(), 0u);
+  }
+}
+
+TEST(Actions, GeneralizedAckBudgetCapsOvertakingExactly) {
+  // Path a(0) - b(1) - c(2), colors a=0, b=2, c=1. c grabs its shared
+  // fork and eats forever, pinning b outside the doorway (c defers b's
+  // ping). Then a cycles: each meal of a needs one fresh ack from the
+  // continuously hungry b, so a can eat exactly `acks_per_session` times
+  // before b's budget shuts the doorway.
+  for (int budget : {1, 3, 5}) {
+    Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+    ScriptedDetector det(sim, 0);
+    WaitFreeDiner::Options opt{.acks_per_session = budget};
+    auto* a = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 0,
+                                            std::vector<int>{2}, det, opt);
+    auto* b = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{0, 2}, 2,
+                                            std::vector<int>{0, 1}, det, opt);
+    auto* c = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 1,
+                                            std::vector<int>{2}, det, opt);
+    sim.start();
+
+    c->become_hungry();  // c acquires the b-c fork (b thinking yields) and eats
+    sim.run_until(6);
+    ASSERT_TRUE(c->eating()) << "budget " << budget;
+
+    b->become_hungry();  // pings a (thinking: acks) and c (eating: defers)
+    sim.run_until(12);
+    ASSERT_TRUE(b->hungry());
+    ASSERT_FALSE(b->inside_doorway());  // stuck on c's deferred ack
+
+    int meals_of_a = 0;
+    for (int i = 0; i < budget + 3; ++i) {
+      a->become_hungry();
+      sim.run_until(sim.now() + 10);
+      if (!a->eating()) break;  // blocked outside: b's budget exhausted
+      ++meals_of_a;
+      a->finish_eating();
+      sim.run_until(sim.now() + 4);
+    }
+    EXPECT_EQ(meals_of_a, budget) << "budget " << budget;
+    EXPECT_TRUE(b->hungry());  // b never starved-by-spec here, just waiting on c
+  }
+}
+
+TEST(Actions, StateBitsGrowWithAckBudget) {
+  Simulator sim(1);
+  ScriptedDetector det(sim, 0);
+  auto* m1 = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{0},
+                                           det, WaitFreeDiner::Options{.acks_per_session = 1});
+  auto* m7 = sim.make_actor<WaitFreeDiner>(std::vector<ProcessId>{0}, 0, std::vector<int>{1},
+                                           det, WaitFreeDiner::Options{.acks_per_session = 7});
+  EXPECT_LT(m1->state_bits(), m7->state_bits());
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Work-queue facade tests: demand-driven critical sections on top of the
+// wait-free dining layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "daemon/critical_section.hpp"
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::daemon::CriticalSectionScheduler;
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::sim::ProcessId;
+
+Config base(const char* topo, std::size_t n) {
+  Config cfg;
+  cfg.seed = 21;
+  cfg.topology = topo;
+  cfg.n = n;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 120;
+  cfg.run_for = 60'000;
+  return cfg;
+}
+
+TEST(CriticalSections, AllSubmittedWorkRunsExactlyOnceInOrder) {
+  Config cfg = base("clique", 5);
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness());
+  std::vector<std::vector<int>> ran(cfg.n);
+  for (int p = 0; p < static_cast<int>(cfg.n); ++p) {
+    for (int i = 0; i < 20; ++i) {
+      cs.submit(p, [&ran, i](ProcessId self) { ran[static_cast<std::size_t>(self)].push_back(i); });
+    }
+  }
+  s.run();
+  EXPECT_EQ(cs.executed(), 100u);
+  EXPECT_TRUE(cs.drained());
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    ASSERT_EQ(ran[p].size(), 20u) << p;
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(ran[p][static_cast<std::size_t>(i)], i);
+  }
+  // One item per acquired section by default.
+  EXPECT_EQ(cs.sections_acquired(), 100u);
+}
+
+TEST(CriticalSections, WorkRunsUnderExclusion) {
+  // Neighbors' work never overlaps: the trace shows no co-eating (truthful
+  // oracle, no crashes), and work only runs inside sections.
+  Config cfg = base("ring", 6);
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness());
+  int inside = 0;
+  for (int p = 0; p < 6; ++p) {
+    for (int i = 0; i < 10; ++i) {
+      cs.submit(p, [&, p](ProcessId self) {
+        EXPECT_EQ(self, p);
+        EXPECT_TRUE(s.diner(self)->eating()) << "work outside the critical section";
+        ++inside;
+      });
+    }
+  }
+  s.run();
+  EXPECT_EQ(inside, 60);
+  EXPECT_TRUE(s.exclusion().violations.empty());
+}
+
+TEST(CriticalSections, DemandDrivenNoWorkNoMeals) {
+  Config cfg = base("ring", 5);
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness());
+  (void)cs;
+  s.run();
+  EXPECT_EQ(s.trace().count(ekbd::dining::TraceEventKind::kStartEating), 0u);
+  EXPECT_EQ(s.sim().network().total_sent(ekbd::sim::MsgLayer::kDining), 0u);
+}
+
+TEST(CriticalSections, BatchingRunsMultipleItemsPerSection) {
+  Config cfg = base("path", 3);
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness(),
+                              CriticalSectionScheduler::Options{.max_per_section = 8});
+  for (int i = 0; i < 24; ++i) cs.submit(1, [](ProcessId) {});
+  s.run();
+  EXPECT_EQ(cs.executed(), 24u);
+  EXPECT_EQ(cs.sections_acquired(), 3u);  // 24 items / 8 per section
+}
+
+TEST(CriticalSections, SubmitToCrashedProcessRejected) {
+  Config cfg = base("ring", 5);
+  cfg.crashes = {{2, 1'000}};
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness());
+  s.run_until(2'000);
+  EXPECT_FALSE(cs.submit(2, [](ProcessId) {}));
+  EXPECT_TRUE(cs.submit(0, [](ProcessId) {}));
+}
+
+TEST(CriticalSections, WaitFreeServiceNextToACorpse) {
+  // p2 crashes holding nothing anyone can wait on forever: its neighbors'
+  // work must still complete (the whole point of the wait-free daemon).
+  Config cfg = base("ring", 6);
+  cfg.crashes = {{2, 5'000}};
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness());
+  int done = 0;
+  // Keep feeding the victim's neighbors work before and after the crash.
+  for (int round = 0; round < 10; ++round) {
+    s.sim().schedule(round * 4'000 + 100, [&cs, &done] {
+      for (ProcessId p : {1, 3}) {
+        cs.submit(p, [&done](ProcessId) { ++done; });
+      }
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, 20);
+  EXPECT_TRUE(cs.drained());
+}
+
+TEST(CriticalSections, DrainedIgnoresDeadQueues) {
+  Config cfg = base("ring", 5);
+  cfg.crashes = {{2, 10'000}};
+  Scenario s(cfg);
+  CriticalSectionScheduler cs(s.harness());
+  // Stuff p2's queue right before it dies; the items can never run.
+  s.sim().schedule(9'999, [&cs] {
+    for (int i = 0; i < 5; ++i) cs.submit(2, [](ProcessId) {});
+  });
+  s.run();
+  EXPECT_TRUE(cs.drained()) << "a corpse's queue must not count as pending";
+  EXPECT_GT(cs.pending(2), 0u);
+}
+
+}  // namespace

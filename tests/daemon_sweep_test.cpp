@@ -1,0 +1,142 @@
+// Parameterized daemon sweep: every stabilizing protocol under the
+// wait-free daemon across topologies, seeds, crash plans and transient
+// bursts — the application-layer analogue of the dining property sweep.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "daemon/fault_injector.hpp"
+#include "daemon/scheduler.hpp"
+#include "scenario/scenario.hpp"
+#include "stab/bfs_tree.hpp"
+#include "stab/coloring.hpp"
+#include "stab/matching.hpp"
+#include "stab/mis.hpp"
+#include "stab/token_ring.hpp"
+
+namespace {
+
+using ekbd::daemon::DaemonScheduler;
+using ekbd::daemon::FaultInjector;
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::stab::StateTable;
+
+enum class Proto { kTokenRing, kColoring, kMis, kBfs, kMatching };
+
+struct DaemonSweep {
+  Proto proto;
+  const char* topology;
+  std::size_t n;
+  std::uint64_t seed;
+  bool crashes;
+  bool transients;
+};
+
+std::string proto_name(Proto p) {
+  switch (p) {
+    case Proto::kTokenRing: return "tokenring";
+    case Proto::kColoring: return "coloring";
+    case Proto::kMis: return "mis";
+    case Proto::kBfs: return "bfs";
+    case Proto::kMatching: return "matching";
+  }
+  return "?";
+}
+
+std::unique_ptr<ekbd::stab::Protocol> make_proto(Proto p, std::size_t n) {
+  switch (p) {
+    case Proto::kTokenRing: return std::make_unique<ekbd::stab::DijkstraTokenRing>(n);
+    case Proto::kColoring: return std::make_unique<ekbd::stab::StabilizingColoring>();
+    case Proto::kMis: return std::make_unique<ekbd::stab::StabilizingMis>();
+    case Proto::kBfs: return std::make_unique<ekbd::stab::StabilizingBfsTree>();
+    case Proto::kMatching: return std::make_unique<ekbd::stab::StabilizingMatching>();
+  }
+  return nullptr;
+}
+
+class StabilizationSweep : public ::testing::TestWithParam<DaemonSweep> {};
+
+TEST_P(StabilizationSweep, ConvergesUnderWaitFreeDaemon) {
+  const DaemonSweep& sw = GetParam();
+
+  Config cfg;
+  cfg.seed = sw.seed;
+  cfg.topology = sw.topology;
+  cfg.n = sw.n;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 150;
+  cfg.fp_count = 2 * sw.n;
+  cfg.fp_until = 8'000;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 50;
+  cfg.run_for = 220'000;
+  if (sw.crashes) {
+    cfg.crashes = {{static_cast<ekbd::sim::ProcessId>(sw.n / 2), 1},
+                   {static_cast<ekbd::sim::ProcessId>(sw.n - 1), 50'000}};
+  }
+
+  Scenario s(cfg);
+  auto proto = make_proto(sw.proto, sw.n);
+  StateTable regs(sw.n, proto->regs_per_process());
+  ekbd::sim::Rng rng(sw.seed ^ 0x5EED);
+  regs.randomize(rng, 0, proto->corruption_hi(s.graph()));
+  DaemonScheduler daemon(s.harness(), *proto, regs);
+  std::unique_ptr<FaultInjector> inj;
+  if (sw.transients) {
+    inj = std::make_unique<FaultInjector>(s.sim(), regs, *proto, s.graph());
+    inj->schedule_train(60'000, 30'000, 3, 3);  // last burst at t=120000
+  }
+  s.run();
+
+  EXPECT_TRUE(daemon.converged())
+      << proto_name(sw.proto) << " on " << sw.topology << " failed to stabilize "
+      << "(steps=" << daemon.steps_executed()
+      << ", last illegitimate=" << daemon.last_illegitimate() << ")";
+  EXPECT_TRUE(s.wait_freedom(30'000).wait_free());
+  if (sw.transients) {
+    EXPECT_GT(inj->corruptions_applied(), 0u);
+  }
+}
+
+std::string sweep_label(const ::testing::TestParamInfo<DaemonSweep>& info) {
+  const auto& s = info.param;
+  return proto_name(s.proto) + "_" + s.topology + "_n" + std::to_string(s.n) + "_s" +
+         std::to_string(s.seed) + (s.crashes ? "_crash" : "") +
+         (s.transients ? "_trans" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, StabilizationSweep,
+    ::testing::Values(
+        // Token ring: crash-free only (its spec needs the whole ring).
+        DaemonSweep{Proto::kTokenRing, "ring", 6, 1, false, false},
+        DaemonSweep{Proto::kTokenRing, "ring", 8, 2, false, true},
+        DaemonSweep{Proto::kTokenRing, "ring", 10, 3, false, true},
+        // Coloring: every flavor.
+        DaemonSweep{Proto::kColoring, "ring", 8, 4, false, true},
+        DaemonSweep{Proto::kColoring, "random", 10, 5, true, false},
+        DaemonSweep{Proto::kColoring, "random", 10, 6, true, true},
+        DaemonSweep{Proto::kColoring, "clique", 6, 7, true, true},
+        DaemonSweep{Proto::kColoring, "grid", 9, 8, true, false},
+        // MIS.
+        DaemonSweep{Proto::kMis, "grid", 9, 9, false, true},
+        DaemonSweep{Proto::kMis, "grid", 9, 10, true, true},
+        DaemonSweep{Proto::kMis, "star", 8, 11, true, false},
+        DaemonSweep{Proto::kMis, "random", 12, 12, true, true},
+        // BFS tree (root 0 must stay alive; crashes hit n/2 and n-1).
+        DaemonSweep{Proto::kBfs, "tree", 7, 13, false, true},
+        DaemonSweep{Proto::kBfs, "grid", 9, 14, false, true},
+        // Matching.
+        DaemonSweep{Proto::kMatching, "ring", 8, 15, false, true},
+        DaemonSweep{Proto::kMatching, "grid", 9, 16, true, false},
+        DaemonSweep{Proto::kMatching, "random", 10, 17, true, true},
+        DaemonSweep{Proto::kMatching, "path", 7, 18, false, false}),
+    sweep_label);
+
+}  // namespace

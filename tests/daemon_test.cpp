@@ -1,0 +1,193 @@
+// The paper's application layer end-to-end: a wait-free daemon (Algorithm
+// 1) scheduling self-stabilizing protocols under transient faults and
+// crash faults — versus a non-wait-free daemon, which loses convergence.
+#include <gtest/gtest.h>
+
+#include "daemon/fault_injector.hpp"
+#include "daemon/scheduler.hpp"
+#include "scenario/scenario.hpp"
+#include "stab/bfs_tree.hpp"
+#include "stab/coloring.hpp"
+#include "stab/mis.hpp"
+#include "stab/token_ring.hpp"
+
+namespace {
+
+using ekbd::daemon::DaemonScheduler;
+using ekbd::daemon::FaultInjector;
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::stab::StateTable;
+
+Config daemon_config(Algorithm a, const char* topology, std::size_t n) {
+  Config cfg;
+  cfg.algorithm = a;
+  cfg.detector = a == Algorithm::kWaitFree ? DetectorKind::kScripted : DetectorKind::kNever;
+  cfg.partial_synchrony = false;
+  cfg.topology = topology;
+  cfg.n = n;
+  cfg.detection_delay = 150;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 60;
+  cfg.run_for = 120'000;
+  return cfg;
+}
+
+TEST(Daemon, TokenRingStabilizesFromArbitraryState) {
+  Config cfg = daemon_config(Algorithm::kWaitFree, "ring", 6);
+  Scenario s(cfg);
+  ekbd::stab::DijkstraTokenRing proto(cfg.n);
+  StateTable table(cfg.n, 1);
+  ekbd::sim::Rng rng(99);
+  table.randomize(rng, 0, proto.k() - 1);
+  DaemonScheduler daemon(s.harness(), proto, table);
+  s.run();
+  EXPECT_TRUE(daemon.converged()) << "tokens = " << proto.tokens(table, s.graph());
+  EXPECT_GT(daemon.steps_executed(), 50u);
+  EXPECT_LT(daemon.last_illegitimate(), cfg.run_for);
+}
+
+TEST(Daemon, TokenRingRecoversFromTransientBursts) {
+  Config cfg = daemon_config(Algorithm::kWaitFree, "ring", 6);
+  Scenario s(cfg);
+  ekbd::stab::DijkstraTokenRing proto(cfg.n);
+  StateTable table(cfg.n, 1);
+  DaemonScheduler daemon(s.harness(), proto, table);
+  FaultInjector inj(s.sim(), table, proto, s.graph());
+  inj.schedule_train(10'000, 15'000, 4, 3);  // last burst at 55'000
+  s.run();
+  EXPECT_GT(inj.corruptions_applied(), 0u);
+  EXPECT_TRUE(daemon.converged());
+  EXPECT_GE(inj.last_burst_time(), 55'000);
+}
+
+TEST(Daemon, ColoringStabilizesDespiteCrashes) {
+  // The headline composition: crashes + transient faults + pre-convergence
+  // scheduling mistakes, and the live processes still stabilize.
+  Config cfg = daemon_config(Algorithm::kWaitFree, "random", 10);
+  cfg.fp_count = 20;
+  cfg.fp_until = 8'000;
+  cfg.crashes = {{2, 15'000}, {7, 25'000}};
+  Scenario s(cfg);
+  ekbd::stab::StabilizingColoring proto;
+  StateTable table(cfg.n, 1);
+  ekbd::sim::Rng rng(5);
+  table.randomize(rng, 0, proto.corruption_hi(s.graph()));
+  DaemonScheduler daemon(s.harness(), proto, table);
+  FaultInjector inj(s.sim(), table, proto, s.graph());
+  inj.schedule_train(30'000, 10'000, 3, 4);
+  s.run();
+  EXPECT_TRUE(daemon.converged());
+  EXPECT_TRUE(s.wait_freedom(25'000).wait_free());
+}
+
+TEST(Daemon, MisStabilizesDespiteCrashes) {
+  Config cfg = daemon_config(Algorithm::kWaitFree, "grid", 9);
+  cfg.crashes = {{4, 20'000}};  // center of the grid
+  Scenario s(cfg);
+  ekbd::stab::StabilizingMis proto;
+  StateTable table(cfg.n, 1);
+  ekbd::sim::Rng rng(6);
+  table.randomize(rng, 0, 1);
+  DaemonScheduler daemon(s.harness(), proto, table);
+  s.run();
+  EXPECT_TRUE(daemon.converged());
+}
+
+TEST(Daemon, BfsTreeStabilizes) {
+  Config cfg = daemon_config(Algorithm::kWaitFree, "tree", 7);
+  Scenario s(cfg);
+  ekbd::stab::StabilizingBfsTree proto;
+  StateTable table(cfg.n, 1);
+  ekbd::sim::Rng rng(7);
+  table.randomize(rng, -3, 30);
+  DaemonScheduler daemon(s.harness(), proto, table);
+  s.run();
+  EXPECT_TRUE(daemon.converged());
+}
+
+TEST(Daemon, NonWaitFreeDaemonLosesConvergenceAfterCrash) {
+  // The negative control: the crash-oblivious Choy–Singh daemon starves
+  // the victim's neighbors; a conflicting frozen state next to a starved
+  // process can never be repaired.
+  Config cfg = daemon_config(Algorithm::kChoySingh, "ring", 6);
+  cfg.crashes = {{2, 1}};  // dead before anyone's first meal
+  Scenario s(cfg);
+  ekbd::stab::StabilizingColoring proto;
+  StateTable table(cfg.n, 1);
+  // Adversarial initial state: every process has color 0 — every edge
+  // conflicts, so every process *must* move to converge. The starved
+  // neighbors of the victim can't.
+  DaemonScheduler daemon(s.harness(), proto, table);
+  s.run();
+  EXPECT_FALSE(daemon.converged())
+      << "non-wait-free daemon unexpectedly stabilized after a crash";
+  // While the wait-free daemon, same everything, converges:
+  Config cfg2 = daemon_config(Algorithm::kWaitFree, "ring", 6);
+  cfg2.crashes = {{2, 1}};
+  Scenario s2(cfg2);
+  StateTable table2(cfg2.n, 1);
+  DaemonScheduler daemon2(s2.harness(), proto, table2);
+  s2.run();
+  EXPECT_TRUE(daemon2.converged());
+}
+
+TEST(Daemon, SchedulingMistakesAreTransientFaults) {
+  // Force heavy pre-convergence mutual suspicion → overlapping critical
+  // sections → corruptions; the protocol must still converge afterwards
+  // (that is the paper's whole argument for tolerating ◇WX).
+  Config cfg = daemon_config(Algorithm::kWaitFree, "ring", 8);
+  cfg.fp_count = 80;
+  cfg.fp_until = 20'000;
+  cfg.fp_len_lo = 100;
+  cfg.fp_len_hi = 500;
+  cfg.harness.think_lo = 5;
+  cfg.harness.think_hi = 25;
+  cfg.run_for = 150'000;
+  Scenario s(cfg);
+  ekbd::stab::StabilizingColoring proto;
+  StateTable table(cfg.n, 1);
+  DaemonScheduler daemon(s.harness(), proto, table,
+                         DaemonScheduler::Options{.violation_corruption_prob = 1.0});
+  s.run();
+  EXPECT_GT(daemon.sharing_violations(), 0u) << "scenario failed to cause mistakes";
+  EXPECT_GT(daemon.violation_corruptions(), 0u);
+  EXPECT_TRUE(daemon.converged());
+  // All corruptions happened before detector convergence (+ a short tail
+  // for meals that started just before it).
+  EXPECT_LT(daemon.last_illegitimate(), cfg.run_for - 10'000);
+}
+
+TEST(Daemon, IdleSchedulesCountedWhenNothingEnabled) {
+  Config cfg = daemon_config(Algorithm::kWaitFree, "path", 4);
+  Scenario s(cfg);
+  ekbd::stab::StabilizingColoring proto;
+  StateTable table(cfg.n, 1);  // all zeros on a path: 1 and 3 enabled... fix below
+  // Start legitimate & silent: 0-1-0-1 alternation on a path.
+  table.set(0, 0);
+  table.set(1, 1);
+  table.set(2, 0);
+  table.set(3, 1);
+  DaemonScheduler daemon(s.harness(), proto, table);
+  s.run();
+  EXPECT_EQ(daemon.steps_executed(), 0u);
+  EXPECT_GT(daemon.idle_schedules(), 0u);
+  EXPECT_TRUE(daemon.converged());
+  EXPECT_EQ(daemon.last_illegitimate(), 0);
+}
+
+TEST(FaultInjectorTest, AppliesExactCount) {
+  Config cfg = daemon_config(Algorithm::kWaitFree, "ring", 5);
+  Scenario s(cfg);
+  ekbd::stab::DijkstraTokenRing proto(cfg.n);
+  StateTable table(cfg.n, 1);
+  FaultInjector inj(s.sim(), table, proto, s.graph());
+  inj.schedule_burst(1'000, 7);
+  s.run_until(2'000);
+  EXPECT_EQ(inj.corruptions_applied(), 7u);
+  EXPECT_EQ(inj.last_burst_time(), 1'000);
+}
+
+}  // namespace

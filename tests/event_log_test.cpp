@@ -1,0 +1,113 @@
+// Event-log tests: transport tracing fidelity, capping, payload naming.
+#include <gtest/gtest.h>
+
+#include "sim/event_log.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::sim::EventLog;
+using ekbd::sim::LoggedEvent;
+using ekbd::sim::Message;
+using ekbd::sim::MsgLayer;
+using ekbd::sim::Simulator;
+
+struct Tag {
+  int v = 0;
+};
+
+struct Echo : ekbd::sim::Actor {
+  void on_message(const Message&) override {}
+  void on_timer(ekbd::sim::TimerId) override {}
+  using Actor::send;
+  using Actor::set_timer;
+};
+
+TEST(EventLogTest, RecordsSendAndDeliverPairs) {
+  Simulator sim(1, ekbd::sim::make_fixed_delay(3));
+  EventLog log;
+  sim.set_event_log(&log);
+  auto* a = sim.make_actor<Echo>();
+  auto* b = sim.make_actor<Echo>();
+  sim.start();
+  a->send(b->id(), Tag{1}, MsgLayer::kDining);
+  sim.run_until(100);
+  ASSERT_EQ(log.count(LoggedEvent::Kind::kSend), 1u);
+  ASSERT_EQ(log.count(LoggedEvent::Kind::kDeliver), 1u);
+  const auto& send_ev = log.events()[0];
+  const auto& deliver_ev = log.events()[1];
+  EXPECT_EQ(send_ev.at, 0);
+  EXPECT_EQ(deliver_ev.at, 3);
+  EXPECT_EQ(send_ev.from, 0);
+  EXPECT_EQ(send_ev.to, 1);
+  EXPECT_EQ(send_ev.seq, deliver_ev.seq);
+  EXPECT_EQ(send_ev.payload_name(), "Tag");
+  EXPECT_EQ(send_ev.layer, MsgLayer::kDining);
+}
+
+TEST(EventLogTest, RecordsDropsToCrashed) {
+  Simulator sim(1, ekbd::sim::make_fixed_delay(5));
+  EventLog log;
+  sim.set_event_log(&log);
+  auto* a = sim.make_actor<Echo>();
+  auto* b = sim.make_actor<Echo>();
+  sim.start();
+  sim.schedule_crash(b->id(), 2);
+  a->send(b->id(), Tag{}, MsgLayer::kOther);  // delivery at 5 > crash at 2
+  sim.run_until(100);
+  EXPECT_EQ(log.count(LoggedEvent::Kind::kCrash), 1u);
+  EXPECT_EQ(log.count(LoggedEvent::Kind::kDrop), 1u);
+  EXPECT_EQ(log.count(LoggedEvent::Kind::kDeliver), 0u);
+}
+
+TEST(EventLogTest, RecordsTimers) {
+  Simulator sim(1);
+  EventLog log;
+  sim.set_event_log(&log);
+  auto* a = sim.make_actor<Echo>();
+  sim.start();
+  a->set_timer(10);
+  a->set_timer(20);
+  sim.run_until(100);
+  EXPECT_EQ(log.count(LoggedEvent::Kind::kTimer), 2u);
+}
+
+TEST(EventLogTest, CapTruncates) {
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  EventLog log(/*cap=*/5);
+  sim.set_event_log(&log);
+  auto* a = sim.make_actor<Echo>();
+  auto* b = sim.make_actor<Echo>();
+  sim.start();
+  for (int i = 0; i < 10; ++i) a->send(b->id(), Tag{i}, MsgLayer::kOther);
+  sim.run_until(100);
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_TRUE(log.truncated());
+}
+
+TEST(EventLogTest, DetachStopsRecording) {
+  Simulator sim(1, ekbd::sim::make_fixed_delay(1));
+  EventLog log;
+  sim.set_event_log(&log);
+  auto* a = sim.make_actor<Echo>();
+  auto* b = sim.make_actor<Echo>();
+  sim.start();
+  a->send(b->id(), Tag{}, MsgLayer::kOther);
+  sim.run_until(10);
+  const auto before = log.size();
+  sim.set_event_log(nullptr);
+  a->send(b->id(), Tag{}, MsgLayer::kOther);
+  sim.run_until(20);
+  EXPECT_EQ(log.size(), before);
+}
+
+TEST(EventLogTest, DescribeIsHumanReadable) {
+  LoggedEvent e;
+  e.at = 42;
+  e.kind = LoggedEvent::Kind::kCrash;
+  e.from = 3;
+  EXPECT_NE(e.describe().find("CRASH"), std::string::npos);
+  EXPECT_NE(e.describe().find("p3"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Configuration fuzzing: random topologies, sizes, loads, oracles and
+// crash plans — 120 scenarios per run, every paper property checked on
+// each. Complements the curated parameterized sweeps with unplanned
+// combinations (and stays deterministic: the fuzz seed is fixed).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::sim::MsgLayer;
+using ekbd::sim::Time;
+
+TEST(Fuzz, RandomConfigurationsKeepEveryGuarantee) {
+  const char* topologies[] = {"ring", "path", "clique", "star", "grid",
+                              "tree", "random", "hypercube", "torus", "bipartite"};
+  ekbd::sim::Rng fuzz(0xF022);
+  int executed = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    Config cfg;
+    cfg.seed = fuzz.u64();
+    cfg.topology = topologies[fuzz.index(std::size(topologies))];
+    cfg.n = static_cast<std::size_t>(fuzz.uniform_int(4, 28));
+    cfg.algorithm = Algorithm::kWaitFree;
+    cfg.acks_per_session = static_cast<int>(fuzz.uniform_int(1, 3));
+    cfg.detector = DetectorKind::kScripted;
+    cfg.partial_synchrony = false;
+    cfg.uniform_delay_lo = 1;
+    cfg.uniform_delay_hi = fuzz.uniform_int(2, 30);
+    cfg.detection_delay = fuzz.uniform_int(10, 300);
+    cfg.fp_count = static_cast<std::size_t>(fuzz.uniform_int(0, 60));
+    cfg.fp_until = 10'000;
+    cfg.harness.think_lo = fuzz.uniform_int(1, 50);
+    cfg.harness.think_hi = cfg.harness.think_lo + fuzz.uniform_int(1, 300);
+    cfg.harness.eat_lo = fuzz.uniform_int(5, 40);
+    cfg.harness.eat_hi = cfg.harness.eat_lo + fuzz.uniform_int(1, 80);
+    cfg.run_for = 60'000;
+    // Crash up to half the processes, all in the first half of the run.
+    const auto crash_count = static_cast<std::size_t>(
+        fuzz.uniform_int(0, static_cast<std::int64_t>(cfg.n / 2)));
+    std::vector<bool> picked(cfg.n, false);
+    for (std::size_t i = 0; i < crash_count; ++i) {
+      auto v = static_cast<ekbd::sim::ProcessId>(fuzz.index(cfg.n));
+      if (picked[static_cast<std::size_t>(v)]) continue;
+      picked[static_cast<std::size_t>(v)] = true;
+      cfg.crashes.emplace_back(v, fuzz.uniform_int(5'000, 28'000));
+    }
+
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " + cfg.topology + " n=" +
+                 std::to_string(cfg.n) + " f=" + std::to_string(cfg.crashes.size()) +
+                 " m=" + std::to_string(cfg.acks_per_session) + " seed=" +
+                 std::to_string(cfg.seed));
+
+    Scenario s(cfg);
+    s.run();
+    ++executed;
+
+    const Time conv = s.fd_convergence_estimate();
+    ASSERT_LT(conv, 40'000) << "fuzzed config never converged";
+    // Wait-freedom (generous horizon: some fuzzed loads are glacial).
+    EXPECT_TRUE(s.wait_freedom(25'000).wait_free());
+    // Eventual weak exclusion.
+    EXPECT_EQ(s.exclusion().violations_after(conv), 0u);
+    // Eventual (m+1)-bounded waiting.
+    EXPECT_LE(ekbd::dining::max_overtakes(s.census(), conv), cfg.acks_per_session + 1);
+    // Channel bound.
+    EXPECT_LE(s.sim().network().max_in_transit_any(MsgLayer::kDining), 4);
+    // Lemma 1.1 counter clean.
+    for (std::size_t p = 0; p < cfg.n; ++p) {
+      EXPECT_EQ(s.wait_free_diner(static_cast<int>(p))->lemma11_violations(), 0u);
+    }
+  }
+  EXPECT_EQ(executed, 120);
+}
+
+}  // namespace

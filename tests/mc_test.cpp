@@ -1,0 +1,391 @@
+// Model-checking tests: exhaustively (or by mass random walks) explore
+// message interleavings of Algorithm 1 in controlled-execution mode,
+// verifying the safety invariants over EVERY schedule of small worlds —
+// the strongest form of evidence a test suite can give for Lemmas 1.1/1.2
+// and Theorem 1's no-mistake case.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/chandy_misra_diner.hpp"
+#include "baseline/doorway_diner.hpp"
+#include "core/wait_free_diner.hpp"
+#include "drinking/drinking_diner.hpp"
+#include "fd/detector.hpp"
+#include "fd/scripted.hpp"
+#include "mc/explorer.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::core::WaitFreeDiner;
+using ekbd::fd::ScriptedDetector;
+using ekbd::mc::Options;
+using ekbd::mc::Result;
+using ekbd::mc::World;
+using ekbd::sim::ExecMode;
+using ekbd::sim::ProcessId;
+using ekbd::sim::Simulator;
+
+/// Two diners on one edge in controlled mode. Both become hungry at the
+/// start; when one starts eating, ending the meal is *scheduled as a
+/// choice event* — the adversary also controls meal lengths relative to
+/// message arrivals. Goal: both have eaten and gone back to thinking.
+class EdgeWorld : public World {
+ public:
+  /// `mutual_suspicion_steps` > 0 injects a scripted mutual false positive
+  /// covering the first N ticks of virtual time (controlled-mode time = one
+  /// tick per event), to explore schedules during an oracle mistake.
+  explicit EdgeWorld(bool crash_hi = false, long mutual_suspicion_steps = 0)
+      : sim_(1, ekbd::sim::make_fixed_delay(1), ExecMode::kControlled),
+        det_(sim_, 0),
+        crash_hi_(crash_hi) {
+    if (mutual_suspicion_steps > 0) {
+      det_.add_mutual_false_positive(0, 1, 0, mutual_suspicion_steps);
+      allow_exclusion_violation_ = true;
+    }
+    hi_ = sim_.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{0},
+                                         det_);
+    lo_ = sim_.make_actor<WaitFreeDiner>(std::vector<ProcessId>{0}, 0, std::vector<int>{1},
+                                         det_);
+    for (WaitFreeDiner* d : {hi_, lo_}) {
+      d->set_event_callback([this](ekbd::dining::Diner& diner,
+                                   ekbd::dining::TraceEventKind kind) {
+        if (kind == ekbd::dining::TraceEventKind::kStartEating) {
+          auto* wd = static_cast<WaitFreeDiner*>(&diner);
+          ++meals_[wd == hi_ ? 0 : 1];
+          // Ending the meal becomes one more adversarial choice.
+          sim_.schedule(sim_.now(), [wd] {
+            if (wd->eating()) wd->finish_eating();
+          });
+        }
+      });
+    }
+    sim_.start();
+    if (crash_hi_) {
+      // The crash instant is adversarial too.
+      sim_.schedule(0, [this] { sim_.crash(0); });
+    }
+    hi_->become_hungry();
+    lo_->become_hungry();
+  }
+
+  Simulator& simulator() override { return sim_; }
+
+  std::string check() override {
+    if (hi_->holds_fork(1) && lo_->holds_fork(0)) return "fork duplicated";
+    if (hi_->holds_token(1) && lo_->holds_token(0)) return "token duplicated";
+    if (hi_->lemma11_violations() + lo_->lemma11_violations() > 0) {
+      return "Lemma 1.1 violated (request reached a non-holder)";
+    }
+    // ◇WX concerns *live* neighbors; a process that crashed mid-meal has
+    // its state frozen at eating but holds no claim on the resource.
+    if (!allow_exclusion_violation_ && hi_->eating() && lo_->eating() &&
+        !sim_.crashed(0) && !sim_.crashed(1)) {
+      return "live neighbors eating simultaneously with a truthful oracle";
+    }
+    return "";
+  }
+
+  bool done() override {
+    if (crash_hi_) {
+      // hi may or may not have eaten before dying; lo must always eat.
+      return meals_[1] >= 1 && !lo_->eating();
+    }
+    return meals_[0] >= 1 && meals_[1] >= 1 && hi_->thinking() && lo_->thinking();
+  }
+
+ private:
+  Simulator sim_;
+  ScriptedDetector det_;
+  bool crash_hi_;
+  bool allow_exclusion_violation_ = false;
+  WaitFreeDiner* hi_ = nullptr;
+  WaitFreeDiner* lo_ = nullptr;
+  int meals_[2] = {0, 0};
+};
+
+TEST(ControlledMode, EligibleEventsRespectChannelFifo) {
+  struct Echo : ekbd::sim::Actor {
+    void on_message(const ekbd::sim::Message&) override {}
+    using Actor::send;
+  };
+  Simulator sim(1, nullptr, ExecMode::kControlled);
+  auto* a = sim.make_actor<Echo>();
+  auto* b = sim.make_actor<Echo>();
+  sim.start();
+  a->send(b->id(), int{1}, ekbd::sim::MsgLayer::kOther);
+  a->send(b->id(), int{2}, ekbd::sim::MsgLayer::kOther);
+  b->send(a->id(), int{3}, ekbd::sim::MsgLayer::kOther);
+  auto eligible = sim.eligible_events();
+  // Only the FIRST a->b message plus the b->a message are eligible.
+  ASSERT_EQ(eligible.size(), 2u);
+  // Executing an ineligible id fails; executing the head succeeds and
+  // unlocks the second message.
+  EXPECT_TRUE(sim.execute_event(eligible[0].id));
+  EXPECT_EQ(sim.eligible_events().size(), 2u);
+}
+
+TEST(ControlledMode, ExecuteUnknownIdFails) {
+  Simulator sim(1, nullptr, ExecMode::kControlled);
+  EXPECT_FALSE(sim.execute_event(12345));
+}
+
+TEST(ModelCheck, ExhaustiveCrashFreeEdgeIsSafeAndLive) {
+  // EVERY schedule: forks/tokens unique, Lemma 1.1 holds, never two
+  // eaters, no deadlock, both diners complete a meal.
+  Options opt;
+  opt.include_timers = false;  // crash-free progress is message-driven
+  opt.max_depth = 60;
+  opt.max_nodes = 2'000'000;
+  Result r = ekbd::mc::explore([] { return std::make_unique<EdgeWorld>(); }, opt);
+  EXPECT_TRUE(r.ok()) << r.violation << " (path length "
+                      << r.counterexample.size() << ")";
+  EXPECT_FALSE(r.budget_exhausted) << "state space unexpectedly large: "
+                                   << r.nodes_executed;
+  EXPECT_GT(r.paths_completed, 0u);
+  EXPECT_EQ(r.paths_truncated, 0u);
+}
+
+TEST(ModelCheck, ExhaustiveWithAdversarialCrash) {
+  // The fork holder may crash at ANY point relative to every message;
+  // timers must be offered (suspicion progress needs the pump), and every
+  // schedule must still feed the survivor. Depth-bounded: the pump timer
+  // re-arms forever, so complete paths are those where lo finishes first.
+  Options opt;
+  opt.include_timers = true;
+  opt.max_depth = 26;
+  opt.max_nodes = 3'000'000;
+  Result r = ekbd::mc::explore([] { return std::make_unique<EdgeWorld>(true); }, opt);
+  EXPECT_TRUE(r.ok()) << r.violation;
+  EXPECT_GT(r.paths_completed, 0u);
+}
+
+TEST(ModelCheck, RandomWalksDuringMutualSuspicion) {
+  // During a mutual false positive both may enter the doorway and eat
+  // together (allowed pre-convergence); fork/token/Lemma-1.1 invariants
+  // must STILL hold on every schedule.
+  Options opt;
+  opt.include_timers = true;
+  opt.max_depth = 80;
+  opt.random_walks = 3'000;
+  opt.seed = 7;
+  Result r = ekbd::mc::explore(
+      [] { return std::make_unique<EdgeWorld>(false, 6); }, opt);
+  EXPECT_TRUE(r.ok()) << r.violation;
+}
+
+/// Baseline edge world: same adversarial setting (both hungry, meal
+/// endings as choice events) for any diner type with the common fork
+/// accessors. No oracle (NeverSuspect), no crashes: the baselines' home
+/// turf, where they too must be safe and deadlock-free on EVERY schedule.
+template <typename DinerT>
+class BaselineEdgeWorld : public World {
+ public:
+  BaselineEdgeWorld()
+      : sim_(1, ekbd::sim::make_fixed_delay(1), ExecMode::kControlled) {
+    hi_ = sim_.make_actor<DinerT>(std::vector<ProcessId>{1}, 1, std::vector<int>{0}, det_);
+    lo_ = sim_.make_actor<DinerT>(std::vector<ProcessId>{0}, 0, std::vector<int>{1}, det_);
+    auto hook = [this](ekbd::dining::Diner& diner, ekbd::dining::TraceEventKind kind) {
+      if (kind == ekbd::dining::TraceEventKind::kStartEating) {
+        auto* d = static_cast<DinerT*>(&diner);
+        ++meals_[d == hi_ ? 0 : 1];
+        sim_.schedule(sim_.now(), [d] {
+          if (d->eating()) d->finish_eating();
+        });
+      }
+    };
+    hi_->set_event_callback(hook);
+    lo_->set_event_callback(hook);
+    sim_.start();
+    hi_->become_hungry();
+    lo_->become_hungry();
+  }
+
+  Simulator& simulator() override { return sim_; }
+
+  std::string check() override {
+    if (hi_->holds_fork(1) && lo_->holds_fork(0)) return "fork duplicated";
+    if (hi_->eating() && lo_->eating()) return "neighbors eating simultaneously";
+    return "";
+  }
+
+  bool done() override {
+    return meals_[0] >= 1 && meals_[1] >= 1 && hi_->thinking() && lo_->thinking();
+  }
+
+ private:
+  Simulator sim_;
+  ekbd::fd::NeverSuspect det_;
+  DinerT* hi_ = nullptr;
+  DinerT* lo_ = nullptr;
+  int meals_[2] = {0, 0};
+};
+
+TEST(ModelCheck, ExhaustiveChoySinghEdge) {
+  Options opt;
+  opt.include_timers = false;
+  opt.max_depth = 60;
+  opt.max_nodes = 2'000'000;
+  Result r = ekbd::mc::explore(
+      [] { return std::make_unique<BaselineEdgeWorld<ekbd::baseline::DoorwayDiner>>(); },
+      opt);
+  EXPECT_TRUE(r.ok()) << r.violation;
+  EXPECT_GT(r.paths_completed, 0u);
+  EXPECT_EQ(r.paths_truncated, 0u);
+}
+
+TEST(ModelCheck, ExhaustiveChandyMisraEdge) {
+  Options opt;
+  opt.include_timers = false;
+  opt.max_depth = 60;
+  opt.max_nodes = 2'000'000;
+  Result r = ekbd::mc::explore(
+      [] { return std::make_unique<BaselineEdgeWorld<ekbd::baseline::ChandyMisraDiner>>(); },
+      opt);
+  EXPECT_TRUE(r.ok()) << r.violation;
+  EXPECT_GT(r.paths_completed, 0u);
+  EXPECT_EQ(r.paths_truncated, 0u);
+}
+
+/// Drinking edge world: both endpoints cycle thirst sessions that need the
+/// shared bottle. Meal endings are internal to the construction; drink
+/// endings and re-thirsts are adversarial choice events. Invariants: the
+/// shared bottle is never double-held, never requested from a non-holder,
+/// and the two never drink simultaneously (both always need the bottle,
+/// oracle truthful). Goal: both complete a drink (one each keeps the
+/// exhaustive space tractable; the random-walk MC rows in e13 cover
+/// longer horizons).
+class DrinkingEdgeWorld : public World {
+ public:
+  DrinkingEdgeWorld()
+      : sim_(1, ekbd::sim::make_fixed_delay(1), ExecMode::kControlled), det_(sim_, 0) {
+    hi_ = sim_.make_actor<ekbd::drinking::DrinkingDiner>(std::vector<ProcessId>{1}, 1,
+                                                         std::vector<int>{0}, det_);
+    lo_ = sim_.make_actor<ekbd::drinking::DrinkingDiner>(std::vector<ProcessId>{0}, 0,
+                                                         std::vector<int>{1}, det_);
+    auto wire = [this](ekbd::drinking::DrinkingDiner* d, ProcessId peer, int idx) {
+      d->set_drink_callback([this, d, peer, idx](ekbd::drinking::DrinkingDiner&,
+                                                 ekbd::drinking::DrinkingDiner::DrinkEvent ev) {
+        using DrinkEvent = ekbd::drinking::DrinkingDiner::DrinkEvent;
+        if (ev == DrinkEvent::kStartDrinking) {
+          // Ending the drink is an adversarial choice.
+          sim_.schedule(sim_.now(), [d] {
+            if (d->drinking()) d->finish_drinking();
+          });
+        } else if (ev == DrinkEvent::kStopDrinking) {
+          ++drinks_[idx];
+          if (drinks_[idx] < kTargetDrinks) {
+            // Re-thirst (another choice event); retry until the dining
+            // session has drained back to thinking.
+            rethirst(d, peer);
+          }
+        }
+      });
+    };
+    wire(hi_, 1, 0);
+    wire(lo_, 0, 1);
+    sim_.start();
+    hi_->become_thirsty({1});
+    lo_->become_thirsty({0});
+  }
+
+  Simulator& simulator() override { return sim_; }
+
+  std::string check() override {
+    if (hi_->holds_bottle(1) && lo_->holds_bottle(0)) return "bottle duplicated";
+    if (hi_->bottle_conservation_violations() + lo_->bottle_conservation_violations() > 0) {
+      return "bottle conservation violated";
+    }
+    if (hi_->drinking() && lo_->drinking()) {
+      return "shared-bottle co-drinking with a truthful oracle";
+    }
+    if (hi_->holds_fork(1) && lo_->holds_fork(0)) return "fork duplicated";
+    return "";
+  }
+
+  bool done() override { return drinks_[0] >= kTargetDrinks && drinks_[1] >= kTargetDrinks; }
+
+ private:
+  void rethirst(ekbd::drinking::DrinkingDiner* d, ProcessId peer) {
+    sim_.schedule(sim_.now(), [this, d, peer] {
+      if (d->thirsty() || d->drinking()) return;
+      if (!d->thinking()) {
+        rethirst(d, peer);  // the catalyst dining session is still draining
+        return;
+      }
+      d->become_thirsty({peer});
+    });
+  }
+
+  Simulator sim_;
+  ScriptedDetector det_;
+  ekbd::drinking::DrinkingDiner* hi_ = nullptr;
+  ekbd::drinking::DrinkingDiner* lo_ = nullptr;
+  static constexpr int kTargetDrinks = 1;
+  int drinks_[2] = {0, 0};
+};
+
+TEST(ModelCheck, ExhaustiveDrinkingEdge) {
+  Options opt;
+  opt.include_timers = false;  // crash-free drinking progress is message-driven
+  opt.max_depth = 80;
+  opt.max_nodes = 10'000'000;
+  Result r = ekbd::mc::explore([] { return std::make_unique<DrinkingEdgeWorld>(); }, opt);
+  EXPECT_TRUE(r.ok()) << r.violation << " (depth " << r.counterexample.size() << ")";
+  EXPECT_FALSE(r.budget_exhausted) << r.nodes_executed;
+  EXPECT_GT(r.paths_completed, 0u);
+  EXPECT_EQ(r.paths_truncated, 0u);
+}
+
+TEST(ModelCheck, DetectsSeededDeadlock) {
+  // Sanity: the explorer can actually find bugs. A world that never
+  // reaches its goal and has no events is a deadlock.
+  class StuckWorld : public World {
+   public:
+    StuckWorld() : sim_(1, nullptr, ExecMode::kControlled) { sim_.start(); }
+    Simulator& simulator() override { return sim_; }
+    std::string check() override { return ""; }
+    bool done() override { return false; }
+
+   private:
+    Simulator sim_;
+  };
+  Result r = ekbd::mc::explore([] { return std::make_unique<StuckWorld>(); }, Options{});
+  EXPECT_TRUE(r.violation_found);
+  EXPECT_NE(r.violation.find("deadlock"), std::string::npos);
+}
+
+TEST(ModelCheck, DetectsSeededInvariantViolation) {
+  // Sanity: a world whose invariant fails after the 3rd event is caught,
+  // with a counterexample path of length 3.
+  class BadWorld : public World {
+   public:
+    BadWorld() : sim_(1, nullptr, ExecMode::kControlled) {
+      struct Echo : ekbd::sim::Actor {
+        void on_message(const ekbd::sim::Message&) override {}
+        using Actor::send;
+      };
+      auto* a = sim_.make_actor<Echo>();
+      auto* b = sim_.make_actor<Echo>();
+      sim_.start();
+      for (int i = 0; i < 5; ++i) a->send(b->id(), i, ekbd::sim::MsgLayer::kOther);
+    }
+    Simulator& simulator() override { return sim_; }
+    std::string check() override {
+      return sim_.events_processed() >= 3 ? "boom" : "";
+    }
+    bool done() override { return true; }
+
+   private:
+    Simulator sim_;
+  };
+  Result r = ekbd::mc::explore([] { return std::make_unique<BadWorld>(); }, Options{});
+  ASSERT_TRUE(r.violation_found);
+  EXPECT_EQ(r.violation, "boom");
+  EXPECT_EQ(r.counterexample.size(), 3u);
+}
+
+}  // namespace

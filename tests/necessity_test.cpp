@@ -1,0 +1,147 @@
+// Necessity probes: demonstrate that each half of ◇P₁'s contract is
+// load-bearing (the companion result [21] proves ◇P is the weakest
+// detector for wait-free eventually-fair daemons; here we show Algorithm 1
+// degrades in exactly the predicted way when either half is removed).
+#include <gtest/gtest.h>
+
+#include "dining/checkers.hpp"
+#include "fd/lossy.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+
+Config base() {
+  Config cfg;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 120;
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.harness.think_lo = 10;
+  cfg.harness.think_hi = 50;
+  cfg.run_for = 80'000;
+  return cfg;
+}
+
+TEST(LossyWrappers, BlindAndPoisonOverrideInner) {
+  ekbd::fd::NeverSuspect never;
+  ekbd::fd::InaccurateDetector poisoned(never);
+  poisoned.poison(0, 1);
+  EXPECT_TRUE(poisoned.suspects(0, 1));
+  EXPECT_FALSE(poisoned.suspects(1, 0));
+
+  ekbd::fd::IncompleteDetector blinded(poisoned);
+  blinded.blind(0, 1);
+  EXPECT_FALSE(blinded.suspects(0, 1));  // the hole wins
+}
+
+TEST(Necessity, CompletenessHoleCascadesStarvation) {
+  // p2 crashes; p1 alone is blind to it. p1 waits for p2's ack forever —
+  // and, because a continuously hungry process grants each neighbor only
+  // one ack per session, p1's endless session eventually stops feeding
+  // p0, whose endless session stops feeding p5, and so on: ONE blind
+  // edge starves the whole ring through the doorway. (This is why Local
+  // Strong Completeness is stated for *all* correct neighbors.)
+  Config cfg = base();
+  cfg.run_for = 160'000;
+  cfg.crashes = {{2, 8'000}};
+  cfg.blind_pairs = {{1, 2}};
+  Scenario s(cfg);
+  s.run();
+  auto wf = s.wait_freedom(40'000);
+  EXPECT_FALSE(wf.wait_free());
+  bool p1_starves = false;
+  for (auto p : wf.starving) p1_starves |= (p == 1);
+  EXPECT_TRUE(p1_starves) << "the blinded process itself must starve";
+  // The cascade: at least one process that can see p2 perfectly well
+  // starves anyway.
+  EXPECT_GE(wf.starving.size(), 2u);
+}
+
+TEST(Necessity, ControlWithoutHoleIsWaitFree) {
+  Config cfg = base();
+  cfg.crashes = {{2, 8'000}};
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.wait_freedom(20'000).wait_free());
+}
+
+TEST(Necessity, PermanentMutualFalsePositiveBreaksEventualExclusion) {
+  // p0 and p1 (neighbors) suspect each other forever: both bypass acks
+  // and forks for that edge, so they keep eating simultaneously — ◇WX
+  // never stabilizes (violations arbitrarily late in the run).
+  Config cfg = base();
+  cfg.poison_pairs = {{0, 1}, {1, 0}};
+  Scenario s(cfg);
+  s.run();
+  auto ex = s.exclusion();
+  EXPECT_GT(ex.violations.size(), 10u);
+  // Violations persist into the last 20% of the run.
+  EXPECT_GT(ex.last_violation(), cfg.run_for * 8 / 10);
+  // And they are all on the poisoned edge.
+  for (const auto& v : ex.violations) {
+    EXPECT_TRUE((v.a == 0 && v.b == 1) || (v.a == 1 && v.b == 0));
+  }
+}
+
+TEST(Necessity, OneSidedPermanentFalsePositiveIsSurvivable) {
+  // Only p0 permanently suspects p1 (not vice versa). p0 can barge past
+  // p1's ack/fork, so safety mistakes on edge (0,1) can persist; but
+  // nobody starves: progress is preserved.
+  Config cfg = base();
+  cfg.poison_pairs = {{0, 1}};
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.wait_freedom(20'000).wait_free());
+}
+
+TEST(Necessity, OneSidedPoisonIsContainedByOtherDoorways) {
+  // Remarkably, ONE permanently poisoned edge does not blow the fairness
+  // bound: p0 skips p1's ack, but still needs its other neighbor's ack
+  // per doorway entry, and that neighbor's budget throttles p0 like
+  // everyone else. The doorway is robust to a single lying edge.
+  Config cfg = base();
+  cfg.poison_pairs = {{0, 1}};
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 8;
+  cfg.harness.eat_lo = 40;
+  cfg.harness.eat_hi = 100;
+  cfg.run_for = 200'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_LE(ekbd::dining::max_overtakes(s.census(), cfg.run_for / 2), 3);
+}
+
+TEST(Necessity, FullyPoisonedProcessPermanentlyViolatesTwoBound) {
+  // If accuracy fails on EVERY edge of p0 (it permanently suspects both
+  // ring neighbors), p0 needs no acks and no forks: it eats ~3x as often
+  // as anyone else and keeps overtaking its hungry neighbors 3-5 times
+  // per session FOREVER — "eventual" 2-bounded waiting never establishes.
+  Config cfg = base();
+  cfg.poison_pairs = {{0, 1}, {0, 5}};
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 8;
+  cfg.harness.eat_lo = 40;
+  cfg.harness.eat_hi = 100;
+  cfg.run_for = 200'000;
+  Scenario s(cfg);
+  s.run();
+  auto census = s.census();
+  // Still violated in the second half of the run...
+  EXPECT_GT(ekbd::dining::max_overtakes(census, cfg.run_for / 2), 2);
+  // ...and in fact violations never stop: the measured establishment
+  // point of the 2-bound sits in the final stretch of the run.
+  EXPECT_GT(ekbd::dining::k_bound_establishment(census, 2), cfg.run_for * 9 / 10);
+  // The glutton out-eats its victims by a wide margin.
+  const auto meals0 = s.trace().count(ekbd::dining::TraceEventKind::kStartEating, 0);
+  const auto meals1 = s.trace().count(ekbd::dining::TraceEventKind::kStartEating, 1);
+  EXPECT_GT(meals0, 2 * meals1);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// QoS monitor tests: verify the Chen–Toueg–Aguilera metrics against
+// scripted detectors (where every quantity is known exactly) and sanity-
+// check them on the real implementations.
+#include <gtest/gtest.h>
+
+#include "fd/heartbeat.hpp"
+#include "fd/qos.hpp"
+#include "fd/scripted.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::fd::QosMonitor;
+using ekbd::fd::ScriptedDetector;
+using ekbd::sim::Message;
+using ekbd::sim::Simulator;
+
+struct Dummy : ekbd::sim::Actor {
+  void on_message(const Message&) override {}
+};
+
+TEST(Qos, PerfectRunHasPerfectMetrics) {
+  Simulator sim(1);
+  sim.make_actor<Dummy>();
+  sim.make_actor<Dummy>();
+  ScriptedDetector det(sim, 0);
+  QosMonitor mon(sim, det, 0, 1, /*poll=*/5);
+  sim.run_until(10'000);
+  auto r = mon.report();
+  EXPECT_EQ(r.mistakes, 0u);
+  EXPECT_DOUBLE_EQ(r.query_accuracy, 1.0);
+  EXPECT_EQ(r.detection_time, -1);  // no crash
+  EXPECT_GT(mon.polls(), 1'000u);
+}
+
+TEST(Qos, MeasuresScriptedMistakesExactly) {
+  Simulator sim(1);
+  sim.make_actor<Dummy>();
+  sim.make_actor<Dummy>();
+  ScriptedDetector det(sim, 0);
+  det.add_false_positive(0, 1, 1'000, 1'200);  // 200 ticks
+  det.add_false_positive(0, 1, 3'000, 3'400);  // 400 ticks, 2000 apart
+  QosMonitor mon(sim, det, 0, 1, /*poll=*/5);
+  sim.run_until(10'000);
+  auto r = mon.report();
+  EXPECT_EQ(r.mistakes, 2u);
+  ASSERT_EQ(r.mistake_duration.count, 2u);
+  EXPECT_NEAR(r.mistake_duration.mean, 300.0, 10.0);
+  ASSERT_EQ(r.mistake_recurrence.count, 1u);
+  EXPECT_NEAR(r.mistake_recurrence.mean, 2'000.0, 10.0);
+  // 600 of 10000 ticks suspected -> PA ~= 0.94.
+  EXPECT_NEAR(r.query_accuracy, 0.94, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.last_retraction), 3'400.0, 10.0);
+}
+
+TEST(Qos, MeasuresDetectionTime) {
+  Simulator sim(1);
+  sim.make_actor<Dummy>();
+  sim.make_actor<Dummy>();
+  ScriptedDetector det(sim, /*detection_delay=*/250);
+  QosMonitor mon(sim, det, 0, 1, /*poll=*/5);
+  sim.schedule_crash(1, 4'000);
+  sim.run_until(10'000);
+  auto r = mon.report();
+  EXPECT_GE(r.detection_time, 250);
+  EXPECT_LE(r.detection_time, 260);  // + one poll period
+}
+
+TEST(Qos, SuspicionStandingAcrossCrashCountsAsDetection) {
+  // The detector wrongly suspects p1 from t=900; p1 actually crashes at
+  // t=1000 and the suspicion (per completeness) persists. Detection time
+  // is ~0: the crash was "pre-detected".
+  Simulator sim(1);
+  sim.make_actor<Dummy>();
+  sim.make_actor<Dummy>();
+  ScriptedDetector det(sim, 0);
+  det.add_false_positive(0, 1, 900, 1'500);  // overlaps the crash
+  QosMonitor mon(sim, det, 0, 1, /*poll=*/5);
+  sim.schedule_crash(1, 1'000);
+  sim.run_until(5'000);
+  auto r = mon.report();
+  EXPECT_GE(r.detection_time, 0);
+  EXPECT_LE(r.detection_time, 10);
+  EXPECT_EQ(r.mistakes, 1u);  // the pre-crash portion was a mistake
+}
+
+TEST(Qos, RealDetectorsThroughScenario) {
+  // End-to-end: monitor one edge of a running dining system with a real
+  // heartbeat detector; after the crash the detection time must be within
+  // a few periods + timeout.
+  ekbd::scenario::Config cfg;
+  cfg.seed = 5;
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.algorithm = ekbd::scenario::Algorithm::kWaitFree;
+  cfg.detector = ekbd::scenario::DetectorKind::kHeartbeat;
+  cfg.partial_synchrony = true;
+  cfg.delay = {.gst = 5'000, .pre_lo = 1, .pre_hi = 50,
+               .spike_prob = 0.05, .spike_factor = 10,
+               .post_lo = 1, .post_hi = 6};
+  cfg.heartbeat = {.period = 25, .initial_timeout = 40, .timeout_increment = 25};
+  cfg.crashes = {{3, 40'000}};
+  cfg.run_for = 100'000;
+  ekbd::scenario::Scenario s(cfg);
+  QosMonitor mon(s.sim(), s.detector(), /*owner=*/2, /*target=*/3, /*poll=*/5);
+  s.run();
+  auto r = mon.report();
+  ASSERT_GE(r.detection_time, 0) << "crash never detected";
+  // Bound: heartbeat period + grown timeout + scheduling slack.
+  EXPECT_LE(r.detection_time, 1'500);
+  EXPECT_GT(r.query_accuracy, 0.90);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Scenario-builder tests: the declarative Config → execution wiring used
+// by every bench and example.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+
+TEST(Scenario, BuildsRequestedTopologyAndSize) {
+  Config cfg;
+  cfg.topology = "clique";
+  cfg.n = 7;
+  Scenario s(cfg);
+  EXPECT_EQ(s.graph().size(), 7u);
+  EXPECT_EQ(s.graph().num_edges(), 21u);
+  EXPECT_EQ(s.sim().num_processes(), 7u);
+}
+
+TEST(Scenario, ColoringIsProper) {
+  Config cfg;
+  cfg.topology = "random";
+  cfg.n = 15;
+  Scenario s(cfg);
+  EXPECT_TRUE(ekbd::graph::is_proper(s.graph(), s.colors()));
+}
+
+TEST(Scenario, EveryAlgorithmRunsEverywhere) {
+  for (auto algo : {Algorithm::kWaitFree, Algorithm::kChoySingh,
+                    Algorithm::kChoySinghSingleAck, Algorithm::kHierarchical,
+                    Algorithm::kChandyMisra}) {
+    Config cfg;
+    cfg.algorithm = algo;
+    cfg.detector = DetectorKind::kNever;
+    cfg.partial_synchrony = false;
+    cfg.topology = "ring";
+    cfg.n = 5;
+    cfg.run_for = 15'000;
+    Scenario s(cfg);
+    s.run();
+    EXPECT_GT(s.trace().count(ekbd::dining::TraceEventKind::kStartEating), 0u)
+        << ekbd::scenario::to_string(algo);
+  }
+}
+
+TEST(Scenario, WaitFreeDinerAccessorTypechecks) {
+  Config cfg;
+  cfg.algorithm = Algorithm::kWaitFree;
+  Scenario s(cfg);
+  EXPECT_NE(s.wait_free_diner(0), nullptr);
+
+  Config cfg2;
+  cfg2.algorithm = Algorithm::kChandyMisra;
+  Scenario s2(cfg2);
+  EXPECT_EQ(s2.wait_free_diner(0), nullptr);  // not a WaitFreeDiner
+}
+
+TEST(Scenario, ScriptedDetectorExposedWhenSelected) {
+  Config cfg;
+  cfg.detector = DetectorKind::kScripted;
+  Scenario s(cfg);
+  EXPECT_NE(s.scripted_detector(), nullptr);
+  EXPECT_EQ(s.heartbeat_detector(), nullptr);
+}
+
+TEST(Scenario, HeartbeatDetectorExposedWhenSelected) {
+  Config cfg;
+  cfg.detector = DetectorKind::kHeartbeat;
+  Scenario s(cfg);
+  EXPECT_NE(s.heartbeat_detector(), nullptr);
+  EXPECT_EQ(s.scripted_detector(), nullptr);
+}
+
+TEST(Scenario, CrashPlanExecutes) {
+  Config cfg;
+  cfg.topology = "ring";
+  cfg.n = 5;
+  cfg.crashes = {{2, 1'000}, {4, 2'000}};
+  cfg.run_for = 5'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.sim().crashed(2));
+  EXPECT_TRUE(s.sim().crashed(4));
+  EXPECT_FALSE(s.sim().crashed(0));
+  EXPECT_EQ(s.sim().crash_time(2), 1'000);
+  auto ct = s.harness().crash_times();
+  EXPECT_EQ(ct[2], 1'000);
+  EXPECT_EQ(ct[0], -1);
+}
+
+TEST(Scenario, FdConvergenceEstimateForTrivialDetectors) {
+  Config cfg;
+  cfg.detector = DetectorKind::kPerfect;
+  Scenario s(cfg);
+  EXPECT_EQ(s.fd_convergence_estimate(), 0);
+}
+
+TEST(Scenario, FalsePositiveGenerationRespectsWindow) {
+  Config cfg;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.fp_count = 25;
+  cfg.fp_until = 3'000;
+  cfg.fp_len_lo = 10;
+  cfg.fp_len_hi = 100;
+  Scenario s(cfg);
+  EXPECT_LE(s.scripted_detector()->last_false_positive_end(), 3'000 + 100);
+  EXPECT_GT(s.scripted_detector()->last_false_positive_end(), 0);
+}
+
+TEST(Scenario, IncrementalDriving) {
+  Config cfg;
+  cfg.topology = "ring";
+  cfg.n = 5;
+  Scenario s(cfg);
+  s.run_until(1'000);
+  auto count1 = s.trace().size();
+  s.run_until(10'000);
+  EXPECT_GT(s.trace().size(), count1);
+}
+
+TEST(Scenario, AlgorithmNamesRoundTrip) {
+  EXPECT_EQ(ekbd::scenario::to_string(Algorithm::kWaitFree), "waitfree(Alg.1)");
+  EXPECT_EQ(ekbd::scenario::to_string(Algorithm::kChandyMisra), "chandy-misra");
+  EXPECT_EQ(ekbd::scenario::to_string(DetectorKind::kHeartbeat), "heartbeat-<>P1");
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Stress tests: larger systems, heavier contention, crash storms, longer
+// horizons — the scale end of the validation spectrum (still only a few
+// seconds total; the simulator pushes millions of events per second).
+#include <gtest/gtest.h>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::dining::TraceEventKind;
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::sim::MsgLayer;
+using ekbd::sim::Time;
+
+TEST(Stress, LargeRingFullPropertySet) {
+  Config cfg;
+  cfg.seed = 71;
+  cfg.topology = "ring";
+  cfg.n = 96;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 120;
+  cfg.fp_count = 200;
+  cfg.fp_until = 10'000;
+  cfg.harness.think_lo = 5;
+  cfg.harness.think_hi = 40;
+  for (int i = 0; i < 12; ++i) {
+    cfg.crashes.emplace_back(i * 8, 12'000 + static_cast<Time>(i) * 2'000);
+  }
+  cfg.run_for = 90'000;
+  Scenario s(cfg);
+  s.run();
+  const Time conv = s.fd_convergence_estimate();
+  EXPECT_TRUE(s.wait_freedom(20'000).wait_free());
+  EXPECT_EQ(s.exclusion().violations_after(conv), 0u);
+  EXPECT_LE(ekbd::dining::max_overtakes(s.census(), conv), 2);
+  EXPECT_LE(s.sim().network().max_in_transit_any(MsgLayer::kDining), 4);
+  EXPECT_GT(s.trace().count(TraceEventKind::kStartEating), 10'000u);
+}
+
+TEST(Stress, CrashStormHalvesClique) {
+  // 10 of 20 clique members die within 2k ticks of each other.
+  Config cfg;
+  cfg.seed = 72;
+  cfg.topology = "clique";
+  cfg.n = 20;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.detection_delay = 150;
+  for (int i = 0; i < 10; ++i) {
+    cfg.crashes.emplace_back(i, 15'000 + static_cast<Time>(i) * 200);
+  }
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.wait_freedom(20'000).wait_free());
+  // Survivors actually benefit: contention halves.
+  std::size_t meals_late = 0;
+  for (const auto& e : s.trace().events()) {
+    if (e.kind == TraceEventKind::kStartEating && e.at > 30'000) ++meals_late;
+  }
+  EXPECT_GT(meals_late, 200u);
+}
+
+TEST(Stress, SaturatedRandomGraphLongHaul) {
+  Config cfg;
+  cfg.seed = 73;
+  cfg.topology = "random";
+  cfg.n = 40;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.fp_count = 120;
+  cfg.fp_until = 15'000;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 10;
+  cfg.harness.eat_lo = 30;
+  cfg.harness.eat_hi = 80;
+  cfg.crashes = {{5, 20'000}, {17, 40'000}, {33, 60'000}};
+  cfg.run_for = 150'000;
+  Scenario s(cfg);
+  s.run();
+  const Time conv = s.fd_convergence_estimate();
+  EXPECT_TRUE(s.wait_freedom(30'000).wait_free());
+  EXPECT_EQ(s.exclusion().violations_after(conv), 0u);
+  EXPECT_LE(ekbd::dining::max_overtakes(s.census(), conv), 2);
+  for (const auto& [victim, at] : cfg.crashes) {
+    EXPECT_LE(s.sim().network().sends_to_crashed(victim, MsgLayer::kDining),
+              4u * s.graph().degree(victim));
+  }
+}
+
+TEST(Stress, HeartbeatDetectorAtScale) {
+  Config cfg;
+  cfg.seed = 74;
+  cfg.topology = "grid";
+  cfg.n = 36;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.partial_synchrony = true;
+  cfg.delay = {.gst = 15'000, .pre_lo = 1, .pre_hi = 100,
+               .spike_prob = 0.08, .spike_factor = 20,
+               .post_lo = 1, .post_hi = 6};
+  cfg.heartbeat = {.period = 25, .initial_timeout = 40, .timeout_increment = 30};
+  cfg.crashes = {{14, 50'000}, {21, 70'000}};
+  cfg.run_for = 160'000;
+  Scenario s(cfg);
+  s.run();
+  const Time conv = s.fd_convergence_estimate();
+  EXPECT_TRUE(s.wait_freedom(35'000).wait_free());
+  EXPECT_EQ(s.exclusion().violations_after(conv), 0u);
+  EXPECT_LE(s.sim().network().max_in_transit_any(MsgLayer::kDining), 4);
+}
+
+TEST(Stress, AllCorrectProcessesHungryForeverNeverDeadlocks) {
+  // Everyone permanently contending (think time ~0) on a clique — the
+  // highest-pressure configuration for the doorway; throughput must stay
+  // healthy for the entire run (no progressive slowdown / livelock).
+  Config cfg;
+  cfg.seed = 75;
+  cfg.topology = "clique";
+  cfg.n = 10;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.harness.think_lo = 1;
+  cfg.harness.think_hi = 2;
+  cfg.harness.eat_lo = 5;
+  cfg.harness.eat_hi = 10;
+  cfg.run_for = 200'000;
+  Scenario s(cfg);
+  s.run();
+  // Meals in the last quarter of the run vs the second quarter: no decay.
+  std::size_t q2 = 0, q4 = 0;
+  for (const auto& e : s.trace().events()) {
+    if (e.kind != TraceEventKind::kStartEating) continue;
+    if (e.at >= 50'000 && e.at < 100'000) ++q2;
+    if (e.at >= 150'000) ++q4;
+  }
+  EXPECT_GT(q2, 500u);
+  EXPECT_GT(q4 * 10, q2 * 8) << "throughput decayed late in the run";
+  EXPECT_TRUE(s.exclusion().violations.empty());
+}
+
+}  // namespace

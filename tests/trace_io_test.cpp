@@ -1,0 +1,116 @@
+// Trace JSONL export/import tests: round trips, tooling compatibility,
+// malformed-input rejection, and checker equivalence on imported traces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "dining/checkers.hpp"
+#include "dining/trace_io.hpp"
+#include "graph/topology.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::dining::from_jsonl;
+using ekbd::dining::to_jsonl;
+using ekbd::dining::Trace;
+using ekbd::dining::TraceEventKind;
+
+Trace sample_trace() {
+  Trace t;
+  t.record(10, 0, TraceEventKind::kBecameHungry);
+  t.record(12, 0, TraceEventKind::kEnteredDoorway);
+  t.record(15, 0, TraceEventKind::kStartEating);
+  t.record(20, 0, TraceEventKind::kStopEating);
+  t.record(25, 1, TraceEventKind::kBecameHungry);
+  t.record(30, 1, TraceEventKind::kCrashed);
+  t.set_end_time(100);
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  Trace original = sample_trace();
+  Trace copy = from_jsonl(to_jsonl(original));
+  ASSERT_EQ(copy.size(), original.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy.events()[i].at, original.events()[i].at);
+    EXPECT_EQ(copy.events()[i].process, original.events()[i].process);
+    EXPECT_EQ(copy.events()[i].kind, original.events()[i].kind);
+  }
+  EXPECT_EQ(copy.end_time(), 100);
+}
+
+TEST(TraceIo, FormatIsOneJsonObjectPerLine) {
+  std::string jsonl = to_jsonl(sample_trace());
+  EXPECT_NE(jsonl.find("{\"t\":10,\"p\":0,\"e\":\"hungry\"}"), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"t\":30,\"p\":1,\"e\":\"crash\"}"), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"end_time\":100}"), std::string::npos);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.set_end_time(7);
+  Trace copy = from_jsonl(to_jsonl(empty));
+  EXPECT_TRUE(copy.empty());
+  EXPECT_EQ(copy.end_time(), 7);
+}
+
+TEST(TraceIo, RejectsMissingFields) {
+  EXPECT_THROW((void)from_jsonl("{\"t\":1,\"p\":0}\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_jsonl("{\"t\":1,\"e\":\"eat\"}\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_jsonl("{\"p\":1,\"e\":\"eat\"}\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsUnknownKind) {
+  EXPECT_THROW((void)from_jsonl("{\"t\":1,\"p\":0,\"e\":\"nap\"}\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsOutOfOrderEvents) {
+  EXPECT_THROW((void)from_jsonl("{\"t\":5,\"p\":0,\"e\":\"eat\"}\n"
+                                "{\"t\":3,\"p\":1,\"e\":\"eat\"}\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, BlankLinesIgnored) {
+  Trace t = from_jsonl("\n{\"t\":1,\"p\":0,\"e\":\"eat\"}\n\n");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/ekbd_trace_io_test.jsonl";
+  ASSERT_TRUE(ekbd::dining::write_jsonl_file(sample_trace(), path));
+  Trace copy = ekbd::dining::read_jsonl_file(path);
+  EXPECT_EQ(copy.size(), sample_trace().size());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ekbd::dining::read_jsonl_file(path), std::invalid_argument);
+}
+
+TEST(TraceIo, ImportedTraceCheckersMatchLiveOnes) {
+  // Run a real scenario, export+import the trace, and verify the property
+  // checkers produce identical reports.
+  ekbd::scenario::Config cfg;
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.fp_count = 20;
+  cfg.fp_until = 8'000;
+  cfg.partial_synchrony = false;
+  cfg.run_for = 30'000;
+  ekbd::scenario::Scenario s(cfg);
+  s.run();
+
+  Trace imported = from_jsonl(to_jsonl(s.trace()));
+
+  auto live_ex = ekbd::dining::check_exclusion(s.trace(), s.graph());
+  auto imp_ex = ekbd::dining::check_exclusion(imported, s.graph());
+  EXPECT_EQ(live_ex.violations.size(), imp_ex.violations.size());
+  EXPECT_EQ(live_ex.last_violation(), imp_ex.last_violation());
+
+  auto live_census = ekbd::dining::overtake_census(s.trace(), s.graph());
+  auto imp_census = ekbd::dining::overtake_census(imported, s.graph());
+  EXPECT_EQ(ekbd::dining::max_overtakes(live_census, 0),
+            ekbd::dining::max_overtakes(imp_census, 0));
+  EXPECT_EQ(live_census.size(), imp_census.size());
+}
+
+}  // namespace

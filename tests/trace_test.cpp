@@ -1,0 +1,110 @@
+// Trace and hungry-session extraction tests.
+#include <gtest/gtest.h>
+
+#include "dining/trace.hpp"
+
+namespace {
+
+using ekbd::dining::HungrySession;
+using ekbd::dining::Trace;
+using ekbd::dining::TraceEventKind;
+
+TEST(Trace, RecordAndCount) {
+  Trace t;
+  t.record(1, 0, TraceEventKind::kBecameHungry);
+  t.record(5, 0, TraceEventKind::kStartEating);
+  t.record(9, 0, TraceEventKind::kStopEating);
+  t.record(10, 1, TraceEventKind::kBecameHungry);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.count(TraceEventKind::kBecameHungry), 2u);
+  EXPECT_EQ(t.count(TraceEventKind::kBecameHungry, 0), 1u);
+  EXPECT_EQ(t.count(TraceEventKind::kStartEating, 1), 0u);
+}
+
+TEST(Trace, EndTimeDefaultsToLastEvent) {
+  Trace t;
+  EXPECT_EQ(t.end_time(), 0);
+  t.record(7, 0, TraceEventKind::kBecameHungry);
+  EXPECT_EQ(t.end_time(), 7);
+  t.set_end_time(100);
+  EXPECT_EQ(t.end_time(), 100);
+}
+
+TEST(Trace, ToStringTruncates) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.record(i, 0, TraceEventKind::kBecameHungry);
+  auto s = t.to_string(3);
+  EXPECT_NE(s.find("7 more"), std::string::npos);
+}
+
+TEST(HungrySessions, CompleteSession) {
+  Trace t;
+  t.record(10, 0, TraceEventKind::kBecameHungry);
+  t.record(15, 0, TraceEventKind::kEnteredDoorway);
+  t.record(20, 0, TraceEventKind::kStartEating);
+  t.record(30, 0, TraceEventKind::kStopEating);
+  auto ss = hungry_sessions(t);
+  ASSERT_EQ(ss.size(), 1u);
+  EXPECT_EQ(ss[0].process, 0);
+  EXPECT_EQ(ss[0].became_hungry, 10);
+  EXPECT_EQ(ss[0].entered_doorway, 15);
+  EXPECT_EQ(ss[0].started_eating, 20);
+  EXPECT_TRUE(ss[0].completed());
+  EXPECT_EQ(ss[0].response_time(), 10);
+  EXPECT_FALSE(ss[0].crashed_during);
+}
+
+TEST(HungrySessions, OpenSessionClippedAtHorizon) {
+  Trace t;
+  t.record(10, 0, TraceEventKind::kBecameHungry);
+  t.set_end_time(500);
+  auto ss = hungry_sessions(t);
+  ASSERT_EQ(ss.size(), 1u);
+  EXPECT_FALSE(ss[0].completed());
+  EXPECT_EQ(ss[0].ended, 500);
+}
+
+TEST(HungrySessions, CrashDuringHungerMarked) {
+  Trace t;
+  t.record(10, 0, TraceEventKind::kBecameHungry);
+  t.record(40, 0, TraceEventKind::kCrashed);
+  auto ss = hungry_sessions(t);
+  ASSERT_EQ(ss.size(), 1u);
+  EXPECT_TRUE(ss[0].crashed_during);
+  EXPECT_EQ(ss[0].ended, 40);
+  EXPECT_FALSE(ss[0].completed());
+}
+
+TEST(HungrySessions, MultipleSessionsPerProcess) {
+  Trace t;
+  t.record(10, 0, TraceEventKind::kBecameHungry);
+  t.record(20, 0, TraceEventKind::kStartEating);
+  t.record(25, 0, TraceEventKind::kStopEating);
+  t.record(40, 0, TraceEventKind::kBecameHungry);
+  t.record(90, 0, TraceEventKind::kStartEating);
+  auto ss = hungry_sessions(t);
+  ASSERT_EQ(ss.size(), 2u);
+  EXPECT_EQ(ss[0].response_time(), 10);
+  EXPECT_EQ(ss[1].response_time(), 50);
+}
+
+TEST(HungrySessions, InterleavedProcessesSortedByStart) {
+  Trace t;
+  t.record(10, 2, TraceEventKind::kBecameHungry);
+  t.record(12, 1, TraceEventKind::kBecameHungry);
+  t.record(20, 1, TraceEventKind::kStartEating);
+  t.record(30, 2, TraceEventKind::kStartEating);
+  auto ss = hungry_sessions(t);
+  ASSERT_EQ(ss.size(), 2u);
+  EXPECT_EQ(ss[0].process, 2);
+  EXPECT_EQ(ss[1].process, 1);
+}
+
+TEST(EnumToString, CoversAll) {
+  EXPECT_EQ(ekbd::dining::to_string(ekbd::dining::DinerState::kThinking), "thinking");
+  EXPECT_EQ(ekbd::dining::to_string(ekbd::dining::DinerState::kHungry), "hungry");
+  EXPECT_EQ(ekbd::dining::to_string(ekbd::dining::DinerState::kEating), "eating");
+  EXPECT_EQ(ekbd::dining::to_string(TraceEventKind::kCrashed), "crash");
+}
+
+}  // namespace

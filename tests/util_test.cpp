@@ -1,0 +1,123 @@
+// Unit tests for util/stats and util/table.
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ekbd::util::Histogram;
+using ekbd::util::Summary;
+using ekbd::util::Table;
+
+TEST(Stats, EmptySampleIsAllZero) {
+  Summary s = ekbd::util::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  Summary s = ekbd::util::summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  Summary s = ekbd::util::summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);  // nearest-rank
+  EXPECT_DOUBLE_EQ(s.p95, 10.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile(xs, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile(xs, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(ekbd::util::mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::mean({}), 0.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  Summary s = ekbd::util::summarize({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryToStringMentionsFields) {
+  Summary s = ekbd::util::summarize({1, 2, 3});
+  std::string str = s.to_string();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bucket
+  h.add(100.0);   // clamps into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets().front(), 2u);
+  EXPECT_EQ(h.buckets().back(), 2u);
+}
+
+TEST(Histogram, SparklineWidthMatchesBuckets) {
+  Histogram h(0.0, 1.0, 8);
+  for (int i = 0; i < 100; ++i) h.add(0.5);
+  // Sparkline glyphs are multi-byte UTF-8; check bucket count via the
+  // buckets accessor and non-empty rendering instead of byte length.
+  EXPECT_EQ(h.buckets().size(), 8u);
+  EXPECT_FALSE(h.sparkline().empty());
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1);
+  t.row().cell("beta").cell(2.5, 1);
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"x"});
+  t.row().cell("short");
+  t.row().cell("a-much-longer-cell");
+  std::string s = t.to_string();
+  // Every line has the same display length.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, BoolAndIntegerCells) {
+  Table t({"a", "b", "c"});
+  t.row().cell(true).cell(std::int64_t{-5}).cell(std::uint64_t{7});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("yes"), std::string::npos);
+  EXPECT_NE(s.find("-5"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,451 @@
+// Algorithm 1 tests: unit scenarios for each action plus the paper's
+// lemmas/theorems on directed executions.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using ekbd::dining::TraceEventKind;
+using ekbd::scenario::Algorithm;
+using ekbd::scenario::Config;
+using ekbd::scenario::DetectorKind;
+using ekbd::scenario::Scenario;
+using ekbd::sim::Time;
+
+Config base_config() {
+  Config cfg;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kScripted;
+  cfg.partial_synchrony = false;
+  cfg.uniform_delay_lo = 1;
+  cfg.uniform_delay_hi = 10;
+  cfg.run_for = 30'000;
+  return cfg;
+}
+
+/// Install a periodic global invariant check (every `period` ticks).
+void sample_invariant(Scenario& s, Time period, const std::function<void()>& check) {
+  auto& sim = s.sim();
+  auto recur = std::make_shared<std::function<void()>>();
+  *recur = [&sim, period, check, recur] {
+    check();
+    sim.schedule_in(period, *recur);
+  };
+  sim.schedule_in(period, *recur);
+}
+
+TEST(WaitFree, TwoNeighborsBothEatRepeatedly) {
+  Config cfg = base_config();
+  cfg.topology = "path";
+  cfg.n = 2;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_GE(s.trace().count(TraceEventKind::kStartEating, 0), 5u);
+  EXPECT_GE(s.trace().count(TraceEventKind::kStartEating, 1), 5u);
+  EXPECT_TRUE(s.exclusion().violations.empty());
+}
+
+TEST(WaitFree, IsolatedProcessEatsImmediately) {
+  Config cfg = base_config();
+  cfg.topology = "path";
+  cfg.n = 1;  // no neighbors: the doorway and fork guards are vacuous
+  Scenario s(cfg);
+  s.run();
+  EXPECT_GE(s.trace().count(TraceEventKind::kStartEating, 0), 10u);
+}
+
+TEST(WaitFree, EveryHungrySessionEntersDoorwayBeforeEating) {
+  Config cfg = base_config();
+  cfg.topology = "ring";
+  cfg.n = 6;
+  Scenario s(cfg);
+  s.run();
+  for (const auto& sess : hungry_sessions(s.trace())) {
+    if (sess.completed()) {
+      ASSERT_GE(sess.entered_doorway, 0) << "ate without passing the doorway";
+      EXPECT_LE(sess.entered_doorway, sess.started_eating);
+      EXPECT_GE(sess.entered_doorway, sess.became_hungry);
+    }
+  }
+}
+
+TEST(WaitFree, NoViolationsWithoutFalseSuspicions) {
+  // Scripted detector with zero false positives and no crashes = perpetual
+  // weak exclusion (mistakes only come from detector mistakes).
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    Config cfg = base_config();
+    cfg.seed = seed;
+    cfg.topology = "clique";
+    cfg.n = 6;
+    Scenario s(cfg);
+    s.run();
+    EXPECT_TRUE(s.exclusion().violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST(WaitFree, SurvivesCrashOfForkHolderNeighbor) {
+  // path(2): one process holds the shared fork initially. Crash each role
+  // in turn; the survivor must keep eating (wait-freedom).
+  for (ekbd::sim::ProcessId victim : {0, 1}) {
+    Config cfg = base_config();
+    cfg.topology = "path";
+    cfg.n = 2;
+    cfg.detection_delay = 200;
+    cfg.crashes = {{victim, 2'000}};
+    Scenario s(cfg);
+    s.run();
+    const ekbd::sim::ProcessId survivor = 1 - victim;
+    auto wf = s.wait_freedom(5'000);
+    EXPECT_TRUE(wf.wait_free()) << "victim " << victim;
+    // The survivor kept eating after the crash + detection delay.
+    std::size_t eats_after = 0;
+    for (const auto& e : s.trace().events()) {
+      if (e.kind == TraceEventKind::kStartEating && e.process == survivor && e.at > 3'000) {
+        ++eats_after;
+      }
+    }
+    EXPECT_GE(eats_after, 5u) << "victim " << victim;
+  }
+}
+
+TEST(WaitFree, SurvivesManySimultaneousCrashes) {
+  // Arbitrarily many crash faults: crash all but one in a clique at once.
+  Config cfg = base_config();
+  cfg.topology = "clique";
+  cfg.n = 6;
+  cfg.detection_delay = 150;
+  for (int p = 1; p < 6; ++p) cfg.crashes.emplace_back(p, 3'000);
+  Scenario s(cfg);
+  s.run();
+  auto wf = s.wait_freedom(6'000);
+  EXPECT_TRUE(wf.wait_free());
+  std::size_t eats_after = 0;
+  for (const auto& e : s.trace().events()) {
+    if (e.kind == TraceEventKind::kStartEating && e.process == 0 && e.at > 4'000) ++eats_after;
+  }
+  EXPECT_GE(eats_after, 10u);
+}
+
+TEST(WaitFree, ForkNeverDoubleHeld) {
+  // Lemma 1.2 (fork uniqueness), sampled throughout a chaotic run.
+  Config cfg = base_config();
+  cfg.topology = "random";
+  cfg.n = 10;
+  cfg.fp_count = 30;
+  cfg.fp_until = 10'000;
+  cfg.detection_delay = 100;
+  cfg.crashes = {{2, 8'000}};
+  Scenario s(cfg);
+  sample_invariant(s, 50, [&] {
+    for (const auto& [a, b] : s.graph().edges()) {
+      auto* da = s.wait_free_diner(a);
+      auto* db = s.wait_free_diner(b);
+      EXPECT_FALSE(da->holds_fork(b) && db->holds_fork(a))
+          << "edge (" << a << "," << b << ") fork duplicated at t=" << s.sim().now();
+    }
+  });
+  s.run();
+}
+
+TEST(WaitFree, TokenNeverDoubleHeld) {
+  Config cfg = base_config();
+  cfg.topology = "grid";
+  cfg.n = 9;
+  cfg.fp_count = 20;
+  cfg.fp_until = 8'000;
+  Scenario s(cfg);
+  sample_invariant(s, 50, [&] {
+    for (const auto& [a, b] : s.graph().edges()) {
+      EXPECT_FALSE(s.wait_free_diner(a)->holds_token(b) && s.wait_free_diner(b)->holds_token(a))
+          << "edge (" << a << "," << b << ") token duplicated at t=" << s.sim().now();
+    }
+  });
+  s.run();
+}
+
+TEST(WaitFree, Lemma11NeverViolated) {
+  // A fork request must always find the fork at the receiver.
+  Config cfg = base_config();
+  cfg.topology = "clique";
+  cfg.n = 8;
+  cfg.fp_count = 40;
+  cfg.fp_until = 12'000;
+  cfg.crashes = {{1, 6'000}, {5, 9'000}};
+  Scenario s(cfg);
+  s.run();
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    EXPECT_EQ(s.wait_free_diner(static_cast<int>(p))->lemma11_violations(), 0u);
+  }
+}
+
+TEST(WaitFree, Lemma22AtMostOnePendingPing) {
+  // pinged_ij true means exactly one outstanding ping; the channel books
+  // corroborate: never more than 2 ping/acks between a pair, never more
+  // than 4 dining messages total (§7) — checked in the channel test below.
+  Config cfg = base_config();
+  cfg.topology = "ring";
+  cfg.n = 8;
+  Scenario s(cfg);
+  sample_invariant(s, 100, [&] {
+    for (const auto& [a, b] : s.graph().edges()) {
+      // No way to have two pings in flight: pinged is cleared only by the
+      // matching ack. We approximate the lemma by asserting the dining
+      // in-transit count per pair never exceeds 4 (1 fork + 1 token + 2
+      // ping/ack), which fails if pings could pile up.
+      auto cs = s.sim().network().channel(a, b, ekbd::sim::MsgLayer::kDining);
+      EXPECT_LE(cs.in_transit, 4);
+    }
+  });
+  s.run();
+}
+
+TEST(WaitFree, ChannelCapacityAtMostFour) {
+  // §7: at most 4 dining messages in transit per neighbor pair, measured
+  // as the all-run high-water mark over every pair, under chaos.
+  for (const char* topo : {"ring", "clique", "star", "grid"}) {
+    Config cfg = base_config();
+    cfg.topology = topo;
+    cfg.n = 9;
+    cfg.fp_count = 25;
+    cfg.fp_until = 10'000;
+    cfg.crashes = {{3, 7'000}};
+    Scenario s(cfg);
+    s.run();
+    EXPECT_LE(s.sim().network().max_in_transit_any(ekbd::sim::MsgLayer::kDining), 4)
+        << topo;
+  }
+}
+
+TEST(WaitFree, QuiescenceTowardsCrashedNeighbor) {
+  // §7: eventually no dining messages are sent to a crashed process.
+  Config cfg = base_config();
+  cfg.topology = "star";
+  cfg.n = 6;
+  cfg.detection_delay = 100;
+  cfg.crashes = {{0, 5'000}};  // the hub crashes
+  cfg.run_for = 60'000;
+  Scenario s(cfg);
+  s.run();
+  const Time last = s.sim().network().last_send_to(0, ekbd::sim::MsgLayer::kDining);
+  // After the crash, each neighbor sends at most one ping and one fork
+  // request that go unanswered; all of that happens shortly after the
+  // crash, not for the remaining ~50k ticks.
+  EXPECT_LT(last, 15'000);
+  // And the number of messages addressed to the corpse is tiny (<= 2 per
+  // neighbor: one ping + one fork request/token).
+  EXPECT_LE(s.sim().network().sends_to_crashed(0, ekbd::sim::MsgLayer::kDining),
+            2u * (cfg.n - 1));
+}
+
+TEST(WaitFree, Theorem1EventualWeakExclusion) {
+  // Scripted mutual false positives force early violations; after the
+  // last scripted lie ends, no two live neighbors ever eat together.
+  Config cfg = base_config();
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.fp_count = 60;
+  cfg.fp_until = 15'000;
+  cfg.fp_len_lo = 100;
+  cfg.fp_len_hi = 400;
+  cfg.harness.think_lo = 10;  // high contention
+  cfg.harness.think_hi = 50;
+  cfg.run_for = 80'000;
+  Scenario s(cfg);
+  s.run();
+  auto ex = s.exclusion();
+  const Time converged = s.fd_convergence_estimate();
+  // Non-vacuous: the adversarial oracle must have caused real mistakes...
+  EXPECT_GT(ex.violations.size(), 0u) << "scenario failed to exercise 3WX";
+  // ...and every one of them predates convergence (Theorem 1).
+  EXPECT_EQ(ex.violations_after(converged), 0u)
+      << "violations after detector convergence at " << converged;
+}
+
+TEST(WaitFree, Theorem2WaitFreedomUnderChaos) {
+  for (std::uint64_t seed : {3ull, 11ull, 42ull}) {
+    Config cfg = base_config();
+    cfg.seed = seed;
+    cfg.topology = "random";
+    cfg.n = 12;
+    cfg.fp_count = 30;
+    cfg.fp_until = 10'000;
+    cfg.detection_delay = 150;
+    cfg.crashes = {{1, 4'000}, {6, 9'000}, {9, 14'000}};
+    cfg.run_for = 60'000;
+    Scenario s(cfg);
+    s.run();
+    auto wf = s.wait_freedom(10'000);
+    EXPECT_TRUE(wf.wait_free())
+        << "seed " << seed << ": starving processes despite crashes";
+    EXPECT_GT(wf.sessions_completed, 0u);
+  }
+}
+
+TEST(WaitFree, Theorem3EventualTwoBoundedWaiting) {
+  // High contention, scripted chaos early on; after convergence no
+  // neighbor overtakes a continuously hungry process more than twice.
+  for (std::uint64_t seed : {5ull, 17ull}) {
+    Config cfg = base_config();
+    cfg.seed = seed;
+    cfg.topology = "ring";
+    cfg.n = 8;
+    cfg.fp_count = 40;
+    cfg.fp_until = 10'000;
+    cfg.harness.think_lo = 5;
+    cfg.harness.think_hi = 30;  // everyone re-hungers almost immediately
+    cfg.run_for = 100'000;
+    Scenario s(cfg);
+    s.run();
+    auto census = s.census();
+    const Time converged = s.fd_convergence_estimate();
+    EXPECT_LE(ekbd::dining::max_overtakes(census, converged), 2)
+        << "seed " << seed << " (convergence at " << converged << ")";
+  }
+}
+
+TEST(WaitFree, DeferredAcksGrantedAfterEating) {
+  // Run and verify replied/deferred bookkeeping drains: at the end (after
+  // hunger stops) nobody still owes a deferred ack while thinking.
+  Config cfg = base_config();
+  cfg.topology = "ring";
+  cfg.n = 6;
+  cfg.run_for = 40'000;
+  Scenario s(cfg);
+  s.harness().stop_hunger_after(25'000);
+  s.run();
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    auto* d = s.wait_free_diner(static_cast<int>(p));
+    if (d->thinking()) {
+      for (auto j : d->diner_neighbors()) {
+        EXPECT_FALSE(d->has_deferred_ping_from(j))
+            << p << " still defers a ping from " << j << " while thinking";
+      }
+    }
+  }
+}
+
+TEST(WaitFree, DrainsToQuiescenceWhenHungerStops) {
+  // Once no process becomes hungry anymore, everyone finishes and the
+  // dining layer goes silent (messages stop).
+  Config cfg = base_config();
+  cfg.topology = "clique";
+  cfg.n = 6;
+  cfg.run_for = 60'000;
+  Scenario s(cfg);
+  s.harness().stop_hunger_after(20'000);
+  s.run();
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    EXPECT_TRUE(s.diner(static_cast<int>(p))->thinking()) << p;
+  }
+  // No dining sends in the last stretch of the run.
+  Time last_dining_send = -1;
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    last_dining_send = std::max(
+        last_dining_send,
+        s.sim().network().last_send_to(static_cast<int>(p), ekbd::sim::MsgLayer::kDining));
+  }
+  EXPECT_LT(last_dining_send, 30'000);
+}
+
+TEST(WaitFree, StateBitsMatchPaperFormula) {
+  Config cfg = base_config();
+  cfg.topology = "clique";
+  cfg.n = 8;
+  Scenario s(cfg);
+  for (std::size_t p = 0; p < cfg.n; ++p) {
+    auto* d = s.wait_free_diner(static_cast<int>(p));
+    const std::size_t delta = s.graph().degree(static_cast<int>(p));
+    // log2(color) + 6δ + c with a small constant c.
+    EXPECT_LE(d->state_bits(), 8 + 6 * delta + 3);
+    EXPECT_GE(d->state_bits(), 6 * delta);
+  }
+}
+
+TEST(WaitFree, MessageCountsAreBounded) {
+  // Per completed session, the algorithm exchanges O(δ) messages: at most
+  // one ping+ack and one request+fork per neighbor per phase transition.
+  Config cfg = base_config();
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.run_for = 50'000;
+  Scenario s(cfg);
+  s.run();
+  std::uint64_t eats = s.trace().count(TraceEventKind::kStartEating);
+  std::uint64_t dining_msgs = s.sim().network().total_sent(ekbd::sim::MsgLayer::kDining);
+  ASSERT_GT(eats, 0u);
+  // Ring δ = 2: generous bound of 16 messages per eating session amortized.
+  EXPECT_LT(dining_msgs, eats * 16 + 100);
+}
+
+TEST(WaitFree, DeterministicTraceForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Config cfg = base_config();
+    cfg.seed = seed;
+    cfg.topology = "grid";
+    cfg.n = 9;
+    cfg.fp_count = 10;
+    cfg.fp_until = 5'000;
+    Scenario s(cfg);
+    s.run();
+    std::vector<std::tuple<Time, int, int>> events;
+    for (const auto& e : s.trace().events()) {
+      events.emplace_back(e.at, e.process, static_cast<int>(e.kind));
+    }
+    return events;
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(run_once(99), run_once(100));
+}
+
+TEST(WaitFree, HeartbeatDetectorEndToEnd) {
+  // The full stack: real heartbeats under partial synchrony, crashes, and
+  // all three theorems checked on one execution.
+  Config cfg;
+  cfg.algorithm = Algorithm::kWaitFree;
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.partial_synchrony = true;
+  cfg.delay = {.gst = 10'000, .pre_lo = 1, .pre_hi = 120,
+               .spike_prob = 0.10, .spike_factor = 25,
+               .post_lo = 1, .post_hi = 6};
+  cfg.heartbeat = {.period = 25, .initial_timeout = 40, .timeout_increment = 30};
+  cfg.topology = "ring";
+  cfg.n = 8;
+  cfg.crashes = {{2, 30'000}};
+  cfg.run_for = 150'000;
+  Scenario s(cfg);
+  s.run();
+
+  auto wf = s.wait_freedom(25'000);
+  EXPECT_TRUE(wf.wait_free());
+
+  auto ex = s.exclusion();
+  const Time converged = s.fd_convergence_estimate();
+  EXPECT_EQ(ex.violations_after(converged), 0u);
+
+  EXPECT_LE(ekbd::dining::max_overtakes(s.census(), converged), 2);
+
+  // The dining layer respects the channel bound even with heartbeats
+  // flowing on their own layer.
+  EXPECT_LE(s.sim().network().max_in_transit_any(ekbd::sim::MsgLayer::kDining), 4);
+}
+
+TEST(WaitFree, PerfectDetectorNeverViolates) {
+  // Ablation: with a perfect oracle there are no scheduling mistakes at
+  // all (perpetual weak exclusion), even with crashes mid-meal.
+  Config cfg = base_config();
+  cfg.detector = DetectorKind::kPerfect;
+  cfg.topology = "clique";
+  cfg.n = 7;
+  cfg.crashes = {{0, 5'000}, {3, 10'000}};
+  cfg.run_for = 60'000;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_TRUE(s.exclusion().violations.empty());
+  EXPECT_TRUE(s.wait_freedom(10'000).wait_free());
+}
+
+}  // namespace
