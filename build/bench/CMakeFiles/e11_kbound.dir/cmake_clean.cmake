@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_kbound.dir/e11_kbound.cpp.o"
+  "CMakeFiles/e11_kbound.dir/e11_kbound.cpp.o.d"
+  "e11_kbound"
+  "e11_kbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_kbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_necessity.dir/e12_necessity.cpp.o"
+  "CMakeFiles/e12_necessity.dir/e12_necessity.cpp.o.d"
+  "e12_necessity"
+  "e12_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

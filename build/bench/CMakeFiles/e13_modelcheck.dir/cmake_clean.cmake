@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_modelcheck.dir/e13_modelcheck.cpp.o"
+  "CMakeFiles/e13_modelcheck.dir/e13_modelcheck.cpp.o.d"
+  "e13_modelcheck"
+  "e13_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

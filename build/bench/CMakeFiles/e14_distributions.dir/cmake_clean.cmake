@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_distributions.dir/e14_distributions.cpp.o"
+  "CMakeFiles/e14_distributions.dir/e14_distributions.cpp.o.d"
+  "e14_distributions"
+  "e14_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_fd_qos.dir/e15_fd_qos.cpp.o"
+  "CMakeFiles/e15_fd_qos.dir/e15_fd_qos.cpp.o.d"
+  "e15_fd_qos"
+  "e15_fd_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_fd_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e16_fairness_convergence.dir/e16_fairness_convergence.cpp.o"
+  "CMakeFiles/e16_fairness_convergence.dir/e16_fairness_convergence.cpp.o.d"
+  "e16_fairness_convergence"
+  "e16_fairness_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e16_fairness_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e16_fairness_convergence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e17_model_assumptions.dir/e17_model_assumptions.cpp.o"
+  "CMakeFiles/e17_model_assumptions.dir/e17_model_assumptions.cpp.o.d"
+  "e17_model_assumptions"
+  "e17_model_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e17_model_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

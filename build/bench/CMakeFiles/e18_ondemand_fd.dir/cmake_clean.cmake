@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e18_ondemand_fd.dir/e18_ondemand_fd.cpp.o"
+  "CMakeFiles/e18_ondemand_fd.dir/e18_ondemand_fd.cpp.o.d"
+  "e18_ondemand_fd"
+  "e18_ondemand_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e18_ondemand_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

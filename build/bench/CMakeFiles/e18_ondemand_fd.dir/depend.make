@@ -1,0 +1,2 @@
+# Empty dependencies file for e18_ondemand_fd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e19_drinking.dir/e19_drinking.cpp.o"
+  "CMakeFiles/e19_drinking.dir/e19_drinking.cpp.o.d"
+  "e19_drinking"
+  "e19_drinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e19_drinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

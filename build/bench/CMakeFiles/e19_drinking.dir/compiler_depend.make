@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e19_drinking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for e19_drinking.
+# This may be replaced when dependencies are built.

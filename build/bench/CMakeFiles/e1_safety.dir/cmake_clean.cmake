@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_safety.dir/e1_safety.cpp.o"
+  "CMakeFiles/e1_safety.dir/e1_safety.cpp.o.d"
+  "e1_safety"
+  "e1_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_waitfree.dir/e2_waitfree.cpp.o"
+  "CMakeFiles/e2_waitfree.dir/e2_waitfree.cpp.o.d"
+  "e2_waitfree"
+  "e2_waitfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_waitfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

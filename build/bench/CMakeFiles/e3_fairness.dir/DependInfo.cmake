@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e3_fairness.cpp" "bench/CMakeFiles/e3_fairness.dir/e3_fairness.cpp.o" "gcc" "bench/CMakeFiles/e3_fairness.dir/e3_fairness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ekbd_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_drinking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_dining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_fairness.dir/e3_fairness.cpp.o"
+  "CMakeFiles/e3_fairness.dir/e3_fairness.cpp.o.d"
+  "e3_fairness"
+  "e3_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_channels.dir/e4_channels.cpp.o"
+  "CMakeFiles/e4_channels.dir/e4_channels.cpp.o.d"
+  "e4_channels"
+  "e4_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

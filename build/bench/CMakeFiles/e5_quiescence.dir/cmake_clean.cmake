@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_quiescence.dir/e5_quiescence.cpp.o"
+  "CMakeFiles/e5_quiescence.dir/e5_quiescence.cpp.o.d"
+  "e5_quiescence"
+  "e5_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_memory.dir/e6_memory.cpp.o"
+  "CMakeFiles/e6_memory.dir/e6_memory.cpp.o.d"
+  "e6_memory"
+  "e6_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

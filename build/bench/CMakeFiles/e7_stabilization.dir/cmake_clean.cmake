@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_stabilization.dir/e7_stabilization.cpp.o"
+  "CMakeFiles/e7_stabilization.dir/e7_stabilization.cpp.o.d"
+  "e7_stabilization"
+  "e7_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

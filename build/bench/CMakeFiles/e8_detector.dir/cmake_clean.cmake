@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_detector.dir/e8_detector.cpp.o"
+  "CMakeFiles/e8_detector.dir/e8_detector.cpp.o.d"
+  "e8_detector"
+  "e8_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_scale.dir/e9_scale.cpp.o"
+  "CMakeFiles/e9_scale.dir/e9_scale.cpp.o.d"
+  "e9_scale"
+  "e9_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_lab.dir/fd_lab.cpp.o"
+  "CMakeFiles/fd_lab.dir/fd_lab.cpp.o.d"
+  "fd_lab"
+  "fd_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

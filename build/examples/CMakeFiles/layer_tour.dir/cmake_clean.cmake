@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_tour.dir/layer_tour.cpp.o"
+  "CMakeFiles/layer_tour.dir/layer_tour.cpp.o.d"
+  "layer_tour"
+  "layer_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_demo.dir/msc_demo.cpp.o"
+  "CMakeFiles/msc_demo.dir/msc_demo.cpp.o.d"
+  "msc_demo"
+  "msc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabilizing_daemon.dir/stabilizing_daemon.cpp.o"
+  "CMakeFiles/stabilizing_daemon.dir/stabilizing_daemon.cpp.o.d"
+  "stabilizing_daemon"
+  "stabilizing_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabilizing_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_queues.dir/work_queues.cpp.o"
+  "CMakeFiles/work_queues.dir/work_queues.cpp.o.d"
+  "work_queues"
+  "work_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_baseline.dir/baseline/chandy_misra_diner.cpp.o"
+  "CMakeFiles/ekbd_baseline.dir/baseline/chandy_misra_diner.cpp.o.d"
+  "CMakeFiles/ekbd_baseline.dir/baseline/doorway_diner.cpp.o"
+  "CMakeFiles/ekbd_baseline.dir/baseline/doorway_diner.cpp.o.d"
+  "CMakeFiles/ekbd_baseline.dir/baseline/hierarchical_diner.cpp.o"
+  "CMakeFiles/ekbd_baseline.dir/baseline/hierarchical_diner.cpp.o.d"
+  "libekbd_baseline.a"
+  "libekbd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_core.dir/core/wait_free_diner.cpp.o"
+  "CMakeFiles/ekbd_core.dir/core/wait_free_diner.cpp.o.d"
+  "libekbd_core.a"
+  "libekbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

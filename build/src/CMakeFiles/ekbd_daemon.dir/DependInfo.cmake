@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daemon/critical_section.cpp" "src/CMakeFiles/ekbd_daemon.dir/daemon/critical_section.cpp.o" "gcc" "src/CMakeFiles/ekbd_daemon.dir/daemon/critical_section.cpp.o.d"
+  "/root/repo/src/daemon/fault_injector.cpp" "src/CMakeFiles/ekbd_daemon.dir/daemon/fault_injector.cpp.o" "gcc" "src/CMakeFiles/ekbd_daemon.dir/daemon/fault_injector.cpp.o.d"
+  "/root/repo/src/daemon/scheduler.cpp" "src/CMakeFiles/ekbd_daemon.dir/daemon/scheduler.cpp.o" "gcc" "src/CMakeFiles/ekbd_daemon.dir/daemon/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ekbd_dining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_daemon.dir/daemon/critical_section.cpp.o"
+  "CMakeFiles/ekbd_daemon.dir/daemon/critical_section.cpp.o.d"
+  "CMakeFiles/ekbd_daemon.dir/daemon/fault_injector.cpp.o"
+  "CMakeFiles/ekbd_daemon.dir/daemon/fault_injector.cpp.o.d"
+  "CMakeFiles/ekbd_daemon.dir/daemon/scheduler.cpp.o"
+  "CMakeFiles/ekbd_daemon.dir/daemon/scheduler.cpp.o.d"
+  "libekbd_daemon.a"
+  "libekbd_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_dining.dir/dining/checkers.cpp.o"
+  "CMakeFiles/ekbd_dining.dir/dining/checkers.cpp.o.d"
+  "CMakeFiles/ekbd_dining.dir/dining/harness.cpp.o"
+  "CMakeFiles/ekbd_dining.dir/dining/harness.cpp.o.d"
+  "CMakeFiles/ekbd_dining.dir/dining/trace.cpp.o"
+  "CMakeFiles/ekbd_dining.dir/dining/trace.cpp.o.d"
+  "CMakeFiles/ekbd_dining.dir/dining/trace_io.cpp.o"
+  "CMakeFiles/ekbd_dining.dir/dining/trace_io.cpp.o.d"
+  "libekbd_dining.a"
+  "libekbd_dining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_dining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_drinking.dir/drinking/drinking_diner.cpp.o"
+  "CMakeFiles/ekbd_drinking.dir/drinking/drinking_diner.cpp.o.d"
+  "CMakeFiles/ekbd_drinking.dir/drinking/drinking_harness.cpp.o"
+  "CMakeFiles/ekbd_drinking.dir/drinking/drinking_harness.cpp.o.d"
+  "libekbd_drinking.a"
+  "libekbd_drinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_drinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/accrual.cpp" "src/CMakeFiles/ekbd_fd.dir/fd/accrual.cpp.o" "gcc" "src/CMakeFiles/ekbd_fd.dir/fd/accrual.cpp.o.d"
+  "/root/repo/src/fd/heartbeat.cpp" "src/CMakeFiles/ekbd_fd.dir/fd/heartbeat.cpp.o" "gcc" "src/CMakeFiles/ekbd_fd.dir/fd/heartbeat.cpp.o.d"
+  "/root/repo/src/fd/pingpong.cpp" "src/CMakeFiles/ekbd_fd.dir/fd/pingpong.cpp.o" "gcc" "src/CMakeFiles/ekbd_fd.dir/fd/pingpong.cpp.o.d"
+  "/root/repo/src/fd/qos.cpp" "src/CMakeFiles/ekbd_fd.dir/fd/qos.cpp.o" "gcc" "src/CMakeFiles/ekbd_fd.dir/fd/qos.cpp.o.d"
+  "/root/repo/src/fd/scripted.cpp" "src/CMakeFiles/ekbd_fd.dir/fd/scripted.cpp.o" "gcc" "src/CMakeFiles/ekbd_fd.dir/fd/scripted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ekbd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_fd.dir/fd/accrual.cpp.o"
+  "CMakeFiles/ekbd_fd.dir/fd/accrual.cpp.o.d"
+  "CMakeFiles/ekbd_fd.dir/fd/heartbeat.cpp.o"
+  "CMakeFiles/ekbd_fd.dir/fd/heartbeat.cpp.o.d"
+  "CMakeFiles/ekbd_fd.dir/fd/pingpong.cpp.o"
+  "CMakeFiles/ekbd_fd.dir/fd/pingpong.cpp.o.d"
+  "CMakeFiles/ekbd_fd.dir/fd/qos.cpp.o"
+  "CMakeFiles/ekbd_fd.dir/fd/qos.cpp.o.d"
+  "CMakeFiles/ekbd_fd.dir/fd/scripted.cpp.o"
+  "CMakeFiles/ekbd_fd.dir/fd/scripted.cpp.o.d"
+  "libekbd_fd.a"
+  "libekbd_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

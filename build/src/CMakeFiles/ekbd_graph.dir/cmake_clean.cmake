@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_graph.dir/graph/coloring.cpp.o"
+  "CMakeFiles/ekbd_graph.dir/graph/coloring.cpp.o.d"
+  "CMakeFiles/ekbd_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ekbd_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ekbd_graph.dir/graph/topology.cpp.o"
+  "CMakeFiles/ekbd_graph.dir/graph/topology.cpp.o.d"
+  "libekbd_graph.a"
+  "libekbd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

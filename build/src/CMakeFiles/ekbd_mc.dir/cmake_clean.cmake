@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_mc.dir/mc/explorer.cpp.o"
+  "CMakeFiles/ekbd_mc.dir/mc/explorer.cpp.o.d"
+  "libekbd_mc.a"
+  "libekbd_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_scenario.dir/scenario/scenario.cpp.o"
+  "CMakeFiles/ekbd_scenario.dir/scenario/scenario.cpp.o.d"
+  "libekbd_scenario.a"
+  "libekbd_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_sim.dir/sim/delay_model.cpp.o"
+  "CMakeFiles/ekbd_sim.dir/sim/delay_model.cpp.o.d"
+  "CMakeFiles/ekbd_sim.dir/sim/event_log.cpp.o"
+  "CMakeFiles/ekbd_sim.dir/sim/event_log.cpp.o.d"
+  "CMakeFiles/ekbd_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/ekbd_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/ekbd_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ekbd_sim.dir/sim/simulator.cpp.o.d"
+  "libekbd_sim.a"
+  "libekbd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

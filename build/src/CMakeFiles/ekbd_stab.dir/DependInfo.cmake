@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stab/bfs_tree.cpp" "src/CMakeFiles/ekbd_stab.dir/stab/bfs_tree.cpp.o" "gcc" "src/CMakeFiles/ekbd_stab.dir/stab/bfs_tree.cpp.o.d"
+  "/root/repo/src/stab/coloring.cpp" "src/CMakeFiles/ekbd_stab.dir/stab/coloring.cpp.o" "gcc" "src/CMakeFiles/ekbd_stab.dir/stab/coloring.cpp.o.d"
+  "/root/repo/src/stab/matching.cpp" "src/CMakeFiles/ekbd_stab.dir/stab/matching.cpp.o" "gcc" "src/CMakeFiles/ekbd_stab.dir/stab/matching.cpp.o.d"
+  "/root/repo/src/stab/mis.cpp" "src/CMakeFiles/ekbd_stab.dir/stab/mis.cpp.o" "gcc" "src/CMakeFiles/ekbd_stab.dir/stab/mis.cpp.o.d"
+  "/root/repo/src/stab/token_ring.cpp" "src/CMakeFiles/ekbd_stab.dir/stab/token_ring.cpp.o" "gcc" "src/CMakeFiles/ekbd_stab.dir/stab/token_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ekbd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ekbd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

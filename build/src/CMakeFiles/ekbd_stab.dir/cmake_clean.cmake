@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_stab.dir/stab/bfs_tree.cpp.o"
+  "CMakeFiles/ekbd_stab.dir/stab/bfs_tree.cpp.o.d"
+  "CMakeFiles/ekbd_stab.dir/stab/coloring.cpp.o"
+  "CMakeFiles/ekbd_stab.dir/stab/coloring.cpp.o.d"
+  "CMakeFiles/ekbd_stab.dir/stab/matching.cpp.o"
+  "CMakeFiles/ekbd_stab.dir/stab/matching.cpp.o.d"
+  "CMakeFiles/ekbd_stab.dir/stab/mis.cpp.o"
+  "CMakeFiles/ekbd_stab.dir/stab/mis.cpp.o.d"
+  "CMakeFiles/ekbd_stab.dir/stab/token_ring.cpp.o"
+  "CMakeFiles/ekbd_stab.dir/stab/token_ring.cpp.o.d"
+  "libekbd_stab.a"
+  "libekbd_stab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

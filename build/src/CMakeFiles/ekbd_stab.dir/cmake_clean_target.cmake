@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libekbd_stab.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekbd_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ekbd_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/ekbd_util.dir/util/table.cpp.o"
+  "CMakeFiles/ekbd_util.dir/util/table.cpp.o.d"
+  "libekbd_util.a"
+  "libekbd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekbd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_actions_test.dir/core_actions_test.cpp.o"
+  "CMakeFiles/core_actions_test.dir/core_actions_test.cpp.o.d"
+  "core_actions_test"
+  "core_actions_test.pdb"
+  "core_actions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_actions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_section_test.dir/critical_section_test.cpp.o"
+  "CMakeFiles/critical_section_test.dir/critical_section_test.cpp.o.d"
+  "critical_section_test"
+  "critical_section_test.pdb"
+  "critical_section_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_section_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

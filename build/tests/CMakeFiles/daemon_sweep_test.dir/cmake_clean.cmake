@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon_sweep_test.dir/daemon_sweep_test.cpp.o"
+  "CMakeFiles/daemon_sweep_test.dir/daemon_sweep_test.cpp.o.d"
+  "daemon_sweep_test"
+  "daemon_sweep_test.pdb"
+  "daemon_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

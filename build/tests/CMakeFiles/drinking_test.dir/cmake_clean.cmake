@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drinking_test.dir/drinking_test.cpp.o"
+  "CMakeFiles/drinking_test.dir/drinking_test.cpp.o.d"
+  "drinking_test"
+  "drinking_test.pdb"
+  "drinking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drinking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

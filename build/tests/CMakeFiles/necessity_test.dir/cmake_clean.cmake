@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necessity_test.dir/necessity_test.cpp.o"
+  "CMakeFiles/necessity_test.dir/necessity_test.cpp.o.d"
+  "necessity_test"
+  "necessity_test.pdb"
+  "necessity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necessity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

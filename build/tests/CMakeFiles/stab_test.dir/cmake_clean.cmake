@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stab_test.dir/stab_test.cpp.o"
+  "CMakeFiles/stab_test.dir/stab_test.cpp.o.d"
+  "stab_test"
+  "stab_test.pdb"
+  "stab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_free_diner_test.dir/wait_free_diner_test.cpp.o"
+  "CMakeFiles/wait_free_diner_test.dir/wait_free_diner_test.cpp.o.d"
+  "wait_free_diner_test"
+  "wait_free_diner_test.pdb"
+  "wait_free_diner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_free_diner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

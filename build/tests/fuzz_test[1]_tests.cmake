@@ -1,0 +1,3 @@
+add_test([=[Fuzz.RandomConfigurationsKeepEveryGuarantee]=]  /root/repo/build/tests/fuzz_test [==[--gtest_filter=Fuzz.RandomConfigurationsKeepEveryGuarantee]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Fuzz.RandomConfigurationsKeepEveryGuarantee]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  fuzz_test_TESTS Fuzz.RandomConfigurationsKeepEveryGuarantee)
