@@ -1,7 +1,12 @@
 #include "mc/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
 
+#include "mc/pool.hpp"
+#include "mc/sleep_sets.hpp"
 #include "sim/rng.hpp"
 
 namespace ekbd::mc {
@@ -10,136 +15,351 @@ using ekbd::sim::PendingEvent;
 
 namespace {
 
-/// The choice set at a node: eligible event ids, optionally sans timers.
-std::vector<std::uint64_t> choices(World& world, const Options& opt) {
-  std::vector<std::uint64_t> ids;
-  for (const PendingEvent& ev : world.simulator().eligible_events()) {
-    if (!opt.include_timers && ev.kind == PendingEvent::Kind::kTimer) continue;
-    ids.push_back(ev.id);
+constexpr const char* kDeadlock = "deadlock: no eligible events but goal not reached";
+constexpr const char* kDiverged = "non-deterministic factory: replay diverged";
+
+/// The choice set at a node: eligible events, optionally sans timers.
+std::vector<PendingEvent> choices(World& world, const Options& opt) {
+  std::vector<PendingEvent> evs = world.simulator().eligible_events();
+  if (!opt.include_timers) {
+    std::erase_if(evs, [](const PendingEvent& ev) {
+      return ev.kind == PendingEvent::Kind::kTimer;
+    });
   }
-  return ids;
+  return evs;  // sorted by id (map order) — the canonical sibling order
 }
 
-/// Rebuild a world and replay a prefix of event ids. Returns nullptr if
-/// replay diverged (should not happen with a deterministic factory).
-std::unique_ptr<World> replay(const WorldFactory& factory, const std::vector<std::uint64_t>& path,
-                              Result& result) {
-  auto world = factory();
+/// Everything the DFS workers share. Counters are node-local sums over a
+/// search tree whose shape is a pure function of (factory, options), so
+/// their totals are identical for any thread count; the only shared
+/// *decision* state is the best-violation record, merged by lexicographic
+/// order so the winner is schedule-independent too.
+struct Search {
+  Search(const WorldFactory& f, const Options& o, WorkStealingPool& p)
+      : factory(f), opt(o), pool(p) {}
+
+  const WorldFactory& factory;
+  const Options& opt;
+  WorkStealingPool& pool;
+
+  std::atomic<std::uint64_t> nodes{0};      // frontier steps (distinct tree edges)
+  std::atomic<std::uint64_t> replays{0};    // prefix re-execution overhead
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> truncated{0};
+  std::atomic<std::uint64_t> sleep_pruned{0};
+  std::atomic<std::size_t> max_depth{0};
+  std::atomic<bool> budget_exhausted{false};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex violation_mu;
+  bool violation_found = false;
+  std::string violation;
+  std::vector<std::uint64_t> counterexample;
+
+  [[nodiscard]] std::uint64_t spent() const {
+    return nodes.load(std::memory_order_relaxed) + replays.load(std::memory_order_relaxed);
+  }
+};
+
+void note_depth(Search& s, std::size_t depth) {
+  std::size_t seen = s.max_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !s.max_depth.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void record_violation(Search& s, std::string message, std::vector<std::uint64_t> path) {
+  std::lock_guard<std::mutex> lock(s.violation_mu);
+  if (!s.violation_found ||
+      std::lexicographical_compare(path.begin(), path.end(), s.counterexample.begin(),
+                                   s.counterexample.end())) {
+    s.violation_found = true;
+    s.violation = std::move(message);
+    s.counterexample = std::move(path);
+  }
+  if (s.opt.fail_fast) s.cancelled.store(true, std::memory_order_relaxed);
+}
+
+/// Rebuild a world and replay a prefix. Replayed events count against the
+/// budget but not as schedule steps (they revisit known states). Returns
+/// nullptr on divergence (recorded as a violation by the caller).
+std::unique_ptr<World> rebuild(Search& s, const std::vector<std::uint64_t>& prefix) {
+  auto world = s.factory();
   world->simulator().start();
-  for (std::uint64_t id : path) {
+  for (std::uint64_t id : prefix) {
     if (!world->simulator().execute_event(id)) return nullptr;
-    ++result.nodes_executed;
+    s.replays.fetch_add(1, std::memory_order_relaxed);
   }
   return world;
 }
 
-void dfs(const WorldFactory& factory, const Options& opt, std::vector<std::uint64_t>& path,
-         Result& result) {
-  if (result.violation_found || result.budget_exhausted) return;
-  if (result.nodes_executed >= opt.max_nodes) {
-    result.budget_exhausted = true;
-    return;
+/// Execute one frontier event, charging the budget. False means "stop":
+/// either the budget tripped (flagged) or replay diverged (recorded).
+bool fire(Search& s, World& world, const std::vector<std::uint64_t>& prefix, std::uint64_t id) {
+  if (s.spent() >= s.opt.max_nodes) {
+    s.budget_exhausted.store(true, std::memory_order_relaxed);
+    s.cancelled.store(true, std::memory_order_relaxed);
+    return false;
   }
+  if (!world.simulator().execute_event(id)) {
+    auto path = prefix;
+    path.push_back(id);
+    record_violation(s, kDiverged, std::move(path));
+    return false;
+  }
+  s.nodes.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
 
-  auto world = replay(factory, path, result);
-  if (!world) {
-    result.violation_found = true;
-    result.violation = "non-deterministic factory: replay diverged";
-    result.counterexample = path;
-    return;
-  }
-  result.max_depth_seen = std::max(result.max_depth_seen, path.size());
+void explore_node(Search& s, std::unique_ptr<World> world, std::vector<std::uint64_t> path,
+                  SleepSet sleep);
 
-  const auto ids = choices(*world, opt);
-  if (ids.empty()) {
-    if (world->done()) {
-      ++result.paths_completed;
-    } else {
-      result.violation_found = true;
-      result.violation = "deadlock: no eligible events but goal not reached";
-      result.counterexample = path;
-    }
+/// Fire `child` on a world positioned at `prefix`, check, and descend.
+void step_into(Search& s, std::unique_ptr<World> world, std::vector<std::uint64_t> prefix,
+               std::uint64_t child, SleepSet sleep) {
+  if (!fire(s, *world, prefix, child)) return;
+  prefix.push_back(child);
+  std::string err = world->check();
+  if (!err.empty()) {
+    // A violating step ends its schedule; siblings keep exploring so the
+    // merged counterexample is the lexicographically least one.
+    note_depth(s, prefix.size());
+    record_violation(s, std::move(err), std::move(prefix));
     return;
   }
-  if (path.size() >= opt.max_depth) {
-    ++result.paths_truncated;
-    return;
-  }
+  explore_node(s, std::move(world), std::move(prefix), std::move(sleep));
+}
 
-  for (std::uint64_t id : ids) {
-    if (result.violation_found || result.budget_exhausted) return;
-    // Execute this child on the already-replayed world the first time;
-    // for simplicity and strict statelessness we re-replay per child.
-    auto child = replay(factory, path, result);
-    if (!child) continue;
-    if (!child->simulator().execute_event(id)) continue;
-    ++result.nodes_executed;
-    const std::string err = child->check();
-    if (!err.empty()) {
-      result.violation_found = true;
-      result.violation = err;
-      result.counterexample = path;
-      result.counterexample.push_back(id);
+/// Hand a subtree to the pool: the job replays the prefix in a private
+/// world instance, then steps into the child. Forking costs one replay —
+/// exactly what exploring the non-final sibling inline would cost — so the
+/// explorer forks whenever workers are starving.
+void fork_subtree(Search& s, std::vector<std::uint64_t> prefix, std::uint64_t child,
+                  SleepSet sleep) {
+  s.pool.submit([&s, prefix = std::move(prefix), child, sleep = std::move(sleep)]() mutable {
+    if (s.cancelled.load(std::memory_order_relaxed)) return;
+    auto world = rebuild(s, prefix);
+    if (!world) {
+      record_violation(s, kDiverged, std::move(prefix));
       return;
     }
-    path.push_back(id);
-    dfs(factory, opt, path, result);
-    path.pop_back();
+    step_into(s, std::move(world), std::move(prefix), child, std::move(sleep));
+  });
+}
+
+/// Core DFS. `world` is positioned at `path`'s state (already checked).
+/// The final sibling reuses `world` in place (tail loop, no replay); the
+/// others replay — either inline or, when workers are starving, as a
+/// forked job. Which siblings fork affects wall-clock only: both routes
+/// replay the same prefix, so every counter stays schedule-independent.
+void explore_node(Search& s, std::unique_ptr<World> world, std::vector<std::uint64_t> path,
+                  SleepSet sleep) {
+  for (;;) {
+    if (s.cancelled.load(std::memory_order_relaxed)) return;
+    note_depth(s, path.size());
+
+    const std::vector<PendingEvent> eligible = choices(*world, s.opt);
+    if (eligible.empty()) {
+      if (world->done()) {
+        s.completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        record_violation(s, kDeadlock, path);
+      }
+      return;
+    }
+    if (path.size() >= s.opt.max_depth) {
+      s.truncated.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    std::vector<PendingEvent> runnable;
+    runnable.reserve(eligible.size());
+    for (const PendingEvent& ev : eligible) {
+      if (!s.opt.sleep_sets || !sleeping(sleep, ev.id)) runnable.push_back(ev);
+    }
+    s.sleep_pruned.fetch_add(eligible.size() - runnable.size(), std::memory_order_relaxed);
+    if (runnable.empty()) return;  // every continuation covered by a sibling subtree
+
+    std::vector<PendingEvent> explored;  // prior siblings, canonical id order
+    explored.reserve(runnable.size() - 1);
+    for (std::size_t i = 0; i + 1 < runnable.size(); ++i) {
+      if (s.cancelled.load(std::memory_order_relaxed)) return;
+      const PendingEvent& c = runnable[i];
+      SleepSet child_sleep =
+          s.opt.sleep_sets ? child_sleep_set(eligible, sleep, explored, c) : SleepSet{};
+      if (s.pool.size() > 1 && s.pool.hungry()) {
+        fork_subtree(s, path, c.id, std::move(child_sleep));
+      } else {
+        auto sibling = rebuild(s, path);
+        if (!sibling) {
+          record_violation(s, kDiverged, path);
+          return;
+        }
+        step_into(s, std::move(sibling), path, c.id, std::move(child_sleep));
+      }
+      explored.push_back(c);
+    }
+
+    // Final sibling: descend in place.
+    const PendingEvent& last = runnable.back();
+    SleepSet last_sleep =
+        s.opt.sleep_sets ? child_sleep_set(eligible, sleep, explored, last) : SleepSet{};
+    if (!fire(s, *world, path, last.id)) return;
+    path.push_back(last.id);
+    std::string err = world->check();
+    if (!err.empty()) {
+      note_depth(s, path.size());
+      record_violation(s, std::move(err), std::move(path));
+      return;
+    }
+    sleep = std::move(last_sleep);
   }
 }
 
-void random_walks(const WorldFactory& factory, const Options& opt, Result& result) {
-  ekbd::sim::Rng rng(opt.seed);
-  for (std::uint64_t walk = 0; walk < opt.random_walks; ++walk) {
-    if (result.violation_found || result.nodes_executed >= opt.max_nodes) {
-      result.budget_exhausted = result.nodes_executed >= opt.max_nodes;
-      return;
-    }
+Result run_dfs(const WorldFactory& factory, const Options& opt, WorkStealingPool& pool) {
+  Search s{factory, opt, pool};
+  pool.submit([&s] {
+    auto world = s.factory();
+    world->simulator().start();
+    explore_node(s, std::move(world), {}, {});
+  });
+  pool.wait_idle();
+
+  Result result;
+  result.nodes_executed = s.nodes.load();
+  result.replayed_events = s.replays.load();
+  result.paths_completed = s.completed.load();
+  result.paths_truncated = s.truncated.load();
+  result.sleep_pruned = s.sleep_pruned.load();
+  result.max_depth_seen = s.max_depth.load();
+  result.budget_exhausted = s.budget_exhausted.load();
+  result.violation_found = s.violation_found;
+  result.violation = std::move(s.violation);
+  result.counterexample = std::move(s.counterexample);
+  return result;
+}
+
+// ---------------------------------------------------------- random walks --
+
+/// Walk shards are a pure function of the options — a fixed shard count,
+/// per-shard seeds forked from opt.seed and per-shard slices of the walk
+/// and node budgets — so S shards produce the same merged Result whether
+/// one worker runs them all or eight run them concurrently.
+struct WalkShard {
+  std::uint64_t walks = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t node_budget = 0;
+  Result result;
+};
+
+void run_walk_shard(const WorldFactory& factory, const Options& opt, WalkShard& shard,
+                    const std::atomic<bool>& cancelled) {
+  ekbd::sim::Rng rng(shard.seed);
+  Result& r = shard.result;
+  for (std::uint64_t walk = 0; walk < shard.walks; ++walk) {
+    if (r.violation_found || cancelled.load(std::memory_order_relaxed)) return;
     auto world = factory();
     world->simulator().start();
     std::vector<std::uint64_t> path;
     while (path.size() < opt.max_depth) {
-      const auto ids = choices(*world, opt);
-      if (ids.empty()) break;
-      const std::uint64_t id = ids[rng.index(ids.size())];
+      if (r.nodes_executed >= shard.node_budget) {
+        r.budget_exhausted = true;
+        return;
+      }
+      const auto evs = choices(*world, opt);
+      if (evs.empty()) break;
+      const std::uint64_t id = evs[rng.index(evs.size())].id;
       if (!world->simulator().execute_event(id)) break;
-      ++result.nodes_executed;
+      ++r.nodes_executed;
       path.push_back(id);
-      result.max_depth_seen = std::max(result.max_depth_seen, path.size());
-      const std::string err = world->check();
+      r.max_depth_seen = std::max(r.max_depth_seen, path.size());
+      std::string err = world->check();
       if (!err.empty()) {
-        result.violation_found = true;
-        result.violation = err;
-        result.counterexample = path;
+        r.violation_found = true;
+        r.violation = std::move(err);
+        r.counterexample = path;
         return;
       }
     }
     if (choices(*world, opt).empty()) {
       if (world->done()) {
-        ++result.paths_completed;
+        ++r.paths_completed;
       } else {
-        result.violation_found = true;
-        result.violation = "deadlock: no eligible events but goal not reached";
-        result.counterexample = path;
+        r.violation_found = true;
+        r.violation = kDeadlock;
+        r.counterexample = path;
         return;
       }
     } else {
-      ++result.paths_truncated;
+      ++r.paths_truncated;
     }
   }
+}
+
+Result run_walks(const WorldFactory& factory, const Options& opt, WorkStealingPool& pool) {
+  const std::uint64_t shard_count = std::min<std::uint64_t>(opt.random_walks, 64);
+  std::vector<WalkShard> shards(shard_count);
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    shards[i].walks = opt.random_walks / shard_count + (i < opt.random_walks % shard_count);
+    shards[i].seed = ekbd::sim::Rng(opt.seed).fork(i + 1).u64();
+    shards[i].node_budget = opt.max_nodes / shard_count + (i < opt.max_nodes % shard_count);
+  }
+  std::atomic<bool> cancelled{false};
+  for (WalkShard& shard : shards) {
+    pool.submit([&factory, &opt, &shard, &cancelled] {
+      run_walk_shard(factory, opt, shard, cancelled);
+      if (shard.result.violation_found && opt.fail_fast) {
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.wait_idle();
+
+  // Deterministic merge: counters sum; the lowest-indexed violating shard
+  // supplies the counterexample (without fail_fast every shard runs to its
+  // own conclusion, so the winner is thread-count-independent).
+  Result merged;
+  for (const WalkShard& shard : shards) {
+    const Result& r = shard.result;
+    merged.nodes_executed += r.nodes_executed;
+    merged.paths_completed += r.paths_completed;
+    merged.paths_truncated += r.paths_truncated;
+    merged.max_depth_seen = std::max(merged.max_depth_seen, r.max_depth_seen);
+    merged.budget_exhausted = merged.budget_exhausted || r.budget_exhausted;
+    if (r.violation_found && !merged.violation_found) {
+      merged.violation_found = true;
+      merged.violation = r.violation;
+      merged.counterexample = r.counterexample;
+    }
+  }
+  return merged;
 }
 
 }  // namespace
 
 Result explore(const WorldFactory& factory, const Options& options) {
-  Result result;
-  if (options.random_walks > 0) {
-    random_walks(factory, options, result);
-  } else {
-    std::vector<std::uint64_t> path;
-    dfs(factory, options, path, result);
+  WorkStealingPool pool(WorkStealingPool::resolve(options.threads));
+  return options.random_walks > 0 ? run_walks(factory, options, pool)
+                                  : run_dfs(factory, options, pool);
+}
+
+ReplayOutcome replay_counterexample(const WorldFactory& factory,
+                                    const std::vector<std::uint64_t>& path,
+                                    const Options& options) {
+  ReplayOutcome outcome;
+  auto world = factory();
+  world->simulator().start();
+  for (std::uint64_t id : path) {
+    if (!world->simulator().execute_event(id)) return outcome;  // illegal id: invalid
+    ++outcome.fired;
+    std::string err = world->check();
+    if (!err.empty() && outcome.violation.empty()) outcome.violation = std::move(err);
   }
-  return result;
+  outcome.valid = true;
+  if (outcome.violation.empty() && choices(*world, options).empty() && !world->done()) {
+    outcome.violation = kDeadlock;
+  }
+  return outcome;
 }
 
 }  // namespace ekbd::mc

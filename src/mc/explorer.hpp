@@ -1,5 +1,5 @@
 /// \file explorer.hpp
-/// Systematic interleaving exploration (stateless model checking).
+/// Systematic interleaving exploration (stateless, parallel model checking).
 ///
 /// The paper's proofs quantify over *all* asynchronous executions; timed
 /// simulation samples only a few schedules per seed. The explorer closes
@@ -8,17 +8,32 @@
 /// events (respecting per-channel FIFO — the only ordering constraint the
 /// model imposes) and checks a user invariant after every step.
 ///
-/// Exploration is *stateless* (à la dCDPW/Shuttle): a path is a sequence of
-/// choice indices, and each node is reached by rebuilding the world from
-/// its factory and replaying the prefix — actors need no snapshot support.
-/// Costs O(depth) per node; fine for the 2–3 process worlds where
-/// exhaustive exploration is meaningful. For larger worlds, the random-
-/// walk mode samples many schedules uniformly instead.
+/// Exploration is *stateless* (à la dCDPW/Shuttle): a path is a sequence
+/// of choice indices, and each node is reached by rebuilding the world
+/// from its factory and replaying the prefix — actors need no snapshot
+/// support. Statelessness is also what makes the search parallel for
+/// free: any subtree can be handed to another worker as (prefix, sleep
+/// set) and replayed there in a private `World`, so the `Simulator` stays
+/// single-threaded per world. Subtrees are sharded across a work-stealing
+/// pool (`Options::threads`); random walks run as independently-seeded
+/// parallel shards. Sleep-set partial-order reduction
+/// (`Options::sleep_sets`, see sleep_sets.hpp) prunes schedules that only
+/// permute commuting deliveries, which is what makes exhaustive 3–4
+/// process worlds tractable.
 ///
-/// Used by tests/mc_test.cpp to verify, over *every* schedule of a
-/// two-diner instance of Algorithm 1: fork/token uniqueness, exclusion
-/// (with a truthful oracle), absence of deadlock, and termination of both
-/// meals; and by bench/e13_modelcheck to report state counts.
+/// Determinism guarantee: as long as the node budget is not exhausted,
+/// `Result` is bit-identical for ANY thread count — counters are
+/// node-local sums over a search tree whose shape depends only on
+/// `Options`, and when several schedules violate, the lexicographically
+/// least counterexample wins the merge. (With `fail_fast`, or once
+/// `max_nodes` trips mid-search, workers race to stop and counts become
+/// timing-dependent; docs/MODELCHECK.md spells out the argument.)
+///
+/// Used by tests/mc_test.cpp and tests/mc_parallel_test.cpp to verify,
+/// over *every* schedule of small instances of Algorithm 1: fork/token
+/// uniqueness, exclusion (with a truthful oracle), absence of deadlock,
+/// and termination of every meal; and by bench/e13_modelcheck to report
+/// state counts and the threads × reduction grid.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +48,11 @@ namespace ekbd::mc {
 
 /// One self-contained execution universe. The factory must produce
 /// identical worlds on every call (same seeds, same wiring): statelessness
-/// depends on replay determinism.
+/// depends on replay determinism. Factories are invoked concurrently from
+/// pool workers, so they must also be thread-safe (pure construction from
+/// immutable captures — the usual `[] { return std::make_unique<W>(); }` —
+/// qualifies); each produced World itself is only ever driven by one
+/// worker at a time.
 class World {
  public:
   virtual ~World() = default;
@@ -54,22 +73,41 @@ using WorldFactory = std::function<std::unique_ptr<World>()>;
 
 struct Options {
   std::size_t max_depth = 60;        ///< truncate paths longer than this
-  std::uint64_t max_nodes = 500'000; ///< exploration budget (events executed)
+  /// Exploration budget: schedule steps + replayed events. Results are
+  /// only guaranteed thread-count-deterministic while under budget.
+  std::uint64_t max_nodes = 500'000;
   bool include_timers = true;        ///< offer timer events as choices
   /// When > 0: instead of exhaustive DFS, run this many uniformly random
-  /// schedules to completion (or max_depth).
+  /// schedules to completion (or max_depth), as independently-seeded
+  /// shards (shard layout is a function of the options alone, so the
+  /// outcome is identical for any thread count).
   std::uint64_t random_walks = 0;
   std::uint64_t seed = 1;            ///< randomness for random walks
+  /// Worker threads sharing the search (0 = hardware concurrency). Any
+  /// value yields the same Result; more threads only buy wall-clock.
+  std::size_t threads = 1;
+  /// Sleep-set partial-order reduction (DFS only). Sound for worlds whose
+  /// handlers do not branch on the controlled-mode tick counter — see
+  /// sleep_sets.hpp for the commutativity argument and the caveat.
+  bool sleep_sets = false;
+  /// Stop all workers at the first violation instead of draining the
+  /// search. Faster on buggy worlds, but with threads > 1 the winning
+  /// counterexample and the counters become timing-dependent.
+  bool fail_fast = false;
 };
 
 struct Result {
-  std::uint64_t nodes_executed = 0;   ///< events fired across all replays
+  std::uint64_t nodes_executed = 0;   ///< distinct schedule steps executed
+  std::uint64_t replayed_events = 0;  ///< prefix-replay overhead (stateless cost)
   std::uint64_t paths_completed = 0;  ///< schedules that reached done()
   std::uint64_t paths_truncated = 0;  ///< schedules cut at max_depth
+  std::uint64_t sleep_pruned = 0;     ///< choices skipped by sleep sets
   std::size_t max_depth_seen = 0;
   bool budget_exhausted = false;
 
-  // First failure found (if any):
+  // First failure found (if any). A violating step ends its own schedule
+  // but (without fail_fast) not the search, so the reported counterexample
+  // is the lexicographically least violating path — deterministic.
   bool violation_found = false;
   std::string violation;              ///< invariant message or "deadlock"
   std::vector<std::uint64_t> counterexample;  ///< event ids along the path
@@ -80,5 +118,31 @@ struct Result {
 /// Explore schedules of worlds made by `factory` under `options`.
 /// Exhaustive DFS by default; random walks if options.random_walks > 0.
 Result explore(const WorldFactory& factory, const Options& options);
+
+/// Outcome of re-driving a recorded path through a fresh world.
+struct ReplayOutcome {
+  bool valid = false;        ///< every event id executed legally, in order
+  std::size_t fired = 0;     ///< events successfully executed
+  /// First non-empty World::check() along the replay; if the path ends
+  /// with no eligible events and done() false, the explorer's deadlock
+  /// message. Empty if the replayed schedule is clean.
+  std::string violation;
+
+  /// Round-trip guard: the replay ran to the end and reproduced exactly
+  /// the recorded violation at its final step.
+  [[nodiscard]] bool reproduced(const std::string& expected, std::size_t path_len) const {
+    return valid && fired == path_len && violation == expected;
+  }
+};
+
+/// Feed a `Result::counterexample` (or any recorded path) back through a
+/// fresh controlled-mode world: replays each event id in order, checking
+/// invariants after every step. The returned outcome reports whether the
+/// recorded violation reproduces — the round-trip guarantee the stateless
+/// prefix-replay machinery depends on. Pass the same `options` the
+/// exploration used so deadlock detection honors `include_timers`.
+ReplayOutcome replay_counterexample(const WorldFactory& factory,
+                                    const std::vector<std::uint64_t>& path,
+                                    const Options& options = {});
 
 }  // namespace ekbd::mc

@@ -1,0 +1,112 @@
+#include "mc/pool.hpp"
+
+#include <utility>
+
+namespace ekbd::mc {
+
+namespace {
+/// Index of the worker the current thread is, or npos on non-pool threads.
+constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+thread_local std::size_t t_worker_index = kNotAWorker;
+}  // namespace
+
+std::size_t WorkStealingPool::resolve(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+WorkStealingPool::WorkStealingPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  shards_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) shards_.push_back(std::make_unique<Shard>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkStealingPool::submit(Task task) {
+  // A worker pushes onto its own deque (popped LIFO by itself, stolen FIFO
+  // by others); external threads scatter round-robin.
+  const std::size_t me = t_worker_index;
+  const std::size_t shard = me != kNotAWorker && me < shards_.size()
+                                ? me
+                                : rr_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    shards_[shard]->q.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: ensures a worker between its failed scan and
+    // its wait observes the new queued_ value (no missed wakeup).
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  work_cv_.notify_one();
+}
+
+bool WorkStealingPool::next_task(std::size_t me, Task& out) {
+  {  // own deque, newest first
+    Shard& mine = *shards_[me];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.q.empty()) {
+      out = std::move(mine.q.back());
+      mine.q.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal oldest-first from the others, starting after ourselves.
+  for (std::size_t k = 1; k < shards_.size(); ++k) {
+    Shard& victim = *shards_[(me + k) % shards_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.q.empty()) {
+      out = std::move(victim.q.front());
+      victim.q.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker(std::size_t me) {
+  t_worker_index = me;
+  for (;;) {
+    Task task;
+    if (next_task(me, task)) {
+      task();
+      task = nullptr;  // release captures before signalling completion
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    work_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+void WorkStealingPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace ekbd::mc

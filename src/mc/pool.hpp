@@ -1,0 +1,81 @@
+/// \file pool.hpp
+/// Work-stealing thread pool for embarrassingly-forkable exploration work.
+///
+/// Built for the stateless explorer's needs (and reused by the scenario
+/// sweep runner): tasks may spawn further tasks, so completion is tracked
+/// transitively — `wait_idle()` returns only when every submitted task,
+/// including everything spawned from inside other tasks, has finished.
+///
+/// Design: one mutex-guarded deque per worker. A worker pops from the
+/// *back* of its own deque (LIFO — keeps its working set hot and the
+/// search depth-first) and steals from the *front* of a victim's deque
+/// (FIFO — steals the shallowest, i.e. largest, subtree). Mutex-per-deque
+/// rather than a lock-free Chase-Lev deque: exploration tasks are
+/// coarse (a subtree replay is thousands of simulator events), so queue
+/// overhead is noise, and the mutexes make the pool trivially clean under
+/// ThreadSanitizer — which the CI sanitizer matrix enforces on every push.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ekbd::mc {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns exactly `threads` workers (callers resolve 0 via `resolve`).
+  explicit WorkStealingPool(std::size_t threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueue a task; callable from the owner thread or from inside a
+  /// running task (nested spawns land on the spawning worker's own deque).
+  void submit(Task task);
+
+  /// Block until every task — including transitively spawned ones — has
+  /// completed. The pool stays usable afterwards.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Starvation hint: true when the queues hold fewer tasks than there
+  /// are workers. Used by the explorer to decide whether forking off a
+  /// subtree is worth the replay it costs.
+  [[nodiscard]] bool hungry() const { return queued_.load(std::memory_order_relaxed) < workers_.size(); }
+
+  /// Map a user-facing thread-count option to a worker count
+  /// (0 → hardware concurrency, never less than 1).
+  [[nodiscard]] static std::size_t resolve(std::size_t requested);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  void worker(std::size_t me);
+  bool next_task(std::size_t me, Task& out);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;  // pairs with work_cv_/idle_cv_; guards stop_
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> pending_{0};  ///< submitted, not yet finished
+  std::atomic<std::size_t> queued_{0};   ///< sitting in a deque right now
+  std::atomic<std::size_t> rr_{0};       ///< round-robin for external submits
+  bool stop_ = false;
+};
+
+}  // namespace ekbd::mc

@@ -1,0 +1,46 @@
+#include "mc/sleep_sets.hpp"
+
+#include <algorithm>
+
+namespace ekbd::mc {
+
+using sim::PendingEvent;
+
+bool independent(const PendingEvent& a, const PendingEvent& b) {
+  if (a.id == b.id) return false;
+  // Only message deliveries commute; timers and scheduled callbacks (crash
+  // injections, meal endings, re-thirsts) may touch arbitrary world state.
+  if (a.kind != PendingEvent::Kind::kMessage || b.kind != PendingEvent::Kind::kMessage) {
+    return false;
+  }
+  // Distinct recipients ⇒ distinct directed channels (FIFO heads cannot
+  // block each other) and disjoint handler state (each delivery mutates
+  // only its recipient's actor and appends only to channels it sends on).
+  return a.to != b.to;
+}
+
+bool sleeping(const SleepSet& sleep, std::uint64_t id) {
+  return std::binary_search(sleep.begin(), sleep.end(), id);
+}
+
+SleepSet child_sleep_set(const std::vector<PendingEvent>& eligible, const SleepSet& parent_sleep,
+                         const std::vector<PendingEvent>& explored_siblings,
+                         const PendingEvent& chosen) {
+  SleepSet child;
+  child.reserve(parent_sleep.size() + explored_siblings.size());
+  for (std::uint64_t id : parent_sleep) {
+    // Sleepers stay pending (never fired below this node), so their
+    // descriptors are still in the eligible set; a missing id is dropped,
+    // which only widens exploration (safe direction).
+    const auto it = std::find_if(eligible.begin(), eligible.end(),
+                                 [id](const PendingEvent& ev) { return ev.id == id; });
+    if (it != eligible.end() && independent(*it, chosen)) child.push_back(id);
+  }
+  for (const PendingEvent& sib : explored_siblings) {
+    if (independent(sib, chosen)) child.push_back(sib.id);
+  }
+  std::sort(child.begin(), child.end());
+  return child;
+}
+
+}  // namespace ekbd::mc

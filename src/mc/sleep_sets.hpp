@@ -1,0 +1,64 @@
+/// \file sleep_sets.hpp
+/// Sleep-set partial-order reduction for the stateless explorer.
+///
+/// Sleep sets (Godefroid) prune schedules that only permute *independent*
+/// events: once the subtree below choice `a` has been explored, a sibling
+/// subtree below `b` need not re-fire `a` first if `a` and `b` commute —
+/// the state `s·b·a` is equivalent to the already-visited `s·a·b`. Sleep
+/// sets alone (no persistent sets) still visit every reachable state at
+/// least once, so per-step invariant checking and deadlock detection lose
+/// nothing; only redundant interleavings disappear.
+///
+/// The independence oracle is derived from the model's one ordering law,
+/// per-channel FIFO: two pending *message* deliveries at distinct
+/// recipient processes commute. Delivering to p touches only p's actor
+/// state; p's handler emits messages exclusively on channels (p, *), so
+/// two handlers at distinct processes append to disjoint channels and the
+/// per-channel FIFO ranks come out identical in either order. Neither
+/// delivery can disable the other (messages are never withdrawn, and a
+/// channel head stays the head when later sends append behind it). The
+/// two orders differ only in the simulator's internal id assignment for
+/// events *created* by the handlers — an isomorphism no invariant can
+/// observe, since worlds check semantic state, never raw event ids.
+///
+/// Timers, scheduled callbacks (crash injections, meal endings) and
+/// same-recipient messages are conservatively treated as dependent on
+/// everything. Soundness caveat, documented in docs/MODELCHECK.md: the
+/// oracle assumes handlers do not branch on the controlled-mode tick
+/// counter (`now()`), because commuting two deliveries swaps their tick
+/// stamps. Worlds with tick-scripted detector lies must explore with
+/// `Options::sleep_sets = false`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ekbd::mc {
+
+/// True iff executing `a` and `b` in either order from any state where
+/// both are eligible reaches the same state (up to event-id renaming).
+[[nodiscard]] bool independent(const sim::PendingEvent& a, const sim::PendingEvent& b);
+
+/// A sleep set is the ids of currently-pending events whose subtrees are
+/// already covered by sibling branches. Kept sorted for cheap lookup.
+using SleepSet = std::vector<std::uint64_t>;
+
+[[nodiscard]] bool sleeping(const SleepSet& sleep, std::uint64_t id);
+
+/// The sleep set for the child reached by firing `chosen` from a node with
+/// eligible set `eligible`: inherited sleepers and already-explored prior
+/// siblings survive iff they commute with `chosen`.
+///
+/// \param eligible        the node's full eligible set (sleepers included)
+/// \param parent_sleep    ids asleep at the node (each present in eligible)
+/// \param explored_siblings  sibling choices whose subtrees are already
+///                           scheduled for exploration (fired before `chosen`
+///                           in the node's canonical id order)
+[[nodiscard]] SleepSet child_sleep_set(const std::vector<sim::PendingEvent>& eligible,
+                                       const SleepSet& parent_sleep,
+                                       const std::vector<sim::PendingEvent>& explored_siblings,
+                                       const sim::PendingEvent& chosen);
+
+}  // namespace ekbd::mc

@@ -1,0 +1,20 @@
+#include "scenario/sweep.hpp"
+
+namespace ekbd::scenario {
+
+void run_scenarios(const std::vector<Config>& configs,
+                   const std::function<void(std::size_t, Scenario&)>& inspect,
+                   const SweepOptions& options) {
+  parallel_sweep<std::unique_ptr<Scenario>>(
+      configs.size(), options.threads,
+      [&configs](std::size_t i) {
+        auto scenario = std::make_unique<Scenario>(configs[i]);
+        scenario->run();
+        return scenario;
+      },
+      [&inspect](std::size_t i, std::unique_ptr<Scenario>& scenario) {
+        inspect(i, *scenario);
+      });
+}
+
+}  // namespace ekbd::scenario

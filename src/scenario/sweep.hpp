@@ -1,0 +1,88 @@
+/// \file sweep.hpp
+/// Parallel scenario sweeps.
+///
+/// Fuzz, stress and parameter-sweep suites all have the same shape: many
+/// *independent* timed simulations (one `Simulator` per job, nothing
+/// shared), followed by per-job property checks. The runner here shards
+/// the simulations across the mc work-stealing pool and then hands each
+/// finished job back to the caller **serially, in index order, on the
+/// calling thread** — so gtest assertions, SCOPED_TRACE and any
+/// accumulation stay single-threaded, and a sweep's pass/fail report is
+/// identical for every thread count.
+///
+/// Jobs are inspected (and destroyed) as soon as their turn comes, so the
+/// high-water memory is one window of out-of-order completions, not the
+/// whole sweep.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mc/pool.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ekbd::scenario {
+
+struct SweepOptions {
+  std::size_t threads = 0;  ///< pool width; 0 = hardware concurrency
+};
+
+/// Run `count` independent jobs on a work-stealing pool; inspect results
+/// serially in index order on the calling thread. `run` executes on pool
+/// workers and must not touch shared mutable state; exceptions it throws
+/// are rethrown from the matching `inspect` turn (so a gtest failure
+/// points at the job index that died).
+template <typename R>
+void parallel_sweep(std::size_t count, std::size_t threads,
+                    const std::function<R(std::size_t)>& run,
+                    const std::function<void(std::size_t, R&)>& inspect) {
+  mc::WorkStealingPool pool(mc::WorkStealingPool::resolve(threads));
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::map<std::size_t, std::optional<R>> ready;       // completed, not yet inspected
+  std::map<std::size_t, std::exception_ptr> failed;
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      std::optional<R> result;
+      std::exception_ptr error;
+      try {
+        result.emplace(run(i));
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (error) failed.emplace(i, error);
+      ready.emplace(i, std::move(result));
+      done_cv.notify_all();
+    });
+  }
+  for (std::size_t next = 0; next < count; ++next) {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return ready.count(next) > 0; });
+    std::optional<R> result = std::move(ready.at(next));
+    ready.erase(next);
+    const auto fail = failed.find(next);
+    const std::exception_ptr error = fail == failed.end() ? nullptr : fail->second;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+    inspect(next, *result);
+  }
+}
+
+/// Convenience: build + run one `Scenario` per config on the pool, then
+/// inspect each serially in config order. This is the runner the fuzz and
+/// stress suites drive; anything expressible as a `Config` parallelizes
+/// through it unchanged.
+void run_scenarios(const std::vector<Config>& configs,
+                   const std::function<void(std::size_t, Scenario&)>& inspect,
+                   const SweepOptions& options = {});
+
+}  // namespace ekbd::scenario

@@ -83,7 +83,7 @@ void Simulator::push_controlled(PendingEvent::Kind kind, ProcessId from, Process
   ev.info.from = from;
   ev.info.to = to;
   ev.info.owner = owner;
-  ev.channel_rank = channel_rank;
+  ev.info.channel_rank = channel_rank;
   ev.fn = std::move(fn);
   controlled_.emplace(ev.info.id, std::move(ev));
 }
@@ -112,9 +112,7 @@ void Simulator::send(ProcessId from, ProcessId to, std::any payload, MsgLayer la
       event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
                                      std::type_index(m.payload.type())});
     }
-    const auto channel = (static_cast<std::uint64_t>(from) << 32) |
-                         static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
-    const std::uint64_t rank = channel_send_rank_[channel]++;
+    const std::uint64_t rank = channel_send_rank_[PendingEvent::channel_key(from, to)]++;
     push_controlled(PendingEvent::Kind::kMessage, from, to, kNoProcess, rank,
                     [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
     return;
@@ -206,7 +204,7 @@ bool Simulator::is_eligible(const ControlledEvent& ev) const {
   // FIFO: only the oldest pending message per directed channel may arrive.
   for (const auto& [id, other] : controlled_) {
     if (other.info.kind == PendingEvent::Kind::kMessage && other.info.from == ev.info.from &&
-        other.info.to == ev.info.to && other.channel_rank < ev.channel_rank) {
+        other.info.to == ev.info.to && other.info.channel_rank < ev.info.channel_rank) {
       return false;
     }
   }

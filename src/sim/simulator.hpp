@@ -54,6 +54,19 @@ struct PendingEvent {
   ProcessId from = kNoProcess;  ///< messages: sender
   ProcessId to = kNoProcess;    ///< messages: recipient
   ProcessId owner = kNoProcess; ///< timers: owning process
+  /// Messages: send order on the directed channel (from,to). Per-channel
+  /// FIFO eligibility and the mc commutativity oracle both key off this.
+  std::uint64_t channel_rank = 0;
+
+  /// Packed key of a directed channel; the only ordering domain the
+  /// asynchronous model constrains (reliable per-channel FIFO).
+  [[nodiscard]] static std::uint64_t channel_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
+  }
+
+  /// This event's channel key (messages only; meaningless otherwise).
+  [[nodiscard]] std::uint64_t channel() const { return channel_key(from, to); }
 
   [[nodiscard]] std::string describe() const;
 };
@@ -202,11 +215,10 @@ class Simulator {
     }
   };
 
-  /// A pending event in controlled mode: descriptor + payload closure +
-  /// per-channel FIFO rank for messages.
+  /// A pending event in controlled mode: descriptor (including the
+  /// per-channel FIFO rank for messages) + payload closure.
   struct ControlledEvent {
     PendingEvent info;
-    std::uint64_t channel_rank = 0;  // messages: send order on (from,to)
     std::function<void()> fn;
   };
 

@@ -1,0 +1,375 @@
+// Parallel exploration + sleep-set reduction tests.
+//
+// The engine's contract (docs/MODELCHECK.md): for a fixed factory and
+// options, `Result` is bit-identical for ANY thread count — the search
+// tree's shape is a pure function of the options, counters are node-local
+// sums over it, and the lexicographically-least counterexample wins the
+// merge. Sleep sets shrink the tree without losing violations. These
+// tests pin all of that down, plus the counterexample replay round-trip
+// the stateless prefix-replay machinery depends on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wait_free_diner.hpp"
+#include "fd/scripted.hpp"
+#include "mc/explorer.hpp"
+#include "mc/sleep_sets.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using ekbd::core::WaitFreeDiner;
+using ekbd::fd::ScriptedDetector;
+using ekbd::mc::Options;
+using ekbd::mc::ReplayOutcome;
+using ekbd::mc::Result;
+using ekbd::mc::World;
+using ekbd::sim::ExecMode;
+using ekbd::sim::PendingEvent;
+using ekbd::sim::ProcessId;
+using ekbd::sim::Simulator;
+
+/// Two wait-free diners on one edge, both hungry from the start, meal
+/// endings as adversarial choice events (a trimmed copy of mc_test's
+/// EdgeWorld — crash-free, truthful oracle).
+class DinerEdgeWorld : public World {
+ public:
+  DinerEdgeWorld()
+      : sim_(1, ekbd::sim::make_fixed_delay(1), ExecMode::kControlled), det_(sim_, 0) {
+    hi_ = sim_.make_actor<WaitFreeDiner>(std::vector<ProcessId>{1}, 1, std::vector<int>{0},
+                                         det_);
+    lo_ = sim_.make_actor<WaitFreeDiner>(std::vector<ProcessId>{0}, 0, std::vector<int>{1},
+                                         det_);
+    for (WaitFreeDiner* d : {hi_, lo_}) {
+      d->set_event_callback([this](ekbd::dining::Diner& diner,
+                                   ekbd::dining::TraceEventKind kind) {
+        if (kind == ekbd::dining::TraceEventKind::kStartEating) {
+          auto* wd = static_cast<WaitFreeDiner*>(&diner);
+          ++meals_[wd == hi_ ? 0 : 1];
+          sim_.schedule(sim_.now(), [wd] {
+            if (wd->eating()) wd->finish_eating();
+          });
+        }
+      });
+    }
+    sim_.start();
+    hi_->become_hungry();
+    lo_->become_hungry();
+  }
+
+  Simulator& simulator() override { return sim_; }
+
+  std::string check() override {
+    if (hi_->holds_fork(1) && lo_->holds_fork(0)) return "fork duplicated";
+    if (hi_->holds_token(1) && lo_->holds_token(0)) return "token duplicated";
+    if (hi_->eating() && lo_->eating()) return "neighbors eating simultaneously";
+    return "";
+  }
+
+  bool done() override {
+    return meals_[0] >= 1 && meals_[1] >= 1 && hi_->thinking() && lo_->thinking();
+  }
+
+ private:
+  Simulator sim_;
+  ScriptedDetector det_;
+  WaitFreeDiner* hi_ = nullptr;
+  WaitFreeDiner* lo_ = nullptr;
+  int meals_[2] = {0, 0};
+};
+
+/// One sender, two receivers, two messages per channel. The two channels
+/// are fully independent (distinct recipients), so sleep sets collapse
+/// most of the C(4,2)=6 interleavings. `boom_at` > 0 plants a violation
+/// at any state with that many delivered events — order-insensitive, so
+/// the seeded bug survives commutation and MUST be found by the reduced
+/// search too.
+class TwoChannelWorld : public World {
+ public:
+  explicit TwoChannelWorld(int boom_at = 0) : sim_(1, nullptr, ExecMode::kControlled),
+                                              boom_at_(boom_at) {
+    struct Echo : ekbd::sim::Actor {
+      void on_message(const ekbd::sim::Message&) override {}
+      using Actor::send;
+    };
+    auto* s = sim_.make_actor<Echo>();
+    sim_.make_actor<Echo>();
+    sim_.make_actor<Echo>();
+    sim_.start();
+    for (int i = 0; i < 2; ++i) s->send(1, i, ekbd::sim::MsgLayer::kOther);
+    for (int i = 0; i < 2; ++i) s->send(2, i, ekbd::sim::MsgLayer::kOther);
+  }
+
+  Simulator& simulator() override { return sim_; }
+  std::string check() override {
+    if (boom_at_ > 0 && sim_.events_processed() >= static_cast<std::uint64_t>(boom_at_)) {
+      return "boom";
+    }
+    return "";
+  }
+  bool done() override { return true; }
+
+ private:
+  Simulator sim_;
+  int boom_at_;
+};
+
+void expect_identical(const Result& a, const Result& b, const std::string& label) {
+  EXPECT_EQ(a.nodes_executed, b.nodes_executed) << label;
+  EXPECT_EQ(a.replayed_events, b.replayed_events) << label;
+  EXPECT_EQ(a.paths_completed, b.paths_completed) << label;
+  EXPECT_EQ(a.paths_truncated, b.paths_truncated) << label;
+  EXPECT_EQ(a.sleep_pruned, b.sleep_pruned) << label;
+  EXPECT_EQ(a.max_depth_seen, b.max_depth_seen) << label;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << label;
+  EXPECT_EQ(a.violation_found, b.violation_found) << label;
+  EXPECT_EQ(a.violation, b.violation) << label;
+  EXPECT_EQ(a.counterexample, b.counterexample) << label;
+}
+
+TEST(ParallelMC, DfsResultIdenticalFor1And2And8Threads) {
+  Options opt;
+  opt.include_timers = false;
+  opt.max_depth = 60;
+  opt.max_nodes = 20'000'000;
+  auto factory = [] { return std::make_unique<DinerEdgeWorld>(); };
+
+  opt.threads = 1;
+  const Result r1 = ekbd::mc::explore(factory, opt);
+  EXPECT_TRUE(r1.ok()) << r1.violation;
+  EXPECT_GT(r1.paths_completed, 0u);
+  EXPECT_FALSE(r1.budget_exhausted);
+
+  opt.threads = 2;
+  const Result r2 = ekbd::mc::explore(factory, opt);
+  opt.threads = 8;
+  const Result r8 = ekbd::mc::explore(factory, opt);
+  expect_identical(r1, r2, "1 vs 2 threads");
+  expect_identical(r1, r8, "1 vs 8 threads");
+}
+
+TEST(ParallelMC, SleepSetResultIdenticalAcrossThreadCountsAndSmaller) {
+  Options opt;
+  opt.include_timers = false;
+  opt.max_depth = 60;
+  opt.max_nodes = 20'000'000;
+  auto factory = [] { return std::make_unique<DinerEdgeWorld>(); };
+
+  const Result full = ekbd::mc::explore(factory, opt);
+
+  opt.sleep_sets = true;
+  opt.threads = 1;
+  const Result s1 = ekbd::mc::explore(factory, opt);
+  opt.threads = 2;
+  const Result s2 = ekbd::mc::explore(factory, opt);
+  opt.threads = 8;
+  const Result s8 = ekbd::mc::explore(factory, opt);
+
+  expect_identical(s1, s2, "sleep sets, 1 vs 2 threads");
+  expect_identical(s1, s8, "sleep sets, 1 vs 8 threads");
+
+  // The reduction must preserve the verdict while visiting strictly less.
+  EXPECT_TRUE(s1.ok()) << s1.violation;
+  EXPECT_GT(s1.sleep_pruned, 0u);
+  EXPECT_LT(s1.nodes_executed, full.nodes_executed);
+  EXPECT_GT(s1.paths_completed, 0u);
+}
+
+/// One sender feeding two acking receivers: every delivery at a receiver
+/// sends a reply to process 0, so the choice set keeps three channels
+/// live and the tree reaches ~78k distinct steps — enough work that 8
+/// workers genuinely contend for subtrees, unlike the edge world.
+class AckStormWorld : public World {
+ public:
+  AckStormWorld() : sim_(1, nullptr, ExecMode::kControlled) {
+    struct Echo : ekbd::sim::Actor {
+      void on_message(const ekbd::sim::Message&) override {
+        if (id() != 0) send(0, int{1}, ekbd::sim::MsgLayer::kOther);
+      }
+      using Actor::send;
+    };
+    auto* s = sim_.make_actor<Echo>();
+    sim_.make_actor<Echo>();
+    sim_.make_actor<Echo>();
+    sim_.start();
+    for (int i = 0; i < 3; ++i) {
+      s->send(1, i, ekbd::sim::MsgLayer::kOther);
+      s->send(2, i, ekbd::sim::MsgLayer::kOther);
+    }
+  }
+  Simulator& simulator() override { return sim_; }
+  std::string check() override { return ""; }
+  bool done() override { return true; }
+
+ private:
+  Simulator sim_;
+};
+
+TEST(ParallelMC, ContendedDfsParityAcrossThreadCounts) {
+  Options opt;
+  opt.max_depth = 16;
+  opt.max_nodes = 5'000'000;
+  auto factory = [] { return std::make_unique<AckStormWorld>(); };
+
+  opt.threads = 1;
+  const Result r1 = ekbd::mc::explore(factory, opt);
+  EXPECT_TRUE(r1.ok()) << r1.violation;
+  EXPECT_GT(r1.nodes_executed, 50'000u);  // big enough to shard for real
+  EXPECT_FALSE(r1.budget_exhausted);
+
+  opt.threads = 8;
+  const Result r8 = ekbd::mc::explore(factory, opt);
+  expect_identical(r1, r8, "ack storm, 1 vs 8 threads");
+
+  opt.sleep_sets = true;
+  opt.threads = 1;
+  const Result s1 = ekbd::mc::explore(factory, opt);
+  opt.threads = 8;
+  const Result s8 = ekbd::mc::explore(factory, opt);
+  expect_identical(s1, s8, "ack storm + sleep sets, 1 vs 8 threads");
+  EXPECT_TRUE(s1.ok()) << s1.violation;
+  EXPECT_LT(s1.nodes_executed, r1.nodes_executed / 10);
+}
+
+TEST(ParallelMC, RandomWalkShardsIdenticalAcrossThreadCounts) {
+  Options opt;
+  opt.include_timers = false;
+  opt.max_depth = 60;
+  opt.random_walks = 500;
+  opt.seed = 42;
+  auto factory = [] { return std::make_unique<DinerEdgeWorld>(); };
+
+  opt.threads = 1;
+  const Result r1 = ekbd::mc::explore(factory, opt);
+  opt.threads = 8;
+  const Result r8 = ekbd::mc::explore(factory, opt);
+  EXPECT_TRUE(r1.ok()) << r1.violation;
+  EXPECT_GT(r1.paths_completed, 0u);
+  expect_identical(r1, r8, "walks, 1 vs 8 threads");
+}
+
+TEST(ParallelMC, SleepSetFindsSeededViolationWithFewerNodes) {
+  // Violation at "all four delivered" — present on every complete
+  // schedule, so commuting deliveries cannot hide it.
+  auto factory = [] { return std::make_unique<TwoChannelWorld>(4); };
+  Options opt;
+  opt.max_depth = 10;
+
+  const Result full = ekbd::mc::explore(factory, opt);
+  opt.sleep_sets = true;
+  const Result reduced = ekbd::mc::explore(factory, opt);
+
+  ASSERT_TRUE(full.violation_found);
+  ASSERT_TRUE(reduced.violation_found);
+  EXPECT_EQ(full.violation, "boom");
+  EXPECT_EQ(reduced.violation, full.violation);
+  // The canonical (leftmost, id-ordered) schedule carries an empty sleep
+  // set, so the lexicographically-least counterexample survives reduction.
+  EXPECT_EQ(reduced.counterexample, full.counterexample);
+  EXPECT_EQ(full.counterexample.size(), 4u);
+  EXPECT_LT(reduced.nodes_executed, full.nodes_executed);
+  EXPECT_GT(reduced.sleep_pruned, 0u);
+}
+
+TEST(ParallelMC, SleepSetCleanWorldVisitsEveryFinalState) {
+  // Sanity for the "all reachable states still visited" claim: with no
+  // violation planted, both searches complete schedules and agree there
+  // is nothing to find, while the reduced tree is strictly smaller.
+  auto factory = [] { return std::make_unique<TwoChannelWorld>(); };
+  Options opt;
+  opt.max_depth = 10;
+  const Result full = ekbd::mc::explore(factory, opt);
+  opt.sleep_sets = true;
+  const Result reduced = ekbd::mc::explore(factory, opt);
+  EXPECT_TRUE(full.ok());
+  EXPECT_TRUE(reduced.ok());
+  EXPECT_GT(full.paths_completed, reduced.paths_completed);
+  EXPECT_GT(reduced.paths_completed, 0u);
+  EXPECT_LT(reduced.nodes_executed, full.nodes_executed);
+}
+
+TEST(ParallelMC, CounterexampleReplayRoundTripInvariantViolation) {
+  auto factory = [] { return std::make_unique<TwoChannelWorld>(3); };
+  Options opt;
+  opt.max_depth = 10;
+  const Result r = ekbd::mc::explore(factory, opt);
+  ASSERT_TRUE(r.violation_found);
+  ASSERT_EQ(r.counterexample.size(), 3u);
+
+  const ReplayOutcome replay = ekbd::mc::replay_counterexample(factory, r.counterexample, opt);
+  EXPECT_TRUE(replay.valid);
+  EXPECT_TRUE(replay.reproduced(r.violation, r.counterexample.size()))
+      << "replayed violation: '" << replay.violation << "' after " << replay.fired
+      << " events, expected '" << r.violation << "'";
+}
+
+TEST(ParallelMC, CounterexampleReplayRoundTripDeadlock) {
+  class StuckWorld : public World {
+   public:
+    StuckWorld() : sim_(1, nullptr, ExecMode::kControlled) { sim_.start(); }
+    Simulator& simulator() override { return sim_; }
+    std::string check() override { return ""; }
+    bool done() override { return false; }
+
+   private:
+    Simulator sim_;
+  };
+  auto factory = [] { return std::make_unique<StuckWorld>(); };
+  const Result r = ekbd::mc::explore(factory, Options{});
+  ASSERT_TRUE(r.violation_found);
+  const ReplayOutcome replay = ekbd::mc::replay_counterexample(factory, r.counterexample);
+  EXPECT_TRUE(replay.reproduced(r.violation, r.counterexample.size()));
+}
+
+TEST(ParallelMC, ReplayRejectsIllegalPath) {
+  auto factory = [] { return std::make_unique<TwoChannelWorld>(); };
+  // Event 1 is behind event 0 on the same FIFO channel: illegal first.
+  const ReplayOutcome replay = ekbd::mc::replay_counterexample(factory, {1, 0});
+  EXPECT_FALSE(replay.valid);
+  EXPECT_EQ(replay.fired, 0u);
+}
+
+TEST(ParallelMC, IndependenceOracle) {
+  auto msg = [](std::uint64_t id, ProcessId from, ProcessId to) {
+    PendingEvent ev;
+    ev.id = id;
+    ev.kind = PendingEvent::Kind::kMessage;
+    ev.from = from;
+    ev.to = to;
+    return ev;
+  };
+  // Distinct recipients commute — including crossing messages on an edge.
+  EXPECT_TRUE(ekbd::mc::independent(msg(1, 0, 1), msg(2, 0, 2)));
+  EXPECT_TRUE(ekbd::mc::independent(msg(1, 0, 1), msg(2, 1, 0)));
+  // Same recipient: dependent (delivery order reaches one handler).
+  EXPECT_FALSE(ekbd::mc::independent(msg(1, 0, 2), msg(2, 1, 2)));
+  // Same channel FIFO pair: dependent.
+  EXPECT_FALSE(ekbd::mc::independent(msg(1, 0, 1), msg(2, 0, 1)));
+  // Timers and scheduled callbacks never commute with anything.
+  PendingEvent timer;
+  timer.id = 3;
+  timer.kind = PendingEvent::Kind::kTimer;
+  timer.owner = 5;
+  EXPECT_FALSE(ekbd::mc::independent(timer, msg(1, 0, 1)));
+  PendingEvent sched;
+  sched.id = 4;
+  sched.kind = PendingEvent::Kind::kScheduled;
+  EXPECT_FALSE(ekbd::mc::independent(sched, msg(1, 0, 1)));
+  EXPECT_FALSE(ekbd::mc::independent(sched, timer));
+}
+
+TEST(ParallelMC, ChannelKeysExposedOnPendingEvents) {
+  TwoChannelWorld world;
+  const auto eligible = world.simulator().eligible_events();
+  ASSERT_EQ(eligible.size(), 2u);  // one FIFO head per channel
+  EXPECT_NE(eligible[0].channel(), eligible[1].channel());
+  EXPECT_EQ(eligible[0].channel(), PendingEvent::channel_key(0, 1));
+  EXPECT_EQ(eligible[1].channel(), PendingEvent::channel_key(0, 2));
+  EXPECT_EQ(eligible[0].channel_rank, 0u);
+  EXPECT_EQ(eligible[1].channel_rank, 0u);
+}
+
+}  // namespace
