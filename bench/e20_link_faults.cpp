@@ -1,0 +1,279 @@
+// E20 — link faults, and the ARQ shim that absorbs them (extension).
+//
+// E17 showed that handing the diners a faulty channel *directly* destroys
+// the safety lemmas: reliable FIFO is a load-bearing assumption. This
+// experiment closes the loop — the same faults (probabilistic loss,
+// duplication, reordering, scheduled partitions) are injected *below* the
+// net/ ReliableTransport, and the full property battery is re-checked on
+// top. The claim under test is the classic fair-lossy → reliable-FIFO
+// reduction (docs/MODEL.md "Network fault model"): every paper property
+// survives unchanged, and the price appears only as physical retransmit
+// overhead and hungry→eat latency inflation.
+//
+// Grid: loss rate × duplication × partition length, each row pooled over
+// several seeds on a saturated ring(8). Per row:
+//  * properties      — P1 (fork uniqueness), P2 (◇WX), P3 (wait-freedom),
+//                      P4 (◇(m+1)-bounded waiting) and the §7 *logical*
+//                      channel bound, all-seeds verdict;
+//  * overhead        — physical data segments per logical message (1.00 =
+//                      no retransmissions);
+//  * latency ×       — mean hungry→eat response time relative to the
+//                      reliable baseline row;
+//  * the raw retransmission / duplicate-suppression counters.
+//
+// The last row cuts the ring in half *permanently*. That violates
+// fair-lossiness, so it sits outside the paper's envelope — the row
+// reports the degraded contract instead: both fragments keep eating
+// (per-side progress) while cross-cut traffic quiesces under permanent
+// ◇P₁ suspicion.
+//
+// Flags: --smoke (CI-sized grid) and --json PATH (machine-readable rows,
+// written as BENCH_e20.json by the CI smoke step).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dining/checkers.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::Algorithm;
+using scenario::Config;
+using scenario::DetectorKind;
+using scenario::NetMode;
+using scenario::Scenario;
+using sim::Time;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double drop;
+  double dup;
+  double reorder;
+  Time partition_len;  // 0 = none, -1 = permanent
+};
+
+struct RowResult {
+  const Row* row = nullptr;
+  int seeds = 0;
+  int property_passes = 0;  // seeds with the full battery clean
+  bool in_envelope = true;
+  double overhead_sum = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t response_sum = 0;  // pooled hungry->eat waits
+  std::uint64_t response_count = 0;
+  int per_side_progress = 0;  // permanent row: seeds where every process ate
+
+  [[nodiscard]] double mean_response() const {
+    return response_count == 0
+               ? 0.0
+               : static_cast<double>(response_sum) / static_cast<double>(response_count);
+  }
+};
+
+/// True iff the run satisfies P1–P4 and the §7 logical bound.
+bool battery_clean(Scenario& s, Time conv_floor, Time starvation_horizon) {
+  const Time conv = std::max(s.fd_convergence_estimate(), conv_floor);
+  if (conv >= s.config().run_for) return false;
+  if (!s.wait_freedom(starvation_horizon).wait_free()) return false;
+  if (s.exclusion().violations_after(conv) != 0) return false;
+  if (dining::max_overtakes(s.census(), conv) > s.config().acks_per_session + 1) {
+    return false;
+  }
+  if (s.sim().network().max_in_transit_any(sim::MsgLayer::kDining) > 4) return false;
+  for (std::size_t p = 0; p < s.config().n; ++p) {
+    if (s.wait_free_diner(static_cast<int>(p))->lemma11_violations() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int seeds = smoke ? 2 : 8;
+  const Time run_for = smoke ? 45'000 : 120'000;
+  const Time partition_from = 10'000;
+
+  const Row rows[] = {
+      {"reliable (baseline)", 0.0, 0.0, 0.0, 0},
+      {"10% loss", 0.10, 0.0, 0.0, 0},
+      {"30% loss", 0.30, 0.0, 0.0, 0},
+      {"20% duplication", 0.0, 0.20, 0.0, 0},
+      {"20% loss + 10% dup + 10% reorder", 0.20, 0.10, 0.10, 0},
+      {"10% loss + 5k partition", 0.10, 0.0, 0.0, 5'000},
+      {"10% loss + 15k partition", 0.10, 0.0, 0.0, 15'000},
+      {"10% loss + PERMANENT partition", 0.10, 0.0, 0.0, -1},
+  };
+
+  std::printf(
+      "E20 — paper properties over faulty links through the ARQ shim\n"
+      "(saturated ring(8), %d seeds/row, run %lld; partitions cut {0,1,2}\n"
+      "from t=10000; the permanent row splits the ring in half forever).\n\n",
+      seeds, static_cast<long long>(run_for));
+
+  std::vector<RowResult> results;
+  for (const Row& row : rows) {
+    RowResult res;
+    res.row = &row;
+    res.seeds = seeds;
+    res.in_envelope = row.partition_len >= 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Config cfg;
+      cfg.seed = 2'000 + static_cast<std::uint64_t>(seed);
+      cfg.topology = "ring";
+      cfg.n = 8;
+      cfg.algorithm = Algorithm::kWaitFree;
+      cfg.partial_synchrony = false;
+      cfg.uniform_delay_lo = 1;
+      cfg.uniform_delay_hi = 10;
+      cfg.harness.think_lo = 1;  // saturation: resources in constant motion
+      cfg.harness.think_hi = 8;
+      cfg.harness.eat_lo = 40;
+      cfg.harness.eat_hi = 100;
+      cfg.run_for = run_for;
+
+      const bool faulty = row.drop > 0 || row.dup > 0 || row.reorder > 0 ||
+                          row.partition_len != 0;
+      Time conv_floor = 0;
+      if (!faulty) {
+        cfg.net_mode = NetMode::kIdeal;
+        cfg.detector = DetectorKind::kScripted;
+      } else {
+        cfg.link_faults = net::LinkFaultParams{
+            .drop_prob = row.drop, .dup_prob = row.dup, .reorder_prob = row.reorder};
+        if (row.partition_len == 0) {
+          cfg.net_mode = NetMode::kLossy;
+          cfg.detector = DetectorKind::kScripted;
+        } else if (row.partition_len > 0) {
+          // Finite cut: the scripted oracle cannot see it, so the ARQ
+          // alone bridges the outage; "eventually" starts after the heal
+          // plus one capped-timeout flush cycle.
+          cfg.net_mode = NetMode::kLossyPartition;
+          cfg.detector = DetectorKind::kScripted;
+          cfg.partitions.push_back(net::Partition{
+              .side = {0, 1, 2},
+              .from = partition_from,
+              .until = partition_from + row.partition_len});
+          conv_floor = partition_from + row.partition_len + 6'000;
+        } else {
+          // Permanent cut: ◇P₁ must *suspect* across it for either side
+          // to make progress, so the detector has to be message-driven.
+          cfg.net_mode = NetMode::kLossyPartition;
+          cfg.detector = DetectorKind::kHeartbeat;
+          cfg.partitions.push_back(net::Partition{
+              .side = {0, 1, 2, 3}, .from = partition_from, .until = -1});
+        }
+      }
+
+      Scenario s(cfg);
+      s.run();
+
+      if (res.in_envelope) {
+        const Time horizon = row.partition_len > 0 ? row.partition_len + 15'000 : 25'000;
+        if (battery_clean(s, conv_floor, horizon)) ++res.property_passes;
+      } else {
+        // Outside the envelope: record the degraded contract instead.
+        bool all_ate = true;
+        for (std::size_t p = 0; p < cfg.n; ++p) {
+          if (s.trace().count(dining::TraceEventKind::kStartEating,
+                              static_cast<int>(p)) == 0) {
+            all_ate = false;
+          }
+        }
+        if (all_ate) ++res.per_side_progress;
+      }
+      if (s.transport() != nullptr) {
+        res.overhead_sum += s.transport()->overhead();
+        res.retransmissions += s.transport()->retransmissions();
+        res.dup_suppressed += s.transport()->duplicates_suppressed();
+      } else {
+        res.overhead_sum += 1.0;  // ideal mode: no shim, no overhead
+      }
+      for (const auto& sess : dining::hungry_sessions(s.trace())) {
+        if (!sess.completed()) continue;
+        res.response_sum += static_cast<std::uint64_t>(sess.response_time());
+        ++res.response_count;
+      }
+    }
+    results.push_back(res);
+  }
+
+  const double base_latency = results.front().mean_response();
+  util::Table t({"channel", "properties", "overhead", "latency x", "retransmits",
+                 "dups dropped"});
+  for (const RowResult& res : results) {
+    const double inflation =
+        base_latency <= 0.0 ? 1.0 : res.mean_response() / base_latency;
+    t.row()
+        .cell(res.row->label)
+        .cell(res.in_envelope
+                  ? std::to_string(res.property_passes) + "/" + std::to_string(res.seeds)
+                  : "outside envelope (" + std::to_string(res.per_side_progress) + "/" +
+                        std::to_string(res.seeds) + " per-side progress)")
+        .cell(res.overhead_sum / res.seeds, 2)
+        .cell(inflation, 2)
+        .cell(res.retransmissions)
+        .cell(res.dup_suppressed);
+  }
+  t.print();
+  std::printf(
+      "Reading: every in-envelope row keeps all of P1–P4 and the logical §7\n"
+      "bound — exactly the reduction the transport promises — while loss shows\n"
+      "up strictly below, as retransmit overhead and latency inflation. The\n"
+      "permanent cut is the contrast row: the reduction's fair-lossy premise is\n"
+      "void, global guarantees are not claimed, yet both fragments keep eating\n"
+      "and cross-cut retransmission quiesces instead of flooding a dead link.\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\"experiment\":\"e20_link_faults\",\"smoke\":" << (smoke ? "true" : "false")
+        << ",\"seeds_per_row\":" << seeds << ",\"run_for\":" << run_for << ",\"rows\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RowResult& res = results[i];
+      const double inflation =
+          base_latency <= 0.0 ? 1.0 : res.mean_response() / base_latency;
+      if (i != 0) out << ",";
+      out << "{\"label\":\"" << res.row->label << "\""
+          << ",\"drop\":" << res.row->drop << ",\"dup\":" << res.row->dup
+          << ",\"reorder\":" << res.row->reorder
+          << ",\"partition_len\":" << res.row->partition_len
+          << ",\"in_envelope\":" << (res.in_envelope ? "true" : "false")
+          << ",\"property_passes\":" << res.property_passes
+          << ",\"per_side_progress\":" << res.per_side_progress
+          << ",\"overhead\":" << res.overhead_sum / res.seeds
+          << ",\"latency_inflation\":" << inflation
+          << ",\"retransmissions\":" << res.retransmissions
+          << ",\"duplicates_suppressed\":" << res.dup_suppressed << "}";
+    }
+    out << "]}\n";
+  }
+
+  // CI treats a non-zero exit as a property regression.
+  for (const RowResult& res : results) {
+    if (res.in_envelope && res.property_passes != res.seeds) return 1;
+  }
+  return 0;
+}

@@ -63,7 +63,7 @@ Result run_case(Algorithm algo, const stab::Protocol& proto, const char* topo, s
   daemon::DaemonScheduler d(s.harness(), proto, regs);
   std::unique_ptr<daemon::FaultInjector> inj;
   if (with_transients) {
-    inj = std::make_unique<daemon::FaultInjector>(s.sim(), regs, proto, s.graph());
+    inj = std::make_unique<daemon::FaultInjector>(s.sim(), regs, proto, s.graph(), seed ^ 0xFA17);
     inj->schedule_train(60'000, 25'000, 3, 3);  // last burst at t=110000
   }
   s.run();

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     sim::Rng rng(seed);
     regs.randomize(rng, 0, proto.k() - 1);  // arbitrary initial configuration
     daemon::DaemonScheduler d(s.harness(), proto, regs);
-    daemon::FaultInjector inj(s.sim(), regs, proto, s.graph());
+    daemon::FaultInjector inj(s.sim(), regs, proto, s.graph(), seed ^ 0xFA17);
     inj.schedule_train(30'000, 20'000, 4, 3);
     s.run();
     table.row()

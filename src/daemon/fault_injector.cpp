@@ -7,12 +7,12 @@ using ekbd::sim::Time;
 
 FaultInjector::FaultInjector(ekbd::sim::Simulator& sim, ekbd::stab::StateTable& table,
                              const ekbd::stab::Protocol& protocol,
-                             const ekbd::graph::ConflictGraph& graph)
+                             const ekbd::graph::ConflictGraph& graph, std::uint64_t seed)
     : sim_(sim),
       table_(table),
       protocol_(protocol),
       graph_(graph),
-      rng_(sim.rng().fork(0xFA17)) {}
+      rng_(seed) {}
 
 void FaultInjector::schedule_burst(Time at, std::size_t registers) {
   sim_.schedule(at, [this, registers] { burst(registers); });

@@ -17,9 +17,13 @@ namespace ekbd::daemon {
 
 class FaultInjector {
  public:
+  /// \param seed explicit seed for the corruption stream. Required: the
+  ///   injector must NOT derive randomness from the simulator's master Rng
+  ///   (forking it consumes a draw, perturbing every later delay in the
+  ///   run — constructing an injector would change the schedule).
   FaultInjector(ekbd::sim::Simulator& sim, ekbd::stab::StateTable& table,
                 const ekbd::stab::Protocol& protocol,
-                const ekbd::graph::ConflictGraph& graph);
+                const ekbd::graph::ConflictGraph& graph, std::uint64_t seed);
 
   /// At time `at`, corrupt `registers` randomly chosen (process, register)
   /// slots of live processes with random in-domain values.

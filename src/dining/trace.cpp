@@ -23,6 +23,10 @@ std::string to_string(TraceEventKind k) {
     case TraceEventKind::kStartEating: return "eat";
     case TraceEventKind::kStopEating: return "exit";
     case TraceEventKind::kCrashed: return "crash";
+    case TraceEventKind::kNetDrop: return "netdrop";
+    case TraceEventKind::kNetDup: return "netdup";
+    case TraceEventKind::kPartitionCut: return "cut";
+    case TraceEventKind::kPartitionHeal: return "heal";
   }
   return "?";
 }
@@ -101,6 +105,10 @@ std::vector<HungrySession> hungry_sessions(const Trace& trace) {
         break;
       }
       case TraceEventKind::kStopEating:
+      case TraceEventKind::kNetDrop:
+      case TraceEventKind::kNetDup:
+      case TraceEventKind::kPartitionCut:
+      case TraceEventKind::kPartitionHeal:
         break;
     }
   }

@@ -16,6 +16,10 @@ const char* kind_token(TraceEventKind k) {
     case TraceEventKind::kStartEating: return "eat";
     case TraceEventKind::kStopEating: return "exit";
     case TraceEventKind::kCrashed: return "crash";
+    case TraceEventKind::kNetDrop: return "netdrop";
+    case TraceEventKind::kNetDup: return "netdup";
+    case TraceEventKind::kPartitionCut: return "cut";
+    case TraceEventKind::kPartitionHeal: return "heal";
   }
   return "?";
 }
@@ -26,6 +30,10 @@ bool parse_kind(const std::string& s, TraceEventKind& out) {
   else if (s == "eat") out = TraceEventKind::kStartEating;
   else if (s == "exit") out = TraceEventKind::kStopEating;
   else if (s == "crash") out = TraceEventKind::kCrashed;
+  else if (s == "netdrop") out = TraceEventKind::kNetDrop;
+  else if (s == "netdup") out = TraceEventKind::kNetDup;
+  else if (s == "cut") out = TraceEventKind::kPartitionCut;
+  else if (s == "heal") out = TraceEventKind::kPartitionHeal;
   else return false;
   return true;
 }

@@ -31,6 +31,13 @@ enum class TraceEventKind : std::uint8_t {
   kStartEating,
   kStopEating,
   kCrashed,
+  // Network-fault records (net::LinkFaultModel): not scheduling events —
+  // every checker ignores them — but kept in the trace so a verdict can be
+  // read next to the fault schedule that produced it.
+  kNetDrop,        ///< adversary lost a physical message (process = sender)
+  kNetDup,         ///< adversary duplicated a physical message (process = sender)
+  kPartitionCut,   ///< a scheduled partition/edge cut activates (process = kNoProcess)
+  kPartitionHeal,  ///< a scheduled partition/edge cut heals (process = kNoProcess)
 };
 
 [[nodiscard]] std::string to_string(TraceEventKind k);

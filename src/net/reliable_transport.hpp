@@ -1,0 +1,180 @@
+/// \file reliable_transport.hpp
+/// ARQ shim: reliable FIFO channels over a fair-lossy, duplicating,
+/// reordering network.
+///
+/// The standard construction (Aspnes, *Notes on Theory of Distributed
+/// Systems*; Stenning's protocol): per directed edge the sender numbers
+/// logical messages 0, 1, 2, ..., keeps everything unacknowledged in a
+/// retransmission queue, and retransmits on a timeout with exponential
+/// backoff capped at `rto_max`; the receiver delivers strictly in sequence
+/// order (buffering out-of-order arrivals, suppressing duplicates) and
+/// answers every data segment with a cumulative acknowledgement. The
+/// dining/doorway/fork layers above see exactly the reliable FIFO channel
+/// the paper assumes — loss, duplication and reordering are absorbed here.
+///
+/// Accounting: physical segments travel on MsgLayer::kTransport; the
+/// *logical* messages are booked on their own layer via
+/// Network::logical_sent / logical_delivered, so the §7 bound (≤ 4 dining
+/// messages in transit per edge) and the quiescence checker read off the
+/// same Network API in raw and transport modes, and retransmit overhead is
+/// the visible difference between the kTransport and logical books.
+///
+/// Quiescence toward dead peers: a retransmission loop consults the ◇P₁
+/// oracle. While the sender suspects the peer it transmits nothing (the
+/// loop idles at the capped timeout); if the suspicion is a ◇P₁ mistake it
+/// is eventually retracted and retransmission resumes — no logical message
+/// to a correct process is ever abandoned. Only when the peer is suspected
+/// *and* has actually crashed (crash-stop: it can never return) is the
+/// queue discarded and the loop stopped — the ground truth is used purely
+/// to garbage-collect state; traffic quiescence is driven by suspicion
+/// alone, so a permanently partitioned (live but unreachable) peer also
+/// goes quiet as soon as ◇P₁ suspects it.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fd/detector.hpp"
+#include "sim/net_hooks.hpp"
+#include "sim/simulator.hpp"
+
+namespace ekbd::net {
+
+using ekbd::sim::MsgLayer;
+using ekbd::sim::ProcessId;
+using ekbd::sim::Time;
+
+/// Physical wire format: one logical message per data segment.
+struct DataSegment {
+  std::uint64_t seq = 0;          ///< per-directed-edge ARQ sequence number
+  MsgLayer layer = MsgLayer::kOther;  ///< the logical layer carried
+  std::uint64_t logical_seq = 0;  ///< Network::logical_sent global number
+  Time logical_sent_at = 0;       ///< when the sender handed it to the ARQ
+  std::any payload;               ///< the logical message itself
+};
+
+/// Cumulative acknowledgement: "I have delivered everything < cumulative".
+struct AckSegment {
+  std::uint64_t cumulative = 0;
+};
+
+class ReliableTransport final : public ekbd::sim::Transport {
+ public:
+  struct Params {
+    Time rto_initial = 40;    ///< first retransmission timeout
+    double rto_backoff = 2.0; ///< multiplicative backoff per retry
+    Time rto_max = 1'500;     ///< backoff cap (also the idle-probe cadence)
+    /// Layers carried by the ARQ. Detector traffic deliberately stays raw:
+    /// ◇P₁ implementations are loss-tolerant by design and retransmitting
+    /// heartbeats would falsify their timing assumptions.
+    bool cover_dining = true;
+    bool cover_other = true;
+  };
+
+  /// Installs itself on `sim` (set_transport). `detector` (may be null)
+  /// gates retransmission quiescence; pass the same oracle the diners use.
+  ReliableTransport(ekbd::sim::Simulator& sim, Params params,
+                    const ekbd::fd::FailureDetector* detector = nullptr);
+  ~ReliableTransport() override;
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  // -- sim::Transport ----------------------------------------------------
+
+  [[nodiscard]] bool covers(MsgLayer layer) const override;
+  void logical_send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) override;
+  bool on_physical_deliver(const ekbd::sim::Message& m) override;
+
+  // -- instrumentation ---------------------------------------------------
+
+  [[nodiscard]] std::uint64_t logical_sends() const { return logical_sends_; }
+  [[nodiscard]] std::uint64_t logical_deliveries() const { return logical_deliveries_; }
+  [[nodiscard]] std::uint64_t physical_data_sends() const { return physical_data_sends_; }
+  [[nodiscard]] std::uint64_t physical_ack_sends() const { return physical_ack_sends_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  [[nodiscard]] std::uint64_t abandoned_to_dead() const { return abandoned_to_dead_; }
+
+  /// Physical overhead factor: data segments sent per logical message
+  /// (1.0 = no retransmissions; loss-free link).
+  [[nodiscard]] double overhead() const {
+    return logical_sends_ == 0
+               ? 1.0
+               : static_cast<double>(physical_data_sends_) /
+                     static_cast<double>(logical_sends_);
+  }
+
+  /// Time of the most recent *data* transmission (first send or
+  /// retransmit) toward `to` from anyone; -1 if none. The quiescence
+  /// checks assert this stops advancing once ◇P₁ suspects a dead peer.
+  [[nodiscard]] Time last_data_send_to(ProcessId to) const;
+
+  /// Same clock for one directed edge only (-1 if it never carried data) —
+  /// lets partition tests watch a single cut link while same-side traffic
+  /// to the same receiver continues.
+  [[nodiscard]] Time last_data_send(ProcessId from, ProcessId to) const;
+
+  /// Logical messages accepted but neither delivered nor abandoned yet
+  /// (in the sender queue or the receiver reorder buffer).
+  [[nodiscard]] std::uint64_t logical_in_flight() const {
+    return logical_sends_ - logical_deliveries_ - abandoned_to_dead_;
+  }
+
+ private:
+  struct PendingMsg {
+    std::any payload;
+    MsgLayer layer = MsgLayer::kOther;
+    std::uint64_t logical_seq = 0;
+    Time logical_sent_at = 0;
+  };
+
+  /// Sender half of one directed edge.
+  struct EdgeTx {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, PendingMsg> unacked;  // seq -> message
+    Time rto = 0;              ///< current timeout (0 = not initialized)
+    std::uint64_t timer_gen = 0;  ///< invalidates stale scheduled closures
+    bool timer_armed = false;
+    Time last_data_send = -1;
+  };
+
+  /// Receiver half of one directed edge.
+  struct EdgeRx {
+    std::uint64_t expected = 0;                    // next in-order seq
+    std::map<std::uint64_t, PendingMsg> buffered;  // out-of-order arrivals
+  };
+
+  static std::uint64_t edge_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
+  }
+
+  void transmit(ProcessId from, ProcessId to, EdgeTx& tx, std::uint64_t seq);
+  void arm_timer(ProcessId from, ProcessId to, EdgeTx& tx, Time delay);
+  void on_timer(ProcessId from, ProcessId to, std::uint64_t gen);
+  void handle_data(const ekbd::sim::Message& m, const DataSegment& ds);
+  void handle_ack(const ekbd::sim::Message& m, const AckSegment& ack);
+  void abandon(ProcessId from, ProcessId to, EdgeTx& tx);
+  [[nodiscard]] bool suspected(ProcessId owner, ProcessId target) const;
+
+  ekbd::sim::Simulator& sim_;
+  Params params_;
+  const ekbd::fd::FailureDetector* detector_;
+  std::unordered_map<std::uint64_t, EdgeTx> tx_;
+  std::unordered_map<std::uint64_t, EdgeRx> rx_;
+  std::unordered_set<std::uint64_t> dead_edges_;  ///< abandoned directed edges
+  std::unordered_map<ProcessId, Time> last_data_send_to_;
+  std::uint64_t logical_sends_ = 0;
+  std::uint64_t logical_deliveries_ = 0;
+  std::uint64_t physical_data_sends_ = 0;
+  std::uint64_t physical_ack_sends_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t abandoned_to_dead_ = 0;
+};
+
+}  // namespace ekbd::net

@@ -20,6 +20,15 @@ std::string to_string(Algorithm a) {
   return "?";
 }
 
+std::string to_string(NetMode m) {
+  switch (m) {
+    case NetMode::kIdeal: return "ideal";
+    case NetMode::kLossy: return "lossy";
+    case NetMode::kLossyPartition: return "lossy+partition";
+  }
+  return "?";
+}
+
 std::string to_string(DetectorKind d) {
   switch (d) {
     case DetectorKind::kNever: return "none";
@@ -130,6 +139,40 @@ Scenario::Scenario(Config cfg)
     detector_ = sabotage_wrapper_.get();
   }
 
+  // -- link-fault adversary + reliable transport --------------------------
+  if (cfg_.net_mode != NetMode::kIdeal) {
+    const std::uint64_t net_seed =
+        cfg_.net_seed != 0 ? cfg_.net_seed : (cfg_.seed ^ 0x6E657441ULL);
+    fault_model_ = std::make_unique<ekbd::net::LinkFaultModel>(net_seed, cfg_.link_faults);
+    if (cfg_.net_mode == NetMode::kLossyPartition) {
+      for (const auto& p : cfg_.partitions) fault_model_->add_partition(p);
+      for (const auto& c : cfg_.edge_cuts) fault_model_->add_edge_cut(c);
+    }
+    if (cfg_.trace_net_events) {
+      using FaultEvent = ekbd::net::LinkFaultModel::FaultEvent;
+      fault_model_->set_observer([this](const FaultEvent& ev) {
+        if (harness_ == nullptr) return;  // faults only fire during the run
+        switch (ev.kind) {
+          case FaultEvent::Kind::kDrop:
+          case FaultEvent::Kind::kPartitionDrop:
+            harness_->trace().record(ev.at, ev.from, ekbd::dining::TraceEventKind::kNetDrop);
+            break;
+          case FaultEvent::Kind::kDuplicate:
+            harness_->trace().record(ev.at, ev.from, ekbd::dining::TraceEventKind::kNetDup);
+            break;
+          case FaultEvent::Kind::kReorder:
+            break;  // reordering is visible only in the event log
+        }
+      });
+    }
+    sim_->set_adversary(fault_model_.get());
+    // The shim consults the same (possibly sabotaged) oracle the diners
+    // use, so retransmission quiesces exactly when the algorithm gives up
+    // on a peer.
+    transport_ = std::make_unique<ekbd::net::ReliableTransport>(*sim_, cfg_.transport,
+                                                                detector_);
+  }
+
   // -- harness + diners ---------------------------------------------------
   harness_ = std::make_unique<ekbd::dining::Harness>(*sim_, graph_, cfg_.harness);
   diners_.reserve(graph_.size());
@@ -183,6 +226,25 @@ Scenario::Scenario(Config cfg)
 
   for (const auto& [p, at] : cfg_.crashes) {
     harness_->schedule_crash(p, at);
+  }
+
+  // Mark partition boundaries in the trace so a verdict can be read next
+  // to the fault schedule that produced it (kNoProcess: not a scheduling
+  // event of any diner).
+  if (cfg_.net_mode == NetMode::kLossyPartition && cfg_.trace_net_events) {
+    const auto mark = [this](Time at, ekbd::dining::TraceEventKind kind) {
+      sim_->schedule(at, [this, kind] {
+        harness_->trace().record(sim_->now(), ekbd::sim::kNoProcess, kind);
+      });
+    };
+    for (const auto& p : cfg_.partitions) {
+      mark(p.from, ekbd::dining::TraceEventKind::kPartitionCut);
+      if (p.until >= 0) mark(p.until, ekbd::dining::TraceEventKind::kPartitionHeal);
+    }
+    for (const auto& c : cfg_.edge_cuts) {
+      mark(c.from, ekbd::dining::TraceEventKind::kPartitionCut);
+      if (c.until >= 0) mark(c.until, ekbd::dining::TraceEventKind::kPartitionHeal);
+    }
   }
 }
 

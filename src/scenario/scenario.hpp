@@ -28,6 +28,8 @@
 #include "fd/scripted.hpp"
 #include "graph/coloring.hpp"
 #include "graph/graph.hpp"
+#include "net/link_fault_model.hpp"
+#include "net/reliable_transport.hpp"
 
 namespace ekbd::scenario {
 
@@ -56,6 +58,15 @@ enum class DetectorKind {
 };
 
 [[nodiscard]] std::string to_string(DetectorKind d);
+
+/// Network fidelity of the run.
+enum class NetMode {
+  kIdeal,           ///< reliable FIFO channels — the paper's model (default)
+  kLossy,           ///< probabilistic loss/dup/reorder + ARQ shim (net/)
+  kLossyPartition,  ///< kLossy plus the scheduled partitions/edge cuts below
+};
+
+[[nodiscard]] std::string to_string(NetMode m);
 
 struct Config {
   std::uint64_t seed = 1;
@@ -106,6 +117,21 @@ struct Config {
   double channel_dup_prob = 0.0;
   double channel_reorder_prob = 0.0;
 
+  /// Network fault model + reliable transport (the net/ subsystem). In
+  /// kLossy / kLossyPartition a LinkFaultModel adversary attacks every
+  /// physical send and a ReliableTransport ARQ shim is interposed under
+  /// the dining layer, so the diners still see reliable FIFO channels.
+  NetMode net_mode = NetMode::kIdeal;
+  ekbd::net::LinkFaultParams link_faults{
+      .drop_prob = 0.1, .dup_prob = 0.05, .reorder_prob = 0.05};
+  std::vector<ekbd::net::Partition> partitions;  ///< kLossyPartition only
+  std::vector<ekbd::net::EdgeCut> edge_cuts;     ///< kLossyPartition only
+  ekbd::net::ReliableTransport::Params transport{};
+  /// Seed of the fault-coin stream; 0 derives one from `seed`. Always
+  /// explicit internally — equal Configs replay equal fault schedules.
+  std::uint64_t net_seed = 0;
+  bool trace_net_events = true;  ///< record netdrop/netdup/cut/heal in the trace
+
   // environment
   ekbd::dining::HarnessOptions harness{};
 
@@ -140,6 +166,10 @@ class Scenario {
   [[nodiscard]] ekbd::fd::HeartbeatDetector* heartbeat_detector() { return heartbeat_; }
   [[nodiscard]] ekbd::fd::PingPongDetector* pingpong_detector() { return pingpong_; }
   [[nodiscard]] ekbd::fd::AccrualDetector* accrual_detector() { return accrual_; }
+  /// Installed link-fault adversary (nullptr when net_mode == kIdeal).
+  [[nodiscard]] ekbd::net::LinkFaultModel* fault_model() { return fault_model_.get(); }
+  /// Installed ARQ shim (nullptr when net_mode == kIdeal).
+  [[nodiscard]] ekbd::net::ReliableTransport* transport() { return transport_.get(); }
 
   // -- canned reports ------------------------------------------------------
 
@@ -161,6 +191,10 @@ class Scenario {
   ekbd::graph::ConflictGraph graph_;
   ekbd::graph::Coloring colors_;
   std::unique_ptr<ekbd::sim::Simulator> sim_;
+  // net objects must outlive nothing that uses them and die before sim_
+  // (the transport detaches from the simulator in its destructor).
+  std::unique_ptr<ekbd::net::LinkFaultModel> fault_model_;
+  std::unique_ptr<ekbd::net::ReliableTransport> transport_;
   std::unique_ptr<ekbd::fd::FailureDetector> owned_detector_;
   std::unique_ptr<ekbd::fd::FailureDetector> sabotage_wrapper_;
   std::vector<std::unique_ptr<ekbd::fd::FailureDetector>> chained_wrappers_;

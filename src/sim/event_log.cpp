@@ -53,6 +53,18 @@ std::string LoggedEvent::describe() const {
     case Kind::kCrash:
       std::snprintf(buf, sizeof(buf), "t=%lld CRASH   p%d", static_cast<long long>(at), from);
       break;
+    case Kind::kLoss:
+      std::snprintf(buf, sizeof(buf), "t=%lld LOSS    p%d -> p%d  %s (link fault)",
+                    static_cast<long long>(at), from, to, payload_name().c_str());
+      break;
+    case Kind::kDuplicate:
+      std::snprintf(buf, sizeof(buf), "t=%lld dup     p%d -> p%d  %s (adversary copy)",
+                    static_cast<long long>(at), from, to, payload_name().c_str());
+      break;
+    case Kind::kPartitionLoss:
+      std::snprintf(buf, sizeof(buf), "t=%lld CUT     p%d -> p%d  %s (partitioned)",
+                    static_cast<long long>(at), from, to, payload_name().c_str());
+      break;
   }
   return buf;
 }

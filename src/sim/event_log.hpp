@@ -21,11 +21,14 @@ namespace ekbd::sim {
 
 struct LoggedEvent {
   enum class Kind : std::uint8_t {
-    kSend,     ///< message handed to the network
-    kDeliver,  ///< message handed to the recipient
-    kDrop,     ///< message reached a crashed recipient
-    kTimer,    ///< a timer fired at `from`
-    kCrash,    ///< process `from` crashed
+    kSend,           ///< message handed to the network
+    kDeliver,        ///< message handed to the recipient
+    kDrop,           ///< message reached a crashed recipient
+    kTimer,          ///< a timer fired at `from`
+    kCrash,          ///< process `from` crashed
+    kLoss,           ///< message lost in flight (link-fault adversary)
+    kDuplicate,      ///< adversary injected a duplicate copy
+    kPartitionLoss,  ///< message lost because the (from,to) link was cut
   };
 
   Time at = 0;

@@ -17,10 +17,14 @@ namespace ekbd::sim {
 
 /// Which subsystem a message belongs to, for per-layer accounting.
 enum class MsgLayer : std::uint8_t {
-  kDining,    ///< ping/ack/fork/token traffic of a dining algorithm
-  kDetector,  ///< failure-detector heartbeats
-  kOther,     ///< anything else (tests, examples)
+  kDining,     ///< ping/ack/fork/token traffic of a dining algorithm
+  kDetector,   ///< failure-detector heartbeats
+  kOther,      ///< anything else (tests, examples)
+  kTransport,  ///< ARQ segments/acks of net::ReliableTransport (physical)
 };
+
+/// Number of MsgLayer values (per-layer bookkeeping array sizes).
+inline constexpr int kNumMsgLayers = 4;
 
 struct Message {
   ProcessId from = kNoProcess;

@@ -1,0 +1,74 @@
+/// \file net_hooks.hpp
+/// Seams between the simulator core and the optional net/ subsystem.
+///
+/// The simulator stays ignorant of how faults are chosen and how
+/// reliability is recovered; it only knows two interposition points:
+///
+///  * `ChannelAdversary` — consulted once per physical send (timed mode):
+///    may drop the message in flight, inject a duplicate, or exempt it
+///    from per-channel FIFO (reordering). net::LinkFaultModel implements
+///    it with seed-deterministic per-edge probabilities and scheduled
+///    partitions.
+///
+///  * `Transport` — intercepts *logical* sends on the layers it covers and
+///    consumes its own physical segments at delivery. net::ReliableTransport
+///    implements it as a per-edge ARQ (sequence numbers, cumulative acks,
+///    duplicate suppression, retransmission with capped exponential
+///    backoff), rebuilding the reliable FIFO channel the paper assumes on
+///    top of a faulty link.
+///
+/// Both hooks are inert unless installed (Simulator::set_adversary /
+/// set_transport) and apply to ExecMode::kTimed only — controlled-mode
+/// model checking explores the reliable-FIFO model directly.
+#pragma once
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::sim {
+
+/// Per-send fault decision. `drop` wins over `duplicate`/`reorder`; a
+/// dropped message still occupies the channel until its delivery time
+/// (it was lost in flight, not at the sender), when the simulator settles
+/// the books and logs kLoss/kPartitionLoss instead of delivering.
+struct FaultDecision {
+  bool drop = false;         ///< lose the message in flight
+  bool partitioned = false;  ///< the drop was a partition cut (for logging)
+  bool duplicate = false;    ///< deliver a second, independently delayed copy
+  bool reorder = false;      ///< stamp outside the per-channel FIFO horizon
+};
+
+class ChannelAdversary {
+ public:
+  virtual ~ChannelAdversary() = default;
+
+  /// Decide the fate of one physical message at send time. Called exactly
+  /// once per send (and once more for the adversary's own duplicate), in
+  /// deterministic simulator order — implementations draw from their own
+  /// explicitly seeded Rng so equal seeds give equal fault schedules.
+  virtual FaultDecision on_send(ProcessId from, ProcessId to, MsgLayer layer, Time now) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Layers this transport carries (others bypass it and hit the raw
+  /// network directly — e.g. failure-detector heartbeats, which are
+  /// loss-tolerant by design).
+  [[nodiscard]] virtual bool covers(MsgLayer layer) const = 0;
+
+  /// Accept a logical message from `from` for in-order reliable delivery
+  /// to `to`. The transport emits physical segments via
+  /// Simulator::raw_send and releases the payload through
+  /// Simulator::deliver_logical once it arrives in order.
+  virtual void logical_send(ProcessId from, ProcessId to, std::any payload,
+                            MsgLayer layer) = 0;
+
+  /// Offer a delivered physical message. Returns true if it was a
+  /// transport segment (consumed); false lets the simulator dispatch it
+  /// to the recipient actor as usual.
+  virtual bool on_physical_deliver(const Message& m) = 0;
+};
+
+}  // namespace ekbd::sim

@@ -39,6 +39,27 @@ void Network::delivered(const Message& m) {
   if (it != pair_stats_[li].end()) --it->second.in_transit;
 }
 
+std::uint64_t Network::logical_sent(ProcessId from, ProcessId to, MsgLayer layer, Time now,
+                                    bool target_crashed) {
+  const int li = layer_index(layer);
+  ++totals_[li];
+  ChannelStats& cs = pair_stats_[li][pair_key(from, to)];
+  ++cs.total;
+  ++cs.in_transit;
+  cs.max_in_transit = std::max(cs.max_in_transit, cs.in_transit);
+
+  PerTarget& pt = per_target_[li][to];
+  pt.last_send = now;
+  if (target_crashed) ++pt.after_crash;
+  return next_seq_++;
+}
+
+void Network::logical_delivered(ProcessId from, ProcessId to, MsgLayer layer) {
+  const int li = layer_index(layer);
+  auto it = pair_stats_[li].find(pair_key(from, to));
+  if (it != pair_stats_[li].end()) --it->second.in_transit;
+}
+
 ChannelStats Network::channel(ProcessId a, ProcessId b, MsgLayer layer) const {
   const auto& map = pair_stats_[layer_index(layer)];
   auto it = map.find(pair_key(a, b));

@@ -40,9 +40,36 @@ class Network {
   /// horizon and may undercut earlier messages.
   void stamp(Message& m, Time now, Time latency, bool target_crashed, bool fifo = true);
 
-  /// Record that a message reached its delivery time (whether the target
-  /// was live or the message was dropped on arrival at a crashed target).
+  /// Record that a message reached its delivery time. This MUST be called
+  /// for every stamped message exactly once — on normal delivery, on
+  /// drop-at-delivery at a crashed target, and on adversarial loss — so
+  /// channel occupancy always returns to 0 once the air clears.
   void delivered(const Message& m);
+
+  // -- logical accounting (net::ReliableTransport) ----------------------
+  //
+  // When an ARQ transport is interposed, physical segments travel on
+  // MsgLayer::kTransport while the *logical* messages the paper's §7
+  // bounds are about (≤4 dining messages per edge, quiescence toward
+  // crashed processes) are tracked here: `logical_sent` when the sender
+  // hands a message to the transport, `logical_delivered` when the
+  // receiving endpoint releases it to the actor, `logical_dropped` when
+  // the sender abandons it (peer crashed and suspected). The same books
+  // back both paths, so checkers read `channel()` / `max_in_transit_any`
+  // / `sends_to_crashed` identically in raw and transport modes.
+
+  /// Account a logical send on `layer`; returns its global sequence number.
+  std::uint64_t logical_sent(ProcessId from, ProcessId to, MsgLayer layer, Time now,
+                             bool target_crashed);
+
+  /// A logical message was released to the receiving actor.
+  void logical_delivered(ProcessId from, ProcessId to, MsgLayer layer);
+
+  /// A logical message was abandoned by the transport (settles occupancy
+  /// exactly like a drop-at-delivery).
+  void logical_dropped(ProcessId from, ProcessId to, MsgLayer layer) {
+    logical_delivered(from, to, layer);
+  }
 
   /// Stats for the undirected pair {a, b} on `layer` (zeroes if no traffic).
   [[nodiscard]] ChannelStats channel(ProcessId a, ProcessId b, MsgLayer layer) const;
@@ -69,7 +96,7 @@ class Network {
   }
 
  private:
-  static constexpr int kLayers = 3;
+  static constexpr int kLayers = kNumMsgLayers;
 
   struct PairKey {
     std::uint64_t key;
@@ -96,7 +123,7 @@ class Network {
   };
 
   std::uint64_t next_seq_ = 0;
-  std::uint64_t totals_[kLayers] = {0, 0, 0};
+  std::uint64_t totals_[kLayers] = {};
   // FIFO horizon per *directed* channel: latest deliver_at handed out.
   std::unordered_map<PairKey, Time, PairKeyHash> fifo_horizon_;
   // Occupancy per undirected pair and layer.

@@ -100,6 +100,16 @@ void Simulator::schedule(Time at, std::function<void()> fn) {
 void Simulator::send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) {
   assert(to >= 0 && static_cast<std::size_t>(to) < actors_.size());
   if (crashed(from)) return;  // a dead process sends nothing
+  if (transport_ != nullptr && mode_ == ExecMode::kTimed && transport_->covers(layer)) {
+    transport_->logical_send(from, to, std::move(payload), layer);
+    return;
+  }
+  raw_send(from, to, std::move(payload), layer);
+}
+
+void Simulator::raw_send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) {
+  assert(to >= 0 && static_cast<std::size_t>(to) < actors_.size());
+  if (crashed(from)) return;  // a dead process sends nothing
   Message m;
   m.from = from;
   m.to = to;
@@ -117,13 +127,28 @@ void Simulator::send(ProcessId from, ProcessId to, std::any payload, MsgLayer la
                     [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
     return;
   }
-  const bool duplicate = dup_prob_ > 0.0 && rng_.chance(dup_prob_);
-  const bool reorder = reorder_prob_ > 0.0 && rng_.chance(reorder_prob_);
+  const bool legacy_dup = dup_prob_ > 0.0 && rng_.chance(dup_prob_);
+  bool reorder = reorder_prob_ > 0.0 && rng_.chance(reorder_prob_);
+  bool drop = false;
+  bool partitioned = false;
+  bool adversary_dup = false;
+  if (adversary_ != nullptr) {
+    const FaultDecision d = adversary_->on_send(from, to, layer, now_);
+    drop = d.drop;
+    partitioned = d.partitioned;
+    adversary_dup = !drop && d.duplicate;
+    reorder = reorder || d.reorder;
+  }
+  const bool duplicate = adversary_dup || (!drop && legacy_dup);
   Time latency = delays_->sample(from, to, now_, rng_);
   if (duplicate) {
     Message copy = m;  // independent delay for the ghost
     network_.stamp(copy, now_, delays_->sample(from, to, now_, rng_), crashed(to),
                    /*fifo=*/false);
+    if (adversary_dup && event_log_ != nullptr) {
+      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDuplicate, from, to, layer,
+                                     copy.seq, std::type_index(copy.payload.type())});
+    }
     push_event(copy.deliver_at, [this, copy = std::move(copy)]() mutable {
       deliver(std::move(copy));
     });
@@ -134,6 +159,21 @@ void Simulator::send(ProcessId from, ProcessId to, std::any payload, MsgLayer la
                                    std::type_index(m.payload.type())});
   }
   Time at = m.deliver_at;
+  if (drop) {
+    // Lost in flight: the message occupies the channel until its delivery
+    // time, then the books settle and the loss is logged — never handed to
+    // the recipient. Same settlement discipline as drop-at-crashed-target.
+    push_event(at, [this, m = std::move(m), partitioned]() mutable {
+      network_.delivered(m);
+      if (event_log_ != nullptr) {
+        event_log_->append(LoggedEvent{
+            now_,
+            partitioned ? LoggedEvent::Kind::kPartitionLoss : LoggedEvent::Kind::kLoss,
+            m.from, m.to, m.layer, m.seq, std::type_index(m.payload.type())});
+      }
+    });
+    return;
+  }
   push_event(at, [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
 }
 
@@ -150,6 +190,32 @@ void Simulator::deliver(Message m) {
     event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, m.from, m.to, m.layer,
                                    m.seq, std::type_index(m.payload.type())});
   }
+  if (transport_ != nullptr && transport_->on_physical_deliver(m)) return;
+  actors_[static_cast<std::size_t>(m.to)]->on_message(m);
+}
+
+void Simulator::deliver_logical(ProcessId from, ProcessId to, std::any payload,
+                                MsgLayer layer, std::uint64_t logical_seq, Time sent_at) {
+  network_.logical_delivered(from, to, layer);
+  if (crashed(to)) {
+    if (event_log_ != nullptr) {
+      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDrop, from, to, layer,
+                                     logical_seq, std::type_index(payload.type())});
+    }
+    return;
+  }
+  if (event_log_ != nullptr) {
+    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, from, to, layer,
+                                   logical_seq, std::type_index(payload.type())});
+  }
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.layer = layer;
+  m.seq = logical_seq;
+  m.sent_at = sent_at;
+  m.deliver_at = now_;
+  m.payload = std::move(payload);
   actors_[static_cast<std::size_t>(m.to)]->on_message(m);
 }
 

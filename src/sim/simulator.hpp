@@ -29,6 +29,7 @@
 #include "sim/delay_model.hpp"
 #include "sim/event_log.hpp"
 #include "sim/message.hpp"
+#include "sim/net_hooks.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -142,6 +143,36 @@ class Simulator {
   TimerId set_timer(ProcessId owner, Time delay);
   void cancel_timer(TimerId id);
 
+  // -- net hooks (link-fault adversary + reliable transport) -------------
+
+  /// Install (or clear with nullptr) a channel adversary consulted on
+  /// every physical send in timed mode. Not owned; must outlive the run.
+  void set_adversary(ChannelAdversary* adversary) { adversary_ = adversary; }
+  [[nodiscard]] ChannelAdversary* adversary() const { return adversary_; }
+
+  /// Install (or clear with nullptr) a transport shim. Logical sends on
+  /// covered layers are diverted to it; its physical segments are handed
+  /// back to it at delivery time. Not owned; must outlive the run.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  [[nodiscard]] Transport* transport() const { return transport_; }
+
+  /// Physical send that bypasses the transport shim (but not the
+  /// adversary) — the transport's own segments travel through this.
+  void raw_send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer);
+
+  /// Hand a transport-released logical message to the recipient actor,
+  /// settling the logical channel books and the event log. `logical_seq`
+  /// is the sequence number `Network::logical_sent` returned for it;
+  /// `sent_at` the original logical send time.
+  void deliver_logical(ProcessId from, ProcessId to, std::any payload, MsgLayer layer,
+                       std::uint64_t logical_seq, Time sent_at);
+
+  /// Append to the installed event log (no-op when none) — lets the
+  /// transport record logical sends alongside the physical record.
+  void append_log(const LoggedEvent& ev) {
+    if (event_log_ != nullptr) event_log_->append(ev);
+  }
+
   // -- external scheduling (harness / tests) ---------------------------
 
   /// Run `fn` at absolute virtual time `at` (>= now).
@@ -245,6 +276,8 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   double dup_prob_ = 0.0;
   double reorder_prob_ = 0.0;
+  ChannelAdversary* adversary_ = nullptr;
+  Transport* transport_ = nullptr;
   EventLog* event_log_ = nullptr;
   Time now_ = 0;
   bool started_ = false;

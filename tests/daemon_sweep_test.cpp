@@ -89,7 +89,7 @@ TEST_P(StabilizationSweep, ConvergesUnderWaitFreeDaemon) {
   DaemonScheduler daemon(s.harness(), *proto, regs);
   std::unique_ptr<FaultInjector> inj;
   if (sw.transients) {
-    inj = std::make_unique<FaultInjector>(s.sim(), regs, *proto, s.graph());
+    inj = std::make_unique<FaultInjector>(s.sim(), regs, *proto, s.graph(), sw.seed ^ 0xFA17);
     inj->schedule_train(60'000, 30'000, 3, 3);  // last burst at t=120000
   }
   s.run();

@@ -55,7 +55,7 @@ TEST(Daemon, TokenRingRecoversFromTransientBursts) {
   ekbd::stab::DijkstraTokenRing proto(cfg.n);
   StateTable table(cfg.n, 1);
   DaemonScheduler daemon(s.harness(), proto, table);
-  FaultInjector inj(s.sim(), table, proto, s.graph());
+  FaultInjector inj(s.sim(), table, proto, s.graph(), cfg.seed ^ 0xFA17);
   inj.schedule_train(10'000, 15'000, 4, 3);  // last burst at 55'000
   s.run();
   EXPECT_GT(inj.corruptions_applied(), 0u);
@@ -76,7 +76,7 @@ TEST(Daemon, ColoringStabilizesDespiteCrashes) {
   ekbd::sim::Rng rng(5);
   table.randomize(rng, 0, proto.corruption_hi(s.graph()));
   DaemonScheduler daemon(s.harness(), proto, table);
-  FaultInjector inj(s.sim(), table, proto, s.graph());
+  FaultInjector inj(s.sim(), table, proto, s.graph(), cfg.seed ^ 0xFA17);
   inj.schedule_train(30'000, 10'000, 3, 4);
   s.run();
   EXPECT_TRUE(daemon.converged());
@@ -183,7 +183,7 @@ TEST(FaultInjectorTest, AppliesExactCount) {
   Scenario s(cfg);
   ekbd::stab::DijkstraTokenRing proto(cfg.n);
   StateTable table(cfg.n, 1);
-  FaultInjector inj(s.sim(), table, proto, s.graph());
+  FaultInjector inj(s.sim(), table, proto, s.graph(), cfg.seed ^ 0xFA17);
   inj.schedule_burst(1'000, 7);
   s.run_until(2'000);
   EXPECT_EQ(inj.corruptions_applied(), 7u);

@@ -11,6 +11,7 @@
 // sharding leaked state between jobs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,96 @@ TEST(Fuzz, RandomConfigurationsKeepEveryGuarantee) {
     }
   }
   EXPECT_EQ(executed, 120);
+}
+
+TEST(Fuzz, LossyAndPartitionedModesKeepEveryGuarantee) {
+  // The same property battery as above, but over the net/ stack: every
+  // scenario runs in {lossy, lossy+partition} with fuzzed loss ≤ 0.3 and
+  // duplication ≤ 0.2 rates, finite partitions only, all traffic through
+  // the ReliableTransport ARQ. Executed through run_scenarios on a pool.
+  const char* topologies[] = {"ring", "path", "clique", "star", "grid",
+                              "tree", "random", "hypercube", "torus", "bipartite"};
+  ekbd::sim::Rng fuzz(0x10557);
+  std::vector<Config> configs;
+  for (int iter = 0; iter < 24; ++iter) {
+    Config cfg;
+    cfg.seed = fuzz.u64();
+    cfg.topology = topologies[fuzz.index(std::size(topologies))];
+    cfg.n = static_cast<std::size_t>(fuzz.uniform_int(4, 12));
+    cfg.algorithm = Algorithm::kWaitFree;
+    cfg.acks_per_session = static_cast<int>(fuzz.uniform_int(1, 3));
+    cfg.detector = DetectorKind::kScripted;
+    cfg.partial_synchrony = false;
+    cfg.uniform_delay_lo = 1;
+    cfg.uniform_delay_hi = fuzz.uniform_int(2, 15);
+    cfg.detection_delay = fuzz.uniform_int(10, 200);
+    cfg.fp_count = static_cast<std::size_t>(fuzz.uniform_int(0, 20));
+    cfg.fp_until = 8'000;
+    cfg.run_for = 70'000;
+    cfg.net_mode = ekbd::scenario::NetMode::kLossy;
+    cfg.link_faults.drop_prob = fuzz.uniform_real(0.05, 0.3);
+    cfg.link_faults.dup_prob = fuzz.uniform_real(0.0, 0.2);
+    cfg.link_faults.reorder_prob = fuzz.uniform_real(0.0, 0.2);
+    if (iter % 4 == 3) {
+      // Every fourth config additionally suffers a finite partition that
+      // isolates one random process mid-run; the ARQ bridges it (no
+      // suspicion needed — the scripted oracle cannot see partitions).
+      cfg.net_mode = ekbd::scenario::NetMode::kLossyPartition;
+      ekbd::net::Partition p;
+      p.side = {static_cast<ekbd::sim::ProcessId>(fuzz.index(cfg.n))};
+      p.from = fuzz.uniform_int(8'000, 12'000);
+      p.until = p.from + fuzz.uniform_int(2'000, 6'000);
+      cfg.partitions.push_back(std::move(p));
+    }
+    if (fuzz.chance(0.4)) {
+      cfg.crashes.emplace_back(static_cast<ekbd::sim::ProcessId>(fuzz.index(cfg.n)),
+                               fuzz.uniform_int(20'000, 30'000));
+    }
+    configs.push_back(std::move(cfg));
+  }
+
+  std::size_t inspected = 0;
+  ekbd::scenario::SweepOptions sweep;
+  sweep.threads = 8;
+  ekbd::scenario::run_scenarios(
+      configs,
+      [&configs, &inspected](std::size_t i, Scenario& s) {
+        const Config& cfg = configs[i];
+        SCOPED_TRACE("shard " + std::to_string(i) + ": " + cfg.topology + " n=" +
+                     std::to_string(cfg.n) + " mode=" + to_string(cfg.net_mode) +
+                     " drop=" + std::to_string(cfg.link_faults.drop_prob) + " seed=" +
+                     std::to_string(cfg.seed));
+        EXPECT_EQ(i, inspected) << "inspection left index order";
+        ++inspected;
+
+        Time conv = s.fd_convergence_estimate();
+        // The scripted oracle cannot see partitions, so its estimate may
+        // predate the heal; "eventually" starts once the cut is gone and
+        // the ARQ has had a capped-timeout cycle to flush the backlog.
+        for (const auto& part : cfg.partitions) conv = std::max(conv, part.until + 6'000);
+        ASSERT_LT(conv, 45'000) << "fuzzed config never converged";
+        // Wait-freedom — horizon sized for partition stalls + ARQ latency.
+        EXPECT_TRUE(s.wait_freedom(32'000).wait_free());
+        // Eventual weak exclusion.
+        EXPECT_EQ(s.exclusion().violations_after(conv), 0u);
+        // Eventual (m+1)-bounded waiting.
+        EXPECT_LE(ekbd::dining::max_overtakes(s.census(), conv), cfg.acks_per_session + 1);
+        // §7 channel bound over *logical* dining messages (ARQ mode).
+        EXPECT_LE(s.sim().network().max_in_transit_any(MsgLayer::kDining), 4);
+        // Fork/token conservation.
+        for (std::size_t p = 0; p < cfg.n; ++p) {
+          EXPECT_EQ(s.wait_free_diner(static_cast<int>(p))->lemma11_violations(), 0u);
+        }
+        // Transport sanity: in-flight stays within the aggregate §7
+        // logical bound at the cutoff, and nothing is abandoned toward a
+        // live process (abandonment requires suspected AND crashed).
+        EXPECT_LE(s.transport()->logical_in_flight(), 4u * s.graph().num_edges());
+        if (cfg.crashes.empty()) {
+          EXPECT_EQ(s.transport()->abandoned_to_dead(), 0u);
+        }
+      },
+      sweep);
+  EXPECT_EQ(inspected, configs.size());
 }
 
 // ---------------------- parallel sweep variants ---------------------------

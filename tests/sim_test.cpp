@@ -395,4 +395,82 @@ TEST(Simulator, EventsProcessedCounter) {
   EXPECT_EQ(sim.events_processed(), 2u);
 }
 
+TEST(Network, OccupancySettlesToZeroAfterCrashDrops) {
+  // Regression (ChannelStats accounting): messages addressed to a crashed
+  // process are dropped *at delivery time*, and that drop must decrement
+  // in_transit exactly like a delivery — otherwise the §7 channel-bound
+  // reader sees phantom occupancy forever after any crash.
+  Simulator sim(3, ekbd::sim::make_uniform_delay(5, 30));
+  auto* a = sim.make_actor<Recorder>();
+  auto* b = sim.make_actor<Recorder>();
+  sim.start();
+  sim.schedule_crash(b->id(), 10);
+  // Sends straddling the crash: some deliver, some drop at a dead target.
+  for (int i = 0; i < 12; ++i) {
+    sim.schedule(1 + 2 * i, [&sim, a, b] {
+      sim.send(a->id(), b->id(), Note{0}, MsgLayer::kDining);
+    });
+  }
+  sim.run_until(1'000);
+  ASSERT_GT(sim.network().sends_to_crashed(b->id(), MsgLayer::kDining), 0u);
+  const auto cs = sim.network().channel(a->id(), b->id(), MsgLayer::kDining);
+  EXPECT_EQ(cs.total, 12u);
+  EXPECT_EQ(cs.in_transit, 0) << "drop-at-crashed-target leaked channel occupancy";
+}
+
+TEST(Network, StampWithoutFifoMayUndercutTheHorizon) {
+  // Direct unit test of the fifo=false stamping path (adversarial
+  // reordering): a message stamped non-FIFO takes its sampled latency
+  // verbatim, undercutting an earlier slow message on the same channel.
+  ekbd::sim::Network net;
+  Message slow;
+  slow.from = 0;
+  slow.to = 1;
+  net.stamp(slow, /*now=*/0, /*latency=*/100, /*target_crashed=*/false);
+  EXPECT_EQ(slow.deliver_at, 100);
+
+  Message fifo;
+  fifo.from = 0;
+  fifo.to = 1;
+  net.stamp(fifo, /*now=*/10, /*latency=*/5, /*target_crashed=*/false);
+  EXPECT_EQ(fifo.deliver_at, slow.deliver_at) << "FIFO stamp clamps to the horizon";
+
+  Message rogue;
+  rogue.from = 0;
+  rogue.to = 1;
+  net.stamp(rogue, /*now=*/10, /*latency=*/5, /*target_crashed=*/false, /*fifo=*/false);
+  EXPECT_EQ(rogue.deliver_at, 15) << "non-FIFO stamp must take the raw latency";
+  EXPECT_LT(rogue.deliver_at, slow.deliver_at);
+  // Sequence numbers stay globally increasing either way.
+  EXPECT_GT(rogue.seq, fifo.seq);
+
+  // All three settle the books on delivery.
+  net.delivered(slow);
+  net.delivered(fifo);
+  net.delivered(rogue);
+  EXPECT_EQ(net.channel(0, 1, MsgLayer::kOther).in_transit, 0);
+  EXPECT_EQ(net.channel(0, 1, MsgLayer::kOther).max_in_transit, 3);
+}
+
+TEST(Network, LogicalBooksMirrorPhysicalBooks) {
+  // The ARQ's logical accounting must read through the same API as raw
+  // stamped traffic: occupancy, totals, quiescence counters.
+  ekbd::sim::Network net;
+  const std::uint64_t s1 = net.logical_sent(0, 1, MsgLayer::kDining, 10, false);
+  const std::uint64_t s2 = net.logical_sent(1, 0, MsgLayer::kDining, 12, false);
+  EXPECT_GT(s2, s1);
+  EXPECT_EQ(net.channel(0, 1, MsgLayer::kDining).in_transit, 2);
+  EXPECT_EQ(net.total_sent(MsgLayer::kDining), 2u);
+  EXPECT_EQ(net.last_send_to(1, MsgLayer::kDining), 10);
+  net.logical_delivered(0, 1, MsgLayer::kDining);
+  net.logical_dropped(1, 0, MsgLayer::kDining);  // abandon settles identically
+  EXPECT_EQ(net.channel(0, 1, MsgLayer::kDining).in_transit, 0);
+  EXPECT_EQ(net.channel(0, 1, MsgLayer::kDining).max_in_transit, 2);
+  // Sends to an already-crashed target book the quiescence counter.
+  net.logical_sent(0, 2, MsgLayer::kDining, 20, /*target_crashed=*/true);
+  EXPECT_EQ(net.sends_to_crashed(2, MsgLayer::kDining), 1u);
+  net.logical_dropped(0, 2, MsgLayer::kDining);
+  EXPECT_EQ(net.channel(0, 2, MsgLayer::kDining).in_transit, 0);
+}
+
 }  // namespace

@@ -113,4 +113,43 @@ TEST(TraceIo, ImportedTraceCheckersMatchLiveOnes) {
   EXPECT_EQ(live_census.size(), imp_census.size());
 }
 
+TEST(TraceIo, NetworkFaultRecordsRoundTrip) {
+  // The net/ layer's drop/duplicate/partition records travel through the
+  // same JSONL format; checkers ignore them, tooling can read them.
+  Trace t;
+  t.record(5, 0, TraceEventKind::kBecameHungry);
+  t.record(8, 2, TraceEventKind::kNetDrop);
+  t.record(9, 2, TraceEventKind::kNetDup);
+  t.record(12, ekbd::sim::kNoProcess, TraceEventKind::kPartitionCut);
+  t.record(14, 0, TraceEventKind::kStartEating);
+  t.record(20, ekbd::sim::kNoProcess, TraceEventKind::kPartitionHeal);
+  t.set_end_time(50);
+
+  const std::string jsonl = to_jsonl(t);
+  EXPECT_NE(jsonl.find("\"e\":\"netdrop\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"e\":\"netdup\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"e\":\"cut\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"e\":\"heal\""), std::string::npos);
+
+  Trace copy = from_jsonl(jsonl);
+  ASSERT_EQ(copy.size(), t.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy.events()[i].at, t.events()[i].at);
+    EXPECT_EQ(copy.events()[i].process, t.events()[i].process);
+    EXPECT_EQ(copy.events()[i].kind, t.events()[i].kind);
+  }
+  EXPECT_EQ(copy.end_time(), 50);
+
+  // Checkers are oblivious to the new kinds: the session census reads the
+  // same with and without the fault records interleaved.
+  Trace bare;
+  bare.record(5, 0, TraceEventKind::kBecameHungry);
+  bare.record(14, 0, TraceEventKind::kStartEating);
+  bare.set_end_time(50);
+  const auto with_faults = ekbd::dining::hungry_sessions(copy);
+  const auto without = ekbd::dining::hungry_sessions(bare);
+  ASSERT_EQ(with_faults.size(), without.size());
+  EXPECT_EQ(with_faults[0].started_eating, without[0].started_eating);
+}
+
 }  // namespace
