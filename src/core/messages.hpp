@@ -7,24 +7,10 @@
 /// Sender identity comes from the simulator's message envelope; the only
 /// payload data is the requester's color inside a fork request — hence the
 /// O(log n) message size of §7.
+///
+/// The struct definitions (Ping, Ack, ForkRequest, Fork) live in
+/// sim/payload.hpp: every wire type in the repository is an alternative of
+/// the closed `sim::Payload` variant, which must see complete types.
 #pragma once
 
-namespace ekbd::core {
-
-/// Doorway ack solicitation (Action 2 → Action 3).
-struct Ping {};
-
-/// Doorway permission (Action 3/10 → Action 4).
-struct Ack {};
-
-/// Fork request; sending it passes the shared token to the fork holder
-/// (Action 6 → Action 7). Carries the requester's static color, which the
-/// holder compares against its own (higher color wins).
-struct ForkRequest {
-  int color = 0;
-};
-
-/// The shared fork itself (Action 7/10 → Action 8).
-struct Fork {};
-
-}  // namespace ekbd::core
+#include "sim/payload.hpp"

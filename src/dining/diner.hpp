@@ -85,8 +85,9 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
 
   // -- fd::ModuleHost ----------------------------------------------------
 
-  void module_send(ProcessId to, std::any payload, ekbd::sim::MsgLayer layer) override {
-    send(to, std::move(payload), layer);
+  void module_send(ProcessId to, ekbd::sim::Payload payload,
+                   ekbd::sim::MsgLayer layer) override {
+    send(to, payload, layer);
   }
   ekbd::sim::TimerId module_set_timer(Time delay) override { return set_timer(delay); }
   [[nodiscard]] Time module_now() const override { return now(); }

@@ -35,22 +35,10 @@
 
 namespace ekbd::drinking {
 
-/// Bottle wire format (mirrors core::ForkRequest / core::Fork). The
-/// request carries whether the requester was eating when it asked: under
-/// ◇WX two neighbors may *co-eat* before the detector converges, and both
-/// deferring the shared bottle would deadlock — the tie-break (lower
-/// color yields to a co-eating higher color) breaks exactly that case and
-/// never fires once exclusion holds.
-struct BottleRequest {
-  bool requester_eating = false;
-};
-struct Bottle {};
-/// Sent when a requester with an outstanding (possibly deferred) request
-/// *starts eating*: its earlier request may carry a stale
-/// `requester_eating = false`, and the co-eating tie-break must still see
-/// the escalated priority. FIFO guarantees the escalation arrives after
-/// the request it upgrades.
-struct BottleEscalate {};
+// The BottleRequest / Bottle / BottleEscalate wire structs are defined in
+// sim/payload.hpp (every wire type is an alternative of the closed
+// sim::Payload variant); the co-eating tie-break they carry is documented
+// there.
 
 class DrinkingDiner final : public ekbd::core::WaitFreeDiner {
  public:

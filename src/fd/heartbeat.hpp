@@ -30,8 +30,8 @@
 
 namespace ekbd::fd {
 
-/// Wire format of a heartbeat (sender comes from the envelope).
-struct Heartbeat {};
+// The Heartbeat wire struct is defined in sim/payload.hpp (every wire
+// type is an alternative of the closed sim::Payload variant).
 
 /// Per-process heartbeat/timeout state machine.
 class HeartbeatModule final : public FdModule {

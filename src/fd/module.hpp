@@ -12,8 +12,6 @@
 /// PingPongModule (pull/RTT-adaptive, pingpong.hpp).
 #pragma once
 
-#include <any>
-
 #include "sim/message.hpp"
 #include "sim/time.hpp"
 
@@ -26,7 +24,8 @@ using ekbd::sim::Time;
 class ModuleHost {
  public:
   virtual ~ModuleHost() = default;
-  virtual void module_send(ProcessId to, std::any payload, ekbd::sim::MsgLayer layer) = 0;
+  virtual void module_send(ProcessId to, ekbd::sim::Payload payload,
+                           ekbd::sim::MsgLayer layer) = 0;
   virtual ekbd::sim::TimerId module_set_timer(Time delay) = 0;
   [[nodiscard]] virtual Time module_now() const = 0;
   [[nodiscard]] virtual ProcessId module_id() const = 0;

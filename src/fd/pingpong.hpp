@@ -27,14 +27,8 @@
 
 namespace ekbd::fd {
 
-/// Probe and its echo. `seq` matches responses to requests (stale echoes
-/// from a previous probe round are ignored, not misread as fresh).
-struct Probe {
-  std::uint64_t seq = 0;
-};
-struct ProbeEcho {
-  std::uint64_t seq = 0;
-};
+// The Probe / ProbeEcho wire structs are defined in sim/payload.hpp
+// (every wire type is an alternative of the closed sim::Payload variant).
 
 class PingPongModule final : public FdModule {
  public:

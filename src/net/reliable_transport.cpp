@@ -1,12 +1,14 @@
 #include "net/reliable_transport.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <typeindex>
 #include <utility>
 
 namespace ekbd::net {
 
 using ekbd::sim::LoggedEvent;
+using ekbd::sim::Payload;
 
 ReliableTransport::ReliableTransport(ekbd::sim::Simulator& sim, Params params,
                                      const ekbd::fd::FailureDetector* detector)
@@ -35,18 +37,18 @@ bool ReliableTransport::suspected(ProcessId owner, ProcessId target) const {
   return detector_ != nullptr && detector_->suspects(owner, target);
 }
 
-void ReliableTransport::logical_send(ProcessId from, ProcessId to, std::any payload,
+void ReliableTransport::logical_send(ProcessId from, ProcessId to, const Payload& payload,
                                      MsgLayer layer) {
   ++logical_sends_;
   const Time now = sim_.now();
   const std::uint64_t logical_seq =
       sim_.network().logical_sent(from, to, layer, now, sim_.crashed(to));
   sim_.append_log(LoggedEvent{now, LoggedEvent::Kind::kSend, from, to, layer, logical_seq,
-                              std::type_index(payload.type())});
+                              sim::payload_type(payload)});
 
   EdgeTx& tx = tx_[edge_key(from, to)];
   const std::uint64_t seq = tx.next_seq++;
-  tx.unacked.emplace(seq, PendingMsg{std::move(payload), layer, logical_seq, now});
+  tx.unacked.emplace(seq, PendingMsg{payload, layer, logical_seq, now});
   // While ◇P₁ suspects the peer, NOTHING goes on the wire — not even the
   // first copy. The message waits in the queue; the timer loop transmits
   // it if/when the suspicion is retracted.
@@ -62,8 +64,17 @@ void ReliableTransport::transmit(ProcessId from, ProcessId to, EdgeTx& tx,
   const auto it = tx.unacked.find(seq);
   if (it == tx.unacked.end()) return;
   const PendingMsg& pm = it->second;
+  // Nest the logical payload as (tag, bits): covered layers only ever
+  // carry word-sized wire types (§7 constant-size records), so the pack
+  // cannot fail; the bit-packed counters bound a run far above any
+  // experiment here (see sim/payload.hpp).
+  std::uint8_t tag = 0;
+  std::uint64_t bits = 0;
+  [[maybe_unused]] const bool packed = sim::pack_payload(pm.payload, tag, bits);
+  assert(packed && "transported payloads must fit the 8-byte inline encoding");
+  assert(seq <= DataSegment::kMaxSeq && pm.logical_seq <= DataSegment::kMaxLogicalSeq);
   sim_.raw_send(from, to,
-                DataSegment{seq, pm.layer, pm.logical_seq, pm.logical_sent_at, pm.payload},
+                DataSegment{seq, pm.layer, pm.logical_seq, pm.logical_sent_at, tag, bits},
                 MsgLayer::kTransport);
   ++physical_data_sends_;
   tx.last_data_send = sim_.now();
@@ -125,7 +136,7 @@ void ReliableTransport::abandon(ProcessId from, ProcessId to, EdgeTx& tx) {
     if (seq < delivered_below) continue;
     sim_.network().logical_dropped(from, to, pm.layer);
     sim_.append_log(LoggedEvent{sim_.now(), LoggedEvent::Kind::kDrop, from, to, pm.layer,
-                                pm.logical_seq, std::type_index(pm.payload.type())});
+                                pm.logical_seq, sim::payload_type(pm.payload)});
     ++abandoned_to_dead_;
   }
   tx.unacked.clear();
@@ -158,18 +169,19 @@ void ReliableTransport::handle_data(const ekbd::sim::Message& m, const DataSegme
     return;
   }
   EdgeRx& rx = rx_[edge_key(m.from, m.to)];
-  if (ds.seq < rx.expected || rx.buffered.count(ds.seq) != 0) {
+  if (ds.seq() < rx.expected || rx.buffered.count(ds.seq()) != 0) {
     ++duplicates_suppressed_;  // retransmit or adversary copy — drop it
   } else {
-    rx.buffered.emplace(
-        ds.seq, PendingMsg{ds.payload, ds.layer, ds.logical_seq, ds.logical_sent_at});
+    rx.buffered.emplace(ds.seq(),
+                        PendingMsg{sim::unpack_payload(ds.inner_tag(), ds.inner_bits),
+                                   ds.layer(), ds.logical_seq(), ds.logical_sent_at});
     // Release the in-order prefix to the actor (reliable FIFO restored).
     while (!rx.buffered.empty() && rx.buffered.begin()->first == rx.expected) {
       auto node = rx.buffered.extract(rx.buffered.begin());
       PendingMsg pm = std::move(node.mapped());
       ++rx.expected;
       ++logical_deliveries_;
-      sim_.deliver_logical(m.from, m.to, std::move(pm.payload), pm.layer, pm.logical_seq,
+      sim_.deliver_logical(m.from, m.to, pm.payload, pm.layer, pm.logical_seq,
                            pm.logical_sent_at);
     }
   }

@@ -31,7 +31,6 @@
 /// goes quiet as soon as ◇P₁ suspects it.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -47,19 +46,10 @@ using ekbd::sim::MsgLayer;
 using ekbd::sim::ProcessId;
 using ekbd::sim::Time;
 
-/// Physical wire format: one logical message per data segment.
-struct DataSegment {
-  std::uint64_t seq = 0;          ///< per-directed-edge ARQ sequence number
-  MsgLayer layer = MsgLayer::kOther;  ///< the logical layer carried
-  std::uint64_t logical_seq = 0;  ///< Network::logical_sent global number
-  Time logical_sent_at = 0;       ///< when the sender handed it to the ARQ
-  std::any payload;               ///< the logical message itself
-};
-
-/// Cumulative acknowledgement: "I have delivered everything < cumulative".
-struct AckSegment {
-  std::uint64_t cumulative = 0;
-};
+// The DataSegment / AckSegment wire structs are defined in
+// sim/payload.hpp (every wire type is an alternative of the closed
+// sim::Payload variant). A DataSegment carries one logical message per
+// segment, nested as (variant tag, raw bytes) via sim::pack_payload.
 
 class ReliableTransport final : public ekbd::sim::Transport {
  public:
@@ -86,7 +76,8 @@ class ReliableTransport final : public ekbd::sim::Transport {
   // -- sim::Transport ----------------------------------------------------
 
   [[nodiscard]] bool covers(MsgLayer layer) const override;
-  void logical_send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) override;
+  void logical_send(ProcessId from, ProcessId to, const ekbd::sim::Payload& payload,
+                    MsgLayer layer) override;
   bool on_physical_deliver(const ekbd::sim::Message& m) override;
 
   // -- instrumentation ---------------------------------------------------
@@ -126,7 +117,7 @@ class ReliableTransport final : public ekbd::sim::Transport {
 
  private:
   struct PendingMsg {
-    std::any payload;
+    ekbd::sim::Payload payload;
     MsgLayer layer = MsgLayer::kOther;
     std::uint64_t logical_seq = 0;
     Time logical_sent_at = 0;

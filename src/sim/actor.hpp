@@ -15,8 +15,6 @@
 /// subject to crash (not Byzantine, not recovering) faults.
 #pragma once
 
-#include <any>
-
 #include "sim/message.hpp"
 #include "sim/time.hpp"
 
@@ -49,7 +47,7 @@ class Actor {
 
  protected:
   /// Send `payload` to `to` over the reliable FIFO channel.
-  void send(ProcessId to, std::any payload, MsgLayer layer = MsgLayer::kOther);
+  void send(ProcessId to, const Payload& payload, MsgLayer layer = MsgLayer::kOther);
 
   /// Arm a one-shot timer `delay` ticks from now; returns its id.
   TimerId set_timer(Time delay);

@@ -1,30 +1,21 @@
 /// \file message.hpp
 /// Network message envelope.
 ///
-/// The transport is payload-agnostic: each protocol defines its own payload
-/// structs and retrieves them with `Message::as<T>()`. The `layer` tag lets
-/// the network keep separate books for dining-protocol traffic and failure-
-/// detector traffic — the paper's quiescence claim (§7) is about the dining
-/// layer only (a ◇P implementation must keep monitoring forever).
+/// The transport carries one `sim::Payload` — the closed variant over
+/// every protocol's wire structs (payload.hpp) — and receiving code
+/// retrieves it with `Message::as<T>()`. The `layer` tag lets the network
+/// keep separate books for dining-protocol traffic and failure-detector
+/// traffic — the paper's quiescence claim (§7) is about the dining layer
+/// only (a ◇P implementation must keep monitoring forever).
 #pragma once
 
-#include <any>
 #include <cstdint>
+#include <variant>
 
+#include "sim/payload.hpp"
 #include "sim/time.hpp"
 
 namespace ekbd::sim {
-
-/// Which subsystem a message belongs to, for per-layer accounting.
-enum class MsgLayer : std::uint8_t {
-  kDining,     ///< ping/ack/fork/token traffic of a dining algorithm
-  kDetector,   ///< failure-detector heartbeats
-  kOther,      ///< anything else (tests, examples)
-  kTransport,  ///< ARQ segments/acks of net::ReliableTransport (physical)
-};
-
-/// Number of MsgLayer values (per-layer bookkeeping array sizes).
-inline constexpr int kNumMsgLayers = 4;
 
 struct Message {
   ProcessId from = kNoProcess;
@@ -33,14 +24,19 @@ struct Message {
   Time deliver_at = 0;
   MsgLayer layer = MsgLayer::kOther;
   std::uint64_t seq = 0;  ///< global send sequence number (FIFO tie-break)
-  std::any payload;
+  Payload payload;
 
   /// Typed payload access. Returns nullptr if the payload is not a T —
   /// receiving code dispatches by probing the message kinds it knows.
+  /// T must be a Payload alternative (compile error otherwise).
   template <typename T>
   const T* as() const {
-    return std::any_cast<T>(&payload);
+    return std::get_if<T>(&payload);
   }
 };
+
+// The envelope is a flat value: moving events through the queue is a
+// memcpy, never an allocation.
+static_assert(std::is_trivially_copyable_v<Message>);
 
 }  // namespace ekbd::sim

@@ -62,7 +62,7 @@ class Transport {
   /// to `to`. The transport emits physical segments via
   /// Simulator::raw_send and releases the payload through
   /// Simulator::deliver_logical once it arrives in order.
-  virtual void logical_send(ProcessId from, ProcessId to, std::any payload,
+  virtual void logical_send(ProcessId from, ProcessId to, const Payload& payload,
                             MsgLayer layer) = 0;
 
   /// Offer a delivered physical message. Returns true if it was a

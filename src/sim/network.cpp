@@ -8,35 +8,21 @@ namespace {
 int layer_index(MsgLayer layer) { return static_cast<int>(layer); }
 }  // namespace
 
-void Network::stamp(Message& m, Time now, Time latency, bool target_crashed, bool fifo) {
-  latency = std::max<Time>(1, latency);
-  Time deliver_at = now + latency;
-  if (fifo) {
-    Time& horizon = fifo_horizon_[dir_key(m.from, m.to)];
-    deliver_at = std::max(deliver_at, horizon);  // FIFO: never undercut
-    horizon = deliver_at;
+void Network::grow_dense(int need) {
+  int stride = dense_stride_ == 0 ? 16 : dense_stride_;
+  while (stride <= need) stride *= 2;
+  std::vector<DirState> grown(static_cast<std::size_t>(stride) *
+                              static_cast<std::size_t>(stride));
+  for (int f = 0; f < dense_stride_; ++f) {
+    for (int t = 0; t < dense_stride_; ++t) {
+      grown[static_cast<std::size_t>(f) * static_cast<std::size_t>(stride) +
+            static_cast<std::size_t>(t)] =
+          dense_dir_[static_cast<std::size_t>(f) * static_cast<std::size_t>(dense_stride_) +
+                     static_cast<std::size_t>(t)];
+    }
   }
-
-  m.sent_at = now;
-  m.deliver_at = deliver_at;
-  m.seq = next_seq_++;
-
-  const int li = layer_index(m.layer);
-  ++totals_[li];
-  ChannelStats& cs = pair_stats_[li][pair_key(m.from, m.to)];
-  ++cs.total;
-  ++cs.in_transit;
-  cs.max_in_transit = std::max(cs.max_in_transit, cs.in_transit);
-
-  PerTarget& pt = per_target_[li][m.to];
-  pt.last_send = now;
-  if (target_crashed) ++pt.after_crash;
-}
-
-void Network::delivered(const Message& m) {
-  const int li = layer_index(m.layer);
-  auto it = pair_stats_[li].find(pair_key(m.from, m.to));
-  if (it != pair_stats_[li].end()) --it->second.in_transit;
+  dense_dir_ = std::move(grown);
+  dense_stride_ = stride;
 }
 
 std::uint64_t Network::logical_sent(ProcessId from, ProcessId to, MsgLayer layer, Time now,

@@ -122,14 +122,108 @@ class Network {
     std::uint64_t after_crash = 0;
   };
 
+  /// Hot-path state of one *directed* channel: the FIFO horizon (latest
+  /// deliver_at handed out) plus cached pointers into the undirected
+  /// occupancy and per-target quiescence books. unordered_map nodes are
+  /// reference-stable, so after the first send on a (direction, layer)
+  /// pair, stamp() and delivered() each cost a single hash lookup instead
+  /// of three.
+  struct DirState {
+    Time horizon = 0;
+    ChannelStats* stats[kLayers] = {};
+    PerTarget* target[kLayers] = {};
+  };
+
+  /// Hot-path lookup of the directed-channel state. The simulator numbers
+  /// processes densely (0, 1, 2, ...), so for every realistic run the
+  /// state lives in a flat stride×stride array — one indexed load, no
+  /// hashing, no node chase. Ids beyond kDenseLimit (none exist today)
+  /// fall back to the hash map so correctness never depends on the cap.
+  DirState& dir_state(ProcessId from, ProcessId to);
+  [[nodiscard]] const DirState* find_dir_state(ProcessId from, ProcessId to) const;
+  void grow_dense(int need);
+
+  static constexpr int kDenseLimit = 512;
+
   std::uint64_t next_seq_ = 0;
   std::uint64_t totals_[kLayers] = {};
-  // FIFO horizon per *directed* channel: latest deliver_at handed out.
-  std::unordered_map<PairKey, Time, PairKeyHash> fifo_horizon_;
+  // Dense directed-channel state: row stride (power of two) and the
+  // stride×stride cell array. Grows geometrically with the largest id
+  // seen; cells are re-indexed on growth (their cached pointers are
+  // node-stable, so a plain copy is safe).
+  int dense_stride_ = 0;
+  std::vector<DirState> dense_dir_;
+  // Spill map for ids past kDenseLimit.
+  std::unordered_map<PairKey, DirState, PairKeyHash> dir_state_;
   // Occupancy per undirected pair and layer.
   std::unordered_map<PairKey, ChannelStats, PairKeyHash> pair_stats_[kLayers];
   // Quiescence books per target process and layer.
   std::unordered_map<ProcessId, PerTarget> per_target_[kLayers];
 };
+
+// -- hot-path definitions (inline: once per message event, the calls
+// must vanish into the simulator's send/deliver paths) -----------------
+
+inline Network::DirState& Network::dir_state(ProcessId from, ProcessId to) {
+  const ProcessId hi = from > to ? from : to;
+  if (from >= 0 && to >= 0 && hi < kDenseLimit) {
+    if (hi >= dense_stride_) grow_dense(hi);
+    return dense_dir_[static_cast<std::size_t>(from) * static_cast<std::size_t>(dense_stride_) +
+                      static_cast<std::size_t>(to)];
+  }
+  return dir_state_[dir_key(from, to)];
+}
+
+inline const Network::DirState* Network::find_dir_state(ProcessId from, ProcessId to) const {
+  const ProcessId hi = from > to ? from : to;
+  if (from >= 0 && to >= 0 && hi < kDenseLimit) {
+    if (hi >= dense_stride_) return nullptr;
+    return &dense_dir_[static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(dense_stride_) +
+                       static_cast<std::size_t>(to)];
+  }
+  const auto it = dir_state_.find(dir_key(from, to));
+  return it == dir_state_.end() ? nullptr : &it->second;
+}
+
+inline void Network::stamp(Message& m, Time now, Time latency, bool target_crashed,
+                           bool fifo) {
+  latency = latency < 1 ? 1 : latency;
+  Time deliver_at = now + latency;
+  DirState& d = dir_state(m.from, m.to);
+  if (fifo) {
+    if (deliver_at < d.horizon) deliver_at = d.horizon;  // FIFO: never undercut
+    d.horizon = deliver_at;
+  }
+
+  m.sent_at = now;
+  m.deliver_at = deliver_at;
+  m.seq = next_seq_++;
+
+  const int li = static_cast<int>(m.layer);
+  if (d.stats[li] == nullptr) {
+    // First send on this (direction, layer): resolve and cache the book
+    // entries (node-based maps — the pointers stay valid forever).
+    d.stats[li] = &pair_stats_[li][pair_key(m.from, m.to)];
+    d.target[li] = &per_target_[li][m.to];
+  }
+  ++totals_[li];
+  ChannelStats& cs = *d.stats[li];
+  ++cs.total;
+  ++cs.in_transit;
+  if (cs.in_transit > cs.max_in_transit) cs.max_in_transit = cs.in_transit;
+
+  PerTarget& pt = *d.target[li];
+  pt.last_send = now;
+  if (target_crashed) ++pt.after_crash;
+}
+
+inline void Network::delivered(const Message& m) {
+  const int li = static_cast<int>(m.layer);
+  // Every delivered message was stamped on the same (direction, layer),
+  // so the cached pointer exists.
+  const DirState* d = find_dir_state(m.from, m.to);
+  if (d != nullptr && d->stats[li] != nullptr) --d->stats[li]->in_transit;
+}
 
 }  // namespace ekbd::sim

@@ -1,15 +1,18 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace ekbd::sim {
 
 // ---------------------------------------------------------------- Actor --
 
-void Actor::send(ProcessId to, std::any payload, MsgLayer layer) {
+void Actor::send(ProcessId to, const Payload& payload, MsgLayer layer) {
   assert(sim_ != nullptr && "actor not registered with a simulator");
-  sim_->send(id_, to, std::move(payload), layer);
+  sim_->send(id_, to, payload, layer);
 }
 
 TimerId Actor::set_timer(Time delay) { return sim_->set_timer(id_, delay); }
@@ -35,7 +38,8 @@ std::string PendingEvent::describe() const {
 }
 
 Simulator::Simulator(std::uint64_t seed, std::unique_ptr<DelayModel> delays, ExecMode mode)
-    : rng_(seed),
+    : seed_(seed),
+      rng_(seed),
       delays_(delays ? std::move(delays) : make_uniform_delay(1, 10)),
       mode_(mode) {}
 
@@ -62,69 +66,146 @@ Rng& Simulator::actor_rng(ProcessId p) {
   auto idx = static_cast<std::size_t>(p);
   if (!actor_rngs_[idx]) {
     // Stable derivation: depends only on the master seed and the id, not on
-    // how many draws other components made before first use.
-    actor_rngs_[idx] = std::make_unique<Rng>(
-        Rng(0xA5A5A5A5ULL ^ static_cast<std::uint64_t>(p)).fork(0).u64() ^ rng_.u64());
+    // how many draws other components made before first use (in particular
+    // it must NOT consume the master stream — that would make the actor's
+    // stream, and everything drawn from the master afterwards, depend on
+    // which actor asked first).
+    actor_rngs_[idx] =
+        std::make_unique<Rng>(Rng(seed_).fork(static_cast<std::uint64_t>(p) + 1));
   }
   return *actor_rngs_[idx];
 }
 
-void Simulator::push_event(Time at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  queue_.push(Event{at, next_event_seq_++, std::move(fn)});
+std::uint32_t Simulator::acquire_slot() {
+  static_assert(std::is_trivially_copyable_v<Event>,
+                "Event must stay a flat record (slab stores are memcpys)");
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slab_.size() >= kMaxSlots) {
+    // The packed heap key has 21 slot bits; ~2M *concurrently pending*
+    // events means the workload is broken — fail loudly, never mis-order.
+    std::fprintf(stderr, "sim: more than %llu concurrently pending events\n",
+                 static_cast<unsigned long long>(kMaxSlots));
+    std::abort();
+  }
+  const auto slot = static_cast<std::uint32_t>(slab_.size());
+  slab_.emplace_back();
+  return slot;
 }
 
-void Simulator::push_controlled(PendingEvent::Kind kind, ProcessId from, ProcessId to,
-                                ProcessId owner, std::uint64_t channel_rank,
-                                std::function<void()> fn) {
-  ControlledEvent ev;
-  ev.info.id = next_event_seq_++;
+std::uint64_t Simulator::commit_event(std::uint32_t slot) {
+  Event& ev = slab_[slot];
+  assert(ev.at >= now_ && "cannot schedule into the past");
+  ev.seq = next_event_seq_++;
+  heap_.push_back(HeapEntry{ev.at, ev.seq * kMaxSlots + slot});
+  heap_sift_up(heap_.size() - 1);
+  return ev.seq;
+}
+
+void Simulator::heap_sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!event_later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (event_later(heap_[best], heap_[c])) best = c;
+    }
+    if (!event_later(e, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop_front() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+}
+
+std::uint64_t Simulator::push_event(const Event& ev) {
+  const std::uint32_t slot = acquire_slot();
+  slab_[slot] = ev;
+  return commit_event(slot);
+}
+
+Simulator::ControlledEvent& Simulator::push_controlled(PendingEvent::Kind kind,
+                                                       ProcessId from, ProcessId to,
+                                                       ProcessId owner,
+                                                       std::uint64_t channel_rank) {
+  const std::uint64_t id = next_event_seq_++;
+  ControlledEvent& ev = controlled_[id];
+  ev.info.id = id;
   ev.info.kind = kind;
   ev.info.from = from;
   ev.info.to = to;
   ev.info.owner = owner;
   ev.info.channel_rank = channel_rank;
-  ev.fn = std::move(fn);
-  controlled_.emplace(ev.info.id, std::move(ev));
+  if (kind == PendingEvent::Kind::kMessage) {
+    channel_fifo_[PendingEvent::channel_key(from, to)].push_back(id);
+  }
+  return ev;
 }
 
 void Simulator::schedule(Time at, std::function<void()> fn) {
   if (mode_ == ExecMode::kControlled) {
-    push_controlled(PendingEvent::Kind::kScheduled, kNoProcess, kNoProcess, kNoProcess, 0,
-                    std::move(fn));
+    push_controlled(PendingEvent::Kind::kScheduled, kNoProcess, kNoProcess, kNoProcess, 0)
+        .fn = std::move(fn);
     return;
   }
-  push_event(at, std::move(fn));
+  Event ev;
+  ev.at = at;
+  ev.kind = Event::Kind::kCallback;
+  const std::uint64_t seq = push_event(ev);
+  callbacks_[seq] = std::move(fn);
 }
 
-void Simulator::send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) {
+void Simulator::send(ProcessId from, ProcessId to, const Payload& payload,
+                     MsgLayer layer) {
   assert(to >= 0 && static_cast<std::size_t>(to) < actors_.size());
   if (crashed(from)) return;  // a dead process sends nothing
   if (transport_ != nullptr && mode_ == ExecMode::kTimed && transport_->covers(layer)) {
-    transport_->logical_send(from, to, std::move(payload), layer);
+    transport_->logical_send(from, to, payload, layer);
     return;
   }
-  raw_send(from, to, std::move(payload), layer);
+  raw_send(from, to, payload, layer);
 }
 
-void Simulator::raw_send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer) {
+void Simulator::raw_send(ProcessId from, ProcessId to, const Payload& payload,
+                         MsgLayer layer) {
   assert(to >= 0 && static_cast<std::size_t>(to) < actors_.size());
   if (crashed(from)) return;  // a dead process sends nothing
-  Message m;
-  m.from = from;
-  m.to = to;
-  m.layer = layer;
-  m.payload = std::move(payload);
   if (mode_ == ExecMode::kControlled) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.layer = layer;
+    m.payload = payload;
     // Delay is nondeterministic — the driver chooses the arrival order.
     network_.stamp(m, now_, 1, crashed(to));
     if (event_log_ != nullptr) {
       event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
-                                     std::type_index(m.payload.type())});
+                                     payload_type(m.payload)});
     }
     const std::uint64_t rank = channel_send_rank_[PendingEvent::channel_key(from, to)]++;
-    push_controlled(PendingEvent::Kind::kMessage, from, to, kNoProcess, rank,
-                    [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
+    push_controlled(PendingEvent::Kind::kMessage, from, to, kNoProcess, rank).msg = m;
     return;
   }
   const bool legacy_dup = dup_prob_ > 0.0 && rng_.chance(dup_prob_);
@@ -140,73 +221,85 @@ void Simulator::raw_send(ProcessId from, ProcessId to, std::any payload, MsgLaye
     reorder = reorder || d.reorder;
   }
   const bool duplicate = adversary_dup || (!drop && legacy_dup);
-  Time latency = delays_->sample(from, to, now_, rng_);
+  const Time latency = delays_->sample(from, to, now_, rng_);
+  // Build the delivery record directly in its slab slot — no stack
+  // Message, no stack Event, no copies. Slots are recycled, so every
+  // field a later reader touches is (re)assigned here.
+  const std::uint32_t slot = acquire_slot();
+  {
+    Event& ev = slab_[slot];
+    ev.msg.from = from;
+    ev.msg.to = to;
+    ev.msg.layer = layer;
+    ev.msg.payload = payload;
+  }
   if (duplicate) {
-    Message copy = m;  // independent delay for the ghost
-    network_.stamp(copy, now_, delays_->sample(from, to, now_, rng_), crashed(to),
+    // Stamped (so it draws the earlier network seq), logged and committed
+    // before the original — exactly the order the copy-based code used.
+    const std::uint32_t dup_slot = acquire_slot();  // may move the slab
+    Event& dup_ev = slab_[dup_slot];
+    dup_ev.msg = slab_[slot].msg;  // independent delay for the ghost
+    network_.stamp(dup_ev.msg, now_, delays_->sample(from, to, now_, rng_), crashed(to),
                    /*fifo=*/false);
     if (adversary_dup && event_log_ != nullptr) {
       event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDuplicate, from, to, layer,
-                                     copy.seq, std::type_index(copy.payload.type())});
+                                     dup_ev.msg.seq, payload_type(dup_ev.msg.payload)});
     }
-    push_event(copy.deliver_at, [this, copy = std::move(copy)]() mutable {
-      deliver(std::move(copy));
-    });
+    dup_ev.at = dup_ev.msg.deliver_at;
+    dup_ev.kind = Event::Kind::kDeliver;
+    dup_ev.partitioned = false;
+    commit_event(dup_slot);
   }
-  network_.stamp(m, now_, latency, crashed(to), /*fifo=*/!reorder);
+  Event& ev = slab_[slot];
+  network_.stamp(ev.msg, now_, latency, crashed(to), /*fifo=*/!reorder);
   if (event_log_ != nullptr) {
-    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
-                                   std::type_index(m.payload.type())});
+    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer,
+                                   ev.msg.seq, payload_type(ev.msg.payload)});
   }
-  Time at = m.deliver_at;
+  ev.at = ev.msg.deliver_at;
   if (drop) {
     // Lost in flight: the message occupies the channel until its delivery
     // time, then the books settle and the loss is logged — never handed to
     // the recipient. Same settlement discipline as drop-at-crashed-target.
-    push_event(at, [this, m = std::move(m), partitioned]() mutable {
-      network_.delivered(m);
-      if (event_log_ != nullptr) {
-        event_log_->append(LoggedEvent{
-            now_,
-            partitioned ? LoggedEvent::Kind::kPartitionLoss : LoggedEvent::Kind::kLoss,
-            m.from, m.to, m.layer, m.seq, std::type_index(m.payload.type())});
-      }
-    });
-    return;
+    ev.kind = Event::Kind::kDropSettle;
+    ev.partitioned = partitioned;
+  } else {
+    ev.kind = Event::Kind::kDeliver;
+    ev.partitioned = false;  // slots are recycled: clear stale state
   }
-  push_event(at, [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
+  commit_event(slot);
 }
 
-void Simulator::deliver(Message m) {
+void Simulator::deliver(const Message& m) {
   network_.delivered(m);
   if (crashed(m.to)) {
     if (event_log_ != nullptr) {
       event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDrop, m.from, m.to, m.layer,
-                                     m.seq, std::type_index(m.payload.type())});
+                                     m.seq, payload_type(m.payload)});
     }
     return;  // dropped on the floor of a dead process
   }
   if (event_log_ != nullptr) {
     event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, m.from, m.to, m.layer,
-                                   m.seq, std::type_index(m.payload.type())});
+                                   m.seq, payload_type(m.payload)});
   }
   if (transport_ != nullptr && transport_->on_physical_deliver(m)) return;
   actors_[static_cast<std::size_t>(m.to)]->on_message(m);
 }
 
-void Simulator::deliver_logical(ProcessId from, ProcessId to, std::any payload,
+void Simulator::deliver_logical(ProcessId from, ProcessId to, const Payload& payload,
                                 MsgLayer layer, std::uint64_t logical_seq, Time sent_at) {
   network_.logical_delivered(from, to, layer);
   if (crashed(to)) {
     if (event_log_ != nullptr) {
       event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDrop, from, to, layer,
-                                     logical_seq, std::type_index(payload.type())});
+                                     logical_seq, payload_type(payload)});
     }
     return;
   }
   if (event_log_ != nullptr) {
     event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, from, to, layer,
-                                   logical_seq, std::type_index(payload.type())});
+                                   logical_seq, payload_type(payload)});
   }
   Message m;
   m.from = from;
@@ -215,27 +308,35 @@ void Simulator::deliver_logical(ProcessId from, ProcessId to, std::any payload,
   m.seq = logical_seq;
   m.sent_at = sent_at;
   m.deliver_at = now_;
-  m.payload = std::move(payload);
+  m.payload = payload;
   actors_[static_cast<std::size_t>(m.to)]->on_message(m);
+}
+
+void Simulator::fire_timer(ProcessId owner, TimerId id) {
+  if (active_timers_.erase(id) == 0) return;  // cancelled (controlled mode)
+  if (crashed(owner)) return;
+  if (event_log_ != nullptr) {
+    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kTimer, owner, kNoProcess,
+                                   MsgLayer::kOther, 0, std::type_index(typeid(void))});
+  }
+  actors_[static_cast<std::size_t>(owner)]->on_timer(id);
 }
 
 TimerId Simulator::set_timer(ProcessId owner, Time delay) {
   TimerId id = next_timer_id_++;
   active_timers_.insert(id);
-  auto fire = [this, owner, id] {
-    if (active_timers_.erase(id) == 0) return;  // cancelled
-    if (crashed(owner)) return;
-    if (event_log_ != nullptr) {
-      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kTimer, owner, kNoProcess,
-                                     MsgLayer::kOther, 0, std::type_index(typeid(void))});
-    }
-    actors_[static_cast<std::size_t>(owner)]->on_timer(id);
-  };
   if (mode_ == ExecMode::kControlled) {
-    push_controlled(PendingEvent::Kind::kTimer, kNoProcess, kNoProcess, owner, 0,
-                    std::move(fire));
+    // Kept as a pending (no-op if cancelled) choice on purpose: pruning
+    // cancelled timers here would shrink the explored choice sets.
+    push_controlled(PendingEvent::Kind::kTimer, kNoProcess, kNoProcess, owner, 0)
+        .timer_id = id;
   } else {
-    push_event(now_ + delay, std::move(fire));
+    Event ev;
+    ev.at = now_ + delay;
+    ev.kind = Event::Kind::kTimer;
+    ev.owner = owner;
+    ev.timer_id = id;
+    push_event(std::move(ev));
   }
   return id;
 }
@@ -254,7 +355,14 @@ void Simulator::crash(ProcessId p) {
 }
 
 void Simulator::schedule_crash(ProcessId p, Time at) {
-  push_event(at, [this, p] { crash(p); });
+  // Always on the timed heap (historical quirk, preserved: in controlled
+  // mode the heap is never drained, so a scheduled crash never fires —
+  // mc worlds crash processes via crash() from a scheduled choice).
+  Event ev;
+  ev.at = at;
+  ev.kind = Event::Kind::kCrash;
+  ev.owner = p;
+  push_event(std::move(ev));
 }
 
 std::vector<ProcessId> Simulator::live_processes() const {
@@ -268,13 +376,9 @@ std::vector<ProcessId> Simulator::live_processes() const {
 bool Simulator::is_eligible(const ControlledEvent& ev) const {
   if (ev.info.kind != PendingEvent::Kind::kMessage) return true;
   // FIFO: only the oldest pending message per directed channel may arrive.
-  for (const auto& [id, other] : controlled_) {
-    if (other.info.kind == PendingEvent::Kind::kMessage && other.info.from == ev.info.from &&
-        other.info.to == ev.info.to && other.info.channel_rank < ev.info.channel_rank) {
-      return false;
-    }
-  }
-  return true;
+  const auto it = channel_fifo_.find(ev.info.channel());
+  return it != channel_fifo_.end() && !it->second.empty() &&
+         it->second.front() == ev.info.id;
 }
 
 std::vector<PendingEvent> Simulator::eligible_events() const {
@@ -291,32 +395,115 @@ bool Simulator::execute_event(std::uint64_t id) {
   start();
   auto it = controlled_.find(id);
   if (it == controlled_.end() || !is_eligible(it->second)) return false;
-  auto fn = std::move(it->second.fn);
+  ControlledEvent ev = std::move(it->second);
   controlled_.erase(it);
+  if (ev.info.kind == PendingEvent::Kind::kMessage) {
+    auto fifo = channel_fifo_.find(ev.info.channel());
+    fifo->second.pop_front();  // eligibility guaranteed it was the front
+    if (fifo->second.empty()) channel_fifo_.erase(fifo);
+  }
   now_ += 1;
   ++events_processed_;
-  fn();
+  switch (ev.info.kind) {
+    case PendingEvent::Kind::kMessage:
+      deliver(ev.msg);
+      break;
+    case PendingEvent::Kind::kTimer:
+      fire_timer(ev.info.owner, ev.timer_id);
+      break;
+    case PendingEvent::Kind::kScheduled:
+      ev.fn();
+      break;
+  }
   return true;
+}
+
+void Simulator::dispatch(Event&& ev) {
+  switch (ev.kind) {
+    case Event::Kind::kDeliver:
+      deliver(ev.msg);
+      break;
+    case Event::Kind::kTimer:
+      fire_timer(ev.owner, ev.timer_id);
+      break;
+    case Event::Kind::kDropSettle:
+      network_.delivered(ev.msg);
+      if (event_log_ != nullptr) {
+        event_log_->append(LoggedEvent{
+            now_,
+            ev.partitioned ? LoggedEvent::Kind::kPartitionLoss : LoggedEvent::Kind::kLoss,
+            ev.msg.from, ev.msg.to, ev.msg.layer, ev.msg.seq, payload_type(ev.msg.payload)});
+      }
+      break;
+    case Event::Kind::kCrash:
+      crash(ev.owner);
+      break;
+    case Event::Kind::kCallback: {
+      auto it = callbacks_.find(ev.seq);
+      assert(it != callbacks_.end());
+      // Detach before invoking: the closure may schedule more events.
+      std::function<void()> fn = std::move(it->second);
+      callbacks_.erase(it);
+      fn();
+      break;
+    }
+  }
+}
+
+void Simulator::prune_cancelled() {
+  // A cancelled timer's record stays in the heap (removing from the middle
+  // of a binary heap is O(n)); it is discarded when it surfaces, without
+  // advancing time or counting as a processed event.
+  while (!heap_.empty()) {
+    // Touching the front's slab line here is free: a live front is read
+    // from the same line by pop_and_dispatch() immediately after.
+    const std::uint32_t slot = heap_.front().slot();
+    const Event& front = slab_[slot];
+    if (front.kind != Event::Kind::kTimer) break;
+    if (active_timers_.find(front.timer_id) != active_timers_.end()) break;
+    free_slots_.push_back(slot);
+    heap_pop_front();
+  }
+}
+
+void Simulator::pop_and_dispatch() {
+  const HeapEntry entry = heap_.front();
+  const std::uint32_t slot = entry.slot();
+  heap_pop_front();
+  assert(entry.at >= now_);
+  now_ = entry.at;
+  ++events_processed_;
+  // The handler may push events, which can recycle (or reallocate) the
+  // slot being read — so copy out before dispatching. Deliveries (the
+  // overwhelming bulk) copy only the Message, not the whole record.
+  if (slab_[slot].kind == Event::Kind::kDeliver) {
+    const Message m = slab_[slot].msg;
+    free_slots_.push_back(slot);
+    deliver(m);
+    return;
+  }
+  Event ev = slab_[slot];
+  free_slots_.push_back(slot);
+  dispatch(std::move(ev));
 }
 
 bool Simulator::step() {
   assert(mode_ == ExecMode::kTimed && "use execute_event in controlled mode");
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the event is copied out, then popped.
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.at >= now_);
-  now_ = ev.at;
-  ++events_processed_;
-  ev.fn();
+  prune_cancelled();
+  if (heap_.empty()) return false;
+  pop_and_dispatch();
   return true;
 }
 
 void Simulator::run_until(Time t) {
   assert(mode_ == ExecMode::kTimed && "drive controlled mode via execute_event");
   start();
-  while (!queue_.empty() && queue_.top().at <= t) {
-    step();
+  for (;;) {
+    // Prune before the horizon check: a cancelled record at the front must
+    // not be mistaken for a runnable event, nor hide one behind it.
+    prune_cancelled();
+    if (heap_.empty() || heap_.front().at > t) break;
+    pop_and_dispatch();
   }
   if (t > now_) now_ = t;
 }

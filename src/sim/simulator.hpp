@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -120,7 +120,7 @@ class Simulator {
 
   /// True if no events are pending.
   [[nodiscard]] bool idle() const {
-    return mode_ == ExecMode::kTimed ? queue_.empty() : controlled_.empty();
+    return mode_ == ExecMode::kTimed ? heap_.empty() : controlled_.empty();
   }
 
   // -- controlled (model-checking) mode ---------------------------------
@@ -139,7 +139,7 @@ class Simulator {
 
   // -- actor services (used via Actor's protected helpers) -------------
 
-  void send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer);
+  void send(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer);
   TimerId set_timer(ProcessId owner, Time delay);
   void cancel_timer(TimerId id);
 
@@ -158,13 +158,13 @@ class Simulator {
 
   /// Physical send that bypasses the transport shim (but not the
   /// adversary) — the transport's own segments travel through this.
-  void raw_send(ProcessId from, ProcessId to, std::any payload, MsgLayer layer);
+  void raw_send(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer);
 
   /// Hand a transport-released logical message to the recipient actor,
   /// settling the logical channel books and the event log. `logical_seq`
   /// is the sequence number `Network::logical_sent` returned for it;
   /// `sent_at` the original logical send time.
-  void deliver_logical(ProcessId from, ProcessId to, std::any payload, MsgLayer layer,
+  void deliver_logical(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer,
                        std::uint64_t logical_seq, Time sent_at);
 
   /// Append to the installed event log (no-op when none) — lets the
@@ -234,32 +234,102 @@ class Simulator {
   Rng& actor_rng(ProcessId p);
 
  private:
+  /// One record in the timed event heap. A typed discriminant instead of a
+  /// per-event heap-allocated `std::function` closure: the steady-state
+  /// kinds (deliveries, timers, drop settlements, crashes) carry their
+  /// operands inline, so pushing and popping them never allocates — and
+  /// the record is trivially copyable, so slab stores are plain memcpys.
+  /// Externally scheduled callbacks (`schedule()`) keep a closure, parked
+  /// in `callbacks_` under the event's seq — they are harness-frequency,
+  /// not message-frequency.
   struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    enum class Kind : std::uint8_t {
+      kDeliver,     ///< hand `msg` to its recipient (or drop at a corpse)
+      kTimer,       ///< fire timer `timer_id` at `owner` unless cancelled
+      kDropSettle,  ///< `msg` was lost in flight: settle books, log loss
+      kCrash,       ///< crash process `owner`
+      kCallback,    ///< run the closure filed under `seq` in `callbacks_`
+    };
+    Time at = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kCallback;
+    bool partitioned = false;      ///< kDropSettle: partition cut vs. random loss
+    ProcessId owner = kNoProcess;  ///< kTimer / kCrash subject
+    TimerId timer_id = 0;          ///< kTimer
+    Message msg;                   ///< kDeliver / kDropSettle
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+  /// What the heap actually sifts: 16 bytes — the firing time plus a
+  /// packed (seq, slot) word, seq in the high bits so comparing the word
+  /// orders by seq (slot is dead weight below unique-seq bits). Keeping
+  /// the ~100-byte Event records out of the heap makes every sift step a
+  /// two-word move, and at 16 bytes the four children of a 4-ary node
+  /// share a single cache line — the difference between O(log n) in
+  /// theory and in the cache.
+  struct HeapEntry {
+    Time at = 0;
+    std::uint64_t seq_slot = 0;
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & (kMaxSlots - 1));
     }
   };
+  /// Slab slots spendable before the packed word runs out of room:
+  /// 2^21 ≈ 2M *concurrently pending* events (seq gets the other 43
+  /// bits — centuries of simulated traffic). acquire_slot() hard-fails
+  /// at the cap rather than silently mis-ordering.
+  static constexpr std::uint64_t kMaxSlots = 1ULL << 21;
+  /// Strict "a fires after b" on the (at, seq) key. seq is unique, so
+  /// this is a *total* order: the pop sequence is fully determined by the
+  /// key and does not depend on the heap's internal shape or arity.
+  static bool event_later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq_slot > b.seq_slot;
+  }
 
   /// A pending event in controlled mode: descriptor (including the
-  /// per-channel FIFO rank for messages) + payload closure.
+  /// per-channel FIFO rank for messages) plus inline operands — same
+  /// typed-record scheme as the timed heap; only kScheduled carries a
+  /// closure.
   struct ControlledEvent {
     PendingEvent info;
-    std::function<void()> fn;
+    TimerId timer_id = 0;      ///< kTimer
+    Message msg;               ///< kMessage
+    std::function<void()> fn;  ///< kScheduled only
   };
 
-  void push_event(Time at, std::function<void()> fn);
-  void push_controlled(PendingEvent::Kind kind, ProcessId from, ProcessId to,
-                       ProcessId owner, std::uint64_t channel_rank,
-                       std::function<void()> fn);
+  /// Grab a free slab slot (recycled or fresh). The returned reference is
+  /// valid only until the next acquire (the slab may reallocate).
+  std::uint32_t acquire_slot();
+  /// Assign the next event seq to the record in `slot` and push it on the
+  /// heap. The record's `at` and `kind` must be final. Returns the seq
+  /// (keys `callbacks_` for kCallback records).
+  std::uint64_t commit_event(std::uint32_t slot);
+  /// Cold-path convenience: copy a ready-made record into a slot and
+  /// commit it. The hot send path builds records in place instead.
+  std::uint64_t push_event(const Event& ev);
+  ControlledEvent& push_controlled(PendingEvent::Kind kind, ProcessId from, ProcessId to,
+                                   ProcessId owner, std::uint64_t channel_rank);
+  /// 4-ary min-heap primitives over `heap_` (earliest (at, seq) on top).
+  /// Quarter the depth of a binary heap and all four children share one
+  /// cache line (4 × 24 B), so pops touch far less memory; because
+  /// (at, seq) is a total order the pop sequence is identical to any
+  /// other heap arity — arity is pure mechanics, not semantics.
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  /// Remove heap_[0], restoring the heap property.
+  void heap_pop_front();
+  /// Pop-and-discard cancelled-timer records at the heap front. They are
+  /// dead weight, not events: skipping them must not advance time or the
+  /// events_processed counter.
+  void prune_cancelled();
+  /// Pop and run the earliest event. Precondition: prune_cancelled() was
+  /// just called and the heap is non-empty.
+  void pop_and_dispatch();
+  void dispatch(Event&& ev);
+  void fire_timer(ProcessId owner, TimerId id);
   [[nodiscard]] bool is_eligible(const ControlledEvent& ev) const;
-  void deliver(Message m);
+  void deliver(const Message& m);
 
+  std::uint64_t seed_;
   Rng rng_;
   std::unique_ptr<DelayModel> delays_;
   ExecMode mode_;
@@ -267,8 +337,21 @@ class Simulator {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<std::unique_ptr<Rng>> actor_rngs_;
   std::vector<Time> crash_times_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  /// Timed mode: 4-ary min-heap over (at, seq) on a plain vector of
+  /// compact HeapEntry keys; the Event records live in `slab_` (slots
+  /// recycled through `free_slots_`), so sifting moves 24-byte keys, not
+  /// 100-byte records.
+  std::vector<HeapEntry> heap_;
+  std::vector<Event> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Closures of pending kCallback events, keyed by event seq.
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
   std::map<std::uint64_t, ControlledEvent> controlled_;  // by event id
+  /// Controlled mode: per-directed-channel FIFO of pending message event
+  /// ids, in send (= channel_rank) order. An event is eligible iff it is
+  /// at the front of its channel — O(1), making eligible_events()
+  /// O(pending) instead of O(pending²).
+  std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> channel_fifo_;
   std::unordered_map<std::uint64_t, std::uint64_t> channel_send_rank_;
   std::unordered_set<TimerId> active_timers_;
   std::uint64_t next_event_seq_ = 0;

@@ -12,9 +12,8 @@ using ekbd::sim::Message;
 using ekbd::sim::MsgLayer;
 using ekbd::sim::Simulator;
 
-struct Tag {
-  int v = 0;
-};
+// Payload is a closed variant now; these tests send the generic Datum.
+using Tag = ekbd::sim::Datum;
 
 struct Echo : ekbd::sim::Actor {
   void on_message(const Message&) override {}
@@ -41,7 +40,7 @@ TEST(EventLogTest, RecordsSendAndDeliverPairs) {
   EXPECT_EQ(send_ev.from, 0);
   EXPECT_EQ(send_ev.to, 1);
   EXPECT_EQ(send_ev.seq, deliver_ev.seq);
-  EXPECT_EQ(send_ev.payload_name(), "Tag");
+  EXPECT_EQ(send_ev.payload_name(), "Datum");
   EXPECT_EQ(send_ev.layer, MsgLayer::kDining);
 }
 

@@ -114,8 +114,8 @@ class HbHost : public ekbd::sim::Actor, public ModuleHost {
   void on_message(const Message& m) override { module_.handle_message(*this, m); }
   void on_timer(TimerId id) override { module_.handle_timer(*this, id); }
 
-  void module_send(ProcessId to, std::any payload, MsgLayer layer) override {
-    send(to, std::move(payload), layer);
+  void module_send(ProcessId to, ekbd::sim::Payload payload, MsgLayer layer) override {
+    send(to, payload, layer);
   }
   TimerId module_set_timer(Time delay) override { return set_timer(delay); }
   [[nodiscard]] Time module_now() const override { return now(); }
@@ -242,8 +242,8 @@ class PpHost : public ekbd::sim::Actor, public ModuleHost {
   void on_message(const Message& m) override { module_.handle_message(*this, m); }
   void on_timer(TimerId id) override { module_.handle_timer(*this, id); }
 
-  void module_send(ProcessId to, std::any payload, MsgLayer layer) override {
-    send(to, std::move(payload), layer);
+  void module_send(ProcessId to, ekbd::sim::Payload payload, MsgLayer layer) override {
+    send(to, payload, layer);
   }
   TimerId module_set_timer(Time delay) override { return set_timer(delay); }
   [[nodiscard]] Time module_now() const override { return now(); }
@@ -436,8 +436,8 @@ class AcHost : public ekbd::sim::Actor, public ModuleHost {
   void on_message(const Message& m) override { module_.handle_message(*this, m); }
   void on_timer(TimerId id) override { module_.handle_timer(*this, id); }
 
-  void module_send(ProcessId to, std::any payload, MsgLayer layer) override {
-    send(to, std::move(payload), layer);
+  void module_send(ProcessId to, ekbd::sim::Payload payload, MsgLayer layer) override {
+    send(to, payload, layer);
   }
   TimerId module_set_timer(Time delay) override { return set_timer(delay); }
   [[nodiscard]] Time module_now() const override { return now(); }

@@ -19,9 +19,8 @@ using ekbd::sim::Simulator;
 using ekbd::sim::Time;
 using ekbd::sim::TimerId;
 
-struct Note {
-  int tag = 0;
-};
+// Payload is a closed variant now; tests send the generic Datum value.
+using Note = ekbd::sim::Datum;
 
 /// Records everything it receives.
 class Recorder : public ekbd::sim::Actor {
@@ -153,7 +152,7 @@ TEST(Simulator, MessageDeliveredWithDelay) {
   a->send(b->id(), Note{42}, MsgLayer::kOther);
   sim.run_until(100);
   ASSERT_EQ(b->received.size(), 1u);
-  EXPECT_EQ(b->received[0].tag, 42);
+  EXPECT_EQ(b->received[0].value, 42);
   EXPECT_EQ(b->receive_times[0], 7);
   EXPECT_EQ(b->froms[0], a->id());
 }
@@ -167,7 +166,7 @@ TEST(Simulator, FifoPreservedDespiteRandomDelays) {
   for (int i = 0; i < 100; ++i) a->send(b->id(), Note{i}, MsgLayer::kOther);
   sim.run_until(10'000);
   ASSERT_EQ(b->received.size(), 100u);
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(b->received[static_cast<size_t>(i)].tag, i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b->received[static_cast<size_t>(i)].value, i);
 }
 
 TEST(Simulator, FifoAcrossInterleavedSends) {
@@ -185,12 +184,12 @@ TEST(Simulator, FifoAcrossInterleavedSends) {
   ASSERT_EQ(b->received.size(), 100u);
   int last_a = -1, last_c = 999;
   for (const Note& n : b->received) {
-    if (n.tag < 1000) {
-      EXPECT_GT(n.tag, last_a);
-      last_a = n.tag;
+    if (n.value < 1000) {
+      EXPECT_GT(n.value, last_a);
+      last_a = n.value;
     } else {
-      EXPECT_GT(n.tag, last_c);
-      last_c = n.tag;
+      EXPECT_GT(n.value, last_c);
+      last_c = n.value;
     }
   }
 }
@@ -371,7 +370,7 @@ TEST(ChannelFaults, ReorderingViolatesFifo) {
   ASSERT_EQ(b->received.size(), 100u);
   bool inverted = false;
   for (std::size_t i = 1; i < b->received.size(); ++i) {
-    if (b->received[i].tag < b->received[i - 1].tag) inverted = true;
+    if (b->received[i].value < b->received[i - 1].value) inverted = true;
   }
   EXPECT_TRUE(inverted) << "expected at least one FIFO inversion";
 }
@@ -384,7 +383,7 @@ TEST(ChannelFaults, DefaultOffPreservesModel) {
   for (int i = 0; i < 100; ++i) a->send(b->id(), Note{i}, MsgLayer::kOther);
   sim.run_until(10'000);
   ASSERT_EQ(b->received.size(), 100u);
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(b->received[static_cast<size_t>(i)].tag, i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b->received[static_cast<size_t>(i)].value, i);
 }
 
 TEST(Simulator, EventsProcessedCounter) {
