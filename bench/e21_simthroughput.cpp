@@ -24,6 +24,14 @@
 //                         exit non-zero if any matching metric regressed
 //                         by more than 15% (perf gate; activates once a
 //                         baseline is checked in — see docs/PERF.md)
+//   --telemetry PATH      run one extra SMALL instrumented echo storm and
+//                         write its metrics-registry snapshot as JSONL
+//   --perfetto PATH       same extra run, exported as Chrome trace-event
+//                         JSON (open at https://ui.perfetto.dev)
+//
+// The telemetry/perfetto run is separate from — and never counted in —
+// the timed results above, so the perf gate always measures the
+// uninstrumented hot path (registry pointers null, zero-cost discipline).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -35,7 +43,11 @@
 
 #include "core/messages.hpp"
 #include "graph/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/delay_model.hpp"
+#include "sim/event_log.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 
@@ -164,12 +176,57 @@ bool load_baseline(const std::string& path, std::vector<std::pair<std::string, d
   return true;
 }
 
+// One deliberately small fully-instrumented run: the same echo storm with
+// the metrics registry attached and an EventLog recording every envelope.
+// Feeds --telemetry (registry snapshot as one JSONL line) and --perfetto
+// (the log rendered as Chrome trace-event JSON). Kept out of `results` so
+// instrumentation cost can never leak into the perf gate.
+int run_instrumented(const std::string& telemetry_path, const std::string& perfetto_path) {
+  const auto g = graph::ring(8);
+  sim::Simulator sim(/*seed=*/2026, sim::make_uniform_delay(1, 10));
+  sim::EventLog log(/*cap=*/20'000);
+  sim.set_event_log(&log);
+  obs::MetricsRegistry reg;
+  obs::attach_simulator_metrics(sim, reg);
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    sim.make_actor<Echo>(g.neighbors(static_cast<ProcessId>(p)));
+  }
+  sim.start();
+  while (sim.events_processed() < 5'000) sim.run_until(sim.now() + 50);
+  obs::collect_network_metrics(sim.network(), reg);
+  obs::collect_event_log_metrics(log, reg);
+
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "e21: cannot write %s\n", telemetry_path.c_str());
+      return 2;
+    }
+    out << "{\"experiment\":\"e21_simthroughput\",\"mode\":\"instrumented\",\"metrics\":"
+        << reg.to_json() << "}\n";
+    std::printf("telemetry written to %s\n", telemetry_path.c_str());
+  }
+  if (!perfetto_path.empty()) {
+    std::ofstream out(perfetto_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "e21: cannot write %s\n", perfetto_path.c_str());
+      return 2;
+    }
+    out << obs::chrome_trace_json(&log, nullptr);
+    std::printf("perfetto trace written to %s (open at https://ui.perfetto.dev)\n",
+                perfetto_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
   std::string baseline_path;
+  std::string telemetry_path;
+  std::string perfetto_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -177,8 +234,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check-against") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH] [--check-against PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--check-against PATH]\n"
+                   "          [--telemetry PATH] [--perfetto PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -247,6 +310,12 @@ int main(int argc, char** argv) {
     if (regressions > 0) return 1;
     std::printf("perf gate: no metric regressed more than 15%% vs %s\n",
                 baseline_path.c_str());
+  }
+
+  if (!telemetry_path.empty() || !perfetto_path.empty()) {
+    std::printf("\n");
+    const int rc = run_instrumented(telemetry_path, perfetto_path);
+    if (rc != 0) return rc;
   }
   return 0;
 }

@@ -6,16 +6,26 @@
 // produced by some other implementation of the algorithm — is analyzable
 // without re-running anything.
 //
+// The observability subsystem rides along twice: the archived trace is
+// replayed through the *online* exclusion monitor (obs/monitors.hpp) and
+// its verdict cross-checked against the post-hoc checker, and `--perfetto
+// FILE` exports the hungry/eat sessions as Chrome trace-event JSON —
+// open the file at https://ui.perfetto.dev to scrub through the run.
+//
 //   ./run_scenario --topology ring --n 8 --crash 2@20000 --dump run.jsonl
-//   ./analyze_trace --trace run.jsonl --topology ring --n 8 --k 2
+//   ./analyze_trace --trace run.jsonl --topology ring --n 8 --perfetto run.perfetto.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "dining/checkers.hpp"
 #include "dining/trace_io.hpp"
 #include "graph/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitors.hpp"
+#include "obs/perfetto.hpp"
 #include "util/table.hpp"
 
 using namespace ekbd;
@@ -29,7 +39,9 @@ namespace {
       "  --after T      evaluate 'eventual' properties from time T (default 0)\n"
       "  --seed S       seed for the 'random' topology (must match the run)\n"
       "  --horizon-frac F  starvation horizon as a fraction of the trace\n"
-      "                    length, in percent (default 25)\n",
+      "                    length, in percent (default 25)\n"
+      "  --perfetto FILE  export the sessions as Chrome trace-event JSON\n"
+      "                   (open at https://ui.perfetto.dev)\n",
       argv0);
   std::exit(2);
 }
@@ -44,6 +56,7 @@ int main(int argc, char** argv) {
   sim::Time after = 0;
   std::uint64_t seed = 1;
   long horizon_frac = 25;
+  std::string perfetto_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,6 +71,7 @@ int main(int argc, char** argv) {
     else if (arg == "--after") after = std::strtoll(next(), nullptr, 10);
     else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--horizon-frac") horizon_frac = std::strtol(next(), nullptr, 10);
+    else if (arg == "--perfetto") perfetto_path = next();
     else usage(argv[0]);
   }
   if (trace_path.empty() || n == 0) usage(argv[0]);
@@ -80,6 +94,12 @@ int main(int argc, char** argv) {
       crash_times[static_cast<std::size_t>(e.process)] = e.at;
     }
   }
+
+  // Replay the archive through the online monitor — the streaming verdict
+  // must match the post-hoc checker event for event (the same agreement
+  // the fuzz suite enforces on live runs).
+  obs::ExclusionMonitor online(graph);
+  for (const auto& e : trace.events()) online.on_trace_event(e);
 
   const sim::Time horizon = trace.end_time() * horizon_frac / 100;
   auto ex = dining::check_exclusion(trace, graph);
@@ -112,8 +132,36 @@ int main(int argc, char** argv) {
       .cell("max " + std::to_string(cp.max_concurrent_eaters) + " simultaneous eaters, " +
             std::to_string(cp.nonneighbor_overlaps) + " harmless overlaps")
       .cell("-");
+  const bool agree = online.violations().size() == ex.violations.size();
+  t.row()
+      .cell("online monitor agreement")
+      .cell("streaming saw " + std::to_string(online.violations().size()) +
+            " violations, post-hoc " + std::to_string(ex.violations.size()))
+      .cell(agree ? "AGREE" : "DISAGREE");
   t.print();
 
   std::printf("response times: %s\n", wf.response.to_string().c_str());
-  return 0;
+
+  // Hungry-latency distribution as a telemetry histogram (the same
+  // instrument the live harness feeds when Config::observability is set).
+  obs::Histogram latency(0.0, 5000.0, 50);
+  for (const auto& s : dining::hungry_sessions(trace)) {
+    if (s.completed()) latency.add(static_cast<double>(s.response_time()));
+  }
+  std::printf("hungry latency: n=%llu mean=%.1f ticks\n",
+              static_cast<unsigned long long>(latency.count()), latency.mean());
+
+  if (!perfetto_path.empty()) {
+    std::ofstream out(perfetto_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", perfetto_path.c_str());
+      return 1;
+    }
+    // No event log survives into the archive, so this exports the session
+    // spans (hungry/eat per process, crashes as instants).
+    out << obs::chrome_trace_json(nullptr, &trace);
+    std::printf("perfetto trace written to %s (open at https://ui.perfetto.dev)\n",
+                perfetto_path.c_str());
+  }
+  return agree ? 0 : 1;
 }

@@ -45,8 +45,41 @@ void Harness::schedule_next_hunger(Diner* d, Time delay) {
   });
 }
 
+void Harness::attach_metrics(obs::MetricsRegistry& reg) {
+  hungry_latency_ = &reg.histogram("dining.hungry_latency", "", 0.0, 5000.0, 50);
+  meals_ = &reg.counter("dining.meals");
+  neighbor_hungry_eats_ = &reg.counter("dining.neighbor_hungry_eats");
+  hungry_since_.assign(graph_.size(), -1);
+}
+
 void Harness::on_diner_event(Diner& d, TraceEventKind kind) {
   trace_.record(sim_.now(), d.id(), kind);
+  if (meals_ != nullptr) {
+    // Telemetry attached: keep the hungry-since clocks and feed the
+    // latency/overtake instruments. All of this is skipped (one branch)
+    // when detached.
+    const auto idx = static_cast<std::size_t>(d.id());
+    switch (kind) {
+      case TraceEventKind::kBecameHungry:
+        hungry_since_[idx] = sim_.now();
+        break;
+      case TraceEventKind::kStartEating:
+        meals_->inc();
+        if (hungry_since_[idx] >= 0) {
+          hungry_latency_->add(static_cast<double>(sim_.now() - hungry_since_[idx]));
+          hungry_since_[idx] = -1;
+        }
+        for (const ProcessId q : graph_.neighbors(d.id())) {
+          if (hungry_since_[static_cast<std::size_t>(q)] >= 0) neighbor_hungry_eats_->inc();
+        }
+        break;
+      case TraceEventKind::kCrashed:
+        hungry_since_[idx] = -1;
+        break;
+      default:
+        break;
+    }
+  }
   switch (kind) {
     case TraceEventKind::kStartEating: {
       if (eat_hook_) eat_hook_(d.id());

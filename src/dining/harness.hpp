@@ -19,6 +19,7 @@
 #include "fd/heartbeat.hpp"
 #include "fd/pingpong.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ekbd::dining {
@@ -93,6 +94,15 @@ class Harness {
   /// Same for the φ-accrual modules.
   void install_accruals(fd::AccrualDetector& detector, fd::AccrualModule::Params params);
 
+  /// Wire scheduling telemetry into `reg` (detached by default; zero cost
+  /// until called): "dining.hungry_latency" — hungry→eat waits as a
+  /// histogram; "dining.meals" — eat sessions started; and
+  /// "dining.neighbor_hungry_eats" — eats granted while ≥1 neighbor was
+  /// already hungry, one count per such neighbor (each is one overtake
+  /// opportunity, the quantity ◇k-BW / P4 bounds per session). The
+  /// registry must outlive the harness's use of it.
+  void attach_metrics(obs::MetricsRegistry& reg);
+
  private:
   void on_diner_event(Diner& d, TraceEventKind kind);
   void schedule_next_hunger(Diner* d, sim::Time delay);
@@ -108,6 +118,12 @@ class Harness {
   std::function<void(sim::ProcessId)> exit_hook_;
   std::unordered_set<sim::ProcessId> think_forever_;
   sim::Time hunger_deadline_ = -1;  ///< -1 = unlimited
+  // Telemetry handles (null until attach_metrics) + the hungry-since
+  // clock backing the latency histogram and the P4 overtake counter.
+  obs::Histogram* hungry_latency_ = nullptr;
+  obs::Counter* meals_ = nullptr;
+  obs::Counter* neighbor_hungry_eats_ = nullptr;
+  std::vector<sim::Time> hungry_since_;
 };
 
 }  // namespace ekbd::dining

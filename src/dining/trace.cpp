@@ -34,6 +34,7 @@ std::string to_string(TraceEventKind k) {
 void Trace::record(Time at, ProcessId p, TraceEventKind kind) {
   assert(events_.empty() || at >= events_.back().at);
   events_.push_back(TraceEvent{at, p, kind});
+  if (observer_ != nullptr) observer_->on_trace_event(events_.back());
 }
 
 Time Trace::end_time() const {

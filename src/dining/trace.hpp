@@ -22,6 +22,15 @@ struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kBecameHungry;
 };
 
+/// Streaming consumer of trace events: sees each event as it is
+/// recorded, in trace order (the online exclusion monitor rides on
+/// this). Observers observe — they must not record into the trace.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  virtual void on_trace_event(const TraceEvent& ev) = 0;
+};
+
 /// One completed (or still-open) hungry→eating episode of one process,
 /// extracted from a Trace by `hungry_sessions`.
 struct HungrySession {
@@ -58,9 +67,13 @@ class Trace {
   /// Human-readable dump (debugging aid for failed property checks).
   [[nodiscard]] std::string to_string(std::size_t max_events = 200) const;
 
+  /// Attach (or detach with nullptr) a streaming observer. Not owned.
+  void set_observer(TraceObserver* obs) { observer_ = obs; }
+
  private:
   std::vector<TraceEvent> events_;
   Time end_time_ = -1;
+  TraceObserver* observer_ = nullptr;
 };
 
 /// Extract every hungry session in the trace, in session-start order.

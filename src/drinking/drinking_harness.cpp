@@ -61,14 +61,31 @@ void DrinkingHarness::schedule_next_thirst(DrinkingDiner* d, Time delay) {
   });
 }
 
+void DrinkingHarness::attach_metrics(obs::MetricsRegistry& reg) {
+  thirst_latency_ = &reg.histogram("drinking.thirst_latency", "", 0.0, 5000.0, 50);
+  drinks_metric_ = &reg.counter("drinking.drinks");
+  violations_metric_ = &reg.counter("drinking.violations");
+  thirsty_since_.assign(graph_.size(), -1);
+}
+
 void DrinkingHarness::on_drink_event(DrinkingDiner& d, DrinkingDiner::DrinkEvent ev) {
   const Time now = sim_.now();
   switch (ev) {
     case DrinkingDiner::DrinkEvent::kBecameThirsty:
       drink_trace_.record(now, d.id(), TraceEventKind::kBecameHungry);
+      if (thirst_latency_ != nullptr) {
+        thirsty_since_[static_cast<std::size_t>(d.id())] = now;
+      }
       break;
     case DrinkingDiner::DrinkEvent::kStartDrinking: {
       drink_trace_.record(now, d.id(), TraceEventKind::kStartEating);
+      if (thirst_latency_ != nullptr) {
+        Time& since = thirsty_since_[static_cast<std::size_t>(d.id())];
+        if (since >= 0) {
+          thirst_latency_->add(static_cast<double>(now - since));
+          since = -1;
+        }
+      }
       // Shared-bottle exclusion check: a live neighbor drinking now whose
       // session needs OUR shared bottle, while we need it too.
       for (ProcessId j : graph_.neighbors(d.id())) {
@@ -84,6 +101,7 @@ void DrinkingHarness::on_drink_event(DrinkingDiner& d, DrinkingDiner::DrinkEvent
         if (p_needs && q_needs) {
           ++violations_;
           last_violation_ = now;
+          if (violations_metric_ != nullptr) violations_metric_->inc();
         }
       }
       weighted_drinkers_ += static_cast<double>(drinkers_now_) *
@@ -104,6 +122,7 @@ void DrinkingHarness::on_drink_event(DrinkingDiner& d, DrinkingDiner::DrinkEvent
       last_change_ = now;
       --drinkers_now_;
       ++drinks_;
+      if (drinks_metric_ != nullptr) drinks_metric_->inc();
       schedule_next_thirst(&d, rng_.uniform_int(opt_.dry_lo, opt_.dry_hi));
       break;
   }

@@ -22,6 +22,7 @@
 #include "dining/trace.hpp"
 #include "drinking/drinking_diner.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ekbd::drinking {
@@ -52,10 +53,12 @@ class DrinkingHarness {
   /// Drinking-layer trace: kBecameHungry = became thirsty, kStartEating =
   /// started drinking, kStopEating = finished drinking.
   [[nodiscard]] const dining::Trace& drink_trace() const { return drink_trace_; }
+  [[nodiscard]] dining::Trace& drink_trace() { return drink_trace_; }
 
   /// Underlying dining-layer trace (the catalyst sessions) — shows how
   /// briefly the dining critical section is actually held.
   [[nodiscard]] const dining::Trace& dining_trace() const { return dining_trace_; }
+  [[nodiscard]] dining::Trace& dining_trace() { return dining_trace_; }
 
   /// Shared-bottle exclusion violations observed: both endpoints of an
   /// edge drinking simultaneously while both sessions needed that edge's
@@ -69,6 +72,12 @@ class DrinkingHarness {
 
   [[nodiscard]] std::uint64_t drinks_completed() const { return drinks_; }
   [[nodiscard]] std::vector<sim::Time> crash_times() const;
+
+  /// Wire drinking telemetry into `reg` (detached by default):
+  /// "drinking.thirst_latency" — thirsty→drink waits as a histogram;
+  /// "drinking.drinks" — completed drinks; "drinking.violations" —
+  /// shared-bottle exclusion violations (◇WX tail).
+  void attach_metrics(obs::MetricsRegistry& reg);
 
  private:
   void on_drink_event(DrinkingDiner& d, DrinkingDiner::DrinkEvent ev);
@@ -90,6 +99,11 @@ class DrinkingHarness {
   double weighted_drinkers_ = 0.0;
   sim::Time last_change_ = 0;
   sim::Time horizon_ = 0;
+  // Telemetry handles (null until attach_metrics).
+  obs::Histogram* thirst_latency_ = nullptr;
+  obs::Counter* drinks_metric_ = nullptr;
+  obs::Counter* violations_metric_ = nullptr;
+  std::vector<sim::Time> thirsty_since_;
 };
 
 }  // namespace ekbd::drinking

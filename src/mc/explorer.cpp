@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <utility>
 
@@ -338,9 +339,13 @@ Result run_walks(const WorldFactory& factory, const Options& opt, WorkStealingPo
 }  // namespace
 
 Result explore(const WorldFactory& factory, const Options& options) {
+  const auto t0 = std::chrono::steady_clock::now();
   WorkStealingPool pool(WorkStealingPool::resolve(options.threads));
-  return options.random_walks > 0 ? run_walks(factory, options, pool)
-                                  : run_dfs(factory, options, pool);
+  Result result = options.random_walks > 0 ? run_walks(factory, options, pool)
+                                           : run_dfs(factory, options, pool);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
 }
 
 ReplayOutcome replay_counterexample(const WorldFactory& factory,

@@ -104,6 +104,11 @@ struct Result {
   std::uint64_t sleep_pruned = 0;     ///< choices skipped by sleep sets
   std::size_t max_depth_seen = 0;
   bool budget_exhausted = false;
+  /// Wall-clock duration of the explore() call. The one field OUTSIDE the
+  /// determinism guarantee: it measures the machine, not the search —
+  /// compare counters across runs, never this. Feeds
+  /// obs::collect_mc_metrics (states/sec).
+  double wall_seconds = 0.0;
 
   // First failure found (if any). A violating step ends its own schedule
   // but (without fail_fast) not the search, so the reported counterexample

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <typeindex>
 #include <utility>
 
 namespace ekbd::net {
@@ -44,7 +43,7 @@ void ReliableTransport::logical_send(ProcessId from, ProcessId to, const Payload
   const std::uint64_t logical_seq =
       sim_.network().logical_sent(from, to, layer, now, sim_.crashed(to));
   sim_.append_log(LoggedEvent{now, LoggedEvent::Kind::kSend, from, to, layer, logical_seq,
-                              sim::payload_type(payload)});
+                              sim::payload_tag(payload)});
 
   EdgeTx& tx = tx_[edge_key(from, to)];
   const std::uint64_t seq = tx.next_seq++;
@@ -122,6 +121,7 @@ void ReliableTransport::on_timer(ProcessId from, ProcessId to, std::uint64_t gen
   tx.rto = std::min<Time>(static_cast<Time>(static_cast<double>(tx.rto) * params_.rto_backoff),
                           params_.rto_max);
   tx.rto = std::max<Time>(tx.rto, 1);
+  if (tx.rto > max_rto_reached_) max_rto_reached_ = tx.rto;
   arm_timer(from, to, tx, tx.rto);
 }
 
@@ -136,7 +136,7 @@ void ReliableTransport::abandon(ProcessId from, ProcessId to, EdgeTx& tx) {
     if (seq < delivered_below) continue;
     sim_.network().logical_dropped(from, to, pm.layer);
     sim_.append_log(LoggedEvent{sim_.now(), LoggedEvent::Kind::kDrop, from, to, pm.layer,
-                                pm.logical_seq, sim::payload_type(pm.payload)});
+                                pm.logical_seq, sim::payload_tag(pm.payload)});
     ++abandoned_to_dead_;
   }
   tx.unacked.clear();

@@ -90,6 +90,12 @@ class ReliableTransport final : public ekbd::sim::Transport {
   [[nodiscard]] std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
   [[nodiscard]] std::uint64_t abandoned_to_dead() const { return abandoned_to_dead_; }
 
+  /// Highest RTO the exponential backoff ever reached on any edge (0 if
+  /// no retransmission round backed off): the "backoff level" telemetry
+  /// signal — params_.rto_max here means some link stayed bad long
+  /// enough to saturate the cap.
+  [[nodiscard]] Time max_rto_reached() const { return max_rto_reached_; }
+
   /// Physical overhead factor: data segments sent per logical message
   /// (1.0 = no retransmissions; loss-free link).
   [[nodiscard]] double overhead() const {
@@ -166,6 +172,7 @@ class ReliableTransport final : public ekbd::sim::Transport {
   std::uint64_t retransmissions_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
   std::uint64_t abandoned_to_dead_ = 0;
+  Time max_rto_reached_ = 0;
 };
 
 }  // namespace ekbd::net

@@ -1,0 +1,233 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ekbd::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::num_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan; telemetry never should
+  // Integral fast path: the overwhelming majority of telemetry numbers
+  // (counts, ticks) are integers — print them as such.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest form that round-trips: %.15g first (usually enough), %.17g
+  // when it is not.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end - p) < n || std::memcmp(p, lit, n) != 0) return false;
+    p += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    Value v;
+    if (p >= end) {
+      ok = false;
+      return v;
+    }
+    const char c = *p;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (literal("true")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (literal("null")) return v;
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      ok = false;
+      return out;
+    }
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) {
+          ok = false;
+          return out;
+        }
+        const char e = *p++;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end - p < 4) {
+              ok = false;
+              return out;
+            }
+            char hex[5] = {p[0], p[1], p[2], p[3], 0};
+            p += 4;
+            const long code = std::strtol(hex, nullptr, 16);
+            // Telemetry strings are ASCII; anything else degrades to '?'
+            // rather than growing a full UTF-16 decoder here.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            ok = false;
+            return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (!consume('"')) ok = false;
+    return out;
+  }
+
+  Value parse_number() {
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    char* after = nullptr;
+    v.number = std::strtod(p, &after);
+    if (after == p || after > end) {
+      ok = false;
+      return v;
+    }
+    p = after;
+    return v;
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.arr.push_back(parse_value());
+      if (!ok) return v;
+      if (consume(']')) return v;
+      if (!consume(',')) {
+        ok = false;
+        return v;
+      }
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      if (!ok || !consume(':')) {
+        ok = false;
+        return v;
+      }
+      v.obj.emplace_back(std::move(key), parse_value());
+      if (!ok) return v;
+      if (consume('}')) return v;
+      if (!consume(',')) {
+        ok = false;
+        return v;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  Value v = parser.parse_value();
+  parser.skip_ws();
+  if (!parser.ok || parser.p != parser.end) return std::nullopt;
+  return v;
+}
+
+}  // namespace ekbd::obs::json

@@ -1,0 +1,57 @@
+/// \file json.hpp
+/// Minimal JSON reader/writer helpers for the telemetry layer.
+///
+/// The repository's export formats (metrics snapshots, JSONL telemetry,
+/// Chrome trace events) are all JSON; this header supplies the three
+/// things they need and nothing more: string escaping, deterministic
+/// number formatting, and a small recursive-descent parser used by the
+/// round-trip paths (histogram_from_json, tests, analyze_trace). No
+/// third-party dependency — the grammar is tiny and the inputs are our
+/// own outputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ekbd::obs::json {
+
+/// A parsed JSON value. Object members keep their textual order (our
+/// writers emit deterministic order, so round-trips are byte-stable).
+struct Value {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// `find(key)->number` with a default for absent/non-number members.
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const;
+};
+
+/// Parse one JSON document (surrounding whitespace allowed). Rejects
+/// trailing garbage. std::nullopt on any syntax error.
+[[nodiscard]] std::optional<Value> parse(const std::string& text);
+
+/// `s` as a quoted JSON string literal (quotes included).
+[[nodiscard]] std::string quote(const std::string& s);
+
+/// Shortest decimal form of `v` that parses back to the same double —
+/// deterministic across runs, no locale involvement. Integral values
+/// print without a fraction ("3", not "3.0").
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace ekbd::obs::json

@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+
+#include "obs/json.hpp"
+
+namespace ekbd::obs {
+
+// -------------------------------------------------------------- Histogram --
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)) {
+  assert(hi > lo && "histogram range must be non-empty");
+  assert(bins > 0 && "histogram needs at least one bucket");
+  buckets_.assign(bins == 0 ? 1 : bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  sum_ += x;
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;  // clamp: counts/sum stay exact, only the bucket is approximate
+  } else {
+    const auto raw = static_cast<std::size_t>((x - lo_) / width_);
+    i = raw >= buckets_.size() ? buckets_.size() - 1 : raw;
+  }
+  ++buckets_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return i + 1 == buckets_.size() ? hi_ : lo_ + width_ * static_cast<double>(i + 1);
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || buckets_.size() != other.buckets_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
+std::string Histogram::to_json() const {
+  std::string out = "{\"lo\":" + json::format_double(lo_) +
+                    ",\"hi\":" + json::format_double(hi_) +
+                    ",\"count\":" + std::to_string(count_) +
+                    ",\"sum\":" + json::format_double(sum_) + ",\"buckets\":[";
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(buckets_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<Histogram> histogram_from_json(const std::string& text) {
+  const std::optional<json::Value> doc = json::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const json::Value* buckets = doc->find("buckets");
+  if (buckets == nullptr || !buckets->is_array() || buckets->arr.empty()) {
+    return std::nullopt;
+  }
+  const double lo = doc->num_or("lo", 0.0);
+  const double hi = doc->num_or("hi", 0.0);
+  if (!(hi > lo)) return std::nullopt;
+  Histogram h(lo, hi, buckets->arr.size());
+  for (std::size_t i = 0; i < buckets->arr.size(); ++i) {
+    if (!buckets->arr[i].is_number()) return std::nullopt;
+    h.buckets_[i] = static_cast<std::uint64_t>(buckets->arr[i].number);
+  }
+  h.count_ = static_cast<std::uint64_t>(doc->num_or("count", 0.0));
+  h.sum_ = doc->num_or("sum", 0.0);
+  return h;
+}
+
+// -------------------------------------------------------- MetricsRegistry --
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& label) {
+  return counters_[Key{name, label}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& label) {
+  return gauges_[Key{name, label}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& label,
+                                      double lo, double hi, std::size_t bins) {
+  auto it = histograms_.find(Key{name, label});
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(Key{name, label}, Histogram(lo, hi, bins)).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const std::string& label) const {
+  const auto it = counters_.find(Key{name, label});
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const std::string& label) const {
+  const auto it = gauges_.find(Key{name, label});
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const std::string& label) const {
+  const auto it = histograms_.find(Key{name, label});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + json::quote(key.first) + ",\"label\":" + json::quote(key.second) +
+           ",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + json::quote(key.first) + ",\"label\":" + json::quote(key.second) +
+           ",\"value\":" + std::to_string(g.value) + ",\"max\":" + std::to_string(g.high_water) +
+           "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + json::quote(key.first) + ",\"label\":" + json::quote(key.second) +
+           ",\"data\":" + h.to_json() + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ekbd::obs

@@ -1,0 +1,146 @@
+/// \file metrics.hpp
+/// Metrics registry: counters, gauges and fixed-bucket histograms
+/// addressable by (name, label).
+///
+/// Design rules, in order of importance:
+///
+///  1. **Zero-cost when detached.** Instrumented subsystems hold plain
+///     pointers to Counter/Gauge handles, null by default — the same
+///     null-pointer-check discipline as `sim::EventLog`. A detached run
+///     pays one branch per instrumentation point and nothing else (the
+///     E21 perf gate enforces this).
+///  2. **Pointer-stable handles.** `counter()` / `gauge()` /
+///     `histogram()` are get-or-create and the returned references stay
+///     valid for the registry's lifetime (node-based storage), so hot
+///     paths resolve a handle once and increment through the pointer
+///     forever after.
+///  3. **Deterministic snapshots.** Iteration and JSON output are sorted
+///     by (name, label), so two runs of the same seed serialize
+///     byte-identically.
+///
+/// The registry is deliberately single-threaded, like the simulator it
+/// instruments: one registry per Scenario/Simulator, never shared across
+/// sweep workers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ekbd::obs {
+
+/// Monotone event count. `inc()` is the hot-path operation: one add.
+struct Counter {
+  std::uint64_t value = 0;
+
+  void inc(std::uint64_t delta = 1) { value += delta; }
+  [[nodiscard]] std::uint64_t get() const { return value; }
+};
+
+/// Instantaneous level with a built-in high-water mark (the §7 bounds are
+/// claims about maxima, so every gauge tracks its own).
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+
+  void set(std::int64_t v) {
+    value = v;
+    if (v > high_water) high_water = v;
+  }
+  void add(std::int64_t delta) { set(value + delta); }
+  [[nodiscard]] std::int64_t get() const { return value; }
+  [[nodiscard]] std::int64_t max() const { return high_water; }
+};
+
+/// Fixed-bucket histogram over [lo, hi): `bins` equal-width buckets;
+/// out-of-range samples are clamped into the first/last bucket (the
+/// count/sum stay exact, so the mean is unaffected by clamping).
+///
+/// Distinct from util::Histogram (a print-only sparkline helper): this
+/// one is a mergeable, serializable telemetry value — sweep shards merge
+/// per-run histograms and the JSONL snapshot round-trips through
+/// `to_json` / `histogram_from_json`.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bins() const { return buckets_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Inclusive-exclusive bounds of bucket `i` (the last bucket absorbs
+  /// everything >= its lower bound, clamping included).
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// Bucket-wise sum. Returns false (and changes nothing) unless the two
+  /// histograms have identical shape (lo, hi, bins).
+  bool merge(const Histogram& other);
+
+  /// `{"lo":..,"hi":..,"count":..,"sum":..,"buckets":[..]}`
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  friend std::optional<Histogram> histogram_from_json(const std::string& text);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Inverse of Histogram::to_json (accepts exactly the shape it emits).
+/// std::nullopt on malformed input.
+[[nodiscard]] std::optional<Histogram> histogram_from_json(const std::string& text);
+
+/// The registry. Handles are keyed by (name, label): `name` identifies
+/// the instrument ("net.in_transit_max"), `label` the instance it
+/// measures ("p2-p5" for an edge, "p7" for a process, "" for a global).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& label = "");
+  Gauge& gauge(const std::string& name, const std::string& label = "");
+  /// Get-or-create; the (lo, hi, bins) shape is fixed by whoever creates
+  /// the handle first.
+  Histogram& histogram(const std::string& name, const std::string& label, double lo,
+                       double hi, std::size_t bins);
+
+  /// Lookup without creation (snapshot readers, tests).
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const std::string& label = "") const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const std::string& label = "") const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                const std::string& label = "") const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Whole-registry snapshot, sorted by (name, label):
+  /// `{"counters":[...],"gauges":[...],"histograms":[...]}`.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  // std::map: node-stable references (rule 2) and sorted iteration
+  // (rule 3) in one container.
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+}  // namespace ekbd::obs

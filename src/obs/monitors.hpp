@@ -1,0 +1,212 @@
+/// \file monitors.hpp
+/// Online invariant monitors: streaming observers for the paper's safety
+/// and resource properties, running *during* the simulation.
+///
+/// Each monitor mirrors one post-hoc verdict incrementally:
+///
+///  * ForkUniquenessMonitor (P1) — at most one fork per undirected edge
+///    in transit, from the simulator's event stream (EventSink);
+///  * ExclusionMonitor (P2/◇WX) — the exact streaming transcription of
+///    dining::check_exclusion, from the scheduling trace (TraceObserver);
+///  * ChannelBoundMonitor (P6) — per-edge in-flight occupancy vs. the
+///    paper's ≤4 bound, from the network books (NetworkWatch);
+///  * QuiescenceMonitor (P7) — last-send times and post-crash sends per
+///    target, from the same watch.
+///
+/// The intended deployment is a MonitorHub wired to a Scenario
+/// (Config::observability); `MonitorHub::agreement_failures` then
+/// cross-checks every monitor against the post-hoc checkers/books — the
+/// fuzz suite runs that comparison on every run, which is what makes the
+/// online verdicts trustworthy.
+///
+/// Monitors observe and never mutate: none of them re-enters the
+/// simulator, the network or the trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dining/checkers.hpp"
+#include "dining/trace.hpp"
+#include "graph/graph.hpp"
+#include "sim/event_log.hpp"
+#include "sim/network.hpp"
+
+namespace ekbd::obs {
+
+/// P1: per undirected edge, at most one core::Fork in transit. Counts
+/// fork sends/deliveries from the logged event stream; a second fork
+/// entering a channel that already holds one is a violation.
+class ForkUniquenessMonitor final : public sim::EventSink {
+ public:
+  struct Violation {
+    sim::Time at = 0;
+    sim::ProcessId a = sim::kNoProcess;
+    sim::ProcessId b = sim::kNoProcess;
+    int in_transit = 0;  ///< forks in flight on the edge after the send
+  };
+
+  void on_event(const sim::LoggedEvent& ev) override;
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  /// Forks currently in transit on the undirected edge {a, b}.
+  [[nodiscard]] int in_transit(sim::ProcessId a, sim::ProcessId b) const;
+  [[nodiscard]] std::uint64_t fork_sends() const { return fork_sends_; }
+
+ private:
+  static std::uint64_t edge_key(sim::ProcessId a, sim::ProcessId b) {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (lo << 32) | hi;
+  }
+
+  std::map<std::uint64_t, int> in_transit_;
+  std::vector<Violation> violations_;
+  std::uint64_t fork_sends_ = 0;
+};
+
+/// P2 (◇WX): streaming transcription of dining::check_exclusion — same
+/// state machine, same violation records, fed one trace event at a time.
+/// `report()` must equal check_exclusion's output elementwise on the
+/// finished trace (the agreement check asserts exactly that).
+class ExclusionMonitor final : public dining::TraceObserver {
+ public:
+  explicit ExclusionMonitor(const graph::ConflictGraph& g) : graph_(&g) {}
+
+  void on_trace_event(const dining::TraceEvent& ev) override;
+
+  [[nodiscard]] const std::vector<dining::ExclusionViolation>& violations() const {
+    return violations_;
+  }
+  /// Processes currently eating (monitor's live view).
+  [[nodiscard]] std::size_t eating_now() const { return eating_.size(); }
+
+ private:
+  const graph::ConflictGraph* graph_;
+  std::set<sim::ProcessId> eating_;
+  std::vector<dining::ExclusionViolation> violations_;
+};
+
+/// P6: per-(layer, undirected pair) in-flight high-water marks, streamed
+/// from the network books. Dining-layer pairs exceeding the paper's bound
+/// of 4 are recorded as violations with the time the excess first
+/// happened — something the post-hoc books cannot reconstruct.
+class ChannelBoundMonitor final {
+ public:
+  struct Violation {
+    sim::MsgLayer layer = sim::MsgLayer::kDining;
+    sim::ProcessId a = sim::kNoProcess;
+    sim::ProcessId b = sim::kNoProcess;
+    int in_transit = 0;
+    sim::Time at = 0;
+  };
+
+  /// The §7 bound for the dining layer.
+  static constexpr int kDiningBound = 4;
+
+  void on_high_water(sim::MsgLayer layer, sim::ProcessId from, sim::ProcessId to,
+                     int in_transit, sim::Time at);
+
+  /// High-water mark seen for the pair on `layer` (0 if no traffic).
+  [[nodiscard]] int max_in_transit(sim::MsgLayer layer, sim::ProcessId a,
+                                   sim::ProcessId b) const;
+  /// Largest high-water mark over all pairs of `layer`.
+  [[nodiscard]] int max_in_transit_any(sim::MsgLayer layer) const;
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  static std::uint64_t edge_key(sim::ProcessId a, sim::ProcessId b) {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (lo << 32) | hi;
+  }
+
+  std::map<std::uint64_t, int> maxima_[sim::kNumMsgLayers];
+  std::vector<Violation> violations_;
+};
+
+/// P7: streaming mirror of the network's quiescence books — last send
+/// time and number of post-crash sends per (layer, target).
+class QuiescenceMonitor final {
+ public:
+  void on_send(sim::MsgLayer layer, sim::ProcessId to, sim::Time at, bool target_crashed);
+
+  [[nodiscard]] sim::Time last_send_to(sim::ProcessId target, sim::MsgLayer layer) const;
+  [[nodiscard]] std::uint64_t sends_to_crashed(sim::ProcessId target,
+                                               sim::MsgLayer layer) const;
+
+ private:
+  struct PerTarget {
+    sim::Time last_send = -1;
+    std::uint64_t after_crash = 0;
+  };
+  std::map<sim::ProcessId, PerTarget> per_target_[sim::kNumMsgLayers];
+};
+
+/// One object wearing all three observer hats, fanning out to the four
+/// monitors. Wire it with:
+///
+///     sim.set_event_sink(&hub);
+///     sim.network().set_watch(&hub);
+///     harness.trace().set_observer(&hub);
+///
+/// (Scenario does exactly this when Config::observability is set.)
+class MonitorHub final : public sim::EventSink,
+                         public sim::NetworkWatch,
+                         public dining::TraceObserver {
+ public:
+  explicit MonitorHub(const graph::ConflictGraph& g) : exclusion_(g) {}
+
+  // EventSink
+  void on_event(const sim::LoggedEvent& ev) override { forks_.on_event(ev); }
+  // NetworkWatch
+  void on_send(sim::MsgLayer layer, sim::ProcessId from, sim::ProcessId to, sim::Time at,
+               bool target_crashed) override {
+    (void)from;
+    quiescence_.on_send(layer, to, at, target_crashed);
+  }
+  void on_high_water(sim::MsgLayer layer, sim::ProcessId from, sim::ProcessId to,
+                     int in_transit, sim::Time at) override {
+    channels_.on_high_water(layer, from, to, in_transit, at);
+  }
+  // TraceObserver
+  void on_trace_event(const dining::TraceEvent& ev) override {
+    exclusion_.on_trace_event(ev);
+  }
+
+  [[nodiscard]] const ForkUniquenessMonitor& forks() const { return forks_; }
+  [[nodiscard]] const ExclusionMonitor& exclusion() const { return exclusion_; }
+  [[nodiscard]] const ChannelBoundMonitor& channels() const { return channels_; }
+  [[nodiscard]] const QuiescenceMonitor& quiescence() const { return quiescence_; }
+
+  /// True when no monitor holds a violation.
+  [[nodiscard]] bool clean() const {
+    return forks_.violations().empty() && exclusion_.violations().empty() &&
+           channels_.violations().empty();
+  }
+
+  /// Cross-check every monitor against the post-hoc sources of truth:
+  /// the exclusion monitor against dining::check_exclusion (elementwise),
+  /// the channel monitor against the network's per-pair high-water books,
+  /// the quiescence monitor against last_send_to / sends_to_crashed, and
+  /// fork uniqueness against P1 itself. Returns "" on full agreement,
+  /// otherwise a newline-separated description of every mismatch. The
+  /// fuzz suite calls this after every run.
+  [[nodiscard]] std::string agreement_failures(const dining::Trace& trace,
+                                               const graph::ConflictGraph& g,
+                                               const sim::Network& net) const;
+
+  /// Compact JSON summary of monitor verdicts for telemetry lines.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  ForkUniquenessMonitor forks_;
+  ExclusionMonitor exclusion_;
+  ChannelBoundMonitor channels_;
+  QuiescenceMonitor quiescence_;
+};
+
+}  // namespace ekbd::obs

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "graph/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ekbd::scenario {
 
@@ -62,6 +64,18 @@ Scenario::Scenario(Config cfg)
       sim_(std::make_unique<ekbd::sim::Simulator>(cfg_.seed, build_delays(cfg_))) {
   if (cfg_.channel_dup_prob > 0.0 || cfg_.channel_reorder_prob > 0.0) {
     sim_->set_channel_faults(cfg_.channel_dup_prob, cfg_.channel_reorder_prob);
+  }
+
+  // -- observability -------------------------------------------------------
+  // Wired before any actor exists so the monitors see every event from
+  // t=0; the harness-side hooks are attached after harness construction
+  // below.
+  if (cfg_.observability) {
+    metrics_ = std::make_unique<ekbd::obs::MetricsRegistry>();
+    monitors_ = std::make_unique<ekbd::obs::MonitorHub>(graph_);
+    ekbd::obs::attach_simulator_metrics(*sim_, *metrics_);
+    sim_->set_event_sink(monitors_.get());
+    sim_->network().set_watch(monitors_.get());
   }
 
   // -- detector ---------------------------------------------------------
@@ -175,6 +189,10 @@ Scenario::Scenario(Config cfg)
 
   // -- harness + diners ---------------------------------------------------
   harness_ = std::make_unique<ekbd::dining::Harness>(*sim_, graph_, cfg_.harness);
+  if (cfg_.observability) {
+    harness_->trace().set_observer(monitors_.get());
+    harness_->attach_metrics(*metrics_);
+  }
   diners_.reserve(graph_.size());
   for (std::size_t v = 0; v < graph_.size(); ++v) {
     const auto p = static_cast<ProcessId>(v);
@@ -303,6 +321,32 @@ Time Scenario::fd_convergence_estimate() const {
     }
   }
   return 0;
+}
+
+std::string Scenario::telemetry_json() const {
+  if (metrics_ == nullptr) return "{}";
+  // Pull-style sources are flushed into the registry at snapshot time; the
+  // push-style instruments (simulator, harness) are already current.
+  ekbd::obs::MetricsRegistry& reg = *metrics_;
+  ekbd::obs::collect_network_metrics(sim_->network(), reg);
+  if (transport_ != nullptr) {
+    ekbd::obs::collect_transport_metrics(*transport_, reg);
+  }
+  if (sim_->event_log() != nullptr) {
+    ekbd::obs::collect_event_log_metrics(*sim_->event_log(), reg);
+  }
+  std::string out = "{\"config\":{";
+  out += "\"seed\":" + std::to_string(cfg_.seed);
+  out += ",\"topology\":" + ekbd::obs::json::quote(cfg_.topology);
+  out += ",\"n\":" + std::to_string(cfg_.n);
+  out += ",\"algorithm\":" + ekbd::obs::json::quote(to_string(cfg_.algorithm));
+  out += ",\"detector\":" + ekbd::obs::json::quote(to_string(cfg_.detector));
+  out += ",\"net_mode\":" + ekbd::obs::json::quote(to_string(cfg_.net_mode));
+  out += ",\"run_for\":" + std::to_string(cfg_.run_for);
+  out += "},\"metrics\":" + reg.to_json();
+  out += ",\"monitors\":" + monitors_->to_json();
+  out += "}";
+  return out;
 }
 
 ekbd::core::WaitFreeDiner* Scenario::wait_free_diner(ProcessId p) {

@@ -30,6 +30,8 @@
 #include "graph/graph.hpp"
 #include "net/link_fault_model.hpp"
 #include "net/reliable_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitors.hpp"
 
 namespace ekbd::scenario {
 
@@ -132,6 +134,13 @@ struct Config {
   std::uint64_t net_seed = 0;
   bool trace_net_events = true;  ///< record netdrop/netdup/cut/heal in the trace
 
+  /// Observability: when true the scenario owns an `obs::MetricsRegistry`
+  /// and an `obs::MonitorHub`, wires them into the simulator, network and
+  /// harness, and can emit one-line JSON telemetry via `telemetry_json()`.
+  /// Off by default: detached instrumentation costs one predictable-null
+  /// branch per hook, attached costs a few stores per event.
+  bool observability = false;
+
   // environment
   ekbd::dining::HarnessOptions harness{};
 
@@ -170,6 +179,10 @@ class Scenario {
   [[nodiscard]] ekbd::net::LinkFaultModel* fault_model() { return fault_model_.get(); }
   /// Installed ARQ shim (nullptr when net_mode == kIdeal).
   [[nodiscard]] ekbd::net::ReliableTransport* transport() { return transport_.get(); }
+  /// Metrics registry (nullptr unless cfg.observability).
+  [[nodiscard]] ekbd::obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// Online invariant monitors (nullptr unless cfg.observability).
+  [[nodiscard]] ekbd::obs::MonitorHub* monitors() { return monitors_.get(); }
 
   // -- canned reports ------------------------------------------------------
 
@@ -185,6 +198,13 @@ class Scenario {
 
   /// The typed core diner (only when algorithm == kWaitFree).
   [[nodiscard]] ekbd::core::WaitFreeDiner* wait_free_diner(ProcessId p);
+
+  /// One-line JSON telemetry snapshot (requires cfg.observability):
+  /// flushes the network / transport / event-log state into the registry,
+  /// then emits `{"config":{...},"metrics":{...},"monitors":{...}}`.
+  /// Exactly the line `scenario::sweep` appends per scenario when given a
+  /// telemetry path.
+  [[nodiscard]] std::string telemetry_json() const;
 
  private:
   Config cfg_;
@@ -205,6 +225,11 @@ class Scenario {
   ekbd::fd::AccrualDetector* accrual_ = nullptr;
   std::unique_ptr<ekbd::dining::Harness> harness_;
   std::vector<ekbd::dining::Diner*> diners_;
+  // Observability (only when cfg.observability). Declared after sim_ /
+  // harness_ so the hub outlives nothing that calls into it; the sinks are
+  // raw observers and need no teardown order beyond that.
+  std::unique_ptr<ekbd::obs::MetricsRegistry> metrics_;
+  std::unique_ptr<ekbd::obs::MonitorHub> monitors_;
   bool ran_ = false;
 };
 

@@ -1,10 +1,16 @@
 #include "scenario/sweep.hpp"
 
+#include <fstream>
+
 namespace ekbd::scenario {
 
 void run_scenarios(const std::vector<Config>& configs,
                    const std::function<void(std::size_t, Scenario&)>& inspect,
                    const SweepOptions& options) {
+  std::ofstream telemetry;
+  if (!options.telemetry_path.empty()) {
+    telemetry.open(options.telemetry_path, std::ios::trunc);
+  }
   parallel_sweep<std::unique_ptr<Scenario>>(
       configs.size(), options.threads,
       [&configs](std::size_t i) {
@@ -12,7 +18,9 @@ void run_scenarios(const std::vector<Config>& configs,
         scenario->run();
         return scenario;
       },
-      [&inspect](std::size_t i, std::unique_ptr<Scenario>& scenario) {
+      [&inspect, &telemetry](std::size_t i, std::unique_ptr<Scenario>& scenario) {
+        // Serial, index-ordered: the JSONL line order is deterministic.
+        if (telemetry.is_open()) telemetry << scenario->telemetry_json() << '\n';
         inspect(i, *scenario);
       });
 }

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <condition_variable>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,12 @@ namespace ekbd::scenario {
 
 struct SweepOptions {
   std::size_t threads = 0;  ///< pool width; 0 = hardware concurrency
+  /// When non-empty, `run_scenarios` appends one `telemetry_json()` line
+  /// per scenario to this file (JSONL), written serially in config order
+  /// from the inspect loop — so the file order matches the config order
+  /// for any thread count. Scenarios without `cfg.observability` emit
+  /// `{}` placeholder lines, keeping line `i` ↔ config `i`.
+  std::string telemetry_path;
 };
 
 /// Run `count` independent jobs on a work-stealing pool; inspect results

@@ -2,35 +2,7 @@
 
 #include <cstdio>
 
-#if defined(__GNUG__)
-#include <cxxabi.h>
-
-#include <cstdlib>
-#include <memory>
-#endif
-
 namespace ekbd::sim {
-
-namespace {
-
-std::string demangle(const char* name) {
-#if defined(__GNUG__)
-  int status = 0;
-  std::unique_ptr<char, void (*)(void*)> demangled(
-      abi::__cxa_demangle(name, nullptr, nullptr, &status), std::free);
-  if (status == 0 && demangled) return demangled.get();
-#endif
-  return name;
-}
-
-}  // namespace
-
-std::string LoggedEvent::payload_name() const {
-  if (payload == std::type_index(typeid(void))) return "";
-  std::string full = demangle(payload.name());
-  const auto pos = full.rfind("::");
-  return pos == std::string::npos ? full : full.substr(pos + 2);
-}
 
 std::string LoggedEvent::describe() const {
   char buf[128];
@@ -65,6 +37,17 @@ std::string LoggedEvent::describe() const {
       std::snprintf(buf, sizeof(buf), "t=%lld CUT     p%d -> p%d  %s (partitioned)",
                     static_cast<long long>(at), from, to, payload_name().c_str());
       break;
+  }
+  return buf;
+}
+
+std::string EventLog::describe() const {
+  char buf[96];
+  if (cap_ == 0) {
+    std::snprintf(buf, sizeof(buf), "event log: %zu events (unbounded)", events_.size());
+  } else {
+    std::snprintf(buf, sizeof(buf), "event log: %zu events (cap %zu, %llu dropped)",
+                  events_.size(), cap_, static_cast<unsigned long long>(dropped_));
   }
   return buf;
 }

@@ -32,11 +32,17 @@ std::uint64_t Network::logical_sent(ProcessId from, ProcessId to, MsgLayer layer
   ChannelStats& cs = pair_stats_[li][pair_key(from, to)];
   ++cs.total;
   ++cs.in_transit;
-  cs.max_in_transit = std::max(cs.max_in_transit, cs.in_transit);
+  const bool high = cs.in_transit > cs.max_in_transit;
+  if (high) cs.max_in_transit = cs.in_transit;
 
   PerTarget& pt = per_target_[li][to];
   pt.last_send = now;
   if (target_crashed) ++pt.after_crash;
+
+  if (watch_ != nullptr) {
+    watch_->on_send(layer, from, to, now, target_crashed);
+    if (high) watch_->on_high_water(layer, from, to, cs.in_transit, now);
+  }
   return next_seq_++;
 }
 
@@ -74,6 +80,21 @@ std::uint64_t Network::sends_to_crashed(ProcessId target, MsgLayer layer) const 
   const auto& map = per_target_[layer_index(layer)];
   auto it = map.find(target);
   return it == map.end() ? 0 : it->second.after_crash;
+}
+
+void Network::for_each_pair(
+    MsgLayer layer,
+    const std::function<void(ProcessId, ProcessId, const ChannelStats&)>& fn) const {
+  const auto& map = pair_stats_[layer_index(layer)];
+  std::vector<std::uint64_t> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, cs] : map) keys.push_back(k.key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const auto a = static_cast<ProcessId>(key >> 32);
+    const auto b = static_cast<ProcessId>(key & 0xFFFFFFFFu);
+    fn(a, b, map.at(PairKey{key}));
+  }
 }
 
 }  // namespace ekbd::sim

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,25 @@ struct ChannelStats {
   int in_transit = 0;       ///< messages currently in flight (both directions)
   int max_in_transit = 0;   ///< high-water mark over the whole run
   std::uint64_t total = 0;  ///< messages ever sent on this pair
+};
+
+/// Streaming observer of channel bookkeeping (the §7 monitors ride on
+/// this). Notified from stamp()/logical_sent(), i.e. *exactly* when the
+/// books change — an observer that mirrors the callbacks agrees with the
+/// Network's own books by construction. Implementations must not touch
+/// the network or the simulator from inside a callback.
+class NetworkWatch {
+ public:
+  virtual ~NetworkWatch() = default;
+  /// Every accounted send (physical in raw mode, logical per
+  /// logical_sent in transport mode, plus the transport's own physical
+  /// segments on MsgLayer::kTransport).
+  virtual void on_send(MsgLayer layer, ProcessId from, ProcessId to, Time at,
+                       bool target_crashed) = 0;
+  /// The undirected pair's in-transit count just set a new high-water
+  /// mark (`in_transit` is the new maximum).
+  virtual void on_high_water(MsgLayer layer, ProcessId from, ProcessId to, int in_transit,
+                             Time at) = 0;
 };
 
 class Network {
@@ -95,6 +115,18 @@ class Network {
     return pair_stats_[static_cast<int>(layer)].size();
   }
 
+  /// Visit every undirected pair that communicated on `layer`, in
+  /// ascending (a, b) order (deterministic — snapshot/agreement code
+  /// iterates this). a < b in every callback.
+  void for_each_pair(MsgLayer layer,
+                     const std::function<void(ProcessId a, ProcessId b,
+                                              const ChannelStats&)>& fn) const;
+
+  /// Attach (or detach with nullptr) a streaming watch. Not owned. When
+  /// detached the books cost exactly what they did before the watch
+  /// existed (one null check per stamp).
+  void set_watch(NetworkWatch* watch) { watch_ = watch; }
+
  private:
   static constexpr int kLayers = kNumMsgLayers;
 
@@ -159,6 +191,7 @@ class Network {
   std::unordered_map<PairKey, ChannelStats, PairKeyHash> pair_stats_[kLayers];
   // Quiescence books per target process and layer.
   std::unordered_map<ProcessId, PerTarget> per_target_[kLayers];
+  NetworkWatch* watch_ = nullptr;
 };
 
 // -- hot-path definitions (inline: once per message event, the calls
@@ -211,11 +244,17 @@ inline void Network::stamp(Message& m, Time now, Time latency, bool target_crash
   ChannelStats& cs = *d.stats[li];
   ++cs.total;
   ++cs.in_transit;
-  if (cs.in_transit > cs.max_in_transit) cs.max_in_transit = cs.in_transit;
+  const bool high = cs.in_transit > cs.max_in_transit;
+  if (high) cs.max_in_transit = cs.in_transit;
 
   PerTarget& pt = *d.target[li];
   pt.last_send = now;
   if (target_crashed) ++pt.after_crash;
+
+  if (watch_ != nullptr) {
+    watch_->on_send(m.layer, m.from, m.to, now, target_crashed);
+    if (high) watch_->on_high_water(m.layer, m.from, m.to, cs.in_transit, now);
+  }
 }
 
 inline void Network::delivered(const Message& m) {

@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <cstring>
-#include <typeindex>
 #include <type_traits>
 #include <variant>
 
@@ -201,20 +200,49 @@ static_assert(detail::AllTriviallyCopyable<Payload>::value,
 static_assert(std::variant_size_v<Payload> <= 64,
               "DataSegment packs the tag into 6 bits");
 
-/// Runtime type of the held alternative, for the event log (monostate
-/// reads as `void`, matching "no payload").
-[[nodiscard]] inline std::type_index payload_type(const Payload& p) {
-  return std::visit(
-      [](const auto& v) -> std::type_index {
-        using T = std::decay_t<decltype(v)>;
-        if constexpr (std::is_same_v<T, std::monostate>) {
-          return typeid(void);
-        } else {
-          (void)v;
-          return typeid(T);
-        }
-      },
-      p);
+/// Payload discriminator for the event log and the telemetry layer: the
+/// variant index, a single byte. Tag 0 (monostate) doubles as "no
+/// payload" — timers and crashes carry it instead of a fake type.
+using PayloadTag = std::uint8_t;
+
+/// The empty-envelope tag (monostate).
+inline constexpr PayloadTag kNoPayloadTag = 0;
+
+/// Tag of the held alternative.
+[[nodiscard]] inline PayloadTag payload_tag(const Payload& p) {
+  return static_cast<PayloadTag>(p.index());
+}
+
+namespace detail {
+template <typename T, std::size_t I = 0>
+constexpr std::size_t payload_index_of() {
+  static_assert(I < std::variant_size_v<Payload>, "T is not a Payload alternative");
+  if constexpr (std::is_same_v<std::variant_alternative_t<I, Payload>, T>) {
+    return I;
+  } else {
+    return payload_index_of<T, I + 1>();
+  }
+}
+}  // namespace detail
+
+/// Compile-time tag of a specific wire type — lets streaming observers
+/// match e.g. core::Fork events without constructing a Payload.
+template <typename T>
+inline constexpr PayloadTag kPayloadTagOf =
+    static_cast<PayloadTag>(detail::payload_index_of<T>());
+
+/// Deterministic human-readable name of a tag ("Ping", "Fork", ...;
+/// monostate reads as "" — "no payload"). Unlike RTTI demangling, the
+/// table below is identical on every compiler and toolchain.
+[[nodiscard]] inline const char* payload_tag_name(PayloadTag tag) {
+  static constexpr const char* kNames[] = {
+      "",          "Ping",          "Ack",    "ForkRequest",    "Fork",
+      "Heartbeat", "Probe",         "ProbeEcho",
+      "BottleRequest", "Bottle",    "BottleEscalate",
+      "DataSegment",   "AckSegment", "int",   "Datum"};
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Payload>,
+                "add the new alternative's name (same position as in the variant)");
+  return tag < std::variant_size_v<Payload> ? kNames[tag] : "?";
 }
 
 /// True for alternatives DataSegment can nest: at most one word of raw

@@ -102,6 +102,12 @@ std::uint64_t Simulator::commit_event(std::uint32_t slot) {
   ev.seq = next_event_seq_++;
   heap_.push_back(HeapEntry{ev.at, ev.seq * kMaxSlots + slot});
   heap_sift_up(heap_.size() - 1);
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->set(static_cast<std::int64_t>(heap_.size()));
+  }
+  if (metrics_.slab_live != nullptr) {
+    metrics_.slab_live->set(static_cast<std::int64_t>(slab_.size() - free_slots_.size()));
+  }
   return ev.seq;
 }
 
@@ -200,9 +206,10 @@ void Simulator::raw_send(ProcessId from, ProcessId to, const Payload& payload,
     m.payload = payload;
     // Delay is nondeterministic — the driver chooses the arrival order.
     network_.stamp(m, now_, 1, crashed(to));
-    if (event_log_ != nullptr) {
-      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
-                                     payload_type(m.payload)});
+    if (metrics_.sends != nullptr) metrics_.sends->inc();
+    if (tracing()) {
+      emit(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer, m.seq,
+                       payload_tag(m.payload)});
     }
     const std::uint64_t rank = channel_send_rank_[PendingEvent::channel_key(from, to)]++;
     push_controlled(PendingEvent::Kind::kMessage, from, to, kNoProcess, rank).msg = m;
@@ -241,9 +248,9 @@ void Simulator::raw_send(ProcessId from, ProcessId to, const Payload& payload,
     dup_ev.msg = slab_[slot].msg;  // independent delay for the ghost
     network_.stamp(dup_ev.msg, now_, delays_->sample(from, to, now_, rng_), crashed(to),
                    /*fifo=*/false);
-    if (adversary_dup && event_log_ != nullptr) {
-      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDuplicate, from, to, layer,
-                                     dup_ev.msg.seq, payload_type(dup_ev.msg.payload)});
+    if (adversary_dup && tracing()) {
+      emit(LoggedEvent{now_, LoggedEvent::Kind::kDuplicate, from, to, layer,
+                       dup_ev.msg.seq, payload_tag(dup_ev.msg.payload)});
     }
     dup_ev.at = dup_ev.msg.deliver_at;
     dup_ev.kind = Event::Kind::kDeliver;
@@ -252,9 +259,10 @@ void Simulator::raw_send(ProcessId from, ProcessId to, const Payload& payload,
   }
   Event& ev = slab_[slot];
   network_.stamp(ev.msg, now_, latency, crashed(to), /*fifo=*/!reorder);
-  if (event_log_ != nullptr) {
-    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer,
-                                   ev.msg.seq, payload_type(ev.msg.payload)});
+  if (metrics_.sends != nullptr) metrics_.sends->inc(duplicate ? 2 : 1);
+  if (tracing()) {
+    emit(LoggedEvent{now_, LoggedEvent::Kind::kSend, from, to, layer,
+                     ev.msg.seq, payload_tag(ev.msg.payload)});
   }
   ev.at = ev.msg.deliver_at;
   if (drop) {
@@ -273,15 +281,15 @@ void Simulator::raw_send(ProcessId from, ProcessId to, const Payload& payload,
 void Simulator::deliver(const Message& m) {
   network_.delivered(m);
   if (crashed(m.to)) {
-    if (event_log_ != nullptr) {
-      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDrop, m.from, m.to, m.layer,
-                                     m.seq, payload_type(m.payload)});
+    if (tracing()) {
+      emit(LoggedEvent{now_, LoggedEvent::Kind::kDrop, m.from, m.to, m.layer,
+                       m.seq, payload_tag(m.payload)});
     }
     return;  // dropped on the floor of a dead process
   }
-  if (event_log_ != nullptr) {
-    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, m.from, m.to, m.layer,
-                                   m.seq, payload_type(m.payload)});
+  if (tracing()) {
+    emit(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, m.from, m.to, m.layer,
+                     m.seq, payload_tag(m.payload)});
   }
   if (transport_ != nullptr && transport_->on_physical_deliver(m)) return;
   actors_[static_cast<std::size_t>(m.to)]->on_message(m);
@@ -291,15 +299,15 @@ void Simulator::deliver_logical(ProcessId from, ProcessId to, const Payload& pay
                                 MsgLayer layer, std::uint64_t logical_seq, Time sent_at) {
   network_.logical_delivered(from, to, layer);
   if (crashed(to)) {
-    if (event_log_ != nullptr) {
-      event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDrop, from, to, layer,
-                                     logical_seq, payload_type(payload)});
+    if (tracing()) {
+      emit(LoggedEvent{now_, LoggedEvent::Kind::kDrop, from, to, layer,
+                       logical_seq, payload_tag(payload)});
     }
     return;
   }
-  if (event_log_ != nullptr) {
-    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, from, to, layer,
-                                   logical_seq, payload_type(payload)});
+  if (tracing()) {
+    emit(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, from, to, layer,
+                     logical_seq, payload_tag(payload)});
   }
   Message m;
   m.from = from;
@@ -315,9 +323,9 @@ void Simulator::deliver_logical(ProcessId from, ProcessId to, const Payload& pay
 void Simulator::fire_timer(ProcessId owner, TimerId id) {
   if (active_timers_.erase(id) == 0) return;  // cancelled (controlled mode)
   if (crashed(owner)) return;
-  if (event_log_ != nullptr) {
-    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kTimer, owner, kNoProcess,
-                                   MsgLayer::kOther, 0, std::type_index(typeid(void))});
+  if (tracing()) {
+    emit(LoggedEvent{now_, LoggedEvent::Kind::kTimer, owner, kNoProcess,
+                     MsgLayer::kOther, 0, kNoPayloadTag});
   }
   actors_[static_cast<std::size_t>(owner)]->on_timer(id);
 }
@@ -347,9 +355,9 @@ void Simulator::crash(ProcessId p) {
   auto idx = static_cast<std::size_t>(p);
   if (crash_times_[idx] >= 0) return;
   crash_times_[idx] = now_;
-  if (event_log_ != nullptr) {
-    event_log_->append(LoggedEvent{now_, LoggedEvent::Kind::kCrash, p, kNoProcess,
-                                   MsgLayer::kOther, 0, std::type_index(typeid(void))});
+  if (tracing()) {
+    emit(LoggedEvent{now_, LoggedEvent::Kind::kCrash, p, kNoProcess,
+                     MsgLayer::kOther, 0, kNoPayloadTag});
   }
   actors_[idx]->on_crash();
 }
@@ -404,6 +412,7 @@ bool Simulator::execute_event(std::uint64_t id) {
   }
   now_ += 1;
   ++events_processed_;
+  if (metrics_.events != nullptr) metrics_.events->inc();
   switch (ev.info.kind) {
     case PendingEvent::Kind::kMessage:
       deliver(ev.msg);
@@ -428,11 +437,11 @@ void Simulator::dispatch(Event&& ev) {
       break;
     case Event::Kind::kDropSettle:
       network_.delivered(ev.msg);
-      if (event_log_ != nullptr) {
-        event_log_->append(LoggedEvent{
+      if (tracing()) {
+        emit(LoggedEvent{
             now_,
             ev.partitioned ? LoggedEvent::Kind::kPartitionLoss : LoggedEvent::Kind::kLoss,
-            ev.msg.from, ev.msg.to, ev.msg.layer, ev.msg.seq, payload_type(ev.msg.payload)});
+            ev.msg.from, ev.msg.to, ev.msg.layer, ev.msg.seq, payload_tag(ev.msg.payload)});
       }
       break;
     case Event::Kind::kCrash:
@@ -473,6 +482,10 @@ void Simulator::pop_and_dispatch() {
   assert(entry.at >= now_);
   now_ = entry.at;
   ++events_processed_;
+  if (metrics_.events != nullptr) metrics_.events->inc();
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->set(static_cast<std::int64_t>(heap_.size()));
+  }
   // The handler may push events, which can recycle (or reallocate) the
   // slot being read — so copy out before dispatching. Deliveries (the
   // overwhelming bulk) copy only the Message, not the whole record.

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/actor.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/event_log.hpp"
@@ -35,6 +36,18 @@
 #include "sim/time.hpp"
 
 namespace ekbd::sim {
+
+/// Metric handles the simulator updates when instrumented (see
+/// obs::attach_simulator_metrics). All null by default: a handle that is
+/// not attached costs one branch at its update site and nothing else —
+/// the same discipline as the event log, enforced by the E21 perf gate
+/// and the hot-path allocation test.
+struct SimMetrics {
+  obs::Counter* events = nullptr;      ///< events dispatched
+  obs::Counter* sends = nullptr;       ///< physical sends (raw_send)
+  obs::Gauge* queue_depth = nullptr;   ///< timed event heap size
+  obs::Gauge* slab_live = nullptr;     ///< live slab records (occupancy)
+};
 
 /// How the simulator orders events.
 ///
@@ -167,11 +180,10 @@ class Simulator {
   void deliver_logical(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer,
                        std::uint64_t logical_seq, Time sent_at);
 
-  /// Append to the installed event log (no-op when none) — lets the
-  /// transport record logical sends alongside the physical record.
-  void append_log(const LoggedEvent& ev) {
-    if (event_log_ != nullptr) event_log_->append(ev);
-  }
+  /// Record a logged event with the log and/or streaming sink (no-op when
+  /// neither is attached) — lets the transport record logical sends
+  /// alongside the physical record.
+  void append_log(const LoggedEvent& ev) { emit(ev); }
 
   // -- external scheduling (harness / tests) ---------------------------
 
@@ -187,6 +199,18 @@ class Simulator {
   /// delivery, drop, timer firing and crash is appended. The log is not
   /// owned and must outlive its attachment.
   void set_event_log(EventLog* log) { event_log_ = log; }
+  /// Currently attached log (nullptr when detached).
+  [[nodiscard]] EventLog* event_log() const { return event_log_; }
+
+  /// Attach (or detach with nullptr) a streaming event sink: receives
+  /// exactly the events the log would, in the same order, as they happen
+  /// (the online invariant monitors ride on this). Not owned; must not
+  /// re-enter the simulator.
+  void set_event_sink(EventSink* sink) { sink_ = sink; }
+
+  /// Attach (or reset with {}) metric handles. Plain pointers into an
+  /// obs::MetricsRegistry owned elsewhere; every handle is optional.
+  void set_metrics(const SimMetrics& m) { metrics_ = m; }
 
   // -- channel faults (model-violation experiments) ----------------------
 
@@ -329,6 +353,16 @@ class Simulator {
   [[nodiscard]] bool is_eligible(const ControlledEvent& ev) const;
   void deliver(const Message& m);
 
+  /// True when anyone is listening for logged events. Every event
+  /// construction site is guarded by this, so the uninstrumented hot path
+  /// never builds a LoggedEvent.
+  [[nodiscard]] bool tracing() const { return event_log_ != nullptr || sink_ != nullptr; }
+  /// Fan one event out to the log and the sink (same order everywhere).
+  void emit(const LoggedEvent& ev) {
+    if (event_log_ != nullptr) event_log_->append(ev);
+    if (sink_ != nullptr) sink_->on_event(ev);
+  }
+
   std::uint64_t seed_;
   Rng rng_;
   std::unique_ptr<DelayModel> delays_;
@@ -362,6 +396,8 @@ class Simulator {
   ChannelAdversary* adversary_ = nullptr;
   Transport* transport_ = nullptr;
   EventLog* event_log_ = nullptr;
+  EventSink* sink_ = nullptr;
+  SimMetrics metrics_;
   Time now_ = 0;
   bool started_ = false;
 };

@@ -82,6 +82,23 @@ TEST(EventLogTest, CapTruncates) {
   sim.run_until(100);
   EXPECT_EQ(log.size(), 5u);
   EXPECT_TRUE(log.truncated());
+  // 10 sends + 10 deliveries = 20 events offered, 5 kept, 15 refused.
+  EXPECT_EQ(log.dropped(), 15u);
+  // The shape summary owns up to the truncation.
+  EXPECT_NE(log.describe().find("5 events"), std::string::npos);
+  EXPECT_NE(log.describe().find("cap 5"), std::string::npos);
+  EXPECT_NE(log.describe().find("15 dropped"), std::string::npos);
+  log.clear();
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_FALSE(log.truncated());
+}
+
+TEST(EventLogTest, UnboundedLogNeverDrops) {
+  EventLog log;
+  for (int i = 0; i < 100; ++i) log.append(LoggedEvent{});
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_NE(log.describe().find("unbounded"), std::string::npos);
 }
 
 TEST(EventLogTest, DetachStopsRecording) {

@@ -18,6 +18,8 @@
 
 #include "dining/checkers.hpp"
 #include "drinking/drinking_harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitors.hpp"
 #include "fd/scripted.hpp"
 #include "graph/coloring.hpp"
 #include "graph/topology.hpp"
@@ -57,6 +59,7 @@ TEST(Fuzz, RandomConfigurationsKeepEveryGuarantee) {
     cfg.harness.eat_lo = fuzz.uniform_int(5, 40);
     cfg.harness.eat_hi = cfg.harness.eat_lo + fuzz.uniform_int(1, 80);
     cfg.run_for = 60'000;
+    cfg.observability = true;
     // Crash up to half the processes, all in the first half of the run.
     const auto crash_count = static_cast<std::size_t>(
         fuzz.uniform_int(0, static_cast<std::int64_t>(cfg.n / 2)));
@@ -91,6 +94,9 @@ TEST(Fuzz, RandomConfigurationsKeepEveryGuarantee) {
     for (std::size_t p = 0; p < cfg.n; ++p) {
       EXPECT_EQ(s.wait_free_diner(static_cast<int>(p))->lemma11_violations(), 0u);
     }
+    // Online monitors agree with every post-hoc verdict above.
+    EXPECT_EQ(s.monitors()->agreement_failures(s.trace(), s.graph(), s.sim().network()),
+              "");
   }
   EXPECT_EQ(executed, 120);
 }
@@ -119,6 +125,7 @@ TEST(Fuzz, LossyAndPartitionedModesKeepEveryGuarantee) {
     cfg.fp_count = static_cast<std::size_t>(fuzz.uniform_int(0, 20));
     cfg.fp_until = 8'000;
     cfg.run_for = 70'000;
+    cfg.observability = true;
     cfg.net_mode = ekbd::scenario::NetMode::kLossy;
     cfg.link_faults.drop_prob = fuzz.uniform_real(0.05, 0.3);
     cfg.link_faults.dup_prob = fuzz.uniform_real(0.0, 0.2);
@@ -180,6 +187,10 @@ TEST(Fuzz, LossyAndPartitionedModesKeepEveryGuarantee) {
         if (cfg.crashes.empty()) {
           EXPECT_EQ(s.transport()->abandoned_to_dead(), 0u);
         }
+        // Online monitors agree with the post-hoc checkers even under
+        // loss, duplication, reordering and partitions (ARQ mode).
+        EXPECT_EQ(s.monitors()->agreement_failures(s.trace(), s.graph(), s.sim().network()),
+                  "");
       },
       sweep);
   EXPECT_EQ(inspected, configs.size());
@@ -214,6 +225,7 @@ TEST(Fuzz, ParallelSweepWaitFreeKeepsEveryGuarantee) {
     cfg.harness.eat_lo = fuzz.uniform_int(5, 30);
     cfg.harness.eat_hi = cfg.harness.eat_lo + fuzz.uniform_int(1, 60);
     cfg.run_for = 45'000;
+    cfg.observability = true;
     const auto crash_count = static_cast<std::size_t>(
         fuzz.uniform_int(0, static_cast<std::int64_t>(cfg.n / 3)));
     std::vector<bool> picked(cfg.n, false);
@@ -254,6 +266,9 @@ TEST(Fuzz, ParallelSweepWaitFreeKeepsEveryGuarantee) {
         for (std::size_t p = 0; p < cfg.n; ++p) {
           EXPECT_EQ(s.wait_free_diner(static_cast<int>(p))->lemma11_violations(), 0u);
         }
+        // Online monitors agree with every post-hoc verdict above.
+        EXPECT_EQ(s.monitors()->agreement_failures(s.trace(), s.graph(), s.sim().network()),
+                  "");
       },
       sweep);
   EXPECT_EQ(inspected, configs.size());
@@ -267,7 +282,14 @@ struct DrinkWorld {
       : graph(std::move(g)),
         sim(seed, ekbd::sim::make_uniform_delay(1, 8)),
         det(sim, 120),
-        harness(sim, graph, opt) {
+        harness(sim, graph, opt),
+        hub(graph) {
+    // Full observability rig: monitors over the dining substrate (the
+    // drinking construction rides on it), metrics from the harness.
+    sim.set_event_sink(&hub);
+    sim.network().set_watch(&hub);
+    harness.dining_trace().set_observer(&hub);
+    harness.attach_metrics(metrics);
     const auto colors = ekbd::graph::welsh_powell_coloring(graph);
     for (std::size_t v = 0; v < graph.size(); ++v) {
       const auto p = static_cast<ekbd::sim::ProcessId>(v);
@@ -283,6 +305,8 @@ struct DrinkWorld {
   ekbd::sim::Simulator sim;
   ekbd::fd::ScriptedDetector det;
   ekbd::drinking::DrinkingHarness harness;
+  ekbd::obs::MonitorHub hub;
+  ekbd::obs::MetricsRegistry metrics;
   std::vector<ekbd::drinking::DrinkingDiner*> drinkers;
 };
 
@@ -343,6 +367,21 @@ TEST(Fuzz, ParallelSweepDrinkingLayerKeepsEveryGuarantee) {
         // The dining substrate underneath stayed clean.
         EXPECT_TRUE(ekbd::dining::check_exclusion(w->harness.dining_trace(), w->graph)
                         .violations.empty());
+        // Online monitors on the dining substrate agree with the post-hoc
+        // verdicts — the drinking layer's fork traffic is still P1/P6/P7
+        // clean underneath.
+        EXPECT_EQ(w->hub.agreement_failures(w->harness.dining_trace(), w->graph,
+                                            w->sim.network()),
+                  "");
+        // Drinking-harness telemetry mirrors the harness's own books.
+        const auto* drinks = w->metrics.find_counter("drinking.drinks");
+        ASSERT_NE(drinks, nullptr);
+        EXPECT_EQ(drinks->get(), w->harness.drinks_completed());
+        EXPECT_EQ(w->metrics.find_counter("drinking.violations")->get(),
+                  w->harness.shared_bottle_violations());
+        const auto* thirst = w->metrics.find_histogram("drinking.thirst_latency");
+        ASSERT_NE(thirst, nullptr);
+        EXPECT_GE(thirst->count(), drinks->get());
       });
   EXPECT_EQ(inspected, shards.size());
 }

@@ -166,7 +166,7 @@ TEST(Payload, EventLogStillReportsUnqualifiedTypeNames) {
   using ekbd::sim::LoggedEvent;
   const auto name_of = [](const Payload& p) {
     LoggedEvent e;
-    e.payload = ekbd::sim::payload_type(p);
+    e.payload = ekbd::sim::payload_tag(p);
     return e.payload_name();
   };
   EXPECT_EQ(name_of(Payload{core::Ping{}}), "Ping");
@@ -178,8 +178,28 @@ TEST(Payload, EventLogStillReportsUnqualifiedTypeNames) {
   EXPECT_EQ(name_of(Payload{net::AckSegment{}}), "AckSegment");
   EXPECT_EQ(name_of(Payload{Datum{}}), "Datum");
   EXPECT_EQ(name_of(Payload{42}), "int");
-  // monostate reads as void — "no payload", matching timers and crashes.
-  EXPECT_EQ(ekbd::sim::payload_type(Payload{}), std::type_index(typeid(void)));
+  // monostate is the "no payload" tag, matching timers and crashes.
+  EXPECT_EQ(ekbd::sim::payload_tag(Payload{}), ekbd::sim::kNoPayloadTag);
+  EXPECT_EQ(name_of(Payload{}), "");
+}
+
+TEST(Payload, TagsAreTheVariantIndexAndResolveAtCompileTime) {
+  using ekbd::sim::kPayloadTagOf;
+  using ekbd::sim::payload_tag;
+  using ekbd::sim::payload_tag_name;
+  // The compile-time tag of each type equals the runtime tag of a Payload
+  // holding it — the streaming-observer fast path matches the log.
+  static_assert(kPayloadTagOf<std::monostate> == ekbd::sim::kNoPayloadTag);
+  EXPECT_EQ(kPayloadTagOf<core::Fork>, payload_tag(Payload{core::Fork{}}));
+  EXPECT_EQ(kPayloadTagOf<core::Ping>, payload_tag(Payload{core::Ping{}}));
+  EXPECT_EQ(kPayloadTagOf<net::DataSegment>, payload_tag(Payload{net::DataSegment{}}));
+  EXPECT_EQ(kPayloadTagOf<Datum>, payload_tag(Payload{Datum{}}));
+  // Every alternative has a table name; out-of-range tags degrade safely.
+  for (std::size_t i = 1; i < std::variant_size_v<Payload>; ++i) {
+    EXPECT_STRNE(payload_tag_name(static_cast<ekbd::sim::PayloadTag>(i)), "")
+        << "tag " << i;
+  }
+  EXPECT_STREQ(payload_tag_name(255), "?");
 }
 
 }  // namespace

@@ -57,6 +57,31 @@ TEST(Stats, StddevOfConstantIsZero) {
   EXPECT_DOUBLE_EQ(s.stddev, 0.0);
 }
 
+TEST(Stats, PercentileExtremeQuantiles) {
+  // q=0 must be the minimum (rank ceil(0·n) clamps to 1), q=1 the maximum,
+  // and a one-element sample answers every quantile with that element.
+  std::vector<double> xs{30, 10, 20};  // deliberately unsorted
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile({5.0}, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile({5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::percentile({5.0}, 1.0), 5.0);
+}
+
+TEST(Stats, NegativeValuesSummarizeCorrectly) {
+  Summary s = ekbd::util::summarize({-3.0, -1.0, -2.0});
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, -1.0);
+  EXPECT_DOUBLE_EQ(s.mean, -2.0);
+}
+
+TEST(Stats, TwoValueStddevIsHalfTheGap) {
+  // Population stddev of {a, b} is |a-b|/2 — pins down the population
+  // (not sample) convention documented on Summary::stddev.
+  Summary s = ekbd::util::summarize({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
 TEST(Stats, SummaryToStringMentionsFields) {
   Summary s = ekbd::util::summarize({1, 2, 3});
   std::string str = s.to_string();
