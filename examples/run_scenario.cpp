@@ -20,6 +20,7 @@
 
 #include "dining/checkers.hpp"
 #include "dining/trace_io.hpp"
+#include "scenario/rt_scenario.hpp"
 #include "scenario/scenario.hpp"
 #include "util/table.hpp"
 
@@ -39,9 +40,16 @@ namespace {
       "  --algorithm A        waitfree|choy-singh|choy-singh-1ack|hierarchical|\n"
       "                       chandy-misra (default waitfree)\n"
       "  --detector D         scripted|heartbeat|pingpong|pingpong-ondemand|\n"
-      "                       accrual|perfect|none (default scripted)\n"
+      "                       accrual|perfect|none (default scripted; rt engine\n"
+      "                       remaps scripted to heartbeat)\n"
+      "  --engine E           sim|rt (default sim; rt = one OS thread per process,\n"
+      "                       wall-clock timers, live invariant monitors)\n"
+      "  --net M              ideal|lossy (default ideal; rt lossy = detector-layer\n"
+      "                       drop/dup coins, sim lossy = link faults + ARQ)\n"
+      "  --tick-ns NS         rt engine: wall nanoseconds per tick (default 100000)\n"
       "  --seed S             RNG seed (default 1)\n"
-      "  --run-for T          virtual-time horizon (default 60000)\n"
+      "  --run-for T          time horizon in ticks (default 60000; rt runs\n"
+      "                       run-for x tick-ns wall nanoseconds)\n"
       "  --crash P@T          crash process P at time T (repeatable)\n"
       "  --think LO:HI        think-time range (default 50:300)\n"
       "  --eat LO:HI          eat-duration range (default 20:60)\n"
@@ -84,9 +92,9 @@ DetectorKind parse_detector(const std::string& s) {
   std::exit(2);
 }
 
-void print_gantt(Scenario& s, int width) {
-  const auto n = s.config().n;
-  const sim::Time horizon = s.config().run_for;
+void print_gantt(const dining::Trace& trace, const Config& cfg, int width) {
+  const auto n = cfg.n;
+  const sim::Time horizon = cfg.run_for;
   const auto w = static_cast<std::size_t>(width);
   const double bucket = static_cast<double>(horizon) / static_cast<double>(width);
 
@@ -112,7 +120,7 @@ void print_gantt(Scenario& s, int width) {
     }
   };
 
-  for (const auto& e : s.trace().events()) {
+  for (const auto& e : trace.events()) {
     const auto p = static_cast<std::size_t>(e.process);
     int next = state[p];
     switch (e.kind) {
@@ -151,6 +159,50 @@ void print_gantt(Scenario& s, int width) {
     }
     std::printf("p%-3zu |%s|\n", p, row.c_str());
   }
+}
+
+// Property reports both engines can answer: works on Scenario and
+// RtScenario (same trace/checker surface; the network books differ only
+// in where they live).
+template <typename S>
+void print_reports(S& s, const Config& cfg, const sim::Network& net, sim::Time conv) {
+  auto wf = s.wait_freedom(cfg.run_for / 4);
+  auto ex = s.exclusion();
+  auto census = s.census();
+  auto cp = dining::concurrency_profile(s.trace(), s.graph());
+
+  util::Table t({"metric", "value"});
+  t.row().cell("meals").cell(static_cast<std::uint64_t>(
+      s.trace().count(dining::TraceEventKind::kStartEating)));
+  t.row().cell("hungry sessions (total/completed)").cell(
+      std::to_string(wf.sessions_total) + "/" + std::to_string(wf.sessions_completed));
+  t.row().cell("starving processes").cell(static_cast<std::uint64_t>(wf.starving.size()));
+  t.row().cell("response time mean/p95").cell(
+      std::to_string(static_cast<long long>(wf.response.mean)) + "/" +
+      std::to_string(static_cast<long long>(wf.response.p95)));
+  t.row().cell("exclusion violations (total)").cell(
+      static_cast<std::uint64_t>(ex.violations.size()));
+  t.row().cell("violations after FD convergence").cell(
+      static_cast<std::uint64_t>(ex.violations_after(conv)));
+  t.row().cell("max overtakes (after convergence)").cell(
+      dining::max_overtakes(census, conv));
+  t.row().cell("max dining msgs in transit per edge").cell(
+      net.max_in_transit_any(sim::MsgLayer::kDining));
+  t.row().cell("mean concurrent eaters").cell(cp.mean_concurrent_eaters, 2);
+  t.row().cell("dining / detector messages").cell(
+      std::to_string(net.total_sent(sim::MsgLayer::kDining)) + " / " +
+      std::to_string(net.total_sent(sim::MsgLayer::kDetector)));
+  t.print();
+}
+
+int dump_trace(const dining::Trace& trace, const std::string& dump_path) {
+  if (dump_path.empty()) return 0;
+  if (ekbd::dining::write_jsonl_file(trace, dump_path)) {
+    std::printf("trace written to %s (%zu events)\n", dump_path.c_str(), trace.size());
+    return 0;
+  }
+  std::fprintf(stderr, "failed to write %s\n", dump_path.c_str());
+  return 1;
 }
 
 }  // namespace
@@ -203,6 +255,28 @@ int main(int argc, char** argv) {
       cfg.fp_until = until;
     } else if (arg == "--acks") {
       cfg.acks_per_session = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--engine") {
+      const std::string e = next();
+      if (e == "sim") {
+        cfg.engine = scenario::Engine::kSim;
+      } else if (e == "rt") {
+        cfg.engine = scenario::Engine::kRt;
+      } else {
+        std::fprintf(stderr, "unknown engine: %s\n", e.c_str());
+        return 2;
+      }
+    } else if (arg == "--net") {
+      const std::string m = next();
+      if (m == "ideal") {
+        cfg.net_mode = scenario::NetMode::kIdeal;
+      } else if (m == "lossy") {
+        cfg.net_mode = scenario::NetMode::kLossy;
+      } else {
+        std::fprintf(stderr, "unknown net mode: %s\n", m.c_str());
+        return 2;
+      }
+    } else if (arg == "--tick-ns") {
+      cfg.rt_tick_ns = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--gantt-width") {
@@ -220,53 +294,40 @@ int main(int argc, char** argv) {
     cfg.partial_synchrony = false;
   }
 
-  std::printf("scenario: %s(%zu), algorithm=%s, detector=%s, seed=%llu, horizon=%lld\n",
-              cfg.topology.c_str(), cfg.n, scenario::to_string(cfg.algorithm).c_str(),
+  if (cfg.engine == scenario::Engine::kRt && cfg.detector == DetectorKind::kScripted) {
+    // The scripted oracle is written against virtual time; on real
+    // threads the natural ◇P₁ stand-in is the heartbeat module.
+    std::printf("note: rt engine has no scripted detector; using heartbeat\n");
+    cfg.detector = DetectorKind::kHeartbeat;
+  }
+
+  std::printf("scenario: %s(%zu), engine=%s, algorithm=%s, detector=%s, seed=%llu, "
+              "horizon=%lld\n",
+              cfg.topology.c_str(), cfg.n, scenario::to_string(cfg.engine).c_str(),
+              scenario::to_string(cfg.algorithm).c_str(),
               scenario::to_string(cfg.detector).c_str(),
               static_cast<unsigned long long>(cfg.seed),
               static_cast<long long>(cfg.run_for));
 
+  if (cfg.engine == scenario::Engine::kRt) {
+    cfg.observability = true;  // live monitors are the point of an rt run
+    scenario::RtScenario s(cfg);
+    s.run();
+    print_reports(s, cfg, s.recorder().network(), /*conv=*/0);
+    const std::string agreement = s.monitor_agreement();
+    if (agreement.empty()) {
+      std::printf("online monitors agree with post-hoc checkers\n");
+    } else {
+      std::printf("MONITOR DISAGREEMENT:\n%s\n", agreement.c_str());
+    }
+    if (gantt) print_gantt(s.trace(), cfg, gantt_width);
+    const int rc = dump_trace(s.trace(), dump_path);
+    return rc != 0 ? rc : (agreement.empty() ? 0 : 1);
+  }
+
   Scenario s(cfg);
   s.run();
-
-  auto wf = s.wait_freedom(cfg.run_for / 4);
-  auto ex = s.exclusion();
-  auto census = s.census();
-  auto conv = s.fd_convergence_estimate();
-  auto cp = dining::concurrency_profile(s.trace(), s.graph());
-
-  util::Table t({"metric", "value"});
-  t.row().cell("meals").cell(static_cast<std::uint64_t>(
-      s.trace().count(dining::TraceEventKind::kStartEating)));
-  t.row().cell("hungry sessions (total/completed)").cell(
-      std::to_string(wf.sessions_total) + "/" + std::to_string(wf.sessions_completed));
-  t.row().cell("starving processes").cell(static_cast<std::uint64_t>(wf.starving.size()));
-  t.row().cell("response time mean/p95").cell(
-      std::to_string(static_cast<long long>(wf.response.mean)) + "/" +
-      std::to_string(static_cast<long long>(wf.response.p95)));
-  t.row().cell("exclusion violations (total)").cell(
-      static_cast<std::uint64_t>(ex.violations.size()));
-  t.row().cell("violations after FD convergence").cell(
-      static_cast<std::uint64_t>(ex.violations_after(conv)));
-  t.row().cell("max overtakes (after convergence)").cell(
-      dining::max_overtakes(census, conv));
-  t.row().cell("max dining msgs in transit per edge").cell(
-      s.sim().network().max_in_transit_any(sim::MsgLayer::kDining));
-  t.row().cell("mean concurrent eaters").cell(cp.mean_concurrent_eaters, 2);
-  t.row().cell("dining / detector messages").cell(
-      std::to_string(s.sim().network().total_sent(sim::MsgLayer::kDining)) + " / " +
-      std::to_string(s.sim().network().total_sent(sim::MsgLayer::kDetector)));
-  t.print();
-
-  if (gantt) print_gantt(s, gantt_width);
-  if (!dump_path.empty()) {
-    if (ekbd::dining::write_jsonl_file(s.trace(), dump_path)) {
-      std::printf("trace written to %s (%zu events)\n", dump_path.c_str(),
-                  s.trace().size());
-    } else {
-      std::fprintf(stderr, "failed to write %s\n", dump_path.c_str());
-      return 1;
-    }
-  }
-  return 0;
+  print_reports(s, cfg, s.sim().network(), s.fd_convergence_estimate());
+  if (gantt) print_gantt(s.trace(), cfg, gantt_width);
+  return dump_trace(s.trace(), dump_path);
 }

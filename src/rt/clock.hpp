@@ -1,0 +1,53 @@
+/// \file clock.hpp
+/// Wall-clock ↔ tick mapping for the real-threads runtime.
+///
+/// Protocol code (timers, heartbeat periods, harness think/eat durations)
+/// is written in abstract ticks — under the simulator one tick is one
+/// unit of virtual time. The rt engine maps one tick to a fixed number of
+/// wall-clock nanoseconds (`tick_ns`, default 100 µs), so the *same*
+/// parameterization drives both engines: a heartbeat period of 20 ticks is
+/// "20 units of virtual time" in sim and 2 ms of real time under rt.
+///
+/// The clock is rebased at `Runtime::start()` so setup cost never eats
+/// into the run horizon; `now_ticks()` is monotonic by construction
+/// (steady_clock) and safe to call from any thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ekbd::rt {
+
+class TickClock {
+ public:
+  using WallClock = std::chrono::steady_clock;
+
+  explicit TickClock(std::uint64_t tick_ns = 100'000)
+      : tick_ns_(tick_ns == 0 ? 1 : tick_ns), t0_(WallClock::now()) {}
+
+  /// Re-zero the tick origin (called once, just before threads launch).
+  void rebase() { t0_ = WallClock::now(); }
+
+  /// Elapsed ticks since the origin (>= 0, monotonic).
+  [[nodiscard]] sim::Time now_ticks() const {
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0_).count();
+    return ns <= 0 ? 0 : static_cast<sim::Time>(static_cast<std::uint64_t>(ns) / tick_ns_);
+  }
+
+  /// Wall-clock instant at which tick `t` is reached.
+  [[nodiscard]] WallClock::time_point deadline(sim::Time t) const {
+    return t0_ + std::chrono::nanoseconds(static_cast<std::int64_t>(t) *
+                                          static_cast<std::int64_t>(tick_ns_));
+  }
+
+  [[nodiscard]] std::uint64_t tick_ns() const { return tick_ns_; }
+
+ private:
+  std::uint64_t tick_ns_;
+  WallClock::time_point t0_;
+};
+
+}  // namespace ekbd::rt

@@ -1,0 +1,101 @@
+#include "rt/dining_driver.hpp"
+
+#include <cassert>
+
+namespace ekbd::rt {
+
+using dining::Diner;
+using dining::TraceEventKind;
+using sim::ProcessId;
+using sim::Time;
+
+namespace {
+/// Salt separating the environment (think/eat) streams from the actor and
+/// fault streams, all forked per process id from the master seed.
+constexpr std::uint64_t kEnvSalt = 0x4a52ULL;
+}  // namespace
+
+DiningDriver::DiningDriver(Runtime& rt, const graph::ConflictGraph& graph,
+                           dining::HarnessOptions opt)
+    : rt_(rt), graph_(graph), opt_(opt) {}
+
+void DiningDriver::manage(Diner* d) {
+  assert(d != nullptr);
+  assert(static_cast<std::size_t>(d->id()) < graph_.size());
+  d->set_recheck_period(opt_.recheck_period);
+  d->set_event_callback([this](Diner& diner, TraceEventKind kind) {
+    on_diner_event(diner, kind);
+  });
+  diners_.push_back(d);
+  const auto idx = static_cast<std::size_t>(d->id());
+  if (by_id_.size() <= idx) by_id_.resize(idx + 1, nullptr);
+  by_id_[idx] = d;
+  if (env_rngs_.size() <= idx) env_rngs_.resize(idx + 1);
+  env_rngs_[idx] = std::make_unique<sim::Rng>(
+      sim::Rng(rt_.options().seed ^ kEnvSalt).fork(static_cast<std::uint64_t>(d->id()) + 1));
+  schedule_next_hunger(d, env_rng(d->id()).uniform_int(0, opt_.first_hunger_hi));
+}
+
+void DiningDriver::schedule_next_hunger(Diner* d, Time delay) {
+  const Time at = rt_.now() + delay;
+  if (hunger_deadline_ >= 0 && at >= hunger_deadline_) return;
+  rt_.call_after(d->id(), delay, [this, d] {
+    // Runs on d's worker thread, between d's handlers; never after a crash
+    // (the worker's scheduled calls die with it).
+    if (!d->thinking()) return;
+    if (hunger_deadline_ >= 0 && rt_.now() >= hunger_deadline_) return;
+    d->become_hungry();
+  });
+}
+
+void DiningDriver::on_diner_event(Diner& d, TraceEventKind kind) {
+  // Fires on d's own worker thread (state transitions happen inside d's
+  // handlers; kCrashed inside the worker's crash step).
+  rt_.recorder().on_trace(d.id(), rt_.now(), kind);
+  switch (kind) {
+    case TraceEventKind::kStartEating: {
+      // Correct processes eat for a finite (but not necessarily bounded)
+      // period (§2); the environment ends the session.
+      const Time duration = env_rng(d.id()).uniform_int(opt_.eat_lo, opt_.eat_hi);
+      Diner* dp = &d;
+      rt_.call_after(d.id(), duration, [dp] {
+        if (dp->eating()) dp->finish_eating();
+      });
+      break;
+    }
+    case TraceEventKind::kStopEating:
+      schedule_next_hunger(&d, env_rng(d.id()).uniform_int(opt_.think_lo, opt_.think_hi));
+      break;
+    default:
+      break;
+  }
+}
+
+void DiningDriver::install_heartbeats(fd::HeartbeatDetector& detector,
+                                      fd::HeartbeatModule::Params params) {
+  for (Diner* d : diners_) {
+    auto module = std::make_unique<fd::HeartbeatModule>(graph_.neighbors(d->id()), params);
+    detector.attach(d->id(), module.get());
+    d->host_fd_module(std::move(module));
+  }
+}
+
+void DiningDriver::install_pingpongs(fd::PingPongDetector& detector,
+                                     fd::PingPongModule::Params params) {
+  for (Diner* d : diners_) {
+    auto module = std::make_unique<fd::PingPongModule>(graph_.neighbors(d->id()), params);
+    detector.attach(d->id(), module.get());
+    d->host_fd_module(std::move(module));
+  }
+}
+
+void DiningDriver::install_accruals(fd::AccrualDetector& detector,
+                                    fd::AccrualModule::Params params) {
+  for (Diner* d : diners_) {
+    auto module = std::make_unique<fd::AccrualModule>(graph_.neighbors(d->id()), params);
+    detector.attach(d->id(), module.get());
+    d->host_fd_module(std::move(module));
+  }
+}
+
+}  // namespace ekbd::rt

@@ -1,0 +1,113 @@
+/// \file dining_driver.hpp
+/// Drives dining executions on the real-threads runtime.
+///
+/// The rt analogue of `dining::Harness`: plays the paper's environment —
+/// thinking processes become hungry after random think times, eating
+/// sessions end after finite random durations — and records every
+/// scheduling event through the `Recorder`. It is algorithm-agnostic:
+/// anything implementing `dining::Diner` can be managed, byte-for-byte
+/// the same diner objects the simulator runs.
+///
+/// Two deliberate differences from the sim harness:
+///
+///  * all environment decisions for process p run on p's *own* worker
+///    thread (`Runtime::call_after`), because a diner's state may only be
+///    touched between its handlers — the thread-confinement analogue of
+///    the simulator's one-event-at-a-time guarantee;
+///  * think/eat durations come from a *per-diner* rng stream (forked from
+///    the master seed and the id) instead of the harness's single shared
+///    stream: concurrent callbacks have no global draw order to share a
+///    stream through. Sim↔rt runs therefore agree on the model and the
+///    seed discipline, not on the literal duration sequence.
+///
+/// Crash handling needs no driver code: the runtime fells the worker, the
+/// diner's `on_crash` fires the callback, and the pending eat/hunger calls
+/// die with the worker's timer heap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "dining/harness.hpp"  // HarnessOptions (shared across engines)
+#include "fd/accrual.hpp"
+#include "fd/detector.hpp"
+#include "fd/heartbeat.hpp"
+#include "fd/pingpong.hpp"
+#include "graph/graph.hpp"
+#include "rt/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace ekbd::rt {
+
+/// Perfect oracle over the runtime's crash flags: suspects exactly the
+/// crashed processes (one atomic load), with zero latency and zero
+/// mistakes. The rt counterpart of `fd::PerfectDetector` (which is
+/// coupled to the simulator); used for ablation and for tests that must
+/// not see a single false suspicion.
+class RtPerfectDetector final : public fd::FailureDetector {
+ public:
+  explicit RtPerfectDetector(const Runtime& rt) : rt_(rt) {}
+  [[nodiscard]] bool suspects(sim::ProcessId, sim::ProcessId target) const override {
+    return rt_.crashed(target);
+  }
+
+ private:
+  const Runtime& rt_;
+};
+
+class DiningDriver {
+ public:
+  /// `rt` and `graph` must outlive the driver; trace events go to the
+  /// runtime's recorder.
+  DiningDriver(Runtime& rt, const graph::ConflictGraph& graph,
+               dining::HarnessOptions opt = {});
+
+  /// Take over hunger/eat-duration driving and trace recording for `d`.
+  /// Must be called before `Runtime::start()`.
+  void manage(dining::Diner* d);
+
+  /// Stop generating *new* hungry sessions at/after tick `t` (drain mode).
+  /// Call before start.
+  void stop_hunger_after(sim::Time t) { hunger_deadline_ = t; }
+
+  /// Crash `p` at tick `at` (forwarded to the runtime's crash plan).
+  void schedule_crash(sim::ProcessId p, sim::Time at) { rt_.schedule_crash(p, at); }
+
+  /// The managed diner for process `p` (nullptr if unmanaged).
+  [[nodiscard]] dining::Diner* diner(sim::ProcessId p) const {
+    const auto i = static_cast<std::size_t>(p);
+    return i < by_id_.size() ? by_id_[i] : nullptr;
+  }
+
+  [[nodiscard]] const graph::ConflictGraph& graph() const { return graph_; }
+  [[nodiscard]] std::vector<sim::Time> crash_times() const { return rt_.crash_times(); }
+
+  /// Create and host one heartbeat module per managed diner (neighbors
+  /// from the conflict graph) and attach them to `detector`. Call after
+  /// all diners are managed, before start. The facade's attach map is
+  /// read-only once the run starts and each module is confined to its
+  /// host's thread, so the hosted-module pattern is data-race-free as is.
+  void install_heartbeats(fd::HeartbeatDetector& detector,
+                          fd::HeartbeatModule::Params params);
+  void install_pingpongs(fd::PingPongDetector& detector,
+                         fd::PingPongModule::Params params);
+  void install_accruals(fd::AccrualDetector& detector, fd::AccrualModule::Params params);
+
+ private:
+  void on_diner_event(dining::Diner& d, dining::TraceEventKind kind);
+  void schedule_next_hunger(dining::Diner* d, sim::Time delay);
+  sim::Rng& env_rng(sim::ProcessId p) { return *env_rngs_[static_cast<std::size_t>(p)]; }
+
+  Runtime& rt_;
+  const graph::ConflictGraph& graph_;
+  dining::HarnessOptions opt_;
+  std::vector<dining::Diner*> diners_;  // in managed order
+  std::vector<dining::Diner*> by_id_;   // indexed by ProcessId
+  /// Per-diner environment stream (think/eat draws), owner-thread-confined
+  /// after start; indexed by ProcessId.
+  std::vector<std::unique_ptr<sim::Rng>> env_rngs_;
+  sim::Time hunger_deadline_ = -1;  ///< -1 = unlimited; set before start
+};
+
+}  // namespace ekbd::rt

@@ -1,0 +1,186 @@
+/// \file mailbox.hpp
+/// Bounded MPSC mailboxes for the real-threads runtime.
+///
+/// Every actor owns one mailbox; any thread may push (its conflict-graph
+/// neighbors, the driver, fault injectors), only the owner's worker thread
+/// pops. Two implementations behind one interface:
+///
+///  * `MutexMailbox` — the obviously-correct baseline: a deque under a
+///    mutex. Used as the reference in the stress tests and selectable via
+///    `MailboxKind::kMutex` to bisect suspected queue bugs.
+///  * `MpscRingMailbox` — the fast path: a bounded ring of
+///    per-cell-sequenced slots (Vyukov's bounded queue, used MPSC).
+///    Producers claim a slot with one CAS on the head ticket and publish
+///    the payload with one release store; the consumer pops with plain
+///    loads plus one acquire per cell. No locks, no allocation after
+///    construction — `sim::Message` is trivially copyable, so a push is a
+///    ticket claim plus a memcpy.
+///
+/// FIFO guarantee: a producer's pushes claim head tickets in program
+/// order, and the consumer pops in ticket order — so *per-producer* order
+/// is preserved, which is exactly the reliable-FIFO-per-directed-channel
+/// assumption of the paper's model (each directed channel has a single
+/// producer: the sender's thread).
+///
+/// Blocking (producer backpressure, consumer parking) deliberately lives
+/// in the runtime's worker loop, not here: the queue itself stays
+/// wait-free on the fast path and the park/wake handshake needs runtime
+/// state (stop flags, timer deadlines) anyway.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "sim/message.hpp"
+
+namespace ekbd::rt {
+
+enum class MailboxKind {
+  kLockFree,  ///< MpscRingMailbox (default)
+  kMutex,     ///< MutexMailbox baseline
+};
+
+[[nodiscard]] inline const char* to_string(MailboxKind k) {
+  return k == MailboxKind::kLockFree ? "lockfree" : "mutex";
+}
+
+class Mailbox {
+ public:
+  virtual ~Mailbox() = default;
+
+  /// Enqueue a copy of `m`; false if the mailbox is full (caller retries —
+  /// the runtime's push loop yields between attempts).
+  virtual bool try_push(const sim::Message& m) = 0;
+
+  /// Dequeue into `out`; false if empty. Owner thread only.
+  virtual bool try_pop(sim::Message& out) = 0;
+
+  /// Conservative "work may be pending" probe for the park/wake handshake:
+  /// may report true for an item whose payload is still being published
+  /// (the consumer just polls again), but after a producer's push is
+  /// complete, a probe that is sequenced after the consumer's
+  /// `sleeping = true` store (both seq_cst) is guaranteed to see it —
+  /// that pairing is what rules out lost wakeups (see Runtime's loop).
+  [[nodiscard]] virtual bool maybe_nonempty() const = 0;
+
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
+};
+
+/// Baseline: std::deque under a mutex, capacity-bounded.
+class MutexMailbox final : public Mailbox {
+ public:
+  explicit MutexMailbox(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_push(const sim::Message& m) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(m);
+    return true;
+  }
+
+  bool try_pop(sim::Message& out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = items_.front();
+    items_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] bool maybe_nonempty() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !items_.empty();
+  }
+
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<sim::Message> items_;
+};
+
+/// Fast path: bounded MPSC ring with per-cell sequence numbers.
+class MpscRingMailbox final : public Mailbox {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpscRingMailbox(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool try_push(const sim::Message& m) override {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // Slot free for ticket `pos`: claim it. seq_cst CAS — the claim
+        // must be globally ordered before the producer's subsequent
+        // `sleeping` probe (lost-wakeup handshake).
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+          cell.msg = m;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh ticket.
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unconsumed message: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_pop(sim::Message& out) override {
+    const std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto dif =
+        static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+    if (dif < 0) return false;  // not yet published (empty, or mid-publish)
+    out = cell.msg;
+    // Release the slot for the producer one lap ahead.
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] bool maybe_nonempty() const override {
+    // seq_cst on the head ticket: pairs with the claim CAS in try_push for
+    // the Dekker-style store/load handshake in the worker's park path.
+    return head_.load(std::memory_order_seq_cst) !=
+           tail_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const override { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    sim::Message msg;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< producers' ticket
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< consumer's cursor
+};
+
+[[nodiscard]] inline std::unique_ptr<Mailbox> make_mailbox(MailboxKind kind,
+                                                           std::size_t capacity) {
+  if (kind == MailboxKind::kMutex) return std::make_unique<MutexMailbox>(capacity);
+  return std::make_unique<MpscRingMailbox>(capacity);
+}
+
+}  // namespace ekbd::rt

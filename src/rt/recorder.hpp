@@ -1,0 +1,149 @@
+/// \file recorder.hpp
+/// Serialization point of the real-threads runtime.
+///
+/// The simulator gets its observability for free: it executes one event at
+/// a time, so the trace, the event log and the network books are totally
+/// ordered by construction. The rt engine has no such luxury — handlers
+/// run concurrently on many threads — so every observable transition
+/// (send, delivery, timer, crash, scheduling event) funnels through this
+/// Recorder under one mutex. That buys three things at once:
+///
+///  1. a totally ordered `dining::Trace` + `sim::EventLog` stream — the
+///     *linearization* of the concurrent execution that the paper's
+///     properties quantify over;
+///  2. the unmodified `sim::Network` books (stamp/delivered), so the
+///     post-hoc checkers and `MonitorHub::agreement_failures` consume rt
+///     runs byte-for-byte like sim runs;
+///  3. a safe place to host the PR-4 online monitors: the hub's three
+///     observer hats (EventSink, NetworkWatch, TraceObserver) are all
+///     invoked with the recorder mutex held, so the monitors need no
+///     locking of their own.
+///
+/// Timestamps come from the wall clock and are clamped monotonic under
+/// the mutex (`clamp`): two threads can read the clock in one order and
+/// reach the mutex in the other, and both the trace and the log promise
+/// nondecreasing times.
+///
+/// Cost: one mutex acquisition per observable event. That is the honest
+/// price of a sound total order; the contended path is short (a stamp and
+/// two vector pushes) and the mailbox fast path stays lock-free.
+#pragma once
+
+#include <mutex>
+
+#include "dining/trace.hpp"
+#include "sim/event_log.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::rt {
+
+class Recorder {
+ public:
+  // -- wiring (single-threaded, before Runtime::start) -------------------
+
+  /// Attach an event log (not owned; nullptr detaches).
+  void set_event_log(sim::EventLog* log) { log_ = log; }
+  /// Attach a streaming event sink (the MonitorHub's EventSink hat).
+  void set_event_sink(sim::EventSink* sink) { sink_ = sink; }
+  /// Attach a network watch (the MonitorHub's NetworkWatch hat).
+  void set_watch(sim::NetworkWatch* watch) { net_.set_watch(watch); }
+  /// Attach a trace observer (the MonitorHub's TraceObserver hat).
+  void set_trace_observer(dining::TraceObserver* obs) { trace_.set_observer(obs); }
+
+  // -- post-run reads (quiescent: after Runtime::stop_and_join) ----------
+
+  [[nodiscard]] const dining::Trace& trace() const { return trace_; }
+  [[nodiscard]] const sim::Network& network() const { return net_; }
+  void set_end_time(sim::Time t) { trace_.set_end_time(t); }
+
+  // -- runtime hooks (any thread) ----------------------------------------
+
+  /// A handler (or the driver) handed a message to the transport: stamp it
+  /// (seq, books, FIFO horizon — latency 1 is nominal; the *actual*
+  /// arrival tick is written by on_deliver) and emit kSend. With `lost`
+  /// the fault layer dropped it at the wire: the books are settled
+  /// immediately and a kLoss event follows the kSend, mirroring the
+  /// simulator's loss accounting (stamped, never handled).
+  void on_send(sim::Message& m, sim::Time now, bool target_crashed, bool lost) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    net_.stamp(m, t, 1, target_crashed);
+    emit({t, sim::LoggedEvent::Kind::kSend, m.from, m.to, m.layer, m.seq,
+          payload_tag(m.payload)});
+    if (lost) {
+      net_.delivered(m);
+      emit({t, sim::LoggedEvent::Kind::kLoss, m.from, m.to, m.layer, m.seq,
+            payload_tag(m.payload)});
+    }
+  }
+
+  /// The fault layer injected a duplicate copy: stamp it as its own
+  /// in-flight message and emit kDuplicate (the fork-uniqueness monitor
+  /// counts duplicates as sends, exactly as under the simulator).
+  void on_duplicate(sim::Message& m, sim::Time now, bool target_crashed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    net_.stamp(m, t, 1, target_crashed);
+    emit({t, sim::LoggedEvent::Kind::kDuplicate, m.from, m.to, m.layer, m.seq,
+          payload_tag(m.payload)});
+  }
+
+  /// The owner's worker popped `m` from its mailbox. Settles the books and
+  /// rewrites `m.deliver_at` to the actual arrival tick (the stamp-time
+  /// value was a placeholder) so handlers reading it see the truth. With
+  /// `target_crashed` the message lands on a corpse: kDrop, never handled.
+  void on_deliver(sim::Message& m, sim::Time now, bool target_crashed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    m.deliver_at = t;
+    net_.delivered(m);
+    emit({t,
+          target_crashed ? sim::LoggedEvent::Kind::kDrop : sim::LoggedEvent::Kind::kDeliver,
+          m.from, m.to, m.layer, m.seq, payload_tag(m.payload)});
+  }
+
+  /// A live actor's timer fired.
+  void on_timer(sim::ProcessId owner, sim::Time now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    emit({clamp(now), sim::LoggedEvent::Kind::kTimer, owner, sim::kNoProcess,
+          sim::MsgLayer::kOther, 0, sim::kNoPayloadTag});
+  }
+
+  /// Process `p` crashed (its worker is about to stop dispatching).
+  void on_crash(sim::ProcessId p, sim::Time now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    emit({clamp(now), sim::LoggedEvent::Kind::kCrash, p, sim::kNoProcess,
+          sim::MsgLayer::kOther, 0, sim::kNoPayloadTag});
+  }
+
+  /// A scheduling event (hungry / eating / forks / crash) from a diner or
+  /// the driver. Appends to the trace, which fans out to the observer.
+  void on_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_.record(clamp(now), p, kind);
+  }
+
+ private:
+  /// Monotonic clamp: the recorder's time never goes backwards even when
+  /// threads reach the mutex out of clock order.
+  sim::Time clamp(sim::Time now) {
+    if (now > last_) last_ = now;
+    return last_;
+  }
+
+  void emit(const sim::LoggedEvent& ev) {
+    if (log_ != nullptr) log_->append(ev);
+    if (sink_ != nullptr) sink_->on_event(ev);
+  }
+
+  std::mutex mu_;
+  sim::Time last_ = 0;
+  sim::Network net_;
+  dining::Trace trace_;
+  sim::EventLog* log_ = nullptr;
+  sim::EventSink* sink_ = nullptr;
+};
+
+}  // namespace ekbd::rt

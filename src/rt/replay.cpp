@@ -1,0 +1,67 @@
+#include "rt/replay.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace ekbd::rt {
+
+namespace {
+
+using PairKey = std::pair<int, std::uint64_t>;  // (layer, undirected pair)
+
+PairKey key_of(const sim::LoggedEvent& ev) {
+  const auto lo = static_cast<std::uint64_t>(ev.from < ev.to ? ev.from : ev.to);
+  const auto hi = static_cast<std::uint64_t>(ev.from < ev.to ? ev.to : ev.from);
+  return {static_cast<int>(ev.layer), (lo << 32) | hi};
+}
+
+}  // namespace
+
+void replay(const sim::EventLog& log, const dining::Trace& trace, obs::MonitorHub& hub) {
+  std::set<sim::ProcessId> crashed;
+  struct Occupancy {
+    int in_transit = 0;
+    int max_in_transit = 0;
+  };
+  std::map<PairKey, Occupancy> books;
+
+  for (const sim::LoggedEvent& ev : log.events()) {
+    // The fork-uniqueness monitor consumes the event stream verbatim.
+    hub.on_event(ev);
+
+    switch (ev.kind) {
+      case sim::LoggedEvent::Kind::kCrash:
+        crashed.insert(ev.from);
+        break;
+      case sim::LoggedEvent::Kind::kSend:
+      case sim::LoggedEvent::Kind::kDuplicate: {
+        // Synthesize the NetworkWatch callbacks the live hub received from
+        // the Recorder's stamp(): one on_send per accounted send, one
+        // on_high_water whenever the pair's occupancy sets a new maximum.
+        hub.on_send(ev.layer, ev.from, ev.to, ev.at, crashed.count(ev.to) != 0);
+        Occupancy& o = books[key_of(ev)];
+        ++o.in_transit;
+        if (o.in_transit > o.max_in_transit) {
+          o.max_in_transit = o.in_transit;
+          hub.on_high_water(ev.layer, ev.from, ev.to, o.in_transit, ev.at);
+        }
+        break;
+      }
+      case sim::LoggedEvent::Kind::kDeliver:
+      case sim::LoggedEvent::Kind::kDrop:
+      case sim::LoggedEvent::Kind::kLoss:
+      case sim::LoggedEvent::Kind::kPartitionLoss:
+        --books[key_of(ev)].in_transit;
+        break;
+      case sim::LoggedEvent::Kind::kTimer:
+        break;
+    }
+  }
+
+  for (const dining::TraceEvent& ev : trace.events()) {
+    hub.on_trace_event(ev);
+  }
+}
+
+}  // namespace ekbd::rt

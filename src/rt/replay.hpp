@@ -1,0 +1,29 @@
+/// \file replay.hpp
+/// Deterministic replay of a recorded rt run into fresh monitors.
+///
+/// A concurrent execution cannot be re-executed bit-for-bit, but its
+/// *linearization* can: the Recorder's EventLog + Trace capture the total
+/// order the monitors saw live. `replay` feeds that order through a fresh
+/// `obs::MonitorHub`, synthesizing the NetworkWatch stream (per-pair
+/// occupancy, high-water marks, sends-to-crashed) from the logged events —
+/// the same bookkeeping `sim::Network` does, replayed from its own output.
+///
+/// Guarantee (asserted by the rt test suite): replaying the same recording
+/// yields monitor verdicts identical to the live hub's, run after run.
+/// That is the reproducibility story of the rt engine — seeds make the
+/// *inputs* deterministic, recordings make the *analysis* deterministic.
+#pragma once
+
+#include "dining/trace.hpp"
+#include "obs/monitors.hpp"
+#include "sim/event_log.hpp"
+
+namespace ekbd::rt {
+
+/// Replay a recorded run into `hub` (which must be freshly constructed).
+/// Events are replayed first, then the scheduling trace; the hub's
+/// monitors consume disjoint streams, so the grouping does not affect
+/// verdicts relative to the live interleaving.
+void replay(const sim::EventLog& log, const dining::Trace& trace, obs::MonitorHub& hub);
+
+}  // namespace ekbd::rt

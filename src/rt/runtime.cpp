@@ -1,0 +1,280 @@
+#include "rt/runtime.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace ekbd::rt {
+
+namespace {
+/// Salt separating the fault-coin streams from the actor rng streams
+/// (both are forked per process id from the master seed).
+constexpr std::uint64_t kFaultSalt = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+Runtime::Runtime(Options opt, Recorder& recorder)
+    : opt_(opt), rec_(recorder), clock_(opt.tick_ns) {}
+
+Runtime::~Runtime() { stop_and_join(); }
+
+sim::ProcessId Runtime::add_actor(std::unique_ptr<sim::Actor> actor) {
+  assert(!started_.load(std::memory_order_relaxed) &&
+         "register all actors before start()");
+  const auto id = static_cast<sim::ProcessId>(actors_.size());
+  bind(*actor, this, id);
+  actors_.push_back(std::move(actor));
+
+  auto w = std::make_unique<Worker>();
+  w->mailbox = make_mailbox(opt_.mailbox, opt_.mailbox_capacity);
+  // Same derivation as Simulator::actor_rng — the cross-engine
+  // reproducibility contract of TransportIface.
+  w->rng = std::make_unique<sim::Rng>(
+      sim::Rng(opt_.seed).fork(static_cast<std::uint64_t>(id) + 1));
+  w->fault_rng = std::make_unique<sim::Rng>(
+      sim::Rng(opt_.seed ^ kFaultSalt).fork(static_cast<std::uint64_t>(id) + 1));
+  workers_.push_back(std::move(w));
+  return id;
+}
+
+void Runtime::schedule_crash(sim::ProcessId p, sim::Time at) {
+  assert(!started_.load(std::memory_order_relaxed) && "plan crashes before start()");
+  workers_[static_cast<std::size_t>(p)]->crash_at = at < 0 ? 0 : at;
+}
+
+void Runtime::call_after(sim::ProcessId p, sim::Time delay, std::function<void()> fn) {
+  Worker& w = *workers_[static_cast<std::size_t>(p)];
+  const sim::TimerId id = w.next_timer_id++;
+  w.calls.emplace(id, std::move(fn));
+  w.timers.push(TimerEntry{now() + (delay < 0 ? 0 : delay), id});
+}
+
+void Runtime::start() {
+  assert(!started_.load(std::memory_order_relaxed) && "start() called twice");
+  clock_.rebase();
+  started_.store(true, std::memory_order_release);
+  for (std::size_t p = 0; p < workers_.size(); ++p) {
+    workers_[p]->thread =
+        std::thread([this, p] { worker_loop(static_cast<sim::ProcessId>(p)); });
+  }
+}
+
+void Runtime::stop_and_join() {
+  if (joined_) return;
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& w : workers_) {
+    // Lock-then-notify: a worker between its stop check and its wait holds
+    // the park mutex, so this lock serializes us after it enters the wait.
+    std::lock_guard<std::mutex> lock(w->park);
+    w->park_cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  joined_ = true;
+}
+
+void Runtime::run_for(sim::Time horizon) {
+  start();
+  std::this_thread::sleep_until(clock_.deadline(horizon));
+  stop_and_join();
+  // After the join the clock is at or past every recorded timestamp, so
+  // this end time never clips a recorded event.
+  rec_.set_end_time(now());
+}
+
+void Runtime::request_crash(sim::ProcessId p) {
+  Worker& w = *workers_[static_cast<std::size_t>(p)];
+  w.crash_req.store(true, std::memory_order_seq_cst);
+  wake(w);
+}
+
+std::vector<sim::Time> Runtime::crash_times() const {
+  std::vector<sim::Time> out(workers_.size(), -1);
+  for (std::size_t p = 0; p < workers_.size(); ++p) {
+    out[p] = workers_[p]->crash_tick.load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+void Runtime::send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& payload,
+                   sim::MsgLayer layer) {
+  if (to < 0 || static_cast<std::size_t>(to) >= workers_.size()) return;
+  if (from >= 0 && crashed(from)) return;  // a dead process sends nothing
+
+  Worker& wt = *workers_[static_cast<std::size_t>(to)];
+  const bool to_crashed = wt.crashed.load(std::memory_order_acquire);
+
+  bool drop = false;
+  bool dup = false;
+  if (from >= 0 && opt_.faults.any() && opt_.faults.covers(layer) &&
+      started_.load(std::memory_order_relaxed)) {
+    // Coins come from the *sender's* stream: send() runs on the sender's
+    // worker thread (handlers are the only senders once started), so the
+    // stream is thread-confined and the coin sequence depends only on the
+    // sender's own send order.
+    sim::Rng& coins = *workers_[static_cast<std::size_t>(from)]->fault_rng;
+    drop = coins.chance(opt_.faults.drop_prob);
+    if (!drop) dup = coins.chance(opt_.faults.dup_prob);
+  }
+
+  sim::Message m;
+  m.from = from;
+  m.to = to;
+  m.layer = layer;
+  m.payload = payload;
+  rec_.on_send(m, now(), to_crashed, drop);
+  if (drop) return;
+
+  push_blocking(wt, m);
+  wake(wt);
+
+  if (dup) {
+    sim::Message d;
+    d.from = from;
+    d.to = to;
+    d.layer = layer;
+    d.payload = payload;
+    rec_.on_duplicate(d, now(), to_crashed);
+    push_blocking(wt, d);
+    wake(wt);
+  }
+}
+
+sim::TimerId Runtime::set_timer(sim::ProcessId owner, sim::Time delay) {
+  // Owner-thread-only by the TransportIface contract: no lock needed.
+  Worker& w = *workers_[static_cast<std::size_t>(owner)];
+  const sim::TimerId id = w.next_timer_id++;
+  w.timers.push(TimerEntry{now() + (delay < 0 ? 0 : delay), id});
+  w.active.insert(id);
+  return id;
+}
+
+void Runtime::cancel_timer(sim::ProcessId owner, sim::TimerId id) {
+  // Lazy deletion: drop the armed flag, let the heap entry fizzle.
+  workers_[static_cast<std::size_t>(owner)]->active.erase(id);
+}
+
+void Runtime::push_blocking(Worker& w, const sim::Message& m) {
+  int spins = 0;
+  while (!w.mailbox->try_push(m)) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    // Full mailbox: the consumer (live or corpse — corpses keep draining)
+    // is behind. Yield, then back off to a real sleep so a descheduled
+    // consumer gets cycles even on an oversubscribed box.
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Runtime::wake(Worker& w) {
+  if (w.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(w.park);
+    w.park_cv.notify_one();
+  }
+}
+
+void Runtime::do_crash(Worker& w, sim::Actor& a, sim::ProcessId p) {
+  const sim::Time t = clock_.now_ticks();
+  w.crashed.store(true, std::memory_order_seq_cst);
+  w.crash_tick.store(t, std::memory_order_release);
+  rec_.on_crash(p, t);
+  a.on_crash();  // instrumentation only (e.g. the diner's kCrashed trace event)
+  // The process is dead: its pending timers and scheduled calls die with it.
+  w.timers = {};
+  w.active.clear();
+  w.calls.clear();
+}
+
+bool Runtime::fire_one_timer(Worker& w, sim::Actor& a, sim::ProcessId p) {
+  if (w.timers.empty()) return false;
+  const TimerEntry e = w.timers.top();
+  if (e.at > clock_.now_ticks()) return false;
+  w.timers.pop();
+  const auto cit = w.calls.find(e.id);
+  if (cit != w.calls.end()) {
+    std::function<void()> fn = std::move(cit->second);
+    w.calls.erase(cit);
+    fn();
+    return true;
+  }
+  if (w.active.erase(e.id) != 0) {
+    rec_.on_timer(p, clock_.now_ticks());
+    a.on_timer(e.id);
+    return true;
+  }
+  return false;  // cancelled entry fizzled; not a dispatch
+}
+
+void Runtime::park(Worker& w) {
+  // Brief spin first: most wakeups arrive within microseconds.
+  for (int i = 0; i < opt_.spin_polls; ++i) {
+    if (w.mailbox->maybe_nonempty() || stop_.load(std::memory_order_relaxed) ||
+        w.crash_req.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  auto deadline = TickClock::WallClock::now() + std::chrono::nanoseconds(opt_.park_cap_ns);
+  if (!w.crashed.load(std::memory_order_relaxed)) {
+    if (!w.timers.empty()) {
+      const auto t = clock_.deadline(w.timers.top().at);
+      if (t < deadline) deadline = t;
+    }
+    if (w.crash_at >= 0) {
+      const auto t = clock_.deadline(w.crash_at);
+      if (t < deadline) deadline = t;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(w.park);
+  w.sleeping.store(true, std::memory_order_seq_cst);
+  // Re-probe after publishing the sleeping flag (the Dekker handshake with
+  // try_push's claim / wake's probe — see the file comment in runtime.hpp).
+  if (w.mailbox->maybe_nonempty() || stop_.load(std::memory_order_seq_cst) ||
+      w.crash_req.load(std::memory_order_seq_cst)) {
+    w.sleeping.store(false, std::memory_order_relaxed);
+    return;
+  }
+  w.park_cv.wait_until(lock, deadline);
+  w.sleeping.store(false, std::memory_order_relaxed);
+}
+
+void Runtime::worker_loop(sim::ProcessId p) {
+  Worker& w = *workers_[static_cast<std::size_t>(p)];
+  sim::Actor& a = *actors_[static_cast<std::size_t>(p)];
+
+  const auto crash_due = [&]() -> bool {
+    if (w.crashed.load(std::memory_order_relaxed)) return false;
+    return w.crash_req.load(std::memory_order_acquire) ||
+           (w.crash_at >= 0 && clock_.now_ticks() >= w.crash_at);
+  };
+
+  // A crash at tick 0 fells the process before on_start (the simulator's
+  // pre-marked-crash semantics).
+  if (crash_due()) {
+    do_crash(w, a, p);
+  } else {
+    a.on_start();
+  }
+
+  sim::Message m;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (crash_due()) do_crash(w, a, p);
+    const bool dead = w.crashed.load(std::memory_order_relaxed);
+
+    // One dispatch per iteration, timers first (so pump/heartbeat cadence
+    // survives message floods); crash checks run between dispatches.
+    if (!dead && fire_one_timer(w, a, p)) continue;
+    if (w.mailbox->try_pop(m)) {
+      rec_.on_deliver(m, clock_.now_ticks(), dead);
+      if (!dead) a.on_message(m);
+      continue;
+    }
+    park(w);
+  }
+}
+
+}  // namespace ekbd::rt

@@ -1,0 +1,235 @@
+/// \file runtime.hpp
+/// The real-concurrency engine: one OS thread per actor.
+///
+/// `rt::Runtime` is the second implementation of `sim::TransportIface`
+/// (the first is the discrete-event `sim::Simulator`), so unmodified
+/// protocol code — `core::WaitFreeDiner`, the baselines, the fd modules —
+/// runs on real threads with real races. Per actor the engine provides:
+///
+///  * a bounded MPSC mailbox (rt/mailbox.hpp): neighbors push from their
+///    threads, the owner's worker thread pops and dispatches one handler
+///    at a time — handler atomicity per actor, per-channel FIFO by the
+///    single-producer-per-channel argument;
+///  * an owner-thread-only timer heap driven by the wall clock
+///    (rt/clock.hpp): `set_timer`/`cancel_timer` are only ever called
+///    from the owner's own handlers (the TransportIface contract), so
+///    timers need no locks at all;
+///  * crash injection at dispatch boundaries: a crash scheduled with
+///    `schedule_crash` (or requested live with `request_crash`) takes
+///    effect between handlers, never mid-handler — the paper's crash
+///    model stops a process between atomic guarded actions. The corpse's
+///    worker keeps draining its mailbox (recording kDrop) so senders
+///    never block on a dead peer's full mailbox;
+///  * seed-deterministic per-actor rng streams, derived exactly as the
+///    simulator derives them (`Rng(seed).fork(p + 1)`), and a
+///    seed-deterministic link-fault layer (drop/dup coins drawn from a
+///    per-sender stream) for lossy-channel experiments — by default the
+///    coins apply to detector traffic only: the dining layer rides the
+///    reliable in-process channels, matching the paper's model (reliable
+///    dining channels, a merely eventually-accurate detector).
+///
+/// Every observable transition is funneled through the `Recorder`, which
+/// linearizes the run for the online monitors and the post-hoc checkers.
+///
+/// Park/wake protocol (lost-wakeup freedom): an idle worker publishes
+/// `sleeping = true` (seq_cst), re-probes its mailbox and flags (seq_cst),
+/// and only then waits on its condvar — capped at `park_cap_ns` as a
+/// belt-and-braces backstop. A producer completes its push (seq_cst claim)
+/// and then probes `sleeping` (seq_cst). In the single total order of
+/// those four operations, either the producer sees `sleeping` and
+/// notifies under the park mutex, or the worker's re-probe sees the push.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rt/clock.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/recorder.hpp"
+#include "sim/actor.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/transport_iface.hpp"
+
+namespace ekbd::rt {
+
+/// Seed-deterministic link faults for the rt engine (per-sender coin
+/// streams). `include_dining` extends the faults to the dining layer —
+/// only meaningful for model-violation experiments, since the paper
+/// assumes reliable dining channels (see docs/RUNTIME.md).
+struct FaultParams {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  bool include_dining = false;
+
+  [[nodiscard]] bool any() const { return drop_prob > 0.0 || dup_prob > 0.0; }
+  [[nodiscard]] bool covers(sim::MsgLayer layer) const {
+    if (layer == sim::MsgLayer::kDetector) return true;
+    return include_dining &&
+           (layer == sim::MsgLayer::kDining || layer == sim::MsgLayer::kTransport);
+  }
+};
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint64_t tick_ns = 100'000;        ///< wall nanoseconds per tick (100 µs)
+  std::size_t mailbox_capacity = 1024;    ///< per-actor, rounded up to a power of 2
+  MailboxKind mailbox = MailboxKind::kLockFree;
+  FaultParams faults{};
+  int spin_polls = 64;                    ///< idle probes before parking
+  std::uint64_t park_cap_ns = 2'000'000;  ///< max condvar wait (backstop)
+};
+
+class Runtime final : public sim::TransportIface {
+ public:
+  /// The recorder must outlive the runtime; it is shared with the scenario
+  /// layer (monitors, post-run checkers).
+  Runtime(Options opt, Recorder& recorder);
+  ~Runtime() override;  // stops and joins if still running
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // -- topology (single-threaded, before start) --------------------------
+
+  /// Register an actor; returns its ProcessId (0, 1, 2, ... in order).
+  sim::ProcessId add_actor(std::unique_ptr<sim::Actor> actor);
+
+  template <typename T, typename... Args>
+  T* make_actor(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    add_actor(std::move(owned));
+    return raw;
+  }
+
+  [[nodiscard]] std::size_t num_processes() const { return actors_.size(); }
+  [[nodiscard]] sim::Actor* actor(sim::ProcessId p) {
+    return actors_[static_cast<std::size_t>(p)].get();
+  }
+
+  // -- fault plan (single-threaded, before start) ------------------------
+
+  /// Crash `p` at tick `at` (takes effect at `p`'s first dispatch boundary
+  /// at or after `at`; `at` = 0 crashes before on_start, like the sim).
+  void schedule_crash(sim::ProcessId p, sim::Time at);
+
+  /// Run `fn` on `p`'s worker thread `delay` ticks from now. Callable
+  /// before start or from `p`'s own handlers (the driver's scheduling
+  /// loop); never runs once `p` has crashed.
+  void call_after(sim::ProcessId p, sim::Time delay, std::function<void()> fn);
+
+  // -- execution ---------------------------------------------------------
+
+  /// Launch all worker threads. The tick clock is rebased here: tick 0 is
+  /// "now", setup cost never eats into the horizon.
+  void start();
+
+  /// Ask every worker to stop at its next dispatch boundary and join the
+  /// threads. Messages still in flight stay in flight (the books keep
+  /// them in transit, like undelivered events at the sim's horizon).
+  void stop_and_join();
+
+  /// start() + sleep until tick `horizon` + stop_and_join(), then stamp
+  /// the trace end time. The whole-run convenience the scenario uses.
+  void run_for(sim::Time horizon);
+
+  // -- live queries (any thread) -----------------------------------------
+
+  /// Crash `p` at its next dispatch boundary (live fault injection from
+  /// tests or a chaos driver).
+  void request_crash(sim::ProcessId p);
+
+  [[nodiscard]] bool crashed(sim::ProcessId p) const {
+    return workers_[static_cast<std::size_t>(p)]->crashed.load(std::memory_order_acquire);
+  }
+  /// Tick at which `p` crashed (-1 if alive).
+  [[nodiscard]] sim::Time crash_time(sim::ProcessId p) const {
+    return workers_[static_cast<std::size_t>(p)]->crash_tick.load(std::memory_order_acquire);
+  }
+  /// Crash times for all processes, indexed by id (-1 = alive) — the shape
+  /// the property checkers take.
+  [[nodiscard]] std::vector<sim::Time> crash_times() const;
+
+  [[nodiscard]] const TickClock& clock() const { return clock_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] Recorder& recorder() { return rec_; }
+
+  // -- sim::TransportIface -----------------------------------------------
+
+  void send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& payload,
+            sim::MsgLayer layer) override;
+  sim::TimerId set_timer(sim::ProcessId owner, sim::Time delay) override;
+  void cancel_timer(sim::ProcessId owner, sim::TimerId id) override;
+  [[nodiscard]] sim::Time now() const override {
+    return started_.load(std::memory_order_acquire) ? clock_.now_ticks() : 0;
+  }
+  sim::Rng& actor_rng(sim::ProcessId p) override {
+    return *workers_[static_cast<std::size_t>(p)]->rng;
+  }
+
+ private:
+  struct TimerEntry {
+    sim::Time at = 0;
+    sim::TimerId id = 0;
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      return a.at > b.at || (a.at == b.at && a.id > b.id);
+    }
+  };
+
+  struct Worker {
+    std::unique_ptr<Mailbox> mailbox;
+    std::thread thread;
+
+    // Owner-thread-only state (or pre-start, single-threaded):
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timers;
+    std::unordered_set<sim::TimerId> active;  ///< armed actor timers
+    std::unordered_map<sim::TimerId, std::function<void()>> calls;
+    sim::TimerId next_timer_id = 1;
+    std::unique_ptr<sim::Rng> rng;        ///< Rng(seed).fork(p + 1)
+    std::unique_ptr<sim::Rng> fault_rng;  ///< per-sender drop/dup coins
+    sim::Time crash_at = -1;              ///< scheduled crash tick (-1 = none)
+
+    // Shared state:
+    std::atomic<bool> crashed{false};
+    std::atomic<sim::Time> crash_tick{-1};
+    std::atomic<bool> crash_req{false};
+    std::atomic<bool> sleeping{false};
+    std::mutex park;
+    std::condition_variable park_cv;
+  };
+
+  void worker_loop(sim::ProcessId p);
+  void do_crash(Worker& w, sim::Actor& a, sim::ProcessId p);
+  /// True if a timer was due and dispatched (one per call: crash checks
+  /// run between dispatches).
+  bool fire_one_timer(Worker& w, sim::Actor& a, sim::ProcessId p);
+  void park(Worker& w);
+  /// Push with backpressure: yields while the mailbox is full; gives up
+  /// only at shutdown (the message then stays "in flight" forever, like
+  /// an undelivered event at the horizon).
+  void push_blocking(Worker& w, const sim::Message& m);
+  void wake(Worker& w);
+
+  Options opt_;
+  Recorder& rec_;
+  TickClock clock_;
+  std::vector<std::unique_ptr<sim::Actor>> actors_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  bool joined_ = false;
+};
+
+}  // namespace ekbd::rt

@@ -1,0 +1,179 @@
+#include "scenario/rt_scenario.hpp"
+
+#include <cassert>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ekbd::scenario {
+
+RtScenario::RtScenario(Config cfg)
+    : cfg_(std::move(cfg)),
+      graph_(build_conflict_graph(cfg_)),
+      colors_(ekbd::graph::welsh_powell_coloring(graph_)) {
+  assert(cfg_.engine == Engine::kRt && "engine == kSim: use Scenario");
+  assert(cfg_.net_mode != NetMode::kLossyPartition &&
+         "rt engine: partitions need the multi-process transport (ROADMAP)");
+  assert(cfg_.detector != DetectorKind::kScripted &&
+         "scripted detector is sim-only (virtual time); use heartbeat for rt runs");
+
+  // -- observability ------------------------------------------------------
+  if (cfg_.observability) {
+    event_log_ = std::make_unique<ekbd::sim::EventLog>();
+    metrics_ = std::make_unique<ekbd::obs::MetricsRegistry>();
+    monitors_ = std::make_unique<ekbd::obs::MonitorHub>(graph_);
+    recorder_.set_event_log(event_log_.get());
+    recorder_.set_event_sink(monitors_.get());
+    recorder_.set_watch(monitors_.get());
+    recorder_.set_trace_observer(monitors_.get());
+  }
+
+  // -- runtime ------------------------------------------------------------
+  ekbd::rt::Options opt;
+  opt.seed = cfg_.seed;
+  opt.tick_ns = cfg_.rt_tick_ns;
+  opt.mailbox_capacity = cfg_.rt_mailbox_capacity;
+  opt.mailbox = cfg_.rt_mutex_mailbox ? ekbd::rt::MailboxKind::kMutex
+                                      : ekbd::rt::MailboxKind::kLockFree;
+  if (cfg_.net_mode != NetMode::kIdeal) {
+    // Lossy channels, rt style: seed-deterministic drop/dup coins on the
+    // detector layer. The dining layer keeps the reliable in-process
+    // channels (the paper's model assumes reliable dining channels; a ◇P₁
+    // implementation must survive a lossy wire).
+    opt.faults.drop_prob = cfg_.link_faults.drop_prob;
+    opt.faults.dup_prob = cfg_.link_faults.dup_prob;
+  }
+  rt_ = std::make_unique<ekbd::rt::Runtime>(opt, recorder_);
+
+  // -- detector -----------------------------------------------------------
+  switch (cfg_.detector) {
+    case DetectorKind::kNever:
+      owned_detector_ = std::make_unique<ekbd::fd::NeverSuspect>();
+      break;
+    case DetectorKind::kPerfect:
+      owned_detector_ = std::make_unique<ekbd::rt::RtPerfectDetector>(*rt_);
+      break;
+    case DetectorKind::kHeartbeat: {
+      auto det = std::make_unique<ekbd::fd::HeartbeatDetector>();
+      heartbeat_ = det.get();
+      owned_detector_ = std::move(det);
+      break;
+    }
+    case DetectorKind::kPingPong: {
+      auto det = std::make_unique<ekbd::fd::PingPongDetector>();
+      pingpong_ = det.get();
+      owned_detector_ = std::move(det);
+      break;
+    }
+    case DetectorKind::kAccrual: {
+      auto det = std::make_unique<ekbd::fd::AccrualDetector>();
+      accrual_ = det.get();
+      owned_detector_ = std::move(det);
+      break;
+    }
+    case DetectorKind::kScripted:
+      // Unreachable (asserted above); fall back to never-suspect so a
+      // release build still runs something sane.
+      owned_detector_ = std::make_unique<ekbd::fd::NeverSuspect>();
+      break;
+  }
+  detector_ = owned_detector_.get();
+
+  // -- driver + diners ----------------------------------------------------
+  driver_ = std::make_unique<ekbd::rt::DiningDriver>(*rt_, graph_, cfg_.harness);
+  diners_.reserve(graph_.size());
+  for (std::size_t v = 0; v < graph_.size(); ++v) {
+    const auto p = static_cast<ProcessId>(v);
+    std::vector<ProcessId> neighbors = graph_.neighbors(p);
+    std::vector<int> ncolors;
+    ncolors.reserve(neighbors.size());
+    for (ProcessId j : neighbors) ncolors.push_back(colors_[static_cast<std::size_t>(j)]);
+    const int color = colors_[v];
+
+    ekbd::dining::Diner* d = nullptr;
+    switch (cfg_.algorithm) {
+      case Algorithm::kWaitFree:
+        d = rt_->make_actor<ekbd::core::WaitFreeDiner>(
+            std::move(neighbors), color, std::move(ncolors), *detector_,
+            ekbd::core::WaitFreeDiner::Options{.acks_per_session = cfg_.acks_per_session});
+        break;
+      case Algorithm::kChoySingh:
+        d = rt_->make_actor<ekbd::baseline::DoorwayDiner>(
+            std::move(neighbors), color, std::move(ncolors), *detector_,
+            ekbd::baseline::DoorwayDiner::Options{.single_ack_per_session = false});
+        break;
+      case Algorithm::kChoySinghSingleAck:
+        d = rt_->make_actor<ekbd::baseline::DoorwayDiner>(
+            std::move(neighbors), color, std::move(ncolors), *detector_,
+            ekbd::baseline::DoorwayDiner::Options{.single_ack_per_session = true});
+        break;
+      case Algorithm::kHierarchical:
+        d = rt_->make_actor<ekbd::baseline::HierarchicalDiner>(std::move(neighbors), color,
+                                                               std::move(ncolors), *detector_);
+        break;
+      case Algorithm::kChandyMisra:
+        d = rt_->make_actor<ekbd::baseline::ChandyMisraDiner>(std::move(neighbors), color,
+                                                              std::move(ncolors), *detector_);
+        break;
+    }
+    diners_.push_back(d);
+    driver_->manage(d);
+  }
+
+  if (heartbeat_ != nullptr) driver_->install_heartbeats(*heartbeat_, cfg_.heartbeat);
+  if (pingpong_ != nullptr) driver_->install_pingpongs(*pingpong_, cfg_.pingpong);
+  if (accrual_ != nullptr) driver_->install_accruals(*accrual_, cfg_.accrual);
+
+  for (const auto& [p, at] : cfg_.crashes) {
+    rt_->schedule_crash(p, at);
+  }
+}
+
+void RtScenario::run() {
+  assert(!ran_);
+  ran_ = true;
+  rt_->run_for(cfg_.run_for);
+}
+
+ekbd::dining::ExclusionReport RtScenario::exclusion() const {
+  return ekbd::dining::check_exclusion(recorder_.trace(), graph_);
+}
+
+ekbd::dining::WaitFreedomReport RtScenario::wait_freedom(Time starvation_horizon) const {
+  return ekbd::dining::check_wait_freedom(recorder_.trace(), rt_->crash_times(),
+                                          starvation_horizon);
+}
+
+std::vector<ekbd::dining::OvertakeObservation> RtScenario::census() const {
+  return ekbd::dining::overtake_census(recorder_.trace(), graph_);
+}
+
+std::string RtScenario::monitor_agreement() const {
+  if (monitors_ == nullptr) return "monitors not attached (cfg.observability is false)";
+  return monitors_->agreement_failures(recorder_.trace(), graph_, recorder_.network());
+}
+
+std::string RtScenario::telemetry_json() const {
+  if (metrics_ == nullptr) return "{}";
+  ekbd::obs::MetricsRegistry& reg = *metrics_;
+  ekbd::obs::collect_network_metrics(recorder_.network(), reg);
+  if (event_log_ != nullptr) {
+    ekbd::obs::collect_event_log_metrics(*event_log_, reg);
+  }
+  std::string out = "{\"config\":{";
+  out += "\"seed\":" + std::to_string(cfg_.seed);
+  out += ",\"engine\":" + ekbd::obs::json::quote(to_string(cfg_.engine));
+  out += ",\"topology\":" + ekbd::obs::json::quote(cfg_.topology);
+  out += ",\"n\":" + std::to_string(cfg_.n);
+  out += ",\"algorithm\":" + ekbd::obs::json::quote(to_string(cfg_.algorithm));
+  out += ",\"detector\":" + ekbd::obs::json::quote(to_string(cfg_.detector));
+  out += ",\"net_mode\":" + ekbd::obs::json::quote(to_string(cfg_.net_mode));
+  out += ",\"run_for\":" + std::to_string(cfg_.run_for);
+  out += ",\"tick_ns\":" + std::to_string(cfg_.rt_tick_ns);
+  out += "},\"metrics\":" + reg.to_json();
+  out += ",\"monitors\":" + monitors_->to_json();
+  out += "}";
+  return out;
+}
+
+}  // namespace ekbd::scenario

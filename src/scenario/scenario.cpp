@@ -22,6 +22,14 @@ std::string to_string(Algorithm a) {
   return "?";
 }
 
+std::string to_string(Engine e) {
+  switch (e) {
+    case Engine::kSim: return "sim";
+    case Engine::kRt: return "rt";
+  }
+  return "?";
+}
+
 std::string to_string(NetMode m) {
   switch (m) {
     case NetMode::kIdeal: return "ideal";
@@ -43,12 +51,12 @@ std::string to_string(DetectorKind d) {
   return "?";
 }
 
-namespace {
-
-ConflictGraph build_graph(const Config& cfg) {
+ConflictGraph build_conflict_graph(const Config& cfg) {
   ekbd::sim::Rng rng(cfg.seed ^ 0x70110ULL);
   return ekbd::graph::by_name(cfg.topology, cfg.n, rng);
 }
+
+namespace {
 
 std::unique_ptr<ekbd::sim::DelayModel> build_delays(const Config& cfg) {
   if (cfg.partial_synchrony) return ekbd::sim::make_partial_synchrony(cfg.delay);
@@ -59,9 +67,10 @@ std::unique_ptr<ekbd::sim::DelayModel> build_delays(const Config& cfg) {
 
 Scenario::Scenario(Config cfg)
     : cfg_(std::move(cfg)),
-      graph_(build_graph(cfg_)),
+      graph_(build_conflict_graph(cfg_)),
       colors_(ekbd::graph::welsh_powell_coloring(graph_)),
       sim_(std::make_unique<ekbd::sim::Simulator>(cfg_.seed, build_delays(cfg_))) {
+  assert(cfg_.engine == Engine::kSim && "engine == kRt: use RtScenario / run_rt_scenarios");
   if (cfg_.channel_dup_prob > 0.0 || cfg_.channel_reorder_prob > 0.0) {
     sim_->set_channel_faults(cfg_.channel_dup_prob, cfg_.channel_reorder_prob);
   }
@@ -337,6 +346,7 @@ std::string Scenario::telemetry_json() const {
   }
   std::string out = "{\"config\":{";
   out += "\"seed\":" + std::to_string(cfg_.seed);
+  out += ",\"engine\":" + ekbd::obs::json::quote(to_string(cfg_.engine));
   out += ",\"topology\":" + ekbd::obs::json::quote(cfg_.topology);
   out += ",\"n\":" + std::to_string(cfg_.n);
   out += ",\"algorithm\":" + ekbd::obs::json::quote(to_string(cfg_.algorithm));

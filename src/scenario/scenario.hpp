@@ -70,8 +70,32 @@ enum class NetMode {
 
 [[nodiscard]] std::string to_string(NetMode m);
 
+/// Which engine executes the run: the deterministic discrete-event
+/// simulator (`Scenario`) or the real-threads runtime (`RtScenario`,
+/// scenario/rt_scenario.hpp — one OS thread per process, wall-clock
+/// timers, src/rt/).
+enum class Engine {
+  kSim,  ///< sim::Simulator (default)
+  kRt,   ///< rt::Runtime
+};
+
+[[nodiscard]] std::string to_string(Engine e);
+
 struct Config {
   std::uint64_t seed = 1;
+
+  /// Engine selection. A Config with kRt must be run through RtScenario /
+  /// run_rt_scenarios; Scenario asserts kSim. Most knobs are shared
+  /// (topology, algorithm, detector, harness, crashes, run_for measured
+  /// in ticks); sim-only knobs (delay model, scripted detector, channel
+  /// faults, partitions, ARQ transport) are rejected or ignored by the rt
+  /// engine — see scenario/rt_scenario.hpp for the exact mapping.
+  Engine engine = Engine::kSim;
+
+  // rt-engine knobs (used only when engine == kRt)
+  std::uint64_t rt_tick_ns = 100'000;     ///< wall nanoseconds per tick
+  std::size_t rt_mailbox_capacity = 1024; ///< per-actor mailbox slots
+  bool rt_mutex_mailbox = false;          ///< baseline mailbox instead of lock-free
 
   // topology
   std::string topology = "ring";
@@ -150,6 +174,11 @@ struct Config {
   // run horizon
   Time run_for = 50'000;
 };
+
+/// Build the conflict graph a Config describes (seeded from cfg.seed, so
+/// equal Configs get equal graphs). Shared by both engines — a sim run
+/// and an rt run of the same Config schedule the same topology.
+[[nodiscard]] ekbd::graph::ConflictGraph build_conflict_graph(const Config& cfg);
 
 class Scenario {
  public:

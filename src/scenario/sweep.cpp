@@ -25,4 +25,24 @@ void run_scenarios(const std::vector<Config>& configs,
       });
 }
 
+void run_rt_scenarios(const std::vector<Config>& configs,
+                      const std::function<void(std::size_t, RtScenario&)>& inspect,
+                      const SweepOptions& options) {
+  std::ofstream telemetry;
+  if (!options.telemetry_path.empty()) {
+    telemetry.open(options.telemetry_path, std::ios::trunc);
+  }
+  parallel_sweep<std::unique_ptr<RtScenario>>(
+      configs.size(), options.threads,
+      [&configs](std::size_t i) {
+        auto scenario = std::make_unique<RtScenario>(configs[i]);
+        scenario->run();
+        return scenario;
+      },
+      [&inspect, &telemetry](std::size_t i, std::unique_ptr<RtScenario>& scenario) {
+        if (telemetry.is_open()) telemetry << scenario->telemetry_json() << '\n';
+        inspect(i, *scenario);
+      });
+}
+
 }  // namespace ekbd::scenario

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mc/pool.hpp"
+#include "scenario/rt_scenario.hpp"
 #include "scenario/scenario.hpp"
 
 namespace ekbd::scenario {
@@ -91,5 +92,13 @@ void parallel_sweep(std::size_t count, std::size_t threads,
 void run_scenarios(const std::vector<Config>& configs,
                    const std::function<void(std::size_t, Scenario&)>& inspect,
                    const SweepOptions& options = {});
+
+/// Same runner for rt-engine configs (engine == Engine::kRt). Mind the
+/// width: every rt job spawns one OS thread per process on top of the
+/// pool, so rt sweeps usually want a small explicit `threads` rather than
+/// hardware concurrency.
+void run_rt_scenarios(const std::vector<Config>& configs,
+                      const std::function<void(std::size_t, RtScenario&)>& inspect,
+                      const SweepOptions& options = {});
 
 }  // namespace ekbd::scenario

@@ -1,14 +1,20 @@
 /// \file actor.hpp
-/// Base class for simulated processes.
+/// Base class for protocol processes.
 ///
 /// An Actor is one process of the distributed system: it owns local state,
 /// reacts to message deliveries and timer expirations, and interacts with
-/// the world only through `send` / `set_timer`. The simulator guarantees:
+/// the world only through `send` / `set_timer`. Those helpers forward to
+/// whichever engine registered the actor (a `sim::TransportIface`): the
+/// deterministic discrete-event simulator, or the real-threads runtime
+/// (src/rt/) where each actor runs on its own OS thread. Every engine
+/// guarantees:
 ///
-///  * handlers run atomically (one event at a time, globally);
+///  * handlers of one actor run atomically with respect to each other
+///    (the simulator runs one event at a time globally; the rt engine one
+///    event at a time per actor);
 ///  * a crashed actor's handlers are never invoked again and its
-///    outstanding sends/timers are discarded at their scheduled time;
-///  * handlers of one actor always run in nondecreasing virtual time.
+///    outstanding sends/timers are discarded;
+///  * handlers of one actor always run in nondecreasing time.
 ///
 /// This matches the paper's model: asynchronous processes executing guarded
 /// actions with weak fairness, communicating over reliable FIFO channels,
@@ -17,10 +23,10 @@
 
 #include "sim/message.hpp"
 #include "sim/time.hpp"
+#include "sim/transport_iface.hpp"
 
 namespace ekbd::sim {
 
-class Simulator;
 class Rng;
 
 class Actor {
@@ -62,8 +68,8 @@ class Actor {
   Rng& rng();
 
  private:
-  friend class Simulator;
-  Simulator* sim_ = nullptr;
+  friend class TransportIface;
+  TransportIface* ctx_ = nullptr;
   ProcessId id_ = kNoProcess;
 };
 

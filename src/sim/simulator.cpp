@@ -8,20 +8,27 @@
 
 namespace ekbd::sim {
 
+// -------------------------------------------------- TransportIface glue --
+
+void TransportIface::bind(Actor& actor, TransportIface* ctx, ProcessId id) {
+  actor.ctx_ = ctx;
+  actor.id_ = id;
+}
+
 // ---------------------------------------------------------------- Actor --
 
 void Actor::send(ProcessId to, const Payload& payload, MsgLayer layer) {
-  assert(sim_ != nullptr && "actor not registered with a simulator");
-  sim_->send(id_, to, payload, layer);
+  assert(ctx_ != nullptr && "actor not registered with an engine");
+  ctx_->send(id_, to, payload, layer);
 }
 
-TimerId Actor::set_timer(Time delay) { return sim_->set_timer(id_, delay); }
+TimerId Actor::set_timer(Time delay) { return ctx_->set_timer(id_, delay); }
 
-void Actor::cancel_timer(TimerId id) { sim_->cancel_timer(id); }
+void Actor::cancel_timer(TimerId id) { ctx_->cancel_timer(id_, id); }
 
-Time Actor::now() const { return sim_->now(); }
+Time Actor::now() const { return ctx_->now(); }
 
-Rng& Actor::rng() { return sim_->actor_rng(id_); }
+Rng& Actor::rng() { return ctx_->actor_rng(id_); }
 
 // ------------------------------------------------------------ Simulator --
 
@@ -46,8 +53,7 @@ Simulator::Simulator(std::uint64_t seed, std::unique_ptr<DelayModel> delays, Exe
 ProcessId Simulator::add_actor(std::unique_ptr<Actor> actor) {
   assert(!started_ && "register all actors before start()");
   auto id = static_cast<ProcessId>(actors_.size());
-  actor->sim_ = this;
-  actor->id_ = id;
+  bind(*actor, this, id);
   actors_.push_back(std::move(actor));
   actor_rngs_.push_back(nullptr);
   crash_times_.push_back(-1);

@@ -34,6 +34,7 @@
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/transport_iface.hpp"
 
 namespace ekbd::sim {
 
@@ -85,7 +86,7 @@ struct PendingEvent {
   [[nodiscard]] std::string describe() const;
 };
 
-class Simulator {
+class Simulator final : public TransportIface {
  public:
   /// \param seed   master seed for every random stream in the run
   /// \param delays model for message latencies (defaults to Uniform[1,10])
@@ -150,10 +151,13 @@ class Simulator {
   /// currently eligible.
   bool execute_event(std::uint64_t id);
 
-  // -- actor services (used via Actor's protected helpers) -------------
+  // -- actor services (the sim::TransportIface implementation) ----------
 
-  void send(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer);
-  TimerId set_timer(ProcessId owner, Time delay);
+  void send(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer) override;
+  TimerId set_timer(ProcessId owner, Time delay) override;
+  /// Timer ids are unique per simulator, so the owner is redundant here —
+  /// the interface carries it for engines with per-actor timer state.
+  void cancel_timer(ProcessId owner, TimerId id) override { (void)owner; cancel_timer(id); }
   void cancel_timer(TimerId id);
 
   // -- net hooks (link-fault adversary + reliable transport) -------------
@@ -248,14 +252,16 @@ class Simulator {
 
   // -- introspection ----------------------------------------------------
 
-  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Time now() const override { return now_; }
   Rng& rng() { return rng_; }
   Network& network() { return network_; }
   [[nodiscard]] const Network& network() const { return network_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
 
-  /// Per-actor independent random stream (created lazily, stable per id).
-  Rng& actor_rng(ProcessId p);
+  /// Per-actor independent random stream (created lazily, stable per id:
+  /// derived as Rng(seed).fork(p + 1), the same derivation every engine
+  /// uses).
+  Rng& actor_rng(ProcessId p) override;
 
  private:
   /// One record in the timed event heap. A typed discriminant instead of a
