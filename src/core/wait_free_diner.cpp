@@ -100,7 +100,9 @@ void WaitFreeDiner::pump_pings() {
 
 void WaitFreeDiner::handle_ping(ProcessId j) {
   PerNeighbor& s = slot(j);
-  if (inside_ || s.replied >= options_.acks_per_session) {
+  const bool budget_spent =
+      !options_.mutate_grant_beyond_budget && s.replied >= options_.acks_per_session;
+  if (inside_ || budget_spent) {
     s.deferred = true;
   } else {
     send(j, Ack{}, MsgLayer::kDining);
@@ -170,8 +172,10 @@ void WaitFreeDiner::handle_fork_request(ProcessId j, int req_color) {
     return;
   }
   if (!inside_ || (hungry() && color_ < req_color)) {
-    send(j, Fork{}, MsgLayer::kDining);
-    ++counts_.forks;
+    if (!options_.mutate_drop_fork_handover) {
+      send(j, Fork{}, MsgLayer::kDining);
+      ++counts_.forks;
+    }
     s.fork = false;
   }
 }

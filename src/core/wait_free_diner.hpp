@@ -57,6 +57,20 @@ class WaitFreeDiner : public ekbd::dining::Diner {
     /// the budget to m gives eventual (m+1)-bounded waiting — the "k" of
     /// the paper's title, measured by bench/e11_kbound.
     int acks_per_session = 1;
+
+    // Deliberate bugs, used ONLY by the model-checking honesty suite
+    // (tests/liveness_test.cpp, bench/e23_liveness): each seeds a known
+    // violation the liveness checker must re-detect. Never set elsewhere.
+
+    /// Action 7 mutation: when yielding, mark the fork as gone but never
+    /// send it — the requester waits forever inside the doorway. Seeds a
+    /// weakly-fair hungry-forever lasso (P3 violation).
+    bool mutate_drop_fork_handover = false;
+    /// Action 3 mutation: ignore the per-session ack budget (grant every
+    /// ping when outside the doorway). Destroys the doorway's overtaking
+    /// bound: a neighbor can starve a slow hungry process through
+    /// unboundedly many sessions (P4 violation).
+    bool mutate_grant_beyond_budget = false;
   };
 
   /// \param neighbors        conflict-graph neighbors of this process
@@ -90,6 +104,8 @@ class WaitFreeDiner : public ekbd::dining::Diner {
   [[nodiscard]] bool has_ack_from(ProcessId j) const { return slot(j).ack; }
   [[nodiscard]] bool has_replied_to(ProcessId j) const { return slot(j).replied > 0; }
   [[nodiscard]] bool has_deferred_ping_from(ProcessId j) const { return slot(j).deferred; }
+  /// Acks granted to j this hungry session (the spent budget of Theorem 3).
+  [[nodiscard]] int acks_granted_to(ProcessId j) const { return slot(j).replied; }
   [[nodiscard]] const MessageCounts& message_counts() const { return counts_; }
 
   /// Times a fork request arrived while this process did not hold the

@@ -174,4 +174,24 @@ ConcurrencyReport concurrency_profile(const Trace& trace, const ConflictGraph& g
   return report;
 }
 
+std::uint64_t hungry_at_end_mask(const Trace& trace) {
+  std::uint64_t mask = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.process < 0 || e.process >= 64) continue;
+    const std::uint64_t bit = 1ULL << e.process;
+    switch (e.kind) {
+      case TraceEventKind::kBecameHungry:
+        mask |= bit;
+        break;
+      case TraceEventKind::kStartEating:
+      case TraceEventKind::kCrashed:
+        mask &= ~bit;
+        break;
+      default:
+        break;
+    }
+  }
+  return mask;
+}
+
 }  // namespace ekbd::dining

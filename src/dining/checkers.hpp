@@ -118,4 +118,13 @@ struct ConcurrencyReport {
 
 ConcurrencyReport concurrency_profile(const Trace& trace, const ekbd::graph::ConflictGraph& g);
 
+// ----------------------------------------------------------- starvation
+
+/// Bit p set iff process p is hungry (became hungry, has neither eaten
+/// nor crashed since) at the end of the trace — the post-hoc face of the
+/// liveness checker's hungry-forever predicate. A fair-lasso
+/// counterexample unrolled for any number of laps must keep its starving
+/// process in this mask; the cross-check tests assert exactly that.
+std::uint64_t hungry_at_end_mask(const Trace& trace);
+
 }  // namespace ekbd::dining

@@ -71,6 +71,29 @@ class World {
 
 using WorldFactory = std::function<std::unique_ptr<World>()>;
 
+/// Fairness predicate a lasso must satisfy to count as a liveness
+/// violation (see liveness.hpp; explore() ignores this). The paper's P3
+/// assumes weak fairness of *actions*; the daemon taxonomy of the related
+/// work motivates the per-process and k-bounded variants.
+enum class Fairness {
+  /// Any cycle counts — even one that perpetually ignores a deliverable
+  /// message. Useful to inspect raw cycles, useless for certification.
+  kNone,
+  /// Weak fairness per process: a process with some continuously
+  /// available event must be activated infinitely often.
+  kWeakActor,
+  /// Weak fairness per event: an event that stays eligible forever must
+  /// eventually fire — the paper's "every enabled action is eventually
+  /// executed". Strongest predicate, so certification under it is the
+  /// claim the paper makes.
+  kWeakEvent,
+  /// A k-bounded daemon: weak-event fair AND the witness cycle activates
+  /// every continuously-enabled process within `fairness_k` activations
+  /// of any other. Violations under this are starvation that even the
+  /// most restrictive daemon class in the taxonomy can exhibit.
+  kKBounded,
+};
+
 struct Options {
   std::size_t max_depth = 60;        ///< truncate paths longer than this
   /// Exploration budget: schedule steps + replayed events. Results are
@@ -92,8 +115,15 @@ struct Options {
   bool sleep_sets = false;
   /// Stop all workers at the first violation instead of draining the
   /// search. Faster on buggy worlds, but with threads > 1 the winning
-  /// counterexample and the counters become timing-dependent.
+  /// counterexample and the counters become timing-dependent. (In
+  /// check_liveness the stop happens at a level boundary, so liveness
+  /// results stay deterministic even with fail_fast.)
   bool fail_fast = false;
+  /// Liveness checking only (check_liveness; explore() ignores both):
+  /// which schedules an infinite hungry cycle must admit to be reported.
+  Fairness fairness = Fairness::kWeakEvent;
+  /// The k of Fairness::kKBounded.
+  int fairness_k = 2;
 };
 
 struct Result {
@@ -110,14 +140,29 @@ struct Result {
   /// obs::collect_mc_metrics (states/sec).
   double wall_seconds = 0.0;
 
+  // Liveness-pass exploration stats (check_liveness; 0 after explore()).
+  // Counted so E13 and E23 report comparable exploration costs.
+  std::uint64_t unique_states = 0;  ///< distinct semantic states in the graph
+  std::uint64_t scc_count = 0;      ///< non-trivial SCCs (cycles) found
+  std::uint64_t fair_cycles = 0;    ///< SCCs admitting a fair hungry-forever run
+
   // First failure found (if any). A violating step ends its own schedule
   // but (without fail_fast) not the search, so the reported counterexample
   // is the lexicographically least violating path — deterministic.
   bool violation_found = false;
   std::string violation;              ///< invariant message or "deadlock"
   std::vector<std::uint64_t> counterexample;  ///< event ids along the path
+  /// Lasso shape of the counterexample (check_liveness only): the first
+  /// `stem_length` ids reach the cycle, the last `cycle_length` ids close
+  /// it — re-firing the cycle forever is the infinite violating run. A
+  /// safety/deadlock counterexample has cycle_length == 0.
+  std::uint64_t stem_length = 0;
+  std::uint64_t cycle_length = 0;
+  /// Non-empty when the *options* were rejected (e.g. sleep sets with
+  /// liveness checking) — no exploration happened and no verdict exists.
+  std::string config_error;
 
-  [[nodiscard]] bool ok() const { return !violation_found; }
+  [[nodiscard]] bool ok() const { return !violation_found && config_error.empty(); }
 };
 
 /// Explore schedules of worlds made by `factory` under `options`.

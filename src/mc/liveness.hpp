@@ -1,0 +1,142 @@
+/// \file liveness.hpp
+/// Bounded-liveness model checking: fair-lasso detection over the
+/// controlled-mode state graph.
+///
+/// explore() (explorer.hpp) checks *safety* over every schedule: each
+/// path either completes, truncates, or violates an invariant. The
+/// paper's headline claims P3 (every correct hungry process eventually
+/// eats) and P4 (eventual 2-bounded waiting) are *liveness* properties:
+/// their counterexamples are infinite schedules. On a finite semantic
+/// state graph an infinite schedule is a lasso — a stem followed by a
+/// cycle repeated forever — so liveness checking reduces to finding a
+/// cycle in which some process is hungry at every state while the cycle
+/// admits a schedule satisfying the chosen fairness predicate
+/// (Options::fairness). This is the standard fair-cycle formulation
+/// (Aspnes, *Notes on Theory of Distributed Systems*; lasso detection à
+/// la nested DFS / SCC analysis).
+///
+/// Mechanics: check_liveness() builds the semantic state graph
+/// explicitly by level-synchronized parallel BFS over the same stateless
+/// engine explore() uses — a state is rebuilt from the factory by
+/// replaying its witness path, every eligible event is fired, and the
+/// successor is identified by a tick-free *state key* (the world's
+/// contribution via LivenessWorld::state_key plus the simulator's via
+/// Simulator::controlled_state_key). Safety invariants (World::check)
+/// and deadlocks are still checked at every edge, so a liveness run
+/// subsumes a safety run over the same graph. SCC analysis (Tarjan) then
+/// looks for non-trivial SCCs whose every state has a common hungry
+/// process and which admit a fair infinite run; for such an SCC a
+/// concrete witness lasso is constructed that fires every
+/// always-eligible event at least once per cycle lap.
+///
+/// Edge identity across rebuilds: controlled-mode event ids are fresh on
+/// every replay, so edges are labeled *semantically* — a message by its
+/// directed channel (per-channel FIFO means at most one is eligible),
+/// timers and scheduled closures by LivenessWorld::event_fingerprint.
+/// Labels must be distinct within a state's eligible set and stable
+/// across revisits of the same semantic state; the engine verifies
+/// distinctness at every expansion and reports a config error otherwise.
+///
+/// The fairness argument leans on a monotonicity property of the
+/// controlled simulator: an eligible event stays eligible until *it* is
+/// fired (a FIFO head stays the head; timers and scheduled events never
+/// lapse). Hence within an SCC either an always-eligible label is fired
+/// on some internal edge — and a run touring all internal edges is
+/// weakly fair — or no run confined to the SCC is fair at all. That
+/// makes the per-SCC fairness check exact, not heuristic. (Worlds must
+/// not cancel timers for this to hold; the dining worlds never do.)
+///
+/// Determinism: same guarantee as explore(). The graph, its SCCs and
+/// the witness lasso are pure functions of (factory, options); the BFS
+/// merges frontier results in deterministic order at every level, so the
+/// Result is bit-identical for any Options::threads — tested for 1/2/8.
+///
+/// Soundness caveats (docs/MODELCHECK.md "Liveness checking"):
+///  * Sleep sets prune *orderings*, which is exactly what fairness
+///    predicates observe — check_liveness therefore refuses
+///    options.sleep_sets with Result::config_error rather than silently
+///    returning an unsound verdict.
+///  * The verdict is a proof only when the graph was built to the end:
+///    paths_truncated == 0 (no state hit max_depth unexpanded) and
+///    !budget_exhausted. Otherwise it is a bounded-liveness statement:
+///    no fair hungry cycle within the explored radius.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.hpp"
+#include "sim/simulator.hpp"
+
+namespace ekbd::mc {
+
+/// A World that additionally exposes the semantic identity the liveness
+/// engine needs: a tick-free state key, the hungry set, and stable
+/// fingerprints for its timers and scheduled choices.
+class LivenessWorld : public World {
+ public:
+  /// Append this world's semantic state: actor state machines, harness
+  /// counters (bounded! cap anything that can grow), pending scheduled
+  /// *intents*. Must be a pure function of semantic state — never include
+  /// now(), event ids, or unbounded history like the trace.
+  virtual void state_key(std::vector<std::uint64_t>& out) const = 0;
+
+  /// Bit p set iff process p currently waits for the resource (hungry and
+  /// live for dining; thirsty for drinking). A violation is a fair cycle
+  /// on whose every state some common bit stays set.
+  [[nodiscard]] virtual std::uint64_t hungry_mask() const = 0;
+
+  /// Semantic label of a pending timer or scheduled event (messages are
+  /// labeled by their channel; this is never called for them). Must be
+  /// distinct among simultaneously pending events, stable across
+  /// revisits of the same semantic state, and < 2^60.
+  [[nodiscard]] virtual std::uint64_t event_fingerprint(
+      const ekbd::sim::PendingEvent& ev) const = 0;
+};
+
+using LivenessWorldFactory = std::function<std::unique_ptr<LivenessWorld>()>;
+
+/// Machine-checkable refusal messages (Result::config_error).
+inline constexpr const char* kLivenessSleepSetRefusal =
+    "config: sleep sets prune orderings and are unsound for liveness checking";
+inline constexpr const char* kLivenessRandomWalkRefusal =
+    "config: liveness checking is exhaustive; random_walks is unsupported";
+
+/// Violation message prefix for a fair hungry cycle (the full message
+/// names the starving process and the fairness predicate).
+inline constexpr const char* kLivenessViolationPrefix = "liveness:";
+
+/// Build the semantic state graph of `factory`'s world and search it for
+/// fair hungry-forever cycles (and, along the way, safety violations and
+/// deadlocks). On violation, Result::counterexample holds a replayable
+/// stem+cycle event-id path (stem_length / cycle_length give the split);
+/// safety violations win over lassos when both exist, each chosen
+/// lexicographically least. Certification (the P3/P4 proof) additionally
+/// requires paths_truncated == 0 and !budget_exhausted.
+Result check_liveness(const LivenessWorldFactory& factory, const Options& options);
+
+/// Outcome of re-driving a lasso counterexample for `laps` cycle laps.
+struct LassoReplay {
+  bool valid = false;         ///< stem and every lap replayed legally
+  std::size_t laps_closed = 0;  ///< laps after which the state key matched
+  /// First non-empty World::check() along the replay (safety lassos).
+  std::string violation;
+  /// Every event id fired, in order (stem, then laps — fresh ids per lap).
+  std::vector<std::uint64_t> fired;
+  /// The world after the final lap — hand its trace to the post-hoc
+  /// checkers (check_wait_freedom, overtake_census) for the cross-check.
+  std::unique_ptr<LivenessWorld> world;
+};
+
+/// Replay a check_liveness lasso through a fresh world: the stem and
+/// first lap by recorded event ids, laps >= 2 by semantic label (ids are
+/// fresh each lap). After every lap the state key is compared against the
+/// cycle entry — `laps_closed == laps` is the mechanical proof that the
+/// counterexample really is a cycle, i.e. extends to an infinite run.
+LassoReplay unroll_lasso(const LivenessWorldFactory& factory, const Result& result,
+                         std::size_t laps, const Options& options);
+
+}  // namespace ekbd::mc

@@ -262,7 +262,14 @@ inline constexpr bool is_packable_payload_v =
   return std::visit(
       [&bits](const auto& v) {
         using T = std::decay_t<decltype(v)>;
-        if constexpr (is_packable_payload_v<T>) {
+        if constexpr (std::is_empty_v<T>) {
+          // An empty wire struct's single byte is padding, not data:
+          // copying it would leak an indeterminate byte into the encoding
+          // (and into the model checker's state keys, where it breaks
+          // state dedup). Canonical form is bits == 0.
+          (void)v;
+          return true;
+        } else if constexpr (is_packable_payload_v<T>) {
           std::memcpy(&bits, static_cast<const void*>(&v), sizeof(T));
           return true;
         } else {

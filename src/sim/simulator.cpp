@@ -404,6 +404,65 @@ std::vector<PendingEvent> Simulator::eligible_events() const {
   return out;  // std::map iteration: sorted by id already
 }
 
+void Simulator::controlled_state_key(std::vector<std::uint64_t>& out) const {
+  assert(mode_ == ExecMode::kControlled);
+  assert(actors_.size() <= 64 && "controlled worlds are small");
+  std::uint64_t crash_mask = 0;
+  for (std::size_t i = 0; i < crash_times_.size(); ++i) {
+    if (crash_times_[i] >= 0) crash_mask |= 1ULL << i;
+  }
+  out.push_back(crash_mask);
+
+  // Directed channels in key order, each as (key, len, [tag, bits]...):
+  // the in-flight payload *sequences* are state; the event ids carrying
+  // them are not.
+  std::vector<std::uint64_t> chans;
+  chans.reserve(channel_fifo_.size());
+  for (const auto& [key, fifo] : channel_fifo_) {
+    if (!fifo.empty()) chans.push_back(key);
+  }
+  std::sort(chans.begin(), chans.end());
+  for (std::uint64_t key : chans) {
+    const auto& fifo = channel_fifo_.at(key);
+    out.push_back(key);
+    out.push_back(fifo.size());
+    for (std::uint64_t id : fifo) {
+      std::uint8_t tag = 0;
+      std::uint64_t bits = 0;
+      const Payload& p = controlled_.at(id).msg.payload;
+      if (!pack_payload(p, tag, bits)) {  // oversized: tag-only fingerprint
+        tag = payload_tag(p);
+        bits = 0;
+      }
+      out.push_back(tag);
+      out.push_back(bits);
+    }
+  }
+
+  // Pending timers per owner, (owner, live, cancelled) in owner order. A
+  // cancelled timer is inert but still a pending no-op choice, so two
+  // states with different cancelled counts have different out-degrees and
+  // must not collapse.
+  std::map<ProcessId, std::pair<std::uint64_t, std::uint64_t>> timers;
+  std::uint64_t scheduled = 0;
+  for (const auto& [id, ev] : controlled_) {
+    if (ev.info.kind == PendingEvent::Kind::kScheduled) {
+      ++scheduled;
+    } else if (ev.info.kind == PendingEvent::Kind::kTimer) {
+      auto& [live, cancelled] = timers[ev.info.owner];
+      (active_timers_.count(ev.timer_id) != 0 ? live : cancelled) += 1;
+    }
+  }
+  for (const auto& [owner, counts] : timers) {
+    out.push_back(static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner)));
+    out.push_back(counts.first);
+    out.push_back(counts.second);
+  }
+  // Scheduled closures are opaque here; the count is state, their roles
+  // are the world's to fingerprint (LivenessWorld::event_fingerprint).
+  out.push_back(scheduled);
+}
+
 bool Simulator::execute_event(std::uint64_t id) {
   assert(mode_ == ExecMode::kControlled);
   start();

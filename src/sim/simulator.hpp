@@ -151,6 +151,23 @@ class Simulator final : public TransportIface {
   /// currently eligible.
   bool execute_event(std::uint64_t id);
 
+  /// Append the simulator's contribution to a *semantic* state
+  /// fingerprint (mc::check_liveness): the crash mask, every directed
+  /// channel's in-flight payload sequence (FIFO order, packed via
+  /// pack_payload), and per-owner pending timer counts (live and
+  /// cancelled-but-unfired separately — a cancelled timer is still a
+  /// no-op choice). Deliberately excludes now(), event ids and channel
+  /// ranks: two states that differ only in how many ticks it took to
+  /// reach them fingerprint identically, which is what lets lasso
+  /// detection close cycles. (kControlled only.)
+  void controlled_state_key(std::vector<std::uint64_t>& out) const;
+
+  /// The id the next controlled-mode event will receive. Lets a harness
+  /// that calls schedule() learn the id of the choice it just created
+  /// (read before the call): mc::LivenessWorld uses this to give
+  /// scheduled closures stable semantic fingerprints.
+  [[nodiscard]] std::uint64_t next_event_id() const { return next_event_seq_; }
+
   // -- actor services (the sim::TransportIface implementation) ----------
 
   void send(ProcessId from, ProcessId to, const Payload& payload, MsgLayer layer) override;
