@@ -1,0 +1,195 @@
+// run_cluster — command-line front end to the multi-process socket engine.
+//
+// Spawns one OS process per philosopher (UDP loopback, src/netproc/),
+// SIGKILLs the scheduled crash victims for real, injects/heals partitions
+// at runtime over the control channel, then ships + merges the per-node
+// Recorder logs and prints the property reports computed from the merged
+// linearization — including the live-vs-replay monitor cross-check.
+//
+// Examples:
+//   ./run_cluster --n 8 --drop 0.1 --crash 2@20000 --crash 5@30000
+//   ./run_cluster --topology grid --n 9 --cut 0-1@10000:25000
+//   ./run_cluster --n 6 --split 0x7@15000:30000 --json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/proc_scenario.hpp"
+
+using namespace ekbd;
+using scenario::Config;
+using scenario::ProcScenario;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --topology NAME   ring|path|clique|star|grid|tree|random (default ring)\n"
+      "  --n N             number of node processes (default 8)\n"
+      "  --algorithm A     waitfree|choy-singh|choy-singh-1ack|hierarchical|\n"
+      "                    chandy-misra (default waitfree)\n"
+      "  --detector D      perfect|heartbeat|none (default perfect — the\n"
+      "                    orchestrator's CrashNotice ground truth)\n"
+      "  --seed S          RNG seed (default 1)\n"
+      "  --run-for T       horizon in config ticks (default 50000)\n"
+      "  --tick-ns NS      wall nanoseconds per config tick (default 100000)\n"
+      "  --drop P          socket-boundary drop probability (default 0)\n"
+      "  --dup P           socket-boundary duplicate probability (default 0)\n"
+      "  --crash P@T       SIGKILL process P at tick T (repeatable)\n"
+      "  --cut A-B@F:U     cut edge (A,B) from tick F until U (repeatable)\n"
+      "  --split MASK@F:U  partition nodes in bitmask MASK from the rest\n"
+      "                    (repeatable; MASK accepts 0x.. hex)\n"
+      "  --acks M          ack budget per session (default 1; k = M+1)\n"
+      "  --json            print the telemetry JSON line instead of a report\n",
+      argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') usage(argv0);
+  return v;
+}
+
+long long parse_ll(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 0);
+  if (end == s || *end != '\0') usage(argv0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.engine = scenario::Engine::kProc;
+  cfg.detector = scenario::DetectorKind::kPerfect;
+  cfg.net_mode = scenario::NetMode::kIdeal;
+  cfg.link_faults = {};  // only the flags below inject faults
+  bool json = false;
+
+  auto need = [&](int i) {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--topology") == 0) {
+      cfg.topology = need(i);
+      ++i;
+    } else if (std::strcmp(a, "--n") == 0) {
+      cfg.n = static_cast<std::size_t>(parse_ll(need(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(a, "--algorithm") == 0) {
+      const std::string v = need(i);
+      ++i;
+      if (v == "waitfree") cfg.algorithm = scenario::Algorithm::kWaitFree;
+      else if (v == "choy-singh") cfg.algorithm = scenario::Algorithm::kChoySingh;
+      else if (v == "choy-singh-1ack") cfg.algorithm = scenario::Algorithm::kChoySinghSingleAck;
+      else if (v == "hierarchical") cfg.algorithm = scenario::Algorithm::kHierarchical;
+      else if (v == "chandy-misra") cfg.algorithm = scenario::Algorithm::kChandyMisra;
+      else usage(argv[0]);
+    } else if (std::strcmp(a, "--detector") == 0) {
+      const std::string v = need(i);
+      ++i;
+      if (v == "perfect") cfg.detector = scenario::DetectorKind::kPerfect;
+      else if (v == "heartbeat") cfg.detector = scenario::DetectorKind::kHeartbeat;
+      else if (v == "none") cfg.detector = scenario::DetectorKind::kNever;
+      else usage(argv[0]);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      cfg.seed = static_cast<std::uint64_t>(parse_ll(need(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(a, "--run-for") == 0) {
+      cfg.run_for = parse_ll(need(i), argv[0]);
+      ++i;
+    } else if (std::strcmp(a, "--tick-ns") == 0) {
+      cfg.rt_tick_ns = static_cast<std::uint64_t>(parse_ll(need(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(a, "--drop") == 0) {
+      cfg.link_faults.drop_prob = parse_double(need(i), argv[0]);
+      ++i;
+    } else if (std::strcmp(a, "--dup") == 0) {
+      cfg.link_faults.dup_prob = parse_double(need(i), argv[0]);
+      ++i;
+    } else if (std::strcmp(a, "--crash") == 0) {
+      int p = 0;
+      long long t = 0;
+      if (std::sscanf(need(i), "%d@%lld", &p, &t) != 2) usage(argv[0]);
+      ++i;
+      cfg.crashes.emplace_back(p, t);
+    } else if (std::strcmp(a, "--cut") == 0) {
+      int pa = 0;
+      int pb = 0;
+      long long f = 0;
+      long long u = 0;
+      if (std::sscanf(need(i), "%d-%d@%lld:%lld", &pa, &pb, &f, &u) != 4) usage(argv[0]);
+      ++i;
+      cfg.edge_cuts.push_back(net::EdgeCut{pa, pb, f, u});
+    } else if (std::strcmp(a, "--split") == 0) {
+      unsigned long long mask = 0;
+      long long f = 0;
+      long long u = 0;
+      if (std::sscanf(need(i), "%lli@%lld:%lld", &mask, &f, &u) != 3) usage(argv[0]);
+      ++i;
+      net::Partition part;
+      part.from = f;
+      part.until = u;
+      for (int b = 0; b < 64; ++b) {
+        if ((mask >> b) & 1ULL) part.side.push_back(b);
+      }
+      cfg.partitions.push_back(std::move(part));
+    } else if (std::strcmp(a, "--acks") == 0) {
+      cfg.acks_per_session = static_cast<int>(parse_ll(need(i), argv[0]));
+      ++i;
+    } else if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  // Flags decide the net mode: any coin or window upgrades from kIdeal.
+  const bool lossy =
+      cfg.link_faults.drop_prob > 0.0 || cfg.link_faults.dup_prob > 0.0;
+  const bool windows = !cfg.partitions.empty() || !cfg.edge_cuts.empty();
+  if (windows) cfg.net_mode = scenario::NetMode::kLossyPartition;
+  else if (lossy) cfg.net_mode = scenario::NetMode::kLossy;
+
+  ProcScenario sc(cfg);
+  sc.run();
+
+  if (json) {
+    std::printf("%s\n", sc.telemetry_json().c_str());
+  } else {
+    const auto& res = sc.result();
+    std::printf("cluster: %s%s%s\n", res.ok ? "ok" : "FAILED",
+                res.error.empty() ? "" : " — ", res.error.c_str());
+    for (std::size_t p = 0; p < res.nodes.size(); ++p) {
+      const auto& node = res.nodes[p];
+      std::printf("  node %zu: pid %ld exit %d%s%s%s\n", p, node.pid, node.exit_code,
+                  node.killed_by_plan ? " [SIGKILL by plan]" : "",
+                  node.signaled && !node.killed_by_plan ? " [signaled]" : "",
+                  node.timed_out ? " [timed out — killed by supervisor]" : "");
+    }
+    const auto excl = sc.exclusion();
+    const auto wf = sc.wait_freedom(cfg.run_for / 4);
+    std::printf("exclusion: %s (%zu violations)\n",
+                excl.violations.empty() ? "ok" : "VIOLATED", excl.violations.size());
+    std::printf("wait-freedom: %s (%zu/%zu sessions completed, %zu starving)\n",
+                wf.wait_free() ? "ok" : "STARVATION", wf.sessions_completed,
+                wf.sessions_total, wf.starving.size());
+    const std::string agree = sc.monitor_agreement();
+    std::printf("monitor agreement: %s\n", agree.empty() ? "ok" : agree.c_str());
+    const std::string replay = sc.replay_agreement();
+    std::printf("replay agreement: %s\n", replay.empty() ? "ok" : replay.c_str());
+    if (!res.ok || !excl.violations.empty() || !wf.wait_free() || !agree.empty() ||
+        !replay.empty()) {
+      return 1;
+    }
+  }
+  return 0;
+}

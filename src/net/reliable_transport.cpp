@@ -9,17 +9,65 @@ namespace ekbd::net {
 using ekbd::sim::LoggedEvent;
 using ekbd::sim::Payload;
 
+// -- SimEnv: the deterministic-simulator adapter ---------------------------
+
+std::uint64_t ReliableTransport::SimEnv::book_logical_send(ProcessId from, ProcessId to,
+                                                           const Payload& payload,
+                                                           MsgLayer layer) {
+  const Time now = sim_.now();
+  const std::uint64_t logical_seq =
+      sim_.network().logical_sent(from, to, layer, now, sim_.crashed(to));
+  sim_.append_log(LoggedEvent{now, LoggedEvent::Kind::kSend, from, to, layer, logical_seq,
+                              sim::payload_tag(payload)});
+  return logical_seq;
+}
+
+void ReliableTransport::SimEnv::book_logical_drop(ProcessId from, ProcessId to,
+                                                  const Payload& payload, MsgLayer layer,
+                                                  std::uint64_t logical_seq) {
+  sim_.network().logical_dropped(from, to, layer);
+  sim_.append_log(LoggedEvent{sim_.now(), LoggedEvent::Kind::kDrop, from, to, layer,
+                              logical_seq, sim::payload_tag(payload)});
+}
+
+void ReliableTransport::SimEnv::physical_send(ProcessId from, ProcessId to,
+                                              const Payload& payload) {
+  sim_.raw_send(from, to, payload, MsgLayer::kTransport);
+}
+
+void ReliableTransport::SimEnv::deliver_logical(ProcessId from, ProcessId to,
+                                                const Payload& payload, MsgLayer layer,
+                                                std::uint64_t logical_seq, Time sent_at) {
+  sim_.deliver_logical(from, to, payload, layer, logical_seq, sent_at);
+}
+
+void ReliableTransport::SimEnv::schedule_on(ProcessId /*owner*/, Time delay,
+                                            std::function<void()> fn) {
+  // One event loop for everyone: the owner is irrelevant here.
+  sim_.schedule_in(delay, std::move(fn));
+}
+
+// -- ReliableTransport -----------------------------------------------------
+
 ReliableTransport::ReliableTransport(ekbd::sim::Simulator& sim, Params params,
                                      const ekbd::fd::FailureDetector* detector)
-    : sim_(sim), params_(params), detector_(detector) {
-  sim_.set_transport(this);
+    : sim_env_(std::make_unique<SimEnv>(sim)),
+      env_(sim_env_.get()),
+      sim_(&sim),
+      params_(params),
+      detector_(detector) {
+  sim_->set_transport(this);
 }
+
+ReliableTransport::ReliableTransport(ArqEnv& env, Params params,
+                                     const ekbd::fd::FailureDetector* detector)
+    : env_(&env), params_(params), detector_(detector) {}
 
 ReliableTransport::~ReliableTransport() {
   // The shim must be torn down before the simulator (both the scenario
   // layer and stack usage guarantee this); detach so a later run of the
   // same simulator cannot touch a dead transport.
-  if (sim_.transport() == this) sim_.set_transport(nullptr);
+  if (sim_ != nullptr && sim_->transport() == this) sim_->set_transport(nullptr);
 }
 
 bool ReliableTransport::covers(MsgLayer layer) const {
@@ -39,11 +87,8 @@ bool ReliableTransport::suspected(ProcessId owner, ProcessId target) const {
 void ReliableTransport::logical_send(ProcessId from, ProcessId to, const Payload& payload,
                                      MsgLayer layer) {
   ++logical_sends_;
-  const Time now = sim_.now();
-  const std::uint64_t logical_seq =
-      sim_.network().logical_sent(from, to, layer, now, sim_.crashed(to));
-  sim_.append_log(LoggedEvent{now, LoggedEvent::Kind::kSend, from, to, layer, logical_seq,
-                              sim::payload_tag(payload)});
+  const Time now = env_->now();
+  const std::uint64_t logical_seq = env_->book_logical_send(from, to, payload, layer);
 
   EdgeTx& tx = tx_[edge_key(from, to)];
   const std::uint64_t seq = tx.next_seq++;
@@ -72,18 +117,31 @@ void ReliableTransport::transmit(ProcessId from, ProcessId to, EdgeTx& tx,
   [[maybe_unused]] const bool packed = sim::pack_payload(pm.payload, tag, bits);
   assert(packed && "transported payloads must fit the 8-byte inline encoding");
   assert(seq <= DataSegment::kMaxSeq && pm.logical_seq <= DataSegment::kMaxLogicalSeq);
-  sim_.raw_send(from, to,
-                DataSegment{seq, pm.layer, pm.logical_seq, pm.logical_sent_at, tag, bits},
-                MsgLayer::kTransport);
+  env_->physical_send(
+      from, to,
+      DataSegment{seq, pm.layer, pm.logical_seq, pm.logical_sent_at, tag, bits});
   ++physical_data_sends_;
-  tx.last_data_send = sim_.now();
-  last_data_send_to_[to] = sim_.now();
+  tx.last_data_send = env_->now();
+  last_data_send_to_[to] = env_->now();
+}
+
+Time ReliableTransport::jittered(EdgeTx& tx, std::uint64_t key, Time delay) {
+  if (params_.rto_jitter <= 0.0) return delay;
+  if (tx.jitter == nullptr) {
+    // Stream identity = (jitter_seed, edge): independent of arrival order
+    // across edges, reproducible per edge for a fixed seed.
+    tx.jitter = std::make_unique<sim::Rng>(sim::Rng(params_.jitter_seed).fork(key));
+  }
+  const double stretch = 1.0 + tx.jitter->uniform_real(0.0, params_.rto_jitter);
+  return std::max<Time>(static_cast<Time>(static_cast<double>(delay) * stretch), 1);
 }
 
 void ReliableTransport::arm_timer(ProcessId from, ProcessId to, EdgeTx& tx, Time delay) {
   tx.timer_armed = true;
   const std::uint64_t gen = ++tx.timer_gen;
-  sim_.schedule_in(delay, [this, from, to, gen] { on_timer(from, to, gen); });
+  delay = jittered(tx, edge_key(from, to), delay);
+  tx.armed_delays.push_back(delay);
+  env_->schedule_on(from, delay, [this, from, to, gen] { on_timer(from, to, gen); });
 }
 
 void ReliableTransport::on_timer(ProcessId from, ProcessId to, std::uint64_t gen) {
@@ -91,13 +149,13 @@ void ReliableTransport::on_timer(ProcessId from, ProcessId to, std::uint64_t gen
   if (gen != tx.timer_gen) return;  // superseded by an ack or a re-arm
   tx.timer_armed = false;
   if (tx.unacked.empty()) return;
-  if (sim_.crashed(from)) {
+  if (env_->crashed(from)) {
     // The sender died: whatever it had queued left no trace on the wire.
     abandon(from, to, tx);
     return;
   }
   if (suspected(from, to)) {
-    if (sim_.crashed(to)) {
+    if (env_->crashed(to)) {
       // Suspected and actually dead — crash-stop means the peer can never
       // return, so the queue is garbage; discard it and go fully quiet.
       // (Traffic already quiesced the moment suspicion was raised.)
@@ -134,9 +192,7 @@ void ReliableTransport::abandon(ProcessId from, ProcessId to, EdgeTx& tx) {
   const std::uint64_t delivered_below = rx_it == rx_.end() ? 0 : rx_it->second.expected;
   for (const auto& [seq, pm] : tx.unacked) {
     if (seq < delivered_below) continue;
-    sim_.network().logical_dropped(from, to, pm.layer);
-    sim_.append_log(LoggedEvent{sim_.now(), LoggedEvent::Kind::kDrop, from, to, pm.layer,
-                                pm.logical_seq, sim::payload_tag(pm.payload)});
+    env_->book_logical_drop(from, to, pm.payload, pm.layer, pm.logical_seq);
     ++abandoned_to_dead_;
   }
   tx.unacked.clear();
@@ -181,13 +237,13 @@ void ReliableTransport::handle_data(const ekbd::sim::Message& m, const DataSegme
       PendingMsg pm = std::move(node.mapped());
       ++rx.expected;
       ++logical_deliveries_;
-      sim_.deliver_logical(m.from, m.to, pm.payload, pm.layer, pm.logical_seq,
-                           pm.logical_sent_at);
+      env_->deliver_logical(m.from, m.to, pm.payload, pm.layer, pm.logical_seq,
+                            pm.logical_sent_at);
     }
   }
   // Always (re-)acknowledge: a duplicate usually means our previous ack
   // was lost, and cumulative acks are idempotent.
-  sim_.raw_send(m.to, m.from, AckSegment{rx.expected}, MsgLayer::kTransport);
+  env_->physical_send(m.to, m.from, AckSegment{rx.expected});
   ++physical_ack_sends_;
 }
 
@@ -221,6 +277,13 @@ Time ReliableTransport::last_data_send_to(ProcessId to) const {
 Time ReliableTransport::last_data_send(ProcessId from, ProcessId to) const {
   const auto it = tx_.find(edge_key(from, to));
   return it == tx_.end() ? -1 : it->second.last_data_send;
+}
+
+const std::vector<Time>& ReliableTransport::armed_delays(ProcessId from,
+                                                         ProcessId to) const {
+  static const std::vector<Time> kEmpty;
+  const auto it = tx_.find(edge_key(from, to));
+  return it == tx_.end() ? kEmpty : it->second.armed_delays;
 }
 
 }  // namespace ekbd::net

@@ -12,6 +12,14 @@
 /// dining/doorway/fork layers above see exactly the reliable FIFO channel
 /// the paper assumes — loss, duplication and reordering are absorbed here.
 ///
+/// The protocol state machine is engine-agnostic: every interaction with
+/// the world goes through `ArqEnv` (net/arq_env.hpp), so the same shim
+/// runs under the deterministic simulator, the real-threads runtime
+/// (rt::RtArq) and the multi-process socket engine (netproc::NodeEngine).
+/// The Simulator constructor below builds the sim adapter internally and
+/// installs itself with `set_transport`, preserving the historical
+/// behavior bit for bit.
+///
 /// Accounting: physical segments travel on MsgLayer::kTransport; the
 /// *logical* messages are booked on their own layer via
 /// Network::logical_sent / logical_delivered, so the §7 bound (≤ 4 dining
@@ -29,15 +37,28 @@
 /// to garbage-collect state; traffic quiescence is driven by suspicion
 /// alone, so a permanently partitioned (live but unreachable) peer also
 /// goes quiet as soon as ◇P₁ suspects it.
+///
+/// Retransmit desynchronization: after a partition heals, every cut edge's
+/// backoff clock would fire in lockstep (they all saturated at `rto_max`
+/// on the same schedule), hammering the just-healed link with a
+/// synchronized retransmit storm. `rto_jitter` stretches each armed
+/// timeout by an independent per-edge random factor in
+/// [1, 1 + rto_jitter] — drawn from a stream seeded by (jitter_seed, edge)
+/// only, so the schedule is bit-deterministic per edge for a fixed seed
+/// while distinct edges decorrelate.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "fd/detector.hpp"
+#include "net/arq_env.hpp"
 #include "sim/net_hooks.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace ekbd::net {
@@ -57,6 +78,13 @@ class ReliableTransport final : public ekbd::sim::Transport {
     Time rto_initial = 40;    ///< first retransmission timeout
     double rto_backoff = 2.0; ///< multiplicative backoff per retry
     Time rto_max = 1'500;     ///< backoff cap (also the idle-probe cadence)
+    /// Per-edge timeout stretch: each armed timeout is multiplied by an
+    /// independent draw from [1, 1 + rto_jitter]. 0 disables (exact
+    /// legacy schedule); ~0.3 is plenty to break post-heal storms.
+    double rto_jitter = 0.0;
+    /// Seed of the per-edge jitter streams (independent of every other
+    /// stream in the run; only consulted when rto_jitter > 0).
+    std::uint64_t jitter_seed = 1;
     /// Layers carried by the ARQ. Detector traffic deliberately stays raw:
     /// ◇P₁ implementations are loss-tolerant by design and retransmitting
     /// heartbeats would falsify their timing assumptions.
@@ -68,6 +96,14 @@ class ReliableTransport final : public ekbd::sim::Transport {
   /// gates retransmission quiescence; pass the same oracle the diners use.
   ReliableTransport(ekbd::sim::Simulator& sim, Params params,
                     const ekbd::fd::FailureDetector* detector = nullptr);
+
+  /// Engine-agnostic: run the ARQ over an arbitrary environment (rt, the
+  /// socket engine, tests). The caller owns the wiring — it must route
+  /// covered logical sends into `logical_send` and physical kTransport
+  /// deliveries into `on_physical_deliver`; `env` must outlive the shim.
+  ReliableTransport(ArqEnv& env, Params params,
+                    const ekbd::fd::FailureDetector* detector = nullptr);
+
   ~ReliableTransport() override;
 
   ReliableTransport(const ReliableTransport&) = delete;
@@ -121,6 +157,12 @@ class ReliableTransport final : public ekbd::sim::Transport {
     return logical_sends_ - logical_deliveries_ - abandoned_to_dead_;
   }
 
+  /// Every retransmission-timer arming on one directed edge, in order
+  /// (the armed *delay*, after jitter). Test instrumentation for the
+  /// desynchronization property; cheap enough to keep always on (a few
+  /// words per timer arm, bounded by the run length).
+  [[nodiscard]] const std::vector<Time>& armed_delays(ProcessId from, ProcessId to) const;
+
  private:
   struct PendingMsg {
     ekbd::sim::Payload payload;
@@ -137,6 +179,11 @@ class ReliableTransport final : public ekbd::sim::Transport {
     std::uint64_t timer_gen = 0;  ///< invalidates stale scheduled closures
     bool timer_armed = false;
     Time last_data_send = -1;
+    /// Per-edge jitter stream, created on first arm (rto_jitter > 0 only):
+    /// seeded from (jitter_seed, edge) so the stretch sequence depends on
+    /// nothing but the seed and this edge's own arm count.
+    std::unique_ptr<ekbd::sim::Rng> jitter;
+    std::vector<Time> armed_delays;  ///< instrumentation (see armed_delays())
   };
 
   /// Receiver half of one directed edge.
@@ -157,8 +204,34 @@ class ReliableTransport final : public ekbd::sim::Transport {
   void handle_ack(const ekbd::sim::Message& m, const AckSegment& ack);
   void abandon(ProcessId from, ProcessId to, EdgeTx& tx);
   [[nodiscard]] bool suspected(ProcessId owner, ProcessId target) const;
+  [[nodiscard]] Time jittered(EdgeTx& tx, std::uint64_t key, Time delay);
 
-  ekbd::sim::Simulator& sim_;
+  /// Adapter welding the shim to the deterministic simulator (the
+  /// historical coupling, now one implementation among three).
+  class SimEnv final : public ArqEnv {
+   public:
+    explicit SimEnv(ekbd::sim::Simulator& sim) : sim_(sim) {}
+    [[nodiscard]] Time now() const override { return sim_.now(); }
+    [[nodiscard]] bool crashed(ProcessId p) const override { return sim_.crashed(p); }
+    std::uint64_t book_logical_send(ProcessId from, ProcessId to,
+                                    const ekbd::sim::Payload& payload,
+                                    MsgLayer layer) override;
+    void book_logical_drop(ProcessId from, ProcessId to, const ekbd::sim::Payload& payload,
+                           MsgLayer layer, std::uint64_t logical_seq) override;
+    void physical_send(ProcessId from, ProcessId to,
+                       const ekbd::sim::Payload& payload) override;
+    void deliver_logical(ProcessId from, ProcessId to, const ekbd::sim::Payload& payload,
+                         MsgLayer layer, std::uint64_t logical_seq, Time sent_at) override;
+    void schedule_on(ProcessId owner, Time delay, std::function<void()> fn) override;
+
+   private:
+    ekbd::sim::Simulator& sim_;
+  };
+
+  // sim_env_ before env_: env_ may point at it.
+  std::unique_ptr<SimEnv> sim_env_;
+  ArqEnv* env_;
+  ekbd::sim::Simulator* sim_ = nullptr;  ///< install/detach only (sim ctor)
   Params params_;
   const ekbd::fd::FailureDetector* detector_;
   std::unordered_map<std::uint64_t, EdgeTx> tx_;

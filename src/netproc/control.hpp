@@ -1,0 +1,173 @@
+/// \file control.hpp
+/// Orchestrator ↔ node control frames, on the same checksummed codec
+/// framing as the data plane (kind bytes >= codec::FrameKind::kControlBase
+/// so a stray control datagram can never be misparsed as a Message).
+///
+/// The protocol is deliberately tiny and connectionless:
+///
+///   node → orch:  Hello{node, port}        (repeated until Start arrives)
+///   orch → node:  Start{epoch_ns, ports[]} (the barrier: everyone's port
+///                                           table + the shared clock epoch)
+///   orch → node:  CrashNotice{node}        (ground truth: `node` was
+///                                           SIGKILLed — feeds ◇P₁'s
+///                                           crashed() oracle, NOT the
+///                                           suspicion stream)
+///   orch → node:  Cut{a, b, from, until}   (edge cut, runtime injection)
+///   orch → node:  Split{mask, from, until} (partition by side bitmask)
+///   orch → node:  Stop{}                   (finish: write trailer, exit)
+///
+/// Everything is sent over lossy-by-nature UDP, so the orchestrator
+/// repeats important frames (the nodes treat them idempotently) and the
+/// Hello/Start handshake retries until it converges or times out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/codec.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::netproc {
+
+namespace codec = ekbd::sim::codec;
+
+enum class ControlKind : std::uint8_t {
+  kHello = 16,
+  kStart = 17,
+  kCrashNotice = 18,
+  kCut = 19,
+  kSplit = 20,
+  kStop = 21,
+};
+
+struct Hello {
+  sim::ProcessId node = sim::kNoProcess;
+  std::uint16_t port = 0;
+};
+
+struct Start {
+  std::int64_t epoch_ns = 0;          ///< shared CLOCK_MONOTONIC tick origin
+  std::vector<std::uint16_t> ports;   ///< data-plane port of node i
+};
+
+struct CrashNotice {
+  sim::ProcessId node = sim::kNoProcess;
+};
+
+struct Cut {
+  sim::ProcessId a = sim::kNoProcess;
+  sim::ProcessId b = sim::kNoProcess;
+  sim::Time from = 0;
+  sim::Time until = -1;  ///< < 0 = permanent
+};
+
+struct Split {
+  std::uint64_t side_mask = 0;  ///< bit i set = node i on the cut-off side
+  sim::Time from = 0;
+  sim::Time until = -1;
+};
+
+// -- encoding (each returns the full frame length, 0 if it didn't fit) -----
+
+inline std::size_t encode_hello(const Hello& h, std::uint8_t* buf, std::size_t cap) {
+  if (cap < codec::kHeaderSize) return 0;
+  codec::Writer w(buf + codec::kHeaderSize, cap - codec::kHeaderSize);
+  w.i32(h.node);
+  w.u16(h.port);
+  if (!w.ok()) return 0;
+  return codec::seal_frame(buf, cap, static_cast<std::uint8_t>(ControlKind::kHello),
+                           w.size());
+}
+
+inline bool decode_hello(const std::uint8_t* body, std::size_t len, Hello& out) {
+  codec::Reader r(body, len);
+  out.node = r.i32();
+  out.port = r.u16();
+  return r.exhausted();
+}
+
+inline std::size_t encode_start(const Start& s, std::uint8_t* buf, std::size_t cap) {
+  if (cap < codec::kHeaderSize) return 0;
+  codec::Writer w(buf + codec::kHeaderSize, cap - codec::kHeaderSize);
+  w.i64(s.epoch_ns);
+  w.u16(static_cast<std::uint16_t>(s.ports.size()));
+  for (const std::uint16_t p : s.ports) w.u16(p);
+  if (!w.ok()) return 0;
+  return codec::seal_frame(buf, cap, static_cast<std::uint8_t>(ControlKind::kStart),
+                           w.size());
+}
+
+inline bool decode_start(const std::uint8_t* body, std::size_t len, Start& out) {
+  codec::Reader r(body, len);
+  out.epoch_ns = r.i64();
+  const std::uint16_t n = r.u16();
+  if (!r.ok() || r.remaining() != static_cast<std::size_t>(n) * 2) return false;
+  out.ports.clear();
+  out.ports.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) out.ports.push_back(r.u16());
+  return r.exhausted();
+}
+
+inline std::size_t encode_crash_notice(const CrashNotice& c, std::uint8_t* buf,
+                                       std::size_t cap) {
+  if (cap < codec::kHeaderSize) return 0;
+  codec::Writer w(buf + codec::kHeaderSize, cap - codec::kHeaderSize);
+  w.i32(c.node);
+  if (!w.ok()) return 0;
+  return codec::seal_frame(buf, cap, static_cast<std::uint8_t>(ControlKind::kCrashNotice),
+                           w.size());
+}
+
+inline bool decode_crash_notice(const std::uint8_t* body, std::size_t len,
+                                CrashNotice& out) {
+  codec::Reader r(body, len);
+  out.node = r.i32();
+  return r.exhausted();
+}
+
+inline std::size_t encode_cut(const Cut& c, std::uint8_t* buf, std::size_t cap) {
+  if (cap < codec::kHeaderSize) return 0;
+  codec::Writer w(buf + codec::kHeaderSize, cap - codec::kHeaderSize);
+  w.i32(c.a);
+  w.i32(c.b);
+  w.i64(c.from);
+  w.i64(c.until);
+  if (!w.ok()) return 0;
+  return codec::seal_frame(buf, cap, static_cast<std::uint8_t>(ControlKind::kCut),
+                           w.size());
+}
+
+inline bool decode_cut(const std::uint8_t* body, std::size_t len, Cut& out) {
+  codec::Reader r(body, len);
+  out.a = r.i32();
+  out.b = r.i32();
+  out.from = r.i64();
+  out.until = r.i64();
+  return r.exhausted();
+}
+
+inline std::size_t encode_split(const Split& s, std::uint8_t* buf, std::size_t cap) {
+  if (cap < codec::kHeaderSize) return 0;
+  codec::Writer w(buf + codec::kHeaderSize, cap - codec::kHeaderSize);
+  w.u64(s.side_mask);
+  w.i64(s.from);
+  w.i64(s.until);
+  if (!w.ok()) return 0;
+  return codec::seal_frame(buf, cap, static_cast<std::uint8_t>(ControlKind::kSplit),
+                           w.size());
+}
+
+inline bool decode_split(const std::uint8_t* body, std::size_t len, Split& out) {
+  codec::Reader r(body, len);
+  out.side_mask = r.u64();
+  out.from = r.i64();
+  out.until = r.i64();
+  return r.exhausted();
+}
+
+inline std::size_t encode_stop(std::uint8_t* buf, std::size_t cap) {
+  if (cap < codec::kHeaderSize) return 0;
+  return codec::seal_frame(buf, cap, static_cast<std::uint8_t>(ControlKind::kStop), 0);
+}
+
+}  // namespace ekbd::netproc

@@ -1,0 +1,81 @@
+#include "netproc/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ekbd::netproc {
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the kernel picks a free port
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close();
+    return;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close();
+    return;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    close();
+    return;
+  }
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+bool UdpSocket::send_to(std::uint16_t port, const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) return false;
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dst.sin_port = htons(port);
+  const ssize_t n = ::sendto(fd_, data, len, 0, reinterpret_cast<const sockaddr*>(&dst),
+                             sizeof(dst));
+  return n == static_cast<ssize_t>(len);
+}
+
+int UdpSocket::recv(std::uint8_t* buf, std::size_t cap) {
+  if (fd_ < 0) return -1;
+  const ssize_t n = ::recvfrom(fd_, buf, cap, 0, nullptr, nullptr);
+  if (n >= 0) return static_cast<int>(n);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  return -1;
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) {
+  if (fd_ < 0) return false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  return r > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+}  // namespace ekbd::netproc

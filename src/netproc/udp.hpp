@@ -1,0 +1,54 @@
+/// \file udp.hpp
+/// Minimal nonblocking UDP loopback socket for the multi-process engine.
+///
+/// Every node (and the orchestrator) owns exactly one socket, bound to
+/// 127.0.0.1 with port 0 — the kernel assigns an ephemeral port, so tests
+/// and parallel `ctest -j` runs never collide on a hardcoded number. One
+/// codec frame per datagram: UDP's own boundaries do the framing-
+/// alignment work, and a datagram either arrives whole or not at all
+/// (loss and reordering are real here — that is the point; the ARQ above
+/// absorbs them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ekbd::netproc {
+
+class UdpSocket {
+ public:
+  /// Opens an AF_INET/SOCK_DGRAM socket, binds 127.0.0.1:0 (ephemeral),
+  /// sets O_NONBLOCK. Check ok() before use.
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The kernel-assigned port (host byte order); 0 if not bound.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Fire one datagram at 127.0.0.1:`port`. Best-effort: a full socket
+  /// buffer or any transient error is reported as false and otherwise
+  /// ignored — to the layers above it is indistinguishable from loss.
+  bool send_to(std::uint16_t port, const std::uint8_t* data, std::size_t len);
+
+  /// Nonblocking receive of one datagram. Returns its length, 0 if
+  /// nothing is pending, -1 on error. A datagram longer than `cap` is
+  /// truncated by the kernel — the codec's checksum then rejects it.
+  int recv(std::uint8_t* buf, std::size_t cap);
+
+  /// Block until readable or `timeout_ms` elapses (0 = just poll).
+  /// Returns true if readable.
+  bool wait_readable(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ekbd::netproc

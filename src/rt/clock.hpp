@@ -30,6 +30,23 @@ class TickClock {
   /// Re-zero the tick origin (called once, just before threads launch).
   void rebase() { t0_ = WallClock::now(); }
 
+  /// Set the tick origin to an *absolute* steady-clock reading (nanoseconds
+  /// since the steady epoch, as produced by `epoch_now_ns`). steady_clock is
+  /// CLOCK_MONOTONIC — one epoch per host — so node processes of the socket
+  /// engine all rebase to the orchestrator's chosen instant and their tick
+  /// streams are directly comparable when the shipped logs are merged.
+  void rebase_to_epoch(std::int64_t epoch_ns) {
+    t0_ = WallClock::time_point(std::chrono::nanoseconds(epoch_ns));
+  }
+
+  /// Current steady-clock reading in nanoseconds since its epoch (the
+  /// coordinate `rebase_to_epoch` consumes).
+  [[nodiscard]] static std::int64_t epoch_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               WallClock::now().time_since_epoch())
+        .count();
+  }
+
   /// Elapsed ticks since the origin (>= 0, monotonic).
   [[nodiscard]] sim::Time now_ticks() const {
     const auto ns =

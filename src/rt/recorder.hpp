@@ -64,9 +64,11 @@ class Recorder {
   /// (seq, books, FIFO horizon — latency 1 is nominal; the *actual*
   /// arrival tick is written by on_deliver) and emit kSend. With `lost`
   /// the fault layer dropped it at the wire: the books are settled
-  /// immediately and a kLoss event follows the kSend, mirroring the
+  /// immediately and a kLoss (or, when the loss came from a partition /
+  /// edge cut, kPartitionLoss) event follows the kSend, mirroring the
   /// simulator's loss accounting (stamped, never handled).
-  void on_send(sim::Message& m, sim::Time now, bool target_crashed, bool lost) {
+  void on_send(sim::Message& m, sim::Time now, bool target_crashed, bool lost,
+               bool partitioned = false) {
     std::lock_guard<std::mutex> lock(mu_);
     const sim::Time t = clamp(now);
     net_.stamp(m, t, 1, target_crashed);
@@ -74,9 +76,24 @@ class Recorder {
           payload_tag(m.payload)});
     if (lost) {
       net_.delivered(m);
-      emit({t, sim::LoggedEvent::Kind::kLoss, m.from, m.to, m.layer, m.seq,
-            payload_tag(m.payload)});
+      emit({t,
+            partitioned ? sim::LoggedEvent::Kind::kPartitionLoss
+                        : sim::LoggedEvent::Kind::kLoss,
+            m.from, m.to, m.layer, m.seq, payload_tag(m.payload)});
     }
+  }
+
+  /// A stamped message could not be enqueued (full mailbox under an ARQ
+  /// engine's lock, where blocking would deadlock): written off as a wire
+  /// loss. The ARQ retransmits it; detector traffic is loss-tolerant by
+  /// design — either way a dropped-at-the-door message is semantically a
+  /// lost datagram.
+  void on_congestion_loss(const sim::Message& m, sim::Time now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    net_.delivered(m);
+    emit({t, sim::LoggedEvent::Kind::kLoss, m.from, m.to, m.layer, m.seq,
+          payload_tag(m.payload)});
   }
 
   /// The fault layer injected a duplicate copy: stamp it as its own
@@ -102,6 +119,50 @@ class Recorder {
     emit({t,
           target_crashed ? sim::LoggedEvent::Kind::kDrop : sim::LoggedEvent::Kind::kDeliver,
           m.from, m.to, m.layer, m.seq, payload_tag(m.payload)});
+  }
+
+  // -- logical-layer hooks (ARQ engines: rt::RtArq, netproc) --------------
+  //
+  // When an ARQ shim carries a layer, its *logical* messages are booked
+  // through Network::logical_* — the same split the simulator's transport
+  // mode uses — while the physical kTransport segments go through
+  // on_send/on_deliver above. The §7 channel-bound and quiescence
+  // monitors read the logical books; retransmit overhead shows up as the
+  // gap between the kTransport and logical streams.
+
+  /// The ARQ accepted one logical message. Books it (pair books, watch,
+  /// high-water) and emits kSend on its own layer; returns the logical
+  /// sequence number the books assigned.
+  std::uint64_t on_logical_send(sim::ProcessId from, sim::ProcessId to,
+                                sim::PayloadTag tag, sim::MsgLayer layer, sim::Time now,
+                                bool target_crashed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    const std::uint64_t seq = net_.logical_sent(from, to, layer, t, target_crashed);
+    emit({t, sim::LoggedEvent::Kind::kSend, from, to, layer, seq, tag});
+    return seq;
+  }
+
+  /// The ARQ released one logical message, in order, to the receiving
+  /// actor. Returns the (clamped) delivery tick for the dispatched
+  /// message's `deliver_at`.
+  sim::Time on_logical_deliver(sim::ProcessId from, sim::ProcessId to,
+                               sim::PayloadTag tag, sim::MsgLayer layer,
+                               std::uint64_t logical_seq, sim::Time now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    net_.logical_delivered(from, to, layer);
+    emit({t, sim::LoggedEvent::Kind::kDeliver, from, to, layer, logical_seq, tag});
+    return t;
+  }
+
+  /// The ARQ wrote off one logical message to a dead/unreachable peer.
+  void on_logical_drop(sim::ProcessId from, sim::ProcessId to, sim::PayloadTag tag,
+                       sim::MsgLayer layer, std::uint64_t logical_seq, sim::Time now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::Time t = clamp(now);
+    net_.logical_dropped(from, to, layer);
+    emit({t, sim::LoggedEvent::Kind::kDrop, from, to, layer, logical_seq, tag});
   }
 
   /// A live actor's timer fired.

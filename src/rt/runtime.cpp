@@ -99,6 +99,19 @@ void Runtime::send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& p
                    sim::MsgLayer layer) {
   if (to < 0 || static_cast<std::size_t>(to) >= workers_.size()) return;
   if (from >= 0 && crashed(from)) return;  // a dead process sends nothing
+  if (transport_ != nullptr && transport_->covers(layer)) {
+    // Runs on the sender's worker thread (handlers are the only senders
+    // once started) — the same context raw_send assumes.
+    transport_->logical_send(from, to, payload, layer);
+    return;
+  }
+  raw_send(from, to, payload, layer);
+}
+
+void Runtime::raw_send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& payload,
+                       sim::MsgLayer layer) {
+  if (to < 0 || static_cast<std::size_t>(to) >= workers_.size()) return;
+  if (from >= 0 && crashed(from)) return;
 
   Worker& wt = *workers_[static_cast<std::size_t>(to)];
   const bool to_crashed = wt.crashed.load(std::memory_order_acquire);
@@ -124,7 +137,7 @@ void Runtime::send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& p
   rec_.on_send(m, now(), to_crashed, drop);
   if (drop) return;
 
-  push_blocking(wt, m);
+  if (!enqueue(wt, m)) return;
   wake(wt);
 
   if (dup) {
@@ -134,9 +147,23 @@ void Runtime::send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& p
     d.layer = layer;
     d.payload = payload;
     rec_.on_duplicate(d, now(), to_crashed);
-    push_blocking(wt, d);
+    if (!enqueue(wt, d)) return;
     wake(wt);
   }
+}
+
+bool Runtime::enqueue(Worker& w, const sim::Message& m) {
+  if (transport_ == nullptr) {
+    push_blocking(w, m);
+    return true;
+  }
+  // An ARQ shim calls raw_send while holding its own lock; blocking here
+  // until the consumer drains could deadlock (the consumer may itself be
+  // waiting on that lock in on_physical_deliver). A full mailbox becomes
+  // a wire loss instead — exactly what the ARQ exists to absorb.
+  if (w.mailbox->try_push(m)) return true;
+  rec_.on_congestion_loss(m, now());
+  return false;
 }
 
 sim::TimerId Runtime::set_timer(sim::ProcessId owner, sim::Time delay) {
@@ -270,7 +297,17 @@ void Runtime::worker_loop(sim::ProcessId p) {
     if (!dead && fire_one_timer(w, a, p)) continue;
     if (w.mailbox->try_pop(m)) {
       rec_.on_deliver(m, clock_.now_ticks(), dead);
-      if (!dead) a.on_message(m);
+      if (!dead) {
+        // ARQ segments go to the shim (which reassembles and re-enters the
+        // actor via dispatch_logical, still inside this dispatch slot);
+        // everything else — and anything the shim does not recognize —
+        // goes to the actor.
+        if (transport_ != nullptr && m.layer == sim::MsgLayer::kTransport &&
+            transport_->on_physical_deliver(m)) {
+          continue;
+        }
+        a.on_message(m);
+      }
       continue;
     }
     park(w);

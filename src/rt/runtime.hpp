@@ -41,6 +41,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -56,6 +57,7 @@
 #include "rt/mailbox.hpp"
 #include "rt/recorder.hpp"
 #include "sim/actor.hpp"
+#include "sim/net_hooks.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "sim/transport_iface.hpp"
@@ -115,6 +117,36 @@ class Runtime final : public sim::TransportIface {
   [[nodiscard]] std::size_t num_processes() const { return actors_.size(); }
   [[nodiscard]] sim::Actor* actor(sim::ProcessId p) {
     return actors_[static_cast<std::size_t>(p)].get();
+  }
+
+  /// Interpose an ARQ shim (rt::RtArq), mirroring Simulator::set_transport:
+  /// sends on layers the transport covers divert to its logical_send, and
+  /// popped MsgLayer::kTransport messages are offered to its
+  /// on_physical_deliver before the actor sees them. Install before
+  /// start(); not owned; nullptr detaches. While a transport is installed,
+  /// raw_send never blocks on a full mailbox (the shim calls it while
+  /// holding its own lock): the message is recorded as a congestion loss
+  /// instead, and the ARQ's retransmission makes it good.
+  void set_transport(sim::Transport* t) {
+    assert(!started_.load(std::memory_order_relaxed) &&
+           "install the transport before start()");
+    transport_ = t;
+  }
+  [[nodiscard]] sim::Transport* transport() const { return transport_; }
+
+  /// Physical send, bypassing the transport diversion: the path every
+  /// message took before set_transport existed, and the path the ARQ's own
+  /// segments take. Draws the sender's fault coins, records, enqueues.
+  void raw_send(sim::ProcessId from, sim::ProcessId to, const sim::Payload& payload,
+                sim::MsgLayer layer);
+
+  /// Hand a reassembled *logical* message straight to `to`'s actor. ARQ
+  /// engines call this from inside `to`'s own dispatch slot (their
+  /// on_physical_deliver runs on `to`'s worker thread), so handler
+  /// atomicity per actor is preserved; the caller has already booked the
+  /// delivery through the Recorder's logical hooks.
+  void dispatch_logical(const sim::Message& m) {
+    actors_[static_cast<std::size_t>(m.to)]->on_message(m);
   }
 
   // -- fault plan (single-threaded, before start) ------------------------
@@ -220,11 +252,16 @@ class Runtime final : public sim::TransportIface {
   /// only at shutdown (the message then stays "in flight" forever, like
   /// an undelivered event at the horizon).
   void push_blocking(Worker& w, const sim::Message& m);
+  /// push_blocking without a transport; with one, a non-blocking push
+  /// whose failure is recorded as a congestion loss. Returns whether the
+  /// message was enqueued.
+  bool enqueue(Worker& w, const sim::Message& m);
   void wake(Worker& w);
 
   Options opt_;
   Recorder& rec_;
   TickClock clock_;
+  sim::Transport* transport_ = nullptr;
   std::vector<std::unique_ptr<sim::Actor>> actors_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> started_{false};

@@ -1,0 +1,307 @@
+#include "scenario/proc_scenario.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "rt/replay.hpp"
+
+namespace ekbd::scenario {
+
+namespace {
+
+using ekbd::dining::Diner;
+using ekbd::dining::TraceEventKind;
+using ekbd::netproc::NodeEngine;
+
+/// Same salt as the sim harness / rt driver env streams.
+constexpr std::uint64_t kEnvSalt = 0x4a52ULL;
+
+/// Child-side environment driver for the node's single diner: plays the
+/// paper's environment (think → hungry, finite eat durations) exactly
+/// like rt::DiningDriver, reduced to one process. Lives on the engine's
+/// retain list; all callbacks run on the node's only thread.
+struct NodeWiring {
+  NodeEngine* eng = nullptr;
+  dining::HarnessOptions opt;
+  std::unique_ptr<sim::Rng> env_rng;
+  Diner* diner = nullptr;
+  std::unique_ptr<ekbd::fd::FailureDetector> detector;
+  ekbd::fd::HeartbeatDetector* heartbeat = nullptr;  ///< typed view when used
+
+  void schedule_hunger(Time delay) {
+    eng->call_after(delay, [this] {
+      if (diner->thinking()) diner->become_hungry();
+    });
+  }
+
+  void on_event(Diner& d, TraceEventKind kind) {
+    eng->recorder().on_trace(d.id(), eng->now(), kind);
+    switch (kind) {
+      case TraceEventKind::kStartEating: {
+        const Time duration = env_rng->uniform_int(opt.eat_lo, opt.eat_hi);
+        Diner* dp = &d;
+        eng->call_after(duration, [dp] {
+          if (dp->eating()) dp->finish_eating();
+        });
+        break;
+      }
+      case TraceEventKind::kStopEating:
+        schedule_hunger(env_rng->uniform_int(opt.think_lo, opt.think_hi));
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+/// Divide every timestamp by `s` (ns ticks → Config ticks). Monotone, so
+/// the merged linearization's order is preserved; ties keep merge order.
+rt::Recording rescale(const rt::Recording& rec, std::int64_t s) {
+  rt::Recording out = rec;
+  if (s <= 1) return out;
+  for (auto& ev : out.events) ev.at /= s;
+  for (auto& te : out.trace) te.at /= s;
+  if (out.end_time > 0) out.end_time /= s;
+  return out;
+}
+
+}  // namespace
+
+ProcScenario::ProcScenario(Config cfg)
+    : cfg_(std::move(cfg)),
+      graph_(build_conflict_graph(cfg_)),
+      colors_(ekbd::graph::welsh_powell_coloring(graph_)) {
+  assert(cfg_.engine == Engine::kProc && "use Scenario / RtScenario for other engines");
+  assert((cfg_.detector == DetectorKind::kNever || cfg_.detector == DetectorKind::kPerfect ||
+          cfg_.detector == DetectorKind::kHeartbeat) &&
+         "proc engine wires kNever / kPerfect (CrashNotice) / kHeartbeat only");
+  log_dir_ = "ekbd_proc_logs." + std::to_string(::getpid()) + "." +
+             std::to_string(cfg_.seed);
+}
+
+void ProcScenario::run() {
+  assert(!ran_ && "run() may be called once");
+  ran_ = true;
+
+  // Scale: the Config speaks `rt_tick_ns`-sized ticks, the socket engine
+  // nanosecond ticks (so merged cross-node stamps linearize).
+  const auto scale = static_cast<std::int64_t>(cfg_.rt_tick_ns == 0 ? 1 : cfg_.rt_tick_ns);
+
+  ::mkdir(log_dir_.c_str(), 0755);
+
+  ekbd::netproc::ClusterOptions copt;
+  copt.n = graph_.size();
+  copt.seed = cfg_.seed;
+  copt.tick_ns = 1;
+  copt.horizon = cfg_.run_for * scale;
+  copt.log_dir = log_dir_;
+  if (cfg_.net_mode != NetMode::kIdeal) copt.link_faults = cfg_.link_faults;
+  if (cfg_.net_mode == NetMode::kLossyPartition) {
+    for (net::Partition p : cfg_.partitions) {
+      p.from *= scale;
+      if (p.until >= 0) p.until *= scale;
+      copt.partitions.push_back(std::move(p));
+    }
+    for (net::EdgeCut c : cfg_.edge_cuts) {
+      c.from *= scale;
+      if (c.until >= 0) c.until *= scale;
+      copt.edge_cuts.push_back(c);
+    }
+  }
+  for (const auto& [p, at] : cfg_.crashes) copt.crashes.emplace_back(p, at * scale);
+
+  // -- child-side wiring, captured as plain (fork-safe) values -------------
+  std::vector<std::vector<ProcessId>> adjacency(graph_.size());
+  std::vector<int> colors(graph_.size());
+  for (std::size_t v = 0; v < graph_.size(); ++v) {
+    adjacency[v] = graph_.neighbors(static_cast<ProcessId>(v));
+    colors[v] = colors_[v];
+  }
+
+  dining::HarnessOptions hopt = cfg_.harness;
+  hopt.think_lo *= scale;
+  hopt.think_hi *= scale;
+  hopt.eat_lo *= scale;
+  hopt.eat_hi *= scale;
+  hopt.first_hunger_hi *= scale;
+  hopt.recheck_period *= scale;
+
+  ekbd::fd::HeartbeatModule::Params hb = cfg_.heartbeat;
+  hb.period *= scale;
+  hb.initial_timeout *= scale;
+  hb.timeout_increment *= scale;
+
+  ekbd::net::ReliableTransport::Params arq = cfg_.transport;
+  arq.rto_initial *= scale;
+  arq.rto_max *= scale;
+
+  const std::uint64_t seed = cfg_.seed;
+  const Algorithm algorithm = cfg_.algorithm;
+  const DetectorKind detector_kind = cfg_.detector;
+  const int acks = cfg_.acks_per_session;
+  const bool use_arq = cfg_.net_mode != NetMode::kIdeal;
+
+  const ekbd::netproc::NodeSetup setup = [=](NodeEngine& eng) {
+    const ProcessId self = eng.config().self;
+    const auto vi = static_cast<std::size_t>(self);
+
+    auto wiring = std::make_shared<NodeWiring>();
+    wiring->eng = &eng;
+    wiring->opt = hopt;
+    wiring->env_rng = std::make_unique<sim::Rng>(
+        sim::Rng(seed ^ kEnvSalt).fork(static_cast<std::uint64_t>(self) + 1));
+
+    switch (detector_kind) {
+      case DetectorKind::kNever:
+        wiring->detector = std::make_unique<ekbd::fd::NeverSuspect>();
+        break;
+      case DetectorKind::kPerfect:
+        wiring->detector = std::make_unique<ekbd::netproc::CrashNoticeDetector>(eng);
+        break;
+      case DetectorKind::kHeartbeat: {
+        auto det = std::make_unique<ekbd::fd::HeartbeatDetector>();
+        wiring->heartbeat = det.get();
+        wiring->detector = std::move(det);
+        break;
+      }
+      default:
+        wiring->detector = std::make_unique<ekbd::fd::NeverSuspect>();
+        break;
+    }
+    const ekbd::fd::FailureDetector& det = *wiring->detector;
+
+    std::vector<ProcessId> neighbors = adjacency[vi];
+    std::vector<int> ncolors;
+    ncolors.reserve(neighbors.size());
+    for (ProcessId j : neighbors) ncolors.push_back(colors[static_cast<std::size_t>(j)]);
+    const int color = colors[vi];
+
+    Diner* d = nullptr;
+    switch (algorithm) {
+      case Algorithm::kWaitFree:
+        d = eng.make_actor<ekbd::core::WaitFreeDiner>(
+            std::vector<ProcessId>(neighbors), color, std::move(ncolors), det,
+            ekbd::core::WaitFreeDiner::Options{.acks_per_session = acks});
+        break;
+      case Algorithm::kChoySingh:
+        d = eng.make_actor<ekbd::baseline::DoorwayDiner>(
+            std::vector<ProcessId>(neighbors), color, std::move(ncolors), det,
+            ekbd::baseline::DoorwayDiner::Options{.single_ack_per_session = false});
+        break;
+      case Algorithm::kChoySinghSingleAck:
+        d = eng.make_actor<ekbd::baseline::DoorwayDiner>(
+            std::vector<ProcessId>(neighbors), color, std::move(ncolors), det,
+            ekbd::baseline::DoorwayDiner::Options{.single_ack_per_session = true});
+        break;
+      case Algorithm::kHierarchical:
+        d = eng.make_actor<ekbd::baseline::HierarchicalDiner>(
+            std::vector<ProcessId>(neighbors), color, std::move(ncolors), det);
+        break;
+      case Algorithm::kChandyMisra:
+        d = eng.make_actor<ekbd::baseline::ChandyMisraDiner>(
+            std::vector<ProcessId>(neighbors), color, std::move(ncolors), det);
+        break;
+    }
+    wiring->diner = d;
+    d->set_recheck_period(hopt.recheck_period);
+    d->set_event_callback([w = wiring.get()](Diner& dn, TraceEventKind kind) {
+      w->on_event(dn, kind);
+    });
+
+    if (wiring->heartbeat != nullptr) {
+      auto module = std::make_unique<ekbd::fd::HeartbeatModule>(neighbors, hb);
+      wiring->heartbeat->attach(self, module.get());
+      d->host_fd_module(std::move(module));
+    }
+
+    if (use_arq) eng.install_arq(arq, wiring->detector.get());
+
+    wiring->schedule_hunger(wiring->env_rng->uniform_int(0, hopt.first_hunger_hi));
+    eng.retain(std::move(wiring));
+  };
+
+  result_ = ekbd::netproc::run_cluster(copt, setup);
+
+  // -- rebuild the cluster-wide books from the merged shipped logs ---------
+  const rt::Recording scaled = rescale(result_.merged, scale);
+  hub_ = std::make_unique<ekbd::obs::MonitorHub>(graph_);
+  rt::rebuild(scaled, *hub_, net_, trace_, &log_);
+
+  // Keep the shipped logs when something went wrong (CI uploads them);
+  // remove them after a clean run.
+  if (result_.ok) {
+    for (const auto& node : result_.nodes) {
+      if (!node.log_path.empty()) (void)std::remove(node.log_path.c_str());
+    }
+    (void)::rmdir(log_dir_.c_str());
+  }
+}
+
+std::vector<Time> ProcScenario::crash_times() const {
+  std::vector<Time> times(graph_.size(), -1);
+  for (const auto& [p, at] : cfg_.crashes) {
+    if (p >= 0 && static_cast<std::size_t>(p) < times.size()) {
+      times[static_cast<std::size_t>(p)] = at;
+    }
+  }
+  return times;
+}
+
+ekbd::dining::ExclusionReport ProcScenario::exclusion() const {
+  return ekbd::dining::check_exclusion(trace_, graph_);
+}
+
+ekbd::dining::WaitFreedomReport ProcScenario::wait_freedom(Time starvation_horizon) const {
+  return ekbd::dining::check_wait_freedom(trace_, crash_times(), starvation_horizon);
+}
+
+std::string ProcScenario::monitor_agreement() const {
+  if (hub_ == nullptr) return "run() has not executed";
+  return hub_->agreement_failures(trace_, graph_, net_);
+}
+
+std::string ProcScenario::replay_agreement() const {
+  if (hub_ == nullptr) return "run() has not executed";
+  ekbd::obs::MonitorHub fresh(graph_);
+  rt::replay(log_, trace_, fresh);
+  const std::string live = hub_->to_json();
+  const std::string replayed = fresh.to_json();
+  if (live == replayed) return "";
+  return "replay verdicts diverge:\n  live:     " + live + "\n  replayed: " + replayed;
+}
+
+std::string ProcScenario::telemetry_json() const {
+  ekbd::obs::MetricsRegistry reg;
+  ekbd::obs::collect_network_metrics(net_, reg);
+  ekbd::obs::collect_event_log_metrics(log_, reg);
+  std::string out = "{\"config\":{";
+  out += "\"seed\":" + std::to_string(cfg_.seed);
+  out += ",\"engine\":" + ekbd::obs::json::quote(to_string(cfg_.engine));
+  out += ",\"topology\":" + ekbd::obs::json::quote(cfg_.topology);
+  out += ",\"n\":" + std::to_string(cfg_.n);
+  out += ",\"algorithm\":" + ekbd::obs::json::quote(to_string(cfg_.algorithm));
+  out += ",\"detector\":" + ekbd::obs::json::quote(to_string(cfg_.detector));
+  out += ",\"net_mode\":" + ekbd::obs::json::quote(to_string(cfg_.net_mode));
+  out += ",\"run_for\":" + std::to_string(cfg_.run_for);
+  out += ",\"tick_ns\":" + std::to_string(cfg_.rt_tick_ns);
+  out += "},\"cluster\":{";
+  out += "\"ok\":" + std::string(result_.ok ? "true" : "false");
+  out += ",\"error\":" + ekbd::obs::json::quote(result_.error);
+  out += ",\"crashes\":" + std::to_string(result_.crashes.size());
+  std::size_t truncated = 0;
+  for (const auto& part : result_.parts) truncated += part.truncated ? 1 : 0;
+  out += ",\"truncated_logs\":" + std::to_string(truncated);
+  out += "},\"metrics\":" + reg.to_json();
+  out += ",\"monitors\":" + (hub_ != nullptr ? hub_->to_json() : std::string("{}"));
+  out += "}";
+  return out;
+}
+
+}  // namespace ekbd::scenario

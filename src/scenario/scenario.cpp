@@ -26,6 +26,7 @@ std::string to_string(Engine e) {
   switch (e) {
     case Engine::kSim: return "sim";
     case Engine::kRt: return "rt";
+    case Engine::kProc: return "proc";
   }
   return "?";
 }

@@ -75,8 +75,10 @@ enum class NetMode {
 /// scenario/rt_scenario.hpp — one OS thread per process, wall-clock
 /// timers, src/rt/).
 enum class Engine {
-  kSim,  ///< sim::Simulator (default)
-  kRt,   ///< rt::Runtime
+  kSim,   ///< sim::Simulator (default)
+  kRt,    ///< rt::Runtime
+  kProc,  ///< netproc::NodeEngine — one OS process per node, UDP sockets
+          ///< (`ProcScenario`, scenario/proc_scenario.hpp)
 };
 
 [[nodiscard]] std::string to_string(Engine e);

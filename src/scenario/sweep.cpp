@@ -45,4 +45,22 @@ void run_rt_scenarios(const std::vector<Config>& configs,
       });
 }
 
+void run_proc_scenarios(const std::vector<Config>& configs,
+                        const std::function<void(std::size_t, ProcScenario&)>& inspect,
+                        const SweepOptions& options) {
+  std::ofstream telemetry;
+  if (!options.telemetry_path.empty()) {
+    telemetry.open(options.telemetry_path, std::ios::trunc);
+  }
+  // Serial on purpose: run() forks, and the parent must be single-threaded
+  // at that moment (see sweep.hpp). One cluster at a time also keeps the
+  // loopback port/file-descriptor footprint bounded.
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ProcScenario scenario(configs[i]);
+    scenario.run();
+    if (telemetry.is_open()) telemetry << scenario.telemetry_json() << '\n';
+    inspect(i, scenario);
+  }
+}
+
 }  // namespace ekbd::scenario

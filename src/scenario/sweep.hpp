@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mc/pool.hpp"
+#include "scenario/proc_scenario.hpp"
 #include "scenario/rt_scenario.hpp"
 #include "scenario/scenario.hpp"
 
@@ -100,5 +101,16 @@ void run_scenarios(const std::vector<Config>& configs,
 void run_rt_scenarios(const std::vector<Config>& configs,
                       const std::function<void(std::size_t, RtScenario&)>& inspect,
                       const SweepOptions& options = {});
+
+/// Same runner for proc-engine configs (engine == Engine::kProc) — but
+/// deliberately SERIAL, no pool: `ProcScenario::run()` forks one process
+/// per node, and forking from a multithreaded parent is undefined enough
+/// to matter (only async-signal-safe code may run between fork and exec).
+/// Each scenario is its own cluster, so the parallelism lives in the node
+/// processes instead. `options.threads` is ignored; `telemetry_path`
+/// works as in the other runners.
+void run_proc_scenarios(const std::vector<Config>& configs,
+                        const std::function<void(std::size_t, ProcScenario&)>& inspect,
+                        const SweepOptions& options = {});
 
 }  // namespace ekbd::scenario

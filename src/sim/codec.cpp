@@ -1,0 +1,159 @@
+#include "sim/codec.hpp"
+
+#include <variant>
+
+namespace ekbd::sim::codec {
+
+const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadMagic: return "bad magic";
+    case DecodeStatus::kBadVersion: return "bad version";
+    case DecodeStatus::kBadLength: return "bad length";
+    case DecodeStatus::kBadChecksum: return "bad checksum";
+    case DecodeStatus::kBadBody: return "bad body";
+  }
+  return "?";
+}
+
+std::size_t seal_frame(std::uint8_t* buf, std::size_t cap, std::uint8_t kind,
+                       std::size_t body_len) {
+  if (body_len > kMaxBodySize || kHeaderSize + body_len > cap) return 0;
+  std::uint32_t sum = fnv1a(&kind, 1);
+  sum = fnv1a(buf + kHeaderSize, body_len, sum);
+  Writer w(buf, kHeaderSize);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(kind);
+  w.u32(static_cast<std::uint32_t>(body_len));
+  w.u32(sum);
+  return w.ok() ? kHeaderSize + body_len : 0;
+}
+
+DecodeStatus open_frame(const std::uint8_t* buf, std::size_t len, std::uint8_t& kind,
+                        const std::uint8_t*& body, std::size_t& body_len) {
+  if (len < kHeaderSize) return DecodeStatus::kTruncated;
+  Reader r(buf, kHeaderSize);
+  if (r.u16() != kMagic) return DecodeStatus::kBadMagic;
+  if (r.u8() != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint8_t k = r.u8();
+  const std::uint32_t blen = r.u32();
+  const std::uint32_t sum = r.u32();
+  if (blen > kMaxBodySize) return DecodeStatus::kBadLength;
+  if (len < kHeaderSize + blen) return DecodeStatus::kTruncated;
+  std::uint32_t expect = fnv1a(&k, 1);
+  expect = fnv1a(buf + kHeaderSize, blen, expect);
+  if (expect != sum) return DecodeStatus::kBadChecksum;
+  kind = k;
+  body = buf + kHeaderSize;
+  body_len = blen;
+  return DecodeStatus::kOk;
+}
+
+void encode_payload(const Payload& p, Writer& w) {
+  const PayloadTag tag = payload_tag(p);
+  w.u8(tag);
+  if (const auto* ds = std::get_if<net::DataSegment>(&p)) {
+    w.u64(ds->header);
+    w.u64(ds->inner_bits);
+    w.i64(ds->logical_sent_at);
+    return;
+  }
+  if (kPayloadWireSize[tag] == 8) {
+    std::uint8_t t = 0;
+    std::uint64_t bits = 0;
+    // Cannot fail: the wire-size table already classified this tag as
+    // word-packable (the static_assert in wire_size_of enforces it).
+    (void)pack_payload(p, t, bits);
+    w.u64(bits);
+  }
+  // 0-byte alternatives (empty structs, monostate): the tag is the value.
+}
+
+DecodeStatus decode_payload(Reader& r, Payload& out) {
+  const std::uint8_t tag = r.u8();
+  if (!r.ok() || tag >= std::variant_size_v<Payload>) return DecodeStatus::kBadBody;
+  const std::size_t vsize = kPayloadWireSize[tag];
+  if (r.remaining() < vsize) return DecodeStatus::kBadBody;
+  if (tag == kPayloadTagOf<net::DataSegment>) {
+    net::DataSegment ds;
+    ds.header = r.u64();
+    ds.inner_bits = r.u64();
+    ds.logical_sent_at = r.i64();
+    out = ds;
+    return DecodeStatus::kOk;
+  }
+  const std::uint64_t bits = vsize == 8 ? r.u64() : 0;
+  out = unpack_payload(tag, bits);
+  return DecodeStatus::kOk;
+}
+
+std::size_t encode_message(const Message& m, std::uint8_t* buf, std::size_t cap) {
+  if (cap < kHeaderSize) return 0;
+  Writer w(buf + kHeaderSize, cap - kHeaderSize);
+  w.i32(m.from);
+  w.i32(m.to);
+  w.i64(m.sent_at);
+  w.u8(static_cast<std::uint8_t>(m.layer));
+  w.u64(m.seq);
+  encode_payload(m.payload, w);
+  if (!w.ok()) return 0;
+  return seal_frame(buf, cap, static_cast<std::uint8_t>(FrameKind::kMessage), w.size());
+}
+
+DecodeStatus decode_message(const std::uint8_t* body, std::size_t body_len, Message& out) {
+  Reader r(body, body_len);
+  Message m;
+  m.from = r.i32();
+  m.to = r.i32();
+  m.sent_at = r.i64();
+  const std::uint8_t layer = r.u8();
+  m.seq = r.u64();
+  if (!r.ok() || layer >= kNumMsgLayers) return DecodeStatus::kBadBody;
+  m.layer = static_cast<MsgLayer>(layer);
+  const DecodeStatus st = decode_payload(r, m.payload);
+  if (st != DecodeStatus::kOk) return st;
+  if (!r.exhausted()) return DecodeStatus::kBadBody;  // trailing garbage
+  out = m;
+  return DecodeStatus::kOk;
+}
+
+std::size_t encode_event(const LoggedEvent& ev, std::uint8_t* buf, std::size_t cap) {
+  if (cap < kHeaderSize) return 0;
+  Writer w(buf + kHeaderSize, cap - kHeaderSize);
+  w.i64(ev.at);
+  w.u8(static_cast<std::uint8_t>(ev.kind));
+  w.i32(ev.from);
+  w.i32(ev.to);
+  w.u8(static_cast<std::uint8_t>(ev.layer));
+  w.u64(ev.seq);
+  w.u8(ev.payload);
+  if (!w.ok()) return 0;
+  return seal_frame(buf, cap, static_cast<std::uint8_t>(FrameKind::kEvent), w.size());
+}
+
+DecodeStatus decode_event(const std::uint8_t* body, std::size_t body_len,
+                          LoggedEvent& out) {
+  Reader r(body, body_len);
+  LoggedEvent ev;
+  ev.at = r.i64();
+  const std::uint8_t kind = r.u8();
+  ev.from = r.i32();
+  ev.to = r.i32();
+  const std::uint8_t layer = r.u8();
+  ev.seq = r.u64();
+  const std::uint8_t tag = r.u8();
+  if (!r.exhausted()) return DecodeStatus::kBadBody;
+  if (kind > static_cast<std::uint8_t>(LoggedEvent::Kind::kPartitionLoss) ||
+      layer >= kNumMsgLayers || tag >= std::variant_size_v<Payload>) {
+    return DecodeStatus::kBadBody;
+  }
+  ev.kind = static_cast<LoggedEvent::Kind>(kind);
+  ev.layer = static_cast<MsgLayer>(layer);
+  ev.payload = tag;
+  out = ev;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace ekbd::sim::codec

@@ -1,0 +1,258 @@
+/// \file codec.hpp
+/// Compact checksummed wire codec for the closed `sim::Payload` set.
+///
+/// The socket engine (src/netproc) puts real bytes on real UDP datagrams,
+/// and the recorder's log shipper puts the same bytes in files, so the
+/// encoding must be (a) fully deterministic — fixed little-endian layout,
+/// no struct memcpy, no padding bytes (the PR-6 lesson: indeterminate
+/// padding silently poisons anything keyed on the bytes), and (b) hostile-
+/// input safe — a truncated, bit-flipped or garbage frame is *rejected*,
+/// never undefined behavior. Every read is bounds-checked and every frame
+/// carries a checksum over its kind and body.
+///
+/// Frame layout (kHeaderSize = 12 bytes, all integers little-endian):
+///
+///     offset  size  field
+///          0     2  magic      0xEB0D
+///          2     1  version    kVersion (1)
+///          3     1  kind       FrameKind (or an orchestration kind >= 16)
+///          4     4  body_len   bytes following the header
+///          8     4  checksum   FNV-1a-32 over [kind, body bytes...]
+///
+/// Payload encoding inside a body: 1 tag byte, then a per-tag fixed-size
+/// value — 0 bytes for empty wire structs (canonical, no padding byte),
+/// 24 bytes for net::DataSegment (the one oversize alternative: header
+/// word, inner bits word, logical_sent_at), 8 bytes (the canonical
+/// `pack_payload` word) for everything else. One frame per UDP datagram;
+/// log files are a plain concatenation of frames.
+///
+/// Layering: this header knows `sim` types only (Payload, Message,
+/// LoggedEvent). Higher layers (rt trace records, netproc control frames)
+/// reuse the Writer/Reader primitives and the generic frame functions
+/// with their own kind bytes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/event_log.hpp"
+#include "sim/message.hpp"
+#include "sim/payload.hpp"
+
+namespace ekbd::sim::codec {
+
+inline constexpr std::uint16_t kMagic = 0xEB0D;
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+
+/// Upper bound on any frame this codec will emit or accept. Generous:
+/// the largest sim frame is a Message carrying a DataSegment (62 bytes);
+/// orchestration frames (node port tables) stay well under this too.
+/// Anything larger is garbage by definition and rejected before
+/// allocation-free parsing even starts.
+inline constexpr std::size_t kMaxFrameSize = 1024;
+inline constexpr std::size_t kMaxBodySize = kMaxFrameSize - kHeaderSize;
+
+/// Kind bytes of the frames this codec itself encodes. Values >= 16 are
+/// reserved for the orchestration control channel (netproc/control.hpp),
+/// which rides the same framing with its own bodies.
+enum class FrameKind : std::uint8_t {
+  kMessage = 1,  ///< one sim::Message (UDP data plane, one per datagram)
+  kEvent = 2,    ///< one sim::LoggedEvent (recorder log record)
+  kTrace = 3,    ///< one dining trace record (encoded by rt/log_io)
+  kEndTime = 4,  ///< log trailer: the run's end time (i64)
+  kControlBase = 16,
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,    ///< fewer bytes than the header/body claims
+  kBadMagic,     ///< first two bytes are not kMagic
+  kBadVersion,   ///< version byte mismatch
+  kBadLength,    ///< body_len exceeds kMaxBodySize or the buffer
+  kBadChecksum,  ///< FNV-1a over kind+body disagrees
+  kBadBody,      ///< framing fine, body malformed (bad tag, wrong size)
+};
+
+[[nodiscard]] const char* to_string(DecodeStatus s);
+
+/// FNV-1a-32 over `len` bytes starting at `data`, continuing from `seed`
+/// (pass the default to start a fresh hash).
+[[nodiscard]] inline std::uint32_t fnv1a(const std::uint8_t* data, std::size_t len,
+                                         std::uint32_t seed = 2166136261u) {
+  std::uint32_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// -- bounds-checked little-endian primitives -------------------------------
+
+/// Serializer over a caller-provided buffer. Overflow latches `ok` false
+/// and makes further puts no-ops — callers check once at the end.
+class Writer {
+ public:
+  Writer(std::uint8_t* buf, std::size_t cap) : buf_(buf), cap_(cap) {}
+
+  void u8(std::uint8_t v) { put(&v, 1); }
+  void u16(std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
+    put(b, 2);
+  }
+  void u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, 8);
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t size() const { return len_; }
+
+ private:
+  void put(const std::uint8_t* b, std::size_t n) {
+    if (!ok_ || len_ + n > cap_) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(buf_ + len_, b, n);
+    len_ += n;
+  }
+
+  std::uint8_t* buf_;
+  std::size_t cap_;
+  std::size_t len_ = 0;
+  bool ok_ = true;
+};
+
+/// Bounds-checked deserializer. A read past the end latches `ok` false
+/// and returns zeros — never touches out-of-range memory.
+class Reader {
+ public:
+  Reader(const std::uint8_t* buf, std::size_t len) : buf_(buf), len_(len) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    std::uint8_t b[1] = {};
+    get(b, 1);
+    return b[0];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    std::uint8_t b[2] = {};
+    get(b, 2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint8_t b[4] = {};
+    get(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint8_t b[8] = {};
+    get(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True iff every byte was consumed and nothing over-read.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == len_; }
+  [[nodiscard]] std::size_t remaining() const { return ok_ ? len_ - pos_ : 0; }
+
+ private:
+  void get(std::uint8_t* b, std::size_t n) {
+    if (!ok_ || pos_ + n > len_) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(b, buf_ + pos_, n);
+    pos_ += n;
+  }
+
+  const std::uint8_t* buf_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- generic framing -------------------------------------------------------
+
+/// Finalize a frame whose body was written at `buf + kHeaderSize`
+/// (`body_len` bytes): fills in the 12-byte header and returns the total
+/// frame size. `cap` is the full buffer capacity; returns 0 if the frame
+/// does not fit or body_len exceeds kMaxBodySize.
+std::size_t seal_frame(std::uint8_t* buf, std::size_t cap, std::uint8_t kind,
+                       std::size_t body_len);
+
+/// Parse and verify one frame at the front of `buf`. On kOk, `kind`,
+/// `body` and `body_len` describe the verified body (pointing into
+/// `buf`). Any failure leaves the outputs untouched.
+DecodeStatus open_frame(const std::uint8_t* buf, std::size_t len, std::uint8_t& kind,
+                        const std::uint8_t*& body, std::size_t& body_len);
+
+// -- payload encoding ------------------------------------------------------
+
+namespace detail {
+template <std::size_t I>
+constexpr std::size_t wire_size_of() {
+  using T = std::variant_alternative_t<I, Payload>;
+  if constexpr (std::is_same_v<T, std::monostate> || std::is_empty_v<T>) {
+    return 0;  // canonical empty encoding — no padding byte on the wire
+  } else if constexpr (std::is_same_v<T, net::DataSegment>) {
+    return 24;  // header word, inner bits word, logical_sent_at
+  } else {
+    static_assert(is_packable_payload_v<T>, "new oversize alternatives need a codec case");
+    return 8;  // canonical pack_payload word
+  }
+}
+
+template <std::size_t... Is>
+constexpr std::array<std::uint8_t, sizeof...(Is)> make_wire_sizes(
+    std::index_sequence<Is...>) {
+  return {static_cast<std::uint8_t>(wire_size_of<Is>())...};
+}
+}  // namespace detail
+
+/// Per-tag body size of the payload value (after the tag byte).
+inline constexpr std::array<std::uint8_t, std::variant_size_v<Payload>> kPayloadWireSize =
+    detail::make_wire_sizes(std::make_index_sequence<std::variant_size_v<Payload>>{});
+
+/// Append `p` (tag byte + value) to `w`.
+void encode_payload(const Payload& p, Writer& w);
+
+/// Read one payload (tag byte + value) from `r`. Returns kBadBody on an
+/// out-of-range tag or short value; the reader is left latched on error.
+DecodeStatus decode_payload(Reader& r, Payload& out);
+
+// -- message / event frames ------------------------------------------------
+
+/// Encode one Message as a complete frame (header + body). Returns the
+/// frame size, or 0 if it does not fit in `cap`. `deliver_at` is *not*
+/// on the wire — the receiver stamps delivery itself.
+std::size_t encode_message(const Message& m, std::uint8_t* buf, std::size_t cap);
+
+/// Decode a verified kMessage body (from open_frame). `deliver_at` is
+/// left 0 for the receiver to stamp.
+DecodeStatus decode_message(const std::uint8_t* body, std::size_t body_len, Message& out);
+
+/// Encode one LoggedEvent as a complete frame. Returns size or 0.
+std::size_t encode_event(const LoggedEvent& ev, std::uint8_t* buf, std::size_t cap);
+
+/// Decode a verified kEvent body.
+DecodeStatus decode_event(const std::uint8_t* body, std::size_t body_len, LoggedEvent& out);
+
+}  // namespace ekbd::sim::codec

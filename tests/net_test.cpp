@@ -292,4 +292,75 @@ TEST(NetDeterminism, NetSeedAloneChangesOnlyTheFaultSchedule) {
             std::make_tuple(s2.fault_model()->drops(), s2.fault_model()->duplicates()));
 }
 
+// ------------------------------------------------------------- RTO jitter
+
+/// One sender, two receivers, every datagram dropped: the ARQ backs off
+/// forever on both edges, and `armed_delays` records the schedule.
+std::pair<std::vector<Time>, std::vector<Time>> backoff_schedules(
+    ReliableTransport::Params params, std::uint64_t sim_seed) {
+  Simulator sim(sim_seed);
+  sim.make_actor<IntSink>();
+  sim.make_actor<IntSink>();
+  sim.make_actor<IntSink>();
+  LinkFaultModel blackhole(1, LinkFaultParams{.drop_prob = 1.0});
+  sim.set_adversary(&blackhole);
+  ReliableTransport arq(sim, params);
+  sim.start();
+  sim.schedule(1, [&sim] {
+    sim.send(0, 1, 7, MsgLayer::kOther);
+    sim.send(0, 2, 7, MsgLayer::kOther);
+  });
+  sim.run_until(40'000);
+  return {arq.armed_delays(0, 1), arq.armed_delays(0, 2)};
+}
+
+TEST(RtoJitter, DisabledJitterArmsBothEdgesInLockstep) {
+  ReliableTransport::Params params;
+  params.rto_jitter = 0.0;
+  const auto [e1, e2] = backoff_schedules(params, 42);
+  ASSERT_GT(e1.size(), 4u);
+  // Without jitter the two edges run the identical exponential schedule —
+  // the synchronized post-heal retransmit storm this knob exists to break.
+  EXPECT_EQ(e1, e2);
+  // And it is the exact legacy backoff: rto_initial doubling up to rto_max.
+  Time expect = params.rto_initial;
+  for (const Time d : e1) {
+    EXPECT_EQ(d, expect);
+    expect = std::min(static_cast<Time>(static_cast<double>(expect) * params.rto_backoff),
+                      params.rto_max);
+  }
+}
+
+TEST(RtoJitter, JitterDesynchronizesEdgesButStaysSeedDeterministic) {
+  ReliableTransport::Params params;
+  params.rto_jitter = 0.35;
+  params.jitter_seed = 9;
+  const auto [e1, e2] = backoff_schedules(params, 42);
+  ASSERT_GT(e1.size(), 4u);
+  ASSERT_GT(e2.size(), 4u);
+
+  // Desynchronization: the per-edge streams decorrelate the schedules.
+  EXPECT_NE(e1, e2);
+
+  // Every armed delay stays inside the stretch envelope [base, base*1.35].
+  Time base = params.rto_initial;
+  for (const Time d : e1) {
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, static_cast<Time>(static_cast<double>(base) * (1.0 + params.rto_jitter)) + 1);
+    base = std::min(static_cast<Time>(static_cast<double>(base) * params.rto_backoff),
+                    params.rto_max);
+  }
+
+  // Bit determinism: the same (jitter_seed, edge) reproduces the same
+  // schedule, run after run.
+  const auto [f1, f2] = backoff_schedules(params, 42);
+  EXPECT_EQ(e1, f1);
+  EXPECT_EQ(e2, f2);
+
+  // A different jitter seed reshuffles the stretches.
+  params.jitter_seed = 10;
+  const auto [g1, g2] = backoff_schedules(params, 42);
+  EXPECT_NE(e1, g1);
+}
+
 }  // namespace

@@ -14,7 +14,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/wait_free_diner.hpp"
+#include "graph/coloring.hpp"
+#include "graph/topology.hpp"
 #include "obs/monitors.hpp"
+#include "rt/arq.hpp"
 #include "rt/dining_driver.hpp"
 #include "rt/mailbox.hpp"
 #include "rt/recorder.hpp"
@@ -388,6 +392,65 @@ TEST(RtReplayTest, ReplayReproducesLiveMonitorVerdicts) {
   ekbd::obs::MonitorHub again(s.graph());
   ekbd::rt::replay(*s.event_log(), s.trace(), again);
   EXPECT_EQ(again.to_json(), replayed.to_json()) << "replay is not deterministic";
+}
+
+// ------------------------------------------------------------ ARQ over rt
+
+// Regression for the FaultParams::include_dining gap: with an RtArq
+// installed, dining traffic rides the ARQ while the drop/dup coins attack
+// its physical kTransport segments — so the faults finally reach the
+// dining layer on the rt engine without violating the paper's reliable-
+// channel assumption, and the monitors must stay in full agreement.
+TEST(RtArqTest, DiningTrafficRidesArqUnderDropDupCoins) {
+  const ekbd::graph::ConflictGraph g = ekbd::graph::ring(6);
+  const ekbd::graph::Coloring colors = ekbd::graph::welsh_powell_coloring(g);
+
+  ekbd::rt::Recorder rec;
+  ekbd::sim::EventLog log;
+  ekbd::obs::MonitorHub hub(g);
+  rec.set_event_log(&log);
+  rec.set_event_sink(&hub);
+  rec.set_watch(&hub);
+  rec.set_trace_observer(&hub);
+
+  ekbd::rt::Options opt;
+  opt.seed = 606;
+  opt.tick_ns = 100'000;
+  opt.faults.drop_prob = 0.15;
+  opt.faults.dup_prob = 0.1;
+  opt.faults.include_dining = true;  // the knob under test
+  ekbd::rt::Runtime rt(opt, rec);
+  const ekbd::rt::RtPerfectDetector detector(rt);
+
+  ekbd::rt::DiningDriver driver(rt, g);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const auto p = static_cast<ProcessId>(v);
+    std::vector<ProcessId> neighbors = g.neighbors(p);
+    std::vector<int> ncolors;
+    ncolors.reserve(neighbors.size());
+    for (const ProcessId j : neighbors) ncolors.push_back(colors[static_cast<std::size_t>(j)]);
+    driver.manage(rt.make_actor<ekbd::core::WaitFreeDiner>(
+        std::move(neighbors), colors[v], std::move(ncolors), detector,
+        ekbd::core::WaitFreeDiner::Options{}));
+  }
+  rt.schedule_crash(2, 800);
+
+  ekbd::rt::RtArq arq(rt, ekbd::net::ReliableTransport::Params{}, &detector);
+  rt.run_for(2'500);
+
+  // The coins were live and the ARQ actually repaired their damage.
+  EXPECT_GT(arq.inner().retransmissions(), 0u) << "drop coins never hit the ARQ";
+  EXPECT_GT(arq.inner().duplicates_suppressed(), 0u) << "dup coins never hit the ARQ";
+  // Dining traffic went through: logical dining books and physical
+  // transport books both populated.
+  EXPECT_GT(rec.network().total_sent(MsgLayer::kDining), 0u);
+  EXPECT_GT(rec.network().total_sent(MsgLayer::kTransport), 0u);
+  EXPECT_GT(rec.trace().count(ekbd::dining::TraceEventKind::kStartEating), 0u);
+
+  // Zero monitor disagreement: online monitors, post-hoc checkers and the
+  // network books all tell the same story despite loss and duplication on
+  // the dining layer's physical segments.
+  EXPECT_EQ(hub.agreement_failures(rec.trace(), g, rec.network()), "");
 }
 
 }  // namespace
