@@ -20,6 +20,7 @@
 
 #include "dining/checkers.hpp"
 #include "dining/trace_io.hpp"
+#include "scenario/proc_scenario.hpp"
 #include "scenario/rt_scenario.hpp"
 #include "scenario/scenario.hpp"
 #include "util/table.hpp"
@@ -35,18 +36,25 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --topology NAME      ring|path|clique|star|grid|tree|random (default ring)\n"
+      "  --topology NAME      ring|path|clique|star|grid|tree|random|sparse|\n"
+      "                       hypercube|torus|bipartite (default ring)\n"
       "  --n N                number of processes (default 8)\n"
       "  --algorithm A        waitfree|choy-singh|choy-singh-1ack|hierarchical|\n"
       "                       chandy-misra (default waitfree)\n"
       "  --detector D         scripted|heartbeat|pingpong|pingpong-ondemand|\n"
-      "                       accrual|perfect|none (default scripted; rt engine\n"
-      "                       remaps scripted to heartbeat)\n"
-      "  --engine E           sim|rt (default sim; rt = one OS thread per process,\n"
-      "                       wall-clock timers, live invariant monitors)\n"
+      "                       accrual|perfect|none (default scripted; rt and proc\n"
+      "                       engines remap scripted to heartbeat)\n"
+      "  --engine E           sim|rt|proc (default sim; rt = shard-per-core\n"
+      "                       executor over OS threads, wall-clock timers, live\n"
+      "                       invariant monitors; proc = one OS process per node\n"
+      "                       over UDP loopback, SIGKILL crashes, post-hoc\n"
+      "                       monitors over merged shipped logs)\n"
       "  --net M              ideal|lossy (default ideal; rt lossy = detector-layer\n"
-      "                       drop/dup coins, sim lossy = link faults + ARQ)\n"
-      "  --tick-ns NS         rt engine: wall nanoseconds per tick (default 100000)\n"
+      "                       drop/dup coins, sim/proc lossy = link faults + ARQ)\n"
+      "  --tick-ns NS         rt/proc engines: wall nanoseconds per tick\n"
+      "                       (default 100000)\n"
+      "  --shards C           rt engine: worker shards (default 0 = one per\n"
+      "                       hardware core; n = thread-per-actor)\n"
       "  --seed S             RNG seed (default 1)\n"
       "  --run-for T          time horizon in ticks (default 60000; rt runs\n"
       "                       run-for x tick-ns wall nanoseconds)\n"
@@ -261,8 +269,10 @@ int main(int argc, char** argv) {
         cfg.engine = scenario::Engine::kSim;
       } else if (e == "rt") {
         cfg.engine = scenario::Engine::kRt;
+      } else if (e == "proc") {
+        cfg.engine = scenario::Engine::kProc;
       } else {
-        std::fprintf(stderr, "unknown engine: %s\n", e.c_str());
+        std::fprintf(stderr, "unknown engine: %s (expected sim|rt|proc)\n", e.c_str());
         return 2;
       }
     } else if (arg == "--net") {
@@ -277,6 +287,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--tick-ns") {
       cfg.rt_tick_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shards") {
+      cfg.rt_shards = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--gantt-width") {
@@ -294,11 +306,18 @@ int main(int argc, char** argv) {
     cfg.partial_synchrony = false;
   }
 
-  if (cfg.engine == scenario::Engine::kRt && cfg.detector == DetectorKind::kScripted) {
+  if (cfg.engine != scenario::Engine::kSim && cfg.detector == DetectorKind::kScripted) {
     // The scripted oracle is written against virtual time; on real
-    // threads the natural ◇P₁ stand-in is the heartbeat module.
-    std::printf("note: rt engine has no scripted detector; using heartbeat\n");
+    // threads/processes the natural ◇P₁ stand-in is the heartbeat module.
+    std::printf("note: %s engine has no scripted detector; using heartbeat\n",
+                scenario::to_string(cfg.engine).c_str());
     cfg.detector = DetectorKind::kHeartbeat;
+  }
+  if (cfg.engine == scenario::Engine::kProc &&
+      (cfg.detector == DetectorKind::kPingPong || cfg.detector == DetectorKind::kAccrual)) {
+    std::fprintf(stderr,
+                 "proc engine supports detectors heartbeat|perfect|none only\n");
+    return 2;
   }
 
   std::printf("scenario: %s(%zu), engine=%s, algorithm=%s, detector=%s, seed=%llu, "
@@ -308,6 +327,24 @@ int main(int argc, char** argv) {
               scenario::to_string(cfg.detector).c_str(),
               static_cast<unsigned long long>(cfg.seed),
               static_cast<long long>(cfg.run_for));
+
+  if (cfg.engine == scenario::Engine::kProc) {
+    // Must fork before any threads exist — keep this branch first-thing.
+    scenario::ProcScenario s(cfg);
+    s.run();
+    print_reports(s, cfg, s.network(), /*conv=*/0);
+    const std::string agreement = s.monitor_agreement();
+    const std::string replay = s.replay_agreement();
+    if (agreement.empty() && replay.empty()) {
+      std::printf("online monitors and replay agree with post-hoc checkers\n");
+    } else {
+      if (!agreement.empty()) std::printf("MONITOR DISAGREEMENT:\n%s\n", agreement.c_str());
+      if (!replay.empty()) std::printf("REPLAY DISAGREEMENT:\n%s\n", replay.c_str());
+    }
+    if (gantt) print_gantt(s.trace(), cfg, gantt_width);
+    const int rc = dump_trace(s.trace(), dump_path);
+    return rc != 0 ? rc : ((agreement.empty() && replay.empty()) ? 0 : 1);
+  }
 
   if (cfg.engine == scenario::Engine::kRt) {
     cfg.observability = true;  // live monitors are the point of an rt run

@@ -50,6 +50,9 @@ class Trace {
  public:
   void record(Time at, ProcessId p, TraceEventKind kind);
 
+  /// Pre-size the event vector (large runs; see rt::Recorder::reserve_trace).
+  void reserve(std::size_t events) { events_.reserve(events); }
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }

@@ -83,6 +83,27 @@ ConflictGraph random_connected(std::size_t n, double p, Rng& rng) {
   return g;
 }
 
+ConflictGraph random_sparse(std::size_t n, double avg_degree, Rng& rng) {
+  ConflictGraph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    auto parent = static_cast<ProcessId>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    g.add_edge(static_cast<ProcessId>(i), parent);
+  }
+  if (n < 3) return g;
+  // The tree contributes average degree 2·(n-1)/n ≈ 2; top up with random
+  // pairs. Collisions with existing edges are simply skipped, so the
+  // realized average degree is a slight underestimate at high density.
+  const double want = std::max(0.0, avg_degree - 2.0);
+  const auto extra = static_cast<std::size_t>(want * static_cast<double>(n) / 2.0);
+  const auto hi = static_cast<std::int64_t>(n) - 1;
+  for (std::size_t e = 0; e < extra; ++e) {
+    auto a = static_cast<ProcessId>(rng.uniform_int(0, hi));
+    auto b = static_cast<ProcessId>(rng.uniform_int(0, hi));
+    if (a != b && !g.adjacent(a, b)) g.add_edge(a, b);
+  }
+  return g;
+}
+
 ConflictGraph hypercube(std::size_t dims) {
   const std::size_t n = std::size_t{1} << dims;
   ConflictGraph g(n);
@@ -126,6 +147,7 @@ ConflictGraph by_name(const std::string& name, std::size_t n, Rng& rng) {
   if (name == "star") return star(n);
   if (name == "tree") return binary_tree(n);
   if (name == "random") return random_connected(n, 0.2, rng);
+  if (name == "sparse") return random_sparse(n, 4.0, rng);
   if (name == "grid") {
     auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
     std::size_t rows = side;

@@ -42,6 +42,13 @@ ConflictGraph binary_tree(std::size_t n);
 /// each remaining pair independently with probability `p`.
 ConflictGraph random_connected(std::size_t n, double p, ekbd::sim::Rng& rng);
 
+/// Connected sparse random graph with average degree ≈ `avg_degree`:
+/// a random recursive tree plus ~n·(avg_degree-2)/2 uniformly chosen
+/// extra pairs. O(n·avg_degree) construction, so it scales to the
+/// 10⁵–10⁶-node graphs of E9/E25 where random_connected's O(n²) pair
+/// loop would dominate the run.
+ConflictGraph random_sparse(std::size_t n, double avg_degree, ekbd::sim::Rng& rng);
+
 /// d-dimensional hypercube (2^d vertices; neighbors differ in one bit).
 /// Regular with δ = d = log₂ n: logarithmic-degree contention.
 ConflictGraph hypercube(std::size_t dims);
@@ -55,10 +62,11 @@ ConflictGraph torus(std::size_t rows, std::size_t cols);
 ConflictGraph complete_bipartite(std::size_t a, std::size_t b);
 
 /// Named lookup used by benches ("ring", "path", "clique", "star", "grid",
-/// "tree", "random", "hypercube", "torus", "bipartite"); grid/torus use
-/// the most square shape covering n, hypercube rounds n up to a power of
-/// two, bipartite splits n in half, random uses p = 0.2. Throws
-/// std::invalid_argument for unknown names.
+/// "tree", "random", "sparse", "hypercube", "torus", "bipartite");
+/// grid/torus use the most square shape covering n, hypercube rounds n up
+/// to a power of two, bipartite splits n in half, random uses p = 0.2,
+/// sparse uses avg_degree = 4. Throws std::invalid_argument for unknown
+/// names.
 ConflictGraph by_name(const std::string& name, std::size_t n, ekbd::sim::Rng& rng);
 
 }  // namespace ekbd::graph

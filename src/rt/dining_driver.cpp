@@ -17,7 +17,14 @@ constexpr std::uint64_t kEnvSalt = 0x4a52ULL;
 
 DiningDriver::DiningDriver(Runtime& rt, const graph::ConflictGraph& graph,
                            dining::HarnessOptions opt)
-    : rt_(rt), graph_(graph), opt_(opt) {}
+    : rt_(rt), graph_(graph), opt_(opt) {
+  // Pre-size for the full vertex set: manage() is called once per vertex
+  // and E25-scale graphs (10⁵ diners) would otherwise pay repeated
+  // geometric regrowth of three vectors during setup.
+  diners_.reserve(graph_.size());
+  by_id_.resize(graph_.size(), nullptr);
+  env_rngs_.resize(graph_.size());
+}
 
 void DiningDriver::manage(Diner* d) {
   assert(d != nullptr);
@@ -40,8 +47,8 @@ void DiningDriver::schedule_next_hunger(Diner* d, Time delay) {
   const Time at = rt_.now() + delay;
   if (hunger_deadline_ >= 0 && at >= hunger_deadline_) return;
   rt_.call_after(d->id(), delay, [this, d] {
-    // Runs on d's worker thread, between d's handlers; never after a crash
-    // (the worker's scheduled calls die with it).
+    // Runs inside d's dispatch claim, between d's handlers; never after a
+    // crash (the actor's scheduled calls die with it).
     if (!d->thinking()) return;
     if (hunger_deadline_ >= 0 && rt_.now() >= hunger_deadline_) return;
     d->become_hungry();
@@ -49,8 +56,8 @@ void DiningDriver::schedule_next_hunger(Diner* d, Time delay) {
 }
 
 void DiningDriver::on_diner_event(Diner& d, TraceEventKind kind) {
-  // Fires on d's own worker thread (state transitions happen inside d's
-  // handlers; kCrashed inside the worker's crash step).
+  // Fires inside d's dispatch claim (state transitions happen inside d's
+  // handlers; kCrashed inside the executor's crash step).
   rt_.recorder().on_trace(d.id(), rt_.now(), kind);
   switch (kind) {
     case TraceEventKind::kStartEating: {

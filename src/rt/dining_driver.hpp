@@ -10,19 +10,20 @@
 ///
 /// Two deliberate differences from the sim harness:
 ///
-///  * all environment decisions for process p run on p's *own* worker
-///    thread (`Runtime::call_after`), because a diner's state may only be
-///    touched between its handlers — the thread-confinement analogue of
-///    the simulator's one-event-at-a-time guarantee;
+///  * all environment decisions for process p run inside p's dispatch
+///    claim (`Runtime::call_after`), because a diner's state may only be
+///    touched between its handlers — the executor's dispatch-confinement
+///    analogue of the simulator's one-event-at-a-time guarantee (which
+///    shard worker holds the claim is irrelevant);
 ///  * think/eat durations come from a *per-diner* rng stream (forked from
 ///    the master seed and the id) instead of the harness's single shared
 ///    stream: concurrent callbacks have no global draw order to share a
 ///    stream through. Sim↔rt runs therefore agree on the model and the
 ///    seed discipline, not on the literal duration sequence.
 ///
-/// Crash handling needs no driver code: the runtime fells the worker, the
-/// diner's `on_crash` fires the callback, and the pending eat/hunger calls
-/// die with the worker's timer heap.
+/// Crash handling needs no driver code: the runtime retires the actor at
+/// a dispatch boundary, the diner's `on_crash` fires the callback, and the
+/// pending eat/hunger calls die with the actor's timer heap.
 #pragma once
 
 #include <memory>
@@ -87,7 +88,8 @@ class DiningDriver {
   /// from the conflict graph) and attach them to `detector`. Call after
   /// all diners are managed, before start. The facade's attach map is
   /// read-only once the run starts and each module is confined to its
-  /// host's thread, so the hosted-module pattern is data-race-free as is.
+  /// host's dispatch claim, so the hosted-module pattern is data-race-free
+  /// as is.
   void install_heartbeats(fd::HeartbeatDetector& detector,
                           fd::HeartbeatModule::Params params);
   void install_pingpongs(fd::PingPongDetector& detector,
@@ -104,7 +106,7 @@ class DiningDriver {
   dining::HarnessOptions opt_;
   std::vector<dining::Diner*> diners_;  // in managed order
   std::vector<dining::Diner*> by_id_;   // indexed by ProcessId
-  /// Per-diner environment stream (think/eat draws), owner-thread-confined
+  /// Per-diner environment stream (think/eat draws), dispatch-confined
   /// after start; indexed by ProcessId.
   std::vector<std::unique_ptr<sim::Rng>> env_rngs_;
   sim::Time hunger_deadline_ = -1;  ///< -1 = unlimited; set before start

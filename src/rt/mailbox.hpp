@@ -2,8 +2,13 @@
 /// Bounded MPSC mailboxes for the real-threads runtime.
 ///
 /// Every actor owns one mailbox; any thread may push (its conflict-graph
-/// neighbors, the driver, fault injectors), only the owner's worker thread
-/// pops. Two implementations behind one interface:
+/// neighbors, the driver, fault injectors), and exactly one thread at a
+/// time pops: the holder of the actor's `kRunning` dispatch claim in the
+/// sharded executor (rt/runtime.hpp). The claim handoff is a seq_cst
+/// store/CAS pair on the actor's state word, so the consumer role may
+/// migrate between shard workers — each new consumer sees every prior
+/// consumer's cursor and slot recycling. Two implementations behind one
+/// interface:
 ///
 ///  * `MutexMailbox` — the obviously-correct baseline: a deque under a
 ///    mutex. Used as the reference in the stress tests and selectable via
@@ -55,8 +60,16 @@ class Mailbox {
   /// the runtime's push loop yields between attempts).
   virtual bool try_push(const sim::Message& m) = 0;
 
-  /// Dequeue into `out`; false if empty. Owner thread only.
+  /// Dequeue into `out`; false if empty. Single consumer at a time (the
+  /// dispatch-claim holder).
   virtual bool try_pop(sim::Message& out) = 0;
+
+  /// Bulk drain: pop up to `max` messages into `out`, returning how many
+  /// were popped (0 when empty). Same consumer contract as try_pop. The
+  /// ring implementation writes its cursor once per batch instead of once
+  /// per message — this is what amortizes the executor's park/wake and
+  /// state-machine costs across a burst.
+  virtual std::size_t pop_n(sim::Message* out, std::size_t max) = 0;
 
   /// Conservative "work may be pending" probe for the park/wake handshake:
   /// may report true for an item whose payload is still being published
@@ -87,6 +100,18 @@ class MutexMailbox final : public Mailbox {
     out = items_.front();
     items_.pop_front();
     return true;
+  }
+
+  std::size_t pop_n(sim::Message* out, std::size_t max) override {
+    // One lock for the whole batch — the baseline's version of the
+    // amortization the ring gets from its single cursor store.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out[n++] = items_.front();
+      items_.pop_front();
+    }
+    return n;
   }
 
   [[nodiscard]] bool maybe_nonempty() const override {
@@ -154,6 +179,23 @@ class MpscRingMailbox final : public Mailbox {
     cell.seq.store(pos + mask_ + 1, std::memory_order_release);
     tail_.store(pos + 1, std::memory_order_relaxed);
     return true;
+  }
+
+  std::size_t pop_n(sim::Message* out, std::size_t max) override {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    std::size_t n = 0;
+    while (n < max) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0) {
+        break;  // next slot not yet published: drained everything visible
+      }
+      out[n++] = cell.msg;
+      cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+      ++pos;
+    }
+    if (n != 0) tail_.store(pos, std::memory_order_relaxed);
+    return n;
   }
 
   [[nodiscard]] bool maybe_nonempty() const override {

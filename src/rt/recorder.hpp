@@ -52,6 +52,12 @@ class Recorder {
   /// Attach a trace observer (the MonitorHub's TraceObserver hat).
   void set_trace_observer(dining::TraceObserver* obs) { trace_.set_observer(obs); }
 
+  /// Pre-size the trace for an expected event count. E25-scale runs (10⁵
+  /// actors, millions of trace events) would otherwise take repeated
+  /// geometric regrowth stalls *inside the recorder mutex* — the one lock
+  /// every worker contends on.
+  void reserve_trace(std::size_t events) { trace_.reserve(events); }
+
   // -- post-run reads (quiescent: after Runtime::stop_and_join) ----------
 
   [[nodiscard]] const dining::Trace& trace() const { return trace_; }
@@ -107,7 +113,8 @@ class Recorder {
           payload_tag(m.payload)});
   }
 
-  /// The owner's worker popped `m` from its mailbox. Settles the books and
+  /// The holder of the target's dispatch claim popped `m` from its
+  /// mailbox. Settles the books and
   /// rewrites `m.deliver_at` to the actual arrival tick (the stamp-time
   /// value was a placeholder) so handlers reading it see the truth. With
   /// `target_crashed` the message lands on a corpse: kDrop, never handled.

@@ -1,43 +1,103 @@
 /// \file runtime.hpp
-/// The real-concurrency engine: one OS thread per actor.
+/// The real-concurrency engine: a shard-per-core executor.
 ///
 /// `rt::Runtime` is the second implementation of `sim::TransportIface`
 /// (the first is the discrete-event `sim::Simulator`), so unmodified
 /// protocol code — `core::WaitFreeDiner`, the baselines, the fd modules —
-/// runs on real threads with real races. Per actor the engine provides:
+/// runs on real threads with real races. N actors are multiplexed onto C
+/// worker shards (C = cores by default, `Options::shards`); the
+/// thread-per-actor design this replaces died past a few hundred actors,
+/// this one runs 10⁵-node random graphs (E25).
 ///
-///  * a bounded MPSC mailbox (rt/mailbox.hpp): neighbors push from their
-///    threads, the owner's worker thread pops and dispatches one handler
-///    at a time — handler atomicity per actor, per-channel FIFO by the
-///    single-producer-per-channel argument;
-///  * an owner-thread-only timer heap driven by the wall clock
-///    (rt/clock.hpp): `set_timer`/`cancel_timer` are only ever called
-///    from the owner's own handlers (the TransportIface contract), so
-///    timers need no locks at all;
-///  * crash injection at dispatch boundaries: a crash scheduled with
-///    `schedule_crash` (or requested live with `request_crash`) takes
-///    effect between handlers, never mid-handler — the paper's crash
-///    model stops a process between atomic guarded actions. The corpse's
-///    worker keeps draining its mailbox (recording kDrop) so senders
-///    never block on a dead peer's full mailbox;
-///  * seed-deterministic per-actor rng streams, derived exactly as the
-///    simulator derives them (`Rng(seed).fork(p + 1)`), and a
-///    seed-deterministic link-fault layer (drop/dup coins drawn from a
-///    per-sender stream) for lossy-channel experiments — by default the
-///    coins apply to detector traffic only: the dining layer rides the
-///    reliable in-process channels, matching the paper's model (reliable
-///    dining channels, a merely eventually-accurate detector).
+/// ## The actor state machine
 ///
-/// Every observable transition is funneled through the `Recorder`, which
-/// linearizes the run for the online monitors and the post-hoc checkers.
+/// Each actor lives in an `ActorCell` with a three-state dispatch word:
 ///
-/// Park/wake protocol (lost-wakeup freedom): an idle worker publishes
-/// `sleeping = true` (seq_cst), re-probes its mailbox and flags (seq_cst),
-/// and only then waits on its condvar — capped at `park_cap_ns` as a
-/// belt-and-braces backstop. A producer completes its push (seq_cst claim)
-/// and then probes `sleeping` (seq_cst). In the single total order of
-/// those four operations, either the producer sees `sleeping` and
-/// notifies under the park mutex, or the worker's re-probe sees the push.
+///   kIdle ──schedule()──▶ kQueued ──claim CAS──▶ kRunning ──finish──▶ kIdle
+///
+///  * `schedule()` CASes kIdle→kQueued and pushes the actor's index onto
+///    its HOME shard's run queue. The CAS makes enqueueing idempotent: a
+///    queued or running actor is never double-queued.
+///  * Run-queue entries are *hints*, not owners. Whoever pops one tries
+///    the kQueued→kRunning claim CAS; a loser (the actor was already
+///    claimed by a helper) just discards the stale hint. Correctness
+///    lives entirely in the state word — the queue only provides reach.
+///  * The kRunning claim is exclusive, so everything dispatch-confined —
+///    the actor's protocol state, timer heap, rng streams, mailbox
+///    consumer cursor — needs no locks: the seq_cst claim/release pair on
+///    the state word carries the happens-before edge when the claim
+///    migrates between threads. "Owner thread" in the TransportIface
+///    contract becomes "owner's dispatch claim"; every owner-context API
+///    (set_timer, call_after, dispatch_logical) keeps its contract.
+///  * A dispatch run fires due timers first (pump cadence survives
+///    message floods), then bulk-drains the mailbox (`Mailbox::pop_n`,
+///    `Options::drain_burst` at a time) up to `Options::dispatch_batch`
+///    handler invocations, re-checking the crash plan between handlers —
+///    crash injection stays exactly at dispatch boundaries.
+///  * finish: register the earliest timer/crash deadline with the home
+///    shard's timer registry, store kIdle (seq_cst), then RE-CHECK
+///    mailbox / crash request / deadline registration and re-schedule if
+///    anything is pending. The recheck closes every lost-wakeup window
+///    (see "Dekker pairs" below).
+///
+/// ## Shards: run queues, stealing, helping
+///
+/// A shard owns a bounded MPMC run queue of actor indices (Vyukov ring +
+/// a mutexed overflow list so a push can never be lost), a timer registry
+/// (min-heap of (deadline, actor) under a mutex, with a per-actor
+/// `registered_at` hint so re-registration is O(1) when nothing changed),
+/// and a parking lot. A worker loops: drain its own due timers, run its
+/// own queue; when empty, scan a bounded rotating window (≤ 8) of OTHER
+/// shards — drain their due timers (try_lock) and steal from their queues
+/// — and only park (capped at `park_cap_ns`) when its window looks quiet.
+/// The rotation visits every victim across successive idle rounds, so the
+/// scan stays O(1) per round even at shards == n while keeping discovery
+/// of a stalled shard's work bounded by a few park caps.
+///
+/// The run queue doubles as a help/announce structure in the
+/// Ben-David–Blelloch sense: a pending dispatch is *announced* by its
+/// queue entry + kQueued state, any thread can *complete* it, and the
+/// claim CAS guarantees exactly-once completion. If a shard's worker
+/// stalls (descheduled, paged out, wedged in a slow handler), its
+/// announced dispatches and due timers are picked up by neighbors within
+/// one park cap — hungry→eat progress does not depend on any single
+/// worker thread staying scheduled. Producers blocked on a full mailbox
+/// help too: `push_blocking` claims the *target* actor (from kQueued or
+/// kIdle) and dispatches it in place, so backpressure drains the very
+/// mailbox it is waiting on instead of spinning — an acyclic chain of
+/// full mailboxes always makes progress even with one shard (with
+/// shards == 1 self-help is the only drain). Cycles of simultaneously
+/// full mailboxes would deadlock the old engine identically; sizing
+/// mailboxes ≥ degree × in-flight is the operator's job either way.
+///
+/// ## Dekker pairs (lost-wakeup freedom)
+///
+/// All four races resolve by seq_cst store-then-load on both sides:
+///  1. producer: mailbox push (seq_cst ticket CAS) then state load in
+///     schedule(); dispatcher: kIdle store then mailbox re-probe.
+///  2. scheduler: run-queue push (seq_cst) then `sleeping` probe in
+///     wake(); parker: `sleeping = true` then queue re-probe.
+///  3. timer-registry popper: `registered_at` reset then schedule()'s
+///     state load; dispatcher: kIdle store then `registered_at` re-probe
+///     (the "timers armed but nothing registered → re-enqueue" clause).
+///  4. crash requester: `crash_req` store then schedule(); dispatcher:
+///     kIdle store then `crash_req` re-probe.
+///
+/// ## Everything the old engine guaranteed still holds
+///
+///  * per-actor handler atomicity (the kRunning claim) and per-directed-
+///    channel FIFO (single producer per channel + per-producer ring
+///    order, unchanged);
+///  * crash injection at dispatch boundaries; a corpse's mailbox keeps
+///    draining (as recorded drops) whenever it is scheduled, so senders
+///    never block forever on a dead peer;
+///  * seed-deterministic per-actor rng streams derived exactly as the
+///    simulator derives them (`Rng(seed).fork(p + 1)`) and drawn only
+///    under the actor's dispatch claim — identical streams for ANY shard
+///    count, which the shard-invariance tests assert across {1,2,C,2C};
+///  * the seed-deterministic link-fault layer (per-sender coin streams),
+///    the Recorder linearization feeding the online monitors, and
+///    rt::replay agreement.
 #pragma once
 
 #include <atomic>
@@ -87,8 +147,30 @@ struct Options {
   std::size_t mailbox_capacity = 1024;    ///< per-actor, rounded up to a power of 2
   MailboxKind mailbox = MailboxKind::kLockFree;
   FaultParams faults{};
+
+  /// Worker shards. 0 = hardware_concurrency; always clamped to
+  /// [1, num actors]. `shards == num actors` reproduces the old
+  /// thread-per-actor engine (one actor per shard) — the E25 baseline.
+  std::size_t shards = 0;
+  /// Max handler dispatches per actor run before the claim is released
+  /// (fairness knob: how long one actor can hog a shard).
+  int dispatch_batch = 64;
+  /// Max messages per bulk mailbox drain (clamped to kMaxDrainBurst).
+  std::size_t drain_burst = 16;
+
   int spin_polls = 64;                    ///< idle probes before parking
-  std::uint64_t park_cap_ns = 2'000'000;  ///< max condvar wait (backstop)
+  std::uint64_t park_cap_ns = 2'000'000;  ///< max condvar wait; also the helping latency bound
+};
+
+/// Aggregated executor counters (stable only after stop_and_join — each
+/// worker owns its shard's counters while running).
+struct ExecutorStats {
+  std::uint64_t dispatches = 0;   ///< handler invocations (on_start/messages/timers)
+  std::uint64_t runs = 0;         ///< dispatch claims (batches)
+  std::uint64_t steals = 0;       ///< runs claimed from another shard's queue
+  std::uint64_t helps = 0;        ///< dispatches run by a blocked producer
+  std::uint64_t timer_helps = 0;  ///< another shard's due timers drained
+  std::uint64_t parks = 0;        ///< condvar waits
 };
 
 class Runtime final : public sim::TransportIface {
@@ -142,7 +224,7 @@ class Runtime final : public sim::TransportIface {
 
   /// Hand a reassembled *logical* message straight to `to`'s actor. ARQ
   /// engines call this from inside `to`'s own dispatch slot (their
-  /// on_physical_deliver runs on `to`'s worker thread), so handler
+  /// on_physical_deliver runs under `to`'s dispatch claim), so handler
   /// atomicity per actor is preserved; the caller has already booked the
   /// delivery through the Recorder's logical hooks.
   void dispatch_logical(const sim::Message& m) {
@@ -155,18 +237,20 @@ class Runtime final : public sim::TransportIface {
   /// at or after `at`; `at` = 0 crashes before on_start, like the sim).
   void schedule_crash(sim::ProcessId p, sim::Time at);
 
-  /// Run `fn` on `p`'s worker thread `delay` ticks from now. Callable
+  /// Run `fn` in `p`'s dispatch context `delay` ticks from now. Callable
   /// before start or from `p`'s own handlers (the driver's scheduling
   /// loop); never runs once `p` has crashed.
   void call_after(sim::ProcessId p, sim::Time delay, std::function<void()> fn);
 
   // -- execution ---------------------------------------------------------
 
-  /// Launch all worker threads. The tick clock is rebased here: tick 0 is
-  /// "now", setup cost never eats into the horizon.
+  /// Resolve the shard count, assign actors to home shards, enqueue every
+  /// actor for its first dispatch (which runs on_start — or the crash, for
+  /// a tick-0 crash plan) and launch the shard workers. The tick clock is
+  /// rebased here: tick 0 is "now", setup cost never eats into the horizon.
   void start();
 
-  /// Ask every worker to stop at its next dispatch boundary and join the
+  /// Ask every shard to stop at its next dispatch boundary and join the
   /// threads. Messages still in flight stay in flight (the books keep
   /// them in transit, like undelivered events at the sim's horizon).
   void stop_and_join();
@@ -182,15 +266,24 @@ class Runtime final : public sim::TransportIface {
   void request_crash(sim::ProcessId p);
 
   [[nodiscard]] bool crashed(sim::ProcessId p) const {
-    return workers_[static_cast<std::size_t>(p)]->crashed.load(std::memory_order_acquire);
+    return cells_[static_cast<std::size_t>(p)]->crashed.load(std::memory_order_acquire);
   }
   /// Tick at which `p` crashed (-1 if alive).
   [[nodiscard]] sim::Time crash_time(sim::ProcessId p) const {
-    return workers_[static_cast<std::size_t>(p)]->crash_tick.load(std::memory_order_acquire);
+    return cells_[static_cast<std::size_t>(p)]->crash_tick.load(std::memory_order_acquire);
   }
   /// Crash times for all processes, indexed by id (-1 = alive) — the shape
   /// the property checkers take.
   [[nodiscard]] std::vector<sim::Time> crash_times() const;
+
+  /// Resolved shard count (0 before start()).
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Home shard of `p` (valid after start()).
+  [[nodiscard]] std::size_t shard_of(sim::ProcessId p) const {
+    return cells_[static_cast<std::size_t>(p)]->home;
+  }
+  /// Aggregated executor counters; stable after stop_and_join.
+  [[nodiscard]] ExecutorStats stats() const;
 
   [[nodiscard]] const TickClock& clock() const { return clock_; }
   [[nodiscard]] const Options& options() const { return opt_; }
@@ -206,10 +299,18 @@ class Runtime final : public sim::TransportIface {
     return started_.load(std::memory_order_acquire) ? clock_.now_ticks() : 0;
   }
   sim::Rng& actor_rng(sim::ProcessId p) override {
-    return *workers_[static_cast<std::size_t>(p)]->rng;
+    return *cells_[static_cast<std::size_t>(p)]->rng;
   }
 
  private:
+  // Dispatch-state words (ActorCell::state).
+  static constexpr std::uint32_t kIdle = 0;
+  static constexpr std::uint32_t kQueued = 1;
+  static constexpr std::uint32_t kRunning = 2;
+
+  static constexpr std::size_t kMaxDrainBurst = 64;
+  static constexpr int kMaxHelpDepth = 4;  ///< nested help-dispatch cap
+
   struct TimerEntry {
     sim::Time at = 0;
     sim::TimerId id = 0;
@@ -220,11 +321,103 @@ class Runtime final : public sim::TransportIface {
     }
   };
 
-  struct Worker {
-    std::unique_ptr<Mailbox> mailbox;
-    std::thread thread;
+  /// Bounded MPMC ring of actor indices (Vyukov, both ends multi). Entries
+  /// are scheduling hints — losing a claim CAS after popping one is fine —
+  /// but entries themselves must not be lost, so a full ring overflows to
+  /// the shard's mutexed list instead of dropping (see schedule()).
+  class RunQueue {
+   public:
+    explicit RunQueue(std::size_t capacity) {
+      std::size_t cap = 2;
+      while (cap < capacity) cap <<= 1;
+      cells_ = std::make_unique<Cell[]>(cap);
+      mask_ = cap - 1;
+      for (std::size_t i = 0; i < cap; ++i) {
+        cells_[i].seq.store(i, std::memory_order_relaxed);
+      }
+    }
 
-    // Owner-thread-only state (or pre-start, single-threaded):
+    bool try_push(std::uint32_t v) {
+      std::size_t pos = enq_.load(std::memory_order_relaxed);
+      for (;;) {
+        Cell& cell = cells_[pos & mask_];
+        const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        const auto dif =
+            static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+        if (dif == 0) {
+          // seq_cst claim: globally ordered before the pusher's subsequent
+          // `sleeping` probe (lost-wakeup handshake with park()).
+          if (enq_.compare_exchange_weak(pos, pos + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+            cell.v = v;
+            cell.seq.store(pos + 1, std::memory_order_release);
+            return true;
+          }
+        } else if (dif < 0) {
+          return false;  // full
+        } else {
+          pos = enq_.load(std::memory_order_relaxed);
+        }
+      }
+    }
+
+    bool try_pop(std::uint32_t& v) {
+      std::size_t pos = deq_.load(std::memory_order_relaxed);
+      for (;;) {
+        Cell& cell = cells_[pos & mask_];
+        const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        const auto dif =
+            static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+        if (dif == 0) {
+          if (deq_.compare_exchange_weak(pos, pos + 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+            v = cell.v;  // published before seq (release), visible via acquire
+            cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+            return true;
+          }
+        } else if (dif < 0) {
+          return false;  // empty
+        } else {
+          pos = deq_.load(std::memory_order_relaxed);
+        }
+      }
+    }
+
+    [[nodiscard]] bool maybe_nonempty() const {
+      return enq_.load(std::memory_order_seq_cst) !=
+             deq_.load(std::memory_order_seq_cst);
+    }
+
+   private:
+    struct Cell {
+      std::atomic<std::size_t> seq{0};
+      std::uint32_t v = 0;
+    };
+    std::unique_ptr<Cell[]> cells_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> enq_{0};
+    alignas(64) std::atomic<std::size_t> deq_{0};
+  };
+
+  struct ActorCell {
+    std::unique_ptr<Mailbox> mailbox;
+    std::uint32_t home = 0;  ///< home shard index (set in start())
+
+    /// The dispatch claim — see the state machine in the file comment.
+    std::atomic<std::uint32_t> state{kIdle};
+
+    /// Earliest (timer or crash) deadline currently registered in the home
+    /// shard's timer registry; -1 = none. Written under the dispatch claim
+    /// or by the registry popper's reset CAS.
+    std::atomic<sim::Time> registered_at{-1};
+
+    std::atomic<bool> crashed{false};
+    std::atomic<sim::Time> crash_tick{-1};
+    std::atomic<bool> crash_req{false};
+
+    // Dispatch-confined state (guarded by the kRunning claim; pre-start,
+    // single-threaded):
+    bool started = false;  ///< on_start has run (or the tick-0 crash beat it)
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timers;
     std::unordered_set<sim::TimerId> active;  ///< armed actor timers
     std::unordered_map<sim::TimerId, std::function<void()>> calls;
@@ -232,38 +425,99 @@ class Runtime final : public sim::TransportIface {
     std::unique_ptr<sim::Rng> rng;        ///< Rng(seed).fork(p + 1)
     std::unique_ptr<sim::Rng> fault_rng;  ///< per-sender drop/dup coins
     sim::Time crash_at = -1;              ///< scheduled crash tick (-1 = none)
-
-    // Shared state:
-    std::atomic<bool> crashed{false};
-    std::atomic<sim::Time> crash_tick{-1};
-    std::atomic<bool> crash_req{false};
-    std::atomic<bool> sleeping{false};
-    std::mutex park;
-    std::condition_variable park_cv;
   };
 
-  void worker_loop(sim::ProcessId p);
-  void do_crash(Worker& w, sim::Actor& a, sim::ProcessId p);
+  /// (deadline, actor) entry in a shard's timer registry heap.
+  struct TimerReg {
+    sim::Time at = 0;
+    std::uint32_t idx = 0;
+  };
+  struct TimerRegLater {
+    bool operator()(const TimerReg& a, const TimerReg& b) const {
+      return a.at > b.at || (a.at == b.at && a.idx > b.idx);
+    }
+  };
+
+  /// Per-worker counters: written only by the shard's own worker thread
+  /// (helpers book into their OWN shard), read after join.
+  struct Counters {
+    std::uint64_t dispatches = 0;
+    std::uint64_t runs = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t helps = 0;
+    std::uint64_t timer_helps = 0;
+    std::uint64_t parks = 0;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t runq_capacity) : runq(runq_capacity) {}
+
+    RunQueue runq;
+    std::thread thread;
+
+    // Overflow backstop for a full run queue (entries must never be lost).
+    std::mutex overflow_mu;
+    std::vector<std::uint32_t> overflow;
+    std::atomic<std::size_t> overflow_count{0};
+
+    // Timer registry: pending (deadline, actor) wakeups for actors homed
+    // here. `next_deadline` caches the heap top for lock-free scans.
+    std::mutex timer_mu;
+    std::priority_queue<TimerReg, std::vector<TimerReg>, TimerRegLater> timer_heap;
+    std::atomic<sim::Time> next_deadline{-1};
+
+    // Parking lot (same Dekker discipline as the old per-actor one).
+    std::atomic<bool> sleeping{false};
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+
+    Counters counters;
+  };
+
+  void worker_loop(std::size_t shard_index);
+  /// Run one claimed actor: timers, batched mailbox drain, crash checks
+  /// between handlers; then release the claim via finish_run.
+  void dispatch_run(std::uint32_t idx, Counters* c);
+  void finish_run(ActorCell& cell, std::uint32_t idx);
+  /// CAS kIdle→kQueued and announce on the home shard's run queue.
+  void schedule(std::uint32_t idx);
+  /// Register the cell's earliest timer/crash deadline with its home
+  /// shard's registry (dispatch-claim context).
+  void register_deadline(ActorCell& cell, std::uint32_t idx);
+  [[nodiscard]] static sim::Time earliest_deadline(const ActorCell& cell);
+  /// Pop due registry entries and schedule their actors. `try_only` uses
+  /// try_lock (the helping path). Returns whether anything was scheduled.
+  bool drain_due_timers(Shard& s, bool try_only);
+  /// Pop hints from `s`'s queue until a claim succeeds; run it. Returns
+  /// whether a dispatch ran.
+  bool try_run_from(Shard& s, Counters* c, bool stolen);
+  bool pop_overflow(Shard& s, std::uint32_t& v);
+  /// Claim `idx` from kQueued or kIdle and dispatch it in place (the
+  /// blocked-producer helping path). Depth-capped; false if unclaimable.
+  bool help_dispatch(std::uint32_t idx);
+  void park(Shard& s, Counters* c);
+  void wake(Shard& s);
+
+  void do_crash(ActorCell& cell, sim::Actor& a, sim::ProcessId p);
   /// True if a timer was due and dispatched (one per call: crash checks
   /// run between dispatches).
-  bool fire_one_timer(Worker& w, sim::Actor& a, sim::ProcessId p);
-  void park(Worker& w);
-  /// Push with backpressure: yields while the mailbox is full; gives up
-  /// only at shutdown (the message then stays "in flight" forever, like
-  /// an undelivered event at the horizon).
-  void push_blocking(Worker& w, const sim::Message& m);
+  bool fire_one_timer(ActorCell& cell, sim::Actor& a, sim::ProcessId p);
+  /// Push with backpressure: helps dispatch the target while its mailbox
+  /// is full; gives up only at shutdown (the message then stays "in
+  /// flight" forever, like an undelivered event at the horizon).
+  void push_blocking(std::uint32_t idx, const sim::Message& m);
   /// push_blocking without a transport; with one, a non-blocking push
   /// whose failure is recorded as a congestion loss. Returns whether the
-  /// message was enqueued.
-  bool enqueue(Worker& w, const sim::Message& m);
-  void wake(Worker& w);
+  /// message was enqueued (and scheduled).
+  bool enqueue(std::uint32_t idx, const sim::Message& m);
 
   Options opt_;
   Recorder& rec_;
   TickClock clock_;
   sim::Transport* transport_ = nullptr;
   std::vector<std::unique_ptr<sim::Actor>> actors_;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<ActorCell>> cells_;
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< built in start()
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
   bool joined_ = false;

@@ -262,6 +262,10 @@ ekbd::dining::WaitFreedomReport ProcScenario::wait_freedom(Time starvation_horiz
   return ekbd::dining::check_wait_freedom(trace_, crash_times(), starvation_horizon);
 }
 
+std::vector<ekbd::dining::OvertakeObservation> ProcScenario::census() const {
+  return ekbd::dining::overtake_census(trace_, graph_);
+}
+
 std::string ProcScenario::monitor_agreement() const {
   if (hub_ == nullptr) return "run() has not executed";
   return hub_->agreement_failures(trace_, graph_, net_);

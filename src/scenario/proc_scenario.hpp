@@ -70,6 +70,7 @@ class ProcScenario {
 
   [[nodiscard]] ekbd::dining::ExclusionReport exclusion() const;
   [[nodiscard]] ekbd::dining::WaitFreedomReport wait_freedom(Time starvation_horizon) const;
+  [[nodiscard]] std::vector<ekbd::dining::OvertakeObservation> census() const;
 
   /// Cross-check the monitors (rebuilt over the merged logs) against the
   /// post-hoc checkers and the rebuilt network books ("" on agreement).

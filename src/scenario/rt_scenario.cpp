@@ -35,6 +35,7 @@ RtScenario::RtScenario(Config cfg)
   opt.mailbox_capacity = cfg_.rt_mailbox_capacity;
   opt.mailbox = cfg_.rt_mutex_mailbox ? ekbd::rt::MailboxKind::kMutex
                                       : ekbd::rt::MailboxKind::kLockFree;
+  opt.shards = cfg_.rt_shards;
   if (cfg_.net_mode != NetMode::kIdeal) {
     // Lossy channels, rt style: seed-deterministic drop/dup coins on the
     // detector layer. The dining layer keeps the reliable in-process
@@ -170,6 +171,15 @@ std::string RtScenario::telemetry_json() const {
   out += ",\"net_mode\":" + ekbd::obs::json::quote(to_string(cfg_.net_mode));
   out += ",\"run_for\":" + std::to_string(cfg_.run_for);
   out += ",\"tick_ns\":" + std::to_string(cfg_.rt_tick_ns);
+  out += ",\"shards\":" + std::to_string(rt_->shard_count());
+  const ekbd::rt::ExecutorStats st = rt_->stats();
+  out += "},\"executor\":{";
+  out += "\"dispatches\":" + std::to_string(st.dispatches);
+  out += ",\"runs\":" + std::to_string(st.runs);
+  out += ",\"steals\":" + std::to_string(st.steals);
+  out += ",\"helps\":" + std::to_string(st.helps);
+  out += ",\"timer_helps\":" + std::to_string(st.timer_helps);
+  out += ",\"parks\":" + std::to_string(st.parks);
   out += "},\"metrics\":" + reg.to_json();
   out += ",\"monitors\":" + monitors_->to_json();
   out += "}";

@@ -98,6 +98,11 @@ struct Config {
   std::uint64_t rt_tick_ns = 100'000;     ///< wall nanoseconds per tick
   std::size_t rt_mailbox_capacity = 1024; ///< per-actor mailbox slots
   bool rt_mutex_mailbox = false;          ///< baseline mailbox instead of lock-free
+  /// Worker shards for the rt executor: 0 = one per hardware core,
+  /// clamped to [1, n]; `n` reproduces thread-per-actor. Shard count
+  /// never changes observable behavior (per-actor rng streams, monitor
+  /// verdicts) — only scheduling (rt/runtime.hpp).
+  std::size_t rt_shards = 0;
 
   // topology
   std::string topology = "ring";

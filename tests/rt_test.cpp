@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -74,6 +76,96 @@ TEST_P(MailboxKindTest, FifoSingleThread) {
 TEST(MailboxTest, CapacityRoundsUpToPowerOfTwo) {
   ekbd::rt::MpscRingMailbox mb(100);
   EXPECT_EQ(mb.capacity(), 128u);
+  EXPECT_EQ(ekbd::rt::MpscRingMailbox(1).capacity(), 2u);  // minimum 2
+  EXPECT_EQ(ekbd::rt::MpscRingMailbox(2).capacity(), 2u);
+  EXPECT_EQ(ekbd::rt::MpscRingMailbox(3).capacity(), 4u);
+  EXPECT_EQ(ekbd::rt::MpscRingMailbox(64).capacity(), 64u);  // exact power stays
+  EXPECT_EQ(ekbd::rt::MpscRingMailbox(65).capacity(), 128u);
+}
+
+// Batched drain edge cases: empty pop_n, partial batches, full-ring
+// backpressure with slot recycling, and cursor wraparound across many
+// laps of a small ring.
+TEST_P(MailboxKindTest, PopNDrainsFifoAcrossWraparoundAndBackpressure) {
+  auto mb = ekbd::rt::make_mailbox(GetParam(), 8);
+  Message out[8];
+  EXPECT_EQ(mb->pop_n(out, 8), 0u);  // empty drain is a no-op
+
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+
+  // Partial batches: 6 in, two drains of at-most 4 → 4 then 2.
+  for (int k = 0; k < 6; ++k) ASSERT_TRUE(mb->try_push(make_msg(1, pushed++)));
+  ASSERT_EQ(mb->pop_n(out, 4), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].seq, popped++);
+  ASSERT_EQ(mb->pop_n(out, 4), 2u);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(out[i].seq, popped++);
+
+  // Full-ring backpressure: fill to capacity, verify refusal, free exactly
+  // three slots with a batched drain, verify exactly three pushes fit.
+  while (mb->try_push(make_msg(1, pushed))) ++pushed;
+  EXPECT_FALSE(mb->try_push(make_msg(1, 999'999)));
+  ASSERT_EQ(mb->pop_n(out, 3), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i].seq, popped++);
+  for (int k = 0; k < 3; ++k) ASSERT_TRUE(mb->try_push(make_msg(1, pushed++)));
+  EXPECT_FALSE(mb->try_push(make_msg(1, 999'999)));
+
+  // Wraparound: many laps of the 8-slot ring (full at this point) with
+  // alternating batch sizes so drains straddle the boundary at varying
+  // offsets; FIFO must hold the whole way.
+  for (int lap = 0; lap < 50; ++lap) {
+    const std::size_t n = mb->pop_n(out, (lap % 2 == 0) ? 5 : 3);
+    ASSERT_GT(n, 0u);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].seq, popped++);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_TRUE(mb->try_push(make_msg(1, pushed++)));
+  }
+  while (true) {
+    const std::size_t n = mb->pop_n(out, 8);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].seq, popped++);
+  }
+  EXPECT_EQ(popped, pushed);
+  EXPECT_FALSE(mb->maybe_nonempty());
+}
+
+// The TSan target for the batched drain: producers race try_push against a
+// consumer draining in bursts; per-producer FIFO must survive the batch
+// cursor's once-per-batch publication.
+TEST_P(MailboxKindTest, MpscStressBatchedDrainPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 10'000;
+  auto mb = ekbd::rt::make_mailbox(GetParam(), 64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&mb, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!mb->try_push(make_msg(static_cast<ProcessId>(p), i))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::uint64_t next_seq[kProducers] = {};
+  std::uint64_t total = 0;
+  Message buf[16];
+  while (total < kProducers * kPerProducer) {
+    const std::size_t n = mb->pop_n(buf, 16);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = static_cast<std::size_t>(buf[i].from);
+      ASSERT_EQ(buf[i].seq, next_seq[p]) << "per-producer FIFO broken for producer " << p;
+      ++next_seq[p];
+    }
+    total += n;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(mb->pop_n(buf, 16), 0u);
 }
 
 // The TSan stress target: many producers, one consumer, per-producer FIFO.
@@ -451,6 +543,118 @@ TEST(RtArqTest, DiningTrafficRidesArqUnderDropDupCoins) {
   // network books all tell the same story despite loss and duplication on
   // the dining layer's physical segments.
   EXPECT_EQ(hub.agreement_failures(rec.trace(), g, rec.network()), "");
+}
+
+// ------------------------------------------------------- shard invariance
+
+// Shard counts under test: {1, 2, C, 2C} where C = hardware cores, plus n
+// (which reproduces the old thread-per-actor layout exactly).
+std::vector<std::size_t> shard_counts_under_test(std::size_t n) {
+  const auto hw = static_cast<std::size_t>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  std::vector<std::size_t> counts = {1, 2, hw, 2 * hw, n};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// The TransportIface contract must be shard-blind: actor_rng(p) derives
+// from (seed, p) alone, so every shard count yields bit-identical
+// per-actor streams.
+TEST(RtShardTest, ActorRngStreamsIdenticalAcrossShardCounts) {
+  constexpr std::uint64_t kSeed = 9091;
+  constexpr int kActors = 6;
+
+  class Idle final : public ekbd::sim::Actor {
+    void on_message(const Message&) override {}
+  };
+
+  std::vector<std::uint64_t> reference;
+  for (const std::size_t shards : shard_counts_under_test(kActors)) {
+    ekbd::rt::Recorder rec;
+    ekbd::rt::Options opt;
+    opt.seed = kSeed;
+    opt.shards = shards;
+    ekbd::rt::Runtime rt(opt, rec);
+    for (int i = 0; i < kActors; ++i) rt.add_actor(std::make_unique<Idle>());
+
+    std::vector<std::uint64_t> draws;
+    for (ProcessId p = 0; p < kActors; ++p) {
+      for (int d = 0; d < 32; ++d) draws.push_back(rt.actor_rng(p).u64());
+    }
+    if (reference.empty()) {
+      reference = std::move(draws);
+    } else {
+      EXPECT_EQ(draws, reference) << "rng streams diverged at shards=" << shards;
+    }
+  }
+}
+
+// Full scenario sweep over shard counts with lossy coins and crash
+// injection: every count must finish with zero monitor disagreement, the
+// scheduled crashes executed, and real dining progress. (Traces differ —
+// wall-clock interleavings are not reproducible — but every safety verdict
+// and the crash plan must be shard-invariant.)
+TEST(RtShardTest, MonitorAgreementAndCrashPlanInvariantAcrossShardCounts) {
+  for (const std::size_t shards : shard_counts_under_test(8)) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ekbd::scenario::Config cfg = rt_config(4242);
+    cfg.rt_shards = shards;
+    cfg.net_mode = ekbd::scenario::NetMode::kLossy;
+    cfg.crashes = {{2, 700}, {6, 1'100}};
+    cfg.run_for = 2'000;
+    ekbd::scenario::RtScenario s(cfg);
+    s.run();
+
+    EXPECT_EQ(s.runtime().shard_count(), std::min<std::size_t>(shards, cfg.n));
+    EXPECT_EQ(s.monitor_agreement(), "");
+    EXPECT_TRUE(s.runtime().crashed(2));
+    EXPECT_TRUE(s.runtime().crashed(6));
+    EXPECT_GE(s.runtime().crash_time(2), 700);
+    EXPECT_GE(s.runtime().crash_time(6), 1'100);
+    EXPECT_GT(s.trace().count(ekbd::dining::TraceEventKind::kStartEating), 0u);
+  }
+}
+
+// ------------------------------------------------------- helping/stealing
+
+// An actor that wedges its home shard's worker inside a dispatch.
+class Staller final : public ekbd::sim::Actor {
+ public:
+  void on_start() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  void on_message(const Message&) override {}
+};
+
+// Ben-David–Blelloch-style helping, observably: with 2 shards, actor 0
+// (home shard 0) wedges its worker for 50 ms while actors 1 (shard 1) and
+// 2 (shard 0) ping-pong. Every dispatch of actor 2 during the stall must
+// be claimed by shard 1 — work stealing — and actor 2's reply timers live
+// in shard 0's registry, serviceable only through timer helping. The
+// ping-pong completing during the stall proves dispatches of a stalled
+// shard complete via neighbors.
+TEST(RtShardTest, StalledShardDispatchesCompleteViaNeighbors) {
+  ekbd::rt::Recorder rec;
+  ekbd::rt::Options opt;
+  opt.seed = 31337;
+  opt.tick_ns = 50'000;  // 50 µs ticks; 50 ms stall = 1000 ticks
+  opt.shards = 2;
+  ekbd::rt::Runtime rt(opt, rec);
+  rt.make_actor<Staller>();                 // id 0 → home shard 0
+  auto* a = rt.make_actor<PingPonger>(2, 30);  // id 1 → home shard 1
+  auto* b = rt.make_actor<PingPonger>(1, 30);  // id 2 → home shard 0
+  rt.run_for(2'500);  // 125 ms wall: the stall covers the first 40%
+
+  ASSERT_EQ(rt.shard_count(), 2u);
+  ASSERT_EQ(rt.shard_of(0), 0u);  // staller and actor 2 share shard 0
+  ASSERT_EQ(rt.shard_of(2), 0u);
+
+  EXPECT_GE(a->received() + b->received(), 30)
+      << "ping-pong starved while shard 0 was wedged";
+  const ekbd::rt::ExecutorStats st = rt.stats();
+  EXPECT_GT(st.steals + st.helps + st.timer_helps, 0u)
+      << "progress without any cross-shard claim: stealing/helping never engaged";
 }
 
 }  // namespace
