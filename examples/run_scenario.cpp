@@ -55,6 +55,14 @@ namespace {
       "                       (default 100000)\n"
       "  --shards C           rt engine: worker shards (default 0 = one per\n"
       "                       hardware core; n = thread-per-actor)\n"
+      "  --no-stream          rt engine: single-mutex direct recorder instead of\n"
+      "                       the segmented streaming pipeline\n"
+      "  --stream-window T    rt engine: collector merge period in ticks\n"
+      "                       (default 50)\n"
+      "  --log-cap N          rt engine: cap the recorded EventLog at N events\n"
+      "                       (default 0 = unbounded; drops are counted)\n"
+      "  --telemetry-every T  rt engine: live JSONL snapshot every T ticks\n"
+      "  --telemetry-out F    rt engine: write the live snapshots to F\n"
       "  --seed S             RNG seed (default 1)\n"
       "  --run-for T          time horizon in ticks (default 60000; rt runs\n"
       "                       run-for x tick-ns wall nanoseconds)\n"
@@ -289,6 +297,16 @@ int main(int argc, char** argv) {
       cfg.rt_tick_ns = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--shards") {
       cfg.rt_shards = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--no-stream") {
+      cfg.rt_segmented_recorder = false;
+    } else if (arg == "--stream-window") {
+      cfg.rt_stream_window = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--log-cap") {
+      cfg.rt_event_log_cap = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--telemetry-every") {
+      cfg.rt_telemetry_interval = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--telemetry-out") {
+      cfg.rt_telemetry_path = next();
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--gantt-width") {

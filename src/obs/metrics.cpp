@@ -21,11 +21,33 @@ void Histogram::add(double x) {
   std::size_t i;
   if (x < lo_) {
     i = 0;  // clamp: counts/sum stay exact, only the bucket is approximate
+    ++under_;
   } else {
     const auto raw = static_cast<std::size_t>((x - lo_) / width_);
-    i = raw >= buckets_.size() ? buckets_.size() - 1 : raw;
+    if (raw >= buckets_.size()) {
+      i = buckets_.size() - 1;
+      ++over_;
+    } else {
+      i = raw;
+    }
   }
   ++buckets_[i];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The ceil(q·count)-th sample, 1-based; q=0 degenerates to the first.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return (bucket_lo(i) + bucket_hi(i)) / 2.0;
+  }
+  return (bucket_lo(buckets_.size() - 1) + hi_) / 2.0;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {
@@ -43,6 +65,8 @@ bool Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
+  under_ += other.under_;
+  over_ += other.over_;
   return true;
 }
 
@@ -50,7 +74,9 @@ std::string Histogram::to_json() const {
   std::string out = "{\"lo\":" + json::format_double(lo_) +
                     ",\"hi\":" + json::format_double(hi_) +
                     ",\"count\":" + std::to_string(count_) +
-                    ",\"sum\":" + json::format_double(sum_) + ",\"buckets\":[";
+                    ",\"sum\":" + json::format_double(sum_) +
+                    ",\"under\":" + std::to_string(under_) +
+                    ",\"over\":" + std::to_string(over_) + ",\"buckets\":[";
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (i != 0) out += ',';
     out += std::to_string(buckets_[i]);
@@ -76,6 +102,9 @@ std::optional<Histogram> histogram_from_json(const std::string& text) {
   }
   h.count_ = static_cast<std::uint64_t>(doc->num_or("count", 0.0));
   h.sum_ = doc->num_or("sum", 0.0);
+  // "under"/"over" default to 0 so pre-existing snapshots still load.
+  h.under_ = static_cast<std::uint64_t>(doc->num_or("under", 0.0));
+  h.over_ = static_cast<std::uint64_t>(doc->num_or("over", 0.0));
   return h;
 }
 

@@ -57,7 +57,10 @@ struct Gauge {
 
 /// Fixed-bucket histogram over [lo, hi): `bins` equal-width buckets;
 /// out-of-range samples are clamped into the first/last bucket (the
-/// count/sum stay exact, so the mean is unaffected by clamping).
+/// count/sum stay exact, so the mean is unaffected by clamping) and
+/// additionally counted in `under()` / `over()` so a misconfigured range
+/// is visible instead of silently skewing the edge buckets. The buckets
+/// always sum to `count()`; under/over are an overlay, not extra bins.
 ///
 /// Distinct from util::Histogram (a print-only sparkline helper): this
 /// one is a mergeable, serializable telemetry value — sweep shards merge
@@ -78,6 +81,16 @@ class Histogram {
   [[nodiscard]] double mean() const {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
+  /// Samples below lo() / at-or-above hi(). They are *also* in the edge
+  /// buckets (clamped), so buckets() still sums to count().
+  [[nodiscard]] std::uint64_t under() const { return under_; }
+  [[nodiscard]] std::uint64_t over() const { return over_; }
+
+  /// Approximate quantile (q in [0, 1]) from the bucket counts: walks to
+  /// the bucket holding the ceil(q·count)-th sample and returns its
+  /// midpoint. 0 when empty. Accuracy is one bucket width — good enough
+  /// for p50/p99/p999 telemetry, not for exact ranking.
+  [[nodiscard]] double quantile(double q) const;
 
   /// Inclusive-exclusive bounds of bucket `i` (the last bucket absorbs
   /// everything >= its lower bound, clamping included).
@@ -88,7 +101,7 @@ class Histogram {
   /// histograms have identical shape (lo, hi, bins).
   bool merge(const Histogram& other);
 
-  /// `{"lo":..,"hi":..,"count":..,"sum":..,"buckets":[..]}`
+  /// `{"lo":..,"hi":..,"count":..,"sum":..,"under":..,"over":..,"buckets":[..]}`
   [[nodiscard]] std::string to_json() const;
 
  private:
@@ -100,6 +113,8 @@ class Histogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
 };
 
 /// Inverse of Histogram::to_json (accepts exactly the shape it emits).

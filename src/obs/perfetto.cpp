@@ -167,13 +167,28 @@ void render_sessions(const dining::Trace& trace, Emitter& em) {
   }
 }
 
+void render_counters(const std::vector<CounterSample>& counters, Emitter& em) {
+  for (const CounterSample& c : counters) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"args\":{\"value\":%.6g}", c.value);
+    em.event("C", c.at, 0, c.track, "counter", args);
+  }
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const sim::EventLog* log, const dining::Trace* trace,
                               const PerfettoOptions& opts) {
+  return chrome_trace_json(log, trace, std::vector<CounterSample>{}, opts);
+}
+
+std::string chrome_trace_json(const sim::EventLog* log, const dining::Trace* trace,
+                              const std::vector<CounterSample>& counters,
+                              const PerfettoOptions& opts) {
   Emitter em;
   if (opts.sessions && trace != nullptr) render_sessions(*trace, em);
   if (opts.message_flows && log != nullptr) render_log(*log, em);
+  render_counters(counters, em);
   return em.finish();
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "dining/trace.hpp"
 #include "sim/event_log.hpp"
@@ -27,10 +28,26 @@ struct PerfettoOptions {
   bool sessions = true;       ///< render hungry/eat sessions as spans
 };
 
+/// One point on a named counter track ("C"-phase trace event): the live
+/// telemetry loop samples per-shard ExecutorStats / latency quantiles at
+/// each snapshot and the exporter turns every sample into a step on the
+/// track's staircase graph.
+struct CounterSample {
+  sim::Time at = 0;   ///< tick timestamp (one tick = one trace µs)
+  std::string track;  ///< counter track name, e.g. "shard0/runs"
+  double value = 0.0;
+};
+
 /// Render `log` and/or `trace` (either may be nullptr) as one Chrome
 /// trace-event JSON document: `{"traceEvents":[...]}`.
 [[nodiscard]] std::string chrome_trace_json(const sim::EventLog* log,
                                             const dining::Trace* trace,
+                                            const PerfettoOptions& opts = {});
+
+/// Same, plus counter tracks from periodic samples.
+[[nodiscard]] std::string chrome_trace_json(const sim::EventLog* log,
+                                            const dining::Trace* trace,
+                                            const std::vector<CounterSample>& counters,
                                             const PerfettoOptions& opts = {});
 
 }  // namespace ekbd::obs

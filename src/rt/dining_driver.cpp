@@ -55,10 +55,45 @@ void DiningDriver::schedule_next_hunger(Diner* d, Time delay) {
   });
 }
 
+void DiningDriver::enable_latency_histogram(double lo, double hi, std::size_t bins) {
+  latency_stripes_.clear();
+  latency_stripes_.reserve(kLatencyStripes);
+  for (std::size_t i = 0; i < kLatencyStripes; ++i) {
+    latency_stripes_.push_back(std::make_unique<LatencyStripe>(lo, hi, bins));
+  }
+  last_hungry_at_.assign(graph_.size(), -1);
+}
+
+obs::Histogram DiningDriver::latency_histogram() const {
+  if (latency_stripes_.empty()) return obs::Histogram(0.0, 1.0, 1);
+  obs::Histogram merged(0.0, 1.0, 1);
+  {
+    std::lock_guard<std::mutex> lock(latency_stripes_[0]->mu);
+    merged = latency_stripes_[0]->hist;
+  }
+  for (std::size_t i = 1; i < latency_stripes_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(latency_stripes_[i]->mu);
+    merged.merge(latency_stripes_[i]->hist);
+  }
+  return merged;
+}
+
 void DiningDriver::on_diner_event(Diner& d, TraceEventKind kind) {
   // Fires inside d's dispatch claim (state transitions happen inside d's
   // handlers; kCrashed inside the executor's crash step).
-  rt_.recorder().on_trace(d.id(), rt_.now(), kind);
+  const Time now = rt_.now();
+  rt_.recorder().on_trace(d.id(), now, kind);
+  if (latency_enabled()) {
+    const auto idx = static_cast<std::size_t>(d.id());
+    if (kind == TraceEventKind::kBecameHungry) {
+      last_hungry_at_[idx] = now;
+    } else if (kind == TraceEventKind::kStartEating && last_hungry_at_[idx] >= 0) {
+      LatencyStripe& s = *latency_stripes_[idx % kLatencyStripes];
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.hist.add(static_cast<double>(now - last_hungry_at_[idx]));
+      last_hungry_at_[idx] = -1;
+    }
+  }
   switch (kind) {
     case TraceEventKind::kStartEating: {
       // Correct processes eat for a finite (but not necessarily bounded)

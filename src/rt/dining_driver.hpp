@@ -27,6 +27,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "dining/diner.hpp"
@@ -36,6 +37,7 @@
 #include "fd/heartbeat.hpp"
 #include "fd/pingpong.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "rt/runtime.hpp"
 #include "sim/rng.hpp"
 
@@ -96,7 +98,25 @@ class DiningDriver {
                          fd::PingPongModule::Params params);
   void install_accruals(fd::AccrualDetector& detector, fd::AccrualModule::Params params);
 
+  /// Record hungry→eat waits into an `obs::Histogram` over [lo, hi) ticks.
+  /// Call before start. The histogram is striped by diner id across a few
+  /// mutexes so recording never funnels 10⁵ concurrent diners through one
+  /// lock; `latency_histogram()` merges the stripes into one snapshot and
+  /// is safe to call live (each stripe is copied under its own mutex).
+  void enable_latency_histogram(double lo, double hi, std::size_t bins);
+  [[nodiscard]] bool latency_enabled() const { return !latency_stripes_.empty(); }
+  [[nodiscard]] obs::Histogram latency_histogram() const;
+
  private:
+  /// 16 stripes: enough that two shards rarely contend, few enough that a
+  /// merged snapshot is a handful of lock/copy rounds.
+  static constexpr std::size_t kLatencyStripes = 16;
+  struct LatencyStripe {
+    mutable std::mutex mu;
+    obs::Histogram hist;
+    explicit LatencyStripe(double lo, double hi, std::size_t bins) : hist(lo, hi, bins) {}
+  };
+
   void on_diner_event(dining::Diner& d, dining::TraceEventKind kind);
   void schedule_next_hunger(dining::Diner* d, sim::Time delay);
   sim::Rng& env_rng(sim::ProcessId p) { return *env_rngs_[static_cast<std::size_t>(p)]; }
@@ -110,6 +130,13 @@ class DiningDriver {
   /// after start; indexed by ProcessId.
   std::vector<std::unique_ptr<sim::Rng>> env_rngs_;
   sim::Time hunger_deadline_ = -1;  ///< -1 = unlimited; set before start
+  /// Hungry timestamps, indexed by ProcessId; element p is only touched
+  /// inside p's dispatch claim (distinct elements, no lock needed). -1 =
+  /// no open hungry session.
+  std::vector<sim::Time> last_hungry_at_;
+  /// Empty when latency recording is off (the default: zero cost beyond
+  /// the latency_enabled() branch per trace event).
+  std::vector<std::unique_ptr<LatencyStripe>> latency_stripes_;
 };
 
 }  // namespace ekbd::rt

@@ -28,12 +28,15 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dining/trace.hpp"
 #include "obs/monitors.hpp"
+#include "rt/segment.hpp"
 #include "sim/codec.hpp"
 #include "sim/event_log.hpp"
 #include "sim/network.hpp"
@@ -103,5 +106,31 @@ class LogWriter final : public sim::EventSink, public dining::TraceObserver {
 /// every event to `log`.
 void rebuild(const Recording& rec, obs::MonitorHub& hub, sim::Network& net,
              dining::Trace& trace, sim::EventLog* log = nullptr);
+
+/// Apply one logged event to the network books exactly as `rebuild` (and
+/// the live single-mutex recorder) does: sends and injected duplicates
+/// book through `logical_sent` — firing the attached NetworkWatch —
+/// deliveries/drops/losses settle through `logical_delivered`, and a
+/// crash updates `crashed`, the set from which every later send's
+/// target-crashed flag is re-derived. This is the shared per-event step
+/// of the offline rebuild and the streaming recorder's collector.
+void apply_event(const sim::LoggedEvent& ev, sim::Network& net,
+                 std::set<sim::ProcessId>& crashed);
+
+/// One segment's pending records: drained from a `RecorderSegment` but
+/// not yet merged; `head` is the merge cursor. Records within a pool are
+/// already ordered by key (the per-segment monotonic clamp).
+struct SegmentPool {
+  std::vector<SegmentRecord> recs;
+  std::size_t head = 0;
+};
+
+/// K-way merge of per-segment pools: invokes `apply` for every record
+/// with key <= `horizon` in (key, merge_class, segment index) order,
+/// advancing the pool cursors; returns how many records were consumed.
+/// The streaming collector calls this once per window with the min
+/// worker watermark as the horizon; the final drain passes INT64_MAX.
+std::size_t merge_segments(std::vector<SegmentPool>& pools, std::int64_t horizon,
+                           const std::function<void(const SegmentRecord&)>& apply);
 
 }  // namespace ekbd::rt

@@ -90,6 +90,17 @@ void Runtime::start() {
     (void)pushed;
   }
 
+  // Streaming observability: one recorder segment per shard, merged by
+  // the recorder's collector thread. Started before the workers so their
+  // very first records already go through their own segments.
+  if (opt_.segmented_recorder) {
+    Recorder::StreamOptions sopts;
+    sopts.segments = shard_count;
+    sopts.window_ns = opt_.stream_window_ticks * opt_.tick_ns;
+    sopts.pending_cap = opt_.stream_pending_cap;
+    rec_.begin_stream(sopts);
+  }
+
   clock_.rebase();
   started_.store(true, std::memory_order_release);
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -108,6 +119,11 @@ void Runtime::stop_and_join() {
   }
   for (auto& s : shards_) {
     if (s->thread.joinable()) s->thread.join();
+  }
+  // Workers are quiesced: close the stream (final drain merges every
+  // buffered record; the monitors and books are complete after this).
+  if (opt_.segmented_recorder && started_.load(std::memory_order_relaxed)) {
+    rec_.end_stream();
   }
   joined_ = true;
 }
@@ -141,12 +157,28 @@ std::vector<sim::Time> Runtime::crash_times() const {
 ExecutorStats Runtime::stats() const {
   ExecutorStats out;
   for (const auto& s : shards_) {
-    out.dispatches += s->counters.dispatches;
-    out.runs += s->counters.runs;
-    out.steals += s->counters.steals;
-    out.helps += s->counters.helps;
-    out.timer_helps += s->counters.timer_helps;
-    out.parks += s->counters.parks;
+    out.dispatches += s->counters.dispatches.get();
+    out.runs += s->counters.runs.get();
+    out.steals += s->counters.steals.get();
+    out.helps += s->counters.helps.get();
+    out.timer_helps += s->counters.timer_helps.get();
+    out.parks += s->counters.parks.get();
+  }
+  return out;
+}
+
+std::vector<ExecutorStats> Runtime::stats_per_shard() const {
+  std::vector<ExecutorStats> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    ExecutorStats e;
+    e.dispatches = s->counters.dispatches.get();
+    e.runs = s->counters.runs.get();
+    e.steals = s->counters.steals.get();
+    e.helps = s->counters.helps.get();
+    e.timer_helps = s->counters.timer_helps.get();
+    e.parks = s->counters.parks.get();
+    out.push_back(e);
   }
   return out;
 }
@@ -590,6 +622,12 @@ void Runtime::worker_loop(std::size_t shard_index) {
   Shard& s = *shards_[shard_index];
   Counters* c = &s.counters;
   const std::size_t shard_count = shards_.size();
+  // Streaming observability: this thread's records go to its own
+  // segment; the per-iteration heartbeat below keeps the merge horizon
+  // advancing even when the shard is idle (a parked worker re-loops at
+  // least once per park cap).
+  const bool streaming = rec_.streaming();
+  if (streaming) rec_.bind_segment(shard_index);
 
   // Victim-scan window: probing EVERY other shard per idle round would be
   // O(shards²) across the fleet — ruinous at shards == n (the
@@ -603,6 +641,7 @@ void Runtime::worker_loop(std::size_t shard_index) {
   std::size_t scan_offset = 0;
 
   while (!stop_.load(std::memory_order_acquire)) {
+    if (streaming) rec_.heartbeat();
     drain_due_timers(s, /*try_only=*/false);
     if (try_run_from(s, c, /*stolen=*/false)) continue;
 

@@ -160,10 +160,25 @@ struct Options {
 
   int spin_polls = 64;                    ///< idle probes before parking
   std::uint64_t park_cap_ns = 2'000'000;  ///< max condvar wait; also the helping latency bound
+
+  /// Record through per-shard segments merged by a collector thread
+  /// instead of the single recorder mutex (recorder.hpp "segmented
+  /// streaming mode"). Default on — observability scales with the
+  /// executor; turn off for the old direct mode (the rt_stream
+  /// equivalence tests run both and assert identical verdicts).
+  bool segmented_recorder = true;
+  /// Collector merge window in ticks (converted via tick_ns): how often
+  /// the segment buffers are merged into the monitors' stream.
+  std::uint64_t stream_window_ticks = 50;
+  /// Bound on records buffered ahead of the merge horizon before the
+  /// stream sheds (counted, like EventLog drops); 0 = unbounded.
+  std::size_t stream_pending_cap = 0;
 };
 
-/// Aggregated executor counters (stable only after stop_and_join — each
-/// worker owns its shard's counters while running).
+/// Aggregated executor counters. Exact after stop_and_join; readable live
+/// (per-counter-atomic, so a snapshot may be mid-update but never torn) —
+/// the telemetry loop samples them for periodic JSONL / Perfetto counter
+/// tracks.
 struct ExecutorStats {
   std::uint64_t dispatches = 0;   ///< handler invocations (on_start/messages/timers)
   std::uint64_t runs = 0;         ///< dispatch claims (batches)
@@ -282,8 +297,12 @@ class Runtime final : public sim::TransportIface {
   [[nodiscard]] std::size_t shard_of(sim::ProcessId p) const {
     return cells_[static_cast<std::size_t>(p)]->home;
   }
-  /// Aggregated executor counters; stable after stop_and_join.
+  /// Aggregated executor counters; exact after stop_and_join, a live
+  /// (slightly stale) snapshot while running.
   [[nodiscard]] ExecutorStats stats() const;
+  /// Per-shard executor counters, indexed by shard — the live telemetry
+  /// loop's per-shard counter tracks. Same freshness as stats().
+  [[nodiscard]] std::vector<ExecutorStats> stats_per_shard() const;
 
   [[nodiscard]] const TickClock& clock() const { return clock_; }
   [[nodiscard]] const Options& options() const { return opt_; }
@@ -438,15 +457,29 @@ class Runtime final : public sim::TransportIface {
     }
   };
 
+  /// Single-writer counter: the shard's own worker thread (helpers book
+  /// into their OWN shard via tls_shard) is the only incrementer, so a
+  /// relaxed load+store pair is a data-race-free increment — no RMW on
+  /// the hot path — while any thread may read a live snapshot.
+  struct RelaxedCounter {
+    std::atomic<std::uint64_t> v{0};
+    RelaxedCounter& operator++() {
+      v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+      return *this;
+    }
+    [[nodiscard]] std::uint64_t get() const { return v.load(std::memory_order_relaxed); }
+  };
+
   /// Per-worker counters: written only by the shard's own worker thread
-  /// (helpers book into their OWN shard), read after join.
+  /// (helpers book into their OWN shard), readable live by the telemetry
+  /// sampler, exact after join.
   struct Counters {
-    std::uint64_t dispatches = 0;
-    std::uint64_t runs = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t helps = 0;
-    std::uint64_t timer_helps = 0;
-    std::uint64_t parks = 0;
+    RelaxedCounter dispatches;
+    RelaxedCounter runs;
+    RelaxedCounter steals;
+    RelaxedCounter helps;
+    RelaxedCounter timer_helps;
+    RelaxedCounter parks;
   };
 
   struct Shard {

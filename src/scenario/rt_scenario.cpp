@@ -1,6 +1,7 @@
 #include "scenario/rt_scenario.hpp"
 
 #include <cassert>
+#include <thread>
 
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
@@ -19,7 +20,9 @@ RtScenario::RtScenario(Config cfg)
 
   // -- observability ------------------------------------------------------
   if (cfg_.observability) {
-    event_log_ = std::make_unique<ekbd::sim::EventLog>();
+    // Capped log = bounded resident memory at 10⁵⁺ actors; the log counts
+    // what it sheds, the Trace and network books stay exact.
+    event_log_ = std::make_unique<ekbd::sim::EventLog>(cfg_.rt_event_log_cap);
     metrics_ = std::make_unique<ekbd::obs::MetricsRegistry>();
     monitors_ = std::make_unique<ekbd::obs::MonitorHub>(graph_);
     recorder_.set_event_log(event_log_.get());
@@ -36,6 +39,9 @@ RtScenario::RtScenario(Config cfg)
   opt.mailbox = cfg_.rt_mutex_mailbox ? ekbd::rt::MailboxKind::kMutex
                                       : ekbd::rt::MailboxKind::kLockFree;
   opt.shards = cfg_.rt_shards;
+  opt.segmented_recorder = cfg_.rt_segmented_recorder;
+  if (cfg_.rt_stream_window > 0) opt.stream_window_ticks = cfg_.rt_stream_window;
+  opt.stream_pending_cap = cfg_.rt_stream_pending_cap;
   if (cfg_.net_mode != NetMode::kIdeal) {
     // Lossy channels, rt style: seed-deterministic drop/dup coins on the
     // detector layer. The dining layer keeps the reliable in-process
@@ -82,6 +88,10 @@ RtScenario::RtScenario(Config cfg)
 
   // -- driver + diners ----------------------------------------------------
   driver_ = std::make_unique<ekbd::rt::DiningDriver>(*rt_, graph_, cfg_.harness);
+  if (cfg_.observability) {
+    // Same shape as the sim harness's dining.hungry_latency histogram.
+    driver_->enable_latency_histogram(0.0, 5000.0, 50);
+  }
   diners_.reserve(graph_.size());
   for (std::size_t v = 0; v < graph_.size(); ++v) {
     const auto p = static_cast<ProcessId>(v);
@@ -133,7 +143,83 @@ RtScenario::RtScenario(Config cfg)
 void RtScenario::run() {
   assert(!ran_);
   ran_ = true;
-  rt_->run_for(cfg_.run_for);
+  if (cfg_.rt_telemetry_interval <= 0) {
+    rt_->run_for(cfg_.run_for);
+    return;
+  }
+  // Live-telemetry mode: same start / sleep-to-horizon / join sequence as
+  // Runtime::run_for, but the sleep is chopped into snapshot intervals.
+  std::FILE* out = nullptr;
+  if (!cfg_.rt_telemetry_path.empty()) {
+    out = std::fopen(cfg_.rt_telemetry_path.c_str(), "w");
+  }
+  rt_->start();
+  for (Time t = cfg_.rt_telemetry_interval; t < cfg_.run_for;
+       t += cfg_.rt_telemetry_interval) {
+    std::this_thread::sleep_until(rt_->clock().deadline(t));
+    snapshot_telemetry(t, out, /*final_snapshot=*/false);
+  }
+  std::this_thread::sleep_until(rt_->clock().deadline(cfg_.run_for));
+  rt_->stop_and_join();
+  recorder_.set_end_time(rt_->now());
+  // Final snapshot after the join: exact totals, closing the staircase.
+  snapshot_telemetry(rt_->now(), out, /*final_snapshot=*/true);
+  if (out != nullptr) std::fclose(out);
+}
+
+void RtScenario::snapshot_telemetry(Time at, std::FILE* out, bool final_snapshot) {
+  const std::vector<ekbd::rt::ExecutorStats> shards = rt_->stats_per_shard();
+  const ekbd::rt::StreamStats ss = recorder_.stream_stats();
+  const ekbd::obs::Histogram lat =
+      driver_->latency_enabled() ? driver_->latency_histogram()
+                                 : ekbd::obs::Histogram(0.0, 1.0, 1);
+  const double p50 = lat.quantile(0.50);
+  const double p99 = lat.quantile(0.99);
+  const double p999 = lat.quantile(0.999);
+
+  auto track = [&](const std::string& name, double v) {
+    counter_samples_.push_back({at, name, v});
+  };
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::string pre = "shard" + std::to_string(i) + "/";
+    track(pre + "dispatches", static_cast<double>(shards[i].dispatches));
+    track(pre + "runs", static_cast<double>(shards[i].runs));
+    track(pre + "parks", static_cast<double>(shards[i].parks));
+  }
+  track("latency/p50", p50);
+  track("latency/p99", p99);
+  track("latency/p999", p999);
+  track("stream/merged_events", static_cast<double>(ss.merged_events));
+  track("stream/max_pending", static_cast<double>(ss.max_pending));
+
+  if (out == nullptr) return;
+  std::string line = "{\"at\":" + std::to_string(at) + ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i != 0) line += ',';
+    line += "{\"dispatches\":" + std::to_string(shards[i].dispatches) +
+            ",\"runs\":" + std::to_string(shards[i].runs) +
+            ",\"steals\":" + std::to_string(shards[i].steals) +
+            ",\"helps\":" + std::to_string(shards[i].helps) +
+            ",\"timer_helps\":" + std::to_string(shards[i].timer_helps) +
+            ",\"parks\":" + std::to_string(shards[i].parks) + "}";
+  }
+  line += "],\"latency\":{\"count\":" + std::to_string(lat.count()) +
+          ",\"p50\":" + ekbd::obs::json::format_double(p50) +
+          ",\"p99\":" + ekbd::obs::json::format_double(p99) +
+          ",\"p999\":" + ekbd::obs::json::format_double(p999) + "}";
+  line += ",\"stream\":{\"collect_passes\":" + std::to_string(ss.collect_passes) +
+          ",\"merged_events\":" + std::to_string(ss.merged_events) +
+          ",\"merged_trace_events\":" + std::to_string(ss.merged_trace_events) +
+          ",\"max_pending\":" + std::to_string(ss.max_pending) +
+          ",\"dropped_records\":" + std::to_string(ss.dropped_records) +
+          ",\"dropped_windows\":" + std::to_string(ss.dropped_windows) + "}";
+  if (final_snapshot && event_log_ != nullptr) {
+    line += ",\"event_log\":{\"size\":" + std::to_string(event_log_->size()) +
+            ",\"dropped\":" + std::to_string(event_log_->dropped()) + "}";
+  }
+  line += "}\n";
+  std::fputs(line.c_str(), out);
+  std::fflush(out);
 }
 
 ekbd::dining::ExclusionReport RtScenario::exclusion() const {
@@ -180,6 +266,23 @@ std::string RtScenario::telemetry_json() const {
   out += ",\"helps\":" + std::to_string(st.helps);
   out += ",\"timer_helps\":" + std::to_string(st.timer_helps);
   out += ",\"parks\":" + std::to_string(st.parks);
+  if (driver_->latency_enabled()) {
+    const ekbd::obs::Histogram lat = driver_->latency_histogram();
+    out += "},\"latency\":{";
+    out += "\"count\":" + std::to_string(lat.count());
+    out += ",\"p50\":" + ekbd::obs::json::format_double(lat.quantile(0.50));
+    out += ",\"p99\":" + ekbd::obs::json::format_double(lat.quantile(0.99));
+    out += ",\"p999\":" + ekbd::obs::json::format_double(lat.quantile(0.999));
+    out += ",\"hist\":" + lat.to_json();
+  }
+  const ekbd::rt::StreamStats ss = recorder_.stream_stats();
+  out += "},\"stream\":{";
+  out += "\"collect_passes\":" + std::to_string(ss.collect_passes);
+  out += ",\"merged_events\":" + std::to_string(ss.merged_events);
+  out += ",\"merged_trace_events\":" + std::to_string(ss.merged_trace_events);
+  out += ",\"max_pending\":" + std::to_string(ss.max_pending);
+  out += ",\"dropped_records\":" + std::to_string(ss.dropped_records);
+  out += ",\"dropped_windows\":" + std::to_string(ss.dropped_windows);
   out += "},\"metrics\":" + reg.to_json();
   out += ",\"monitors\":" + monitors_->to_json();
   out += "}";

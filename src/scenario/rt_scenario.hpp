@@ -24,10 +24,12 @@
 ///    exported to Perfetto.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/perfetto.hpp"
 #include "rt/dining_driver.hpp"
 #include "rt/recorder.hpp"
 #include "rt/runtime.hpp"
@@ -40,7 +42,11 @@ class RtScenario {
   explicit RtScenario(Config cfg);
 
   /// Run to the configured horizon (may be called once). Blocks for
-  /// run_for × rt_tick_ns wall nanoseconds.
+  /// run_for × rt_tick_ns wall nanoseconds. With `rt_telemetry_interval`
+  /// set, the blocked wait becomes a snapshot loop: every interval ticks
+  /// one JSONL line goes to `rt_telemetry_path` (if non-empty) and the
+  /// same samples accumulate as Perfetto counter tracks
+  /// (`counter_samples()`), all read live off the running executor.
   void run();
 
   // -- access ------------------------------------------------------------
@@ -75,10 +81,25 @@ class RtScenario {
   [[nodiscard]] std::string monitor_agreement() const;
 
   /// One-line JSON telemetry snapshot (requires cfg.observability) —
-  /// same shape as Scenario::telemetry_json, with "engine":"rt".
+  /// same shape as Scenario::telemetry_json, with "engine":"rt" plus
+  /// "latency" (hungry→eat quantiles) and "stream" (recorder StreamStats)
+  /// objects.
   [[nodiscard]] std::string telemetry_json() const;
 
+  /// Counter-track samples collected by the live snapshot loop (empty
+  /// unless rt_telemetry_interval was set). Feed to the CounterSample
+  /// overload of obs::chrome_trace_json.
+  [[nodiscard]] const std::vector<ekbd::obs::CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
+
  private:
+  /// One live snapshot at tick `at`: JSONL line to `out` (may be null)
+  /// plus counter samples. Safe while the executor runs — everything it
+  /// reads is atomic or mutexed; the EventLog (plain, collector-owned
+  /// while streaming) is only summarized when `final_snapshot` is true.
+  void snapshot_telemetry(Time at, std::FILE* out, bool final_snapshot);
+
   Config cfg_;
   ekbd::graph::ConflictGraph graph_;
   ekbd::graph::Coloring colors_;
@@ -96,6 +117,7 @@ class RtScenario {
   ekbd::fd::AccrualDetector* accrual_ = nullptr;
   std::unique_ptr<ekbd::rt::DiningDriver> driver_;
   std::vector<ekbd::dining::Diner*> diners_;
+  std::vector<ekbd::obs::CounterSample> counter_samples_;
   bool ran_ = false;
 };
 

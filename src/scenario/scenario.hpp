@@ -103,6 +103,29 @@ struct Config {
   /// never changes observable behavior (per-actor rng streams, monitor
   /// verdicts) — only scheduling (rt/runtime.hpp).
   std::size_t rt_shards = 0;
+  /// Segmented streaming recorder (rt/recorder.hpp): per-shard segments
+  /// merged by a collector thread instead of a global recorder mutex on
+  /// every hot-path hook. Same books, same monitor verdicts; false falls
+  /// back to the single-mutex direct path.
+  bool rt_segmented_recorder = true;
+  /// Collector merge period in ticks (the streaming "window"); 0 keeps
+  /// the runtime default (rt::Options::stream_window_ticks).
+  std::uint64_t rt_stream_window = 0;
+  /// Bound on records buffered between collector passes; 0 = unbounded.
+  /// When exceeded the recorder sheds new records (counted in
+  /// StreamStats::dropped_records / dropped_windows, like EventLog drops).
+  std::size_t rt_stream_pending_cap = 0;
+  /// EventLog capacity when observability is on; 0 = unbounded. Capping
+  /// bounds resident log memory for 10⁵⁺-actor runs (the log counts what
+  /// it dropped); the Trace and network books stay exact.
+  std::size_t rt_event_log_cap = 0;
+  /// Live telemetry: every `rt_telemetry_interval` ticks of the run, one
+  /// JSONL snapshot line (per-shard executor stats, hungry→eat latency
+  /// quantiles, stream stats) appended to `rt_telemetry_path`, and the
+  /// same samples kept as Perfetto counter tracks (RtScenario::
+  /// counter_samples). 0 = no snapshots.
+  Time rt_telemetry_interval = 0;
+  std::string rt_telemetry_path;  ///< empty = keep samples in memory only
 
   // topology
   std::string topology = "ring";

@@ -35,6 +35,7 @@ Summary summarize(const std::vector<double>& xs) {
   s.p50 = rank(0.50);
   s.p95 = rank(0.95);
   s.p99 = rank(0.99);
+  s.p999 = rank(0.999);
   return s;
 }
 

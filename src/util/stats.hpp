@@ -23,6 +23,7 @@ struct Summary {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 
   /// Render as a short human-readable string, e.g. for table cells.
   [[nodiscard]] std::string to_string() const;

@@ -79,6 +79,52 @@ TEST(Metrics, HistogramBucketBoundariesAndClamping) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 1.999 + 2.0 + 9.999 - 5.0 + 10.0 + 1e9);
 }
 
+TEST(Metrics, HistogramCountsOutOfRangeSamples) {
+  obs::Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  EXPECT_EQ(h.under(), 0u);
+  EXPECT_EQ(h.over(), 0u);
+  h.add(-1.0);  // clamps into bucket 0 AND counts as under
+  h.add(10.0);  // hi is exclusive: clamps into bucket 4 AND counts as over
+  h.add(1e9);
+  EXPECT_EQ(h.under(), 1u);
+  EXPECT_EQ(h.over(), 2u);
+  // under/over are an overlay: the buckets still sum to count().
+  std::uint64_t in_buckets = 0;
+  for (auto b : h.buckets()) in_buckets += b;
+  EXPECT_EQ(in_buckets, h.count());
+
+  // They merge, round-trip through JSON, and default to 0 when absent
+  // (pre-existing snapshots).
+  obs::Histogram other(0.0, 10.0, 5);
+  other.add(-2.0);
+  ASSERT_TRUE(h.merge(other));
+  EXPECT_EQ(h.under(), 2u);
+  const auto back = obs::histogram_from_json(h.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->under(), 2u);
+  EXPECT_EQ(back->over(), 2u);
+  EXPECT_EQ(back->to_json(), h.to_json());
+  const auto legacy = obs::histogram_from_json(
+      "{\"lo\":0,\"hi\":10,\"count\":1,\"sum\":3,\"buckets\":[1,0,0,0,0]}");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->under(), 0u);
+  EXPECT_EQ(legacy->over(), 0u);
+}
+
+TEST(Metrics, HistogramQuantileBucketMidpoints) {
+  obs::Histogram h(0.0, 100.0, 10);  // 10-wide buckets
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty → 0
+  for (int i = 0; i < 99; ++i) h.add(5.0);   // bucket [0,10)
+  h.add(95.0);                               // bucket [90,100)
+  // Ranks 1..99 land in the first bucket, rank 100 in the last.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 95.0);
+}
+
 TEST(Metrics, HistogramMergeRequiresSameShape) {
   obs::Histogram a(0.0, 10.0, 5);
   obs::Histogram b(0.0, 10.0, 5);

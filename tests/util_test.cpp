@@ -68,6 +68,28 @@ TEST(Stats, PercentileExtremeQuantiles) {
   EXPECT_DOUBLE_EQ(ekbd::util::percentile({5.0}, 1.0), 5.0);
 }
 
+TEST(Stats, P999TinySamples) {
+  // On tiny samples the nearest-rank p999 degenerates to the maximum —
+  // never out-of-range, never a crash.
+  EXPECT_DOUBLE_EQ(ekbd::util::summarize({}).p999, 0.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::summarize({42.0}).p999, 42.0);
+  EXPECT_DOUBLE_EQ(ekbd::util::summarize({1.0, 2.0}).p999, 2.0);
+  Summary s = ekbd::util::summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(s.p999, 10.0);
+}
+
+TEST(Stats, P999LargeSampleSeparatesFromP99) {
+  // 10 000 distinct values: p99 picks the 9900th, p999 the 9990th —
+  // distinct ranks once the sample is big enough to resolve them.
+  std::vector<double> xs;
+  xs.reserve(10'000);
+  for (int i = 1; i <= 10'000; ++i) xs.push_back(static_cast<double>(i));
+  Summary s = ekbd::util::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p99, 9'900.0);
+  EXPECT_DOUBLE_EQ(s.p999, 9'990.0);
+  EXPECT_LT(s.p99, s.p999);
+}
+
 TEST(Stats, NegativeValuesSummarizeCorrectly) {
   Summary s = ekbd::util::summarize({-3.0, -1.0, -2.0});
   EXPECT_DOUBLE_EQ(s.min, -3.0);
