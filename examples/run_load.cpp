@@ -1,0 +1,274 @@
+// run_load — workload-harness front end: drive the wait-free daemon as an
+// open-loop scheduling service and measure what the closed loop can't.
+//
+// Single run: pick an arrival model, optional graph churn and
+// crash-recovery cycles, get the offered/completed book, the overload
+// verdict and the hungry→eat latency percentiles.
+//
+// Rate sweep (--sweep): run the same scenario once per offered rate and
+// print the latency/throughput curve — the hockey stick where p99 leaves
+// p50 is the service's capacity knee.
+//
+// Examples:
+//   ./run_load --rate 4 --churn 30 --recover 2@15000:30000
+//   ./run_load --arrivals bursty --rate 3 --burst 2000:8000
+//   ./run_load --sweep 1,2,4,8,16,32 --n 12 --topology sparse
+//   ./run_load --engine rt --rate 3 --run-for 4000 --n 6
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/load_scenario.hpp"
+#include "util/table.hpp"
+
+using namespace ekbd;
+using scenario::LoadConfig;
+using scenario::LoadScenario;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --topology NAME      conflict graph (default ring)\n"
+      "  --n N                number of processes (default 8)\n"
+      "  --engine E           sim|rt (default sim; the harness needs an\n"
+      "                       engine with recovery + churn hooks, so no proc)\n"
+      "  --detector D         perfect|heartbeat|none (default perfect — the\n"
+      "                       timeout detectors track the initial neighbor\n"
+      "                       set, see docs/LOADGEN.md)\n"
+      "  --seed S             RNG seed (default 1)\n"
+      "  --run-for T          horizon in ticks (default 60000)\n"
+      "  --rate R             offered arrivals per 1000 ticks (default 5)\n"
+      "  --arrivals K         poisson|uniform|bursty (default poisson)\n"
+      "  --global             one global stream dealt across actors instead\n"
+      "                       of an independent stream per actor\n"
+      "  --gap LO:HI          uniform model: inter-arrival gap bounds\n"
+      "  --burst B:I          bursty model: burst/idle phase lengths in ticks\n"
+      "  --burst-factor F     bursty model: burst rate multiplier (default 8)\n"
+      "  --churn N            N edge mutations, incrementally recolored\n"
+      "  --churn-window A:B   confine churn to [A, B] (default middle 80%%)\n"
+      "  --recover P@T1:T2    crash P at T1, rejoin at T2 (repeatable;\n"
+      "                       T2 < 0 = crash forever)\n"
+      "  --sweep R1,R2,...    run once per rate, print the latency curve\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_pair(const char* s, long long& a, long long& b, char sep) {
+  char* end = nullptr;
+  a = std::strtoll(s, &end, 10);
+  if (end == nullptr || *end != sep) return false;
+  b = std::strtoll(end + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_triple(const char* s, long long& a, long long& b, long long& c) {
+  char* end = nullptr;
+  a = std::strtoll(s, &end, 10);
+  if (end == nullptr || *end != '@') return false;
+  b = std::strtoll(end + 1, &end, 10);
+  if (end == nullptr || *end != ':') return false;
+  c = std::strtoll(end + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+std::vector<double> parse_rates(const char* s) {
+  std::vector<double> rates;
+  const char* p = s;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double r = std::strtod(p, &end);
+    if (end == p || r <= 0.0) return {};
+    rates.push_back(r);
+    p = (*end == ',') ? end + 1 : end;
+    if (end == p - 1 && *p == '\0') return {};  // trailing comma
+  }
+  return rates;
+}
+
+struct RunResult {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t backlog_hw = 0;
+  bool overloaded = false;
+  double p50 = 0, p99 = 0, p999 = 0;
+  std::size_t churn_issued = 0;
+  std::string agreement;
+};
+
+RunResult run_one(const LoadConfig& cfg) {
+  LoadScenario s(cfg);
+  s.run();
+  const obs::Histogram lat = s.latency();
+  RunResult r;
+  r.offered = s.book().offered();
+  r.completed = s.book().completed();
+  r.dropped = s.book().dropped();
+  r.backlog_hw = s.overload().backlog_high_water();
+  r.overloaded = s.overload().overloaded();
+  r.p50 = lat.quantile(0.50);
+  r.p99 = lat.quantile(0.99);
+  r.p999 = lat.quantile(0.999);
+  r.churn_issued = s.churn_issued();
+  r.agreement = s.monitor_agreement();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig cfg;
+  cfg.base.run_for = 60'000;
+  cfg.base.detector = scenario::DetectorKind::kPerfect;
+  std::vector<double> sweep;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      cfg.base.topology = next();
+    } else if (arg == "--n") {
+      cfg.base.n = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--engine") {
+      const std::string e = next();
+      if (e == "sim") {
+        cfg.base.engine = scenario::Engine::kSim;
+      } else if (e == "rt") {
+        cfg.base.engine = scenario::Engine::kRt;
+      } else {
+        std::fprintf(stderr, "unknown engine: %s (the harness runs sim|rt)\n", e.c_str());
+        return 2;
+      }
+    } else if (arg == "--detector") {
+      const std::string d = next();
+      if (d == "perfect") {
+        cfg.base.detector = scenario::DetectorKind::kPerfect;
+      } else if (d == "heartbeat") {
+        cfg.base.detector = scenario::DetectorKind::kHeartbeat;
+        cfg.base.partial_synchrony = true;
+      } else if (d == "none") {
+        cfg.base.detector = scenario::DetectorKind::kNever;
+      } else {
+        std::fprintf(stderr, "unknown detector: %s (expected perfect|heartbeat|none)\n",
+                     d.c_str());
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      cfg.base.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--run-for") {
+      cfg.base.run_for = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--rate") {
+      cfg.arrivals.rate_per_kilotick = std::strtod(next(), nullptr);
+      if (!(cfg.arrivals.rate_per_kilotick > 0.0)) usage(argv[0]);
+    } else if (arg == "--arrivals") {
+      const std::string k = next();
+      if (k == "poisson") {
+        cfg.arrivals.kind = load::ArrivalKind::kPoisson;
+      } else if (k == "uniform") {
+        cfg.arrivals.kind = load::ArrivalKind::kUniform;
+      } else if (k == "bursty") {
+        cfg.arrivals.kind = load::ArrivalKind::kBursty;
+      } else {
+        std::fprintf(stderr, "unknown arrival model: %s\n", k.c_str());
+        return 2;
+      }
+    } else if (arg == "--global") {
+      cfg.arrivals.per_actor = false;
+    } else if (arg == "--gap") {
+      long long lo = 0, hi = 0;
+      if (!parse_pair(next(), lo, hi, ':')) usage(argv[0]);
+      cfg.arrivals.gap_lo = lo;
+      cfg.arrivals.gap_hi = hi;
+    } else if (arg == "--burst") {
+      long long b = 0, idle = 0;
+      if (!parse_pair(next(), b, idle, ':')) usage(argv[0]);
+      cfg.arrivals.burst_len = b;
+      cfg.arrivals.idle_len = idle;
+    } else if (arg == "--burst-factor") {
+      cfg.arrivals.burst_factor = std::strtod(next(), nullptr);
+    } else if (arg == "--churn") {
+      cfg.churn.mutations = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--churn-window") {
+      long long a = 0, b = 0;
+      if (!parse_pair(next(), a, b, ':')) usage(argv[0]);
+      cfg.churn.start = a;
+      cfg.churn.end = b;
+    } else if (arg == "--recover") {
+      long long p = 0, t1 = 0, t2 = 0;
+      if (!parse_triple(next(), p, t1, t2)) usage(argv[0]);
+      cfg.recoveries.push_back({static_cast<sim::ProcessId>(p), t1, t2});
+    } else if (arg == "--sweep") {
+      sweep = parse_rates(next());
+      if (sweep.empty()) usage(argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::printf("load: %s(%zu), engine=%s, detector=%s, %s arrivals (%s), seed=%llu, "
+              "horizon=%lld\n",
+              cfg.base.topology.c_str(), cfg.base.n,
+              scenario::to_string(cfg.base.engine).c_str(),
+              scenario::to_string(cfg.base.detector).c_str(),
+              load::to_string(cfg.arrivals.kind).c_str(),
+              cfg.arrivals.per_actor ? "per-actor" : "global",
+              static_cast<unsigned long long>(cfg.base.seed),
+              static_cast<long long>(cfg.base.run_for));
+
+  if (!sweep.empty()) {
+    // Latency/throughput curve: same scenario, one run per offered rate.
+    util::Table t({"rate/kt", "offered", "completed", "dropped", "backlog", "p50", "p99",
+                   "p999", "overloaded"});
+    bool all_agree = true;
+    for (const double rate : sweep) {
+      LoadConfig point = cfg;
+      point.arrivals.rate_per_kilotick = rate;
+      const RunResult r = run_one(point);
+      t.row()
+          .cell(rate, 2)
+          .cell(r.offered)
+          .cell(r.completed)
+          .cell(r.dropped)
+          .cell(r.backlog_hw)
+          .cell(static_cast<std::uint64_t>(r.p50))
+          .cell(static_cast<std::uint64_t>(r.p99))
+          .cell(static_cast<std::uint64_t>(r.p999))
+          .cell(r.overloaded ? "yes" : "no");
+      if (!r.agreement.empty()) {
+        all_agree = false;
+        std::printf("MONITOR DISAGREEMENT at rate %.2f:\n%s\n", rate, r.agreement.c_str());
+      }
+    }
+    t.print();
+    std::printf(all_agree ? "online monitors agree with post-hoc checkers at every rate\n"
+                          : "monitor disagreement — see above\n");
+    return all_agree ? 0 : 1;
+  }
+
+  const RunResult r = run_one(cfg);
+  util::Table t({"load metric", "value"});
+  t.row().cell("offered / completed / dropped").cell(
+      std::to_string(r.offered) + " / " + std::to_string(r.completed) + " / " +
+      std::to_string(r.dropped));
+  t.row().cell("backlog high-water").cell(r.backlog_hw);
+  t.row().cell("overloaded at horizon").cell(r.overloaded ? "yes" : "no");
+  t.row().cell("churn issued").cell(static_cast<std::uint64_t>(r.churn_issued));
+  t.row().cell("hungry->eat p50/p99/p999").cell(
+      std::to_string(static_cast<long long>(r.p50)) + "/" +
+      std::to_string(static_cast<long long>(r.p99)) + "/" +
+      std::to_string(static_cast<long long>(r.p999)));
+  t.print();
+  if (!r.agreement.empty()) {
+    std::printf("MONITOR DISAGREEMENT:\n%s\n", r.agreement.c_str());
+    return 1;
+  }
+  std::printf("online monitors agree with post-hoc checkers\n");
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 #include "dining/checkers.hpp"
 #include "dining/trace_io.hpp"
+#include "scenario/load_scenario.hpp"
 #include "scenario/proc_scenario.hpp"
 #include "scenario/rt_scenario.hpp"
 #include "scenario/scenario.hpp"
@@ -71,9 +72,21 @@ namespace {
       "  --eat LO:HI          eat-duration range (default 20:60)\n"
       "  --fp COUNT:UNTIL     scripted false positives (default 0:0)\n"
       "  --acks M             ack budget per session (default 1; k = M+1)\n"
+      "  --rate R             open-loop load: R arrivals per 1000 ticks per actor\n"
+      "                       (workload harness; sim/rt engines, waitfree only)\n"
+      "  --arrivals K         poisson|uniform|bursty arrival model (default\n"
+      "                       poisson; only meaningful with --rate)\n"
+      "  --churn N            N conflict-graph edge mutations spread over the\n"
+      "                       run, recolored incrementally (waitfree only)\n"
+      "  --recover P@T1:T2    crash process P at T1 and bring it back at T2\n"
+      "                       (repeatable; --crash alone = crash forever)\n"
       "  --gantt              print the schedule as an ASCII Gantt chart\n"
       "  --gantt-width W      chart width in columns (default 100)\n"
-      "  --dump FILE          write the execution trace as JSON lines\n",
+      "  --dump FILE          write the execution trace as JSON lines\n"
+      "\n"
+      "Flags are validated against the selected engine: an engine-specific\n"
+      "flag combined with a different --engine is an error (this usage), not\n"
+      "a silent fallback.\n",
       argv0);
   std::exit(2);
 }
@@ -83,6 +96,17 @@ bool parse_pair(const char* s, long long& a, long long& b, char sep) {
   a = std::strtoll(s, &end, 10);
   if (end == nullptr || *end != sep) return false;
   b = std::strtoll(end + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+// "P@T1:T2" — a crash-recovery cycle for --recover.
+bool parse_triple(const char* s, long long& a, long long& b, long long& c) {
+  char* end = nullptr;
+  a = std::strtoll(s, &end, 10);
+  if (end == nullptr || *end != '@') return false;
+  b = std::strtoll(end + 1, &end, 10);
+  if (end == nullptr || *end != ':') return false;
+  c = std::strtoll(end + 1, &end, 10);
   return end != nullptr && *end == '\0';
 }
 
@@ -144,6 +168,7 @@ void print_gantt(const dining::Trace& trace, const Config& cfg, int width) {
       case dining::TraceEventKind::kStartEating: next = 2; break;
       case dining::TraceEventKind::kStopEating: next = 0; break;
       case dining::TraceEventKind::kCrashed: next = 3; break;
+      case dining::TraceEventKind::kRecovered: next = 0; break;
       default: continue;
     }
     credit(p, since[p], e.at, state[p]);
@@ -230,6 +255,21 @@ int main(int argc, char** argv) {
   int gantt_width = 100;
   std::string dump_path;
 
+  // Workload-harness flags (any of them routes the run through
+  // scenario::LoadScenario — open-loop arrivals instead of the closed
+  // think/eat loop).
+  double load_rate = 0.0;
+  bool load_rate_set = false;
+  std::string arrivals_kind;
+  std::size_t churn = 0;
+  std::vector<scenario::RecoverySpec> recoveries;
+
+  // Engine-specific flags remembered by name so a mismatched --engine is
+  // an explicit error after the loop (flags may precede --engine).
+  std::vector<std::string> rt_only_flags;
+  bool tick_ns_set = false;  // rt + proc
+  bool fp_set = false;       // sim + scripted detector only
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -269,6 +309,27 @@ int main(int argc, char** argv) {
       if (!parse_pair(next(), count, until, ':')) usage(argv[0]);
       cfg.fp_count = static_cast<std::size_t>(count);
       cfg.fp_until = until;
+      fp_set = true;
+    } else if (arg == "--rate") {
+      load_rate = std::strtod(next(), nullptr);
+      if (!(load_rate > 0.0)) {
+        std::fprintf(stderr, "--rate must be > 0\n");
+        return 2;
+      }
+      load_rate_set = true;
+    } else if (arg == "--arrivals") {
+      arrivals_kind = next();
+      if (arrivals_kind != "poisson" && arrivals_kind != "uniform" &&
+          arrivals_kind != "bursty") {
+        std::fprintf(stderr, "unknown arrival model: %s\n", arrivals_kind.c_str());
+        return 2;
+      }
+    } else if (arg == "--churn") {
+      churn = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--recover") {
+      long long p = 0, t1 = 0, t2 = 0;
+      if (!parse_triple(next(), p, t1, t2) || t2 <= t1) usage(argv[0]);
+      recoveries.push_back({static_cast<sim::ProcessId>(p), t1, t2});
     } else if (arg == "--acks") {
       cfg.acks_per_session = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (arg == "--engine") {
@@ -295,18 +356,25 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--tick-ns") {
       cfg.rt_tick_ns = std::strtoull(next(), nullptr, 10);
+      tick_ns_set = true;
     } else if (arg == "--shards") {
       cfg.rt_shards = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      rt_only_flags.push_back(arg);
     } else if (arg == "--no-stream") {
       cfg.rt_segmented_recorder = false;
+      rt_only_flags.push_back(arg);
     } else if (arg == "--stream-window") {
       cfg.rt_stream_window = std::strtoull(next(), nullptr, 10);
+      rt_only_flags.push_back(arg);
     } else if (arg == "--log-cap") {
       cfg.rt_event_log_cap = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      rt_only_flags.push_back(arg);
     } else if (arg == "--telemetry-every") {
       cfg.rt_telemetry_interval = std::strtoll(next(), nullptr, 10);
+      rt_only_flags.push_back(arg);
     } else if (arg == "--telemetry-out") {
       cfg.rt_telemetry_path = next();
+      rt_only_flags.push_back(arg);
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--gantt-width") {
@@ -315,6 +383,57 @@ int main(int argc, char** argv) {
       dump_path = next();
     } else {
       usage(argv[0]);
+    }
+  }
+
+  // Reject engine-mismatched flag combinations up front: a flag the
+  // selected engine would silently ignore is a config mistake, and the
+  // run it produces is not the run the user asked for.
+  if (cfg.engine != scenario::Engine::kRt && !rt_only_flags.empty()) {
+    std::fprintf(stderr, "%s is rt-engine only (got --engine %s)\n",
+                 rt_only_flags.front().c_str(), scenario::to_string(cfg.engine).c_str());
+    usage(argv[0]);
+  }
+  if (tick_ns_set && cfg.engine == scenario::Engine::kSim) {
+    std::fprintf(stderr,
+                 "--tick-ns needs a wall-clock engine (--engine rt or proc); "
+                 "sim time is virtual\n");
+    usage(argv[0]);
+  }
+  if (fp_set &&
+      (cfg.engine != scenario::Engine::kSim || cfg.detector != DetectorKind::kScripted)) {
+    std::fprintf(stderr,
+                 "--fp drives the scripted detector, which only the sim engine has "
+                 "(got --engine %s, --detector %s)\n",
+                 scenario::to_string(cfg.engine).c_str(),
+                 scenario::to_string(cfg.detector).c_str());
+    usage(argv[0]);
+  }
+
+  const bool load_mode =
+      load_rate_set || !arrivals_kind.empty() || churn > 0 || !recoveries.empty();
+  if (load_mode) {
+    if (cfg.engine == scenario::Engine::kProc) {
+      std::fprintf(stderr,
+                   "--rate/--arrivals/--churn/--recover need --engine sim or rt "
+                   "(proc churn transport is pending, see ROADMAP)\n");
+      usage(argv[0]);
+    }
+    if (cfg.algorithm != Algorithm::kWaitFree) {
+      std::fprintf(stderr,
+                   "the workload harness drives the waitfree algorithm only "
+                   "(churn/rejoin are Algorithm-1 extensions)\n");
+      usage(argv[0]);
+    }
+    if (!arrivals_kind.empty() && !load_rate_set) {
+      std::fprintf(stderr, "--arrivals needs --rate\n");
+      usage(argv[0]);
+    }
+    if (cfg.detector == DetectorKind::kScripted) {
+      // The scripted oracle neither follows recoveries nor sees churned
+      // edges; the perfect detector is the harness default.
+      std::printf("note: workload harness uses the perfect detector instead of scripted\n");
+      cfg.detector = DetectorKind::kPerfect;
     }
   }
 
@@ -345,6 +464,64 @@ int main(int argc, char** argv) {
               scenario::to_string(cfg.detector).c_str(),
               static_cast<unsigned long long>(cfg.seed),
               static_cast<long long>(cfg.run_for));
+
+  if (load_mode) {
+    scenario::LoadConfig lc;
+    // --crash under the harness = a crash that never recovers; fold it
+    // into the recovery list so the churn planner sees the window.
+    for (const auto& [p, t] : cfg.crashes) recoveries.push_back({p, t, -1});
+    cfg.crashes.clear();
+    lc.base = cfg;
+    if (load_rate_set) lc.arrivals.rate_per_kilotick = load_rate;
+    if (arrivals_kind == "uniform") lc.arrivals.kind = load::ArrivalKind::kUniform;
+    if (arrivals_kind == "bursty") lc.arrivals.kind = load::ArrivalKind::kBursty;
+    lc.churn.mutations = churn;
+    lc.recoveries = recoveries;
+
+    std::printf("workload: %s arrivals at %.2f/kilotick per actor, %zu churn ops, "
+                "%zu crash cycles\n",
+                load::to_string(lc.arrivals.kind).c_str(), lc.arrivals.rate_per_kilotick,
+                lc.churn.mutations, lc.recoveries.size());
+
+    scenario::LoadScenario s(lc);
+    s.run();
+
+    if (Scenario* sim = s.sim_scenario()) {
+      print_reports(*sim, cfg, sim->sim().network(), sim->fd_convergence_estimate());
+    } else {
+      print_reports(*s.rt_scenario(), cfg, s.rt_scenario()->recorder().network(), 0);
+    }
+
+    const obs::Histogram lat = s.latency();
+    util::Table lt({"load metric", "value"});
+    lt.row().cell("offered / completed / dropped").cell(
+        std::to_string(s.book().offered()) + " / " + std::to_string(s.book().completed()) +
+        " / " + std::to_string(s.book().dropped()));
+    lt.row().cell("backlog high-water").cell(s.overload().backlog_high_water());
+    lt.row().cell("overloaded at horizon").cell(
+        std::string(s.overload().overloaded() ? "yes" : "no") + " (" +
+        std::to_string(s.overload().overloaded_samples()) + "/" +
+        std::to_string(s.overload().samples()) + " samples)");
+    lt.row().cell("churn planned / issued / skipped").cell(
+        std::to_string(s.churn_plan().ops.size()) + " / " + std::to_string(s.churn_issued()) +
+        " / " + std::to_string(s.churn_skipped()));
+    lt.row().cell("hungry->eat p50/p99/p999").cell(
+        std::to_string(static_cast<long long>(lat.quantile(0.50))) + "/" +
+        std::to_string(static_cast<long long>(lat.quantile(0.99))) + "/" +
+        std::to_string(static_cast<long long>(lat.quantile(0.999))) + " (" +
+        std::to_string(lat.count()) + " sessions)");
+    lt.print();
+
+    const std::string agreement = s.monitor_agreement();
+    if (agreement.empty()) {
+      std::printf("online monitors agree with post-hoc checkers\n");
+    } else {
+      std::printf("MONITOR DISAGREEMENT:\n%s\n", agreement.c_str());
+    }
+    if (gantt) print_gantt(s.trace(), cfg, gantt_width);
+    const int rc = dump_trace(s.trace(), dump_path);
+    return rc != 0 ? rc : (agreement.empty() ? 0 : 1);
+  }
 
   if (cfg.engine == scenario::Engine::kProc) {
     // Must fork before any threads exist — keep this branch first-thing.

@@ -33,13 +33,18 @@ WaitFreeDiner::WaitFreeDiner(std::vector<ProcessId> neighbors, int color,
 #endif
 }
 
-std::size_t WaitFreeDiner::idx(ProcessId j) const {
+std::size_t WaitFreeDiner::find_idx(ProcessId j) const {
   const auto& ns = diner_neighbors();
   for (std::size_t k = 0; k < ns.size(); ++k) {
     if (ns[k] == j) return k;
   }
-  assert(false && "message from a non-neighbor");
-  return 0;
+  return kNotANeighbor;
+}
+
+std::size_t WaitFreeDiner::idx(ProcessId j) const {
+  const std::size_t k = find_idx(j);
+  assert(k != kNotANeighbor && "not a neighbor");
+  return k == kNotANeighbor ? 0 : k;
 }
 
 bool WaitFreeDiner::suspects(ProcessId j) const { return detector_.suspects(id(), j); }
@@ -86,6 +91,7 @@ void WaitFreeDiner::pump_pings() {
   const auto& ns = diner_neighbors();
   for (std::size_t k = 0; k < ns.size(); ++k) {
     PerNeighbor& s = per_[k];
+    if (!s.synced) continue;  // mid-rejoin: the RejoinAck must land first
     if (!s.pinged && !s.ack) {
       send(ns[k], Ping{}, MsgLayer::kDining);
       ++counts_.pings;
@@ -218,22 +224,252 @@ void WaitFreeDiner::finish_eating() {
       s.deferred = false;
     }
   }
+  // Session boundary: edge ops queued while hungry/eating apply now.
+  if (!pending_.empty()) apply_pending_ops();
+}
+
+// ------------------------------------------------------ dynamic graph ops --
+// Churn only changes the protocol's shape while thinking; ops issued in any
+// other state queue until the next return to thinking (apply_pending_ops).
+
+void WaitFreeDiner::request_add_edge(ProcessId peer) {
+  if (peer == id() || peer == ekbd::sim::kNoProcess) return;
+  if (find_idx(peer) != kNotANeighbor) return;  // already conflicting
+  if (!thinking()) {
+    pending_.push_back({PendingOp::Kind::kAddEdge, peer, 0});
+    return;
+  }
+  do_add_edge(peer);
+}
+
+void WaitFreeDiner::request_remove_edge(ProcessId peer) {
+  if (!thinking()) {
+    pending_.push_back({PendingOp::Kind::kRemoveEdge, peer, 0});
+    return;
+  }
+  do_remove_edge(peer);
+}
+
+void WaitFreeDiner::request_recolor(int new_color) {
+  if (new_color == color_) return;
+  if (!thinking()) {
+    pending_.push_back({PendingOp::Kind::kRecolor, ekbd::sim::kNoProcess, new_color});
+    return;
+  }
+  color_ = new_color;
+}
+
+std::size_t WaitFreeDiner::unsynced_edges() const {
+  std::size_t n = 0;
+  for (const PerNeighbor& s : per_) n += s.synced ? 0 : 1;
+  return n;
+}
+
+void WaitFreeDiner::apply_pending_ops() {
+  assert(thinking());
+  std::vector<PendingOp> ops;
+  ops.swap(pending_);
+  for (const PendingOp& op : ops) {
+    switch (op.kind) {
+      case PendingOp::Kind::kAddEdge: do_add_edge(op.peer); break;
+      case PendingOp::Kind::kRemoveEdge: do_remove_edge(op.peer); break;
+      case PendingOp::Kind::kAcceptEdge: do_accept_edge(op.peer, op.color); break;
+      case PendingOp::Kind::kRecolor: color_ = op.color; break;
+    }
+  }
+}
+
+void WaitFreeDiner::do_add_edge(ProcessId peer) {
+  assert(thinking());
+  if (find_idx(peer) != kNotANeighbor) return;
+  send(peer, EdgeProposal{color_}, MsgLayer::kDining);
+  // The edge becomes live here only when the EdgeAccept arrives
+  // (handle_edge_accept); until then this side's shape is unchanged.
+}
+
+void WaitFreeDiner::do_remove_edge(ProcessId peer) {
+  assert(thinking());
+  const std::size_t k = find_idx(peer);
+  if (k == kNotANeighbor) return;
+  drop_slot(k);
+  send(peer, EdgeDrop{}, MsgLayer::kDining);
+  // FIFO fences the drop: nothing this side sent for the edge trails it,
+  // and trailing traffic from the peer is ignored by the find_idx gate.
+  note_edge_event(ekbd::dining::TraceEventKind::kEdgeRemoved, peer);
+}
+
+void WaitFreeDiner::do_accept_edge(ProcessId peer, int peer_color) {
+  assert(thinking());
+  if (find_idx(peer) != kNotANeighbor) return;  // duplicate proposal
+  const bool i_hold_fork =
+      color_ > peer_color || (color_ == peer_color && id() > peer);
+  mutable_neighbors().push_back(peer);
+  neighbor_colors_.push_back(peer_color);
+  PerNeighbor s;
+  s.fork = i_hold_fork;
+  s.token = !i_hold_fork;
+  per_.push_back(s);
+  send(peer, EdgeAccept{color_, i_hold_fork ? 1u : 0u}, MsgLayer::kDining);
+}
+
+void WaitFreeDiner::handle_edge_proposal(ProcessId j, int peer_color) {
+  if (find_idx(j) != kNotANeighbor) return;  // already neighbors
+  if (!thinking()) {
+    pending_.push_back({PendingOp::Kind::kAcceptEdge, j, peer_color});
+    return;
+  }
+  do_accept_edge(j, peer_color);
+}
+
+void WaitFreeDiner::handle_edge_accept(ProcessId j, int peer_color,
+                                       bool acceptor_has_fork) {
+  if (find_idx(j) != kNotANeighbor) return;  // duplicate accept
+  mutable_neighbors().push_back(j);
+  neighbor_colors_.push_back(peer_color);
+  PerNeighbor s;
+  s.fork = !acceptor_has_fork;
+  s.token = acceptor_has_fork;
+  per_.push_back(s);
+  // The initiator may have left thinking since it proposed; a slot
+  // appearing mid-session only strengthens the doorway/eat guards, so
+  // this is safe in any state. One record per edge change: the initiator
+  // records it, at the moment both ends agree the edge exists.
+  note_edge_event(ekbd::dining::TraceEventKind::kEdgeAdded, j);
+}
+
+void WaitFreeDiner::handle_edge_drop(ProcessId j) {
+  const std::size_t k = find_idx(j);
+  if (k == kNotANeighbor) return;
+  // The initiator already recorded kEdgeRemoved; drop silently. Losing a
+  // slot only weakens our guards, so any state is fine.
+  drop_slot(k);
+}
+
+void WaitFreeDiner::drop_slot(std::size_t k) {
+  auto& ns = mutable_neighbors();
+  ns.erase(ns.begin() + static_cast<std::ptrdiff_t>(k));
+  neighbor_colors_.erase(neighbor_colors_.begin() + static_cast<std::ptrdiff_t>(k));
+  per_.erase(per_.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+// ---------------------------------------------------------- crash rejoin --
+// See the file header and docs/LOADGEN.md for the P1 case analysis.
+
+void WaitFreeDiner::diner_recover() {
+  ++epoch_;
+  inside_ = false;
+  pending_.clear();
+  rejoin_timer_ = 0;  // the old incarnation's timers died with it
+  for (PerNeighbor& s : per_) {
+    s = PerNeighbor{};
+    s.synced = false;
+  }
+  if (per_.empty()) return;
+  send_rejoin_requests();
+  arm_rejoin_timer();
+}
+
+void WaitFreeDiner::send_rejoin_requests() {
+  const auto& ns = diner_neighbors();
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    if (per_[k].synced || suspects(ns[k])) continue;
+    send(ns[k], RejoinRequest{epoch_}, MsgLayer::kDining);
+  }
+}
+
+void WaitFreeDiner::arm_rejoin_timer() {
+  if (rejoin_timer_ == 0) rejoin_timer_ = set_timer(recheck_period());
+}
+
+void WaitFreeDiner::diner_timer(ekbd::sim::TimerId id) {
+  if (id != rejoin_timer_) return;
+  rejoin_timer_ = 0;
+  if (unsynced_edges() == 0) return;
+  // Retransmit: the first round may have raced a still-crashed neighbor
+  // (engine drops sends to crashed processes). Suspected neighbors are
+  // skipped — when one recovers, its own RejoinRequest reaches us, or the
+  // retraction lets the next round through.
+  send_rejoin_requests();
+  arm_rejoin_timer();
+}
+
+void WaitFreeDiner::handle_rejoin_request(ProcessId j, std::uint32_t peer_epoch) {
+  const std::size_t k = find_idx(j);
+  if (k == kNotANeighbor) return;  // edge removed while j was down
+  PerNeighbor& s = per_[k];
+  if (s.synced) {
+    // Survivor: j's halves of the handshake state died with it — clear the
+    // transients so both sides restart the doorway exchange cleanly.
+    s.pinged = false;
+    s.ack = false;
+    s.deferred = false;
+    s.replied = 0;
+    if (!s.fork && !s.token) {
+      // The crash destroyed both movables (fork and/or token in transit to
+      // the dead incarnation, or held by it). Exactly one side regenerates:
+      // the survivor takes the token, the rejoiner will take the fork.
+      s.token = true;
+    }
+    send(j, RejoinAck{peer_epoch, static_cast<std::uint16_t>(s.fork ? 1 : 0),
+                      static_cast<std::uint16_t>(s.token ? 1 : 0)},
+         MsgLayer::kDining);
+  } else {
+    // Both endpoints crashed: the higher id is the authority and minting
+    // happens exactly once, on its side.
+    if (id() < j) return;  // j answers our own RejoinRequest instead
+    s = PerNeighbor{};
+    s.token = true;
+    s.synced = true;
+    send(j, RejoinAck{peer_epoch, 0, 1}, MsgLayer::kDining);
+  }
+}
+
+void WaitFreeDiner::handle_rejoin_ack(ProcessId j, const RejoinAck& ack) {
+  if (ack.epoch != epoch_) return;  // answer to a previous incarnation
+  const std::size_t k = find_idx(j);
+  if (k == kNotANeighbor) return;
+  PerNeighbor& s = per_[k];
+  if (s.synced) return;  // duplicate (retransmission race)
+  s = PerNeighbor{};
+  s.fork = ack.has_fork == 0;    // complement: the pair has exactly one
+  s.token = ack.has_token == 0;  // of each movable between them
+  s.synced = true;
+  if (unsynced_edges() == 0 && rejoin_timer_ != 0) {
+    cancel_timer(rejoin_timer_);
+    rejoin_timer_ = 0;
+  }
 }
 
 // -------------------------------------------------------------- plumbing --
 
 void WaitFreeDiner::diner_message(const Message& m) {
-  if (m.as<Ping>() != nullptr) {
-    handle_ping(m.from);
-  } else if (m.as<Ack>() != nullptr) {
-    handle_ack(m.from);
-  } else if (const auto* req = m.as<ForkRequest>()) {
-    handle_fork_request(m.from, req->color);
-  } else if (m.as<Fork>() != nullptr) {
-    handle_fork(m.from);
+  const ProcessId j = m.from;
+  if (const auto* prop = m.as<EdgeProposal>()) {
+    handle_edge_proposal(j, prop->color);
+  } else if (const auto* acc = m.as<EdgeAccept>()) {
+    handle_edge_accept(j, acc->color, acc->acceptor_has_fork != 0);
+  } else if (m.as<EdgeDrop>() != nullptr) {
+    handle_edge_drop(j);
+  } else if (const auto* rreq = m.as<RejoinRequest>()) {
+    handle_rejoin_request(j, rreq->epoch);
+  } else if (const auto* rack = m.as<RejoinAck>()) {
+    handle_rejoin_ack(j, *rack);
   } else {
-    assert(false && "unknown dining message");
-    return;
+    const std::size_t k = find_idx(j);
+    if (k == kNotANeighbor) return;  // trailing traffic from a removed edge
+    if (!per_[k].synced) return;     // pre-crash traffic; the RejoinAck fences it
+    if (m.as<Ping>() != nullptr) {
+      handle_ping(j);
+    } else if (m.as<Ack>() != nullptr) {
+      handle_ack(j);
+    } else if (const auto* req = m.as<ForkRequest>()) {
+      handle_fork_request(j, req->color);
+    } else if (m.as<Fork>() != nullptr) {
+      handle_fork(j);
+    } else {
+      assert(false && "unknown dining message");
+      return;
+    }
   }
   pump();
 }

@@ -25,6 +25,31 @@
 ///
 /// The per-neighbor state is exactly the paper's nine variable families;
 /// `state_bits()` reports the §7 space formula's measured value.
+///
+/// Two extensions beyond the paper power the load harness (src/load/,
+/// docs/LOADGEN.md), both confined to reliable-FIFO deployments:
+///
+///  * **Edge churn** — `request_add_edge` / `request_remove_edge` /
+///    `request_recolor` mutate the conflict graph at session boundaries
+///    (ops issued while hungry/eating queue until the next return to
+///    thinking). Additions run a two-message handshake (EdgeProposal →
+///    EdgeAccept) in which the *acceptor* places the new edge's fork and
+///    token (higher color holds the fork, ties to the higher id); removals
+///    are a single EdgeDrop, fenced by FIFO so no dining message for the
+///    dead edge trails it.
+///
+///  * **Crash recovery** — on `on_recover` the diner bumps its incarnation
+///    epoch, marks every edge *unsynced* and runs a RejoinRequest /
+///    RejoinAck handshake per neighbor: the survivor clears its transient
+///    handshake state, regenerates a lost token if the crash destroyed the
+///    pair's fork+token, and reports who holds what; the rejoiner takes the
+///    complement. Unsynced edges send no pings/requests and block eating
+///    exactly like unsuspected missing forks, and dining messages arriving
+///    from an unsynced neighbor are dropped (FIFO makes the RejoinAck a
+///    fence separating stale traffic from live traffic). If both endpoints
+///    crashed, the higher id acts as the authority. P1 (one fork per edge)
+///    holds across any interleaving of crashes, in-flight forks and
+///    recoveries — see docs/LOADGEN.md for the case analysis.
 #pragma once
 
 #include <cstdint>
@@ -95,6 +120,31 @@ class WaitFreeDiner : public ekbd::dining::Diner {
   [[nodiscard]] bool inside_doorway() const override { return inside_; }
   [[nodiscard]] std::size_t state_bits() const override;
 
+  // -- dynamic graph (load harness) ----------------------------------------
+  //
+  // All three are safe to call at any time from this process's execution
+  // context (a harness callback or timer): while not thinking the op is
+  // queued and applied on the next return to thinking, so the protocol
+  // state machine only ever changes shape at a session boundary.
+
+  /// Initiate adding conflict edge {this, peer}. The edge is live (and
+  /// recorded as kEdgeAdded) when the acceptor's EdgeAccept arrives.
+  void request_add_edge(ProcessId peer);
+  /// Initiate removing conflict edge {this, peer} (recorded kEdgeRemoved).
+  void request_remove_edge(ProcessId peer);
+  /// Adopt a new color (incremental recoloring). Colors are only compared
+  /// through the value a ForkRequest carries inline, so a lagging neighbor
+  /// view is safe: a transient tie makes both sides defer (delay, never a
+  /// safety violation).
+  void request_recolor(int new_color);
+
+  /// Edges still waiting for their post-recovery RejoinAck.
+  [[nodiscard]] std::size_t unsynced_edges() const;
+  /// Incarnation count (0 until the first recovery).
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  /// Ops queued for the next return to thinking.
+  [[nodiscard]] std::size_t pending_ops() const { return pending_.size(); }
+
   // -- introspection (tests / invariant checks) ----------------------------
 
   [[nodiscard]] int color() const { return color_; }
@@ -116,12 +166,16 @@ class WaitFreeDiner : public ekbd::dining::Diner {
   void pump() override;
   void diner_start() override;
   void diner_message(const ekbd::sim::Message& m) override;
+  void diner_timer(ekbd::sim::TimerId id) override;
+  void diner_recover() override;
 
  private:
-  /// The six per-neighbor variables of §3.1. `replied` is a counter
-  /// instead of the paper's boolean to support the generalized ack budget
-  /// (Options::acks_per_session); with the default budget of 1 it only
-  /// ever takes the values 0/1 and is exactly the paper's flag.
+  /// The six per-neighbor variables of §3.1 plus the rejoin flag.
+  /// `replied` is a counter instead of the paper's boolean to support the
+  /// generalized ack budget (Options::acks_per_session); with the default
+  /// budget of 1 it only ever takes the values 0/1 and is exactly the
+  /// paper's flag. `synced` is always true outside a rejoin window and is
+  /// excluded from the §7 space formula.
   struct PerNeighbor {
     bool fork = false;      ///< I hold the fork shared with j
     bool token = false;     ///< I hold the token (right to request the fork)
@@ -129,9 +183,21 @@ class WaitFreeDiner : public ekbd::dining::Diner {
     bool ack = false;       ///< received j's ack this hungry session, while outside
     bool deferred = false;  ///< I am deferring a ping from j
     int replied = 0;        ///< acks granted to j during my current hungry session
+    bool synced = true;     ///< edge state agreed with j (false mid-rejoin)
   };
 
-  [[nodiscard]] std::size_t idx(ProcessId j) const;
+  /// Edge op issued while not thinking, replayed at the session boundary.
+  struct PendingOp {
+    enum class Kind : std::uint8_t { kAddEdge, kRemoveEdge, kAcceptEdge, kRecolor };
+    Kind kind = Kind::kAddEdge;
+    ProcessId peer = ekbd::sim::kNoProcess;
+    int color = 0;  ///< proposer's color (kAcceptEdge) / new color (kRecolor)
+  };
+
+  static constexpr std::size_t kNotANeighbor = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t find_idx(ProcessId j) const;  ///< kNotANeighbor if absent
+  [[nodiscard]] std::size_t idx(ProcessId j) const;       ///< asserts presence
   [[nodiscard]] const PerNeighbor& slot(ProcessId j) const { return per_[idx(j)]; }
   [[nodiscard]] PerNeighbor& slot(ProcessId j) { return per_[idx(j)]; }
   [[nodiscard]] bool suspects(ProcessId j) const;
@@ -145,14 +211,32 @@ class WaitFreeDiner : public ekbd::dining::Diner {
   void handle_fork(ProcessId j);                         // Action 8
   void try_eat();                                        // Action 9
 
-  const int color_;
-  const std::vector<int> neighbor_colors_;
+  // -- dynamic graph internals --------------------------------------------
+
+  void do_add_edge(ProcessId peer);
+  void do_remove_edge(ProcessId peer);
+  void do_accept_edge(ProcessId peer, int peer_color);
+  void handle_edge_proposal(ProcessId j, int peer_color);
+  void handle_edge_accept(ProcessId j, int peer_color, bool acceptor_has_fork);
+  void handle_edge_drop(ProcessId j);
+  void handle_rejoin_request(ProcessId j, std::uint32_t peer_epoch);
+  void handle_rejoin_ack(ProcessId j, const RejoinAck& ack);
+  void apply_pending_ops();   ///< call only while thinking
+  void drop_slot(std::size_t k);
+  void arm_rejoin_timer();
+  void send_rejoin_requests();
+
+  int color_;
+  std::vector<int> neighbor_colors_;
   const ekbd::fd::FailureDetector& detector_;
   const Options options_;
   std::vector<PerNeighbor> per_;
   bool inside_ = false;
   MessageCounts counts_;
   std::uint64_t lemma11_violations_ = 0;
+  std::uint32_t epoch_ = 0;
+  ekbd::sim::TimerId rejoin_timer_ = 0;
+  std::vector<PendingOp> pending_;
 };
 
 }  // namespace ekbd::core

@@ -8,6 +8,37 @@ namespace ekbd::dining {
 
 using ekbd::graph::ConflictGraph;
 
+void DynamicAdjacency::apply(const TraceEvent& e) {
+  if (e.kind != TraceEventKind::kEdgeAdded && e.kind != TraceEventKind::kEdgeRemoved) {
+    return;
+  }
+  const ProcessId a = e.process;
+  const ProcessId b = e.peer;
+  if (a == b || a == ekbd::sim::kNoProcess || b == ekbd::sim::kNoProcess) return;
+  const bool is_static = graph_->adjacent(a, b);
+  if (e.kind == TraceEventKind::kEdgeAdded) {
+    if (is_static) {
+      removed_.erase(key(a, b));
+    } else {
+      extra_[a].insert(b);
+      extra_[b].insert(a);
+    }
+  } else {
+    if (is_static) {
+      removed_.insert(key(a, b));
+    } else {
+      extra_[a].erase(b);
+      extra_[b].erase(a);
+    }
+  }
+}
+
+bool DynamicAdjacency::adjacent(ProcessId a, ProcessId b) const {
+  if (graph_->adjacent(a, b)) return removed_.count(key(a, b)) == 0;
+  const auto it = extra_.find(a);
+  return it != extra_.end() && it->second.count(b) != 0;
+}
+
 std::size_t ExclusionReport::violations_after(Time t) const {
   std::size_t n = 0;
   for (const auto& v : violations) {
@@ -18,15 +49,16 @@ std::size_t ExclusionReport::violations_after(Time t) const {
 
 ExclusionReport check_exclusion(const Trace& trace, const ConflictGraph& g) {
   ExclusionReport report;
+  DynamicAdjacency adj(g);
   std::unordered_set<ProcessId> eating;
   for (const TraceEvent& e : trace.events()) {
     switch (e.kind) {
       case TraceEventKind::kStartEating:
-        for (ProcessId q : g.neighbors(e.process)) {
+        adj.for_each_neighbor(e.process, [&](ProcessId q) {
           if (eating.count(q) != 0) {
             report.violations.push_back(ExclusionViolation{e.at, e.process, q});
           }
-        }
+        });
         eating.insert(e.process);
         break;
       case TraceEventKind::kStopEating:
@@ -34,6 +66,7 @@ ExclusionReport check_exclusion(const Trace& trace, const ConflictGraph& g) {
         eating.erase(e.process);
         break;
       default:
+        adj.apply(e);  // only the edge-churn kinds change anything
         break;
     }
   }

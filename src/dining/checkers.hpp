@@ -20,6 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "dining/trace.hpp"
@@ -27,6 +30,53 @@
 #include "util/stats.hpp"
 
 namespace ekbd::dining {
+
+// ------------------------------------------------------ dynamic adjacency
+
+/// The conflict graph as of a point *inside* a trace: the initial graph
+/// overlaid with every kEdgeAdded / kEdgeRemoved event applied so far.
+///
+/// Churn scenarios never mutate the ConflictGraph object the checkers and
+/// monitors hold — the initial graph plus the trace IS the authoritative
+/// edge history. Both `check_exclusion` (post-hoc) and the online
+/// ExclusionMonitor interpret it through this one helper, so their
+/// verdicts stay elementwise identical by construction.
+class DynamicAdjacency {
+ public:
+  explicit DynamicAdjacency(const ekbd::graph::ConflictGraph& g) : graph_(&g) {}
+
+  /// Apply one trace event (only the edge kinds change anything).
+  void apply(const TraceEvent& e);
+
+  /// True iff {a, b} is an edge of the current overlaid graph.
+  [[nodiscard]] bool adjacent(ProcessId a, ProcessId b) const;
+
+  /// Visit the current neighbors of `p` in deterministic (sorted static
+  /// neighbors first, then sorted churned-in extras) order.
+  template <typename Fn>
+  void for_each_neighbor(ProcessId p, Fn&& fn) const {
+    for (ProcessId q : graph_->neighbors(p)) {
+      if (removed_.count(key(p, q)) == 0) fn(q);
+    }
+    const auto it = extra_.find(p);
+    if (it != extra_.end()) {
+      for (ProcessId q : it->second) fn(q);
+    }
+  }
+
+  [[nodiscard]] const ekbd::graph::ConflictGraph& initial() const { return *graph_; }
+
+ private:
+  static std::uint64_t key(ProcessId a, ProcessId b) {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (lo << 32) | hi;
+  }
+
+  const ekbd::graph::ConflictGraph* graph_;
+  std::set<std::uint64_t> removed_;          ///< static edges currently cut
+  std::map<ProcessId, std::set<ProcessId>> extra_;  ///< churned-in edges
+};
 
 // ------------------------------------------------------------- exclusion
 

@@ -34,6 +34,11 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
   /// Invoked on every observable transition of this diner.
   using EventCallback = std::function<void(Diner&, TraceEventKind)>;
 
+  /// Invoked on conflict-edge churn (kEdgeAdded / kEdgeRemoved) with the
+  /// other endpoint. Separate from EventCallback so the nine existing
+  /// harnesses that only care about scheduling events stay untouched.
+  using EdgeEventCallback = std::function<void(Diner&, TraceEventKind, ProcessId)>;
+
   [[nodiscard]] DinerState state() const { return state_; }
   [[nodiscard]] bool thinking() const { return state_ == DinerState::kThinking; }
   [[nodiscard]] bool hungry() const { return state_ == DinerState::kHungry; }
@@ -60,6 +65,7 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
   [[nodiscard]] virtual std::size_t state_bits() const { return 0; }
 
   void set_event_callback(EventCallback cb) { callback_ = std::move(cb); }
+  void set_edge_event_callback(EdgeEventCallback cb) { edge_callback_ = std::move(cb); }
 
   /// How often internal guards are re-evaluated while hungry (weak
   /// fairness granularity).
@@ -109,6 +115,11 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
   /// Algorithm-specific startup (fork placement etc.).
   virtual void diner_start() {}
 
+  /// Algorithm-specific rejoin (edge-state resynchronization). Runs after
+  /// the base class has reset the scheduling state to thinking and
+  /// restarted the hosted detector module.
+  virtual void diner_recover() {}
+
   /// State transitions; fire the harness callback and keep the embedded
   /// detector's demand hint in sync (suspicion is only consulted while
   /// hungry — Actions 5 and 9).
@@ -144,6 +155,16 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
   /// Record passage through the doorway (Action 5).
   void note_enter_doorway() { emit(TraceEventKind::kEnteredDoorway); }
 
+  /// Record a completed edge change (dynamic-graph algorithms only).
+  void note_edge_event(TraceEventKind kind, ProcessId peer) {
+    if (edge_callback_) edge_callback_(*this, kind, peer);
+  }
+
+  /// Mutable neighbor list for dynamic-graph algorithms. The base class
+  /// never iterates it outside a handler, so a subclass may grow/shrink it
+  /// between its own handlers.
+  [[nodiscard]] std::vector<ProcessId>& mutable_neighbors() { return neighbors_; }
+
   // -- sim::Actor -------------------------------------------------------
 
   void on_start() final {
@@ -171,6 +192,18 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
 
   void on_crash() final { emit(TraceEventKind::kCrashed); }
 
+  void on_recover() final {
+    // Back to thinking *directly* — no set_state: the crash already closed
+    // any open session in the trace, and a spurious kStopEating here would
+    // desynchronize the checkers. The pump timer died with the old
+    // incarnation; hungry will re-arm it.
+    state_ = DinerState::kThinking;
+    pump_timer_ = 0;
+    if (fd_module_) fd_module_->start(*this);
+    emit(TraceEventKind::kRecovered);
+    diner_recover();
+  }
+
  private:
   void emit(TraceEventKind kind) {
     if (callback_) callback_(*this, kind);
@@ -182,6 +215,7 @@ class Diner : public ekbd::sim::Actor, public ekbd::fd::ModuleHost {
 
   std::vector<ProcessId> neighbors_;
   EventCallback callback_;
+  EdgeEventCallback edge_callback_;
   std::unique_ptr<ekbd::fd::FdModule> fd_module_;
   DinerState state_ = DinerState::kThinking;
   ekbd::sim::TimerId pump_timer_ = 0;

@@ -17,6 +17,12 @@ void Harness::manage(Diner* d) {
   d->set_event_callback([this](Diner& diner, TraceEventKind kind) {
     on_diner_event(diner, kind);
   });
+  d->set_edge_event_callback([this](Diner& diner, TraceEventKind kind, ProcessId peer) {
+    // kEdgeAdded / kEdgeRemoved, recorded by the initiating endpoint with
+    // the peer attached — the checkers' DynamicAdjacency overlay replays
+    // exactly these records.
+    trace_.record(sim_.now(), diner.id(), kind, peer);
+  });
   diners_.push_back(d);
   if (by_id_.size() <= static_cast<std::size_t>(d->id())) {
     by_id_.resize(static_cast<std::size_t>(d->id()) + 1, nullptr);
@@ -74,6 +80,7 @@ void Harness::on_diner_event(Diner& d, TraceEventKind kind) {
         }
         break;
       case TraceEventKind::kCrashed:
+      case TraceEventKind::kRecovered:
         hungry_since_[idx] = -1;
         break;
       default:
@@ -95,6 +102,11 @@ void Harness::on_diner_event(Diner& d, TraceEventKind kind) {
     }
     case TraceEventKind::kStopEating:
       if (exit_hook_) exit_hook_(d.id());
+      schedule_next_hunger(&d, rng_.uniform_int(opt_.think_lo, opt_.think_hi));
+      break;
+    case TraceEventKind::kRecovered:
+      // A rejoined process re-enters the hunger cycle: its pre-crash
+      // hunger chain died with the old incarnation.
       schedule_next_hunger(&d, rng_.uniform_int(opt_.think_lo, opt_.think_hi));
       break;
     default:

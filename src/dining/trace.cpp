@@ -27,13 +27,16 @@ std::string to_string(TraceEventKind k) {
     case TraceEventKind::kNetDup: return "netdup";
     case TraceEventKind::kPartitionCut: return "cut";
     case TraceEventKind::kPartitionHeal: return "heal";
+    case TraceEventKind::kRecovered: return "recover";
+    case TraceEventKind::kEdgeAdded: return "edge+";
+    case TraceEventKind::kEdgeRemoved: return "edge-";
   }
   return "?";
 }
 
-void Trace::record(Time at, ProcessId p, TraceEventKind kind) {
+void Trace::record(Time at, ProcessId p, TraceEventKind kind, ProcessId peer) {
   assert(events_.empty() || at >= events_.back().at);
-  events_.push_back(TraceEvent{at, p, kind});
+  events_.push_back(TraceEvent{at, p, kind, peer});
   if (observer_ != nullptr) observer_->on_trace_event(events_.back());
 }
 
@@ -110,6 +113,11 @@ std::vector<HungrySession> hungry_sessions(const Trace& trace) {
       case TraceEventKind::kNetDup:
       case TraceEventKind::kPartitionCut:
       case TraceEventKind::kPartitionHeal:
+      // A recovered process restarts thinking: its next hungry session is
+      // a fresh one, so rejoin (like churn) needs no session bookkeeping.
+      case TraceEventKind::kRecovered:
+      case TraceEventKind::kEdgeAdded:
+      case TraceEventKind::kEdgeRemoved:
         break;
     }
   }

@@ -20,6 +20,9 @@ struct TraceEvent {
   Time at = 0;
   ProcessId process = ekbd::sim::kNoProcess;
   TraceEventKind kind = TraceEventKind::kBecameHungry;
+  /// Second endpoint for the edge-churn kinds (kEdgeAdded/kEdgeRemoved);
+  /// kNoProcess for every scheduling event.
+  ProcessId peer = ekbd::sim::kNoProcess;
 };
 
 /// Streaming consumer of trace events: sees each event as it is
@@ -48,7 +51,8 @@ struct HungrySession {
 
 class Trace {
  public:
-  void record(Time at, ProcessId p, TraceEventKind kind);
+  void record(Time at, ProcessId p, TraceEventKind kind,
+              ProcessId peer = ekbd::sim::kNoProcess);
 
   /// Pre-size the event vector (large runs; see rt::Recorder::reserve_trace).
   void reserve(std::size_t events) { events_.reserve(events); }

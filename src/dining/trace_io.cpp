@@ -20,6 +20,9 @@ const char* kind_token(TraceEventKind k) {
     case TraceEventKind::kNetDup: return "netdup";
     case TraceEventKind::kPartitionCut: return "cut";
     case TraceEventKind::kPartitionHeal: return "heal";
+    case TraceEventKind::kRecovered: return "recover";
+    case TraceEventKind::kEdgeAdded: return "edge+";
+    case TraceEventKind::kEdgeRemoved: return "edge-";
   }
   return "?";
 }
@@ -34,6 +37,9 @@ bool parse_kind(const std::string& s, TraceEventKind& out) {
   else if (s == "netdup") out = TraceEventKind::kNetDup;
   else if (s == "cut") out = TraceEventKind::kPartitionCut;
   else if (s == "heal") out = TraceEventKind::kPartitionHeal;
+  else if (s == "recover") out = TraceEventKind::kRecovered;
+  else if (s == "edge+") out = TraceEventKind::kEdgeAdded;
+  else if (s == "edge-") out = TraceEventKind::kEdgeRemoved;
   else return false;
   return true;
 }
@@ -72,8 +78,13 @@ std::string to_jsonl(const Trace& trace) {
   out.reserve(trace.size() * 32 + 32);
   char buf[96];
   for (const TraceEvent& e : trace.events()) {
-    std::snprintf(buf, sizeof(buf), "{\"t\":%lld,\"p\":%d,\"e\":\"%s\"}\n",
-                  static_cast<long long>(e.at), e.process, kind_token(e.kind));
+    if (e.peer == ekbd::sim::kNoProcess) {
+      std::snprintf(buf, sizeof(buf), "{\"t\":%lld,\"p\":%d,\"e\":\"%s\"}\n",
+                    static_cast<long long>(e.at), e.process, kind_token(e.kind));
+    } else {
+      std::snprintf(buf, sizeof(buf), "{\"t\":%lld,\"p\":%d,\"e\":\"%s\",\"q\":%d}\n",
+                    static_cast<long long>(e.at), e.process, kind_token(e.kind), e.peer);
+    }
     out += buf;
   }
   std::snprintf(buf, sizeof(buf), "{\"end_time\":%lld}\n",
@@ -108,7 +119,9 @@ Trace from_jsonl(const std::string& text) {
     if (!trace.empty() && t < trace.events().back().at) {
       fail(line_no, "events out of chronological order");
     }
-    trace.record(t, static_cast<ProcessId>(p), kind);
+    long long peer = ekbd::sim::kNoProcess;
+    find_int(line, "q", peer);  // optional: only edge-churn events carry it
+    trace.record(t, static_cast<ProcessId>(p), kind, static_cast<ProcessId>(peer));
   }
   (void)saw_end;  // optional: traces without a horizon line clip at the last event
   return trace;

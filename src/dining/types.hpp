@@ -38,6 +38,13 @@ enum class TraceEventKind : std::uint8_t {
   kNetDup,         ///< adversary duplicated a physical message (process = sender)
   kPartitionCut,   ///< a scheduled partition/edge cut activates (process = kNoProcess)
   kPartitionHeal,  ///< a scheduled partition/edge cut heals (process = kNoProcess)
+  // Dynamic-graph records (load harness). kRecovered marks a crashed
+  // process rejoining; the edge records mark conflict-graph churn taking
+  // effect (process = the endpoint that completed the change, peer = the
+  // other endpoint). Checkers replay them to track the live graph.
+  kRecovered,    ///< a crashed process completed its rejoin (process = who)
+  kEdgeAdded,    ///< conflict edge {process, peer} is now live on both ends
+  kEdgeRemoved,  ///< conflict edge {process, peer} dropped (initiator side)
 };
 
 [[nodiscard]] std::string to_string(TraceEventKind k);

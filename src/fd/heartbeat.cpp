@@ -19,10 +19,17 @@ HeartbeatModule::HeartbeatModule(std::vector<ProcessId> neighbors, Params params
 }
 
 void HeartbeatModule::start(ModuleHost& host) {
-  assert(!started_);
+  // The first call arms the module; a later call is a post-recovery
+  // restart — the old tick timer died with the crashed incarnation, so
+  // re-arm it and forget pre-crash silence and suspicions (the rejoiner
+  // rebuilds its view from fresh heartbeats; clearing a suspicion here is
+  // not a retraction, so it does not count as a detector mistake).
   started_ = true;
   const Time now = host.module_now();
-  for (auto& [n, st] : state_) st.last_heard = now;
+  for (auto& [n, st] : state_) {
+    st.last_heard = now;
+    st.suspected = false;
+  }
   tick(host);
 }
 

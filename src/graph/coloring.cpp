@@ -50,6 +50,40 @@ bool is_proper(const ConflictGraph& g, const Coloring& c) {
   return true;
 }
 
+int smallest_free_color(const ConflictGraph& g, const Coloring& c, ProcessId v) {
+  std::vector<bool> taken(g.degree(v) + 1, false);
+  for (ProcessId w : g.neighbors(v)) {
+    int cw = c[static_cast<std::size_t>(w)];
+    if (cw >= 0 && static_cast<std::size_t>(cw) < taken.size()) {
+      taken[static_cast<std::size_t>(cw)] = true;
+    }
+  }
+  int color = 0;
+  while (taken[static_cast<std::size_t>(color)]) ++color;
+  return color;
+}
+
+ProcessId repair_after_edge_add(const ConflictGraph& g, Coloring& c, ProcessId a,
+                                ProcessId b) {
+  if (c[static_cast<std::size_t>(a)] != c[static_cast<std::size_t>(b)]) {
+    return kNoRecolor;
+  }
+  // Recolor the endpoint whose neighborhood is smaller (cheapest repair,
+  // smallest chance of bumping the palette); ties go to the higher id so
+  // the choice is deterministic.
+  ProcessId v = b;
+  if (g.degree(a) < g.degree(b) || (g.degree(a) == g.degree(b) && a > b)) v = a;
+  c[static_cast<std::size_t>(v)] = smallest_free_color(g, c, v);
+  return v;
+}
+
+bool lower_color(const ConflictGraph& g, Coloring& c, ProcessId v) {
+  int best = smallest_free_color(g, c, v);
+  if (best >= c[static_cast<std::size_t>(v)]) return false;
+  c[static_cast<std::size_t>(v)] = best;
+  return true;
+}
+
 std::size_t num_colors(const Coloring& c) {
   std::unordered_set<int> distinct(c.begin(), c.end());
   distinct.erase(-1);

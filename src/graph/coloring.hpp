@@ -30,4 +30,34 @@ bool is_proper(const ConflictGraph& g, const Coloring& c);
 /// Number of distinct colors used (0 for an empty coloring).
 std::size_t num_colors(const Coloring& c);
 
+// -- incremental repair (dynamic conflict graphs) ---------------------------
+//
+// Churn scenarios mutate a live graph one edge at a time; recomputing a
+// global coloring would reshuffle every process's priority mid-run (and
+// with it the fairness argument of §5). Instead each mutation is repaired
+// *locally*: at most one vertex changes color per edge addition, chosen
+// greedily as the smallest color absent from its neighborhood — the same
+// rule sequential greedy uses, so the ≤ δ+1 palette bound is preserved.
+// Edge/node removals never invalidate properness; `lower_color` optionally
+// tightens the freed vertices so the palette can shrink back.
+
+/// Returned by `repair_after_edge_add` when the coloring was already proper.
+inline constexpr ProcessId kNoRecolor = -1;
+
+/// Smallest color not used by any neighbor of `v` (>= 0, <= degree(v)).
+int smallest_free_color(const ConflictGraph& g, const Coloring& c, ProcessId v);
+
+/// Repair `c` after `g.add_edge(a, b)` was applied. If the endpoints now
+/// share a color, exactly one of them — the lower-degree endpoint, ties
+/// broken toward the higher id — is recolored to its smallest free color.
+/// Returns the recolored vertex, or kNoRecolor if `c` was still proper.
+/// Never touches any vertex outside {a, b}.
+ProcessId repair_after_edge_add(const ConflictGraph& g, Coloring& c, ProcessId a,
+                                ProcessId b);
+
+/// Greedily lower `v`'s color to its smallest free color. Returns true if
+/// the color changed. Used after edge/node removals to shrink the palette;
+/// touches only `v`.
+bool lower_color(const ConflictGraph& g, Coloring& c, ProcessId v);
+
 }  // namespace ekbd::graph

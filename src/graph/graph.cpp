@@ -19,6 +19,17 @@ void ConflictGraph::add_edge(ProcessId a, ProcessId b) {
   ++num_edges_;
 }
 
+void ConflictGraph::remove_edge(ProcessId a, ProcessId b) {
+  assert(a >= 0 && static_cast<std::size_t>(a) < adj_.size());
+  assert(b >= 0 && static_cast<std::size_t>(b) < adj_.size());
+  if (a == b || !adjacent(a, b)) return;
+  auto& na = adj_[static_cast<std::size_t>(a)];
+  auto& nb = adj_[static_cast<std::size_t>(b)];
+  na.erase(std::lower_bound(na.begin(), na.end(), b));
+  nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
+  --num_edges_;
+}
+
 bool ConflictGraph::adjacent(ProcessId a, ProcessId b) const {
   const auto& na = adj_[static_cast<std::size_t>(a)];
   return std::binary_search(na.begin(), na.end(), b);

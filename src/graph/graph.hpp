@@ -26,6 +26,11 @@ class ConflictGraph {
   /// are ignored.
   void add_edge(ProcessId a, ProcessId b);
 
+  /// Remove undirected edge {a, b}. Removing an absent edge is a no-op.
+  /// Dynamic-graph scenarios (load churn) mutate a live graph through this
+  /// plus `add_edge`; both keep the adjacency lists sorted.
+  void remove_edge(ProcessId a, ProcessId b);
+
   [[nodiscard]] std::size_t size() const { return adj_.size(); }
   [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
 

@@ -1,0 +1,70 @@
+#include "load/arrivals.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ekbd::load {
+
+std::string to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+ArrivalSpec ArrivalSpec::split(std::size_t n) const {
+  assert(n > 0);
+  ArrivalSpec out = *this;
+  out.rate_per_kilotick = rate_per_kilotick / static_cast<double>(n);
+  out.per_actor = true;
+  // kUniform realizes rate through the gap bounds, not the rate field.
+  out.gap_lo = gap_lo * static_cast<sim::Time>(n);
+  out.gap_hi = gap_hi * static_cast<sim::Time>(n);
+  return out;
+}
+
+double ArrivalProcess::rate_at(sim::Time t) const {
+  const double base = spec_.rate_per_kilotick / 1000.0;
+  if (spec_.kind != ArrivalKind::kBursty) return base;
+  const sim::Time period = spec_.burst_len + spec_.idle_len;
+  assert(period > 0);
+  const sim::Time phase = t % period;
+  return phase < spec_.burst_len ? base * spec_.burst_factor
+                                 : base / spec_.burst_factor;
+}
+
+sim::Time ArrivalProcess::next_after(sim::Time now, sim::Rng& rng) {
+  switch (spec_.kind) {
+    case ArrivalKind::kUniform: {
+      const sim::Time gap = rng.uniform_int(spec_.gap_lo, spec_.gap_hi);
+      return now + std::max<sim::Time>(1, gap);
+    }
+    case ArrivalKind::kPoisson: {
+      const sim::Time gap = rng.exponential(spec_.mean_gap());
+      return now + std::max<sim::Time>(1, gap);
+    }
+    case ArrivalKind::kBursty: {
+      // Piecewise-constant-rate Poisson: draw an exponential gap at the
+      // current phase's rate; if it crosses the phase boundary, restart
+      // the draw from the boundary at the next phase's rate (memoryless,
+      // so this is the exact thinning-free construction).
+      sim::Time t = now;
+      const sim::Time period = spec_.burst_len + spec_.idle_len;
+      for (;;) {
+        const double rate = rate_at(t);
+        const sim::Time gap = rng.exponential(1.0 / rate);
+        const sim::Time phase = t % period;
+        const sim::Time boundary =
+            t - phase + (phase < spec_.burst_len ? spec_.burst_len : period);
+        if (t + gap < boundary) return std::max(now + 1, t + gap);
+        t = boundary;
+      }
+    }
+  }
+  return now + 1;  // unreachable
+}
+
+}  // namespace ekbd::load

@@ -1,0 +1,96 @@
+/// \file arrivals.hpp
+/// Open-loop arrival processes for the workload harness.
+///
+/// The dining harness is *closed-loop*: a process becomes hungry only
+/// after it finished eating and thought for a while, so the offered load
+/// can never exceed the service capacity and overload is unobservable.
+/// Daemon-as-a-service deployments are the opposite: requests arrive on
+/// their own clock, regardless of whether earlier sessions completed.
+///
+/// An `ArrivalProcess` is a seed-deterministic stream of inter-arrival
+/// gaps. Three models:
+///
+///  * **kPoisson** — exponential gaps with the configured mean rate; the
+///    memoryless baseline every queueing result is stated against.
+///  * **kUniform** — gaps uniform in [gap_lo, gap_hi]; bounded-jitter
+///    periodic load (rate = 2 / (gap_lo + gap_hi)).
+///  * **kBursty** — two-phase modulated Poisson: `burst_len` ticks at
+///    `rate × burst_factor`, then `idle_len` ticks at `rate ÷
+///    burst_factor`, repeating. Overload appears in the bursts while the
+///    long-run average stays near `rate` — the regime that separates an
+///    eventually-k-bounded daemon from a merely fair one.
+///
+/// A spec is realized either **per actor** (each process owns an
+/// independent stream at `rate`) or **globally** (one stream at `rate`
+/// whose arrivals are dealt to uniformly random actors). On the rt
+/// engine only per-actor streams exist — a global stream would need
+/// cross-actor injection from outside the target's dispatch claim — so
+/// `scenario::LoadScenario` realizes a global spec there as n per-actor
+/// streams at rate/n (exact for Poisson by superposition, approximate
+/// for the other models; see docs/LOADGEN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::load {
+
+enum class ArrivalKind {
+  kPoisson,  ///< exponential gaps (memoryless)
+  kUniform,  ///< gaps uniform in [gap_lo, gap_hi]
+  kBursty,   ///< two-phase modulated Poisson (burst / idle)
+};
+
+[[nodiscard]] std::string to_string(ArrivalKind k);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+
+  /// Mean arrivals per 1000 ticks (per stream). Stated per-mille rather
+  /// than per-tick so configs read as integers ("rate 5" ≈ one arrival
+  /// every 200 ticks) while still admitting sub-1-per-tick loads.
+  double rate_per_kilotick = 5.0;
+
+  /// One independent stream per actor (true) or a single global stream
+  /// dealt to random actors (false).
+  bool per_actor = true;
+
+  // kUniform only
+  sim::Time gap_lo = 100;
+  sim::Time gap_hi = 300;
+
+  // kBursty only
+  sim::Time burst_len = 2'000;   ///< ticks of elevated rate
+  sim::Time idle_len = 8'000;    ///< ticks of depressed rate
+  double burst_factor = 8.0;     ///< burst rate = rate × this, idle = rate ÷ this
+
+  /// Mean inter-arrival gap in ticks implied by `rate_per_kilotick`.
+  [[nodiscard]] double mean_gap() const { return 1000.0 / rate_per_kilotick; }
+
+  /// Same spec with the rate divided by `n` (global → per-actor split).
+  [[nodiscard]] ArrivalSpec split(std::size_t n) const;
+};
+
+/// One realized arrival stream. Deterministic in (spec, rng stream):
+/// equal seeds replay equal arrival schedules, on either engine.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalSpec spec) : spec_(spec) {}
+
+  /// Absolute time of the next arrival strictly after `now`. Advances the
+  /// bursty phase bookkeeping; call with non-decreasing `now`.
+  [[nodiscard]] sim::Time next_after(sim::Time now, sim::Rng& rng);
+
+  [[nodiscard]] const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  /// Instantaneous rate (arrivals per tick) at absolute time `t`.
+  [[nodiscard]] double rate_at(sim::Time t) const;
+
+  ArrivalSpec spec_;
+};
+
+}  // namespace ekbd::load

@@ -1,0 +1,109 @@
+#include "load/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/rng.hpp"
+
+namespace ekbd::load {
+
+using graph::ConflictGraph;
+using sim::ProcessId;
+using sim::Time;
+
+std::string to_string(ChurnOp::Kind k) {
+  switch (k) {
+    case ChurnOp::Kind::kAddEdge: return "add_edge";
+    case ChurnOp::Kind::kRemoveEdge: return "remove_edge";
+    case ChurnOp::Kind::kRecolor: return "recolor";
+  }
+  return "?";
+}
+
+namespace {
+
+bool in_window(const std::vector<CrashWindow>& windows, ProcessId p, Time at) {
+  for (const CrashWindow& w : windows) {
+    if (w.p != p) continue;
+    const Time lo = w.crash_at - w.margin;
+    const Time hi = w.recover_at < 0 ? -1 : w.recover_at + w.margin;
+    if (at >= lo && (hi < 0 || at <= hi)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ChurnPlan plan_churn(const ConflictGraph& graph, const graph::Coloring& colors,
+                     const ChurnParams& params,
+                     const std::vector<CrashWindow>& crash_windows,
+                     std::uint64_t seed) {
+  assert(colors.size() == graph.size());
+  ChurnPlan plan;
+  plan.final_graph = graph;
+  plan.final_colors = colors;
+  if (params.mutations == 0 || graph.size() < 2) return plan;
+  assert(params.end >= params.start);
+
+  ConflictGraph& g = plan.final_graph;
+  graph::Coloring& c = plan.final_colors;
+  const auto n = static_cast<std::int64_t>(g.size());
+  sim::Rng rng(seed ^ 0xc0a1'e5ce'0000'0000ULL);
+
+  // Op times: uniform draws over the window, then sorted — the plan is a
+  // schedule, and applying mutations in time order is what keeps the
+  // private copy in lockstep with the run.
+  std::vector<Time> times(params.mutations);
+  for (Time& t : times) t = rng.uniform_int(params.start, params.end);
+  std::sort(times.begin(), times.end());
+
+  for (const Time at : times) {
+    // Re-draw until a valid mutation is found; give up after a bounded
+    // number of attempts (dense graph with no removable edge, or every
+    // candidate endpoint inside a crash window) rather than spin.
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const bool add = rng.uniform_real(0.0, 1.0) < params.add_fraction;
+      const auto a = static_cast<ProcessId>(rng.uniform_int(0, n - 1));
+      const auto b = static_cast<ProcessId>(rng.uniform_int(0, n - 1));
+      if (a == b) continue;
+      if (in_window(crash_windows, a, at) || in_window(crash_windows, b, at)) continue;
+      if (add) {
+        if (g.adjacent(a, b)) continue;
+        g.add_edge(a, b);
+        // Repair first in the plan order: the repaired color is chosen
+        // against the post-add neighborhood, so emitting kRecolor before
+        // kAddEdge keeps the live coloring proper at every instant.
+        const ProcessId moved = graph::repair_after_edge_add(g, c, a, b);
+        if (moved != graph::kNoRecolor) {
+          plan.ops.push_back({at, ChurnOp::Kind::kRecolor, moved, 0,
+                              c[static_cast<std::size_t>(moved)]});
+          ++plan.recolors;
+        }
+        plan.ops.push_back({at, ChurnOp::Kind::kAddEdge, a, b, 0});
+        ++plan.adds;
+      } else {
+        if (!g.adjacent(a, b)) continue;
+        if (params.keep_min_degree_one && (g.degree(a) <= 1 || g.degree(b) <= 1)) continue;
+        g.remove_edge(a, b);
+        plan.ops.push_back({at, ChurnOp::Kind::kRemoveEdge, a, b, 0});
+        ++plan.removes;
+        // Freed colors: let both endpoints slide down if the removal
+        // opened a lower slot, so the palette shrinks back (§ coloring
+        // repair — touches only the endpoint itself).
+        for (const ProcessId v : {a, b}) {
+          if (graph::lower_color(g, c, v)) {
+            plan.ops.push_back({at, ChurnOp::Kind::kRecolor, v, 0,
+                                c[static_cast<std::size_t>(v)]});
+            ++plan.recolors;
+          }
+        }
+      }
+      placed = true;
+    }
+  }
+  assert(graph::is_proper(g, c));
+  return plan;
+}
+
+}  // namespace ekbd::load

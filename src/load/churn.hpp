@@ -1,0 +1,98 @@
+/// \file churn.hpp
+/// Churn plans: scripted dynamic-conflict-graph mutations.
+///
+/// A churn plan is a seed-deterministic schedule of edge additions,
+/// edge removals and recolorings to apply to a *live* run. The planner
+/// works against a private copy of the conflict graph and coloring, so
+/// every op in the emitted plan is valid by construction at its point in
+/// the sequence (no duplicate adds, no removals of absent edges) and the
+/// coloring stays proper after every step **without any global
+/// recoloring**:
+///
+///  * an edge addition whose endpoints share a color is preceded by one
+///    `kRecolor` op produced by `graph::repair_after_edge_add`
+///    — at most one vertex, chosen inside the affected neighborhood;
+///  * an edge removal is followed by `graph::lower_color`
+///    probes on both endpoints, so the palette can shrink back.
+///
+/// The recolor op comes *before* its edge add: the repaired color is
+/// free in the vertex's new neighborhood (endpoint included), so the
+/// coloring is proper at every intermediate instant, not just between
+/// ops.
+///
+/// Crash windows: endpoints that are crashed (or about to crash /
+/// freshly recovered) at an op's time are skipped — the edge handshake
+/// (`core::WaitFreeDiner::request_add_edge`) is silently lost when the
+/// acceptor is dead, which would desynchronize the planner's graph from
+/// the run's. `CrashWindow::margin` pads the exclusion on both sides to
+/// cover handshake latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "sim/time.hpp"
+
+namespace ekbd::load {
+
+struct ChurnOp {
+  enum class Kind : std::uint8_t {
+    kAddEdge,     ///< initiator `a` proposes edge {a, b}
+    kRemoveEdge,  ///< initiator `a` drops edge {a, b}
+    kRecolor,     ///< actor `a` moves to color `color` (b unused)
+  };
+  sim::Time at = 0;
+  Kind kind = Kind::kAddEdge;
+  sim::ProcessId a = 0;
+  sim::ProcessId b = 0;
+  int color = 0;  ///< kRecolor only
+};
+
+[[nodiscard]] std::string to_string(ChurnOp::Kind k);
+
+struct CrashWindow {
+  sim::ProcessId p = 0;
+  sim::Time crash_at = 0;
+  sim::Time recover_at = -1;  ///< -1 = never recovers
+  sim::Time margin = 0;       ///< exclusion padding on both sides
+};
+
+struct ChurnParams {
+  std::size_t mutations = 0;       ///< edge add/remove count (0 = no churn)
+  sim::Time start = 0;             ///< first op no earlier than this
+  sim::Time end = 0;               ///< last op no later than this
+  double add_fraction = 0.5;       ///< P(next mutation is an add)
+  /// Never disconnect the graph: removals that would cut the last edge
+  /// of either endpoint are re-drawn. Keeps every actor in the dining
+  /// community (an isolated actor trivially never waits, which would
+  /// dilute the latency percentiles the load harness exists to measure).
+  bool keep_min_degree_one = true;
+};
+
+struct ChurnPlan {
+  std::vector<ChurnOp> ops;     ///< sorted by `at`
+  std::size_t adds = 0;         ///< kAddEdge count
+  std::size_t removes = 0;      ///< kRemoveEdge count
+  std::size_t recolors = 0;     ///< kRecolor count
+  /// Colors and graph after the whole plan (the planner's private copy)
+  /// — what the run should converge to if every op lands.
+  graph::ConflictGraph final_graph{0};
+  graph::Coloring final_colors;
+
+  [[nodiscard]] std::size_t mutations() const { return adds + removes; }
+};
+
+/// Build a plan of `params.mutations` edge mutations (plus the recolor
+/// ops they induce) against `graph`/`colors`, spread uniformly over
+/// [params.start, params.end], avoiding endpoints inside any of
+/// `crash_windows`. Deterministic in (inputs, seed).
+[[nodiscard]] ChurnPlan plan_churn(const graph::ConflictGraph& graph,
+                                   const graph::Coloring& colors,
+                                   const ChurnParams& params,
+                                   const std::vector<CrashWindow>& crash_windows,
+                                   std::uint64_t seed);
+
+}  // namespace ekbd::load

@@ -1,0 +1,37 @@
+#include "load/controller.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ekbd::load {
+
+void OverloadDetector::observe(const Sample& s) {
+  ++total_samples_;
+  high_water_ = std::max(high_water_, s.backlog);
+  window_.push_back(s);
+  if (window_.size() > params_.window + 1) window_.erase(window_.begin());
+  // Rates over the window: deltas between the oldest and newest
+  // cumulative counts. window+1 samples span exactly `window` intervals.
+  if (window_.size() < params_.window + 1) return;
+  const Sample& oldest = window_.front();
+  const Sample& newest = window_.back();
+  const std::uint64_t d_offered = newest.offered - oldest.offered;
+  const std::uint64_t d_completed = newest.completed - oldest.completed;
+  ratio_ = d_offered == 0 ? 1.0
+                          : static_cast<double>(d_completed) / static_cast<double>(d_offered);
+  overloaded_ = d_offered >= params_.min_offered && ratio_ < params_.lag_ratio &&
+                newest.backlog >= params_.backlog_watermark;
+  if (overloaded_) ++overloaded_samples_;
+}
+
+std::string OverloadDetector::to_json() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"overloaded\":%s,\"overloaded_samples\":%zu,\"samples\":%zu,"
+                "\"backlog_high_water\":%llu,\"completion_ratio\":%.4f}",
+                overloaded_ ? "true" : "false", overloaded_samples_, total_samples_,
+                static_cast<unsigned long long>(high_water_), ratio_);
+  return buf;
+}
+
+}  // namespace ekbd::load

@@ -1,0 +1,176 @@
+/// \file controller.hpp
+/// Open-loop load bookkeeping and overload detection.
+///
+/// Engine-neutral: the sim engine drives this from simulator callbacks,
+/// the rt engine from dispatch-claim callbacks (see
+/// scenario/load_scenario.cpp for both wirings). Two pieces:
+///
+///  * **LoadBook** — per-actor backlog and the offered/completed
+///    counters. An *arrival* for actor p either starts a hungry session
+///    immediately (p was thinking) or queues in p's backlog; every
+///    session completion (stop-eating) is a drain opportunity that moves
+///    one backlog slot into the next hungry session. Offered counts
+///    every arrival the instant it arrives — never gated on service —
+///    which is what makes the load open-loop.
+///  * **OverloadDetector** — fed periodic samples of the cumulative
+///    counters, it maintains a sliding window of per-interval offered /
+///    completed rates plus the backlog watermark, and flags overload
+///    when completions persistently lag arrivals while queues stand
+///    above the watermark. Both conditions are required: a transient
+///    burst backlogs briefly without lagging for a whole window, and a
+///    near-idle run can "lag" on rounding noise with empty queues.
+///
+/// Thread-safety: LoadBook is shared across rt dispatch claims, so its
+/// counters are relaxed atomics (statistics, no ordering needed) and
+/// each backlog slot is only touched inside its actor's claim. The
+/// OverloadDetector is single-threaded — feed it from one sampling loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ekbd::load {
+
+class LoadBook {
+ public:
+  explicit LoadBook(std::size_t n)
+      : n_(n), backlog_(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    for (std::size_t i = 0; i < n_; ++i) backlog_[i].store(0, std::memory_order_relaxed);
+  }
+
+  /// An arrival for `p`. Returns true if the caller should start a
+  /// hungry session now; false means it was backlogged. `idle` = p is
+  /// thinking and able to go hungry.
+  bool on_arrival(std::size_t p, bool idle) {
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    if (idle) return true;
+    const std::uint64_t depth = backlog_[p].fetch_add(1, std::memory_order_relaxed) + 1;
+    bump_max(depth);
+    return false;
+  }
+
+  /// An arrival for a crashed actor: counted offered, then dropped (a
+  /// dead daemon sheds its queue; the rejoin protocol restores forks,
+  /// not requests).
+  void on_arrival_dropped() {
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A completed session for `p`.
+  void on_complete() { completed_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drain opportunity for `p` (it is thinking right now): returns true
+  /// if a backlogged arrival was claimed and the caller should start the
+  /// next hungry session. Call only from p's engine context.
+  bool try_drain(std::size_t p) {
+    const std::uint64_t depth = backlog_[p].load(std::memory_order_relaxed);
+    if (depth == 0) return false;
+    backlog_[p].store(depth - 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Crash of `p`: its queue dies with it.
+  void on_crash(std::size_t p) {
+    const std::uint64_t depth = backlog_[p].exchange(0, std::memory_order_relaxed);
+    dropped_.fetch_add(depth, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t backlog(std::size_t p) const {
+    return backlog_[p].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_backlog() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n_; ++i) sum += backlog_[i].load(std::memory_order_relaxed);
+    return sum;
+  }
+  /// Deepest single-actor queue ever observed.
+  [[nodiscard]] std::uint64_t max_backlog() const {
+    return max_backlog_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  void bump_max(std::uint64_t depth) {
+    std::uint64_t cur = max_backlog_.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !max_backlog_.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::size_t n_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> backlog_;
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> max_backlog_{0};
+};
+
+struct OverloadParams {
+  /// Sliding window length, in samples.
+  std::size_t window = 8;
+  /// Overload requires completed-rate < `lag_ratio` × offered-rate over
+  /// the whole window...
+  double lag_ratio = 0.9;
+  /// ...and total backlog at or above this watermark at the latest
+  /// sample.
+  std::uint64_t backlog_watermark = 4;
+  /// Ignore windows with fewer offered arrivals than this (rate noise).
+  std::uint64_t min_offered = 8;
+};
+
+class OverloadDetector {
+ public:
+  explicit OverloadDetector(OverloadParams params = {}) : params_(params) {}
+
+  struct Sample {
+    sim::Time at = 0;
+    std::uint64_t offered = 0;    ///< cumulative
+    std::uint64_t completed = 0;  ///< cumulative
+    std::uint64_t backlog = 0;    ///< instantaneous total
+  };
+
+  /// Feed one cumulative sample; call with non-decreasing `at`.
+  void observe(const Sample& s);
+
+  /// Overloaded as of the latest sample (needs a full window).
+  [[nodiscard]] bool overloaded() const { return overloaded_; }
+  /// Samples during which `overloaded()` held.
+  [[nodiscard]] std::size_t overloaded_samples() const { return overloaded_samples_; }
+  [[nodiscard]] std::size_t samples() const { return total_samples_; }
+  /// Highest total backlog ever observed.
+  [[nodiscard]] std::uint64_t backlog_high_water() const { return high_water_; }
+  /// Completed ÷ offered over the latest full window (1.0 before that).
+  [[nodiscard]] double window_completion_ratio() const { return ratio_; }
+
+  [[nodiscard]] const OverloadParams& params() const { return params_; }
+
+  /// `{"overloaded":..,"overloaded_samples":..,"samples":..,
+  ///   "backlog_high_water":..,"completion_ratio":..}`
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  OverloadParams params_;
+  std::vector<Sample> window_;  // oldest first, bounded by params_.window + 1
+  std::size_t total_samples_ = 0;
+  std::size_t overloaded_samples_ = 0;
+  std::uint64_t high_water_ = 0;
+  double ratio_ = 1.0;
+  bool overloaded_ = false;
+};
+
+}  // namespace ekbd::load

@@ -58,16 +58,44 @@ double Histogram::bucket_hi(std::size_t i) const {
   return i + 1 == buckets_.size() ? hi_ : lo_ + width_ * static_cast<double>(i + 1);
 }
 
-bool Histogram::merge(const Histogram& other) {
-  if (lo_ != other.lo_ || hi_ != other.hi_ || buckets_.size() != other.buckets_.size()) {
-    return false;
+void Histogram::add_bulk(double x, std::uint64_t k) {
+  count_ += k;
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+    under_ += k;
+  } else {
+    const auto raw = static_cast<std::size_t>((x - lo_) / width_);
+    if (raw >= buckets_.size()) {
+      i = buckets_.size() - 1;
+      over_ += k;
+    } else {
+      i = raw;
+    }
   }
-  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
+  buckets_[i] += k;
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (lo_ == other.lo_ && hi_ == other.hi_ && buckets_.size() == other.buckets_.size()) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    under_ += other.under_;
+    over_ += other.over_;
+    return true;
+  }
+  // Mismatched shapes (shard-local histograms sized independently, or a
+  // snapshot from an older config): every source bucket is re-added at
+  // its midpoint. Clamped source samples already sit in the source's edge
+  // buckets, so their midpoints carry them along.
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    const std::uint64_t k = other.buckets_[i];
+    if (k == 0) continue;
+    add_bulk(0.5 * (other.bucket_lo(i) + other.bucket_hi(i)), k);
+  }
   sum_ += other.sum_;
-  under_ += other.under_;
-  over_ += other.over_;
-  return true;
+  return false;
 }
 
 std::string Histogram::to_json() const {

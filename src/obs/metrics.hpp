@@ -97,8 +97,12 @@ class Histogram {
   [[nodiscard]] double bucket_lo(std::size_t i) const;
   [[nodiscard]] double bucket_hi(std::size_t i) const;
 
-  /// Bucket-wise sum. Returns false (and changes nothing) unless the two
-  /// histograms have identical shape (lo, hi, bins).
+  /// Merge `other` into this histogram. Identical shapes (lo, hi, bins)
+  /// merge exactly — bucket-wise sums — and return true. Mismatched
+  /// shapes resample: each of `other`'s buckets lands at its midpoint in
+  /// this histogram's own buckets (count and sum stay exact; placement
+  /// accuracy is one source-bucket width, under/over are re-derived from
+  /// the midpoints) and the call returns false to flag the loss.
   bool merge(const Histogram& other);
 
   /// `{"lo":..,"hi":..,"count":..,"sum":..,"under":..,"over":..,"buckets":[..]}`
@@ -106,6 +110,10 @@ class Histogram {
 
  private:
   friend std::optional<Histogram> histogram_from_json(const std::string& text);
+
+  /// `k` samples at value `x`: bucket/under/over/count bookkeeping without
+  /// touching sum_ (merge adds the source's exact sum wholesale).
+  void add_bulk(double x, std::uint64_t k);
 
   double lo_;
   double hi_;

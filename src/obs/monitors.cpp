@@ -26,6 +26,7 @@ void ForkUniquenessMonitor::on_event(const sim::LoggedEvent& ev) {
       break;
     case sim::LoggedEvent::Kind::kTimer:
     case sim::LoggedEvent::Kind::kCrash:
+    case sim::LoggedEvent::Kind::kRecover:
       break;  // no payload travels
   }
 }
@@ -43,11 +44,11 @@ void ExclusionMonitor::on_trace_event(const dining::TraceEvent& ev) {
   // two staying transcriptions of each other.
   switch (ev.kind) {
     case dining::TraceEventKind::kStartEating: {
-      for (const sim::ProcessId q : graph_->neighbors(ev.process)) {
+      adj_.for_each_neighbor(ev.process, [&](const sim::ProcessId q) {
         if (eating_.count(q) != 0) {
           violations_.push_back(dining::ExclusionViolation{ev.at, ev.process, q});
         }
-      }
+      });
       eating_.insert(ev.process);
       break;
     }
@@ -56,6 +57,7 @@ void ExclusionMonitor::on_trace_event(const dining::TraceEvent& ev) {
       eating_.erase(ev.process);
       break;
     default:
+      adj_.apply(ev);  // edge churn moves the adjacency overlay
       break;
   }
 }

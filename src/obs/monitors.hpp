@@ -74,7 +74,10 @@ class ForkUniquenessMonitor final : public sim::EventSink {
 /// finished trace (the agreement check asserts exactly that).
 class ExclusionMonitor final : public dining::TraceObserver {
  public:
-  explicit ExclusionMonitor(const graph::ConflictGraph& g) : graph_(&g) {}
+  /// `g` is the *initial* graph; edge churn arrives as kEdgeAdded /
+  /// kEdgeRemoved trace events and moves the same DynamicAdjacency
+  /// overlay check_exclusion uses, so the two stay transcriptions.
+  explicit ExclusionMonitor(const graph::ConflictGraph& g) : adj_(g) {}
 
   void on_trace_event(const dining::TraceEvent& ev) override;
 
@@ -85,7 +88,7 @@ class ExclusionMonitor final : public dining::TraceObserver {
   [[nodiscard]] std::size_t eating_now() const { return eating_.size(); }
 
  private:
-  const graph::ConflictGraph* graph_;
+  dining::DynamicAdjacency adj_;
   std::set<sim::ProcessId> eating_;
   std::vector<dining::ExclusionViolation> violations_;
 };

@@ -108,6 +108,9 @@ void render_log(const sim::EventLog& log, Emitter& em) {
       case sim::LoggedEvent::Kind::kCrash:
         em.instant(ev.at, ev.from, "CRASH", "crash");
         break;
+      case sim::LoggedEvent::Kind::kRecover:
+        em.instant(ev.at, ev.from, "RECOVER", "crash");
+        break;
     }
   }
 }

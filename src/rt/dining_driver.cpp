@@ -33,6 +33,11 @@ void DiningDriver::manage(Diner* d) {
   d->set_event_callback([this](Diner& diner, TraceEventKind kind) {
     on_diner_event(diner, kind);
   });
+  d->set_edge_event_callback([this](Diner& diner, TraceEventKind kind, ProcessId peer) {
+    // Fires inside the initiator's dispatch claim; the recorder threads
+    // the peer through to the merged trace for the adjacency overlay.
+    rt_.recorder().on_trace(diner.id(), rt_.now(), kind, peer);
+  });
   diners_.push_back(d);
   const auto idx = static_cast<std::size_t>(d->id());
   if (by_id_.size() <= idx) by_id_.resize(idx + 1, nullptr);
@@ -92,6 +97,10 @@ void DiningDriver::on_diner_event(Diner& d, TraceEventKind kind) {
       std::lock_guard<std::mutex> lock(s.mu);
       s.hist.add(static_cast<double>(now - last_hungry_at_[idx]));
       last_hungry_at_[idx] = -1;
+    } else if (kind == TraceEventKind::kCrashed || kind == TraceEventKind::kRecovered) {
+      // The crash closed the open hungry session; a latency spanning the
+      // outage would belong to no incarnation.
+      last_hungry_at_[idx] = -1;
     }
   }
   switch (kind) {
@@ -106,6 +115,13 @@ void DiningDriver::on_diner_event(Diner& d, TraceEventKind kind) {
       break;
     }
     case TraceEventKind::kStopEating:
+      if (exit_hook_) exit_hook_(d.id());
+      schedule_next_hunger(&d, env_rng(d.id()).uniform_int(opt_.think_lo, opt_.think_hi));
+      break;
+    case TraceEventKind::kRecovered:
+      // Rejoined process re-enters the hunger cycle (its pre-crash call
+      // chain died with the old incarnation's timer heap).
+      if (recover_hook_) recover_hook_(d.id());
       schedule_next_hunger(&d, env_rng(d.id()).uniform_int(opt_.think_lo, opt_.think_hi));
       break;
     default:

@@ -77,6 +77,21 @@ class DiningDriver {
   /// Crash `p` at tick `at` (forwarded to the runtime's crash plan).
   void schedule_crash(sim::ProcessId p, sim::Time at) { rt_.schedule_crash(p, at); }
 
+  /// Hook invoked inside `p`'s dispatch claim whenever `p` stops eating —
+  /// the load harness uses this to drain backlogged arrivals. Call before
+  /// start.
+  void set_exit_hook(std::function<void(sim::ProcessId)> hook) {
+    exit_hook_ = std::move(hook);
+  }
+
+  /// Hook invoked inside `p`'s dispatch claim when `p` recovers from a
+  /// crash — the load harness re-seeds `p`'s arrival chain and pending
+  /// churn ops (everything in the old incarnation's timer heap died with
+  /// it). Call before start.
+  void set_recover_hook(std::function<void(sim::ProcessId)> hook) {
+    recover_hook_ = std::move(hook);
+  }
+
   /// The managed diner for process `p` (nullptr if unmanaged).
   [[nodiscard]] dining::Diner* diner(sim::ProcessId p) const {
     const auto i = static_cast<std::size_t>(p);
@@ -129,6 +144,8 @@ class DiningDriver {
   /// Per-diner environment stream (think/eat draws), dispatch-confined
   /// after start; indexed by ProcessId.
   std::vector<std::unique_ptr<sim::Rng>> env_rngs_;
+  std::function<void(sim::ProcessId)> exit_hook_;
+  std::function<void(sim::ProcessId)> recover_hook_;
   sim::Time hunger_deadline_ = -1;  ///< -1 = unlimited; set before start
   /// Hungry timestamps, indexed by ProcessId; element p is only touched
   /// inside p's dispatch claim (distinct elements, no lock needed). -1 =

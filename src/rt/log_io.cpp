@@ -49,6 +49,7 @@ void LogWriter::on_trace_event(const dining::TraceEvent& ev) {
   w.i64(ev.at);
   w.i32(ev.process);
   w.u8(static_cast<std::uint8_t>(ev.kind));
+  w.i32(ev.peer);
   write_frame(w.ok() ? codec::seal_frame(buf_, sizeof(buf_),
                                          static_cast<std::uint8_t>(codec::FrameKind::kTrace),
                                          w.size())
@@ -114,8 +115,9 @@ Recording load_recording(const std::string& path) {
         ev.at = r.i64();
         ev.process = r.i32();
         const std::uint8_t k = r.u8();
+        ev.peer = r.i32();
         if (!r.exhausted() ||
-            k > static_cast<std::uint8_t>(dining::TraceEventKind::kPartitionHeal)) {
+            k > static_cast<std::uint8_t>(dining::TraceEventKind::kEdgeRemoved)) {
           rec.truncated = true;
           return rec;
         }
@@ -198,6 +200,9 @@ void apply_event(const sim::LoggedEvent& ev, sim::Network& net,
     case sim::LoggedEvent::Kind::kCrash:
       crashed.insert(ev.from);
       break;
+    case sim::LoggedEvent::Kind::kRecover:
+      crashed.erase(ev.from);
+      break;
     case sim::LoggedEvent::Kind::kTimer:
       break;
   }
@@ -213,7 +218,7 @@ void rebuild(const Recording& rec, obs::MonitorHub& hub, sim::Network& net,
     apply_event(ev, net, crashed);
   }
   trace.set_observer(&hub);
-  for (const auto& ev : rec.trace) trace.record(ev.at, ev.process, ev.kind);
+  for (const auto& ev : rec.trace) trace.record(ev.at, ev.process, ev.kind, ev.peer);
   trace.set_observer(nullptr);
   if (rec.end_time >= 0) trace.set_end_time(rec.end_time);
   net.set_watch(nullptr);

@@ -211,14 +211,15 @@ void Recorder::stream_event(const sim::LoggedEvent& ev) {
   seg.watermark.store(key, std::memory_order_release);
 }
 
-void Recorder::stream_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind) {
+void Recorder::stream_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind,
+                            sim::ProcessId peer) {
   RecorderSegment& seg = segment_for_thread();
   const std::int64_t raw = now_key();
   std::lock_guard<std::mutex> lock(seg.mu);
   const std::int64_t key = clamp_key_locked(seg, raw);
   SegmentRecord r;
   r.type = SegmentRecord::Type::kTrace;
-  r.trace = dining::TraceEvent{now, p, kind};
+  r.trace = dining::TraceEvent{now, p, kind, peer};
   push_locked(seg, r, key);
   seg.watermark.store(key, std::memory_order_release);
 }
@@ -334,7 +335,7 @@ void Recorder::apply_record(const SegmentRecord& r, std::uint64_t& events,
     } else {
       merged_tick_ = at;
     }
-    trace_.record(at, r.trace.process, r.trace.kind);
+    trace_.record(at, r.trace.process, r.trace.kind, r.trace.peer);
     ++traces;
   }
 }

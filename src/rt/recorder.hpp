@@ -313,15 +313,29 @@ class Recorder {
           sim::MsgLayer::kOther, 0, sim::kNoPayloadTag});
   }
 
-  /// A scheduling event (hungry / eating / forks / crash) from a diner or
-  /// the driver. Appends to the trace, which fans out to the observer.
-  void on_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind) {
+  /// Process `p` rejoined after a crash (dispatching resumes).
+  void on_recover(sim::ProcessId p, sim::Time now) {
     if (streaming()) {
-      stream_trace(p, now, kind);
+      stream_event({now, sim::LoggedEvent::Kind::kRecover, p, sim::kNoProcess,
+                    sim::MsgLayer::kOther, 0, sim::kNoPayloadTag});
       return;
     }
     std::lock_guard<std::mutex> lock(mu_);
-    trace_.record(clamp(now), p, kind);
+    emit({clamp(now), sim::LoggedEvent::Kind::kRecover, p, sim::kNoProcess,
+          sim::MsgLayer::kOther, 0, sim::kNoPayloadTag});
+  }
+
+  /// A scheduling event (hungry / eating / forks / crash / churn) from a
+  /// diner or the driver. Appends to the trace, which fans out to the
+  /// observer. `peer` is the other endpoint for edge-churn events.
+  void on_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind,
+                sim::ProcessId peer = sim::kNoProcess) {
+    if (streaming()) {
+      stream_trace(p, now, kind, peer);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_.record(clamp(now), p, kind, peer);
   }
 
  private:
@@ -345,7 +359,8 @@ class Recorder {
                                     sim::PayloadTag tag, sim::MsgLayer layer,
                                     sim::Time now);
   void stream_event(const sim::LoggedEvent& ev);
-  void stream_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind);
+  void stream_trace(sim::ProcessId p, sim::Time now, dining::TraceEventKind kind,
+                    sim::ProcessId peer);
   /// Clamp a raw steady_clock key monotonic within `seg` (and up to the
   /// collector's floor) under `seg.mu`; advances `seg.last_key`.
   std::int64_t clamp_key_locked(RecorderSegment& seg, std::int64_t raw);

@@ -34,6 +34,9 @@ void replay(const sim::EventLog& log, const dining::Trace& trace, obs::MonitorHu
       case sim::LoggedEvent::Kind::kCrash:
         crashed.insert(ev.from);
         break;
+      case sim::LoggedEvent::Kind::kRecover:
+        crashed.erase(ev.from);
+        break;
       case sim::LoggedEvent::Kind::kSend:
       case sim::LoggedEvent::Kind::kDuplicate: {
         // Synthesize the NetworkWatch callbacks the live hub received from

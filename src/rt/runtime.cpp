@@ -50,6 +50,13 @@ void Runtime::schedule_crash(sim::ProcessId p, sim::Time at) {
   cells_[static_cast<std::size_t>(p)]->crash_at = at < 0 ? 0 : at;
 }
 
+void Runtime::schedule_recovery(sim::ProcessId p, sim::Time at) {
+  assert(!started_.load(std::memory_order_relaxed) && "plan recoveries before start()");
+  ActorCell& cell = *cells_[static_cast<std::size_t>(p)];
+  assert(cell.crash_at >= 0 && "recovery without a scheduled crash");
+  cell.recover_at = at < cell.crash_at ? cell.crash_at : at;
+}
+
 void Runtime::call_after(sim::ProcessId p, sim::Time delay, std::function<void()> fn) {
   ActorCell& cell = *cells_[static_cast<std::size_t>(p)];
   const sim::TimerId id = cell.next_timer_id++;
@@ -351,6 +358,26 @@ void Runtime::do_crash(ActorCell& cell, sim::Actor& a, sim::ProcessId p) {
   cell.registered_at.store(-1, std::memory_order_relaxed);
 }
 
+void Runtime::do_recover(ActorCell& cell, sim::Actor& a, sim::ProcessId p) {
+  const sim::Time t = clock_.now_ticks();
+  // Recovery fences the inbound channels: everything mailboxed before this
+  // instant was addressed to the dead incarnation — drain it as drops
+  // (same records a corpse's drain produces) before the actor wakes.
+  sim::Message buf[kMaxDrainBurst];
+  for (;;) {
+    const std::size_t n = cell.mailbox->pop_n(buf, kMaxDrainBurst);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) rec_.on_deliver(buf[i], t, /*target_crashed=*/true);
+  }
+  cell.recover_at = -1;
+  cell.crash_at = -1;
+  cell.crash_req.store(false, std::memory_order_seq_cst);
+  cell.crash_tick.store(-1, std::memory_order_release);
+  cell.crashed.store(false, std::memory_order_seq_cst);
+  rec_.on_recover(p, t);
+  a.on_recover();
+}
+
 bool Runtime::fire_one_timer(ActorCell& cell, sim::Actor& a, sim::ProcessId p) {
   if (cell.timers.empty()) return false;
   const TimerEntry e = cell.timers.top();
@@ -372,13 +399,16 @@ bool Runtime::fire_one_timer(ActorCell& cell, sim::Actor& a, sim::ProcessId p) {
 }
 
 sim::Time Runtime::earliest_deadline(const ActorCell& cell) {
+  if (cell.crashed.load(std::memory_order_relaxed)) {
+    // A corpse has exactly one possible wakeup: its scheduled recovery.
+    return cell.recover_at;
+  }
   sim::Time want = cell.timers.empty() ? -1 : cell.timers.top().at;
   if (cell.crash_at >= 0 && (want < 0 || cell.crash_at < want)) want = cell.crash_at;
   return want;
 }
 
 void Runtime::register_deadline(ActorCell& cell, std::uint32_t idx) {
-  if (cell.crashed.load(std::memory_order_relaxed)) return;
   const sim::Time want = earliest_deadline(cell);
   if (want < 0) {
     cell.registered_at.store(-1, std::memory_order_relaxed);
@@ -472,6 +502,12 @@ void Runtime::dispatch_run(std::uint32_t idx, Counters* c) {
     return cell.crash_req.load(std::memory_order_acquire) ||
            (cell.crash_at >= 0 && clock_.now_ticks() >= cell.crash_at);
   };
+  // Scheduled rejoin: the corpse wakes at recover_at (its registry entry
+  // keeps it reachable) and the new incarnation resumes from here.
+  if (dead && cell.recover_at >= 0 && clock_.now_ticks() >= cell.recover_at) {
+    do_recover(cell, a, p);
+    dead = false;
+  }
 
   int budget = std::max(1, opt_.dispatch_batch);
 
@@ -550,8 +586,7 @@ void Runtime::finish_run(ActorCell& cell, std::uint32_t idx) {
   // actor and mutate the heap, so the recheck below must not touch it. If
   // that happens the snapshot is stale, which is harmless — the new
   // claimant's own finish_run re-registers whatever it leaves armed.
-  const sim::Time want =
-      cell.crashed.load(std::memory_order_relaxed) ? -1 : earliest_deadline(cell);
+  const sim::Time want = earliest_deadline(cell);
   cell.state.store(kIdle, std::memory_order_seq_cst);
   // Post-release recheck: each clause is the second half of a Dekker pair
   // (file comment in runtime.hpp) — producers, the crash requester and the

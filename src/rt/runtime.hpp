@@ -252,6 +252,13 @@ class Runtime final : public sim::TransportIface {
   /// at or after `at`; `at` = 0 crashes before on_start, like the sim).
   void schedule_crash(sim::ProcessId p, sim::Time at);
 
+  /// Recover `p` at tick `at` (>= its scheduled crash; one crash/recovery
+  /// cycle per process per run). The corpse wakes at its first dispatch
+  /// boundary at or after `at`: its mailbox backlog is drained as drops
+  /// (recovery fences the inbound channels), the crash flags clear, and
+  /// `Actor::on_recover` runs the protocol-level rejoin.
+  void schedule_recovery(sim::ProcessId p, sim::Time at);
+
   /// Run `fn` in `p`'s dispatch context `delay` ticks from now. Callable
   /// before start or from `p`'s own handlers (the driver's scheduling
   /// loop); never runs once `p` has crashed.
@@ -444,6 +451,7 @@ class Runtime final : public sim::TransportIface {
     std::unique_ptr<sim::Rng> rng;        ///< Rng(seed).fork(p + 1)
     std::unique_ptr<sim::Rng> fault_rng;  ///< per-sender drop/dup coins
     sim::Time crash_at = -1;              ///< scheduled crash tick (-1 = none)
+    sim::Time recover_at = -1;            ///< scheduled rejoin tick (-1 = none)
   };
 
   /// (deadline, actor) entry in a shard's timer registry heap.
@@ -532,6 +540,7 @@ class Runtime final : public sim::TransportIface {
   void wake(Shard& s);
 
   void do_crash(ActorCell& cell, sim::Actor& a, sim::ProcessId p);
+  void do_recover(ActorCell& cell, sim::Actor& a, sim::ProcessId p);
   /// True if a timer was due and dispatched (one per call: crash checks
   /// run between dispatches).
   bool fire_one_timer(ActorCell& cell, sim::Actor& a, sim::ProcessId p);

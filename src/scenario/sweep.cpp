@@ -1,8 +1,42 @@
 #include "scenario/sweep.hpp"
 
+#include <chrono>
 #include <fstream>
 
+#include "obs/json.hpp"
+
 namespace ekbd::scenario {
+
+namespace {
+
+/// Seconds elapsed building + running one job, measured on the pool
+/// worker (so sweep parallelism doesn't hide per-scenario cost).
+double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Splice `"sweep":{wall_seconds, offered, completed}` into a telemetry
+/// line. Offered/completed are the trace's hungry-session counts, so the
+/// object exists (and means the same thing) for every engine and also on
+/// the `{}` placeholder lines of observability-off scenarios.
+std::string with_sweep_object(std::string line, double wall_seconds,
+                              const ekbd::dining::Trace& trace) {
+  std::string obj =
+      "\"sweep\":{\"wall_seconds\":" + ekbd::obs::json::format_double(wall_seconds) +
+      ",\"offered\":" +
+      std::to_string(trace.count(ekbd::dining::TraceEventKind::kBecameHungry)) +
+      ",\"completed\":" +
+      std::to_string(trace.count(ekbd::dining::TraceEventKind::kStopEating)) + "}";
+  if (line.empty() || line.back() != '}') return line;  // not an object; leave it
+  const bool was_empty = line == "{}";
+  line.pop_back();
+  if (!was_empty) line += ',';
+  line += obj;
+  line += '}';
+  return line;
+}
+
+}  // namespace
 
 void run_scenarios(const std::vector<Config>& configs,
                    const std::function<void(std::size_t, Scenario&)>& inspect,
@@ -11,17 +45,23 @@ void run_scenarios(const std::vector<Config>& configs,
   if (!options.telemetry_path.empty()) {
     telemetry.open(options.telemetry_path, std::ios::trunc);
   }
-  parallel_sweep<std::unique_ptr<Scenario>>(
+  using Job = std::pair<std::unique_ptr<Scenario>, double>;
+  parallel_sweep<Job>(
       configs.size(), options.threads,
       [&configs](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         auto scenario = std::make_unique<Scenario>(configs[i]);
         scenario->run();
-        return scenario;
+        return Job{std::move(scenario), elapsed_seconds(t0)};
       },
-      [&inspect, &telemetry](std::size_t i, std::unique_ptr<Scenario>& scenario) {
+      [&inspect, &telemetry](std::size_t i, Job& job) {
         // Serial, index-ordered: the JSONL line order is deterministic.
-        if (telemetry.is_open()) telemetry << scenario->telemetry_json() << '\n';
-        inspect(i, *scenario);
+        if (telemetry.is_open()) {
+          telemetry << with_sweep_object(job.first->telemetry_json(), job.second,
+                                         job.first->trace())
+                    << '\n';
+        }
+        inspect(i, *job.first);
       });
 }
 
@@ -32,16 +72,48 @@ void run_rt_scenarios(const std::vector<Config>& configs,
   if (!options.telemetry_path.empty()) {
     telemetry.open(options.telemetry_path, std::ios::trunc);
   }
-  parallel_sweep<std::unique_ptr<RtScenario>>(
+  using Job = std::pair<std::unique_ptr<RtScenario>, double>;
+  parallel_sweep<Job>(
       configs.size(), options.threads,
       [&configs](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         auto scenario = std::make_unique<RtScenario>(configs[i]);
         scenario->run();
-        return scenario;
+        return Job{std::move(scenario), elapsed_seconds(t0)};
       },
-      [&inspect, &telemetry](std::size_t i, std::unique_ptr<RtScenario>& scenario) {
-        if (telemetry.is_open()) telemetry << scenario->telemetry_json() << '\n';
-        inspect(i, *scenario);
+      [&inspect, &telemetry](std::size_t i, Job& job) {
+        if (telemetry.is_open()) {
+          telemetry << with_sweep_object(job.first->telemetry_json(), job.second,
+                                         job.first->trace())
+                    << '\n';
+        }
+        inspect(i, *job.first);
+      });
+}
+
+void run_load_scenarios(const std::vector<LoadConfig>& configs,
+                        const std::function<void(std::size_t, LoadScenario&)>& inspect,
+                        const SweepOptions& options) {
+  std::ofstream telemetry;
+  if (!options.telemetry_path.empty()) {
+    telemetry.open(options.telemetry_path, std::ios::trunc);
+  }
+  using Job = std::pair<std::unique_ptr<LoadScenario>, double>;
+  parallel_sweep<Job>(
+      configs.size(), options.threads,
+      [&configs](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto scenario = std::make_unique<LoadScenario>(configs[i]);
+        scenario->run();
+        return Job{std::move(scenario), elapsed_seconds(t0)};
+      },
+      [&inspect, &telemetry](std::size_t i, Job& job) {
+        if (telemetry.is_open()) {
+          telemetry << with_sweep_object(job.first->telemetry_json(), job.second,
+                                         job.first->trace())
+                    << '\n';
+        }
+        inspect(i, *job.first);
       });
 }
 
@@ -56,9 +128,14 @@ void run_proc_scenarios(const std::vector<Config>& configs,
   // at that moment (see sweep.hpp). One cluster at a time also keeps the
   // loopback port/file-descriptor footprint bounded.
   for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
     ProcScenario scenario(configs[i]);
     scenario.run();
-    if (telemetry.is_open()) telemetry << scenario.telemetry_json() << '\n';
+    const double wall = elapsed_seconds(t0);
+    if (telemetry.is_open()) {
+      telemetry << with_sweep_object(scenario.telemetry_json(), wall, scenario.trace())
+                << '\n';
+    }
     inspect(i, scenario);
   }
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mc/pool.hpp"
+#include "scenario/load_scenario.hpp"
 #include "scenario/proc_scenario.hpp"
 #include "scenario/rt_scenario.hpp"
 #include "scenario/scenario.hpp"
@@ -39,8 +40,12 @@ struct SweepOptions {
   /// When non-empty, `run_scenarios` appends one `telemetry_json()` line
   /// per scenario to this file (JSONL), written serially in config order
   /// from the inspect loop — so the file order matches the config order
-  /// for any thread count. Scenarios without `cfg.observability` emit
-  /// `{}` placeholder lines, keeping line `i` ↔ config `i`.
+  /// for any thread count. Every line additionally carries a
+  /// `"sweep":{"wall_seconds":..,"offered":..,"completed":..}` object:
+  /// wall-clock build+run seconds measured on the worker, plus the
+  /// trace's hungry-session (kBecameHungry) and completed-session
+  /// (kStopEating) counts. Scenarios without `cfg.observability` emit
+  /// the sweep object alone, keeping line `i` ↔ config `i`.
   std::string telemetry_path;
 };
 
@@ -101,6 +106,15 @@ void run_scenarios(const std::vector<Config>& configs,
 void run_rt_scenarios(const std::vector<Config>& configs,
                       const std::function<void(std::size_t, RtScenario&)>& inspect,
                       const SweepOptions& options = {});
+
+/// Same runner for workload-harness configs: one `LoadScenario` per
+/// `LoadConfig`, parallel on the pool, inspected serially in config
+/// order. Telemetry lines carry the scenario's own `"load"` object plus
+/// the runner's `"sweep"` object. Mind the width for rt-engine configs
+/// (one OS thread per actor per job, as `run_rt_scenarios`).
+void run_load_scenarios(const std::vector<LoadConfig>& configs,
+                        const std::function<void(std::size_t, LoadScenario&)>& inspect,
+                        const SweepOptions& options = {});
 
 /// Same runner for proc-engine configs (engine == Engine::kProc) — but
 /// deliberately SERIAL, no pool: `ProcScenario::run()` forks one process

@@ -18,7 +18,11 @@
 ///
 /// This matches the paper's model: asynchronous processes executing guarded
 /// actions with weak fairness, communicating over reliable FIFO channels,
-/// subject to crash (not Byzantine, not recovering) faults.
+/// subject to crash (not Byzantine) faults. As an extension beyond the
+/// paper, engines may *recover* a crashed actor (`on_recover`): the process
+/// comes back with its pre-crash local state at a fresh point in time, and
+/// protocols that support rejoin resynchronize explicitly (see
+/// core::WaitFreeDiner's rejoin handshake).
 #pragma once
 
 #include "sim/message.hpp"
@@ -50,6 +54,12 @@ class Actor {
   /// The actor just crashed. For instrumentation only — the "process" is
   /// dead and must not send or schedule anything here.
   virtual void on_crash() {}
+
+  /// The actor rejoined after a crash (engines that support recovery call
+  /// this at the recovery boundary, before any post-recovery handler).
+  /// Unlike on_crash, the process is live again: it may send and schedule
+  /// — this is where a protocol runs its rejoin handshake.
+  virtual void on_recover() {}
 
  protected:
   /// Send `payload` to `to` over the reliable FIFO channel.

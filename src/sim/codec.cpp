@@ -145,7 +145,7 @@ DecodeStatus decode_event(const std::uint8_t* body, std::size_t body_len,
   ev.seq = r.u64();
   const std::uint8_t tag = r.u8();
   if (!r.exhausted()) return DecodeStatus::kBadBody;
-  if (kind > static_cast<std::uint8_t>(LoggedEvent::Kind::kPartitionLoss) ||
+  if (kind > static_cast<std::uint8_t>(LoggedEvent::Kind::kRecover) ||
       layer >= kNumMsgLayers || tag >= std::variant_size_v<Payload>) {
     return DecodeStatus::kBadBody;
   }

@@ -37,6 +37,10 @@ std::string LoggedEvent::describe() const {
       std::snprintf(buf, sizeof(buf), "t=%lld CUT     p%d -> p%d  %s (partitioned)",
                     static_cast<long long>(at), from, to, payload_name().c_str());
       break;
+    case Kind::kRecover:
+      std::snprintf(buf, sizeof(buf), "t=%lld RECOVER p%d", static_cast<long long>(at),
+                    from);
+      break;
   }
   return buf;
 }

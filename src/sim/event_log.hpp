@@ -32,6 +32,7 @@ struct LoggedEvent {
     kLoss,           ///< message lost in flight (link-fault adversary)
     kDuplicate,      ///< adversary injected a duplicate copy
     kPartitionLoss,  ///< message lost because the (from,to) link was cut
+    kRecover,        ///< process `from` rejoined after a crash
   };
 
   Time at = 0;

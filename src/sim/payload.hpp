@@ -72,6 +72,52 @@ struct ForkRequest {
 /// The shared fork itself (Action 7/10 → Action 8).
 struct Fork {};
 
+// -- dynamic-graph extension (load harness: churn + crash-recovery) --------
+//
+// Five control messages layered on top of Algorithm 1 for scenarios whose
+// conflict graph changes mid-run. All are constant-size (§7 still holds)
+// and only ever travel on reliable FIFO channels: the safety arguments in
+// docs/LOADGEN.md lean on FIFO ordering between these and the dining
+// messages they fence.
+
+/// Edge addition, initiator → acceptor: "we now conflict; my color is
+/// `color`". Sent while the initiator is thinking.
+struct EdgeProposal {
+  int color = 0;
+};
+
+/// Edge addition, acceptor → initiator. The acceptor placed the initial
+/// fork/token (higher color holds the fork, ties broken toward the higher
+/// id) and reports its color plus which side got the fork so both ends
+/// agree. Fields sized to leave no padding (raw bytes travel through
+/// pack_payload).
+struct EdgeAccept {
+  std::int32_t color = 0;
+  std::uint32_t acceptor_has_fork = 0;
+};
+
+/// Edge removal (either direction). The sender has already dropped the
+/// edge; the receiver drops it on delivery and FIFO guarantees no dining
+/// message for the dead edge arrives afterwards.
+struct EdgeDrop {};
+
+/// Rejoin solicitation from a recovered process. `epoch` counts the
+/// sender's incarnations; stale acks from a previous incarnation echo an
+/// older epoch and are ignored.
+struct RejoinRequest {
+  std::uint32_t epoch = 0;
+};
+
+/// Rejoin answer: the surviving neighbor reports who holds the shared
+/// fork and token so the recovered process rebuilds its half of the edge
+/// state without ever minting a second fork. Fields are sized to leave no
+/// padding (the raw bytes travel through pack_payload).
+struct RejoinAck {
+  std::uint32_t epoch = 0;
+  std::uint16_t has_fork = 0;
+  std::uint16_t has_token = 0;
+};
+
 }  // namespace ekbd::core
 
 // -- fd: failure-detector wire format --------------------------------------
@@ -182,7 +228,12 @@ using Payload = std::variant<std::monostate,
                              net::DataSegment,
                              net::AckSegment,
                              int,
-                             Datum>;
+                             Datum,
+                             core::EdgeProposal,
+                             core::EdgeAccept,
+                             core::EdgeDrop,
+                             core::RejoinRequest,
+                             core::RejoinAck>;
 
 namespace detail {
 template <typename V>
@@ -239,7 +290,9 @@ inline constexpr PayloadTag kPayloadTagOf =
       "",          "Ping",          "Ack",    "ForkRequest",    "Fork",
       "Heartbeat", "Probe",         "ProbeEcho",
       "BottleRequest", "Bottle",    "BottleEscalate",
-      "DataSegment",   "AckSegment", "int",   "Datum"};
+      "DataSegment",   "AckSegment", "int",   "Datum",
+      "EdgeProposal",  "EdgeAccept", "EdgeDrop",
+      "RejoinRequest", "RejoinAck"};
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Payload>,
                 "add the new alternative's name (same position as in the variant)");
   return tag < std::variant_size_v<Payload> ? kNames[tag] : "?";

@@ -57,6 +57,7 @@ ProcessId Simulator::add_actor(std::unique_ptr<Actor> actor) {
   actors_.push_back(std::move(actor));
   actor_rngs_.push_back(nullptr);
   crash_times_.push_back(-1);
+  last_recover_.push_back(-1);
   return id;
 }
 
@@ -293,6 +294,16 @@ void Simulator::deliver(const Message& m) {
     }
     return;  // dropped on the floor of a dead process
   }
+  if (m.sent_at < last_recover_[static_cast<std::size_t>(m.to)]) {
+    // Addressed to a previous incarnation: recovery fences every inbound
+    // channel, so traffic from before the recovery instant is lost just
+    // like traffic delivered mid-crash.
+    if (tracing()) {
+      emit(LoggedEvent{now_, LoggedEvent::Kind::kDrop, m.from, m.to, m.layer,
+                       m.seq, payload_tag(m.payload)});
+    }
+    return;
+  }
   if (tracing()) {
     emit(LoggedEvent{now_, LoggedEvent::Kind::kDeliver, m.from, m.to, m.layer,
                      m.seq, payload_tag(m.payload)});
@@ -304,7 +315,7 @@ void Simulator::deliver(const Message& m) {
 void Simulator::deliver_logical(ProcessId from, ProcessId to, const Payload& payload,
                                 MsgLayer layer, std::uint64_t logical_seq, Time sent_at) {
   network_.logical_delivered(from, to, layer);
-  if (crashed(to)) {
+  if (crashed(to) || sent_at < last_recover_[static_cast<std::size_t>(to)]) {
     if (tracing()) {
       emit(LoggedEvent{now_, LoggedEvent::Kind::kDrop, from, to, layer,
                        logical_seq, payload_tag(payload)});
@@ -366,6 +377,33 @@ void Simulator::crash(ProcessId p) {
                      MsgLayer::kOther, 0, kNoPayloadTag});
   }
   actors_[idx]->on_crash();
+}
+
+void Simulator::recover(ProcessId p) {
+  assert(mode_ == ExecMode::kTimed && "recovery is a timed-mode feature");
+  auto idx = static_cast<std::size_t>(p);
+  if (crash_times_[idx] < 0) return;  // live: nothing to do
+  // The dead incarnation's pending timers must never fire into the new one
+  // (the Actor contract discards a crashed actor's timers). Crashes without
+  // recovery get this for free from the crashed() check in fire_timer; here
+  // the flag is about to clear, so cancel them explicitly.
+  for (const HeapEntry& he : heap_) {
+    const Event& ev = slab_[he.slot()];
+    if (ev.kind == Event::Kind::kTimer && ev.owner == p) {
+      active_timers_.erase(ev.timer_id);
+    }
+  }
+  crash_times_[idx] = -1;
+  last_recover_[idx] = now_;
+  if (tracing()) {
+    emit(LoggedEvent{now_, LoggedEvent::Kind::kRecover, p, kNoProcess,
+                     MsgLayer::kOther, 0, kNoPayloadTag});
+  }
+  actors_[idx]->on_recover();
+}
+
+void Simulator::schedule_recovery(ProcessId p, Time at) {
+  schedule(at, [this, p] { recover(p); });
 }
 
 void Simulator::schedule_crash(ProcessId p, Time at) {

@@ -8,11 +8,14 @@
 /// this repository is replayable from its parameters.
 ///
 /// Crash faults follow the paper's model (Cristian-style crash): a crashed
-/// process ceases execution without warning and never recovers. Concretely,
-/// once `crash(p)` takes effect no handler of `p` runs again; messages
-/// in flight *to* p are silently dropped at delivery time; messages already
-/// sent *by* p are still delivered (they left the process before the
-/// crash).
+/// process ceases execution without warning. Concretely, once `crash(p)`
+/// takes effect no handler of `p` runs again; messages in flight *to* p
+/// are silently dropped at delivery time; messages already sent *by* p are
+/// still delivered (they left the process before the crash). As an
+/// extension beyond the paper, `recover(p)` brings the process back at a
+/// later instant (timed mode only): the dead incarnation's timers are
+/// cancelled, inbound traffic sent before the recovery is dropped, and the
+/// actor's `on_recover` runs a protocol-level rejoin.
 #pragma once
 
 #include <cstdint>
@@ -255,6 +258,16 @@ class Simulator final : public TransportIface {
   /// Crash `p` at absolute time `at`.
   void schedule_crash(ProcessId p, Time at);
 
+  /// Bring a crashed `p` back (timed mode only; no-op if live). The new
+  /// incarnation keeps the actor object's local state; the dead one's
+  /// pending timers are cancelled and every message sent to `p` before
+  /// this instant is dropped at delivery (recovery fences the inbound
+  /// channels). Fires `Actor::on_recover`.
+  void recover(ProcessId p);
+
+  /// Recover `p` at absolute time `at`.
+  void schedule_recovery(ProcessId p, Time at);
+
   [[nodiscard]] bool crashed(ProcessId p) const {
     return crash_times_[static_cast<std::size_t>(p)] >= 0;
   }
@@ -394,6 +407,9 @@ class Simulator final : public TransportIface {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<std::unique_ptr<Rng>> actor_rngs_;
   std::vector<Time> crash_times_;
+  /// Latest recovery instant per process (-1: never recovered). Deliveries
+  /// of messages sent before this are dropped — see recover().
+  std::vector<Time> last_recover_;
   /// Timed mode: 4-ary min-heap over (at, seq) on a plain vector of
   /// compact HeapEntry keys; the Event records live in `slab_` (slots
   /// recycled through `free_slots_`), so sifting moves 24-byte keys, not

@@ -203,4 +203,123 @@ TEST(Coloring, IsProperRejectsBadColoring) {
   EXPECT_TRUE(ekbd::graph::is_proper(g, {0, 1, 0}));
 }
 
+// ----------------------------------------- incremental recoloring repair
+
+TEST(Repair, EdgeAddBetweenDistinctColorsIsFree) {
+  auto g = ekbd::graph::path(4);  // 0-1-2-3
+  ekbd::graph::Coloring c = {0, 1, 0, 1};
+  g.add_edge(0, 3);  // endpoints already differ (0 vs 1)
+  EXPECT_EQ(ekbd::graph::repair_after_edge_add(g, c, 0, 3), ekbd::graph::kNoRecolor);
+  EXPECT_EQ(c, (ekbd::graph::Coloring{0, 1, 0, 1}));  // untouched
+}
+
+TEST(Repair, EdgeAddConflictForcesColorBump) {
+  // Odd ring: 2-coloring fails once a chord joins two same-colored
+  // vertices; the repair must bump exactly one endpoint to a fresh color.
+  auto g = ekbd::graph::path(5);  // 0-1-2-3-4
+  ekbd::graph::Coloring c = {0, 1, 0, 1, 0};
+  ASSERT_TRUE(ekbd::graph::is_proper(g, c));
+  g.add_edge(0, 2);  // both color 0
+  const ProcessId moved = ekbd::graph::repair_after_edge_add(g, c, 0, 2);
+  ASSERT_NE(moved, ekbd::graph::kNoRecolor);
+  EXPECT_TRUE(moved == 0 || moved == 2);
+  EXPECT_TRUE(ekbd::graph::is_proper(g, c));
+  // degree(0)=2 < degree(2)=3 → the lower-degree endpoint moves, and the
+  // smallest free color around 0 = {1 (from 1), 0 (from 2)} is 2.
+  EXPECT_EQ(moved, 0);
+  EXPECT_EQ(c[0], 2);
+}
+
+TEST(Repair, TieBreaksTowardHigherId) {
+  // Two disjoint same-colored edges joined by a new edge: equal degrees,
+  // so the higher-id endpoint is the one recolored.
+  ConflictGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  ekbd::graph::Coloring c = {0, 1, 0, 1};
+  g.add_edge(0, 2);  // degree(0) == degree(2) == 2, both color 0
+  const ProcessId moved = ekbd::graph::repair_after_edge_add(g, c, 0, 2);
+  EXPECT_EQ(moved, 2);
+  EXPECT_TRUE(ekbd::graph::is_proper(g, c));
+}
+
+TEST(Repair, NeverRecolorsOutsideTheAffectedNeighborhood) {
+  // Invariant: a repair touches at most one vertex, and that vertex is an
+  // endpoint of the added edge — never a bystander. Sweep random graphs
+  // and random chord additions.
+  Rng rng(2026);
+  for (int round = 0; round < 50; ++round) {
+    ConflictGraph g = ekbd::graph::random_connected(12, 0.25, rng);
+    ekbd::graph::Coloring c = ekbd::graph::welsh_powell_coloring(g);
+    // Pick a random absent pair.
+    ProcessId a = -1, b = -1;
+    for (int tries = 0; tries < 100; ++tries) {
+      const auto x = static_cast<ProcessId>(rng.index(12));
+      const auto y = static_cast<ProcessId>(rng.index(12));
+      if (x != y && !g.adjacent(x, y)) { a = x; b = y; break; }
+    }
+    if (a < 0) continue;  // dense draw, nothing to add
+    const ekbd::graph::Coloring before = c;
+    g.add_edge(a, b);
+    const ProcessId moved = ekbd::graph::repair_after_edge_add(g, c, a, b);
+    ASSERT_TRUE(ekbd::graph::is_proper(g, c));
+    for (std::size_t v = 0; v < c.size(); ++v) {
+      if (static_cast<ProcessId>(v) == moved) continue;
+      EXPECT_EQ(c[v], before[v]) << "bystander " << v << " recolored";
+    }
+    if (moved != ekbd::graph::kNoRecolor) {
+      EXPECT_TRUE(moved == a || moved == b);
+      // The repaired color is the greedy choice, so the palette never
+      // exceeds the new neighborhood size + 1.
+      EXPECT_LE(static_cast<std::size_t>(c[static_cast<std::size_t>(moved)]),
+                g.degree(moved));
+    } else {
+      EXPECT_EQ(c, before);
+    }
+  }
+}
+
+TEST(Repair, LowerColorShrinksPaletteAfterRemoval) {
+  // Triangle forces 3 colors; removing one edge lets the vertex that held
+  // the third color drop back down.
+  ConflictGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  ekbd::graph::Coloring c = {0, 1, 2};
+  ASSERT_EQ(ekbd::graph::num_colors(c), 3u);
+
+  g.remove_edge(0, 2);  // now the path 0-1-2
+  EXPECT_TRUE(ekbd::graph::is_proper(g, c));  // removal never breaks properness
+  EXPECT_TRUE(ekbd::graph::lower_color(g, c, 2));  // 2's neighborhood = {1}: 0 free
+  EXPECT_EQ(c[2], 0);
+  EXPECT_EQ(ekbd::graph::num_colors(c), 2u);
+  EXPECT_FALSE(ekbd::graph::lower_color(g, c, 2));  // already minimal
+  EXPECT_TRUE(ekbd::graph::is_proper(g, c));
+}
+
+TEST(Repair, NodeRemovalShrinksPaletteViaProbes) {
+  // A star needs two colors while the hub stands; cutting every hub edge
+  // (= removing the node from the conflict community) frees that
+  // constraint and lower_color probes shrink the palette to 1.
+  auto g = ekbd::graph::star(5);
+  ekbd::graph::Coloring c = ekbd::graph::welsh_powell_coloring(g);
+  ASSERT_EQ(ekbd::graph::num_colors(c), 2u);
+  for (ProcessId leaf = 1; leaf < 5; ++leaf) g.remove_edge(0, leaf);
+  EXPECT_TRUE(ekbd::graph::lower_color(g, c, 0) || c[0] == 0);
+  for (ProcessId v = 0; v < 5; ++v) {
+    ekbd::graph::lower_color(g, c, v);
+    EXPECT_EQ(c[static_cast<std::size_t>(v)], 0);
+  }
+  EXPECT_EQ(ekbd::graph::num_colors(c), 1u);
+}
+
+TEST(Repair, SmallestFreeColorSkipsOccupied) {
+  auto g = ekbd::graph::star(4);  // hub 0, leaves 1..3
+  const ekbd::graph::Coloring c = {3, 0, 1, 2};
+  // Hub sees {0,1,2} → smallest free is 3; a leaf sees {3} → 0.
+  EXPECT_EQ(ekbd::graph::smallest_free_color(g, c, 0), 3);
+  EXPECT_EQ(ekbd::graph::smallest_free_color(g, c, 1), 0);
+}
+
 }  // namespace

@@ -55,6 +55,16 @@ Payload random_payload(std::size_t tag, Rng& rng) {
     case 12: return net::AckSegment{rng.u64()};
     case 13: return static_cast<int>(rng.uniform_int(-100000, 100000));
     case 14: return Datum{static_cast<std::int64_t>(rng.u64())};
+    case 15: return core::EdgeProposal{static_cast<int>(rng.uniform_int(-1000, 1000))};
+    case 16:
+      return core::EdgeAccept{static_cast<std::int32_t>(rng.uniform_int(-1000, 1000)),
+                              static_cast<std::uint32_t>(rng.uniform_int(0, 1))};
+    case 17: return core::EdgeDrop{};
+    case 18: return core::RejoinRequest{static_cast<std::uint32_t>(rng.u64())};
+    case 19:
+      return core::RejoinAck{static_cast<std::uint32_t>(rng.u64()),
+                             static_cast<std::uint16_t>(rng.uniform_int(0, 1)),
+                             static_cast<std::uint16_t>(rng.uniform_int(0, 1))};
     default: ADD_FAILURE() << "unhandled payload tag " << tag; return std::monostate{};
   }
 }

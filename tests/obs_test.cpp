@@ -125,7 +125,7 @@ TEST(Metrics, HistogramQuantileBucketMidpoints) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 95.0);
 }
 
-TEST(Metrics, HistogramMergeRequiresSameShape) {
+TEST(Metrics, HistogramMergeSameShapeIsExact) {
   obs::Histogram a(0.0, 10.0, 5);
   obs::Histogram b(0.0, 10.0, 5);
   a.add(1.0);
@@ -138,11 +138,53 @@ TEST(Metrics, HistogramMergeRequiresSameShape) {
   EXPECT_EQ(a.buckets()[1], 1u);
   EXPECT_EQ(a.buckets()[4], 1u);
 
+  // Empty mismatched sources flag the approximate path but have nothing
+  // to resample.
   obs::Histogram wrong_bins(0.0, 10.0, 4);
   obs::Histogram wrong_range(0.0, 20.0, 5);
   EXPECT_FALSE(a.merge(wrong_bins));
   EXPECT_FALSE(a.merge(wrong_range));
-  EXPECT_EQ(a.count(), 3u);  // failed merges change nothing
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Metrics, HistogramMergeMismatchedShapeResamples) {
+  // Regression: merging across shapes used to be a silent no-op, so
+  // shard-local histograms sized independently (or snapshots from an
+  // older config) quietly vanished from the merged percentiles. Now the
+  // source is resampled at bucket midpoints: count and sum stay exact,
+  // placement degrades by at most one source-bucket width.
+  obs::Histogram dst(0.0, 100.0, 10);   // width 10
+  obs::Histogram src(0.0, 50.0, 25);    // width 2 — finer and narrower
+  dst.add(95.0);
+  src.add(1.0);    // src bucket [0,2)  → midpoint 1  → dst bucket 0
+  src.add(13.0);   // src bucket [12,14)→ midpoint 13 → dst bucket 1
+  src.add(13.5);
+  src.add(49.0);   // src bucket [48,50)→ midpoint 49 → dst bucket 4
+
+  EXPECT_FALSE(dst.merge(src));  // false = approximate path taken
+  EXPECT_EQ(dst.count(), 5u);
+  EXPECT_DOUBLE_EQ(dst.sum(), 95.0 + 1.0 + 13.0 + 13.5 + 49.0);
+  EXPECT_EQ(dst.buckets()[0], 1u);
+  EXPECT_EQ(dst.buckets()[1], 2u);
+  EXPECT_EQ(dst.buckets()[4], 1u);
+  EXPECT_EQ(dst.buckets()[9], 1u);
+  EXPECT_EQ(dst.under(), 0u);
+  EXPECT_EQ(dst.over(), 0u);
+  std::uint64_t in_buckets = 0;
+  for (auto b : dst.buckets()) in_buckets += b;
+  EXPECT_EQ(in_buckets, dst.count());
+
+  // Out-of-range midpoints clamp into the edge buckets and the under/over
+  // tallies, exactly like live adds.
+  obs::Histogram wide(-100.0, 300.0, 4);  // width 100
+  wide.add(-50.0);   // bucket [-100,0) → midpoint -50 → under dst.lo
+  wide.add(250.0);   // bucket [200,300)→ midpoint 250 → over dst.hi
+  EXPECT_FALSE(dst.merge(wide));
+  EXPECT_EQ(dst.count(), 7u);
+  EXPECT_EQ(dst.under(), 1u);
+  EXPECT_EQ(dst.over(), 1u);
+  EXPECT_EQ(dst.buckets()[0], 2u);  // clamped under
+  EXPECT_EQ(dst.buckets()[9], 2u);  // clamped over
 }
 
 TEST(Metrics, HistogramJsonRoundTrip) {
@@ -479,6 +521,45 @@ TEST(Telemetry, SweepEmitsOneParseableJsonlLinePerScenarioInConfigOrder) {
     ASSERT_NE(metrics, nullptr) << "line " << i;
     EXPECT_FALSE(metrics->find("counters")->arr.empty());
     EXPECT_TRUE(doc->find("monitors")->find("clean")->boolean);
+    // Every line carries the sweep object: worker wall-clock plus the
+    // trace's offered/completed session counts, round-tripped via json.
+    const auto* sweep = doc->find("sweep");
+    ASSERT_NE(sweep, nullptr) << "line " << i;
+    EXPECT_GT(sweep->num_or("wall_seconds", -1), 0.0);
+    EXPECT_GT(sweep->num_or("offered", 0), 0.0);
+    EXPECT_GT(sweep->num_or("completed", 0), 0.0);
+    // Closed-loop runs complete what they offer, up to in-flight tails.
+    EXPECT_LE(sweep->num_or("completed", 0), sweep->num_or("offered", 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, SweepObjectAppearsOnObservabilityOffPlaceholderLines) {
+  const std::string path = ::testing::TempDir() + "/obs_sweep_placeholder.jsonl";
+  ekbd::scenario::Config cfg;
+  cfg.seed = 77;
+  cfg.n = 6;
+  cfg.run_for = 6'000;
+  cfg.observability = false;  // telemetry_json() alone would be "{}"
+  ekbd::scenario::SweepOptions opt;
+  opt.threads = 2;
+  opt.telemetry_path = path;
+  ekbd::scenario::run_scenarios(
+      {cfg, cfg}, [](std::size_t, ekbd::scenario::Scenario&) {}, opt);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(doc->find("metrics"), nullptr);  // still no registry snapshot
+    const auto* sweep = doc->find("sweep");
+    ASSERT_NE(sweep, nullptr) << line;
+    EXPECT_GT(sweep->num_or("wall_seconds", -1), 0.0);
+    EXPECT_GT(sweep->num_or("offered", 0), 0.0);
   }
   std::remove(path.c_str());
 }

@@ -65,6 +65,11 @@ TEST(Payload, EveryWireTypeRoundTripsThroughSendAndDeliver) {
   a->send(b->id(), net::AckSegment{42}, MsgLayer::kTransport);
   a->send(b->id(), 1234, MsgLayer::kOther);
   a->send(b->id(), Datum{-5}, MsgLayer::kOther);
+  a->send(b->id(), core::EdgeProposal{3}, MsgLayer::kDining);
+  a->send(b->id(), core::EdgeAccept{9, 1}, MsgLayer::kDining);
+  a->send(b->id(), core::EdgeDrop{}, MsgLayer::kDining);
+  a->send(b->id(), core::RejoinRequest{2}, MsgLayer::kDining);
+  a->send(b->id(), core::RejoinAck{2, 1, 0}, MsgLayer::kDining);
   sim.run_until(100);
 
   ASSERT_EQ(b->got.size(), std::variant_size_v<Payload>);
@@ -95,6 +100,17 @@ TEST(Payload, EveryWireTypeRoundTripsThroughSendAndDeliver) {
   EXPECT_EQ(*b->got[13].as<int>(), 1234);
   ASSERT_NE(b->got[14].as<Datum>(), nullptr);
   EXPECT_EQ(b->got[14].as<Datum>()->value, -5);
+  ASSERT_NE(b->got[15].as<core::EdgeProposal>(), nullptr);
+  EXPECT_EQ(b->got[15].as<core::EdgeProposal>()->color, 3);
+  ASSERT_NE(b->got[16].as<core::EdgeAccept>(), nullptr);
+  EXPECT_EQ(b->got[16].as<core::EdgeAccept>()->color, 9);
+  EXPECT_EQ(b->got[16].as<core::EdgeAccept>()->acceptor_has_fork, 1u);
+  EXPECT_NE(b->got[17].as<core::EdgeDrop>(), nullptr);
+  ASSERT_NE(b->got[18].as<core::RejoinRequest>(), nullptr);
+  EXPECT_EQ(b->got[18].as<core::RejoinRequest>()->epoch, 2u);
+  ASSERT_NE(b->got[19].as<core::RejoinAck>(), nullptr);
+  EXPECT_EQ(b->got[19].as<core::RejoinAck>()->has_fork, 1);
+  EXPECT_EQ(b->got[19].as<core::RejoinAck>()->has_token, 0);
   // as<T> on the wrong alternative says "not that type", never garbage.
   EXPECT_EQ(b->got[1].as<core::Ack>(), nullptr);
 }
@@ -130,6 +146,11 @@ TEST(Payload, PackUnpackRoundTripsEveryPackableType) {
   expect_packs_losslessly(net::AckSegment{0x123456789ABCDEFULL});
   expect_packs_losslessly(1234567);
   expect_packs_losslessly(Datum{-99});
+  expect_packs_losslessly(core::EdgeProposal{-7});
+  expect_packs_losslessly(core::EdgeAccept{-3, 1});
+  expect_packs_losslessly(core::EdgeDrop{});
+  expect_packs_losslessly(core::RejoinRequest{0xFFFFFFFFU});
+  expect_packs_losslessly(core::RejoinAck{17, 1, 1});
   // DataSegment is the one oversize alternative; it never nests (the
   // transport does not cover MsgLayer::kTransport) and pack says so.
   std::uint8_t tag = 0;
@@ -178,6 +199,8 @@ TEST(Payload, EventLogStillReportsUnqualifiedTypeNames) {
   EXPECT_EQ(name_of(Payload{net::AckSegment{}}), "AckSegment");
   EXPECT_EQ(name_of(Payload{Datum{}}), "Datum");
   EXPECT_EQ(name_of(Payload{42}), "int");
+  EXPECT_EQ(name_of(Payload{core::EdgeProposal{}}), "EdgeProposal");
+  EXPECT_EQ(name_of(Payload{core::RejoinAck{}}), "RejoinAck");
   // monostate is the "no payload" tag, matching timers and crashes.
   EXPECT_EQ(ekbd::sim::payload_tag(Payload{}), ekbd::sim::kNoPayloadTag);
   EXPECT_EQ(name_of(Payload{}), "");
